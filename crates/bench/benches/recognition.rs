@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the per-point recognition path (§5's costs):
+//! feature update per mouse point, AUC evaluation (per class count), full
+//! classification, and a whole eager run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grandma_core::{Classifier, EagerConfig, EagerRecognizer, FeatureExtractor, FeatureMask};
+use grandma_geom::Point;
+use grandma_synth::datasets;
+use std::hint::black_box;
+
+fn bench_feature_update(c: &mut Criterion) {
+    c.bench_function("feature_update_per_point", |b| {
+        let mut fx = FeatureExtractor::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let s = i as f64;
+            fx.update(black_box(Point::new(
+                s.sin() * 40.0,
+                s.cos() * 40.0,
+                s * 10.0,
+            )));
+            i += 1;
+            if i.is_multiple_of(4096) {
+                fx.reset();
+            }
+        });
+    });
+}
+
+fn bench_auc_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auc_eval_by_class_count");
+    for classes in [2usize, 4, 8] {
+        let data = datasets::eight_way(1, 10, 0);
+        let training: Vec<_> = data.training.into_iter().take(classes).collect();
+        let (rec, _) =
+            EagerRecognizer::train(&training, &FeatureMask::all(), &EagerConfig::default())
+                .expect("training succeeds");
+        let features = FeatureExtractor::extract(&training[0][0], &FeatureMask::all());
+        group.bench_with_input(BenchmarkId::from_parameter(classes), &classes, |b, _| {
+            b.iter(|| black_box(rec.auc().is_unambiguous(black_box(&features))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_classify(c: &mut Criterion) {
+    let data = datasets::gdp(1, 10, 1);
+    let classifier = Classifier::train(&data.training, &FeatureMask::all()).expect("training");
+    let gesture = &data.testing[0].gesture;
+    c.bench_function("full_classify_gdp_gesture", |b| {
+        b.iter(|| black_box(classifier.classify(black_box(gesture))));
+    });
+}
+
+fn bench_eager_run(c: &mut Criterion) {
+    let data = datasets::eight_way(1, 10, 1);
+    let (rec, _) =
+        EagerRecognizer::train(&data.training, &FeatureMask::all(), &EagerConfig::default())
+            .expect("training");
+    let gesture = &data.testing[0].gesture;
+    c.bench_function("eager_run_whole_gesture", |b| {
+        b.iter(|| black_box(rec.run(black_box(gesture))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_feature_update,
+    bench_auc_eval,
+    bench_full_classify,
+    bench_eager_run
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks for training: the closed-form full-classifier
+//! solve and the whole eager pipeline (labeling + move + AUC + tweaks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grandma_core::{Classifier, EagerConfig, EagerRecognizer, FeatureMask};
+use grandma_synth::datasets;
+use std::hint::black_box;
+
+fn bench_full_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_classifier_training");
+    group.sample_size(20);
+    for examples in [5usize, 15] {
+        let data = datasets::gdp(2, examples, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(examples), &examples, |b, _| {
+            b.iter(|| {
+                black_box(
+                    Classifier::train(black_box(&data.training), &FeatureMask::all())
+                        .expect("training"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_eager_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eager_recognizer_training");
+    group.sample_size(10);
+    for (name, data) in [
+        ("eight_way", datasets::eight_way(3, 10, 0)),
+        ("gdp", datasets::gdp(3, 10, 0)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &data, |b, data| {
+            b.iter(|| {
+                black_box(
+                    EagerRecognizer::train(
+                        black_box(&data.training),
+                        &FeatureMask::all(),
+                        &EagerConfig::default(),
+                    )
+                    .expect("training"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_training, bench_eager_training);
+criterion_main!(benches);

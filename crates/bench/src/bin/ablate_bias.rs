@@ -1,0 +1,65 @@
+//! Ablation A1: §4.6's two safety mechanisms — the ambiguity bias and the
+//! constant-tweaking pass.
+//!
+//! §4.6 first biases the AUC so "ambiguous gestures are five times more
+//! likely than unambiguous gestures", *then* tweaks complete-class
+//! constants until no incomplete training subgesture is judged
+//! unambiguous. Sweeping the bias with tweaks on and off separates the two
+//! mechanisms: with tweaks on, the fixed point enforces conservatism
+//! regardless of the starting bias; with tweaks off, the bias is the only
+//! safety and its size visibly trades eagerness for accuracy.
+//!
+//! Run: `cargo run -p grandma-bench --bin ablate_bias`
+
+use grandma_bench::{evaluate, report};
+use grandma_core::{EagerConfig, FeatureMask};
+use grandma_synth::datasets;
+
+fn main() {
+    println!("== Ablation: ambiguity bias x tweak pass (paper: 5x bias + tweaks) ==\n");
+    for (name, data) in [
+        ("eight_way", datasets::eight_way(0xab1a, 10, 30)),
+        ("gdp", datasets::gdp(0xab1a, 10, 30)),
+    ] {
+        let mut rows = Vec::new();
+        for tweaks in [true, false] {
+            for bias in [1.0, 2.0, 5.0, 10.0, 20.0] {
+                let config = EagerConfig {
+                    ambiguity_bias: bias,
+                    max_tweak_passes: if tweaks { 64 } else { 0 },
+                    ..EagerConfig::default()
+                };
+                let summary =
+                    evaluate(&data, &FeatureMask::all(), &config).expect("training succeeds");
+                rows.push(vec![
+                    format!("{bias}x"),
+                    if tweaks { "on" } else { "off" }.to_string(),
+                    format!("{:.1}%", 100.0 * summary.eager_accuracy),
+                    format!("{:.1}%", 100.0 * summary.avg_fraction_seen),
+                    format!("{}/{}", summary.fired_early, summary.total),
+                ]);
+            }
+        }
+        println!("dataset: {name}");
+        println!(
+            "{}",
+            report::table(
+                &[
+                    "bias",
+                    "tweaks",
+                    "eager accuracy",
+                    "points seen",
+                    "fired early"
+                ],
+                &rows
+            )
+        );
+    }
+    println!(
+        "expected shape: with tweaks ON the results barely depend on the bias —\n\
+         the violation-driven fixed point enforces conservatism by itself. With\n\
+         tweaks OFF, small biases admit early (sometimes wrong) firing and larger\n\
+         biases recover most of the safety; the paper's belt-and-suspenders choice\n\
+         costs little and guards against both failure modes."
+    );
+}

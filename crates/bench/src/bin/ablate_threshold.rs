@@ -1,0 +1,46 @@
+//! Ablation A2: the accidental-completeness threshold.
+//!
+//! §4.5 moves complete subgestures that sit within 50 % of the minimum
+//! full-to-incomplete Mahalanobis distance of an incomplete class mean.
+//! Sweeping the fraction shows why the move step exists: with it off
+//! (0 %), accidentally complete training subgestures teach the AUC to fire
+//! inside ambiguous regions and accuracy drops; far past the paper's value
+//! the move step starts swallowing genuinely unambiguous data and
+//! eagerness collapses.
+//!
+//! Run: `cargo run -p grandma-bench --bin ablate_threshold`
+
+use grandma_bench::{evaluate, report};
+use grandma_core::{EagerConfig, FeatureMask};
+use grandma_synth::datasets;
+
+fn main() {
+    println!("== Ablation: accidental-completeness threshold (paper picks 50%) ==\n");
+    for (name, data) in [
+        ("eight_way", datasets::eight_way(0xab2b, 10, 30)),
+        ("gdp", datasets::gdp(0xab2b, 10, 30)),
+    ] {
+        let mut rows = Vec::new();
+        for fraction in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let config = EagerConfig {
+                threshold_fraction: fraction,
+                ..EagerConfig::default()
+            };
+            let summary = evaluate(&data, &FeatureMask::all(), &config).expect("training succeeds");
+            rows.push(vec![
+                format!("{:.0}%", 100.0 * fraction),
+                format!("{}", summary.train_report.move_outcome.moved),
+                format!("{:.1}%", 100.0 * summary.eager_accuracy),
+                format!("{:.1}%", 100.0 * summary.avg_fraction_seen),
+            ]);
+        }
+        println!("dataset: {name}");
+        println!(
+            "{}",
+            report::table(
+                &["threshold", "moved", "eager accuracy", "points seen"],
+                &rows
+            )
+        );
+    }
+}

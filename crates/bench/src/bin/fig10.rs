@@ -1,0 +1,69 @@
+//! Figure 10 + §5: the GDP gesture set.
+//!
+//! Paper numbers: full classifier 99.7 % correct; eager recognizer 93.5 %
+//! correct, examining 60.5 % of each gesture on average. Trained with 10
+//! examples of each of the 11 classes, tested on 30. The `group` gesture
+//! is drawn clockwise (the §5 alteration; see the `group_direction`
+//! binary for the ablation).
+//!
+//! Run: `cargo run -p grandma-bench --bin fig10`
+
+use grandma_bench::{evaluate, print_per_class, report};
+use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
+use grandma_synth::datasets;
+
+fn main() {
+    let data = datasets::gdp(0x0f10, 10, 30);
+    let summary =
+        evaluate(&data, &FeatureMask::all(), &EagerConfig::default()).expect("training succeeds");
+
+    println!("== Figure 10: the GDP gesture set (group trained clockwise) ==\n");
+    println!("{}", summary.headline());
+    println!();
+    print_per_class(&summary);
+
+    // Figure 10 annotates each example "points-at-recognition / total";
+    // print the first five test examples per class the same way.
+    let (eager, _) =
+        EagerRecognizer::train(&data.training, &FeatureMask::all(), &EagerConfig::default())
+            .expect("training succeeds");
+    println!("per-example recognition points (first five per class, as in the figure):");
+    for (c, name) in data.class_names.iter().enumerate() {
+        let cells: Vec<String> = data
+            .testing_of(c)
+            .take(5)
+            .map(|l| {
+                let run = eager.run(&l.gesture);
+                let mark = if run.class != l.class { " E" } else { "" };
+                format!("{}/{}{}", run.points_at_recognition, run.total_points, mark)
+            })
+            .collect();
+        println!("  {name:14} {}", cells.join("  "));
+    }
+    println!();
+    println!(
+        "{}",
+        report::kv_block(&[
+            ("paper full accuracy", "99.7%".into()),
+            (
+                "ours  full accuracy",
+                format!("{:.1}%", 100.0 * summary.full_accuracy),
+            ),
+            ("paper eager accuracy", "93.5%".into()),
+            (
+                "ours  eager accuracy",
+                format!("{:.1}%", 100.0 * summary.eager_accuracy),
+            ),
+            ("paper points examined", "60.5%".into()),
+            (
+                "ours  points examined",
+                format!("{:.1}%", 100.0 * summary.avg_fraction_seen),
+            ),
+        ])
+    );
+    println!(
+        "expected shape: eager accuracy below full; eagerness varies strongly by\n\
+         class (line and dot are never early — line shares its start with delete,\n\
+         dot IS its final point; see EXPERIMENTS.md for the full discussion)."
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 8: Buxton's musical-note gestures — a set *not* amenable to
+//! eager recognition.
+//!
+//! "Because all but the last gesture is approximately a subgesture of the
+//! one to its right, these gestures would always be considered ambiguous
+//! by the eager recognizer, and thus would never be eagerly recognized."
+//!
+//! Run: `cargo run -p grandma-bench --bin fig8`
+
+use grandma_bench::{evaluate, print_per_class};
+use grandma_core::{EagerConfig, FeatureMask};
+use grandma_synth::datasets;
+
+fn main() {
+    let data = datasets::buxton_notes(0x0f08, 10, 30);
+    let summary =
+        evaluate(&data, &FeatureMask::all(), &EagerConfig::default()).expect("training succeeds");
+
+    println!("== Figure 8: Buxton note gestures (each a prefix of the next) ==\n");
+    println!("{}", summary.headline());
+    println!();
+    print_per_class(&summary);
+
+    // The structural claim: every class that is a prefix of a longer
+    // class stays ambiguous to the end; only the longest note can fire
+    // early.
+    let prefix_classes = &summary.per_class[..summary.per_class.len() - 1];
+    let prefix_fired: usize = prefix_classes.iter().map(|s| s.fired_early).sum();
+    let prefix_total: usize = prefix_classes.iter().map(|s| s.total).sum();
+    let last = summary.per_class.last().expect("non-empty");
+    println!(
+        "prefix classes fired early: {prefix_fired}/{prefix_total} (paper: never)\n\
+         longest class ({}) fired early: {}/{} (allowed: nothing extends it)",
+        last.name, last.fired_early, last.total
+    );
+    println!(
+        "\nexpected shape: ~0% early firing for every prefix class; average points\n\
+         examined ~100% — eager recognition cannot help this gesture set."
+    );
+}

@@ -1,0 +1,53 @@
+//! §4.2's full-classifier operating point: C = 11 GDP classes, E = 15
+//! training examples per class ("typically we train with 15 examples").
+//!
+//! Prints the full classifier's recognition rate and its confusion pairs.
+//!
+//! Run: `cargo run -p grandma-bench --bin full_rate`
+
+use grandma_bench::report;
+use grandma_core::{Classifier, FeatureMask};
+use grandma_synth::datasets;
+
+fn main() {
+    let data = datasets::gdp(0x0042, 15, 30);
+    let classifier =
+        Classifier::train(&data.training, &FeatureMask::all()).expect("training succeeds");
+
+    let c = data.num_classes();
+    let mut confusion = vec![vec![0usize; c]; c];
+    let mut correct = 0;
+    for labeled in &data.testing {
+        let got = classifier.classify(&labeled.gesture).class;
+        confusion[labeled.class][got] += 1;
+        if got == labeled.class {
+            correct += 1;
+        }
+    }
+    println!("== §4.2 operating point: C = 11, E = 15 ==\n");
+    println!(
+        "full classifier accuracy: {:.1}% ({correct}/{})\n",
+        100.0 * correct as f64 / data.testing.len() as f64,
+        data.testing.len()
+    );
+    let mut rows = Vec::new();
+    for (truth, row) in confusion.iter().enumerate() {
+        for (got, &count) in row.iter().enumerate() {
+            if truth != got && count > 0 {
+                rows.push(vec![
+                    data.class_names[truth].to_string(),
+                    data.class_names[got].to_string(),
+                    count.to_string(),
+                ]);
+            }
+        }
+    }
+    if rows.is_empty() {
+        println!("no confusions.");
+    } else {
+        println!(
+            "{}",
+            report::table(&["true class", "classified as", "count"], &rows)
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Rejection evaluation (§4.2's probability estimate and Mahalanobis
+//! distance, the two quantities the paper's classifier exposes for
+//! rejecting ambiguous or outlier input).
+//!
+//! Sweeps the two thresholds on the GDP set, scoring how much of the
+//! *misclassified* input each rejects against how much correctly
+//! classified input it sacrifices — plus a column for gibberish strokes
+//! (random walks) that belong to no class at all.
+//!
+//! Run: `cargo run -p grandma-bench --bin rejection`
+
+use grandma_bench::report;
+use grandma_core::{Classifier, FeatureMask};
+use grandma_geom::{Gesture, Point};
+use grandma_synth::datasets;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_walk(rng: &mut StdRng) -> Gesture {
+    let mut pts = Vec::new();
+    let (mut x, mut y) = (rng.gen::<f64>() * 50.0, rng.gen::<f64>() * 50.0);
+    for i in 0..35 {
+        x += rng.gen::<f64>() * 12.0 - 6.0;
+        y += rng.gen::<f64>() * 12.0 - 6.0;
+        pts.push(Point::new(x, y, i as f64 * 10.0));
+    }
+    Gesture::from_points(pts)
+}
+
+fn main() {
+    let data = datasets::gdp(0x4e4e, 15, 30);
+    let classifier =
+        Classifier::train(&data.training, &FeatureMask::all()).expect("training succeeds");
+    let mut rng = StdRng::seed_from_u64(0x6a6a);
+    let gibberish: Vec<Gesture> = (0..100).map(|_| random_walk(&mut rng)).collect();
+
+    println!("== Rejection: probability and Mahalanobis thresholds ==\n");
+    let mut rows = Vec::new();
+    // Thresholds chosen from the measured distributions: correct test
+    // gestures sit at d2 ~ 10-140 while gibberish starts near 200.
+    for (min_p, max_d2) in [
+        (0.0, f64::INFINITY),
+        (0.90, f64::INFINITY),
+        (0.95, f64::INFINITY),
+        (0.99, f64::INFINITY),
+        (0.0, 300.0),
+        (0.0, 150.0),
+        (0.95, 150.0),
+    ] {
+        let mut kept_correct = 0;
+        let mut kept_wrong = 0;
+        let mut rejected_correct = 0;
+        let mut rejected_wrong = 0;
+        for l in &data.testing {
+            let c = classifier.classify(&l.gesture);
+            let keep = c.accepted(min_p, max_d2);
+            let right = c.class == l.class;
+            match (keep, right) {
+                (true, true) => kept_correct += 1,
+                (true, false) => kept_wrong += 1,
+                (false, true) => rejected_correct += 1,
+                (false, false) => rejected_wrong += 1,
+            }
+        }
+        let gibberish_rejected = gibberish
+            .iter()
+            .filter(|g| !classifier.classify(g).accepted(min_p, max_d2))
+            .count();
+        rows.push(vec![
+            format!(
+                "P>={min_p:.2}{}",
+                if max_d2.is_finite() {
+                    format!(", d2<={max_d2:.0}")
+                } else {
+                    String::new()
+                }
+            ),
+            format!("{kept_correct}"),
+            format!("{kept_wrong}"),
+            format!("{rejected_correct}"),
+            format!("{rejected_wrong}"),
+            format!("{gibberish_rejected}/100"),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(
+            &[
+                "thresholds",
+                "kept correct",
+                "kept wrong",
+                "rejected correct",
+                "rejected wrong",
+                "gibberish rejected"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "expected shape: the probability threshold trades a few correct\n\
+         classifications for most of the wrong ones; the Mahalanobis threshold\n\
+         catches gibberish (outliers) that the probability estimate is confident\n\
+         about — the two are complementary, which is why the paper keeps both."
+    );
+}

@@ -1,0 +1,92 @@
+//! §5's compute-cost paragraph.
+//!
+//! "A fixed amount of computation needs to occur on each mouse point:
+//! first the feature vector must be updated (taking 0.5 msec on a DEC
+//! MicroVAX II), and then the vector must be classified by the AUC (taking
+//! 0.27 msec per class, or 6 msec in the case of GDP)."
+//!
+//! This binary measures the same two quantities on the current machine,
+//! plus the per-class scaling of AUC evaluation. Absolute numbers are of
+//! course far smaller than a 1985 MicroVAX's; the reproduced *shape* is
+//! (a) constant per-point feature cost independent of gesture length and
+//! (b) AUC cost linear in the number of classes.
+//!
+//! Run: `cargo run -p grandma-bench --bin timing_table --release`
+
+use std::time::Instant;
+
+use grandma_bench::report;
+use grandma_core::{EagerConfig, EagerRecognizer, FeatureExtractor, FeatureMask};
+use grandma_geom::Point;
+use grandma_synth::datasets;
+
+fn main() {
+    // (a) Per-point feature update cost, for increasing gesture lengths —
+    // flat if the update really is O(1) per point.
+    let mut rows = Vec::new();
+    for &len in &[100usize, 1_000, 10_000, 100_000] {
+        let points: Vec<Point> = (0..len)
+            .map(|i| {
+                let s = i as f64;
+                Point::new(s.sin() * 50.0 + s * 0.1, s.cos() * 50.0, s * 10.0)
+            })
+            .collect();
+        let start = Instant::now();
+        let mut fx = FeatureExtractor::new();
+        for &p in &points {
+            fx.update(p);
+        }
+        let total = start.elapsed();
+        std::hint::black_box(fx.features());
+        rows.push(vec![
+            len.to_string(),
+            format!("{:.1} ns", total.as_nanos() as f64 / len as f64),
+        ]);
+    }
+    println!("== per-point feature update (paper: 0.5 ms/point on a MicroVAX II) ==\n");
+    println!(
+        "{}",
+        report::table(&["gesture points", "cost per point"], &rows)
+    );
+
+    // (b) AUC evaluation cost vs class count.
+    let mut rows = Vec::new();
+    for &classes in &[2usize, 4, 8] {
+        let data = datasets::eight_way(0x7131, 10, 0);
+        let training: Vec<_> = data.training.into_iter().take(classes).collect();
+        let (rec, _) =
+            EagerRecognizer::train(&training, &FeatureMask::all(), &EagerConfig::default())
+                .expect("training succeeds");
+        let features = FeatureExtractor::extract(
+            &grandma_synth::datasets::eight_way(0x7132, 1, 0).training[0][0],
+            &FeatureMask::all(),
+        );
+        let auc_classes = rec.auc().kinds().len();
+        let iterations = 20_000;
+        let start = Instant::now();
+        for _ in 0..iterations {
+            std::hint::black_box(rec.auc().is_unambiguous(std::hint::black_box(&features)));
+        }
+        let per_eval = start.elapsed().as_nanos() as f64 / iterations as f64;
+        rows.push(vec![
+            classes.to_string(),
+            auc_classes.to_string(),
+            format!("{:.0} ns", per_eval),
+            format!("{:.1} ns", per_eval / auc_classes as f64),
+        ]);
+    }
+    println!("== AUC evaluation vs class count (paper: 0.27 ms/class; ~6 ms for GDP) ==\n");
+    println!(
+        "{}",
+        report::table(
+            &[
+                "gesture classes",
+                "AUC classes",
+                "per evaluation",
+                "per AUC class"
+            ],
+            &rows
+        )
+    );
+    println!("expected shape: per-point feature cost flat in gesture length; AUC cost\nlinear in the class count (roughly constant per-class figure).");
+}

@@ -1,0 +1,85 @@
+//! Plain-text table rendering for the reproduction binaries.
+
+/// Renders rows as an aligned plain-text table with a header rule.
+///
+/// # Examples
+///
+/// ```
+/// let t = grandma_bench::report::table(
+///     &["name", "value"],
+///     &[vec!["alpha".into(), "1".into()]],
+/// );
+/// assert!(t.contains("name"));
+/// assert!(t.contains("alpha"));
+/// ```
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    let rule_len = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a `key: value` block (used for headline numbers).
+pub fn kv_block(pairs: &[(&str, String)]) -> String {
+    let width = pairs.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (k, v) in pairs {
+        out.push_str(&format!("{:width$} : {}\n", k, v, width = width));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "long-header"],
+            &[
+                vec!["xxxx".into(), "1".into()],
+                vec!["y".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        // Column 2 starts at the same offset in every row.
+        let offset = lines[0].find("long-header").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), offset);
+        assert_eq!(lines[3].find("22").unwrap(), offset);
+    }
+
+    #[test]
+    fn kv_block_aligns_keys() {
+        let b = kv_block(&[("a", "1".into()), ("longer", "2".into())]);
+        assert!(b.contains("a      : 1"));
+        assert!(b.contains("longer : 2"));
+    }
+}

@@ -1,0 +1,371 @@
+//! Stage 4: the Ambiguous/Unambiguous Classifier (§4.3, §4.6).
+
+use std::fmt;
+
+use grandma_linalg::Vector;
+
+use crate::classifier::{LinearClassifier, TrainError};
+use crate::eager::config::EagerConfig;
+use crate::eager::labeling::SubgestureRecord;
+
+/// The identity of one AUC training class.
+///
+/// `Complete(c)` holds unambiguous subgestures whose full classifier
+/// prediction is gesture class `c`; `Incomplete(c)` holds ambiguous
+/// subgestures that the full classifier (currently) maps to `c`. The AUC's
+/// verdict is "unambiguous" exactly when the winning class is a
+/// `Complete(_)` (§4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AucClassKind {
+    /// Unambiguous subgestures of gesture class `c` (the paper's `C-c`).
+    Complete(usize),
+    /// Ambiguous subgestures the full classifier maps to `c` (the paper's
+    /// `I-c`).
+    Incomplete(usize),
+}
+
+impl AucClassKind {
+    /// Returns `true` for `Complete(_)`.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, AucClassKind::Complete(_))
+    }
+
+    /// Returns the underlying gesture class.
+    pub fn gesture_class(&self) -> usize {
+        match self {
+            AucClassKind::Complete(c) | AucClassKind::Incomplete(c) => *c,
+        }
+    }
+}
+
+impl fmt::Display for AucClassKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AucClassKind::Complete(c) => write!(f, "C-{c}"),
+            AucClassKind::Incomplete(c) => write!(f, "I-{c}"),
+        }
+    }
+}
+
+/// Statistics from the bias/tweak phase of AUC training.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TweakStats {
+    /// Total constant-term adjustments applied.
+    pub violations_fixed: usize,
+    /// Passes over the incomplete training subgestures.
+    pub passes: usize,
+    /// `true` when the final pass was violation-free (the usual case;
+    /// `false` means `max_tweak_passes` was hit first).
+    pub converged: bool,
+}
+
+/// The trained Ambiguous/Unambiguous Classifier.
+///
+/// A [`LinearClassifier`] over the (up to) 2C subgesture classes, plus the
+/// mapping from its class indices back to [`AucClassKind`]s. Produced by
+/// [`Auc::train`]; queried once per mouse point by the eager session.
+#[derive(Debug, Clone)]
+pub struct Auc {
+    linear: LinearClassifier,
+    kinds: Vec<AucClassKind>,
+}
+
+impl Auc {
+    /// Trains the AUC from the (post-move) labeled subgestures.
+    ///
+    /// Empty classes (a gesture class may have no incomplete subgestures
+    /// at all — or, rarely, no complete ones) are dropped from the class
+    /// list. After closed-form training, every incomplete class constant is
+    /// raised by `ln(config.ambiguity_bias)`, then the tweak loop lowers
+    /// complete-class constants until no incomplete training subgesture is
+    /// judged unambiguous (or `max_tweak_passes` is reached).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] when fewer than two non-empty subgesture
+    /// classes exist or the pooled covariance defies inversion.
+    pub fn train(
+        records: &[SubgestureRecord],
+        config: &EagerConfig,
+    ) -> Result<(Self, TweakStats), TrainError> {
+        // Build the class list in a deterministic order: C-0, I-0, C-1, ...
+        let max_class = records
+            .iter()
+            .map(|r| r.assigned.gesture_class().max(r.class))
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut kinds = Vec::new();
+        let mut samples: Vec<Vec<Vector>> = Vec::new();
+        for c in 0..max_class {
+            for kind in [AucClassKind::Complete(c), AucClassKind::Incomplete(c)] {
+                let class_samples: Vec<Vector> = records
+                    .iter()
+                    .filter(|r| r.assigned == kind)
+                    .map(|r| r.features.clone())
+                    .collect();
+                if !class_samples.is_empty() {
+                    kinds.push(kind);
+                    samples.push(class_samples);
+                }
+            }
+        }
+        let mut linear = LinearClassifier::train(&samples)?;
+
+        // Bias: ambiguous prefixes are config.ambiguity_bias times more
+        // likely a priori (§4.6; the paper picks 5).
+        let bias = config.ambiguity_bias.max(1.0).ln();
+        for (idx, kind) in kinds.iter().enumerate() {
+            if !kind.is_complete() {
+                linear.add_to_constant(idx, bias);
+            }
+        }
+
+        // Tweak: no incomplete training subgesture may be judged
+        // unambiguous. Each violation lowers the offending complete class's
+        // constant by the margin "plus a little more"; iterate to a bounded
+        // fixed point because one fix can expose another.
+        let mut stats = TweakStats::default();
+        let incomplete_features: Vec<&Vector> = records
+            .iter()
+            .filter(|r| r.is_incomplete())
+            .map(|r| &r.features)
+            .collect();
+        for _pass in 0..config.max_tweak_passes {
+            stats.passes += 1;
+            let mut violations_this_pass = 0;
+            for features in &incomplete_features {
+                let evaluations = linear.evaluate(features);
+                let (winner, best) = argmax(&evaluations);
+                if kinds[winner].is_complete() {
+                    let best_incomplete = evaluations
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !kinds[*i].is_complete())
+                        .map(|(_, v)| *v)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    let margin = best - best_incomplete;
+                    let delta = margin * (1.0 + config.tweak_extra_fraction) + config.tweak_epsilon;
+                    linear.add_to_constant(winner, -delta);
+                    violations_this_pass += 1;
+                    stats.violations_fixed += 1;
+                }
+            }
+            if violations_this_pass == 0 {
+                stats.converged = true;
+                break;
+            }
+        }
+        Ok((Self { linear, kinds }, stats))
+    }
+
+    /// Reassembles an AUC from its parts (used by persistence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind list length differs from the classifier's class
+    /// count.
+    pub fn from_parts(linear: LinearClassifier, kinds: Vec<AucClassKind>) -> Self {
+        assert_eq!(linear.num_classes(), kinds.len(), "one kind per AUC class");
+        Self { linear, kinds }
+    }
+
+    /// The paper's `D` function: `true` iff the subgesture's features land
+    /// in a complete (unambiguous) class.
+    pub fn is_unambiguous(&self, features: &Vector) -> bool {
+        self.classify_kind(features).is_complete()
+    }
+
+    /// Returns the winning AUC class for a feature vector.
+    pub fn classify_kind(&self, features: &Vector) -> AucClassKind {
+        let evaluations = self.linear.evaluate(features);
+        let (winner, _) = argmax(&evaluations);
+        self.kinds[winner]
+    }
+
+    /// Returns the AUC class list (index order matches the internal
+    /// linear classifier).
+    pub fn kinds(&self) -> &[AucClassKind] {
+        &self.kinds
+    }
+
+    /// Returns the underlying linear classifier.
+    pub fn linear(&self) -> &LinearClassifier {
+        &self.linear
+    }
+}
+
+fn argmax(values: &[f64]) -> (usize, f64) {
+    let mut best = (0, f64::NEG_INFINITY);
+    for (i, &v) in values.iter().enumerate() {
+        if v > best.1 {
+            best = (i, v);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::Classifier;
+    use crate::eager::labeling::label_subgestures;
+    use crate::eager::mover::move_accidentally_complete;
+    use crate::features::FeatureMask;
+    use grandma_geom::{Gesture, Point};
+
+    fn u_or_d(sign: f64, jiggle: f64) -> Gesture {
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            pts.push(Point::new(
+                i as f64 * 5.0,
+                jiggle * (i % 2) as f64,
+                i as f64 * 10.0,
+            ));
+        }
+        for i in 1..8 {
+            pts.push(Point::new(
+                35.0,
+                sign * i as f64 * 5.0 + jiggle,
+                70.0 + i as f64 * 10.0,
+            ));
+        }
+        Gesture::from_points(pts)
+    }
+
+    fn ud_training() -> Vec<Vec<Gesture>> {
+        vec![
+            (0..8).map(|e| u_or_d(1.0, 0.1 + e as f64 * 0.05)).collect(),
+            (0..8)
+                .map(|e| u_or_d(-1.0, 0.1 + e as f64 * 0.05))
+                .collect(),
+        ]
+    }
+
+    fn pipeline() -> (Classifier, Vec<SubgestureRecord>, Auc, TweakStats) {
+        let data = ud_training();
+        let config = EagerConfig::default();
+        let full = Classifier::train(&data, &FeatureMask::all()).unwrap();
+        let mut records = label_subgestures(&full, &data, &config);
+        move_accidentally_complete(&mut records, full.linear(), &config);
+        let (auc, stats) = Auc::train(&records, &config).unwrap();
+        (full, records, auc, stats)
+    }
+
+    #[test]
+    fn training_converges() {
+        let (_, _, _, stats) = pipeline();
+        assert!(stats.converged, "tweak loop should reach a fixed point");
+    }
+
+    #[test]
+    fn conservatism_no_training_incomplete_is_judged_unambiguous() {
+        // Figure 7's property: the AUC never claims an ambiguous training
+        // subgesture is unambiguous.
+        let (_, records, auc, _) = pipeline();
+        for r in records.iter().filter(|r| r.is_incomplete()) {
+            assert!(
+                !auc.is_unambiguous(&r.features),
+                "incomplete prefix {:?} judged unambiguous",
+                (r.class, r.example, r.prefix_len)
+            );
+        }
+    }
+
+    #[test]
+    fn some_complete_subgestures_are_recognized_as_unambiguous() {
+        let (_, records, auc, _) = pipeline();
+        let unambiguous = records
+            .iter()
+            .filter(|r| matches!(r.assigned, AucClassKind::Complete(_)))
+            .filter(|r| auc.is_unambiguous(&r.features))
+            .count();
+        assert!(
+            unambiguous > 0,
+            "the AUC must accept at least some unambiguous prefixes, else eagerness is zero"
+        );
+    }
+
+    #[test]
+    fn full_gestures_are_judged_unambiguous() {
+        let (_, records, auc, _) = pipeline();
+        let mut full_unambiguous = 0;
+        let mut full_total = 0;
+        for r in records.iter().filter(|r| r.prefix_len == r.full_len) {
+            full_total += 1;
+            if auc.is_unambiguous(&r.features) {
+                full_unambiguous += 1;
+            }
+        }
+        // Being conservative is allowed, but a well-separated 2-class set
+        // should have nearly every full gesture judged unambiguous.
+        assert!(
+            full_unambiguous * 10 >= full_total * 8,
+            "only {full_unambiguous}/{full_total} full gestures judged unambiguous"
+        );
+    }
+
+    #[test]
+    fn kinds_display_matches_paper_names() {
+        assert_eq!(AucClassKind::Complete(3).to_string(), "C-3");
+        assert_eq!(AucClassKind::Incomplete(0).to_string(), "I-0");
+    }
+
+    #[test]
+    fn bias_raises_incomplete_constants() {
+        let data = ud_training();
+        let config_unbiased = EagerConfig {
+            ambiguity_bias: 1.0,
+            max_tweak_passes: 0,
+            ..EagerConfig::default()
+        };
+        let config_biased = EagerConfig {
+            ambiguity_bias: 5.0,
+            max_tweak_passes: 0,
+            ..EagerConfig::default()
+        };
+        let full = Classifier::train(&data, &FeatureMask::all()).unwrap();
+        let mut records = label_subgestures(&full, &data, &config_biased);
+        move_accidentally_complete(&mut records, full.linear(), &config_biased);
+        let (auc_unbiased, _) = Auc::train(&records, &config_unbiased).unwrap();
+        let (auc_biased, _) = Auc::train(&records, &config_biased).unwrap();
+        for (idx, kind) in auc_biased.kinds().iter().enumerate() {
+            let delta = auc_biased.linear().constant(idx) - auc_unbiased.linear().constant(idx);
+            if kind.is_complete() {
+                assert!(delta.abs() < 1e-9, "complete constants must be unbiased");
+            } else {
+                assert!(
+                    (delta - 5.0f64.ln()).abs() < 1e-9,
+                    "incomplete constants must rise by ln 5"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_bias_is_never_less_conservative() {
+        let data = ud_training();
+        let full = Classifier::train(&data, &FeatureMask::all()).unwrap();
+        let config = EagerConfig::default();
+        let mut records = label_subgestures(&full, &data, &config);
+        move_accidentally_complete(&mut records, full.linear(), &config);
+        let (auc5, _) = Auc::train(&records, &config).unwrap();
+        let big = EagerConfig {
+            ambiguity_bias: 50.0,
+            ..config.clone()
+        };
+        let (auc50, _) = Auc::train(&records, &big).unwrap();
+        for r in &records {
+            if !auc5.is_unambiguous(&r.features) {
+                assert!(
+                    !auc50.is_unambiguous(&r.features),
+                    "raising the bias must not create new unambiguous verdicts"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_record_set_fails_training() {
+        assert!(Auc::train(&[], &EagerConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! Multi-stroke gestures: the §6 "future directions" extension.
+//!
+//! §2 notes that GRANDMA's single-stroke limitation rules out marks like
+//! "X", and §6 lists multi-stroke handling among planned extensions,
+//! citing existing techniques for "adapting single-stroke recognizers to
+//! multiple stroke recognition". This module implements the standard
+//! adaptation: a timeout-based [`segment_strokes`] groups consecutive
+//! strokes into one gesture, and [`MultiStrokeClassifier`] classifies the
+//! group with the same linear machinery over concatenated per-stroke
+//! Rubine features plus inter-stroke geometry.
+//!
+//! # Examples
+//!
+//! ```
+//! use grandma_core::multistroke::segment_strokes;
+//! use grandma_geom::Gesture;
+//!
+//! // Two quick strokes then a pause then another stroke.
+//! let strokes = vec![
+//!     Gesture::from_xy(&[(0.0, 0.0), (10.0, 10.0)], 10.0),
+//!     {
+//!         let mut g = Gesture::from_xy(&[(10.0, 0.0), (0.0, 10.0)], 10.0);
+//!         g = g.points().iter().map(|p| {
+//!             grandma_geom::Point::new(p.x, p.y, p.t + 200.0)
+//!         }).collect();
+//!         g
+//!     },
+//!     {
+//!         let mut g = Gesture::from_xy(&[(50.0, 0.0), (60.0, 0.0)], 10.0);
+//!         g = g.points().iter().map(|p| {
+//!             grandma_geom::Point::new(p.x, p.y, p.t + 2000.0)
+//!         }).collect();
+//!         g
+//!     },
+//! ];
+//! let groups = segment_strokes(&strokes, 600.0);
+//! assert_eq!(groups.len(), 2);
+//! assert_eq!(groups[0].strokes().len(), 2); // the "X"
+//! assert_eq!(groups[1].strokes().len(), 1);
+//! ```
+
+use grandma_geom::Gesture;
+use grandma_linalg::Vector;
+
+use crate::classifier::{Classification, LinearClassifier, TrainError};
+use crate::features::{FeatureExtractor, FeatureMask};
+
+/// An ordered sequence of strokes forming one gesture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiStroke {
+    strokes: Vec<Gesture>,
+}
+
+impl MultiStroke {
+    /// Creates a multi-stroke gesture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strokes` is empty or any stroke is empty.
+    pub fn new(strokes: Vec<Gesture>) -> Self {
+        assert!(!strokes.is_empty(), "a multi-stroke gesture needs strokes");
+        assert!(
+            strokes.iter().all(|s| !s.is_empty()),
+            "every stroke needs points"
+        );
+        Self { strokes }
+    }
+
+    /// The strokes, in drawing order.
+    pub fn strokes(&self) -> &[Gesture] {
+        &self.strokes
+    }
+
+    /// Number of strokes.
+    pub fn stroke_count(&self) -> usize {
+        self.strokes.len()
+    }
+}
+
+/// Groups a time-ordered list of strokes into multi-stroke gestures: a
+/// stroke starting within `timeout_ms` of the previous stroke's end joins
+/// the same gesture, otherwise it starts a new one.
+///
+/// This is how a multi-stroke GRANDMA would decide that the second bar of
+/// an "X" belongs to the first — the inter-stroke analogue of the 200 ms
+/// dwell.
+pub fn segment_strokes(strokes: &[Gesture], timeout_ms: f64) -> Vec<MultiStroke> {
+    let mut groups: Vec<Vec<Gesture>> = Vec::new();
+    for stroke in strokes {
+        if stroke.is_empty() {
+            continue;
+        }
+        let start = stroke.first().expect("non-empty").t;
+        let join = groups
+            .last()
+            .and_then(|g| g.last())
+            .and_then(|last| last.last())
+            .map(|p| start - p.t <= timeout_ms)
+            .unwrap_or(false);
+        if join {
+            groups.last_mut().expect("checked").push(stroke.clone());
+        } else {
+            groups.push(vec![stroke.clone()]);
+        }
+    }
+    groups.into_iter().map(MultiStroke::new).collect()
+}
+
+/// Extracts the combined feature vector of a multi-stroke gesture:
+/// per-stroke Rubine features padded to `max_strokes`, then the stroke
+/// count and, for each stroke after the first, the displacement of its
+/// start from the previous stroke's start (normalized by the first
+/// stroke's bounding-box diagonal so the features are scale-tolerant).
+///
+/// # Panics
+///
+/// Panics if the gesture has more than `max_strokes` strokes.
+pub fn multistroke_features(
+    gesture: &MultiStroke,
+    mask: &FeatureMask,
+    max_strokes: usize,
+) -> Vector {
+    assert!(
+        gesture.stroke_count() <= max_strokes,
+        "gesture has {} strokes, classifier supports {max_strokes}",
+        gesture.stroke_count()
+    );
+    let per_stroke = mask.count();
+    let mut data = Vec::with_capacity(max_strokes * per_stroke + 1 + 2 * (max_strokes - 1));
+    for stroke in gesture.strokes() {
+        let v = FeatureExtractor::extract(stroke, mask);
+        data.extend_from_slice(v.as_slice());
+    }
+    for _ in gesture.stroke_count()..max_strokes {
+        data.extend(std::iter::repeat_n(0.0, per_stroke));
+    }
+    data.push(gesture.stroke_count() as f64);
+    let scale = gesture.strokes()[0].bbox().diagonal().max(1.0);
+    for k in 1..max_strokes {
+        if let (Some(prev), Some(this)) = (
+            gesture.strokes().get(k - 1).and_then(|s| s.first()),
+            gesture.strokes().get(k).and_then(|s| s.first()),
+        ) {
+            data.push((this.x - prev.x) / scale);
+            data.push((this.y - prev.y) / scale);
+        } else {
+            data.push(0.0);
+            data.push(0.0);
+        }
+    }
+    Vector::from_vec(data)
+}
+
+/// A classifier over multi-stroke gestures.
+#[derive(Debug, Clone)]
+pub struct MultiStrokeClassifier {
+    linear: LinearClassifier,
+    mask: FeatureMask,
+    max_strokes: usize,
+}
+
+impl MultiStrokeClassifier {
+    /// Trains from per-class multi-stroke examples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] from the underlying linear training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an example exceeds `max_strokes`.
+    pub fn train(
+        per_class: &[Vec<MultiStroke>],
+        mask: &FeatureMask,
+        max_strokes: usize,
+    ) -> Result<Self, TrainError> {
+        let samples: Vec<Vec<Vector>> = per_class
+            .iter()
+            .map(|examples| {
+                examples
+                    .iter()
+                    .map(|g| multistroke_features(g, mask, max_strokes))
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            linear: LinearClassifier::train(&samples)?,
+            mask: *mask,
+            max_strokes,
+        })
+    }
+
+    /// Classifies a multi-stroke gesture.
+    pub fn classify(&self, gesture: &MultiStroke) -> Classification {
+        self.linear
+            .classify(&multistroke_features(gesture, &self.mask, self.max_strokes))
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.linear.num_classes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grandma_geom::Point;
+
+    /// A straight stroke from (x0, y0) to (x1, y1), `n` points, starting
+    /// at time `t0`.
+    fn stroke(x0: f64, y0: f64, x1: f64, y1: f64, n: usize, t0: f64, jiggle: f64) -> Gesture {
+        (0..n)
+            .map(|i| {
+                let s = i as f64 / (n - 1) as f64;
+                Point::new(
+                    x0 + (x1 - x0) * s + jiggle * (i % 3) as f64,
+                    y0 + (y1 - y0) * s + jiggle * (i % 2) as f64,
+                    t0 + i as f64 * 10.0,
+                )
+            })
+            .collect()
+    }
+
+    /// "X": two crossing diagonals.
+    fn x_mark(jiggle: f64) -> MultiStroke {
+        MultiStroke::new(vec![
+            stroke(0.0, 40.0, 40.0, 0.0, 10, 0.0, jiggle),
+            stroke(0.0, 0.0, 40.0, 40.0, 10, 200.0, jiggle),
+        ])
+    }
+
+    /// "=": two parallel horizontals.
+    fn equals_mark(jiggle: f64) -> MultiStroke {
+        MultiStroke::new(vec![
+            stroke(0.0, 20.0, 40.0, 20.0, 10, 0.0, jiggle),
+            stroke(0.0, 0.0, 40.0, 0.0, 10, 200.0, jiggle),
+        ])
+    }
+
+    /// "+": a horizontal then a vertical.
+    fn plus_mark(jiggle: f64) -> MultiStroke {
+        MultiStroke::new(vec![
+            stroke(0.0, 20.0, 40.0, 20.0, 10, 0.0, jiggle),
+            stroke(20.0, 40.0, 20.0, 0.0, 10, 200.0, jiggle),
+        ])
+    }
+
+    /// "→": a shaft then a two-segment head drawn as one stroke.
+    fn arrow_mark(jiggle: f64) -> MultiStroke {
+        let mut head = Vec::new();
+        for i in 0..6 {
+            head.push(Point::new(
+                30.0 + i as f64 * 2.0,
+                10.0 + i as f64 * 2.0 + jiggle,
+                200.0 + i as f64 * 10.0,
+            ));
+        }
+        for i in 1..6 {
+            head.push(Point::new(
+                40.0 - jiggle,
+                20.0 - i as f64 * 4.0,
+                260.0 + i as f64 * 10.0,
+            ));
+        }
+        MultiStroke::new(vec![
+            stroke(0.0, 20.0, 40.0, 20.0, 10, 0.0, jiggle),
+            Gesture::from_points(head),
+        ])
+    }
+
+    fn training() -> Vec<Vec<MultiStroke>> {
+        let js: Vec<f64> = (0..10).map(|i| 0.1 + i as f64 * 0.12).collect();
+        vec![
+            js.iter().map(|&j| x_mark(j)).collect(),
+            js.iter().map(|&j| equals_mark(j)).collect(),
+            js.iter().map(|&j| plus_mark(j)).collect(),
+            js.iter().map(|&j| arrow_mark(j)).collect(),
+        ]
+    }
+
+    #[test]
+    fn classifier_separates_the_mark_vocabulary() {
+        let c = MultiStrokeClassifier::train(&training(), &FeatureMask::all(), 2).unwrap();
+        let makers: [fn(f64) -> MultiStroke; 4] = [x_mark, equals_mark, plus_mark, arrow_mark];
+        let mut correct = 0;
+        let mut total = 0;
+        for (class, maker) in makers.iter().enumerate() {
+            for i in 0..8 {
+                let g = maker(0.15 + i as f64 * 0.11);
+                total += 1;
+                if c.classify(&g).class == class {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct * 10 >= total * 9, "accuracy {correct}/{total}");
+    }
+
+    #[test]
+    fn x_and_plus_differ_only_in_stroke_geometry() {
+        // Both are two crossing strokes; the per-stroke angle features
+        // must separate them.
+        let c = MultiStrokeClassifier::train(&training(), &FeatureMask::all(), 2).unwrap();
+        assert_ne!(
+            c.classify(&x_mark(0.3)).class,
+            c.classify(&plus_mark(0.3)).class
+        );
+    }
+
+    #[test]
+    fn segmentation_groups_by_timeout() {
+        let strokes = vec![
+            stroke(0.0, 40.0, 40.0, 0.0, 10, 0.0, 0.0),
+            stroke(0.0, 0.0, 40.0, 40.0, 10, 200.0, 0.0), // 110 ms gap -> joins
+            stroke(100.0, 0.0, 140.0, 0.0, 10, 2000.0, 0.0), // long gap -> new gesture
+        ];
+        let groups = segment_strokes(&strokes, 600.0);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].stroke_count(), 2);
+        assert_eq!(groups[1].stroke_count(), 1);
+    }
+
+    #[test]
+    fn segmentation_with_zero_timeout_splits_everything() {
+        let strokes = vec![
+            stroke(0.0, 0.0, 10.0, 0.0, 5, 0.0, 0.0),
+            stroke(0.0, 0.0, 10.0, 0.0, 5, 100.0, 0.0),
+        ];
+        let groups = segment_strokes(&strokes, 0.0);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn segmentation_skips_empty_strokes() {
+        let strokes = vec![Gesture::new(), stroke(0.0, 0.0, 10.0, 0.0, 5, 0.0, 0.0)];
+        let groups = segment_strokes(&strokes, 500.0);
+        assert_eq!(groups.len(), 1);
+    }
+
+    #[test]
+    fn end_to_end_segment_then_classify() {
+        let c = MultiStrokeClassifier::train(&training(), &FeatureMask::all(), 2).unwrap();
+        // A drawing session: an X, a pause, then an equals sign.
+        let x = x_mark(0.2);
+        let mut eq = equals_mark(0.2);
+        // Shift the equals strokes to start 3 seconds later.
+        eq = MultiStroke::new(
+            eq.strokes()
+                .iter()
+                .map(|s| {
+                    s.points()
+                        .iter()
+                        .map(|p| Point::new(p.x, p.y, p.t + 3000.0))
+                        .collect()
+                })
+                .collect(),
+        );
+        let mut session: Vec<Gesture> = Vec::new();
+        session.extend(x.strokes().iter().cloned());
+        session.extend(eq.strokes().iter().cloned());
+        let groups = segment_strokes(&session, 600.0);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(c.classify(&groups[0]).class, 0, "first group is the X");
+        assert_eq!(c.classify(&groups[1]).class, 1, "second group is the =");
+    }
+
+    #[test]
+    #[should_panic(expected = "supports")]
+    fn too_many_strokes_panics() {
+        let g = MultiStroke::new(vec![
+            stroke(0.0, 0.0, 1.0, 0.0, 3, 0.0, 0.0),
+            stroke(0.0, 0.0, 1.0, 0.0, 3, 100.0, 0.0),
+            stroke(0.0, 0.0, 1.0, 0.0, 3, 200.0, 0.0),
+        ]);
+        let _ = multistroke_features(&g, &FeatureMask::all(), 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the recognizer core.
+
+use grandma_core::{
+    Classifier, EagerConfig, EagerRecognizer, FeatureExtractor, FeatureMask, FEATURE_COUNT,
+};
+use grandma_geom::{Gesture, Point, Transform};
+use proptest::prelude::*;
+
+fn gesture_strategy() -> impl Strategy<Value = Gesture> {
+    proptest::collection::vec((-200.0f64..200.0, -200.0f64..200.0), 2..60).prop_map(|coords| {
+        Gesture::from_points(
+            coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| Point::new(x, y, i as f64 * 8.0))
+                .collect(),
+        )
+    })
+}
+
+/// Two L-shaped classes with per-example jitter, the workhorse training
+/// set of the eager tests.
+fn two_class_training(jitters: &[f64]) -> Vec<Vec<Gesture>> {
+    let make = |sign: f64, jiggle: f64| {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(Point::new(
+                i as f64 * 5.0 + jiggle * (i % 3) as f64,
+                jiggle * (i % 2) as f64,
+                i as f64 * 10.0,
+            ));
+        }
+        for i in 1..10 {
+            pts.push(Point::new(
+                45.0,
+                sign * i as f64 * 5.0 + jiggle,
+                90.0 + i as f64 * 10.0,
+            ));
+        }
+        Gesture::from_points(pts)
+    };
+    vec![
+        jitters.iter().map(|&j| make(1.0, j)).collect(),
+        jitters.iter().map(|&j| make(-1.0, j)).collect(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_features_equal_batch_features(g in gesture_strategy()) {
+        let mut fx = FeatureExtractor::new();
+        for &p in g.points() {
+            fx.update(p);
+        }
+        let inc = fx.features();
+        let batch = {
+            let mut fx2 = FeatureExtractor::new();
+            for &p in g.points() {
+                fx2.update(p);
+            }
+            fx2.features()
+        };
+        for k in 0..FEATURE_COUNT {
+            prop_assert_eq!(inc[k], batch[k]);
+        }
+        prop_assert!(inc.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn features_of_prefix_match_subgesture_extraction(g in gesture_strategy(), cut in 2usize..60) {
+        prop_assume!(cut <= g.len());
+        let prefix = g.subgesture(cut).unwrap();
+        let direct = FeatureExtractor::extract(&prefix, &FeatureMask::all());
+        let mut fx = FeatureExtractor::new();
+        for &p in prefix.points() {
+            fx.update(p);
+        }
+        let inc = fx.masked_features(&FeatureMask::all());
+        for k in 0..direct.len() {
+            prop_assert!((direct[k] - inc[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spatial_features_are_translation_invariant(g in gesture_strategy(), dx in -500.0f64..500.0, dy in -500.0f64..500.0) {
+        let mask = FeatureMask::without_timing();
+        let f0 = FeatureExtractor::extract(&g, &mask);
+        let f1 = FeatureExtractor::extract(&g.transformed(&Transform::translation(dx, dy)), &mask);
+        for k in 0..f0.len() {
+            let tol = 1e-7 * (1.0 + f0[k].abs());
+            prop_assert!((f0[k] - f1[k]).abs() < tol, "feature {} changed: {} vs {}", k, f0[k], f1[k]);
+        }
+    }
+
+    #[test]
+    fn classifier_probability_is_a_probability(g in gesture_strategy(), seed in 0u8..8) {
+        let jitters: Vec<f64> = (0..6).map(|i| 0.05 + (i + seed as usize) as f64 * 0.03).collect();
+        let data = two_class_training(&jitters);
+        let c = Classifier::train(&data, &FeatureMask::all()).unwrap();
+        let cls = c.classify(&g);
+        prop_assert!(cls.probability > 0.0 && cls.probability <= 1.0 + 1e-12);
+        prop_assert!(cls.mahalanobis_squared >= -1e-9);
+        prop_assert!(cls.class < 2);
+    }
+
+    #[test]
+    fn training_examples_classify_to_their_own_class(seed in 0u8..16) {
+        let jitters: Vec<f64> = (0..8).map(|i| 0.05 + (i + seed as usize % 4) as f64 * 0.03).collect();
+        let data = two_class_training(&jitters);
+        let c = Classifier::train(&data, &FeatureMask::all()).unwrap();
+        for (class, gestures) in data.iter().enumerate() {
+            for g in gestures {
+                prop_assert_eq!(c.classify(g).class, class);
+            }
+        }
+    }
+
+    #[test]
+    fn eager_conservatism_on_training_set(seed in 0u8..8) {
+        // D(s) = true on a training prefix implies the full classifier
+        // already classifies that prefix as the gesture's class.
+        let jitters: Vec<f64> = (0..8).map(|i| 0.05 + (i + seed as usize % 4) as f64 * 0.03).collect();
+        let data = two_class_training(&jitters);
+        let (rec, _) = EagerRecognizer::train(&data, &FeatureMask::all(), &EagerConfig::default()).unwrap();
+        for (class, gestures) in data.iter().enumerate() {
+            for g in gestures {
+                for i in 2..=g.len() {
+                    let prefix = g.subgesture(i).unwrap();
+                    if rec.is_unambiguous(&prefix) {
+                        prop_assert_eq!(
+                            rec.classify_full(&prefix).class,
+                            class,
+                            "unambiguous verdict on a prefix the full classifier gets wrong"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eager_run_decision_point_is_stable_under_replay(seed in 0u8..8) {
+        let jitters: Vec<f64> = (0..8).map(|i| 0.05 + (i + seed as usize % 4) as f64 * 0.03).collect();
+        let data = two_class_training(&jitters);
+        let (rec, _) = EagerRecognizer::train(&data, &FeatureMask::all(), &EagerConfig::default()).unwrap();
+        let g = &data[0][0];
+        let a = rec.run(g);
+        let b = rec.run(g);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,106 @@
+//! Input event types.
+
+/// Mouse buttons.
+///
+/// §3.1 notes a view may respond to gesture on one button and direct
+/// manipulation on another; handlers filter events by button through their
+/// predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Button {
+    /// The primary button.
+    Left,
+    /// The middle button.
+    Middle,
+    /// The secondary button.
+    Right,
+}
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A button went down (starts an interaction).
+    MouseDown {
+        /// Which button.
+        button: Button,
+    },
+    /// The mouse moved while a button was held (or hovered).
+    MouseMove,
+    /// A button was released (ends an interaction).
+    MouseUp {
+        /// Which button.
+        button: Button,
+    },
+    /// The dwell timeout fired: the mouse has been still, button down,
+    /// for the configured period (the paper's 200 ms phase-transition
+    /// trigger).
+    Timeout,
+}
+
+/// A timestamped input event at a position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// Pointer x position.
+    pub x: f64,
+    /// Pointer y position.
+    pub y: f64,
+    /// Time in milliseconds.
+    pub t: f64,
+}
+
+impl InputEvent {
+    /// Creates an event.
+    pub fn new(kind: EventKind, x: f64, y: f64, t: f64) -> Self {
+        Self { kind, x, y, t }
+    }
+
+    /// Returns `true` for `MouseDown`.
+    pub fn is_down(&self) -> bool {
+        matches!(self.kind, EventKind::MouseDown { .. })
+    }
+
+    /// Returns `true` for `MouseUp`.
+    pub fn is_up(&self) -> bool {
+        matches!(self.kind, EventKind::MouseUp { .. })
+    }
+
+    /// Returns the button, when the event has one.
+    pub fn button(&self) -> Option<Button> {
+        match self.kind {
+            EventKind::MouseDown { button } | EventKind::MouseUp { button } => Some(button),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        let down = InputEvent::new(
+            EventKind::MouseDown {
+                button: Button::Left,
+            },
+            0.0,
+            0.0,
+            0.0,
+        );
+        let mv = InputEvent::new(EventKind::MouseMove, 1.0, 1.0, 5.0);
+        let up = InputEvent::new(
+            EventKind::MouseUp {
+                button: Button::Left,
+            },
+            1.0,
+            1.0,
+            9.0,
+        );
+        assert!(down.is_down() && !down.is_up());
+        assert!(up.is_up() && !up.is_down());
+        assert!(!mv.is_down() && !mv.is_up());
+        assert_eq!(down.button(), Some(Button::Left));
+        assert_eq!(mv.button(), None);
+    }
+}

@@ -1,0 +1,38 @@
+//! Virtual input-event substrate.
+//!
+//! GRANDMA ran against X10 on a MicroVAX; this crate is the documented
+//! substitution (DESIGN.md §2): timestamped mouse events, an ordered event
+//! queue, a dwell detector that synthesizes the paper's 200 ms
+//! "mouse kept still" timeout, and scripting helpers that turn gestures
+//! into replayable event streams. Everything is deterministic — time is
+//! whatever the event timestamps say it is — so interaction tests replay
+//! exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use grandma_events::{gesture_events, DwellDetector, EventKind};
+//! use grandma_geom::{Gesture, Point};
+//!
+//! let g = Gesture::from_points(vec![
+//!     Point::new(0.0, 0.0, 0.0),
+//!     Point::new(10.0, 0.0, 15.0),
+//! ]);
+//! let events = gesture_events(&g, grandma_events::Button::Left);
+//! assert!(matches!(events[0].kind, EventKind::MouseDown { .. }));
+//! assert!(matches!(events.last().unwrap().kind, EventKind::MouseUp { .. }));
+//!
+//! // A 200 ms dwell detector synthesizes a timeout inside a long pause.
+//! let mut dwell = DwellDetector::new(200.0, 3.0);
+//! assert!(dwell.process(&events[0]).is_empty());
+//! ```
+
+mod dwell;
+mod event;
+mod queue;
+mod script;
+
+pub use dwell::DwellDetector;
+pub use event::{Button, EventKind, InputEvent};
+pub use queue::EventQueue;
+pub use script::{gesture_events, gesture_events_with_hold, EventScript};

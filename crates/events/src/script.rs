@@ -1,0 +1,202 @@
+//! Turning gestures into replayable event streams.
+
+use grandma_geom::Gesture;
+
+use crate::event::{Button, EventKind, InputEvent};
+
+/// Converts a gesture into the event stream a window system would deliver:
+/// `MouseDown` at the first point, `MouseMove` for each subsequent point,
+/// and `MouseUp` at the final position shortly after the last move.
+///
+/// # Panics
+///
+/// Panics if the gesture is empty.
+pub fn gesture_events(gesture: &Gesture, button: Button) -> Vec<InputEvent> {
+    gesture_events_with_hold(gesture, button, None)
+}
+
+/// Like [`gesture_events`], but optionally inserts a still-mouse hold of
+/// `hold_ms` *after* point index `at` — the way a GDP user triggers the
+/// 200 ms dwell transition mid-gesture. All later timestamps shift by the
+/// hold duration.
+///
+/// # Panics
+///
+/// Panics if the gesture is empty or `at` is out of range.
+pub fn gesture_events_with_hold(
+    gesture: &Gesture,
+    button: Button,
+    hold: Option<(usize, f64)>,
+) -> Vec<InputEvent> {
+    assert!(!gesture.is_empty(), "cannot script an empty gesture");
+    if let Some((at, _)) = hold {
+        assert!(at < gesture.len(), "hold index out of range");
+    }
+    let points = gesture.points();
+    let mut out = Vec::with_capacity(points.len() + 1);
+    let mut shift = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let kind = if i == 0 {
+            EventKind::MouseDown { button }
+        } else {
+            EventKind::MouseMove
+        };
+        out.push(InputEvent::new(kind, p.x, p.y, p.t + shift));
+        if let Some((at, hold_ms)) = hold {
+            if i == at {
+                shift += hold_ms;
+            }
+        }
+    }
+    let last = points.last().expect("non-empty");
+    out.push(InputEvent::new(
+        EventKind::MouseUp { button },
+        last.x,
+        last.y,
+        last.t + shift + 1.0,
+    ));
+    out
+}
+
+/// A sequence of interactions to replay against an interface: a list of
+/// event streams with helpers for composing multi-gesture sessions.
+///
+/// # Examples
+///
+/// ```
+/// use grandma_events::{Button, EventScript};
+/// use grandma_geom::Gesture;
+///
+/// let g = Gesture::from_xy(&[(0.0, 0.0), (10.0, 0.0)], 10.0);
+/// let script = EventScript::new()
+///     .then_gesture(&g, Button::Left)
+///     .then_gesture(&g, Button::Left);
+/// let events = script.events();
+/// // Two down/up pairs, timestamps strictly increasing.
+/// assert_eq!(events.iter().filter(|e| e.is_down()).count(), 2);
+/// assert!(events.windows(2).all(|w| w[0].t < w[1].t));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventScript {
+    events: Vec<InputEvent>,
+    /// Gap inserted between interactions, in milliseconds.
+    gap_ms: f64,
+}
+
+impl EventScript {
+    /// Creates an empty script with a 100 ms gap between interactions.
+    pub fn new() -> Self {
+        Self {
+            events: Vec::new(),
+            gap_ms: 100.0,
+        }
+    }
+
+    /// Sets the inter-interaction gap.
+    pub fn with_gap(mut self, gap_ms: f64) -> Self {
+        self.gap_ms = gap_ms;
+        self
+    }
+
+    /// Appends a gesture interaction, shifting its timestamps after
+    /// everything already scripted.
+    pub fn then_gesture(self, gesture: &Gesture, button: Button) -> Self {
+        self.then_events(gesture_events(gesture, button))
+    }
+
+    /// Appends a gesture interaction with a mid-gesture hold (see
+    /// [`gesture_events_with_hold`]).
+    pub fn then_gesture_with_hold(
+        self,
+        gesture: &Gesture,
+        button: Button,
+        at: usize,
+        hold_ms: f64,
+    ) -> Self {
+        self.then_events(gesture_events_with_hold(
+            gesture,
+            button,
+            Some((at, hold_ms)),
+        ))
+    }
+
+    /// Appends raw events, shifting their timestamps after everything
+    /// already scripted.
+    pub fn then_events(mut self, events: Vec<InputEvent>) -> Self {
+        let base = self.events.last().map(|e| e.t + self.gap_ms).unwrap_or(0.0);
+        let first = events.first().map(|e| e.t).unwrap_or(0.0);
+        for mut e in events {
+            e.t = e.t - first + base;
+            self.events.push(e);
+        }
+        self
+    }
+
+    /// Returns the composed event stream.
+    pub fn events(&self) -> &[InputEvent] {
+        &self.events
+    }
+
+    /// Consumes the script, returning the events.
+    pub fn into_events(self) -> Vec<InputEvent> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grandma_geom::Point;
+
+    fn g3() -> Gesture {
+        Gesture::from_points(vec![
+            Point::new(0.0, 0.0, 0.0),
+            Point::new(5.0, 0.0, 10.0),
+            Point::new(10.0, 0.0, 20.0),
+        ])
+    }
+
+    #[test]
+    fn gesture_events_bracket_with_down_up() {
+        let events = gesture_events(&g3(), Button::Left);
+        assert_eq!(events.len(), 4);
+        assert!(events[0].is_down());
+        assert_eq!(events[1].kind, EventKind::MouseMove);
+        assert!(events[3].is_up());
+        assert_eq!(events[3].x, 10.0);
+        assert!(events[3].t > events[2].t);
+    }
+
+    #[test]
+    fn hold_shifts_subsequent_timestamps() {
+        let events = gesture_events_with_hold(&g3(), Button::Left, Some((1, 300.0)));
+        assert_eq!(events[1].t, 10.0);
+        assert_eq!(events[2].t, 320.0);
+        assert_eq!(events[3].t, 321.0);
+    }
+
+    #[test]
+    fn script_concatenates_with_gap() {
+        let script = EventScript::new()
+            .with_gap(50.0)
+            .then_gesture(&g3(), Button::Left)
+            .then_gesture(&g3(), Button::Left);
+        let events = script.events();
+        assert_eq!(events.len(), 8);
+        // Second interaction starts one gap after the first ended.
+        assert_eq!(events[4].t, events[3].t + 50.0);
+        assert!(events.windows(2).all(|w| w[0].t < w[1].t));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty gesture")]
+    fn empty_gesture_panics() {
+        let _ = gesture_events(&Gesture::new(), Button::Left);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hold_index_out_of_range_panics() {
+        let _ = gesture_events_with_hold(&g3(), Button::Left, Some((7, 100.0)));
+    }
+}

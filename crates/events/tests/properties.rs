@@ -1,0 +1,136 @@
+//! Property-based tests for the event substrate.
+
+use grandma_events::{
+    gesture_events, gesture_events_with_hold, Button, DwellDetector, EventKind, EventQueue,
+    InputEvent,
+};
+use grandma_geom::{Gesture, Point};
+use proptest::prelude::*;
+
+fn gesture_strategy() -> impl Strategy<Value = Gesture> {
+    proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..30).prop_map(|coords| {
+        Gesture::from_points(
+            coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| Point::new(x, y, i as f64 * 12.0))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn queue_pops_in_nondecreasing_time_order(times in proptest::collection::vec(0.0f64..10_000.0, 1..50)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.push(InputEvent::new(EventKind::MouseMove, 0.0, 0.0, t));
+        }
+        let drained = q.drain_ordered();
+        prop_assert_eq!(drained.len(), times.len());
+        for w in drained.windows(2) {
+            prop_assert!(w[0].t <= w[1].t);
+        }
+    }
+
+    #[test]
+    fn gesture_events_preserve_point_order_and_positions(g in gesture_strategy()) {
+        let events = gesture_events(&g, Button::Left);
+        prop_assert_eq!(events.len(), g.len() + 1);
+        prop_assert!(events[0].is_down());
+        prop_assert!(events.last().unwrap().is_up());
+        for (e, p) in events.iter().zip(g.points()) {
+            prop_assert_eq!(e.x, p.x);
+            prop_assert_eq!(e.y, p.y);
+            prop_assert_eq!(e.t, p.t);
+        }
+    }
+
+    #[test]
+    fn hold_only_shifts_times_not_positions(g in gesture_strategy(), at in 0usize..29, hold in 1.0f64..2_000.0) {
+        prop_assume!(at < g.len());
+        let plain = gesture_events(&g, Button::Left);
+        let held = gesture_events_with_hold(&g, Button::Left, Some((at, hold)));
+        prop_assert_eq!(plain.len(), held.len());
+        for (a, b) in plain.iter().zip(held.iter()) {
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.x, b.x);
+            prop_assert_eq!(a.y, b.y);
+            prop_assert!(b.t >= a.t);
+            prop_assert!(b.t - a.t <= hold + 1e-9);
+        }
+        // Timestamps stay nondecreasing.
+        for w in held.windows(2) {
+            prop_assert!(w[0].t <= w[1].t);
+        }
+    }
+
+    #[test]
+    fn dwell_timeouts_only_fire_with_button_down(g in gesture_strategy(), hold in 0.0f64..1_000.0, at in 0usize..29) {
+        prop_assume!(at < g.len());
+        let events = gesture_events_with_hold(&g, Button::Left, Some((at, hold)));
+        let mut dwell = DwellDetector::paper_default();
+        let expanded = dwell.expand(&events);
+        // Timeouts appear only between the down and the up, and only when
+        // the hold was long enough.
+        let down_t = expanded.iter().find(|e| e.is_down()).unwrap().t;
+        let up_t = expanded.iter().find(|e| e.is_up()).unwrap().t;
+        for e in expanded.iter().filter(|e| e.kind == EventKind::Timeout) {
+            prop_assert!(e.t >= down_t && e.t <= up_t);
+        }
+        // Every timeout is justified: it fires exactly 200 ms after some
+        // event position that was followed by >= 200 ms without a
+        // significant (>= 3 px) move. Model the detector's notion of
+        // "last significant move" directly.
+        let mut last_sig: Option<(f64, f64, f64)> = None;
+        let mut justified_times = Vec::new();
+        for e in &events {
+            match e.kind {
+                EventKind::MouseDown { .. } => last_sig = Some((e.x, e.y, e.t)),
+                EventKind::MouseMove => {
+                    if let Some((x, y, t)) = last_sig {
+                        let dx = e.x - x;
+                        let dy = e.y - y;
+                        if e.t - t >= 200.0 {
+                            justified_times.push(t + 200.0);
+                        }
+                        if (dx * dx + dy * dy).sqrt() >= 3.0 {
+                            last_sig = Some((e.x, e.y, e.t));
+                        }
+                    }
+                }
+                EventKind::MouseUp { .. } => {
+                    if let Some((_, _, t)) = last_sig {
+                        if e.t - t >= 200.0 {
+                            justified_times.push(t + 200.0);
+                        }
+                    }
+                    last_sig = None;
+                }
+                EventKind::Timeout => {}
+            }
+        }
+        for e in expanded.iter().filter(|e| e.kind == EventKind::Timeout) {
+            prop_assert!(
+                justified_times.iter().any(|&t| (t - e.t).abs() < 1e-6),
+                "timeout at {} not justified by any 200 ms stall",
+                e.t
+            );
+        }
+    }
+
+    #[test]
+    fn dwell_expansion_preserves_the_original_events(g in gesture_strategy()) {
+        let events = gesture_events(&g, Button::Left);
+        let mut dwell = DwellDetector::paper_default();
+        let expanded = dwell.expand(&events);
+        let originals: Vec<&InputEvent> = expanded
+            .iter()
+            .filter(|e| e.kind != EventKind::Timeout)
+            .collect();
+        prop_assert_eq!(originals.len(), events.len());
+        for (a, b) in originals.iter().zip(events.iter()) {
+            prop_assert_eq!(**a, *b);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Draggable control points: the `edit` gesture's direct-manipulation
+//! side.
+//!
+//! §2: "This gesture brings up control points on an object. The control
+//! points do not themselves respond to gesture, but can be dragged around
+//! directly (scaling the object accordingly). This illustrates that
+//! systems built with GRANDMA can combine gesture and direct manipulation
+//! in the same interface."
+//!
+//! Each control point becomes a small toolkit view with its own
+//! [`ControlPointHandler`]; because per-view handlers are queried before
+//! the root gesture handler, pressing a control point drags it while
+//! pressing anywhere else still gestures.
+
+use grandma_events::{Button, EventKind, InputEvent};
+use grandma_geom::{BBox, Point};
+use grandma_toolkit::{Ctx, EventHandler, HandlerResult, ViewId, ViewStore};
+
+use crate::scene::ObjectId;
+use crate::semantics::SceneRef;
+
+/// Half-size of a control point's view, in pixels.
+pub const CONTROL_HALF: f64 = 4.0;
+
+/// The view class name used for control-point views.
+pub const CONTROL_CLASS: &str = "GdpControlPoint";
+
+/// Drags one control point of one scene object, reshaping it live.
+pub struct ControlPointHandler {
+    scene: SceneRef,
+    object: ObjectId,
+    index: usize,
+    view: ViewId,
+    dragging: bool,
+}
+
+impl ControlPointHandler {
+    /// Creates a handler for control point `index` of `object`, shown as
+    /// toolkit view `view`.
+    pub fn new(scene: SceneRef, object: ObjectId, index: usize, view: ViewId) -> Self {
+        Self {
+            scene,
+            object,
+            index,
+            view,
+            dragging: false,
+        }
+    }
+}
+
+impl EventHandler for ControlPointHandler {
+    fn name(&self) -> &'static str {
+        "control-point"
+    }
+
+    fn wants(&self, event: &InputEvent, target: Option<ViewId>, _views: &ViewStore) -> bool {
+        match event.kind {
+            EventKind::MouseDown { button } => button == Button::Left && target == Some(self.view),
+            _ => self.dragging,
+        }
+    }
+
+    fn handle(&mut self, event: &InputEvent, ctx: &mut Ctx<'_>) -> HandlerResult {
+        match event.kind {
+            EventKind::MouseDown {
+                button: Button::Left,
+            } => {
+                self.dragging = true;
+                HandlerResult::Consumed
+            }
+            EventKind::MouseMove if self.dragging => {
+                let to = Point::xy(event.x, event.y);
+                let mut scene = self.scene.borrow_mut();
+                if let Some(obj) = scene.get_mut(self.object) {
+                    obj.shape.move_control_point(self.index, to);
+                }
+                drop(scene);
+                if let Some(view) = ctx.views.get_mut(self.view) {
+                    view.bounds = BBox::from_corners(
+                        event.x - CONTROL_HALF,
+                        event.y - CONTROL_HALF,
+                        event.x + CONTROL_HALF,
+                        event.y + CONTROL_HALF,
+                    );
+                }
+                HandlerResult::Consumed
+            }
+            EventKind::MouseUp {
+                button: Button::Left,
+            } if self.dragging => {
+                self.dragging = false;
+                HandlerResult::Consumed
+            }
+            _ => {
+                if self.dragging {
+                    HandlerResult::Consumed
+                } else {
+                    HandlerResult::Ignored
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::Scene;
+    use crate::shape::Shape;
+    use grandma_toolkit::{handler_ref, Interface};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn setup() -> (Interface, SceneRef, ObjectId, ViewId) {
+        let scene: SceneRef = Rc::new(RefCell::new(Scene::new()));
+        let id = scene
+            .borrow_mut()
+            .create(Shape::line(Point::xy(0.0, 0.0), Point::xy(40.0, 0.0)));
+        let mut interface = Interface::new();
+        // A view over the second endpoint (control point index 1).
+        let view = interface
+            .views_mut()
+            .add_view(CONTROL_CLASS, BBox::from_corners(36.0, -4.0, 44.0, 4.0));
+        let handler = handler_ref(ControlPointHandler::new(scene.clone(), id, 1, view));
+        interface.attach_view_handler(view, handler);
+        (interface, scene, id, view)
+    }
+
+    fn down(x: f64, y: f64, t: f64) -> InputEvent {
+        InputEvent::new(
+            EventKind::MouseDown {
+                button: Button::Left,
+            },
+            x,
+            y,
+            t,
+        )
+    }
+    fn mv(x: f64, y: f64, t: f64) -> InputEvent {
+        InputEvent::new(EventKind::MouseMove, x, y, t)
+    }
+    fn up(x: f64, y: f64, t: f64) -> InputEvent {
+        InputEvent::new(
+            EventKind::MouseUp {
+                button: Button::Left,
+            },
+            x,
+            y,
+            t,
+        )
+    }
+
+    #[test]
+    fn dragging_the_control_point_reshapes_the_object() {
+        let (mut interface, scene, id, _) = setup();
+        interface.dispatch(&down(40.0, 0.0, 0.0));
+        interface.dispatch(&mv(40.0, 30.0, 10.0));
+        interface.dispatch(&up(40.0, 30.0, 20.0));
+        let scene = scene.borrow();
+        match &scene.get(id).unwrap().shape {
+            Shape::Line { p1, .. } => {
+                assert_eq!((p1.x, p1.y), (40.0, 30.0));
+            }
+            _ => unreachable!(),
+        };
+    }
+
+    #[test]
+    fn control_view_follows_the_drag() {
+        let (mut interface, _, _, view) = setup();
+        interface.dispatch(&down(40.0, 0.0, 0.0));
+        interface.dispatch(&mv(10.0, 10.0, 10.0));
+        interface.dispatch(&up(10.0, 10.0, 20.0));
+        let bounds = interface.views().get(view).unwrap().bounds;
+        let c = bounds.center();
+        assert_eq!((c.x, c.y), (10.0, 10.0));
+    }
+
+    #[test]
+    fn presses_elsewhere_are_ignored() {
+        let (mut interface, scene, id, _) = setup();
+        assert_eq!(interface.dispatch(&down(200.0, 200.0, 0.0)), None);
+        interface.dispatch(&mv(210.0, 200.0, 10.0));
+        let scene = scene.borrow();
+        match &scene.get(id).unwrap().shape {
+            Shape::Line { p1, .. } => assert_eq!(p1.x, 40.0),
+            _ => unreachable!(),
+        };
+    }
+
+    #[test]
+    fn drag_stops_at_mouse_up() {
+        let (mut interface, scene, id, _) = setup();
+        interface.dispatch(&down(40.0, 0.0, 0.0));
+        interface.dispatch(&up(40.0, 0.0, 10.0));
+        interface.dispatch(&mv(100.0, 100.0, 20.0));
+        let scene = scene.borrow();
+        match &scene.get(id).unwrap().shape {
+            Shape::Line { p1, .. } => assert_eq!(p1.x, 40.0),
+            _ => unreachable!(),
+        };
+    }
+}

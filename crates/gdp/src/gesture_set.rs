@@ -1,0 +1,325 @@
+//! Figure 3's gesture classes with their interaction semantics.
+//!
+//! Each class below records, exactly as Figure 3's table does, which
+//! parameters bind at recognition time (`recog`) and which are determined
+//! interactively during manipulation (`manip`):
+//!
+//! | gesture | at recognition | by manipulation |
+//! |---|---|---|
+//! | rectangle | corner 1 | corner 2 |
+//! | ellipse | center | size / eccentricity |
+//! | line | endpoint 1 | endpoint 2 |
+//! | group | enclosed objects | touch other objects to add |
+//! | copy | object to copy | location of copy |
+//! | move | object to move | location |
+//! | rotate-scale | center of rotation, drag point | size / orientation |
+//! | delete | object to delete | touch additional objects to delete |
+//! | edit | object whose control points show | (control points drag directly) |
+//! | text | location | — |
+//! | dot | location | — |
+//!
+//! The class order matches `grandma_synth::datasets::gdp`:
+//! line, rectangle, ellipse, group, text, delete, edit, move,
+//! rotate-scale, copy, dot.
+
+use grandma_sem::{Expr, GestureSemantics};
+use grandma_toolkit::GestureClass;
+
+fn xy(x_attr: &str, y_attr: &str) -> Vec<Expr> {
+    vec![Expr::attr(x_attr), Expr::attr(y_attr)]
+}
+
+/// The eleven GDP gesture classes wired to [`crate::GdpApp`] messages, in
+/// the dataset's class order.
+pub fn gdp_gesture_classes() -> Vec<GestureClass> {
+    vec![
+        // line: endpoint 1 at recognition, endpoint 2 rubberbands.
+        GestureClass::with_semantics(
+            "line",
+            GestureSemantics {
+                recog: Expr::send(
+                    Expr::send(Expr::var("view"), "createLine", vec![]),
+                    "setEndpoint:x:y:",
+                    vec![Expr::num(0.0), Expr::attr("startX"), Expr::attr("startY")],
+                ),
+                manip: Expr::send(
+                    Expr::var("recog"),
+                    "setEndpoint:x:y:",
+                    vec![
+                        Expr::num(1.0),
+                        Expr::attr("currentX"),
+                        Expr::attr("currentY"),
+                    ],
+                ),
+                done: Expr::Nil,
+            },
+        ),
+        // rectangle: the paper's §3.2 example, verbatim.
+        GestureClass::with_semantics(
+            "rectangle",
+            GestureSemantics {
+                recog: Expr::send(
+                    Expr::send(Expr::var("view"), "createRect", vec![]),
+                    "setEndpoint:x:y:",
+                    vec![Expr::num(0.0), Expr::attr("startX"), Expr::attr("startY")],
+                ),
+                manip: Expr::send(
+                    Expr::var("recog"),
+                    "setEndpoint:x:y:",
+                    vec![
+                        Expr::num(1.0),
+                        Expr::attr("currentX"),
+                        Expr::attr("currentY"),
+                    ],
+                ),
+                done: Expr::Nil,
+            },
+        ),
+        // ellipse: center at recognition; dragging sets size and
+        // eccentricity. The radius message recomputes from center to the
+        // current mouse point via the interpreter-visible attributes; the
+        // center is rebound through `recog`'s stored handle.
+        GestureClass::with_semantics(
+            "ellipse",
+            GestureSemantics {
+                recog: Expr::seq(vec![
+                    Expr::assign(
+                        "recog_e",
+                        Expr::send(Expr::var("view"), "createEllipse", vec![]),
+                    ),
+                    Expr::send(
+                        Expr::var("recog_e"),
+                        "setCenterX:y:",
+                        xy("centerX", "centerY"),
+                    ),
+                    Expr::send(
+                        Expr::var("recog_e"),
+                        "setRadiusX:y:",
+                        xy("halfWidth", "halfHeight"),
+                    ),
+                    Expr::var("recog_e"),
+                ]),
+                manip: Expr::send(
+                    Expr::var("recog"),
+                    "stretchToX:y:",
+                    xy("currentX", "currentY"),
+                ),
+                done: Expr::Nil,
+            },
+        ),
+        // group: the enclosed objects bind at recognition; touching more
+        // objects during manipulation adds them.
+        GestureClass::with_semantics(
+            "group",
+            GestureSemantics {
+                recog: Expr::send(
+                    Expr::var("view"),
+                    "groupEnclosedX0:y0:x1:y1:",
+                    vec![
+                        Expr::attr("bboxMinX"),
+                        Expr::attr("bboxMinY"),
+                        Expr::attr("bboxMaxX"),
+                        Expr::attr("bboxMaxY"),
+                    ],
+                ),
+                manip: Expr::send(Expr::var("recog"), "touchAt:y:", xy("currentX", "currentY")),
+                done: Expr::Nil,
+            },
+        ),
+        // text: location only.
+        GestureClass::with_semantics(
+            "text",
+            GestureSemantics {
+                recog: Expr::send(Expr::var("view"), "createTextAt:y:", xy("startX", "startY")),
+                manip: Expr::Nil,
+                done: Expr::Nil,
+            },
+        ),
+        // delete: the object at the gesture start dies at recognition;
+        // anything touched during manipulation dies too.
+        GestureClass::with_semantics(
+            "delete",
+            GestureSemantics {
+                recog: Expr::send(Expr::var("view"), "deleteAt:y:", xy("startX", "startY")),
+                manip: Expr::send(Expr::var("view"), "deleteAt:y:", xy("currentX", "currentY")),
+                done: Expr::Nil,
+            },
+        ),
+        // edit: control points appear; they are dragged directly (a drag
+        // handler, not gesture semantics — §2's point that both styles
+        // coexist).
+        GestureClass::with_semantics(
+            "edit",
+            GestureSemantics {
+                recog: Expr::send(Expr::var("view"), "editAt:y:", xy("startX", "startY")),
+                manip: Expr::Nil,
+                done: Expr::Nil,
+            },
+        ),
+        // move: pick at recognition, drag during manipulation.
+        GestureClass::with_semantics(
+            "move",
+            GestureSemantics {
+                recog: Expr::send(Expr::var("view"), "pickAt:y:", xy("startX", "startY")),
+                manip: Expr::send(
+                    Expr::var("recog"),
+                    "moveFromX:y:toX:y:",
+                    vec![
+                        Expr::attr("prevX"),
+                        Expr::attr("prevY"),
+                        Expr::attr("currentX"),
+                        Expr::attr("currentY"),
+                    ],
+                ),
+                done: Expr::Nil,
+            },
+        ),
+        // rotate-scale: "The initial point ... determines the center of
+        // rotation; the final point ... will be dragged around to
+        // interactively manipulate the object's size and orientation."
+        GestureClass::with_semantics(
+            "rotate-scale",
+            GestureSemantics {
+                recog: Expr::send(Expr::var("view"), "pickAt:y:", xy("startX", "startY")),
+                manip: Expr::send(
+                    Expr::var("recog"),
+                    "rotateScalePivotX:y:fromX:y:toX:y:",
+                    vec![
+                        Expr::attr("startX"),
+                        Expr::attr("startY"),
+                        Expr::attr("prevX"),
+                        Expr::attr("prevY"),
+                        Expr::attr("currentX"),
+                        Expr::attr("currentY"),
+                    ],
+                ),
+                done: Expr::Nil,
+            },
+        ),
+        // copy: replicate at recognition, position during manipulation.
+        GestureClass::with_semantics(
+            "copy",
+            GestureSemantics {
+                recog: Expr::send(Expr::var("view"), "copyAt:y:", xy("startX", "startY")),
+                manip: Expr::send(
+                    Expr::var("recog"),
+                    "moveFromX:y:toX:y:",
+                    vec![
+                        Expr::attr("prevX"),
+                        Expr::attr("prevY"),
+                        Expr::attr("currentX"),
+                        Expr::attr("currentY"),
+                    ],
+                ),
+                done: Expr::Nil,
+            },
+        ),
+        // dot: location only.
+        GestureClass::with_semantics(
+            "dot",
+            GestureSemantics {
+                recog: Expr::send(Expr::var("view"), "createDotAt:y:", xy("startX", "startY")),
+                manip: Expr::Nil,
+                done: Expr::Nil,
+            },
+        ),
+    ]
+}
+
+/// The "modified GDP" of §2: the rectangle's orientation comes from the
+/// gesture's initial angle, and the line's thickness from the gesture's
+/// length.
+pub fn modified_gdp_gesture_classes() -> Vec<GestureClass> {
+    let mut classes = gdp_gesture_classes();
+    // line: thickness from gesture length (scaled down to a stroke width).
+    classes[0].semantics.recog = Expr::seq(vec![
+        Expr::assign(
+            "recog_l",
+            Expr::send(Expr::var("view"), "createLine", vec![]),
+        ),
+        Expr::send(
+            Expr::var("recog_l"),
+            "setEndpoint:x:y:",
+            vec![Expr::num(0.0), Expr::attr("startX"), Expr::attr("startY")],
+        ),
+        Expr::send(
+            Expr::var("recog_l"),
+            "setThicknessFromLength:",
+            vec![Expr::attr("length")],
+        ),
+        Expr::var("recog_l"),
+    ]);
+    // rectangle: orientation from the initial angle.
+    classes[1].semantics.recog = Expr::seq(vec![
+        Expr::assign(
+            "recog_r",
+            Expr::send(Expr::var("view"), "createRect", vec![]),
+        ),
+        Expr::send(
+            Expr::var("recog_r"),
+            "setEndpoint:x:y:",
+            vec![Expr::num(0.0), Expr::attr("startX"), Expr::attr("startY")],
+        ),
+        Expr::send(
+            Expr::var("recog_r"),
+            "setOrientation:",
+            vec![Expr::attr("initialAngle")],
+        ),
+        Expr::var("recog_r"),
+    ]);
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_order_matches_dataset() {
+        let classes = gdp_gesture_classes();
+        let names: Vec<&str> = classes.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "line",
+                "rectangle",
+                "ellipse",
+                "group",
+                "text",
+                "delete",
+                "edit",
+                "move",
+                "rotate-scale",
+                "copy",
+                "dot"
+            ]
+        );
+    }
+
+    #[test]
+    fn rectangle_semantics_match_paper_example() {
+        let classes = gdp_gesture_classes();
+        let rect = &classes[1].semantics;
+        // recog sends createRect to view, then setEndpoint:0.
+        match &rect.recog {
+            Expr::Send { selector, args, .. } => {
+                assert_eq!(selector, "setEndpoint:x:y:");
+                assert_eq!(args[0], Expr::num(0.0));
+            }
+            _ => panic!("expected send"),
+        }
+        // done is nil ("the processing was done by manip").
+        assert_eq!(rect.done, Expr::Nil);
+    }
+
+    #[test]
+    fn modified_classes_map_attributes() {
+        let classes = modified_gdp_gesture_classes();
+        let line_recog = format!("{:?}", classes[0].semantics.recog);
+        assert!(line_recog.contains("setThicknessFromLength:"));
+        assert!(line_recog.contains("length"));
+        let rect_recog = format!("{:?}", classes[1].semantics.recog);
+        assert!(rect_recog.contains("setOrientation:"));
+        assert!(rect_recog.contains("initialAngle"));
+    }
+}

@@ -1,0 +1,51 @@
+//! GDP: the gesture-based drawing program of §2.
+//!
+//! "GDP is a gesture-based drawing program based on (the non-gesture-based
+//! program) DP. GDP is capable of producing drawings made with lines,
+//! rectangles, ellipses, and text."
+//!
+//! The crate provides:
+//!
+//! * [`Shape`]/[`Scene`] — the drawing model: lines (with thickness),
+//!   rectangles (with orientation), ellipses, text, dots, grouping,
+//!   copying, rotate-scale, deletion, and control-point editing.
+//! * [`GdpApp`] — the scene exposed as a semantic object
+//!   (`grandma-sem`), answering `createRect`, `pickAt:y:`, `deleteAt:y:`,
+//!   `group:` and friends, so gesture semantics can drive it exactly the
+//!   way §3.2's Objective-C fragments drive GRANDMA.
+//! * [`gdp_gesture_classes`] — Figure 3's eleven gestures with their
+//!   `recog`/`manip`/`done` semantics, including which parameters bind at
+//!   recognition time and which during manipulation.
+//! * [`Gdp`] — the assembled application: a `grandma-toolkit` interface
+//!   with a gesture handler (trained on the synthetic GDP set) plus a drag
+//!   handler for control points, driven entirely by scripted events.
+//! * [`render`] — ASCII and SVG renderings of the scene for examples and
+//!   golden tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use grandma_gdp::{Scene, Shape};
+//! use grandma_geom::Point;
+//!
+//! let mut scene = Scene::new();
+//! let id = scene.create(Shape::line(Point::xy(0.0, 0.0), Point::xy(10.0, 0.0)));
+//! assert_eq!(scene.len(), 1);
+//! scene.translate(id, 5.0, 5.0);
+//! assert_eq!(scene.get(id).unwrap().shape.bbox().min_x, 5.0);
+//! ```
+
+mod app;
+mod control;
+mod gesture_set;
+pub mod render;
+mod scene;
+mod semantics;
+mod shape;
+
+pub use app::{Gdp, GdpConfig};
+pub use control::{ControlPointHandler, CONTROL_CLASS, CONTROL_HALF};
+pub use gesture_set::{gdp_gesture_classes, modified_gdp_gesture_classes};
+pub use scene::{ObjectId, Scene, SceneObject};
+pub use semantics::{GdpApp, ShapeHandle};
+pub use shape::Shape;

@@ -1,0 +1,204 @@
+//! Scene rendering: ASCII (for terminal examples and golden tests) and
+//! SVG (for visual inspection).
+
+use grandma_geom::Point;
+
+use crate::scene::Scene;
+use crate::shape::Shape;
+
+/// Renders the scene to an ASCII grid of `width × height` characters
+/// covering the given world rectangle. Y grows upward in world space, so
+/// the first output row is the top of the drawing.
+///
+/// Glyphs: lines `*`, rectangles `#`, ellipses `o`, text `T`, dots `@`,
+/// control points of the object being edited `+`.
+pub fn ascii(scene: &Scene, width: usize, height: usize, world: (f64, f64, f64, f64)) -> String {
+    let (wx0, wy0, wx1, wy1) = world;
+    let mut grid = vec![vec![' '; width]; height];
+    let plot = |x: f64, y: f64, ch: char, grid: &mut Vec<Vec<char>>| {
+        if wx1 <= wx0 || wy1 <= wy0 {
+            return;
+        }
+        let gx = ((x - wx0) / (wx1 - wx0) * (width as f64 - 1.0)).round();
+        let gy = ((y - wy0) / (wy1 - wy0) * (height as f64 - 1.0)).round();
+        if gx >= 0.0 && gy >= 0.0 && (gx as usize) < width && (gy as usize) < height {
+            // Flip y so larger world y is higher on screen.
+            grid[height - 1 - gy as usize][gx as usize] = ch;
+        }
+    };
+    for obj in scene.iter() {
+        match &obj.shape {
+            Shape::Line { p0, p1, .. } => {
+                for p in sample_segment(p0, p1) {
+                    plot(p.x, p.y, '*', &mut grid);
+                }
+            }
+            Shape::Rect { .. } => {
+                let corners = obj.shape.control_points();
+                for i in 0..4 {
+                    let a = corners[i];
+                    let b = corners[(i + 1) % 4];
+                    for p in sample_segment(&a, &b) {
+                        plot(p.x, p.y, '#', &mut grid);
+                    }
+                }
+            }
+            Shape::Ellipse { center, rx, ry } => {
+                let n = 64;
+                for k in 0..n {
+                    let a = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                    plot(
+                        center.x + rx * a.cos(),
+                        center.y + ry * a.sin(),
+                        'o',
+                        &mut grid,
+                    );
+                }
+            }
+            Shape::Text { pos, .. } => plot(pos.x, pos.y, 'T', &mut grid),
+            Shape::Dot { pos } => plot(pos.x, pos.y, '@', &mut grid),
+        }
+    }
+    if let Some(editing) = scene.editing() {
+        if let Some(obj) = scene.get(editing) {
+            for p in obj.shape.control_points() {
+                plot(p.x, p.y, '+', &mut grid);
+            }
+        }
+    }
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in grid {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the scene as a standalone SVG document.
+pub fn svg(scene: &Scene) -> String {
+    let b = scene.bbox();
+    let (x0, y0, w, h) = if b.is_empty() {
+        (0.0, 0.0, 100.0, 100.0)
+    } else {
+        (
+            b.min_x - 10.0,
+            b.min_y - 10.0,
+            b.width() + 20.0,
+            b.height() + 20.0,
+        )
+    };
+    let mut out = String::new();
+    // World y grows upward; SVG y grows downward, so flip via transform.
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"{x0} {} {w} {h}\">\n",
+        -(y0 + h),
+    ));
+    out.push_str("<g transform=\"scale(1,-1)\" fill=\"none\" stroke=\"black\">\n");
+    for obj in scene.iter() {
+        match &obj.shape {
+            Shape::Line { p0, p1, thickness } => {
+                out.push_str(&format!(
+                    "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke-width=\"{}\"/>\n",
+                    p0.x, p0.y, p1.x, p1.y, thickness
+                ));
+            }
+            Shape::Rect { .. } => {
+                let corners = obj.shape.control_points();
+                let pts: Vec<String> = corners.iter().map(|p| format!("{},{}", p.x, p.y)).collect();
+                out.push_str(&format!("<polygon points=\"{}\"/>\n", pts.join(" ")));
+            }
+            Shape::Ellipse { center, rx, ry } => {
+                out.push_str(&format!(
+                    "<ellipse cx=\"{}\" cy=\"{}\" rx=\"{}\" ry=\"{}\"/>\n",
+                    center.x, center.y, rx, ry
+                ));
+            }
+            Shape::Text { pos, content } => {
+                out.push_str(&format!(
+                    "<text x=\"{}\" y=\"{}\" transform=\"scale(1,-1)\" fill=\"black\" stroke=\"none\">{}</text>\n",
+                    pos.x, -pos.y, content
+                ));
+            }
+            Shape::Dot { pos } => {
+                out.push_str(&format!(
+                    "<circle cx=\"{}\" cy=\"{}\" r=\"1.5\" fill=\"black\"/>\n",
+                    pos.x, pos.y
+                ));
+            }
+        }
+    }
+    out.push_str("</g>\n</svg>\n");
+    out
+}
+
+fn sample_segment(a: &Point, b: &Point) -> Vec<Point> {
+    let n = (a.distance(b).ceil() as usize).max(1) * 2;
+    (0..=n).map(|i| a.lerp(b, i as f64 / n as f64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grandma_geom::Point;
+
+    #[test]
+    fn empty_scene_renders_blank_grid() {
+        let s = Scene::new();
+        let out = ascii(&s, 10, 4, (0.0, 0.0, 10.0, 4.0));
+        assert_eq!(out.lines().count(), 4);
+        assert!(out.chars().all(|c| c == ' ' || c == '\n'));
+    }
+
+    #[test]
+    fn line_renders_as_stars() {
+        let mut s = Scene::new();
+        s.create(Shape::line(Point::xy(0.0, 5.0), Point::xy(9.0, 5.0)));
+        let out = ascii(&s, 10, 11, (0.0, 0.0, 9.0, 10.0));
+        let star_row: Vec<&str> = out.lines().filter(|l| l.contains('*')).collect();
+        assert_eq!(star_row.len(), 1);
+        assert!(star_row[0].matches('*').count() >= 9);
+    }
+
+    #[test]
+    fn higher_world_y_is_higher_on_screen() {
+        let mut s = Scene::new();
+        s.create(Shape::Dot {
+            pos: Point::xy(5.0, 9.0),
+        });
+        let out = ascii(&s, 11, 10, (0.0, 0.0, 10.0, 9.0));
+        let first_line = out.lines().next().unwrap();
+        assert!(
+            first_line.contains('@'),
+            "dot at max y must be on the first row"
+        );
+    }
+
+    #[test]
+    fn editing_shows_control_points() {
+        let mut s = Scene::new();
+        let id = s.create(Shape::line(Point::xy(0.0, 0.0), Point::xy(8.0, 0.0)));
+        s.begin_edit(id);
+        let out = ascii(&s, 9, 3, (0.0, -1.0, 8.0, 1.0));
+        assert!(out.contains('+'));
+    }
+
+    #[test]
+    fn svg_contains_one_element_per_shape() {
+        let mut s = Scene::new();
+        s.create(Shape::line(Point::xy(0.0, 0.0), Point::xy(10.0, 0.0)));
+        s.create(Shape::ellipse(Point::xy(5.0, 5.0), 3.0, 2.0));
+        s.create(Shape::rect(Point::xy(0.0, 0.0), Point::xy(4.0, 4.0)));
+        let out = svg(&s);
+        assert!(out.contains("<line"));
+        assert!(out.contains("<ellipse"));
+        assert!(out.contains("<polygon"));
+        assert!(out.starts_with("<svg"));
+        assert!(out.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn svg_of_empty_scene_is_valid() {
+        let out = svg(&Scene::new());
+        assert!(out.contains("viewBox"));
+    }
+}

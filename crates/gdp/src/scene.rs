@@ -1,0 +1,404 @@
+//! The GDP drawing: an ordered collection of shapes with grouping.
+
+use grandma_geom::{BBox, Point, Transform};
+
+use crate::shape::Shape;
+
+/// Identifier of an object within a [`Scene`].
+pub type ObjectId = usize;
+
+/// One object in the scene.
+#[derive(Debug, Clone)]
+pub struct SceneObject {
+    /// The object's id.
+    pub id: ObjectId,
+    /// Its shape.
+    pub shape: Shape,
+    /// The composite (group) it belongs to, if any. Group ids are the id
+    /// of the group's representative — see [`Scene::group`].
+    pub group: Option<ObjectId>,
+}
+
+/// The drawing: objects in creation order, plus grouping and editing
+/// state.
+///
+/// Operations mirror GDP's gesture commands: create, delete (with
+/// touch-to-extend), copy, move, rotate-scale, group (with
+/// touch-to-extend), and control-point editing (the `edit` gesture).
+#[derive(Debug, Default)]
+pub struct Scene {
+    objects: Vec<SceneObject>,
+    next_id: ObjectId,
+    /// The object whose control points are showing (after an `edit`
+    /// gesture), if any.
+    editing: Option<ObjectId>,
+}
+
+impl Scene {
+    /// Creates an empty scene.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a shape; returns its id.
+    pub fn create(&mut self, shape: Shape) -> ObjectId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.objects.push(SceneObject {
+            id,
+            shape,
+            group: None,
+        });
+        id
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns `true` when the scene is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Returns an object.
+    pub fn get(&self, id: ObjectId) -> Option<&SceneObject> {
+        self.objects.iter().find(|o| o.id == id)
+    }
+
+    /// Returns an object mutably.
+    pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut SceneObject> {
+        self.objects.iter_mut().find(|o| o.id == id)
+    }
+
+    /// Iterates objects in creation (z) order.
+    pub fn iter(&self) -> impl Iterator<Item = &SceneObject> {
+        self.objects.iter()
+    }
+
+    /// The topmost object whose bounding box (expanded by `slop`) contains
+    /// the point — GDP's picking rule for move/copy/delete/rotate-scale
+    /// gesture starts.
+    pub fn pick(&self, x: f64, y: f64, slop: f64) -> Option<ObjectId> {
+        self.objects
+            .iter()
+            .rev()
+            .find(|o| o.shape.bbox().expanded(slop).contains(x, y))
+            .map(|o| o.id)
+    }
+
+    /// Deletes an object (and returns whether it existed). Deleting a
+    /// grouped object deletes the whole group, since GDP composites act as
+    /// single objects.
+    pub fn delete(&mut self, id: ObjectId) -> bool {
+        let Some(obj) = self.get(id) else {
+            return false;
+        };
+        match obj.group {
+            Some(g) => {
+                let before = self.objects.len();
+                self.objects.retain(|o| o.group != Some(g));
+                if self.editing.is_some_and(|e| self.get(e).is_none()) {
+                    self.editing = None;
+                }
+                before != self.objects.len()
+            }
+            None => {
+                self.objects.retain(|o| o.id != id);
+                if self.editing == Some(id) {
+                    self.editing = None;
+                }
+                true
+            }
+        }
+    }
+
+    /// Returns every member of `id`'s group (or just `id` when
+    /// ungrouped).
+    pub fn group_members(&self, id: ObjectId) -> Vec<ObjectId> {
+        match self.get(id).and_then(|o| o.group) {
+            Some(g) => self
+                .objects
+                .iter()
+                .filter(|o| o.group == Some(g))
+                .map(|o| o.id)
+                .collect(),
+            None => vec![id],
+        }
+    }
+
+    /// Forms a composite out of the given objects (the `group` gesture);
+    /// returns the group id (the lowest member id), or `None` when fewer
+    /// than two distinct objects result (a composite of one is not a
+    /// composite). Objects already in groups bring their whole group
+    /// along.
+    pub fn group(&mut self, ids: &[ObjectId]) -> Option<ObjectId> {
+        let mut members: Vec<ObjectId> = Vec::new();
+        for &id in ids {
+            if self.get(id).is_none() {
+                continue;
+            }
+            for m in self.group_members(id) {
+                if !members.contains(&m) {
+                    members.push(m);
+                }
+            }
+        }
+        if members.len() < 2 {
+            return None;
+        }
+        let gid = members.iter().min().copied()?;
+        for o in self.objects.iter_mut() {
+            if members.contains(&o.id) {
+                o.group = Some(gid);
+            }
+        }
+        Some(gid)
+    }
+
+    /// Adds an object (and its group) to an existing group — the
+    /// manipulation-phase "touching them" extension of the `group`
+    /// gesture.
+    pub fn add_to_group(&mut self, group: ObjectId, id: ObjectId) {
+        let members = self.group_members(id);
+        for o in self.objects.iter_mut() {
+            if members.contains(&o.id) {
+                o.group = Some(group);
+            }
+        }
+    }
+
+    /// Translates an object (with its group).
+    pub fn translate(&mut self, id: ObjectId, dx: f64, dy: f64) {
+        let members = self.group_members(id);
+        for o in self.objects.iter_mut() {
+            if members.contains(&o.id) {
+                o.shape.translate(dx, dy);
+            }
+        }
+    }
+
+    /// Copies an object (with its group), translated by `(dx, dy)`;
+    /// returns the id of the copy (group id for composites).
+    pub fn copy(&mut self, id: ObjectId, dx: f64, dy: f64) -> Option<ObjectId> {
+        let members = self.group_members(id);
+        if members.is_empty() || self.get(id).is_none() {
+            return None;
+        }
+        let mut new_ids = Vec::new();
+        for m in members {
+            let mut shape = self.get(m)?.shape.clone();
+            shape.translate(dx, dy);
+            new_ids.push(self.create(shape));
+        }
+        if new_ids.len() > 1 {
+            self.group(&new_ids)
+        } else {
+            new_ids.first().copied()
+        }
+    }
+
+    /// Applies a rotate-scale about a pivot so that the point that was at
+    /// `from` lands at `to` (GDP's rotate-scale manipulation: the final
+    /// gesture point is dragged around to set size and orientation
+    /// simultaneously).
+    pub fn rotate_scale(&mut self, id: ObjectId, pivot: Point, from: Point, to: Point) {
+        let r_from = pivot.distance(&from);
+        let r_to = pivot.distance(&to);
+        if r_from < 1e-9 {
+            return;
+        }
+        let scale = r_to / r_from;
+        let angle = pivot.angle_to(&to) - pivot.angle_to(&from);
+        let t = Transform::translation(pivot.x, pivot.y)
+            .then_inner(&Transform::rotation(angle))
+            .then_inner(&Transform::scale(scale))
+            .then_inner(&Transform::translation(-pivot.x, -pivot.y));
+        let members = self.group_members(id);
+        for o in self.objects.iter_mut() {
+            if members.contains(&o.id) {
+                o.shape.apply(&t);
+            }
+        }
+    }
+
+    /// Starts control-point editing of an object (the `edit` gesture).
+    pub fn begin_edit(&mut self, id: ObjectId) {
+        if self.get(id).is_some() {
+            self.editing = Some(id);
+        }
+    }
+
+    /// The object currently showing control points.
+    pub fn editing(&self) -> Option<ObjectId> {
+        self.editing
+    }
+
+    /// Stops editing.
+    pub fn end_edit(&mut self) {
+        self.editing = None;
+    }
+
+    /// The bounding box of the whole drawing.
+    pub fn bbox(&self) -> BBox {
+        let mut b = BBox::empty();
+        for o in &self.objects {
+            b.union(&o.shape.bbox());
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_at(scene: &mut Scene, x: f64) -> ObjectId {
+        scene.create(Shape::line(Point::xy(x, 0.0), Point::xy(x + 10.0, 0.0)))
+    }
+
+    #[test]
+    fn create_and_pick() {
+        let mut s = Scene::new();
+        let a = line_at(&mut s, 0.0);
+        let b = s.create(Shape::rect(
+            Point::xy(100.0, 100.0),
+            Point::xy(120.0, 120.0),
+        ));
+        assert_eq!(s.pick(5.0, 0.0, 2.0), Some(a));
+        assert_eq!(s.pick(110.0, 110.0, 0.0), Some(b));
+        assert_eq!(s.pick(500.0, 500.0, 0.0), None);
+    }
+
+    #[test]
+    fn pick_prefers_topmost() {
+        let mut s = Scene::new();
+        let _a = s.create(Shape::rect(Point::xy(0.0, 0.0), Point::xy(10.0, 10.0)));
+        let b = s.create(Shape::rect(Point::xy(0.0, 0.0), Point::xy(10.0, 10.0)));
+        assert_eq!(s.pick(5.0, 5.0, 0.0), Some(b));
+    }
+
+    #[test]
+    fn delete_removes_object() {
+        let mut s = Scene::new();
+        let a = line_at(&mut s, 0.0);
+        assert!(s.delete(a));
+        assert!(!s.delete(a));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn group_moves_as_one() {
+        let mut s = Scene::new();
+        let a = line_at(&mut s, 0.0);
+        let b = line_at(&mut s, 50.0);
+        let g = s.group(&[a, b]).unwrap();
+        assert_eq!(g, a.min(b));
+        s.translate(a, 0.0, 10.0);
+        assert_eq!(s.get(b).unwrap().shape.bbox().min_y, 10.0);
+    }
+
+    #[test]
+    fn group_of_groups_flattens() {
+        let mut s = Scene::new();
+        let a = line_at(&mut s, 0.0);
+        let b = line_at(&mut s, 50.0);
+        let c = line_at(&mut s, 100.0);
+        s.group(&[a, b]);
+        let g2 = s.group(&[a, c]).unwrap();
+        assert_eq!(s.group_members(g2).len(), 3);
+    }
+
+    #[test]
+    fn add_to_group_extends_composite() {
+        let mut s = Scene::new();
+        let a = line_at(&mut s, 0.0);
+        let b = line_at(&mut s, 50.0);
+        let c = line_at(&mut s, 100.0);
+        let g = s.group(&[a, b]).unwrap();
+        s.add_to_group(g, c);
+        assert_eq!(s.group_members(a).len(), 3);
+    }
+
+    #[test]
+    fn deleting_a_group_member_deletes_the_group() {
+        let mut s = Scene::new();
+        let a = line_at(&mut s, 0.0);
+        let b = line_at(&mut s, 50.0);
+        s.group(&[a, b]);
+        assert!(s.delete(a));
+        assert!(s.is_empty(), "composites act as single objects");
+    }
+
+    #[test]
+    fn copy_duplicates_with_offset() {
+        let mut s = Scene::new();
+        let a = line_at(&mut s, 0.0);
+        let copy = s.copy(a, 5.0, 5.0).unwrap();
+        assert_ne!(copy, a);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(copy).unwrap().shape.bbox().min_x, 5.0);
+    }
+
+    #[test]
+    fn copy_of_group_copies_all_members() {
+        let mut s = Scene::new();
+        let a = line_at(&mut s, 0.0);
+        let b = line_at(&mut s, 50.0);
+        s.group(&[a, b]);
+        let copy = s.copy(a, 0.0, 100.0).unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.group_members(copy).len(), 2);
+    }
+
+    #[test]
+    fn rotate_scale_doubles_size() {
+        let mut s = Scene::new();
+        let a = s.create(Shape::line(Point::xy(0.0, 0.0), Point::xy(10.0, 0.0)));
+        // Pivot at origin; the point previously at (10, 0) is dragged to
+        // (20, 0): pure 2x scale.
+        s.rotate_scale(
+            a,
+            Point::xy(0.0, 0.0),
+            Point::xy(10.0, 0.0),
+            Point::xy(20.0, 0.0),
+        );
+        assert_eq!(s.get(a).unwrap().shape.bbox().max_x, 20.0);
+    }
+
+    #[test]
+    fn rotate_scale_quarter_turn() {
+        let mut s = Scene::new();
+        let a = s.create(Shape::line(Point::xy(0.0, 0.0), Point::xy(10.0, 0.0)));
+        s.rotate_scale(
+            a,
+            Point::xy(0.0, 0.0),
+            Point::xy(10.0, 0.0),
+            Point::xy(0.0, 10.0),
+        );
+        let b = s.get(a).unwrap().shape.bbox();
+        assert!(b.max_y > 9.9 && b.width() < 0.1);
+    }
+
+    #[test]
+    fn editing_lifecycle() {
+        let mut s = Scene::new();
+        let a = line_at(&mut s, 0.0);
+        assert_eq!(s.editing(), None);
+        s.begin_edit(a);
+        assert_eq!(s.editing(), Some(a));
+        s.delete(a);
+        assert_eq!(s.editing(), None, "deleting the edited object ends editing");
+    }
+
+    #[test]
+    fn scene_bbox_unions_objects() {
+        let mut s = Scene::new();
+        line_at(&mut s, 0.0);
+        line_at(&mut s, 100.0);
+        let b = s.bbox();
+        assert_eq!(b.min_x, 0.0);
+        assert_eq!(b.max_x, 110.0);
+    }
+}

@@ -1,0 +1,605 @@
+//! GDP exposed to the gesture-semantics interpreter.
+//!
+//! [`GdpApp`] is the object bound to the `view` variable in GDP's gesture
+//! semantics (the paper's §3.2 example sends it `createRect`); shapes it
+//! creates or picks are returned as [`ShapeHandle`]s, which receive the
+//! follow-up messages (`setEndpoint:x:y:`, `moveFromX:y:toX:y:`, ...).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use grandma_geom::Point;
+use grandma_sem::{obj_ref, ObjRef, SemError, SemObject, Value};
+
+use crate::scene::{ObjectId, Scene};
+use crate::shape::Shape;
+
+/// Shared scene reference.
+pub type SceneRef = Rc<RefCell<Scene>>;
+
+/// Pick slop (pixels) used by `pickAt:y:`-style messages.
+const PICK_SLOP: f64 = 4.0;
+
+fn num_arg(selector: &str, args: &[Value], i: usize) -> Result<f64, SemError> {
+    args.get(i)
+        .and_then(Value::as_num)
+        .ok_or_else(|| SemError::bad_argument(selector, format!("argument {i} must be a number")))
+}
+
+/// The GDP application object, answering scene-level messages.
+///
+/// Selectors:
+///
+/// * `createLine` / `createRect` / `createEllipse` — create a degenerate
+///   shape (positioned by follow-up `setEndpoint:`/`setCenterX:` sends)
+///   and answer its [`ShapeHandle`].
+/// * `createTextAt:y:` / `createDotAt:y:` — create positioned shapes.
+/// * `pickAt:y:` — answer the handle of the topmost object near the
+///   point, or nil.
+/// * `copyAt:y:` — copy the object near the point; answer the copy's
+///   handle.
+/// * `deleteAt:y:` — delete the object near the point; answer whether
+///   anything died.
+/// * `group:` — group a list of shape handles; answer the group's handle.
+/// * `editAt:y:` — show control points on the object near the point.
+/// * `count` — number of live objects.
+pub struct GdpApp {
+    scene: SceneRef,
+}
+
+impl GdpApp {
+    /// Wraps a scene.
+    pub fn new(scene: SceneRef) -> Self {
+        Self { scene }
+    }
+
+    /// Creates a scene and the app object over it.
+    pub fn create() -> (SceneRef, ObjRef) {
+        let scene: SceneRef = Rc::new(RefCell::new(Scene::new()));
+        let app = obj_ref(GdpApp::new(scene.clone()));
+        (scene, app)
+    }
+
+    fn handle(&self, id: ObjectId) -> Value {
+        Value::Obj(obj_ref(ShapeHandle {
+            scene: self.scene.clone(),
+            id,
+        }))
+    }
+}
+
+impl SemObject for GdpApp {
+    fn type_name(&self) -> &'static str {
+        "GdpApp"
+    }
+
+    fn send(&mut self, selector: &str, args: &[Value]) -> Result<Value, SemError> {
+        match selector {
+            "createLine" => {
+                let id = self
+                    .scene
+                    .borrow_mut()
+                    .create(Shape::line(Point::xy(0.0, 0.0), Point::xy(0.0, 0.0)));
+                Ok(self.handle(id))
+            }
+            "createRect" => {
+                let id = self
+                    .scene
+                    .borrow_mut()
+                    .create(Shape::rect(Point::xy(0.0, 0.0), Point::xy(0.0, 0.0)));
+                Ok(self.handle(id))
+            }
+            "createEllipse" => {
+                let id =
+                    self.scene
+                        .borrow_mut()
+                        .create(Shape::ellipse(Point::xy(0.0, 0.0), 0.0, 0.0));
+                Ok(self.handle(id))
+            }
+            "createTextAt:y:" => {
+                let x = num_arg(selector, args, 0)?;
+                let y = num_arg(selector, args, 1)?;
+                let id = self.scene.borrow_mut().create(Shape::Text {
+                    pos: Point::xy(x, y),
+                    content: "text".to_string(),
+                });
+                Ok(self.handle(id))
+            }
+            "createDotAt:y:" => {
+                let x = num_arg(selector, args, 0)?;
+                let y = num_arg(selector, args, 1)?;
+                let id = self.scene.borrow_mut().create(Shape::Dot {
+                    pos: Point::xy(x, y),
+                });
+                Ok(self.handle(id))
+            }
+            "pickAt:y:" => {
+                let x = num_arg(selector, args, 0)?;
+                let y = num_arg(selector, args, 1)?;
+                let picked = self.scene.borrow().pick(x, y, PICK_SLOP);
+                Ok(picked.map_or(Value::Nil, |id| self.handle(id)))
+            }
+            "copyAt:y:" => {
+                let x = num_arg(selector, args, 0)?;
+                let y = num_arg(selector, args, 1)?;
+                let mut scene = self.scene.borrow_mut();
+                let copied = scene
+                    .pick(x, y, PICK_SLOP)
+                    .and_then(|id| scene.copy(id, 0.0, 0.0));
+                drop(scene);
+                Ok(copied.map_or(Value::Nil, |id| self.handle(id)))
+            }
+            "deleteAt:y:" => {
+                let x = num_arg(selector, args, 0)?;
+                let y = num_arg(selector, args, 1)?;
+                let mut scene = self.scene.borrow_mut();
+                let deleted = scene
+                    .pick(x, y, PICK_SLOP)
+                    .map(|id| scene.delete(id))
+                    .unwrap_or(false);
+                Ok(Value::Bool(deleted))
+            }
+            "group:" => {
+                let list = args
+                    .first()
+                    .and_then(Value::as_list)
+                    .ok_or_else(|| SemError::bad_argument(selector, "argument must be a list"))?;
+                let ids: Vec<ObjectId> = list
+                    .iter()
+                    .filter_map(Value::as_obj)
+                    .filter_map(|o| {
+                        o.borrow_mut()
+                            .send("id", &[])
+                            .ok()
+                            .and_then(|v| v.as_num())
+                            .map(|n| n as ObjectId)
+                    })
+                    .collect();
+                let gid = self.scene.borrow_mut().group(&ids);
+                Ok(gid.map_or(Value::Nil, |id| self.handle(id)))
+            }
+            "groupEnclosedX0:y0:x1:y1:" => {
+                // Group every scene object fully inside the rectangle —
+                // GDP's group operand ("enclosed objects") resolved
+                // against the scene, since GDP's shapes live in the scene
+                // rather than as toolkit views.
+                let x0 = num_arg(selector, args, 0)?;
+                let y0 = num_arg(selector, args, 1)?;
+                let x1 = num_arg(selector, args, 2)?;
+                let y1 = num_arg(selector, args, 3)?;
+                let region = grandma_geom::BBox::from_corners(x0, y0, x1, y1);
+                let mut scene = self.scene.borrow_mut();
+                let ids: Vec<ObjectId> = scene
+                    .iter()
+                    .filter(|o| region.contains_box(&o.shape.bbox()))
+                    .map(|o| o.id)
+                    .collect();
+                let gid = if ids.len() >= 2 {
+                    scene.group(&ids)
+                } else {
+                    None
+                };
+                drop(scene);
+                Ok(gid.map_or(Value::Nil, |id| self.handle(id)))
+            }
+            "editAt:y:" => {
+                let x = num_arg(selector, args, 0)?;
+                let y = num_arg(selector, args, 1)?;
+                let mut scene = self.scene.borrow_mut();
+                let picked = scene.pick(x, y, PICK_SLOP);
+                if let Some(id) = picked {
+                    scene.begin_edit(id);
+                }
+                drop(scene);
+                Ok(picked.map_or(Value::Nil, |id| self.handle(id)))
+            }
+            "count" => Ok(Value::Num(self.scene.borrow().len() as f64)),
+            _ => Err(SemError::unknown_selector(self.type_name(), selector)),
+        }
+    }
+}
+
+/// A handle to one scene object, receiving shape-level messages.
+///
+/// Selectors:
+///
+/// * `id` — the object id.
+/// * `setEndpoint:x:y:` — set endpoint 0/1 (lines) or corner 0/1
+///   (rectangles).
+/// * `setCenterX:y:` / `setRadiusX:y:` — ellipse geometry.
+/// * `setThickness:` / `setOrientation:` / `setText:` — the modified-GDP
+///   attribute mappings.
+/// * `moveFromX:y:toX:y:` — translate by the delta between two points
+///   (manipulation-phase dragging).
+/// * `rotateScalePivotX:y:fromX:y:toX:y:` — rotate-scale about a pivot so
+///   the grabbed point tracks the mouse.
+/// * `touchAt:y:` — add the object under the point to this handle's
+///   group (the `group` gesture's manipulation).
+/// * `delete` — remove the object.
+pub struct ShapeHandle {
+    scene: SceneRef,
+    /// The target object.
+    pub id: ObjectId,
+}
+
+impl ShapeHandle {
+    /// Creates a handle.
+    pub fn new(scene: SceneRef, id: ObjectId) -> Self {
+        Self { scene, id }
+    }
+
+    /// A fresh handle to the same object, for Objective-C-style
+    /// setters-return-self chaining (the paper's rectangle semantics bind
+    /// `recog` to the value of `[[view createRect] setEndpoint:...]`,
+    /// which must be the rectangle).
+    fn self_value(&self) -> Value {
+        Value::Obj(obj_ref(ShapeHandle {
+            scene: self.scene.clone(),
+            id: self.id,
+        }))
+    }
+}
+
+impl SemObject for ShapeHandle {
+    fn type_name(&self) -> &'static str {
+        "ShapeHandle"
+    }
+
+    fn send(&mut self, selector: &str, args: &[Value]) -> Result<Value, SemError> {
+        match selector {
+            "id" => Ok(Value::Num(self.id as f64)),
+            "setEndpoint:x:y:" => {
+                let which = num_arg(selector, args, 0)? as usize;
+                let x = num_arg(selector, args, 1)?;
+                let y = num_arg(selector, args, 2)?;
+                let mut scene = self.scene.borrow_mut();
+                let obj = scene
+                    .get_mut(self.id)
+                    .ok_or_else(|| SemError::app("object no longer exists"))?;
+                match &mut obj.shape {
+                    Shape::Line { p0, p1, .. } => {
+                        if which == 0 {
+                            *p0 = Point::xy(x, y);
+                        } else {
+                            *p1 = Point::xy(x, y);
+                        }
+                    }
+                    Shape::Rect { c0, c1, .. } => {
+                        if which == 0 {
+                            *c0 = Point::xy(x, y);
+                        } else {
+                            *c1 = Point::xy(x, y);
+                        }
+                    }
+                    _ => return Err(SemError::bad_argument(selector, "shape has no endpoints")),
+                }
+                Ok(self.self_value())
+            }
+            "setCenterX:y:" => {
+                let x = num_arg(selector, args, 0)?;
+                let y = num_arg(selector, args, 1)?;
+                let mut scene = self.scene.borrow_mut();
+                let obj = scene
+                    .get_mut(self.id)
+                    .ok_or_else(|| SemError::app("object no longer exists"))?;
+                if let Shape::Ellipse { center, .. } = &mut obj.shape {
+                    *center = Point::xy(x, y);
+                    Ok(self.self_value())
+                } else {
+                    Err(SemError::bad_argument(selector, "not an ellipse"))
+                }
+            }
+            "setRadiusX:y:" => {
+                let rx_new = num_arg(selector, args, 0)?.abs();
+                let ry_new = num_arg(selector, args, 1)?.abs();
+                let mut scene = self.scene.borrow_mut();
+                let obj = scene
+                    .get_mut(self.id)
+                    .ok_or_else(|| SemError::app("object no longer exists"))?;
+                if let Shape::Ellipse { rx, ry, .. } = &mut obj.shape {
+                    *rx = rx_new;
+                    *ry = ry_new;
+                    Ok(self.self_value())
+                } else {
+                    Err(SemError::bad_argument(selector, "not an ellipse"))
+                }
+            }
+            "stretchToX:y:" => {
+                // Ellipse manipulation: dragging the mouse sets size and
+                // eccentricity relative to the fixed center.
+                let x = num_arg(selector, args, 0)?;
+                let y = num_arg(selector, args, 1)?;
+                let mut scene = self.scene.borrow_mut();
+                let obj = scene
+                    .get_mut(self.id)
+                    .ok_or_else(|| SemError::app("object no longer exists"))?;
+                if let Shape::Ellipse { center, rx, ry } = &mut obj.shape {
+                    *rx = (x - center.x).abs();
+                    *ry = (y - center.y).abs();
+                    Ok(self.self_value())
+                } else {
+                    Err(SemError::bad_argument(selector, "not an ellipse"))
+                }
+            }
+            "setThicknessFromLength:" => {
+                // Modified GDP: gesture length maps to stroke thickness.
+                let length = num_arg(selector, args, 0)?;
+                let t = (length / 40.0).clamp(0.5, 10.0);
+                let mut scene = self.scene.borrow_mut();
+                let obj = scene
+                    .get_mut(self.id)
+                    .ok_or_else(|| SemError::app("object no longer exists"))?;
+                if let Shape::Line { thickness, .. } = &mut obj.shape {
+                    *thickness = t;
+                    Ok(self.self_value())
+                } else {
+                    Err(SemError::bad_argument(selector, "not a line"))
+                }
+            }
+            "setThickness:" => {
+                let t = num_arg(selector, args, 0)?.max(0.1);
+                let mut scene = self.scene.borrow_mut();
+                let obj = scene
+                    .get_mut(self.id)
+                    .ok_or_else(|| SemError::app("object no longer exists"))?;
+                if let Shape::Line { thickness, .. } = &mut obj.shape {
+                    *thickness = t;
+                    Ok(self.self_value())
+                } else {
+                    Err(SemError::bad_argument(selector, "not a line"))
+                }
+            }
+            "setOrientation:" => {
+                let angle = num_arg(selector, args, 0)?;
+                let mut scene = self.scene.borrow_mut();
+                let obj = scene
+                    .get_mut(self.id)
+                    .ok_or_else(|| SemError::app("object no longer exists"))?;
+                if let Shape::Rect { orientation, .. } = &mut obj.shape {
+                    *orientation = angle;
+                    Ok(self.self_value())
+                } else {
+                    Err(SemError::bad_argument(selector, "not a rectangle"))
+                }
+            }
+            "setText:" => {
+                let text = args
+                    .first()
+                    .and_then(|v| v.as_str().map(str::to_string))
+                    .ok_or_else(|| SemError::bad_argument(selector, "argument must be a string"))?;
+                let mut scene = self.scene.borrow_mut();
+                let obj = scene
+                    .get_mut(self.id)
+                    .ok_or_else(|| SemError::app("object no longer exists"))?;
+                if let Shape::Text { content, .. } = &mut obj.shape {
+                    *content = text;
+                    Ok(self.self_value())
+                } else {
+                    Err(SemError::bad_argument(selector, "not a text object"))
+                }
+            }
+            "moveFromX:y:toX:y:" => {
+                let fx = num_arg(selector, args, 0)?;
+                let fy = num_arg(selector, args, 1)?;
+                let tx = num_arg(selector, args, 2)?;
+                let ty = num_arg(selector, args, 3)?;
+                self.scene.borrow_mut().translate(self.id, tx - fx, ty - fy);
+                Ok(self.self_value())
+            }
+            "rotateScalePivotX:y:fromX:y:toX:y:" => {
+                let px = num_arg(selector, args, 0)?;
+                let py = num_arg(selector, args, 1)?;
+                let fx = num_arg(selector, args, 2)?;
+                let fy = num_arg(selector, args, 3)?;
+                let tx = num_arg(selector, args, 4)?;
+                let ty = num_arg(selector, args, 5)?;
+                self.scene.borrow_mut().rotate_scale(
+                    self.id,
+                    Point::xy(px, py),
+                    Point::xy(fx, fy),
+                    Point::xy(tx, ty),
+                );
+                Ok(self.self_value())
+            }
+            "touchAt:y:" => {
+                let x = num_arg(selector, args, 0)?;
+                let y = num_arg(selector, args, 1)?;
+                let mut scene = self.scene.borrow_mut();
+                if let Some(hit) = scene.pick(x, y, PICK_SLOP) {
+                    let members = scene.group_members(self.id);
+                    if !members.contains(&hit) {
+                        let group = members.iter().min().copied().unwrap_or(self.id);
+                        // Ensure the handle's object is actually grouped.
+                        if members.len() == 1 {
+                            scene.group(&[self.id, hit]);
+                        } else {
+                            scene.add_to_group(group, hit);
+                        }
+                    }
+                }
+                Ok(self.self_value())
+            }
+            "delete" => {
+                let deleted = self.scene.borrow_mut().delete(self.id);
+                Ok(Value::Bool(deleted))
+            }
+            _ => Err(SemError::unknown_selector(self.type_name(), selector)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> (SceneRef, GdpApp) {
+        let scene: SceneRef = Rc::new(RefCell::new(Scene::new()));
+        let app = GdpApp::new(scene.clone());
+        (scene, app)
+    }
+
+    fn send_obj(v: &Value, selector: &str, args: &[Value]) -> Value {
+        v.as_obj()
+            .expect("object value")
+            .borrow_mut()
+            .send(selector, args)
+            .expect("message succeeds")
+    }
+
+    #[test]
+    fn create_rect_and_set_corners() {
+        let (scene, mut app) = app();
+        let handle = app.send("createRect", &[]).unwrap();
+        send_obj(
+            &handle,
+            "setEndpoint:x:y:",
+            &[Value::Num(0.0), Value::Num(1.0), Value::Num(2.0)],
+        );
+        send_obj(
+            &handle,
+            "setEndpoint:x:y:",
+            &[Value::Num(1.0), Value::Num(11.0), Value::Num(22.0)],
+        );
+        let scene = scene.borrow();
+        let obj = scene.iter().next().unwrap();
+        match &obj.shape {
+            Shape::Rect { c0, c1, .. } => {
+                assert_eq!((c0.x, c0.y), (1.0, 2.0));
+                assert_eq!((c1.x, c1.y), (11.0, 22.0));
+            }
+            _ => panic!("expected rect"),
+        }
+    }
+
+    #[test]
+    fn pick_at_returns_nil_over_background() {
+        let (_, mut app) = app();
+        assert!(app
+            .send("pickAt:y:", &[Value::Num(5.0), Value::Num(5.0)])
+            .unwrap()
+            .is_nil());
+    }
+
+    #[test]
+    fn delete_at_removes_picked_object() {
+        let (scene, mut app) = app();
+        let handle = app
+            .send("createDotAt:y:", &[Value::Num(5.0), Value::Num(5.0)])
+            .unwrap();
+        let _ = handle;
+        let deleted = app
+            .send("deleteAt:y:", &[Value::Num(5.0), Value::Num(5.0)])
+            .unwrap();
+        assert!(deleted.truthy());
+        assert!(scene.borrow().is_empty());
+    }
+
+    #[test]
+    fn group_via_handles() {
+        let (scene, mut app) = app();
+        let a = app
+            .send("createDotAt:y:", &[Value::Num(0.0), Value::Num(0.0)])
+            .unwrap();
+        let b = app
+            .send("createDotAt:y:", &[Value::Num(50.0), Value::Num(0.0)])
+            .unwrap();
+        let group = app.send("group:", &[Value::List(vec![a, b])]).unwrap();
+        assert!(!group.is_nil());
+        let scene = scene.borrow();
+        assert!(scene.iter().all(|o| o.group.is_some()));
+    }
+
+    #[test]
+    fn move_from_to_translates() {
+        let (scene, mut app) = app();
+        let h = app
+            .send("createDotAt:y:", &[Value::Num(0.0), Value::Num(0.0)])
+            .unwrap();
+        send_obj(
+            &h,
+            "moveFromX:y:toX:y:",
+            &[
+                Value::Num(0.0),
+                Value::Num(0.0),
+                Value::Num(7.0),
+                Value::Num(3.0),
+            ],
+        );
+        let b = scene.borrow().bbox();
+        assert_eq!(b.center().x, 7.0);
+    }
+
+    #[test]
+    fn rotate_scale_via_handle() {
+        let (scene, mut app) = app();
+        let h = app.send("createLine", &[]).unwrap();
+        send_obj(
+            &h,
+            "setEndpoint:x:y:",
+            &[Value::Num(0.0), Value::Num(0.0), Value::Num(0.0)],
+        );
+        send_obj(
+            &h,
+            "setEndpoint:x:y:",
+            &[Value::Num(1.0), Value::Num(10.0), Value::Num(0.0)],
+        );
+        send_obj(
+            &h,
+            "rotateScalePivotX:y:fromX:y:toX:y:",
+            &[
+                Value::Num(0.0),
+                Value::Num(0.0),
+                Value::Num(10.0),
+                Value::Num(0.0),
+                Value::Num(20.0),
+                Value::Num(0.0),
+            ],
+        );
+        assert_eq!(scene.borrow().bbox().max_x, 20.0);
+    }
+
+    #[test]
+    fn touch_at_extends_group() {
+        let (scene, mut app) = app();
+        let a = app
+            .send("createDotAt:y:", &[Value::Num(0.0), Value::Num(0.0)])
+            .unwrap();
+        let _b = app
+            .send("createDotAt:y:", &[Value::Num(50.0), Value::Num(0.0)])
+            .unwrap();
+        send_obj(&a, "touchAt:y:", &[Value::Num(50.0), Value::Num(0.0)]);
+        let scene = scene.borrow();
+        assert!(scene.iter().all(|o| o.group.is_some()));
+    }
+
+    #[test]
+    fn unknown_selector_errors() {
+        let (_, mut app) = app();
+        assert!(matches!(
+            app.send("fly", &[]),
+            Err(SemError::UnknownSelector { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_arguments_error() {
+        let (_, mut app) = app();
+        assert!(matches!(
+            app.send("pickAt:y:", &[Value::Str("x".into())]),
+            Err(SemError::BadArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn modified_gdp_attribute_setters() {
+        let (scene, mut app) = app();
+        let line = app.send("createLine", &[]).unwrap();
+        send_obj(&line, "setThickness:", &[Value::Num(4.0)]);
+        let rect = app.send("createRect", &[]).unwrap();
+        send_obj(&rect, "setOrientation:", &[Value::Num(0.5)]);
+        let scene = scene.borrow();
+        let shapes: Vec<&Shape> = scene.iter().map(|o| &o.shape).collect();
+        assert!(matches!(shapes[0], Shape::Line { thickness, .. } if *thickness == 4.0));
+        assert!(matches!(shapes[1], Shape::Rect { orientation, .. } if *orientation == 0.5));
+    }
+}

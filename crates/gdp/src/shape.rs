@@ -1,0 +1,372 @@
+//! GDP drawing primitives.
+
+use grandma_geom::{BBox, Point, Transform};
+
+/// A drawable GDP object.
+///
+/// Shapes carry exactly the parameters Figure 3 says gestures determine:
+/// lines have two endpoints and a thickness (the modified GDP maps gesture
+/// length to thickness), rectangles have two corners and an orientation
+/// (the modified GDP maps the gesture's initial angle to it), ellipses
+/// have a center plus radii, text has a position and content, dots a
+/// position.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// A line segment.
+    Line {
+        /// First endpoint (set at recognition time).
+        p0: Point,
+        /// Second endpoint (rubberbanded during manipulation).
+        p1: Point,
+        /// Stroke thickness.
+        thickness: f64,
+    },
+    /// A rectangle given by two opposite corners, rotated by
+    /// `orientation` radians about its first corner.
+    Rect {
+        /// First corner (recognition time).
+        c0: Point,
+        /// Opposite corner (manipulation).
+        c1: Point,
+        /// Orientation with respect to the horizontal.
+        orientation: f64,
+    },
+    /// An axis-aligned ellipse.
+    Ellipse {
+        /// Center (recognition time).
+        center: Point,
+        /// Horizontal radius (manipulation).
+        rx: f64,
+        /// Vertical radius (manipulation).
+        ry: f64,
+    },
+    /// A text label.
+    Text {
+        /// Anchor position.
+        pos: Point,
+        /// Contents.
+        content: String,
+    },
+    /// A dot.
+    Dot {
+        /// Position.
+        pos: Point,
+    },
+}
+
+impl Shape {
+    /// A line of default thickness 1.
+    pub fn line(p0: Point, p1: Point) -> Shape {
+        Shape::Line {
+            p0,
+            p1,
+            thickness: 1.0,
+        }
+    }
+
+    /// An axis-aligned rectangle.
+    pub fn rect(c0: Point, c1: Point) -> Shape {
+        Shape::Rect {
+            c0,
+            c1,
+            orientation: 0.0,
+        }
+    }
+
+    /// An ellipse.
+    pub fn ellipse(center: Point, rx: f64, ry: f64) -> Shape {
+        Shape::Ellipse { center, rx, ry }
+    }
+
+    /// The shape's bounding box.
+    pub fn bbox(&self) -> BBox {
+        match self {
+            Shape::Line { p0, p1, .. } => {
+                let mut b = BBox::empty();
+                b.include(p0);
+                b.include(p1);
+                b
+            }
+            Shape::Rect {
+                c0,
+                c1,
+                orientation,
+            } => {
+                let mut b = BBox::empty();
+                for p in rect_corners(c0, c1, *orientation) {
+                    b.include(&p);
+                }
+                b
+            }
+            Shape::Ellipse { center, rx, ry } => BBox::from_corners(
+                center.x - rx.abs(),
+                center.y - ry.abs(),
+                center.x + rx.abs(),
+                center.y + ry.abs(),
+            ),
+            Shape::Text { pos, content } => BBox::from_corners(
+                pos.x,
+                pos.y,
+                pos.x + 6.0 * content.len().max(1) as f64,
+                pos.y + 10.0,
+            ),
+            Shape::Dot { pos } => {
+                BBox::from_corners(pos.x - 1.0, pos.y - 1.0, pos.x + 1.0, pos.y + 1.0)
+            }
+        }
+    }
+
+    /// Translates the shape.
+    pub fn translate(&mut self, dx: f64, dy: f64) {
+        let t = Transform::translation(dx, dy);
+        self.apply(&t);
+    }
+
+    /// Applies an affine transform to the shape's defining points.
+    ///
+    /// Radii and thickness scale by the transform's average stretch; text
+    /// content is unaffected.
+    pub fn apply(&mut self, t: &Transform) {
+        // Estimate uniform scale from the image of a unit vector.
+        let o = t.apply(&Point::xy(0.0, 0.0));
+        let u = t.apply(&Point::xy(1.0, 0.0));
+        let scale = o.distance(&u);
+        match self {
+            Shape::Line { p0, p1, thickness } => {
+                *p0 = t.apply(p0);
+                *p1 = t.apply(p1);
+                *thickness *= scale;
+            }
+            Shape::Rect {
+                c0,
+                c1,
+                orientation,
+            } => {
+                let rot = {
+                    let v = t.apply(&Point::xy(1.0, 0.0));
+                    (v.y - o.y).atan2(v.x - o.x)
+                };
+                *c0 = t.apply(c0);
+                *c1 = t.apply(c1);
+                *orientation += rot;
+            }
+            Shape::Ellipse { center, rx, ry } => {
+                *center = t.apply(center);
+                *rx *= scale;
+                *ry *= scale;
+            }
+            Shape::Text { pos, .. } => {
+                *pos = t.apply(pos);
+            }
+            Shape::Dot { pos } => {
+                *pos = t.apply(pos);
+            }
+        }
+    }
+
+    /// The control points exposed by the `edit` gesture: dragging one
+    /// rescales/reshapes the object directly.
+    pub fn control_points(&self) -> Vec<Point> {
+        match self {
+            Shape::Line { p0, p1, .. } => vec![*p0, *p1],
+            Shape::Rect {
+                c0,
+                c1,
+                orientation,
+            } => rect_corners(c0, c1, *orientation).to_vec(),
+            Shape::Ellipse { center, rx, ry } => vec![
+                Point::xy(center.x + rx, center.y),
+                Point::xy(center.x - rx, center.y),
+                Point::xy(center.x, center.y + ry),
+                Point::xy(center.x, center.y - ry),
+            ],
+            Shape::Text { pos, .. } => vec![*pos],
+            Shape::Dot { pos } => vec![*pos],
+        }
+    }
+
+    /// Moves one control point (index into [`Shape::control_points`]) to a
+    /// new position, reshaping the object.
+    pub fn move_control_point(&mut self, index: usize, to: Point) {
+        match self {
+            Shape::Line { p0, p1, .. } => {
+                if index == 0 {
+                    *p0 = to;
+                } else {
+                    *p1 = to;
+                }
+            }
+            Shape::Rect { c0, c1, .. } => {
+                // Opposite-corner editing: indices 0/2 map to c0/c1; side
+                // corners adjust both coordinates.
+                match index {
+                    0 => *c0 = to,
+                    2 => *c1 = to,
+                    1 => {
+                        c1.x = to.x;
+                        c0.y = to.y;
+                    }
+                    _ => {
+                        c0.x = to.x;
+                        c1.y = to.y;
+                    }
+                }
+            }
+            Shape::Ellipse { center, rx, ry } => match index {
+                0 | 1 => *rx = (to.x - center.x).abs(),
+                _ => *ry = (to.y - center.y).abs(),
+            },
+            Shape::Text { pos, .. } | Shape::Dot { pos } => *pos = to,
+        }
+    }
+
+    /// A short kind name for rendering and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Shape::Line { .. } => "line",
+            Shape::Rect { .. } => "rect",
+            Shape::Ellipse { .. } => "ellipse",
+            Shape::Text { .. } => "text",
+            Shape::Dot { .. } => "dot",
+        }
+    }
+}
+
+fn rect_corners(c0: &Point, c1: &Point, orientation: f64) -> [Point; 4] {
+    // The rectangle has corner c0, with sides at `orientation`; c1 is the
+    // opposite corner expressed in world space.
+    let rot = Transform::rotation_about(orientation, c0.x, c0.y);
+    let inv = Transform::rotation_about(-orientation, c0.x, c0.y);
+    let local_c1 = inv.apply(c1);
+    [
+        *c0,
+        rot.apply(&Point::xy(local_c1.x, c0.y)),
+        *c1,
+        rot.apply(&Point::xy(c0.x, local_c1.y)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn line_bbox_covers_endpoints() {
+        let l = Shape::line(Point::xy(0.0, 5.0), Point::xy(10.0, -5.0));
+        let b = l.bbox();
+        assert_eq!((b.min_x, b.min_y, b.max_x, b.max_y), (0.0, -5.0, 10.0, 5.0));
+    }
+
+    #[test]
+    fn axis_aligned_rect_bbox() {
+        let r = Shape::rect(Point::xy(1.0, 1.0), Point::xy(5.0, 3.0));
+        let b = r.bbox();
+        assert_eq!((b.min_x, b.max_x), (1.0, 5.0));
+    }
+
+    #[test]
+    fn rotated_rect_bbox_grows() {
+        let mut r = Shape::rect(Point::xy(0.0, 0.0), Point::xy(4.0, 2.0));
+        if let Shape::Rect { orientation, .. } = &mut r {
+            *orientation = FRAC_PI_2 / 2.0; // 45 degrees
+        }
+        let b = r.bbox();
+        assert!(b.width() > 0.0 && b.height() > 0.0);
+    }
+
+    #[test]
+    fn translate_moves_bbox() {
+        let mut e = Shape::ellipse(Point::xy(0.0, 0.0), 2.0, 1.0);
+        e.translate(10.0, 20.0);
+        let b = e.bbox();
+        assert_eq!(b.center().x, 10.0);
+        assert_eq!(b.center().y, 20.0);
+    }
+
+    #[test]
+    fn scale_about_grows_radii_and_thickness() {
+        let mut l = Shape::line(Point::xy(0.0, 0.0), Point::xy(10.0, 0.0));
+        l.apply(&Transform::scale_about(2.0, 0.0, 0.0));
+        match l {
+            Shape::Line { p1, thickness, .. } => {
+                assert_eq!(p1.x, 20.0);
+                assert_eq!(thickness, 2.0);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn rotation_updates_rect_orientation() {
+        let mut r = Shape::rect(Point::xy(0.0, 0.0), Point::xy(4.0, 2.0));
+        r.apply(&Transform::rotation(FRAC_PI_2));
+        match r {
+            Shape::Rect { orientation, .. } => {
+                assert!((orientation - FRAC_PI_2).abs() < 1e-9);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn control_points_match_shape_kind() {
+        assert_eq!(
+            Shape::line(Point::xy(0.0, 0.0), Point::xy(1.0, 0.0))
+                .control_points()
+                .len(),
+            2
+        );
+        assert_eq!(
+            Shape::rect(Point::xy(0.0, 0.0), Point::xy(1.0, 1.0))
+                .control_points()
+                .len(),
+            4
+        );
+        assert_eq!(
+            Shape::ellipse(Point::xy(0.0, 0.0), 1.0, 1.0)
+                .control_points()
+                .len(),
+            4
+        );
+    }
+
+    #[test]
+    fn moving_a_line_control_point_reshapes() {
+        let mut l = Shape::line(Point::xy(0.0, 0.0), Point::xy(10.0, 0.0));
+        l.move_control_point(1, Point::xy(5.0, 5.0));
+        match l {
+            Shape::Line { p1, .. } => assert_eq!((p1.x, p1.y), (5.0, 5.0)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn moving_an_ellipse_control_point_changes_radius() {
+        let mut e = Shape::ellipse(Point::xy(0.0, 0.0), 2.0, 1.0);
+        e.move_control_point(0, Point::xy(5.0, 0.0));
+        match e {
+            Shape::Ellipse { rx, .. } => assert_eq!(rx, 5.0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(
+            Shape::Dot {
+                pos: Point::xy(0.0, 0.0)
+            }
+            .kind(),
+            "dot"
+        );
+        assert_eq!(
+            Shape::Text {
+                pos: Point::xy(0.0, 0.0),
+                content: "hi".into()
+            }
+            .kind(),
+            "text"
+        );
+    }
+}

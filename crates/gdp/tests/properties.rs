@@ -1,0 +1,147 @@
+//! Property-based tests for the GDP scene.
+
+use grandma_gdp::{Scene, Shape};
+use grandma_geom::Point;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(f64, f64),
+    Delete(usize),
+    Translate(usize, f64, f64),
+    Copy(usize, f64, f64),
+    Group(usize, usize),
+    RotateScale(usize, f64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Op::Create(x, y)),
+        (0usize..20).prop_map(Op::Delete),
+        (0usize..20, -50.0f64..50.0, -50.0f64..50.0)
+            .prop_map(|(i, dx, dy)| Op::Translate(i, dx, dy)),
+        (0usize..20, -50.0f64..50.0, -50.0f64..50.0).prop_map(|(i, dx, dy)| Op::Copy(i, dx, dy)),
+        (0usize..20, 0usize..20).prop_map(|(a, b)| Op::Group(a, b)),
+        (0usize..20, 0.3f64..3.0).prop_map(|(i, s)| Op::RotateScale(i, s)),
+    ]
+}
+
+fn nth_id(scene: &Scene, n: usize) -> Option<usize> {
+    scene.iter().map(|o| o.id).nth(n % scene.len().max(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scene_survives_arbitrary_operation_sequences(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut scene = Scene::new();
+        for op in ops {
+            match op {
+                Op::Create(x, y) => {
+                    scene.create(Shape::line(Point::xy(x, y), Point::xy(x + 10.0, y + 5.0)));
+                }
+                Op::Delete(n) => {
+                    if let Some(id) = nth_id(&scene, n) {
+                        scene.delete(id);
+                    }
+                }
+                Op::Translate(n, dx, dy) => {
+                    if let Some(id) = nth_id(&scene, n) {
+                        scene.translate(id, dx, dy);
+                    }
+                }
+                Op::Copy(n, dx, dy) => {
+                    if let Some(id) = nth_id(&scene, n) {
+                        scene.copy(id, dx, dy);
+                    }
+                }
+                Op::Group(a, b) => {
+                    if let (Some(ida), Some(idb)) = (nth_id(&scene, a), nth_id(&scene, b)) {
+                        scene.group(&[ida, idb]);
+                    }
+                }
+                Op::RotateScale(n, s) => {
+                    if let Some(id) = nth_id(&scene, n) {
+                        let c = scene.get(id).unwrap().shape.bbox().center();
+                        scene.rotate_scale(
+                            id,
+                            c,
+                            Point::xy(c.x + 10.0, c.y),
+                            Point::xy(c.x + 10.0 * s, c.y),
+                        );
+                    }
+                }
+            }
+            // Invariants after every step:
+            // 1. Every group reference points at a live member set with
+            //    at least two members.
+            for obj in scene.iter() {
+                if let Some(g) = obj.group {
+                    let members = scene.group_members(obj.id);
+                    prop_assert!(members.len() >= 2, "singleton group {g}");
+                    prop_assert!(members.contains(&obj.id));
+                }
+            }
+            // 2. All shapes stay finite.
+            for obj in scene.iter() {
+                let b = obj.shape.bbox();
+                prop_assert!(b.min_x.is_finite() && b.max_y.is_finite());
+            }
+            // 3. Editing target, if any, is alive.
+            if let Some(e) = scene.editing() {
+                prop_assert!(scene.get(e).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn group_translation_is_rigid(n in 2usize..6, dx in -40.0f64..40.0, dy in -40.0f64..40.0) {
+        let mut scene = Scene::new();
+        let ids: Vec<usize> = (0..n)
+            .map(|i| scene.create(Shape::line(Point::xy(i as f64 * 30.0, 0.0), Point::xy(i as f64 * 30.0 + 10.0, 5.0))))
+            .collect();
+        scene.group(&ids);
+        let before: Vec<(f64, f64)> = ids
+            .iter()
+            .map(|&id| {
+                let c = scene.get(id).unwrap().shape.bbox().center();
+                (c.x, c.y)
+            })
+            .collect();
+        scene.translate(ids[0], dx, dy);
+        for (i, &id) in ids.iter().enumerate() {
+            let c = scene.get(id).unwrap().shape.bbox().center();
+            prop_assert!((c.x - before[i].0 - dx).abs() < 1e-9);
+            prop_assert!((c.y - before[i].1 - dy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn copy_preserves_the_original(x in -50.0f64..50.0, dx in -30.0f64..30.0) {
+        let mut scene = Scene::new();
+        let id = scene.create(Shape::ellipse(Point::xy(x, 0.0), 5.0, 3.0));
+        let original = scene.get(id).unwrap().shape.clone();
+        let copy = scene.copy(id, dx, 0.0).unwrap();
+        prop_assert_eq!(&scene.get(id).unwrap().shape, &original);
+        prop_assert_ne!(copy, id);
+        prop_assert_eq!(scene.len(), 2);
+    }
+
+    #[test]
+    fn pick_always_returns_a_live_containing_object(
+        shapes in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..10),
+        px in -60.0f64..60.0,
+        py in -60.0f64..60.0,
+    ) {
+        let mut scene = Scene::new();
+        for &(x, y) in &shapes {
+            scene.create(Shape::rect(Point::xy(x, y), Point::xy(x + 20.0, y + 20.0)));
+        }
+        if let Some(id) = scene.pick(px, py, 0.0) {
+            let obj = scene.get(id);
+            prop_assert!(obj.is_some());
+            prop_assert!(obj.unwrap().shape.bbox().contains(px, py));
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Axis-aligned bounding boxes.
+
+use crate::point::Point;
+
+/// An axis-aligned bounding box.
+///
+/// Used by the feature extractor (bounding-box diagonal length and angle are
+/// two of Rubine's features) and by GDP's view geometry and picking.
+///
+/// # Examples
+///
+/// ```
+/// use grandma_geom::{BBox, Point};
+///
+/// let mut b = BBox::empty();
+/// b.include(&Point::xy(0.0, 0.0));
+/// b.include(&Point::xy(3.0, 4.0));
+/// assert_eq!(b.diagonal(), 5.0);
+/// assert!(b.contains(1.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Smallest x covered.
+    pub min_x: f64,
+    /// Smallest y covered.
+    pub min_y: f64,
+    /// Largest x covered.
+    pub max_x: f64,
+    /// Largest y covered.
+    pub max_y: f64,
+}
+
+impl BBox {
+    /// Creates an empty box (inverted bounds) that grows via
+    /// [`BBox::include`].
+    pub fn empty() -> Self {
+        Self {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Creates a box from two opposite corners (in any order).
+    pub fn from_corners(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Self {
+            min_x: x0.min(x1),
+            min_y: y0.min(y1),
+            max_x: x0.max(x1),
+            max_y: y0.max(y1),
+        }
+    }
+
+    /// Returns `true` if the box covers no points yet.
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x
+    }
+
+    /// Grows the box to cover `p`.
+    pub fn include(&mut self, p: &Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Grows the box to cover another box.
+    pub fn union(&mut self, other: &BBox) {
+        if other.is_empty() {
+            return;
+        }
+        self.min_x = self.min_x.min(other.min_x);
+        self.min_y = self.min_y.min(other.min_y);
+        self.max_x = self.max_x.max(other.max_x);
+        self.max_y = self.max_y.max(other.max_y);
+    }
+
+    /// Returns the width (0 for an empty box).
+    pub fn width(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.max_x - self.min_x
+        }
+    }
+
+    /// Returns the height (0 for an empty box).
+    pub fn height(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.max_y - self.min_y
+        }
+    }
+
+    /// Returns the diagonal length (feature f3 in the Rubine set).
+    pub fn diagonal(&self) -> f64 {
+        let w = self.width();
+        let h = self.height();
+        (w * w + h * h).sqrt()
+    }
+
+    /// Returns the diagonal angle `atan2(height, width)` (feature f4).
+    pub fn diagonal_angle(&self) -> f64 {
+        self.height().atan2(self.width())
+    }
+
+    /// Returns `true` if `(x, y)` lies inside or on the border.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        !self.is_empty() && x >= self.min_x && x <= self.max_x && y >= self.min_y && y <= self.max_y
+    }
+
+    /// Returns `true` if this box entirely contains `other`.
+    pub fn contains_box(&self, other: &BBox) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && other.min_x >= self.min_x
+            && other.max_x <= self.max_x
+            && other.min_y >= self.min_y
+            && other.max_y <= self.max_y
+    }
+
+    /// Returns `true` if the boxes overlap (sharing a border counts).
+    pub fn intersects(&self, other: &BBox) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// Returns the center point (with zero timestamp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the box is empty.
+    pub fn center(&self) -> Point {
+        assert!(!self.is_empty(), "center of an empty bounding box");
+        Point::xy(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+
+    /// Returns a copy expanded by `margin` on every side.
+    pub fn expanded(&self, margin: f64) -> BBox {
+        BBox {
+            min_x: self.min_x - margin,
+            min_y: self.min_y - margin,
+            max_x: self.max_x + margin,
+            max_y: self.max_y + margin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box_reports_empty() {
+        let b = BBox::empty();
+        assert!(b.is_empty());
+        assert_eq!(b.width(), 0.0);
+        assert_eq!(b.diagonal(), 0.0);
+        assert!(!b.contains(0.0, 0.0));
+    }
+
+    #[test]
+    fn include_grows_bounds() {
+        let mut b = BBox::empty();
+        b.include(&Point::xy(1.0, 2.0));
+        b.include(&Point::xy(-1.0, 5.0));
+        assert_eq!(b.min_x, -1.0);
+        assert_eq!(b.max_y, 5.0);
+        assert_eq!(b.width(), 2.0);
+        assert_eq!(b.height(), 3.0);
+    }
+
+    #[test]
+    fn from_corners_normalizes_order() {
+        let b = BBox::from_corners(5.0, 5.0, 1.0, 1.0);
+        assert_eq!(b.min_x, 1.0);
+        assert_eq!(b.max_x, 5.0);
+    }
+
+    #[test]
+    fn diagonal_angle_of_square_is_45_degrees() {
+        let b = BBox::from_corners(0.0, 0.0, 2.0, 2.0);
+        assert!((b.diagonal_angle() - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let outer = BBox::from_corners(0.0, 0.0, 10.0, 10.0);
+        let inner = BBox::from_corners(2.0, 2.0, 4.0, 4.0);
+        let disjoint = BBox::from_corners(20.0, 20.0, 30.0, 30.0);
+        assert!(outer.contains_box(&inner));
+        assert!(!inner.contains_box(&outer));
+        assert!(outer.intersects(&inner));
+        assert!(!outer.intersects(&disjoint));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let mut a = BBox::from_corners(0.0, 0.0, 1.0, 1.0);
+        let b = BBox::from_corners(5.0, -2.0, 6.0, 0.5);
+        a.union(&b);
+        assert_eq!(a.max_x, 6.0);
+        assert_eq!(a.min_y, -2.0);
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let mut a = BBox::from_corners(0.0, 0.0, 1.0, 1.0);
+        let before = a;
+        a.union(&BBox::empty());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn center_and_expanded() {
+        let b = BBox::from_corners(0.0, 0.0, 4.0, 2.0);
+        let c = b.center();
+        assert_eq!((c.x, c.y), (2.0, 1.0));
+        let e = b.expanded(1.0);
+        assert_eq!(e.min_x, -1.0);
+        assert_eq!(e.max_y, 3.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Gestures and subgestures.
+
+use crate::bbox::BBox;
+use crate::path::polyline_length;
+use crate::point::Point;
+use crate::xform::Transform;
+
+/// A single-stroke gesture: the sequence of timestamped points collected
+/// between mouse-down and the end of the interaction (§4.1).
+///
+/// The paper's notation `g[i]` (the subgesture consisting of the first `i`
+/// points) is provided by [`Gesture::subgesture`]; `|g|` is
+/// [`Gesture::len`].
+///
+/// # Examples
+///
+/// ```
+/// use grandma_geom::{Gesture, Point};
+///
+/// let g = Gesture::from_points(vec![
+///     Point::new(0.0, 0.0, 0.0),
+///     Point::new(1.0, 0.0, 10.0),
+///     Point::new(2.0, 0.0, 20.0),
+/// ]);
+/// let prefix = g.subgesture(2).unwrap();
+/// assert_eq!(prefix.len(), 2);
+/// assert!(g.subgesture(4).is_none()); // g[i] is undefined for i > |g|
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Gesture {
+    points: Vec<Point>,
+}
+
+impl Gesture {
+    /// Creates an empty gesture (no points collected yet).
+    pub fn new() -> Self {
+        Self { points: Vec::new() }
+    }
+
+    /// Creates a gesture from collected points.
+    pub fn from_points(points: Vec<Point>) -> Self {
+        Self { points }
+    }
+
+    /// Creates a gesture from `(x, y)` pairs with timestamps spaced
+    /// `dt_ms` apart, starting at 0. Convenient in tests.
+    pub fn from_xy(points: &[(f64, f64)], dt_ms: f64) -> Self {
+        Self {
+            points: points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| Point::new(x, y, i as f64 * dt_ms))
+                .collect(),
+        }
+    }
+
+    /// Returns the number of points `|g|`.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if no points have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns the points as a slice.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Appends a point to the gesture.
+    pub fn push(&mut self, p: Point) {
+        self.points.push(p);
+    }
+
+    /// Returns the `i`-point prefix `g[i]`, or `None` when `i > |g|`
+    /// (the paper leaves `g[i]` undefined in that case).
+    pub fn subgesture(&self, i: usize) -> Option<Gesture> {
+        if i > self.points.len() {
+            None
+        } else {
+            Some(Gesture {
+                points: self.points[..i].to_vec(),
+            })
+        }
+    }
+
+    /// Returns the first point, if any.
+    pub fn first(&self) -> Option<&Point> {
+        self.points.first()
+    }
+
+    /// Returns the last point, if any.
+    pub fn last(&self) -> Option<&Point> {
+        self.points.last()
+    }
+
+    /// Returns the bounding box of the gesture.
+    pub fn bbox(&self) -> BBox {
+        let mut b = BBox::empty();
+        for p in &self.points {
+            b.include(p);
+        }
+        b
+    }
+
+    /// Returns the total path length (sum of segment lengths).
+    pub fn path_length(&self) -> f64 {
+        polyline_length(&self.points)
+    }
+
+    /// Returns the elapsed time from the first to the last point, in
+    /// milliseconds (0 for gestures with fewer than two points).
+    pub fn duration(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => b.t - a.t,
+            _ => 0.0,
+        }
+    }
+
+    /// Returns a copy with every point mapped through `transform`
+    /// (timestamps unchanged).
+    pub fn transformed(&self, transform: &Transform) -> Gesture {
+        Gesture {
+            points: self.points.iter().map(|p| transform.apply(p)).collect(),
+        }
+    }
+
+    /// Resamples the gesture to exactly `n >= 2` points equally spaced
+    /// along the path (timestamps interpolated).
+    ///
+    /// Used by rendering and by dataset visualization; the recognizer itself
+    /// never resamples (features are incremental over raw points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gesture has fewer than 2 points or `n < 2`.
+    pub fn resampled(&self, n: usize) -> Gesture {
+        assert!(self.points.len() >= 2, "resampling needs >= 2 points");
+        assert!(n >= 2, "resampling target must be >= 2");
+        let total = self.path_length();
+        if total == 0.0 {
+            // A stationary gesture: repeat the first point.
+            return Gesture {
+                points: vec![self.points[0]; n],
+            };
+        }
+        let step = total / (n - 1) as f64;
+        let mut out = Vec::with_capacity(n);
+        out.push(self.points[0]);
+        let mut acc = 0.0;
+        let mut seg = 0;
+        for k in 1..n - 1 {
+            let target = step * k as f64;
+            // Advance to the segment containing the target arc length.
+            loop {
+                let seg_len = self.points[seg].distance(&self.points[seg + 1]);
+                if acc + seg_len >= target || seg + 2 >= self.points.len() {
+                    let s = if seg_len > 0.0 {
+                        ((target - acc) / seg_len).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    out.push(self.points[seg].lerp(&self.points[seg + 1], s));
+                    break;
+                }
+                acc += seg_len;
+                seg += 1;
+            }
+        }
+        out.push(*self.points.last().expect("non-empty"));
+        Gesture { points: out }
+    }
+
+    /// Returns an iterator over the points.
+    pub fn iter(&self) -> std::slice::Iter<'_, Point> {
+        self.points.iter()
+    }
+}
+
+impl FromIterator<Point> for Gesture {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        Gesture {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn right_angle() -> Gesture {
+        Gesture::from_xy(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)], 10.0)
+    }
+
+    #[test]
+    fn subgesture_is_prefix() {
+        let g = right_angle();
+        let s = g.subgesture(2).unwrap();
+        assert_eq!(s.points(), &g.points()[..2]);
+    }
+
+    #[test]
+    fn subgesture_full_length_equals_gesture() {
+        let g = right_angle();
+        assert_eq!(g.subgesture(g.len()).unwrap(), g);
+    }
+
+    #[test]
+    fn subgesture_beyond_length_is_undefined() {
+        let g = right_angle();
+        assert!(g.subgesture(g.len() + 1).is_none());
+    }
+
+    #[test]
+    fn subgesture_zero_is_empty() {
+        let g = right_angle();
+        assert!(g.subgesture(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn path_length_sums_segments() {
+        assert_eq!(right_angle().path_length(), 20.0);
+    }
+
+    #[test]
+    fn duration_spans_first_to_last() {
+        assert_eq!(right_angle().duration(), 20.0);
+        assert_eq!(Gesture::new().duration(), 0.0);
+    }
+
+    #[test]
+    fn bbox_covers_all_points() {
+        let b = right_angle().bbox();
+        assert_eq!((b.min_x, b.min_y, b.max_x, b.max_y), (0.0, 0.0, 10.0, 10.0));
+    }
+
+    #[test]
+    fn resample_preserves_endpoints_and_count() {
+        let g = right_angle();
+        let r = g.resampled(9);
+        assert_eq!(r.len(), 9);
+        assert_eq!(r.first(), g.first());
+        assert_eq!(r.last(), g.last());
+        // Equal spacing along the path: each gap is total/8 = 2.5.
+        for w in r.points().windows(2) {
+            assert!((w[0].distance(&w[1]) - 2.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn resample_of_stationary_gesture_repeats_point() {
+        let g = Gesture::from_xy(&[(1.0, 1.0), (1.0, 1.0)], 10.0);
+        let r = g.resampled(4);
+        assert_eq!(r.len(), 4);
+        assert!(r.iter().all(|p| p.x == 1.0 && p.y == 1.0));
+    }
+
+    #[test]
+    fn push_and_from_iter() {
+        let mut g = Gesture::new();
+        g.push(Point::xy(1.0, 2.0));
+        assert_eq!(g.len(), 1);
+        let h: Gesture = g.iter().copied().collect();
+        assert_eq!(h, g);
+    }
+}

@@ -1,0 +1,38 @@
+//! Geometry substrate: points, gestures, subgestures, and path measures.
+//!
+//! The paper defines a gesture as a sequence of timestamped points
+//! `g_p = (x_p, y_p, t_p)` and builds its eager-recognition machinery on the
+//! notion of a *subgesture* `g[i]` — the prefix consisting of the first `i`
+//! points (§4.1). This crate provides those definitions plus the geometric
+//! measures (bounding boxes, path length, turning angles) and affine
+//! transforms used by the feature extractor, the synthetic gesture
+//! generator, and the GDP drawing program.
+//!
+//! Timestamps are in milliseconds, matching the paper's 200 ms dwell
+//! timeout and its per-point cost measurements.
+//!
+//! # Examples
+//!
+//! ```
+//! use grandma_geom::{Gesture, Point};
+//!
+//! let g = Gesture::from_points(vec![
+//!     Point::new(0.0, 0.0, 0.0),
+//!     Point::new(3.0, 4.0, 10.0),
+//! ]);
+//! assert_eq!(g.len(), 2);
+//! assert_eq!(g.path_length(), 5.0);
+//! assert_eq!(g.subgesture(1).unwrap().len(), 1);
+//! ```
+
+mod bbox;
+mod gesture;
+mod path;
+mod point;
+mod xform;
+
+pub use bbox::BBox;
+pub use gesture::Gesture;
+pub use path::{polyline_length, total_absolute_turning, total_turning, turning_angles};
+pub use point::Point;
+pub use xform::Transform;

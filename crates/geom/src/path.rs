@@ -1,0 +1,128 @@
+//! Polyline path measures: lengths and turning angles.
+//!
+//! The turning angle at each interior point — the signed angle between
+//! consecutive segments, computed with the paper's `atan2` cross/dot form —
+//! underlies three of Rubine's features (total signed turning, total
+//! absolute turning, and squared turning) and the corner detection used to
+//! establish ground-truth unambiguity points for Figure 9.
+
+use crate::point::Point;
+
+/// Returns the total length of the polyline through `points`.
+pub fn polyline_length(points: &[Point]) -> f64 {
+    points.windows(2).map(|w| w[0].distance(&w[1])).sum()
+}
+
+/// Returns the signed turning angle at each interior point of the polyline.
+///
+/// For point `p` the angle is
+/// `atan2(Δx_p·Δy_{p−1} − Δx_{p−1}·Δy_p, Δx_p·Δx_{p−1} + Δy_p·Δy_{p−1})`,
+/// the angle you turn through when passing that point; straight-through
+/// motion gives 0, a left turn gives a positive angle. Zero-length segments
+/// contribute 0.
+pub fn turning_angles(points: &[Point]) -> Vec<f64> {
+    if points.len() < 3 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(points.len() - 2);
+    for w in points.windows(3) {
+        let dx0 = w[1].x - w[0].x;
+        let dy0 = w[1].y - w[0].y;
+        let dx1 = w[2].x - w[1].x;
+        let dy1 = w[2].y - w[1].y;
+        if (dx0 == 0.0 && dy0 == 0.0) || (dx1 == 0.0 && dy1 == 0.0) {
+            out.push(0.0);
+            continue;
+        }
+        let cross = dx1 * dy0 - dx0 * dy1;
+        let dot = dx1 * dx0 + dy1 * dy0;
+        // Negate the cross term so counterclockwise turns are positive in a
+        // y-up coordinate convention.
+        out.push((-cross).atan2(dot));
+    }
+    out
+}
+
+/// Returns the total signed turning of the polyline (feature f9).
+pub fn total_turning(points: &[Point]) -> f64 {
+    turning_angles(points).iter().sum()
+}
+
+/// Returns the total absolute turning of the polyline (feature f10).
+pub fn total_absolute_turning(points: &[Point]) -> f64 {
+    turning_angles(points).iter().map(|a| a.abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::xy(x, y)).collect()
+    }
+
+    #[test]
+    fn length_of_empty_and_single_point_is_zero() {
+        assert_eq!(polyline_length(&[]), 0.0);
+        assert_eq!(polyline_length(&pts(&[(1.0, 1.0)])), 0.0);
+    }
+
+    #[test]
+    fn straight_line_has_zero_turning() {
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        assert_eq!(total_turning(&p), 0.0);
+        assert_eq!(total_absolute_turning(&p), 0.0);
+    }
+
+    #[test]
+    fn left_turn_is_positive_quarter_turn() {
+        // Right then up: a 90-degree counterclockwise turn.
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)]);
+        let angles = turning_angles(&p);
+        assert_eq!(angles.len(), 1);
+        assert!((angles[0] - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn right_turn_is_negative_quarter_turn() {
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0), (1.0, -1.0)]);
+        let angles = turning_angles(&p);
+        assert!((angles[0] + FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn u_turn_magnitude_is_pi() {
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0), (0.0, 0.0)]);
+        let angles = turning_angles(&p);
+        assert!((angles[0].abs() - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_segment_contributes_zero() {
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let angles = turning_angles(&p);
+        assert!(angles.iter().all(|&a| a == 0.0));
+    }
+
+    #[test]
+    fn square_loop_turns_through_2pi() {
+        let p = pts(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (1.0, 1.0),
+            (0.0, 1.0),
+            (0.0, 0.0),
+            (1.0, 0.0),
+        ]);
+        assert!((total_turning(&p) - 2.0 * PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signed_and_absolute_turning_differ_on_zigzag() {
+        // Turns: +90 (left), -90 (right), -90 (right) → signed -90, |.| 270.
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (2.0, 1.0), (2.0, 0.0)]);
+        assert!((total_turning(&p) + FRAC_PI_2).abs() < 1e-9);
+        assert!((total_absolute_turning(&p) - 3.0 * FRAC_PI_2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,111 @@
+//! Timestamped 2-D points.
+
+use std::fmt;
+
+/// A timestamped mouse point `(x, y, t)` as defined in §4.1 of the paper.
+///
+/// `x` and `y` are in arbitrary device units (the synthetic generator uses
+/// pixels); `t` is in milliseconds.
+///
+/// # Examples
+///
+/// ```
+/// use grandma_geom::Point;
+///
+/// let a = Point::new(0.0, 0.0, 0.0);
+/// let b = Point::new(3.0, 4.0, 16.0);
+/// assert_eq!(a.distance(&b), 5.0);
+/// ```
+#[derive(Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+    /// Arrival time in milliseconds.
+    pub t: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64, t: f64) -> Self {
+        Self { x, y, t }
+    }
+
+    /// Creates a point with a zero timestamp.
+    pub fn xy(x: f64, y: f64) -> Self {
+        Self { x, y, t: 0.0 }
+    }
+
+    /// Returns the Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = other.x - self.x;
+        let dy = other.y - self.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Returns the squared Euclidean distance to another point.
+    pub fn distance_squared(&self, other: &Point) -> f64 {
+        let dx = other.x - self.x;
+        let dy = other.y - self.y;
+        dx * dx + dy * dy
+    }
+
+    /// Returns the angle in radians of the vector from `self` to `other`.
+    pub fn angle_to(&self, other: &Point) -> f64 {
+        (other.y - self.y).atan2(other.x - self.x)
+    }
+
+    /// Linearly interpolates between `self` and `other` (`s = 0` gives
+    /// `self`, `s = 1` gives `other`), including the timestamp.
+    pub fn lerp(&self, other: &Point, s: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * s,
+            y: self.y + (other.y - self.y) * s,
+            t: self.t + (other.t - self.t) * s,
+        }
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2} @{:.1}ms)", self.x, self.y, self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0, 0.0);
+        let b = Point::new(4.0, 6.0, 5.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert_eq!(a.distance(&b), 5.0);
+    }
+
+    #[test]
+    fn distance_squared_matches_distance() {
+        let a = Point::xy(0.0, 0.0);
+        let b = Point::xy(3.0, 4.0);
+        assert_eq!(a.distance_squared(&b), 25.0);
+    }
+
+    #[test]
+    fn angle_to_axis_directions() {
+        let o = Point::xy(0.0, 0.0);
+        assert_eq!(o.angle_to(&Point::xy(1.0, 0.0)), 0.0);
+        assert!((o.angle_to(&Point::xy(0.0, 1.0)) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0, 0.0);
+        let b = Point::new(10.0, 20.0, 100.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let mid = a.lerp(&b, 0.5);
+        assert_eq!(mid, Point::new(5.0, 10.0, 50.0));
+    }
+}

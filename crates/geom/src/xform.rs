@@ -1,0 +1,194 @@
+//! 2-D affine transforms.
+
+use crate::point::Point;
+
+/// A 2-D affine transform `p ↦ (a·x + b·y + tx, c·x + d·y + ty)`.
+///
+/// Used by the synthetic gesture generator (per-example rotation/scale
+/// variation), by GDP's rotate-scale manipulation, and by the multipath
+/// translate-rotate-scale interaction. Timestamps pass through unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use grandma_geom::{Point, Transform};
+///
+/// let t = Transform::rotation(std::f64::consts::FRAC_PI_2);
+/// let p = t.apply(&Point::xy(1.0, 0.0));
+/// assert!(p.x.abs() < 1e-12);
+/// assert!((p.y - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transform {
+    a: f64,
+    b: f64,
+    c: f64,
+    d: f64,
+    tx: f64,
+    ty: f64,
+}
+
+impl Transform {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Self {
+            a: 1.0,
+            b: 0.0,
+            c: 0.0,
+            d: 1.0,
+            tx: 0.0,
+            ty: 0.0,
+        }
+    }
+
+    /// A pure translation.
+    pub fn translation(tx: f64, ty: f64) -> Self {
+        Self {
+            tx,
+            ty,
+            ..Self::identity()
+        }
+    }
+
+    /// A rotation about the origin by `theta` radians (counterclockwise in
+    /// a y-up frame).
+    pub fn rotation(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self {
+            a: c,
+            b: -s,
+            c: s,
+            d: c,
+            tx: 0.0,
+            ty: 0.0,
+        }
+    }
+
+    /// A uniform scale about the origin.
+    pub fn scale(factor: f64) -> Self {
+        Self {
+            a: factor,
+            b: 0.0,
+            c: 0.0,
+            d: factor,
+            tx: 0.0,
+            ty: 0.0,
+        }
+    }
+
+    /// A rotation by `theta` about the pivot `(px, py)`.
+    pub fn rotation_about(theta: f64, px: f64, py: f64) -> Self {
+        Transform::translation(px, py)
+            .then_inner(&Transform::rotation(theta))
+            .then_inner(&Transform::translation(-px, -py))
+    }
+
+    /// A uniform scale by `factor` about the pivot `(px, py)`.
+    pub fn scale_about(factor: f64, px: f64, py: f64) -> Self {
+        Transform::translation(px, py)
+            .then_inner(&Transform::scale(factor))
+            .then_inner(&Transform::translation(-px, -py))
+    }
+
+    /// Returns the composition applying `self` *after* `inner`.
+    pub fn then_inner(&self, inner: &Transform) -> Transform {
+        Transform {
+            a: self.a * inner.a + self.b * inner.c,
+            b: self.a * inner.b + self.b * inner.d,
+            c: self.c * inner.a + self.d * inner.c,
+            d: self.c * inner.b + self.d * inner.d,
+            tx: self.a * inner.tx + self.b * inner.ty + self.tx,
+            ty: self.c * inner.tx + self.d * inner.ty + self.ty,
+        }
+    }
+
+    /// Returns the composition applying `outer` *after* `self`.
+    pub fn then(&self, outer: &Transform) -> Transform {
+        outer.then_inner(self)
+    }
+
+    /// Applies the transform to a point (timestamp unchanged).
+    pub fn apply(&self, p: &Point) -> Point {
+        Point {
+            x: self.a * p.x + self.b * p.y + self.tx,
+            y: self.c * p.x + self.d * p.y + self.ty,
+            t: p.t,
+        }
+    }
+}
+
+impl Default for Transform {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn close(p: Point, x: f64, y: f64) {
+        assert!(
+            (p.x - x).abs() < 1e-12 && (p.y - y).abs() < 1e-12,
+            "{p:?} != ({x}, {y})"
+        );
+    }
+
+    #[test]
+    fn identity_leaves_points_unchanged() {
+        let p = Point::new(3.0, 4.0, 7.0);
+        assert_eq!(Transform::identity().apply(&p), p);
+    }
+
+    #[test]
+    fn translation_shifts() {
+        let t = Transform::translation(2.0, -1.0);
+        close(t.apply(&Point::xy(1.0, 1.0)), 3.0, 0.0);
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let t = Transform::rotation(FRAC_PI_2);
+        close(t.apply(&Point::xy(1.0, 0.0)), 0.0, 1.0);
+        close(t.apply(&Point::xy(0.0, 1.0)), -1.0, 0.0);
+    }
+
+    #[test]
+    fn scale_doubles_coordinates() {
+        let t = Transform::scale(2.0);
+        close(t.apply(&Point::xy(1.0, -2.0)), 2.0, -4.0);
+    }
+
+    #[test]
+    fn rotation_about_pivot_fixes_pivot() {
+        let t = Transform::rotation_about(PI / 3.0, 5.0, 5.0);
+        close(t.apply(&Point::xy(5.0, 5.0)), 5.0, 5.0);
+    }
+
+    #[test]
+    fn rotation_about_pivot_moves_other_points() {
+        let t = Transform::rotation_about(FRAC_PI_2, 1.0, 0.0);
+        close(t.apply(&Point::xy(2.0, 0.0)), 1.0, 1.0);
+    }
+
+    #[test]
+    fn scale_about_pivot_fixes_pivot() {
+        let t = Transform::scale_about(3.0, 2.0, 2.0);
+        close(t.apply(&Point::xy(2.0, 2.0)), 2.0, 2.0);
+        close(t.apply(&Point::xy(3.0, 2.0)), 5.0, 2.0);
+    }
+
+    #[test]
+    fn composition_applies_in_order() {
+        // Rotate a quarter turn, then translate by (1, 0).
+        let t = Transform::rotation(FRAC_PI_2).then(&Transform::translation(1.0, 0.0));
+        close(t.apply(&Point::xy(1.0, 0.0)), 1.0, 1.0);
+    }
+
+    #[test]
+    fn timestamps_pass_through() {
+        let t = Transform::scale(10.0);
+        assert_eq!(t.apply(&Point::new(1.0, 1.0, 42.0)).t, 42.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Small dense linear-algebra library for the GRANDMA reproduction.
+//!
+//! Implements exactly what Rubine-style statistical gesture recognition
+//! needs: dense vectors and matrices over `f64`, Gauss-Jordan inversion with
+//! partial pivoting (plus a ridge-regularized fallback for singular pooled
+//! covariance matrices), and the statistical helpers (means, scatter
+//! matrices, pooled covariance, Mahalanobis distance) used by both the full
+//! classifier and the eager-recognition training pipeline.
+//!
+//! The library is deliberately free of external dependencies so the
+//! reproduction is self-contained and auditable.
+//!
+//! # Examples
+//!
+//! ```
+//! use grandma_linalg::{Matrix, Vector};
+//!
+//! let m = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+//! let inv = m.inverse().unwrap();
+//! let x = inv.mul_vector(&Vector::from_slice(&[2.0, 4.0]));
+//! assert!((x[0] - 1.0).abs() < 1e-12);
+//! assert!((x[1] - 1.0).abs() < 1e-12);
+//! ```
+
+mod matrix;
+mod solve;
+mod stats;
+mod vector;
+
+pub use matrix::Matrix;
+pub use solve::{InversionOutcome, SolveError};
+pub use stats::{mahalanobis_squared, mean_vector, pooled_covariance, scatter_matrix};
+pub use vector::Vector;

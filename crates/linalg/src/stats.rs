@@ -1,0 +1,172 @@
+//! Statistical helpers used by classifier training.
+//!
+//! These implement the quantities in §4.2 of the paper: per-class feature
+//! means, per-class scatter matrices, the pooled ("average") covariance
+//! estimate shared by all classes, and the Mahalanobis distance that both
+//! drives rejection in the full classifier and identifies *accidentally
+//! complete* subgestures in the eager-recognition training pipeline (§4.5).
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Computes the mean of a set of equally sized vectors.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or the vectors have differing lengths.
+///
+/// # Examples
+///
+/// ```
+/// use grandma_linalg::{mean_vector, Vector};
+///
+/// let samples = vec![
+///     Vector::from_slice(&[0.0, 2.0]),
+///     Vector::from_slice(&[2.0, 4.0]),
+/// ];
+/// assert_eq!(mean_vector(&samples).as_slice(), &[1.0, 3.0]);
+/// ```
+pub fn mean_vector(samples: &[Vector]) -> Vector {
+    assert!(!samples.is_empty(), "mean of an empty sample set");
+    let dim = samples[0].len();
+    let mut mean = Vector::zeros(dim);
+    for s in samples {
+        assert_eq!(s.len(), dim, "all samples must have equal dimension");
+        mean += s;
+    }
+    mean.scaled(1.0 / samples.len() as f64)
+}
+
+/// Computes the scatter matrix `Σ (x − μ)(x − μ)ᵀ` of a sample set around
+/// the given mean.
+///
+/// # Panics
+///
+/// Panics if the dimensions do not agree.
+pub fn scatter_matrix(samples: &[Vector], mean: &Vector) -> Matrix {
+    let dim = mean.len();
+    let mut scatter = Matrix::zeros(dim, dim);
+    for s in samples {
+        let centered = s - mean;
+        scatter.add_outer(1.0, &centered);
+    }
+    scatter
+}
+
+/// Computes the pooled (common) covariance estimate from per-class scatter
+/// matrices and per-class sample counts.
+///
+/// This is the paper's "optimal given some normality assumptions" common
+/// covariance: `Σ_avg = (Σ_c S_c) / (Σ_c E_c − C)`. When the denominator is
+/// not positive (too few samples), the raw sum divided by the total count is
+/// used instead so callers always get a finite matrix; the ridge fallback in
+/// [`Matrix::inverse_with_ridge`] absorbs the resulting bias.
+///
+/// # Panics
+///
+/// Panics if `scatters` is empty or counts/scatters lengths differ.
+pub fn pooled_covariance(scatters: &[Matrix], counts: &[usize]) -> Matrix {
+    assert!(!scatters.is_empty(), "no scatter matrices");
+    assert_eq!(scatters.len(), counts.len(), "scatter/count mismatch");
+    let dim = scatters[0].rows();
+    let mut sum = Matrix::zeros(dim, dim);
+    for s in scatters {
+        sum.add_assign_matrix(s);
+    }
+    let total: usize = counts.iter().sum();
+    let classes = scatters.len();
+    let denom = if total > classes {
+        (total - classes) as f64
+    } else {
+        total.max(1) as f64
+    };
+    sum.scaled(1.0 / denom)
+}
+
+/// Computes the squared Mahalanobis distance
+/// `(x − μ)ᵀ Σ⁻¹ (x − μ)` given the *inverse* covariance.
+///
+/// # Panics
+///
+/// Panics if the dimensions do not agree.
+///
+/// # Examples
+///
+/// ```
+/// use grandma_linalg::{mahalanobis_squared, Matrix, Vector};
+///
+/// let inv = Matrix::identity(2);
+/// let x = Vector::from_slice(&[3.0, 4.0]);
+/// let mu = Vector::from_slice(&[0.0, 0.0]);
+/// assert_eq!(mahalanobis_squared(&x, &mu, &inv), 25.0);
+/// ```
+pub fn mahalanobis_squared(x: &Vector, mean: &Vector, inverse_covariance: &Matrix) -> f64 {
+    let centered = x - mean;
+    let transformed = inverse_covariance.mul_vector(&centered);
+    centered.dot(&transformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_single_sample_is_itself() {
+        let s = vec![Vector::from_slice(&[5.0, -1.0])];
+        assert_eq!(mean_vector(&s).as_slice(), &[5.0, -1.0]);
+    }
+
+    #[test]
+    fn scatter_of_symmetric_samples() {
+        let samples = vec![
+            Vector::from_slice(&[-1.0, 0.0]),
+            Vector::from_slice(&[1.0, 0.0]),
+        ];
+        let mean = mean_vector(&samples);
+        let scatter = scatter_matrix(&samples, &mean);
+        assert_eq!(scatter[(0, 0)], 2.0);
+        assert_eq!(scatter[(1, 1)], 0.0);
+        assert_eq!(scatter[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn pooled_covariance_uses_paper_denominator() {
+        // Two classes, three samples each: denominator = 6 - 2 = 4.
+        let s = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 4.0]]);
+        let pooled = pooled_covariance(&[s.clone(), s], &[3, 3]);
+        assert_eq!(pooled[(0, 0)], 2.0);
+        assert_eq!(pooled[(1, 1)], 2.0);
+    }
+
+    #[test]
+    fn pooled_covariance_survives_tiny_sample_counts() {
+        let s = Matrix::from_rows(&[&[1.0]]);
+        let pooled = pooled_covariance(&[s.clone(), s], &[1, 1]);
+        assert!(pooled.is_finite());
+        assert!(pooled[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn mahalanobis_reduces_to_euclidean_for_identity() {
+        let inv = Matrix::identity(3);
+        let x = Vector::from_slice(&[1.0, 2.0, 2.0]);
+        let mu = Vector::zeros(3);
+        assert_eq!(mahalanobis_squared(&x, &mu, &inv), 9.0);
+    }
+
+    #[test]
+    fn mahalanobis_scales_with_inverse_variance() {
+        // Variance 4 along axis 0 → inverse covariance 0.25.
+        let inv = Matrix::from_rows(&[&[0.25, 0.0], &[0.0, 1.0]]);
+        let x = Vector::from_slice(&[2.0, 0.0]);
+        let mu = Vector::zeros(2);
+        assert_eq!(mahalanobis_squared(&x, &mu, &inv), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mean_of_empty_set_panics() {
+        let empty: Vec<Vector> = vec![];
+        let _ = mean_vector(&empty);
+    }
+}

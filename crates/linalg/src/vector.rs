@@ -1,0 +1,261 @@
+//! Dense `f64` vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
+
+/// A dense vector of `f64` components.
+///
+/// Used throughout the reproduction for feature vectors, class means, and
+/// linear-evaluation weight vectors.
+///
+/// # Examples
+///
+/// ```
+/// use grandma_linalg::Vector;
+///
+/// let a = Vector::from_slice(&[1.0, 2.0]);
+/// let b = Vector::from_slice(&[3.0, 4.0]);
+/// assert_eq!(a.dot(&b), 11.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a zero vector with `len` components.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a vector by copying the given slice.
+    pub fn from_slice(values: &[f64]) -> Self {
+        Self {
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a vector from an owned `Vec<f64>` without copying.
+    pub fn from_vec(values: Vec<f64>) -> Self {
+        Self { data: values }
+    }
+
+    /// Returns the number of components.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the vector has no components.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the components as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns the components as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Computes the dot product with another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn dot(&self, other: &Self) -> f64 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "dot product requires equal lengths"
+        );
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Returns the Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Returns a new vector scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            data: self.data.iter().map(|v| v * factor).collect(),
+        }
+    }
+
+    /// Adds `other * factor` to this vector in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn axpy(&mut self, factor: f64, other: &Self) {
+        assert_eq!(self.len(), other.len(), "axpy requires equal lengths");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += factor * b;
+        }
+    }
+
+    /// Returns `true` if every component is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Returns an iterator over the components.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vector{:?}", self.data)
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+
+    fn index(&self, index: usize) -> &f64 {
+        &self.data[index]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, index: usize) -> &mut f64 {
+        &mut self.data[index]
+    }
+}
+
+impl Add<&Vector> for &Vector {
+    type Output = Vector;
+
+    fn add(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "addition requires equal lengths");
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub<&Vector> for &Vector {
+    type Output = Vector;
+
+    fn sub(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "subtraction requires equal lengths");
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "addition requires equal lengths");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+
+    fn mul(self, rhs: f64) -> Vector {
+        self.scaled(rhs)
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(values: Vec<f64>) -> Self {
+        Self::from_vec(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_zero_components() {
+        let v = Vector::zeros(4);
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn dot_product_matches_hand_computation() {
+        let a = Vector::from_slice(&[1.0, -2.0, 3.0]);
+        let b = Vector::from_slice(&[4.0, 5.0, -6.0]);
+        assert_eq!(a.dot(&b), 4.0 - 10.0 - 18.0);
+    }
+
+    #[test]
+    fn norm_of_unit_axis_is_one() {
+        let v = Vector::from_slice(&[0.0, 1.0, 0.0]);
+        assert_eq!(v.norm(), 1.0);
+    }
+
+    #[test]
+    fn add_and_sub_are_componentwise() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[3.0, 5.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates_scaled_vector() {
+        let mut a = Vector::from_slice(&[1.0, 1.0]);
+        let b = Vector::from_slice(&[2.0, -1.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[2.0, 0.5]);
+    }
+
+    #[test]
+    fn scaled_multiplies_every_component() {
+        let v = Vector::from_slice(&[1.0, -2.0]).scaled(3.0);
+        assert_eq!(v.as_slice(), &[3.0, -6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn dot_panics_on_length_mismatch() {
+        let a = Vector::zeros(2);
+        let b = Vector::zeros(3);
+        let _ = a.dot(&b);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut v = Vector::zeros(2);
+        assert!(v.is_finite());
+        v[1] = f64::NAN;
+        assert!(!v.is_finite());
+    }
+
+    #[test]
+    fn indexing_reads_and_writes() {
+        let mut v = Vector::zeros(2);
+        v[0] = 7.0;
+        assert_eq!(v[0], 7.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use grandma_linalg::{mahalanobis_squared, mean_vector, Matrix, Vector};
+use proptest::prelude::*;
+
+/// Strategy producing well-conditioned symmetric positive-definite 3x3
+/// matrices as `A Aᵀ + I`.
+fn spd3() -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f64..3.0, 9).prop_map(|v| {
+        let a = Matrix::from_rows(&[&v[0..3], &v[3..6], &v[6..9]]);
+        let mut m = a.mul_matrix(&a.transpose());
+        m.add_ridge(1.0);
+        m
+    })
+}
+
+fn vec3() -> impl Strategy<Value = Vector> {
+    proptest::collection::vec(-100.0f64..100.0, 3).prop_map(Vector::from_vec)
+}
+
+proptest! {
+    #[test]
+    fn inverse_round_trips(m in spd3()) {
+        let inv = m.inverse().unwrap();
+        let prod = m.mul_matrix(&inv);
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                prop_assert!((prod[(r, c)] - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_solves_linear_systems(m in spd3(), v in vec3()) {
+        let inv = m.inverse().unwrap();
+        let x = inv.mul_vector(&v);
+        let back = m.mul_vector(&x);
+        for i in 0..3 {
+            prop_assert!((back[i] - v[i]).abs() < 1e-6 * (1.0 + v[i].abs()));
+        }
+    }
+
+    #[test]
+    fn determinant_of_product_is_product_of_determinants(a in spd3(), b in spd3()) {
+        let da = a.determinant().unwrap();
+        let db = b.determinant().unwrap();
+        let dab = a.mul_matrix(&b).determinant().unwrap();
+        prop_assert!((dab - da * db).abs() < 1e-6 * (1.0 + dab.abs()));
+    }
+
+    #[test]
+    fn mahalanobis_is_nonnegative_and_zero_at_mean(m in spd3(), v in vec3()) {
+        let inv = m.inverse().unwrap();
+        let mu = Vector::zeros(3);
+        let d = mahalanobis_squared(&v, &mu, &inv);
+        prop_assert!(d >= -1e-9);
+        let at_mean = mahalanobis_squared(&mu, &mu, &inv);
+        prop_assert!(at_mean.abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_is_translation_equivariant(vs in proptest::collection::vec(vec3(), 1..8), shift in vec3()) {
+        let mean = mean_vector(&vs);
+        let shifted: Vec<Vector> = vs.iter().map(|v| v + &shift).collect();
+        let shifted_mean = mean_vector(&shifted);
+        for i in 0..3 {
+            prop_assert!((shifted_mean[i] - (mean[i] + shift[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dot_is_commutative(a in vec3(), b in vec3()) {
+        prop_assert_eq!(a.dot(&b), b.dot(&a));
+    }
+
+    #[test]
+    fn transpose_is_involutive(m in spd3()) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+}

@@ -1,0 +1,198 @@
+//! Multi-path classification, including the eager variant.
+
+use std::fmt;
+
+use grandma_core::{FeatureMask, LinearClassifier, TrainError};
+
+use crate::features::multipath_features;
+use crate::trace::MultiPathGesture;
+
+/// Errors from multi-path training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiPathTrainError {
+    /// The underlying linear training failed.
+    Linear(TrainError),
+    /// A training example had more paths than `max_paths`.
+    TooManyPaths {
+        /// Offending class.
+        class: usize,
+        /// Paths in the offending example.
+        got: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for MultiPathTrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiPathTrainError::Linear(e) => write!(f, "{e}"),
+            MultiPathTrainError::TooManyPaths { class, got, max } => {
+                write!(f, "class {class} example has {got} paths (max {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiPathTrainError {}
+
+/// A classifier over multi-path gestures, built on the same
+/// linear-discriminant engine as the single-stroke recognizer.
+///
+/// Eagerness is supported through [`MultiPathClassifier::classify_prefix`]
+/// margins: the §6 drawing program recognized the two-finger
+/// translate-rotate-scale gesture early enough to hand the rest of the
+/// interaction to the manipulation phase.
+#[derive(Debug, Clone)]
+pub struct MultiPathClassifier {
+    linear: LinearClassifier,
+    mask: FeatureMask,
+    max_paths: usize,
+}
+
+impl MultiPathClassifier {
+    /// Trains from per-class multi-path examples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiPathTrainError`] when an example exceeds
+    /// `max_paths` or linear training fails.
+    pub fn train(
+        per_class: &[Vec<MultiPathGesture>],
+        mask: &FeatureMask,
+        max_paths: usize,
+    ) -> Result<Self, MultiPathTrainError> {
+        let mut samples = Vec::with_capacity(per_class.len());
+        for (class, examples) in per_class.iter().enumerate() {
+            let mut class_samples = Vec::with_capacity(examples.len());
+            for g in examples {
+                if g.path_count() > max_paths {
+                    return Err(MultiPathTrainError::TooManyPaths {
+                        class,
+                        got: g.path_count(),
+                        max: max_paths,
+                    });
+                }
+                class_samples.push(multipath_features(g, mask, max_paths));
+            }
+            samples.push(class_samples);
+        }
+        let linear = LinearClassifier::train(&samples).map_err(MultiPathTrainError::Linear)?;
+        Ok(Self {
+            linear,
+            mask: *mask,
+            max_paths,
+        })
+    }
+
+    /// Classifies a complete multi-path gesture.
+    pub fn classify(&self, gesture: &MultiPathGesture) -> usize {
+        self.linear
+            .classify(&multipath_features(gesture, &self.mask, self.max_paths))
+            .class
+    }
+
+    /// Classifies the `i`-point prefix, returning the class and the
+    /// winning margin (evaluation gap to the runner-up) as an eagerness
+    /// signal. Returns `None` when any path is shorter than `i`.
+    pub fn classify_prefix(&self, gesture: &MultiPathGesture, i: usize) -> Option<(usize, f64)> {
+        let prefix = gesture.prefix(i)?;
+        let c = self
+            .linear
+            .classify(&multipath_features(&prefix, &self.mask, self.max_paths));
+        let best = c.evaluations[c.class];
+        let second = c
+            .evaluations
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| *k != c.class)
+            .map(|(_, v)| *v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        Some((c.class, best - second))
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.linear.num_classes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{two_finger_gesture, TwoFingerKind};
+
+    fn training(n: usize) -> Vec<Vec<MultiPathGesture>> {
+        TwoFingerKind::all()
+            .iter()
+            .enumerate()
+            .map(|(k, &kind)| {
+                (0..n)
+                    .map(|e| two_finger_gesture(kind, (k * 1000 + e) as u64))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn testing(n: usize) -> Vec<(usize, MultiPathGesture)> {
+        let mut out = Vec::new();
+        for (k, &kind) in TwoFingerKind::all().iter().enumerate() {
+            for e in 0..n {
+                out.push((k, two_finger_gesture(kind, (k * 1000 + 500 + e) as u64)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn classifier_separates_the_two_finger_vocabulary() {
+        let c = MultiPathClassifier::train(&training(12), &FeatureMask::all(), 2).unwrap();
+        let mut correct = 0;
+        let tests = testing(10);
+        for (class, g) in &tests {
+            if c.classify(g) == *class {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct * 10 >= tests.len() * 9,
+            "accuracy too low: {correct}/{}",
+            tests.len()
+        );
+    }
+
+    #[test]
+    fn prefix_classification_converges_before_the_end() {
+        let c = MultiPathClassifier::train(&training(12), &FeatureMask::all(), 2).unwrap();
+        let g = two_finger_gesture(TwoFingerKind::Rotate, 12345);
+        let full = c.classify(&g);
+        // By 75% of the gesture the prefix should already agree.
+        let (class, margin) = c.classify_prefix(&g, 15).unwrap();
+        assert_eq!(class, full);
+        assert!(margin > 0.0);
+    }
+
+    #[test]
+    fn prefix_beyond_length_is_none() {
+        let c = MultiPathClassifier::train(&training(8), &FeatureMask::all(), 2).unwrap();
+        let g = two_finger_gesture(TwoFingerKind::Pinch, 7);
+        assert!(c.classify_prefix(&g, 10_000).is_none());
+    }
+
+    #[test]
+    fn too_many_paths_is_reported() {
+        let mut data = training(8);
+        let g = two_finger_gesture(TwoFingerKind::Spread, 1);
+        let three = MultiPathGesture::new(vec![
+            g.paths()[0].clone(),
+            g.paths()[1].clone(),
+            g.paths()[0].clone(),
+        ]);
+        data[0].push(three);
+        let err = MultiPathClassifier::train(&data, &FeatureMask::all(), 2).unwrap_err();
+        assert!(matches!(
+            err,
+            MultiPathTrainError::TooManyPaths { got: 3, .. }
+        ));
+    }
+}

@@ -1,0 +1,127 @@
+//! Feature extraction for multi-path gestures.
+
+use grandma_core::{FeatureExtractor, FeatureMask};
+use grandma_linalg::Vector;
+
+use crate::trace::MultiPathGesture;
+
+/// Extracts the combined feature vector of a multi-path gesture: the
+/// per-path Rubine features (paths ordered by first-point x so finger
+/// labelling is irrelevant), padded to `max_paths`, followed by ensemble
+/// features — the path count, the initial and final inter-path spans, and
+/// their ratio.
+///
+/// # Panics
+///
+/// Panics if the gesture has more than `max_paths` paths.
+pub fn multipath_features(
+    gesture: &MultiPathGesture,
+    mask: &FeatureMask,
+    max_paths: usize,
+) -> Vector {
+    assert!(
+        gesture.path_count() <= max_paths,
+        "gesture has {} paths, classifier supports {max_paths}",
+        gesture.path_count()
+    );
+    let per_path = mask.count();
+    let mut data = Vec::with_capacity(max_paths * per_path + 4);
+    let mut paths: Vec<&grandma_geom::Gesture> = gesture.paths().iter().collect();
+    paths.sort_by(|a, b| {
+        let ax = a.first().map_or(0.0, |p| p.x);
+        let bx = b.first().map_or(0.0, |p| p.x);
+        ax.partial_cmp(&bx).expect("finite coordinates")
+    });
+    for path in &paths {
+        let v = FeatureExtractor::extract(path, mask);
+        data.extend_from_slice(v.as_slice());
+    }
+    for _ in gesture.path_count()..max_paths {
+        data.extend(std::iter::repeat_n(0.0, per_path));
+    }
+    data.push(gesture.path_count() as f64);
+    let span = |idx: usize| -> f64 {
+        if paths.len() < 2 {
+            return 0.0;
+        }
+        let pick = |g: &grandma_geom::Gesture| {
+            if idx == 0 {
+                g.first().copied()
+            } else {
+                g.last().copied()
+            }
+        };
+        match (pick(paths[0]), pick(paths[paths.len() - 1])) {
+            (Some(a), Some(b)) => a.distance(&b),
+            _ => 0.0,
+        }
+    };
+    let initial = span(0);
+    let final_ = span(1);
+    data.push(initial);
+    data.push(final_);
+    data.push(if initial > 1e-9 {
+        final_ / initial
+    } else {
+        0.0
+    });
+    Vector::from_vec(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{two_finger_gesture, TwoFingerKind};
+
+    #[test]
+    fn dimension_is_paths_times_features_plus_ensemble() {
+        let g = two_finger_gesture(TwoFingerKind::Spread, 1);
+        let mask = FeatureMask::all();
+        let v = multipath_features(&g, &mask, 2);
+        assert_eq!(v.len(), 2 * 13 + 4);
+    }
+
+    #[test]
+    fn padding_fills_missing_paths_with_zeros() {
+        let g = two_finger_gesture(TwoFingerKind::Spread, 1);
+        let mask = FeatureMask::all();
+        let v = multipath_features(&g, &mask, 3);
+        assert_eq!(v.len(), 3 * 13 + 4);
+        // The padded third block is zero.
+        for k in 26..39 {
+            assert_eq!(v[k], 0.0);
+        }
+    }
+
+    #[test]
+    fn span_ratio_separates_pinch_and_spread() {
+        let mask = FeatureMask::all();
+        let spread = multipath_features(&two_finger_gesture(TwoFingerKind::Spread, 2), &mask, 2);
+        let pinch = multipath_features(&two_finger_gesture(TwoFingerKind::Pinch, 2), &mask, 2);
+        let ratio_idx = 2 * 13 + 3;
+        assert!(spread[ratio_idx] > 1.5);
+        assert!(pinch[ratio_idx] < 0.7);
+    }
+
+    #[test]
+    fn path_order_is_canonicalized() {
+        let g = two_finger_gesture(TwoFingerKind::Rotate, 5);
+        let swapped = MultiPathGesture::new(vec![g.paths()[1].clone(), g.paths()[0].clone()]);
+        let mask = FeatureMask::all();
+        let a = multipath_features(&g, &mask, 2);
+        let b = multipath_features(&swapped, &mask, 2);
+        for k in 0..a.len() {
+            assert!(
+                (a[k] - b[k]).abs() < 1e-12,
+                "feature {k} depends on finger order"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "supports")]
+    fn too_many_paths_panics() {
+        let g = two_finger_gesture(TwoFingerKind::Spread, 1);
+        let _ = multipath_features(&g, &FeatureMask::all(), 1);
+    }
+}

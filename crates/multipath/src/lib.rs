@@ -1,0 +1,41 @@
+//! Multi-path (multi-finger) gestures: the §6 extension.
+//!
+//! "The two-phase interaction technique is also applicable to multi-path
+//! gestures. Using the Sensor Frame as an input device, I have implemented
+//! a drawing program based on multiple finger gestures. ... For example,
+//! the translate-rotate-scale gesture is made with two fingers, which
+//! during the manipulation phase allow for simultaneous rotation,
+//! translation, and scaling of graphic objects."
+//!
+//! The Sensor Frame is unavailable hardware; per DESIGN.md §2 the
+//! substitution is synthetic multi-finger traces. The recognition approach
+//! follows the single-stroke machinery: each path contributes a Rubine
+//! feature vector, global features describe the path ensemble, and the
+//! same linear-discriminant training applies to the combined vector.
+//!
+//! # Examples
+//!
+//! ```
+//! use grandma_multipath::{trs_transform, MultiPathGesture};
+//! use grandma_geom::Point;
+//!
+//! // Two fingers move apart symmetrically: pure scale about the center.
+//! let t = trs_transform(
+//!     (Point::xy(-1.0, 0.0), Point::xy(1.0, 0.0)),
+//!     (Point::xy(-2.0, 0.0), Point::xy(2.0, 0.0)),
+//! );
+//! let p = t.apply(&Point::xy(1.0, 1.0));
+//! assert!((p.x - 2.0).abs() < 1e-9);
+//! assert!((p.y - 2.0).abs() < 1e-9);
+//! let _ = MultiPathGesture::new(vec![]);
+//! ```
+
+mod classify;
+mod features;
+mod trace;
+mod trs;
+
+pub use classify::{MultiPathClassifier, MultiPathTrainError};
+pub use features::multipath_features;
+pub use trace::{two_finger_gesture, MultiPathGesture, TwoFingerKind};
+pub use trs::{trs_session, trs_transform, TrsSession};

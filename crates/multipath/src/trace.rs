@@ -1,0 +1,190 @@
+//! Multi-finger traces and their synthesis.
+
+use grandma_geom::{Gesture, Point};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A multi-path gesture: one [`Gesture`] per finger, sampled over the same
+/// time base.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiPathGesture {
+    paths: Vec<Gesture>,
+}
+
+impl MultiPathGesture {
+    /// Creates a multi-path gesture.
+    pub fn new(paths: Vec<Gesture>) -> Self {
+        Self { paths }
+    }
+
+    /// Number of fingers.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The individual finger paths.
+    pub fn paths(&self) -> &[Gesture] {
+        &self.paths
+    }
+
+    /// The `i`-points-per-path prefix (the multi-path analogue of the
+    /// subgesture `g[i]`), or `None` when any path is shorter than `i`.
+    pub fn prefix(&self, i: usize) -> Option<MultiPathGesture> {
+        let paths: Option<Vec<Gesture>> = self.paths.iter().map(|p| p.subgesture(i)).collect();
+        paths.map(MultiPathGesture::new)
+    }
+
+    /// The shortest path length.
+    pub fn min_len(&self) -> usize {
+        self.paths.iter().map(Gesture::len).min().unwrap_or(0)
+    }
+}
+
+/// The synthetic two-finger gesture vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoFingerKind {
+    /// Fingers move apart (zoom in).
+    Spread,
+    /// Fingers move together (zoom out).
+    Pinch,
+    /// Fingers orbit their midpoint counterclockwise.
+    Rotate,
+    /// Fingers translate in parallel.
+    Translate,
+}
+
+impl TwoFingerKind {
+    /// All kinds, in class-index order.
+    pub fn all() -> [TwoFingerKind; 4] {
+        [
+            TwoFingerKind::Spread,
+            TwoFingerKind::Pinch,
+            TwoFingerKind::Rotate,
+            TwoFingerKind::Translate,
+        ]
+    }
+}
+
+/// Synthesizes one two-finger gesture of the given kind, with seeded
+/// per-example variation (initial separation, orientation, speed).
+pub fn two_finger_gesture(kind: TwoFingerKind, seed: u64) -> MultiPathGesture {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sep = 30.0 + grandma_synth::normal(&mut rng, 0.0, 4.0);
+    let orient = grandma_synth::normal(&mut rng, 0.0, 0.5);
+    let jitter = 0.6;
+    let n = 20;
+    let (cx, cy) = (100.0, 100.0);
+    let mut a = Vec::with_capacity(n);
+    let mut b = Vec::with_capacity(n);
+    for i in 0..n {
+        let s = i as f64 / (n - 1) as f64;
+        let t = i as f64 * 15.0;
+        let (ax, ay, bx, by) = match kind {
+            TwoFingerKind::Spread => {
+                let r = sep * (0.5 + s);
+                (
+                    cx - r * orient.cos(),
+                    cy - r * orient.sin(),
+                    cx + r * orient.cos(),
+                    cy + r * orient.sin(),
+                )
+            }
+            TwoFingerKind::Pinch => {
+                let r = sep * (1.5 - s);
+                (
+                    cx - r * orient.cos(),
+                    cy - r * orient.sin(),
+                    cx + r * orient.cos(),
+                    cy + r * orient.sin(),
+                )
+            }
+            TwoFingerKind::Rotate => {
+                let angle = orient + s * 1.6;
+                (
+                    cx - sep * angle.cos(),
+                    cy - sep * angle.sin(),
+                    cx + sep * angle.cos(),
+                    cy + sep * angle.sin(),
+                )
+            }
+            TwoFingerKind::Translate => {
+                let dx = s * 60.0 * orient.cos();
+                let dy = s * 60.0 * orient.sin();
+                (cx - sep + dx, cy + dy, cx + sep + dx, cy + dy)
+            }
+        };
+        let jx = grandma_synth::normal(&mut rng, 0.0, jitter);
+        let jy = grandma_synth::normal(&mut rng, 0.0, jitter);
+        a.push(Point::new(ax + jx, ay + jy, t));
+        b.push(Point::new(bx - jx, by + jy, t));
+    }
+    MultiPathGesture::new(vec![Gesture::from_points(a), Gesture::from_points(b)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_finger_gestures_have_two_equal_length_paths() {
+        for kind in TwoFingerKind::all() {
+            let g = two_finger_gesture(kind, 1);
+            assert_eq!(g.path_count(), 2);
+            assert_eq!(g.paths()[0].len(), g.paths()[1].len());
+        }
+    }
+
+    #[test]
+    fn prefix_truncates_all_paths() {
+        let g = two_finger_gesture(TwoFingerKind::Spread, 2);
+        let p = g.prefix(5).unwrap();
+        assert!(p.paths().iter().all(|path| path.len() == 5));
+        assert!(g.prefix(100).is_none());
+    }
+
+    #[test]
+    fn spread_increases_separation_and_pinch_decreases() {
+        let spread = two_finger_gesture(TwoFingerKind::Spread, 3);
+        let first = spread.paths()[0]
+            .first()
+            .unwrap()
+            .distance(spread.paths()[1].first().unwrap());
+        let last = spread.paths()[0]
+            .last()
+            .unwrap()
+            .distance(spread.paths()[1].last().unwrap());
+        assert!(last > first * 1.5);
+
+        let pinch = two_finger_gesture(TwoFingerKind::Pinch, 3);
+        let first = pinch.paths()[0]
+            .first()
+            .unwrap()
+            .distance(pinch.paths()[1].first().unwrap());
+        let last = pinch.paths()[0]
+            .last()
+            .unwrap()
+            .distance(pinch.paths()[1].last().unwrap());
+        assert!(last < first * 0.6);
+    }
+
+    #[test]
+    fn rotate_keeps_separation_roughly_constant() {
+        let g = two_finger_gesture(TwoFingerKind::Rotate, 4);
+        let first = g.paths()[0]
+            .first()
+            .unwrap()
+            .distance(g.paths()[1].first().unwrap());
+        let last = g.paths()[0]
+            .last()
+            .unwrap()
+            .distance(g.paths()[1].last().unwrap());
+        assert!((last / first - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = two_finger_gesture(TwoFingerKind::Translate, 9);
+        let b = two_finger_gesture(TwoFingerKind::Translate, 9);
+        assert_eq!(a, b);
+    }
+}

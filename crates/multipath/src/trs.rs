@@ -1,0 +1,142 @@
+//! Two-finger translate-rotate-scale manipulation.
+//!
+//! §6: "the translate-rotate-scale gesture is made with two fingers, which
+//! during the manipulation phase allow for simultaneous rotation,
+//! translation, and scaling of graphic objects."
+
+use grandma_geom::{Point, Transform};
+
+/// Computes the similarity transform (translation + rotation + uniform
+/// scale) that maps the initial two finger positions onto the current two
+/// finger positions.
+///
+/// This is the exact two-point similarity solve: the segment between the
+/// fingers is carried onto the new segment.
+///
+/// Degenerate input (coincident initial fingers) yields a pure
+/// translation of the midpoint.
+pub fn trs_transform(initial: (Point, Point), current: (Point, Point)) -> Transform {
+    let (a0, b0) = initial;
+    let (a1, b1) = current;
+    let v0 = (b0.x - a0.x, b0.y - a0.y);
+    let v1 = (b1.x - a1.x, b1.y - a1.y);
+    let len0 = (v0.0 * v0.0 + v0.1 * v0.1).sqrt();
+    let len1 = (v1.0 * v1.0 + v1.1 * v1.1).sqrt();
+    let mid0 = Point::xy((a0.x + b0.x) / 2.0, (a0.y + b0.y) / 2.0);
+    let mid1 = Point::xy((a1.x + b1.x) / 2.0, (a1.y + b1.y) / 2.0);
+    if len0 < 1e-9 {
+        return Transform::translation(mid1.x - mid0.x, mid1.y - mid0.y);
+    }
+    let scale = len1 / len0;
+    let angle = v1.1.atan2(v1.0) - v0.1.atan2(v0.0);
+    // Map mid0 -> mid1 while rotating/scaling about the midpoint.
+    Transform::translation(mid1.x, mid1.y)
+        .then_inner(&Transform::rotation(angle))
+        .then_inner(&Transform::scale(scale))
+        .then_inner(&Transform::translation(-mid0.x, -mid0.y))
+}
+
+/// An incremental two-finger manipulation session: feed finger positions
+/// per frame, read back the cumulative transform to apply to the grabbed
+/// object.
+#[derive(Debug, Clone)]
+pub struct TrsSession {
+    initial: (Point, Point),
+    current: (Point, Point),
+}
+
+/// Starts a session from the finger positions at the phase transition.
+pub fn trs_session(initial: (Point, Point)) -> TrsSession {
+    TrsSession {
+        initial,
+        current: initial,
+    }
+}
+
+impl TrsSession {
+    /// Updates the finger positions.
+    pub fn update(&mut self, a: Point, b: Point) {
+        self.current = (a, b);
+    }
+
+    /// The cumulative transform from the session start.
+    pub fn transform(&self) -> Transform {
+        trs_transform(self.initial, self.current)
+    }
+
+    /// The incremental transform from `previous` finger positions to the
+    /// current ones.
+    pub fn incremental_from(&self, previous: (Point, Point)) -> Transform {
+        trs_transform(previous, self.current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(p: Point, x: f64, y: f64) {
+        assert!(
+            (p.x - x).abs() < 1e-9 && (p.y - y).abs() < 1e-9,
+            "{p:?} != ({x}, {y})"
+        );
+    }
+
+    #[test]
+    fn parallel_motion_is_pure_translation() {
+        let t = trs_transform(
+            (Point::xy(0.0, 0.0), Point::xy(10.0, 0.0)),
+            (Point::xy(5.0, 3.0), Point::xy(15.0, 3.0)),
+        );
+        close(t.apply(&Point::xy(0.0, 0.0)), 5.0, 3.0);
+        close(t.apply(&Point::xy(10.0, 10.0)), 15.0, 13.0);
+    }
+
+    #[test]
+    fn symmetric_spread_is_pure_scale() {
+        let t = trs_transform(
+            (Point::xy(-1.0, 0.0), Point::xy(1.0, 0.0)),
+            (Point::xy(-3.0, 0.0), Point::xy(3.0, 0.0)),
+        );
+        close(t.apply(&Point::xy(0.0, 1.0)), 0.0, 3.0);
+    }
+
+    #[test]
+    fn orbiting_fingers_rotate_about_midpoint() {
+        // Fingers at (±1, 0) rotate to (0, ∓1)... i.e. a -90° turn.
+        let t = trs_transform(
+            (Point::xy(-1.0, 0.0), Point::xy(1.0, 0.0)),
+            (Point::xy(0.0, 1.0), Point::xy(0.0, -1.0)),
+        );
+        close(t.apply(&Point::xy(1.0, 0.0)), 0.0, -1.0);
+        close(t.apply(&Point::xy(0.0, 0.0)), 0.0, 0.0);
+    }
+
+    #[test]
+    fn fingers_map_exactly_onto_their_images() {
+        let initial = (Point::xy(2.0, 3.0), Point::xy(8.0, 5.0));
+        let current = (Point::xy(-1.0, 4.0), Point::xy(3.0, 12.0));
+        let t = trs_transform(initial, current);
+        close(t.apply(&initial.0), current.0.x, current.0.y);
+        close(t.apply(&initial.1), current.1.x, current.1.y);
+    }
+
+    #[test]
+    fn degenerate_initial_fingers_translate_midpoints() {
+        let t = trs_transform(
+            (Point::xy(1.0, 1.0), Point::xy(1.0, 1.0)),
+            (Point::xy(5.0, 2.0), Point::xy(7.0, 2.0)),
+        );
+        close(t.apply(&Point::xy(1.0, 1.0)), 6.0, 2.0);
+    }
+
+    #[test]
+    fn session_accumulates_and_is_consistent() {
+        let mut s = trs_session((Point::xy(0.0, 0.0), Point::xy(10.0, 0.0)));
+        s.update(Point::xy(0.0, 0.0), Point::xy(20.0, 0.0));
+        let t = s.transform();
+        // Scale 2 about midpoint motion: finger a fixed at 0, finger b to 20.
+        close(t.apply(&Point::xy(10.0, 0.0)), 20.0, 0.0);
+        close(t.apply(&Point::xy(0.0, 0.0)), 0.0, 0.0);
+    }
+}

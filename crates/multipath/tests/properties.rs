@@ -1,0 +1,70 @@
+//! Property-based tests for the multi-path extension.
+
+use grandma_geom::{Point, Transform};
+use grandma_multipath::{trs_transform, two_finger_gesture, MultiPathGesture, TwoFingerKind};
+use proptest::prelude::*;
+
+fn point() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::xy(x, y))
+}
+
+proptest! {
+    #[test]
+    fn trs_maps_fingers_onto_their_images(a0 in point(), b0 in point(), a1 in point(), b1 in point()) {
+        prop_assume!(a0.distance(&b0) > 1.0);
+        let t = trs_transform((a0, b0), (a1, b1));
+        let ia = t.apply(&a0);
+        let ib = t.apply(&b0);
+        prop_assert!(ia.distance(&a1) < 1e-6, "finger a: {ia:?} vs {a1:?}");
+        prop_assert!(ib.distance(&b1) < 1e-6, "finger b: {ib:?} vs {b1:?}");
+    }
+
+    #[test]
+    fn trs_is_a_similarity(a0 in point(), b0 in point(), a1 in point(), b1 in point(), p in point(), q in point()) {
+        prop_assume!(a0.distance(&b0) > 1.0);
+        prop_assume!(a1.distance(&b1) > 1.0);
+        let t = trs_transform((a0, b0), (a1, b1));
+        // Distances scale by a single global factor.
+        let scale = a1.distance(&b1) / a0.distance(&b0);
+        let d_before = p.distance(&q);
+        let d_after = t.apply(&p).distance(&t.apply(&q));
+        prop_assert!((d_after - scale * d_before).abs() < 1e-6 * (1.0 + d_after));
+    }
+
+    #[test]
+    fn identity_finger_motion_is_identity(a in point(), b in point(), p in point()) {
+        prop_assume!(a.distance(&b) > 1.0);
+        let t = trs_transform((a, b), (a, b));
+        let image = t.apply(&p);
+        prop_assert!(image.distance(&p) < 1e-9);
+    }
+
+    #[test]
+    fn prefix_never_exceeds_min_len(kind_idx in 0usize..4, seed in 0u64..500, i in 0usize..40) {
+        let kind = TwoFingerKind::all()[kind_idx];
+        let g = two_finger_gesture(kind, seed);
+        match g.prefix(i) {
+            Some(p) => {
+                prop_assert!(i <= g.min_len());
+                prop_assert!(p.paths().iter().all(|path| path.len() == i));
+            }
+            None => prop_assert!(i > g.min_len()),
+        }
+    }
+
+    #[test]
+    fn gesture_transform_commutes_with_path_access(kind_idx in 0usize..4, seed in 0u64..200, dx in -50.0f64..50.0) {
+        let kind = TwoFingerKind::all()[kind_idx];
+        let g = two_finger_gesture(kind, seed);
+        let moved = MultiPathGesture::new(
+            g.paths()
+                .iter()
+                .map(|p| p.transformed(&Transform::translation(dx, 0.0)))
+                .collect(),
+        );
+        prop_assert_eq!(moved.path_count(), g.path_count());
+        for (a, b) in moved.paths().iter().zip(g.paths()) {
+            prop_assert!((a.path_length() - b.path_length()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Evaluation environments: variables plus lazily bound attributes.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::error::SemError;
+use crate::value::Value;
+
+/// The lazy attribute source: maps an attribute name (`"startX"`,
+/// `"currentY"`, `"enclosed"`, ...) to a value, computed on demand.
+pub type AttrFn = Rc<dyn Fn(&str) -> Option<Value>>;
+
+/// An evaluation environment.
+///
+/// Variables (`view`, `recog`, `handler`, ...) are explicit bindings;
+/// gestural attributes (`<startX>`, `<currentX>`, ...) are resolved through
+/// a lazily invoked closure installed by the gesture handler, reproducing
+/// §3.2's "values of many gestural attributes are lazily bound to
+/// variables in the environment".
+///
+/// # Examples
+///
+/// ```
+/// use grandma_sem::{Env, Value};
+///
+/// let mut env = Env::new();
+/// env.bind("view", Value::Num(1.0));
+/// assert_eq!(env.lookup("view").unwrap().as_num(), Some(1.0));
+/// assert!(env.lookup("other").is_err());
+/// ```
+#[derive(Clone)]
+pub struct Env {
+    vars: HashMap<String, Value>,
+    attrs: Option<AttrFn>,
+}
+
+impl Env {
+    /// Creates an empty environment with no attribute source.
+    pub fn new() -> Self {
+        Self {
+            vars: HashMap::new(),
+            attrs: None,
+        }
+    }
+
+    /// Binds a variable.
+    pub fn bind(&mut self, name: &str, value: Value) {
+        self.vars.insert(name.to_string(), value);
+    }
+
+    /// Looks up a variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SemError::UnknownVariable`] when unbound.
+    pub fn lookup(&self, name: &str) -> Result<Value, SemError> {
+        self.vars
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SemError::UnknownVariable {
+                name: name.to_string(),
+            })
+    }
+
+    /// Returns `true` if a variable is bound.
+    pub fn is_bound(&self, name: &str) -> bool {
+        self.vars.contains_key(name)
+    }
+
+    /// Installs the attribute source (replacing any previous one).
+    pub fn set_attr_source(&mut self, source: AttrFn) {
+        self.attrs = Some(source);
+    }
+
+    /// Resolves a gestural attribute through the lazy source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SemError::UnknownAttribute`] when no source is installed
+    /// or the source does not provide the attribute.
+    pub fn attr(&self, name: &str) -> Result<Value, SemError> {
+        self.attrs
+            .as_ref()
+            .and_then(|f| f(name))
+            .ok_or_else(|| SemError::UnknownAttribute {
+                name: name.to_string(),
+            })
+    }
+}
+
+impl Default for Env {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Env {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&String> = self.vars.keys().collect();
+        names.sort();
+        f.debug_struct("Env")
+            .field("vars", &names)
+            .field("has_attrs", &self.attrs.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_lookup_round_trip() {
+        let mut env = Env::new();
+        env.bind("x", Value::Num(7.0));
+        assert_eq!(env.lookup("x").unwrap().as_num(), Some(7.0));
+        assert!(env.is_bound("x"));
+        assert!(!env.is_bound("y"));
+    }
+
+    #[test]
+    fn rebinding_replaces_value() {
+        let mut env = Env::new();
+        env.bind("x", Value::Num(1.0));
+        env.bind("x", Value::Num(2.0));
+        assert_eq!(env.lookup("x").unwrap().as_num(), Some(2.0));
+    }
+
+    #[test]
+    fn attributes_resolve_through_source() {
+        let mut env = Env::new();
+        env.set_attr_source(Rc::new(|name| match name {
+            "startX" => Some(Value::Num(12.0)),
+            _ => None,
+        }));
+        assert_eq!(env.attr("startX").unwrap().as_num(), Some(12.0));
+        assert!(matches!(
+            env.attr("other"),
+            Err(SemError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn attributes_without_source_error() {
+        let env = Env::new();
+        assert!(env.attr("startX").is_err());
+    }
+
+    #[test]
+    fn attribute_source_is_lazy() {
+        use std::cell::Cell;
+        let calls = Rc::new(Cell::new(0));
+        let calls2 = calls.clone();
+        let mut env = Env::new();
+        env.set_attr_source(Rc::new(move |_| {
+            calls2.set(calls2.get() + 1);
+            Some(Value::Nil)
+        }));
+        assert_eq!(calls.get(), 0, "nothing computed until asked");
+        let _ = env.attr("a");
+        assert_eq!(calls.get(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Interpreter errors.
+
+use std::fmt;
+
+/// Errors raised while evaluating gesture semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemError {
+    /// A variable was read before being bound.
+    UnknownVariable {
+        /// The variable name.
+        name: String,
+    },
+    /// A gestural attribute is not provided by the current interaction.
+    UnknownAttribute {
+        /// The attribute name (without angle brackets).
+        name: String,
+    },
+    /// A message was sent to a non-object value.
+    NotAnObject {
+        /// The selector that was being sent.
+        selector: String,
+        /// A rendering of the receiver.
+        receiver: String,
+    },
+    /// The receiving object does not understand the selector.
+    UnknownSelector {
+        /// The receiver's type name.
+        type_name: String,
+        /// The selector.
+        selector: String,
+    },
+    /// An argument had the wrong type or was out of range.
+    BadArgument {
+        /// The selector being handled.
+        selector: String,
+        /// A human-readable explanation.
+        message: String,
+    },
+    /// Application-defined failure raised by a message handler.
+    App {
+        /// A human-readable explanation.
+        message: String,
+    },
+}
+
+impl SemError {
+    /// Convenience constructor for [`SemError::UnknownSelector`].
+    pub fn unknown_selector(type_name: &str, selector: &str) -> Self {
+        SemError::UnknownSelector {
+            type_name: type_name.to_string(),
+            selector: selector.to_string(),
+        }
+    }
+
+    /// Convenience constructor for [`SemError::BadArgument`].
+    pub fn bad_argument(selector: &str, message: impl Into<String>) -> Self {
+        SemError::BadArgument {
+            selector: selector.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SemError::App`].
+    pub fn app(message: impl Into<String>) -> Self {
+        SemError::App {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemError::UnknownVariable { name } => write!(f, "unknown variable `{name}`"),
+            SemError::UnknownAttribute { name } => write!(f, "unknown attribute `<{name}>`"),
+            SemError::NotAnObject { selector, receiver } => {
+                write!(f, "cannot send `{selector}` to non-object {receiver}")
+            }
+            SemError::UnknownSelector {
+                type_name,
+                selector,
+            } => {
+                write!(f, "{type_name} does not understand `{selector}`")
+            }
+            SemError::BadArgument { selector, message } => {
+                write!(f, "bad argument to `{selector}`: {message}")
+            }
+            SemError::App { message } => write!(f, "application error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SemError::unknown_selector("Rect", "frobnicate");
+        assert_eq!(e.to_string(), "Rect does not understand `frobnicate`");
+        let e = SemError::UnknownAttribute {
+            name: "startX".into(),
+        };
+        assert!(e.to_string().contains("<startX>"));
+    }
+}

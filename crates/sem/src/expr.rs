@@ -1,0 +1,129 @@
+//! Semantic expression trees.
+
+/// A semantic expression, the Rust rendering of GRANDMA's interpreted
+/// Objective-C fragments.
+///
+/// Build with the constructor helpers; evaluate with [`crate::eval`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The literal `nil`.
+    Nil,
+    /// A numeric literal.
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// A variable reference (`view`, `recog`, ...).
+    Var(String),
+    /// A gestural attribute reference (`<startX>`, ...), named without the
+    /// angle brackets.
+    Attr(String),
+    /// Binds the result of the expression to a variable, returning it.
+    Assign(String, Box<Expr>),
+    /// A message send `[receiver selector:args...]`.
+    Send {
+        /// The receiver expression.
+        receiver: Box<Expr>,
+        /// The selector, Objective-C style (one `:` per argument).
+        selector: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Evaluates expressions left to right, yielding the last one's value
+    /// (`nil` when empty).
+    Seq(Vec<Expr>),
+}
+
+impl Expr {
+    /// A numeric literal.
+    pub fn num(n: f64) -> Expr {
+        Expr::Num(n)
+    }
+
+    /// A string literal.
+    pub fn str(s: &str) -> Expr {
+        Expr::Str(s.to_string())
+    }
+
+    /// A variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// A gestural attribute reference (pass the name without brackets).
+    pub fn attr(name: &str) -> Expr {
+        Expr::Attr(name.to_string())
+    }
+
+    /// An assignment.
+    pub fn assign(name: &str, value: Expr) -> Expr {
+        Expr::Assign(name.to_string(), Box::new(value))
+    }
+
+    /// A message send.
+    pub fn send(receiver: Expr, selector: &str, args: Vec<Expr>) -> Expr {
+        Expr::Send {
+            receiver: Box::new(receiver),
+            selector: selector.to_string(),
+            args,
+        }
+    }
+
+    /// A sequence.
+    pub fn seq(exprs: Vec<Expr>) -> Expr {
+        Expr::Seq(exprs)
+    }
+}
+
+/// The three expressions giving a gesture's behaviour (§3.2).
+///
+/// The gesture handler evaluates `recog` at the phase transition (binding
+/// its value to the variable `recog`), `manip` on every manipulation-phase
+/// mouse point, and `done` when the mouse button is released.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GestureSemantics {
+    /// Evaluated when the gesture is recognized.
+    pub recog: Expr,
+    /// Evaluated for each manipulation-phase mouse point.
+    pub manip: Expr,
+    /// Evaluated when the interaction ends.
+    pub done: Expr,
+}
+
+impl GestureSemantics {
+    /// Semantics that do nothing at all three stages.
+    pub fn noop() -> Self {
+        Self {
+            recog: Expr::Nil,
+            manip: Expr::Nil,
+            done: Expr::Nil,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_expected_variants() {
+        assert_eq!(Expr::num(1.5), Expr::Num(1.5));
+        assert_eq!(Expr::var("view"), Expr::Var("view".into()));
+        assert_eq!(Expr::attr("startX"), Expr::Attr("startX".into()));
+        let send = Expr::send(Expr::var("v"), "m:", vec![Expr::num(1.0)]);
+        match send {
+            Expr::Send { selector, args, .. } => {
+                assert_eq!(selector, "m:");
+                assert_eq!(args.len(), 1);
+            }
+            _ => panic!("expected send"),
+        }
+    }
+
+    #[test]
+    fn noop_semantics_are_all_nil() {
+        let s = GestureSemantics::noop();
+        assert_eq!(s.recog, Expr::Nil);
+        assert_eq!(s.manip, Expr::Nil);
+        assert_eq!(s.done, Expr::Nil);
+    }
+}

@@ -1,0 +1,61 @@
+//! The gesture-semantics interpreter.
+//!
+//! In GRANDMA, each gesture's behaviour is given by three expressions
+//! evaluated by "a simple Objective-C message interpreter built into
+//! GRANDMA" (§3.2):
+//!
+//! * `recog` — evaluated when the gesture is recognized (at the phase
+//!   transition),
+//! * `manip` — evaluated for each mouse point that arrives during the
+//!   manipulation phase,
+//! * `done` — evaluated when the interaction ends (mouse button released).
+//!
+//! During evaluation "the values of many gestural attributes are lazily
+//! bound to variables in the environment" — `<startX>`, `<currentX>`,
+//! `<enclosed>`, and friends — so application code can use them as
+//! parameters. This crate reproduces that extension point in Rust: dynamic
+//! [`Value`]s, objects receiving selector-based messages
+//! ([`SemObject`]), an [`Env`] with variables and lazily computed
+//! attributes, and a small expression [`Expr`] tree with an evaluator.
+//!
+//! # Examples
+//!
+//! The paper's rectangle semantics, transliterated (§3.2):
+//!
+//! ```
+//! use grandma_sem::{Env, Expr, GestureSemantics};
+//!
+//! let semantics = GestureSemantics {
+//!     // recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>]
+//!     recog: Expr::send(
+//!         Expr::send(Expr::var("view"), "createRect", vec![]),
+//!         "setEndpoint:x:y:",
+//!         vec![Expr::num(0.0), Expr::attr("startX"), Expr::attr("startY")],
+//!     ),
+//!     // manip = [recog setEndpoint:1 x:<currentX> y:<currentY>]
+//!     manip: Expr::send(
+//!         Expr::var("recog"),
+//!         "setEndpoint:x:y:",
+//!         vec![Expr::num(1.0), Expr::attr("currentX"), Expr::attr("currentY")],
+//!     ),
+//!     done: Expr::Nil,
+//! };
+//! assert!(matches!(semantics.done, Expr::Nil));
+//! let _ = Env::new(); // environments carry the variable/attribute bindings
+//! ```
+
+mod env;
+mod error;
+mod expr;
+mod interp;
+mod object;
+mod parser;
+mod value;
+
+pub use env::Env;
+pub use error::SemError;
+pub use expr::{Expr, GestureSemantics};
+pub use interp::eval;
+pub use object::{obj_ref, ObjRef, Recorder, SemObject};
+pub use parser::{parse, ParseError};
+pub use value::Value;

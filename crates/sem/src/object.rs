@@ -1,0 +1,159 @@
+//! Dynamic message-receiving objects.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::error::SemError;
+use crate::value::Value;
+
+/// A shared, mutable reference to a semantics object.
+///
+/// GRANDMA's interpreter sent Objective-C messages to application objects;
+/// the Rust equivalent is shared interior mutability over a trait object.
+pub type ObjRef = Rc<RefCell<dyn SemObject>>;
+
+/// An application object that can receive semantic messages.
+///
+/// Implementors dispatch on the selector string (Objective-C style, with
+/// one `:` per argument, e.g. `"setEndpoint:x:y:"`) and return a
+/// [`Value`]. Unknown selectors should return
+/// [`SemError::UnknownSelector`].
+///
+/// # Examples
+///
+/// ```
+/// use grandma_sem::{SemError, SemObject, Value};
+///
+/// struct Counter(f64);
+///
+/// impl SemObject for Counter {
+///     fn type_name(&self) -> &'static str {
+///         "Counter"
+///     }
+///     fn send(&mut self, selector: &str, args: &[Value]) -> Result<Value, SemError> {
+///         match selector {
+///             "increment" => {
+///                 self.0 += 1.0;
+///                 Ok(Value::Num(self.0))
+///             }
+///             "add:" => {
+///                 self.0 += args[0].as_num().unwrap_or(0.0);
+///                 Ok(Value::Num(self.0))
+///             }
+///             _ => Err(SemError::unknown_selector(self.type_name(), selector)),
+///         }
+///     }
+/// }
+///
+/// let mut c = Counter(0.0);
+/// assert_eq!(c.send("increment", &[]).unwrap().as_num(), Some(1.0));
+/// assert!(c.send("reset", &[]).is_err());
+/// ```
+pub trait SemObject {
+    /// A short type name for diagnostics (`"GdpScene"`, `"Rect"`, ...).
+    fn type_name(&self) -> &'static str;
+
+    /// Handles one message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SemError::UnknownSelector`] for unhandled selectors, or
+    /// any other [`SemError`] the handler raises.
+    fn send(&mut self, selector: &str, args: &[Value]) -> Result<Value, SemError>;
+}
+
+/// Wraps a concrete object into an [`ObjRef`].
+pub fn obj_ref<T: SemObject + 'static>(object: T) -> ObjRef {
+    Rc::new(RefCell::new(object))
+}
+
+/// A test double that records every message it receives and answers `nil`
+/// (or a scripted reply).
+///
+/// # Examples
+///
+/// ```
+/// use grandma_sem::{Recorder, SemObject, Value};
+///
+/// let mut r = Recorder::new();
+/// r.send("moveTo:x:", &[Value::Num(1.0), Value::Num(2.0)]).unwrap();
+/// assert_eq!(r.log()[0].0, "moveTo:x:");
+/// ```
+#[derive(Default)]
+pub struct Recorder {
+    log: Vec<(String, Vec<Value>)>,
+    replies: Vec<(String, Value)>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scripts a reply for a selector (otherwise messages answer `nil`).
+    pub fn reply_with(mut self, selector: &str, value: Value) -> Self {
+        self.replies.push((selector.to_string(), value));
+        self
+    }
+
+    /// Returns the received messages in order.
+    pub fn log(&self) -> &[(String, Vec<Value>)] {
+        &self.log
+    }
+
+    /// Returns how many times a selector was received.
+    pub fn count(&self, selector: &str) -> usize {
+        self.log.iter().filter(|(s, _)| s == selector).count()
+    }
+}
+
+impl SemObject for Recorder {
+    fn type_name(&self) -> &'static str {
+        "Recorder"
+    }
+
+    fn send(&mut self, selector: &str, args: &[Value]) -> Result<Value, SemError> {
+        self.log.push((selector.to_string(), args.to_vec()));
+        let reply = self
+            .replies
+            .iter()
+            .find(|(s, _)| s == selector)
+            .map(|(_, v)| v.clone())
+            .unwrap_or(Value::Nil);
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_logs_messages_in_order() {
+        let mut r = Recorder::new();
+        r.send("a", &[]).unwrap();
+        r.send("b:", &[Value::Num(1.0)]).unwrap();
+        assert_eq!(r.log().len(), 2);
+        assert_eq!(r.log()[1].0, "b:");
+        assert_eq!(r.count("a"), 1);
+        assert_eq!(r.count("c"), 0);
+    }
+
+    #[test]
+    fn recorder_scripted_replies() {
+        let mut r = Recorder::new().reply_with("answer", Value::Num(42.0));
+        assert_eq!(r.send("answer", &[]).unwrap().as_num(), Some(42.0));
+        assert!(r.send("other", &[]).unwrap().is_nil());
+    }
+
+    #[test]
+    fn obj_ref_shares_state() {
+        let shared = obj_ref(Recorder::new());
+        shared.borrow_mut().send("ping", &[]).unwrap();
+        let another = shared.clone();
+        another.borrow_mut().send("ping", &[]).unwrap();
+        let log_len = shared.borrow().type_name().len();
+        assert_eq!(log_len, "Recorder".len());
+    }
+}

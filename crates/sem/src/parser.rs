@@ -1,0 +1,465 @@
+//! A parser for GRANDMA's Objective-C-flavoured semantics syntax.
+//!
+//! The paper writes gesture semantics as interpreted text (§3.2):
+//!
+//! ```text
+//! recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>];
+//! manip = [recog setEndpoint:1 x:<currentX> y:<currentY>];
+//! done  = nil;
+//! ```
+//!
+//! [`parse`] turns that text into an [`Expr`] tree:
+//!
+//! * `[receiver selector]` — unary message send.
+//! * `[receiver key:arg key2:arg2]` — keyword send with selector
+//!   `"key:key2:"`.
+//! * `<name>` — a gestural attribute.
+//! * bare identifiers — variables; `name = expr` binds one.
+//! * numbers, `"strings"`, `nil` — literals.
+//! * `;` — sequencing (the whole program evaluates to its last
+//!   expression's value).
+//!
+//! # Examples
+//!
+//! ```
+//! use grandma_sem::{parse, Expr};
+//!
+//! let expr = parse("[[view createRect] setEndpoint:0 x:<startX> y:<startY>]").unwrap();
+//! match expr {
+//!     Expr::Send { selector, args, .. } => {
+//!         assert_eq!(selector, "setEndpoint:x:y:");
+//!         assert_eq!(args.len(), 3);
+//!     }
+//!     _ => panic!("expected a send"),
+//! }
+//! ```
+
+use std::fmt;
+
+use crate::expr::Expr;
+
+/// A parse failure, with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the problem was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    LBracket,
+    RBracket,
+    Semi,
+    Equals,
+    Colon,
+    Nil,
+    Number(f64),
+    Str(String),
+    Ident(String),
+    Attr(String),
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Token, usize)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '[' => {
+                out.push((Token::LBracket, i));
+                i += 1;
+            }
+            ']' => {
+                out.push((Token::RBracket, i));
+                i += 1;
+            }
+            ';' => {
+                out.push((Token::Semi, i));
+                i += 1;
+            }
+            '=' => {
+                out.push((Token::Equals, i));
+                i += 1;
+            }
+            ':' => {
+                out.push((Token::Colon, i));
+                i += 1;
+            }
+            '<' => {
+                let start = i + 1;
+                let end = src[start..]
+                    .find('>')
+                    .map(|k| start + k)
+                    .ok_or_else(|| ParseError {
+                        offset: i,
+                        message: "unterminated attribute (missing '>')".into(),
+                    })?;
+                let name = src[start..end].trim();
+                if name.is_empty() {
+                    return Err(ParseError {
+                        offset: i,
+                        message: "empty attribute name".into(),
+                    });
+                }
+                out.push((Token::Attr(name.to_string()), i));
+                i = end + 1;
+            }
+            '"' => {
+                let start = i + 1;
+                let end = src[start..]
+                    .find('"')
+                    .map(|k| start + k)
+                    .ok_or_else(|| ParseError {
+                        offset: i,
+                        message: "unterminated string literal".into(),
+                    })?;
+                out.push((Token::Str(src[start..end].to_string()), i));
+                i = end + 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E' | '+')
+                {
+                    // Allow '-' only right after an exponent marker.
+                    i += 1;
+                }
+                // Back off a trailing '+' or '.' that isn't part of the
+                // number.
+                let text = &src[start..i];
+                let value: f64 = text.parse().map_err(|_| ParseError {
+                    offset: start,
+                    message: format!("bad number literal `{text}`"),
+                })?;
+                out.push((Token::Number(value), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                if word == "nil" {
+                    out.push((Token::Nil, start));
+                } else {
+                    out.push((Token::Ident(word.to_string()), start));
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    offset: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|&(_, o)| o)
+            .unwrap_or(self.len)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.error(format!("expected {what}"))),
+        }
+    }
+
+    /// program := statement (';' statement)* ';'?
+    fn program(&mut self) -> Result<Expr, ParseError> {
+        let mut statements = Vec::new();
+        loop {
+            if self.peek().is_none() {
+                break;
+            }
+            statements.push(self.statement()?);
+            match self.peek() {
+                Some(Token::Semi) => {
+                    self.pos += 1;
+                }
+                None => break,
+                _ => return Err(self.error("expected `;` between statements")),
+            }
+        }
+        match statements.len() {
+            0 => Err(ParseError {
+                offset: 0,
+                message: "empty program".into(),
+            }),
+            1 => Ok(statements.pop().expect("one statement")),
+            _ => Ok(Expr::Seq(statements)),
+        }
+    }
+
+    /// statement := ident '=' expr | expr
+    fn statement(&mut self) -> Result<Expr, ParseError> {
+        if let (Some(Token::Ident(name)), Some((Token::Equals, _))) =
+            (self.peek().cloned(), self.tokens.get(self.pos + 1))
+        {
+            self.pos += 2;
+            let value = self.expression()?;
+            return Ok(Expr::assign(&name, value));
+        }
+        self.expression()
+    }
+
+    /// expr := '[' expr message ']' | primary
+    fn expression(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::LBracket) => {
+                self.pos += 1;
+                let receiver = self.expression()?;
+                let (selector, args) = self.message()?;
+                self.expect(&Token::RBracket, "`]` to close the message send")?;
+                Ok(Expr::Send {
+                    receiver: Box::new(receiver),
+                    selector,
+                    args,
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    /// message := ident (':' arg (ident ':' arg)*)?
+    fn message(&mut self) -> Result<(String, Vec<Expr>), ParseError> {
+        let first = match self.next() {
+            Some(Token::Ident(name)) => name,
+            _ => return Err(self.error("expected a selector")),
+        };
+        if self.peek() != Some(&Token::Colon) {
+            // Unary selector.
+            return Ok((first, Vec::new()));
+        }
+        let mut selector = String::new();
+        let mut args = Vec::new();
+        let mut keyword = first;
+        loop {
+            self.expect(&Token::Colon, "`:` after selector keyword")?;
+            selector.push_str(&keyword);
+            selector.push(':');
+            args.push(self.expression()?);
+            match self.peek() {
+                Some(Token::Ident(next)) => {
+                    keyword = next.clone();
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        Ok((selector, args))
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Nil) => Ok(Expr::Nil),
+            Some(Token::Number(n)) => Ok(Expr::Num(n)),
+            Some(Token::Str(s)) => Ok(Expr::Str(s)),
+            Some(Token::Ident(name)) => Ok(Expr::Var(name)),
+            Some(Token::Attr(name)) => Ok(Expr::Attr(name)),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected an expression"))
+            }
+        }
+    }
+}
+
+/// Parses GRANDMA-style semantics text into an expression tree.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a byte offset for malformed input.
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        len: src.len(),
+    };
+    let expr = parser.program()?;
+    if parser.peek().is_some() {
+        return Err(parser.error("trailing input after program"));
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Env;
+    use crate::interp::eval;
+    use crate::object::{obj_ref, Recorder};
+    use crate::value::Value;
+    use std::rc::Rc;
+
+    #[test]
+    fn parses_literals() {
+        assert_eq!(parse("nil").unwrap(), Expr::Nil);
+        assert_eq!(parse("42").unwrap(), Expr::Num(42.0));
+        assert_eq!(parse("-1.5").unwrap(), Expr::Num(-1.5));
+        assert_eq!(parse("\"hello\"").unwrap(), Expr::Str("hello".into()));
+        assert_eq!(parse("view").unwrap(), Expr::Var("view".into()));
+        assert_eq!(parse("<startX>").unwrap(), Expr::Attr("startX".into()));
+    }
+
+    #[test]
+    fn parses_unary_send() {
+        let e = parse("[view createRect]").unwrap();
+        assert_eq!(e, Expr::send(Expr::var("view"), "createRect", vec![]));
+    }
+
+    #[test]
+    fn parses_keyword_send_with_multipart_selector() {
+        let e = parse("[r setEndpoint:0 x:<startX> y:<startY>]").unwrap();
+        assert_eq!(
+            e,
+            Expr::send(
+                Expr::var("r"),
+                "setEndpoint:x:y:",
+                vec![Expr::num(0.0), Expr::attr("startX"), Expr::attr("startY")]
+            )
+        );
+    }
+
+    #[test]
+    fn parses_the_papers_rectangle_recog_verbatim() {
+        let e = parse("[[view createRect] setEndpoint:0 x:<startX> y:<startY>]").unwrap();
+        match e {
+            Expr::Send {
+                receiver,
+                selector,
+                args,
+            } => {
+                assert_eq!(selector, "setEndpoint:x:y:");
+                assert_eq!(args.len(), 3);
+                assert_eq!(
+                    *receiver,
+                    Expr::send(Expr::var("view"), "createRect", vec![])
+                );
+            }
+            _ => panic!("expected send"),
+        }
+    }
+
+    #[test]
+    fn parses_assignment_and_sequence() {
+        let e = parse("a = 1; [obj go:a]; nil").unwrap();
+        match e {
+            Expr::Seq(stmts) => {
+                assert_eq!(stmts.len(), 3);
+                assert_eq!(stmts[0], Expr::assign("a", Expr::num(1.0)));
+                assert_eq!(stmts[2], Expr::Nil);
+            }
+            _ => panic!("expected sequence"),
+        }
+    }
+
+    #[test]
+    fn trailing_semicolon_is_allowed() {
+        assert!(parse("nil;").is_ok());
+    }
+
+    #[test]
+    fn nested_sends_as_arguments() {
+        let e = parse("[a combine:[b part] with:[c part]]").unwrap();
+        match e {
+            Expr::Send { selector, args, .. } => {
+                assert_eq!(selector, "combine:with:");
+                assert!(matches!(args[0], Expr::Send { .. }));
+                assert!(matches!(args[1], Expr::Send { .. }));
+            }
+            _ => panic!("expected send"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let err = parse("[view").unwrap_err();
+        assert!(
+            err.message.contains("selector") || err.message.contains("]"),
+            "{err}"
+        );
+        let err = parse("<oops").unwrap_err();
+        assert!(err.message.contains("unterminated attribute"));
+        let err = parse("\"oops").unwrap_err();
+        assert!(err.message.contains("unterminated string"));
+        let err = parse("").unwrap_err();
+        assert!(err.message.contains("empty program"));
+        let err = parse("1 2").unwrap_err();
+        assert!(err.message.contains(';'), "{err}");
+    }
+
+    #[test]
+    fn parsed_program_evaluates_like_the_paper_example() {
+        // Parse and run the paper's recog fragment against a recorder
+        // that answers createRect with itself-like object.
+        let inner = obj_ref(Recorder::new());
+        let recorder = obj_ref(Recorder::new().reply_with("createRect", Value::Obj(inner)));
+        let mut env = Env::new();
+        env.bind("view", Value::Obj(recorder));
+        env.set_attr_source(Rc::new(|name| match name {
+            "startX" => Some(Value::Num(7.0)),
+            "startY" => Some(Value::Num(9.0)),
+            _ => None,
+        }));
+        let program =
+            parse("recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>]").unwrap();
+        eval(&program, &mut env).unwrap();
+        assert!(env.is_bound("recog"));
+    }
+
+    #[test]
+    fn whitespace_and_newlines_are_insignificant() {
+        let a = parse("[r  go:1\n with:2]").unwrap();
+        let b = parse("[r go:1 with:2]").unwrap();
+        assert_eq!(a, b);
+    }
+}

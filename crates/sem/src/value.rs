@@ -1,0 +1,143 @@
+//! Dynamic values.
+
+use std::fmt;
+
+use crate::object::ObjRef;
+
+/// A dynamic value flowing through gesture semantics.
+///
+/// Mirrors what GRANDMA's Objective-C interpreter passed around: nil,
+/// numbers, strings, booleans, application objects, and lists of values
+/// (used for the `<enclosed>` attribute, the set of views a gesture
+/// encircles).
+#[derive(Clone)]
+pub enum Value {
+    /// The absence of a value (`nil`).
+    Nil,
+    /// A number (all numerics are `f64`, like the attribute values).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// A reference to an application object.
+    Obj(ObjRef),
+    /// A list of values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Returns the number, if this is a `Num`.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the object reference, if this is an `Obj`.
+    pub fn as_obj(&self) -> Option<ObjRef> {
+        match self {
+            Value::Obj(o) => Some(o.clone()),
+            _ => None,
+        }
+    }
+
+    /// Returns the string, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the list, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for `Nil`.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Objective-C-style truthiness: nil and false are false, everything
+    /// else (including 0) is true, matching message-send semantics rather
+    /// than C semantics.
+    pub fn truthy(&self) -> bool {
+        !matches!(self, Value::Nil | Value::Bool(false))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Obj(o) => write!(f, "<{}>", o.borrow().type_name()),
+            Value::List(l) => {
+                write!(f, "(")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v:?}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_return_expected_variants() {
+        assert_eq!(Value::Num(3.0).as_num(), Some(3.0));
+        assert_eq!(Value::Nil.as_num(), None);
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert!(Value::Nil.is_nil());
+        assert!(Value::List(vec![Value::Nil]).as_list().is_some());
+    }
+
+    #[test]
+    fn truthiness_follows_message_semantics() {
+        assert!(!Value::Nil.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(Value::Num(0.0).truthy());
+        assert!(Value::Str(String::new()).truthy());
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(Value::from(2.5).as_num(), Some(2.5));
+        assert!(Value::from(true).truthy());
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the semantics interpreter and parser.
+
+use grandma_sem::{eval, parse, Env, Expr, Value};
+use proptest::prelude::*;
+
+/// Strategy for identifier-ish names.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9_]{0,8}".prop_filter("nil is reserved", |s| s != "nil")
+}
+
+/// Renders an expression back to the surface syntax.
+fn render(expr: &Expr) -> String {
+    match expr {
+        Expr::Nil => "nil".to_string(),
+        Expr::Num(n) => format!("{n}"),
+        Expr::Str(s) => format!("{s:?}"),
+        Expr::Var(v) => v.clone(),
+        Expr::Attr(a) => format!("<{a}>"),
+        Expr::Assign(name, value) => format!("{name} = {}", render(value)),
+        Expr::Send {
+            receiver,
+            selector,
+            args,
+        } => {
+            if args.is_empty() {
+                format!("[{} {}]", render(receiver), selector)
+            } else {
+                let mut out = format!("[{}", render(receiver));
+                for (keyword, arg) in selector.split_terminator(':').zip(args) {
+                    out.push_str(&format!(" {keyword}:{}", render(arg)));
+                }
+                out.push(']');
+                out
+            }
+        }
+        Expr::Seq(stmts) => stmts.iter().map(render).collect::<Vec<_>>().join("; "),
+    }
+}
+
+/// Strategy for expression trees that the surface syntax can represent.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::Nil),
+        (0i32..10_000).prop_map(|n| Expr::Num(n as f64)),
+        ident().prop_map(Expr::Var),
+        ident().prop_map(Expr::Attr),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // Unary send.
+            (inner.clone(), ident()).prop_map(|(r, sel)| Expr::Send {
+                receiver: Box::new(r),
+                selector: sel,
+                args: vec![],
+            }),
+            // Keyword send with 1-3 args.
+            (
+                inner.clone(),
+                proptest::collection::vec((ident(), inner.clone()), 1..4)
+            )
+                .prop_map(|(r, parts)| {
+                    let selector: String = parts.iter().map(|(k, _)| format!("{k}:")).collect();
+                    Expr::Send {
+                        receiver: Box::new(r),
+                        selector,
+                        args: parts.into_iter().map(|(_, a)| a).collect(),
+                    }
+                }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn parser_round_trips_rendered_expressions(e in expr_strategy()) {
+        let text = render(&e);
+        let parsed = parse(&text).unwrap_or_else(|err| panic!("failed on `{text}`: {err}"));
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn literals_evaluate_without_environment(n in -1.0e6f64..1.0e6) {
+        let mut env = Env::new();
+        let v = eval(&Expr::Num(n), &mut env).unwrap();
+        prop_assert_eq!(v.as_num(), Some(n));
+    }
+
+    #[test]
+    fn assignment_round_trips_through_env(name in ident(), n in -100.0f64..100.0) {
+        let mut env = Env::new();
+        eval(&Expr::assign(&name, Expr::Num(n)), &mut env).unwrap();
+        prop_assert_eq!(env.lookup(&name).unwrap().as_num(), Some(n));
+    }
+
+    #[test]
+    fn seq_evaluates_left_to_right(values in proptest::collection::vec(-100.0f64..100.0, 1..6)) {
+        let mut env = Env::new();
+        let exprs: Vec<Expr> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Expr::assign(&format!("v{i}"), Expr::Num(v)))
+            .collect();
+        let result = eval(&Expr::Seq(exprs), &mut env).unwrap();
+        prop_assert_eq!(result.as_num(), Some(*values.last().unwrap()));
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(env.lookup(&format!("v{i}")).unwrap().as_num(), Some(v));
+        }
+    }
+
+    #[test]
+    fn send_to_nil_never_errors(sel in ident(), n in -10.0f64..10.0) {
+        let mut env = Env::new();
+        let expr = Expr::send(Expr::Nil, &format!("{sel}:"), vec![Expr::Num(n)]);
+        let v = eval(&expr, &mut env).unwrap();
+        prop_assert!(v.is_nil());
+    }
+
+    #[test]
+    fn unbound_variables_always_error(name in ident()) {
+        let mut env = Env::new();
+        prop_assert!(eval(&Expr::Var(name), &mut env).is_err());
+    }
+
+    #[test]
+    fn truthiness_is_total(n in -100.0f64..100.0) {
+        // Every numeric value is truthy; only nil/false are not.
+        prop_assert!(Value::Num(n).truthy());
+    }
+}

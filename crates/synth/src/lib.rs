@@ -1,0 +1,42 @@
+//! Synthetic gesture generation and the paper's evaluation datasets.
+//!
+//! The paper trains and tests on human mouse input collected under X10 on
+//! a MicroVAX II. This crate is the documented substitution (DESIGN.md §2):
+//! a deterministic, seeded generator that produces `(x, y, t)` sequences
+//! with the same statistical structure — per-class shapes, per-example
+//! scale/rotation/jitter/speed variation, and the paper's signature failure
+//! mode, *corners that loop 270° instead of turning 90°* (§5: "Most of the
+//! eager recognizer's errors were due to a corner looping 270 degrees...").
+//!
+//! Datasets shipped (one per experiment):
+//!
+//! * [`datasets::eight_way`] — Figure 9's eight two-segment classes
+//!   (`ur` = "up, right", etc.).
+//! * [`datasets::gdp`] — Figure 10's eleven GDP gesture classes.
+//! * [`datasets::buxton_notes`] — Figure 8's musical-note gestures, where
+//!   every class is a prefix of the next (eager recognition impossible).
+//! * [`datasets::ud`] — the two-class U/D illustration of Figures 5–7.
+//!
+//! # Examples
+//!
+//! ```
+//! use grandma_synth::datasets;
+//!
+//! let data = datasets::eight_way(42, 10, 30);
+//! assert_eq!(data.class_names.len(), 8);
+//! assert_eq!(data.training.len(), 8);
+//! assert_eq!(data.training[0].len(), 10);
+//! assert_eq!(data.testing.len(), 8 * 30);
+//! ```
+
+pub mod datasets;
+mod path_spec;
+mod rng;
+mod sampler;
+mod variation;
+
+pub use datasets::{Dataset, LabeledGesture};
+pub use path_spec::{PathBuilder, PathSpec};
+pub use rng::normal;
+pub use sampler::{synthesize, SynthesizedGesture};
+pub use variation::Variation;

@@ -1,0 +1,245 @@
+//! Ideal (noise-free) gesture paths.
+
+/// An ideal gesture path: a polyline in abstract unit coordinates plus the
+/// vertex indices that are perceptual *corners* (sharp direction changes).
+///
+/// Corners matter twice: the sampler may replace them with 270° loops (the
+/// paper's dominant eager-error mode), and their positions provide the
+/// ground-truth "minimum points before unambiguity" for Figure 9.
+///
+/// Build specs with [`PathBuilder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSpec {
+    /// Polyline vertices in unit coordinates (y grows upward).
+    pub vertices: Vec<(f64, f64)>,
+    /// Indices into `vertices` that are sharp corners.
+    pub corners: Vec<usize>,
+}
+
+impl PathSpec {
+    /// Returns the total polyline length.
+    pub fn length(&self) -> f64 {
+        self.vertices
+            .windows(2)
+            .map(|w| {
+                let dx = w[1].0 - w[0].0;
+                let dy = w[1].1 - w[0].1;
+                (dx * dx + dy * dy).sqrt()
+            })
+            .sum()
+    }
+
+    /// Returns the arc length from the start to the given vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertex` is out of range.
+    pub fn arc_length_to(&self, vertex: usize) -> f64 {
+        assert!(vertex < self.vertices.len(), "vertex out of range");
+        self.vertices[..=vertex]
+            .windows(2)
+            .map(|w| {
+                let dx = w[1].0 - w[0].0;
+                let dy = w[1].1 - w[0].1;
+                (dx * dx + dy * dy).sqrt()
+            })
+            .sum()
+    }
+}
+
+/// Builder for [`PathSpec`]s.
+///
+/// # Examples
+///
+/// An "L" (right then up) with the corner marked:
+///
+/// ```
+/// use grandma_synth::PathBuilder;
+///
+/// let spec = PathBuilder::start(0.0, 0.0)
+///     .line_to(1.0, 0.0)
+///     .corner()
+///     .line_to(1.0, 1.0)
+///     .build();
+/// assert_eq!(spec.corners, vec![1]);
+/// assert!((spec.length() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathBuilder {
+    vertices: Vec<(f64, f64)>,
+    corners: Vec<usize>,
+}
+
+impl PathBuilder {
+    /// Starts a path at `(x, y)`.
+    pub fn start(x: f64, y: f64) -> Self {
+        Self {
+            vertices: vec![(x, y)],
+            corners: Vec::new(),
+        }
+    }
+
+    /// Adds a straight segment to `(x, y)`.
+    pub fn line_to(mut self, x: f64, y: f64) -> Self {
+        self.vertices.push((x, y));
+        self
+    }
+
+    /// Adds a straight segment relative to the current position.
+    pub fn line_by(self, dx: f64, dy: f64) -> Self {
+        let (x, y) = *self.vertices.last().expect("builder always has a vertex");
+        self.line_to(x + dx, y + dy)
+    }
+
+    /// Marks the most recent vertex as a sharp corner.
+    pub fn corner(mut self) -> Self {
+        let idx = self.vertices.len() - 1;
+        if self.corners.last() != Some(&idx) {
+            self.corners.push(idx);
+        }
+        self
+    }
+
+    /// Appends a circular arc around `(cx, cy)` with the given radius,
+    /// from `start_angle` sweeping `sweep` radians (positive =
+    /// counterclockwise), approximated with `steps` chords.
+    ///
+    /// The arc's first point is appended as a new vertex; callers usually
+    /// arrange for continuity by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`.
+    pub fn arc(
+        mut self,
+        cx: f64,
+        cy: f64,
+        radius: f64,
+        start_angle: f64,
+        sweep: f64,
+        steps: usize,
+    ) -> Self {
+        assert!(steps > 0, "arc needs at least one step");
+        for i in 0..=steps {
+            let a = start_angle + sweep * i as f64 / steps as f64;
+            let x = cx + radius * a.cos();
+            let y = cy + radius * a.sin();
+            // Skip a duplicate join vertex.
+            if let Some(&(lx, ly)) = self.vertices.last() {
+                if (lx - x).abs() < 1e-12 && (ly - y).abs() < 1e-12 {
+                    continue;
+                }
+            }
+            self.vertices.push((x, y));
+        }
+        self
+    }
+
+    /// Appends an axis-aligned elliptical arc centered at `(cx, cy)` with
+    /// radii `rx`/`ry`, from `start_angle` sweeping `sweep` radians
+    /// (positive = counterclockwise), approximated with `steps` chords.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`.
+    // The flat geometric parameter list mirrors the circular-arc method;
+    // bundling into a struct would hurt call-site readability.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ellipse_arc(
+        mut self,
+        cx: f64,
+        cy: f64,
+        rx: f64,
+        ry: f64,
+        start_angle: f64,
+        sweep: f64,
+        steps: usize,
+    ) -> Self {
+        assert!(steps > 0, "arc needs at least one step");
+        for i in 0..=steps {
+            let a = start_angle + sweep * i as f64 / steps as f64;
+            let x = cx + rx * a.cos();
+            let y = cy + ry * a.sin();
+            if let Some(&(lx, ly)) = self.vertices.last() {
+                if (lx - x).abs() < 1e-12 && (ly - y).abs() < 1e-12 {
+                    continue;
+                }
+            }
+            self.vertices.push((x, y));
+        }
+        self
+    }
+
+    /// Finishes the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path has fewer than two vertices.
+    pub fn build(self) -> PathSpec {
+        assert!(
+            self.vertices.len() >= 2,
+            "a path needs at least two vertices"
+        );
+        PathSpec {
+            vertices: self.vertices,
+            corners: self.corners,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_by_accumulates_from_current_position() {
+        let spec = PathBuilder::start(1.0, 1.0)
+            .line_by(2.0, 0.0)
+            .line_by(0.0, 3.0)
+            .build();
+        assert_eq!(spec.vertices, vec![(1.0, 1.0), (3.0, 1.0), (3.0, 4.0)]);
+    }
+
+    #[test]
+    fn corner_marks_latest_vertex_once() {
+        let spec = PathBuilder::start(0.0, 0.0)
+            .line_to(1.0, 0.0)
+            .corner()
+            .corner()
+            .line_to(1.0, 1.0)
+            .build();
+        assert_eq!(spec.corners, vec![1]);
+    }
+
+    #[test]
+    fn arc_length_to_is_monotone() {
+        let spec = PathBuilder::start(0.0, 0.0)
+            .line_to(1.0, 0.0)
+            .line_to(1.0, 1.0)
+            .line_to(0.0, 1.0)
+            .build();
+        assert_eq!(spec.arc_length_to(0), 0.0);
+        assert_eq!(spec.arc_length_to(1), 1.0);
+        assert_eq!(spec.arc_length_to(3), 3.0);
+        assert_eq!(spec.length(), 3.0);
+    }
+
+    #[test]
+    fn full_circle_arc_has_expected_length() {
+        let spec = PathBuilder::start(1.0, 0.0)
+            .arc(0.0, 0.0, 1.0, 0.0, 2.0 * std::f64::consts::PI, 64)
+            .build();
+        // Chordal approximation of a unit circle: close to 2π from below.
+        let len = spec.length();
+        assert!(
+            len > 6.25 && len < 2.0 * std::f64::consts::PI + 1e-9,
+            "len {len}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two vertices")]
+    fn single_vertex_path_panics() {
+        let _ = PathBuilder::start(0.0, 0.0).build();
+    }
+}

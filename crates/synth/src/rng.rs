@@ -1,0 +1,66 @@
+//! Seeded random-sampling helpers.
+//!
+//! `rand` is on the approved dependency list but `rand_distr` is not, so
+//! the Gaussian sampler (Box-Muller) lives here.
+
+use rand::Rng;
+
+/// Draws one sample from `N(mean, sigma²)` via the Box-Muller transform.
+///
+/// `sigma = 0` returns `mean` exactly, which the generator uses to switch
+/// noise off.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let x = grandma_synth::normal(&mut rng, 10.0, 0.0);
+/// assert_eq!(x, 10.0);
+/// ```
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return mean;
+    }
+    // Box-Muller: u1 in (0, 1] avoids ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + sigma * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(normal(&mut rng, 3.5, 0.0), 3.5);
+        }
+    }
+
+    #[test]
+    fn sample_mean_and_variance_are_close() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn same_seed_gives_same_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(normal(&mut a, 0.0, 1.0), normal(&mut b, 0.0, 1.0));
+        }
+    }
+}

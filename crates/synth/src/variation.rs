@@ -1,0 +1,129 @@
+//! Per-example variation parameters for the stroke sampler.
+
+/// Controls how one synthetic example deviates from its ideal
+/// [`crate::PathSpec`].
+///
+/// Each example drawn with the same `Variation` differs through the seeded
+/// RNG: overall size and orientation wobble, per-point jitter, per-step
+/// speed noise, and — with probability [`Variation::corner_loop_prob`] — a
+/// corner that loops 270° the wrong way instead of turning sharply, the
+/// error mode §5 blames for most eager misclassifications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variation {
+    /// Base size in pixels the unit path is scaled by.
+    pub size: f64,
+    /// Relative standard deviation of per-example size.
+    pub size_sigma: f64,
+    /// Standard deviation of per-example rotation, in radians.
+    pub rotation_sigma: f64,
+    /// Standard deviation of per-point positional jitter, in pixels.
+    pub jitter_sigma: f64,
+    /// Ideal distance between consecutive samples, in pixels.
+    pub step: f64,
+    /// Relative standard deviation of per-step length (speed noise).
+    pub step_sigma: f64,
+    /// Probability that any given sharp corner is replaced by a small
+    /// 270°-the-wrong-way loop.
+    pub corner_loop_prob: f64,
+    /// Loop radius as a fraction of `size`.
+    pub corner_loop_radius: f64,
+    /// Milliseconds between consecutive samples.
+    pub dt_ms: f64,
+    /// Relative standard deviation of per-sample `dt`.
+    pub dt_sigma: f64,
+    /// Standard deviation of the per-example log-speed: each example draws
+    /// a speed multiplier `exp(N(0, speed_sigma))` applied to `dt_ms`.
+    /// Humans vary their overall drawing speed far more between gestures
+    /// than within one, and that spread is what keeps the duration and
+    /// speed features from dominating the classifier.
+    pub speed_sigma: f64,
+}
+
+impl Variation {
+    /// The standard profile used by the shipped datasets: 60 px gestures,
+    /// 4 px steps at 10 ms/sample, mild jitter, and the paper's corner
+    /// loops on 5 % of corners.
+    pub fn standard() -> Self {
+        Self {
+            size: 60.0,
+            size_sigma: 0.15,
+            rotation_sigma: 0.12,
+            jitter_sigma: 0.9,
+            step: 4.0,
+            step_sigma: 0.25,
+            corner_loop_prob: 0.05,
+            corner_loop_radius: 0.07,
+            dt_ms: 10.0,
+            dt_sigma: 0.15,
+            speed_sigma: 0.3,
+        }
+    }
+
+    /// A noiseless profile: exact scaling, no jitter, no loops. Useful in
+    /// tests that need geometric ground truth.
+    pub fn noiseless() -> Self {
+        Self {
+            size: 60.0,
+            size_sigma: 0.0,
+            rotation_sigma: 0.0,
+            jitter_sigma: 0.0,
+            step: 4.0,
+            step_sigma: 0.0,
+            corner_loop_prob: 0.0,
+            corner_loop_radius: 0.07,
+            dt_ms: 10.0,
+            dt_sigma: 0.0,
+            speed_sigma: 0.0,
+        }
+    }
+
+    /// Returns a copy with a different base size.
+    pub fn with_size(mut self, size: f64) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Returns a copy with a different corner-loop probability.
+    pub fn with_corner_loops(mut self, prob: f64) -> Self {
+        self.corner_loop_prob = prob;
+        self
+    }
+
+    /// Returns a copy with a different sample step (controls point count).
+    pub fn with_step(mut self, step: f64) -> Self {
+        self.step = step;
+        self
+    }
+}
+
+impl Default for Variation {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_profile_has_all_sigmas_zero() {
+        let v = Variation::noiseless();
+        assert_eq!(v.size_sigma, 0.0);
+        assert_eq!(v.jitter_sigma, 0.0);
+        assert_eq!(v.corner_loop_prob, 0.0);
+        assert_eq!(v.dt_sigma, 0.0);
+    }
+
+    #[test]
+    fn with_helpers_override_single_fields() {
+        let v = Variation::standard()
+            .with_size(120.0)
+            .with_corner_loops(0.5)
+            .with_step(2.0);
+        assert_eq!(v.size, 120.0);
+        assert_eq!(v.corner_loop_prob, 0.5);
+        assert_eq!(v.step, 2.0);
+        assert_eq!(v.dt_ms, Variation::standard().dt_ms);
+    }
+}

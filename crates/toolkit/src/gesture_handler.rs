@@ -1,0 +1,671 @@
+//! The gesture handler: the two-phase interaction technique.
+//!
+//! §3.2: "the gesture handler implements the two-phase interaction
+//! technique. Each instance of a gesture handler recognizes its own set of
+//! gestures, and can have its own semantics associated with each gesture.
+//! The handler is responsible for collecting and inking the gesture,
+//! determining when the phase transition occurs, classifying the gesture,
+//! and executing the gesture's semantics."
+//!
+//! The phase transition happens at the first of (§1):
+//!
+//! 1. the mouse button is released (the manipulation phase is omitted),
+//! 2. a 200 ms motionless timeout (delivered as a synthesized
+//!    [`grandma_events::EventKind::Timeout`] — see
+//!    [`grandma_events::DwellDetector`]), or
+//! 3. *eager recognition*: the collected prefix becomes unambiguous.
+//!
+//! On the transition the gesture is classified and the class's `recog`
+//! expression is evaluated (its value bound to the variable `recog`);
+//! every further mouse point evaluates `manip`; releasing the button
+//! evaluates `done`.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use grandma_core::{EagerRecognizer, FeatureExtractor, PointFilter};
+use grandma_events::{Button, EventKind, InputEvent};
+use grandma_geom::{Gesture, Point};
+use grandma_sem::{eval, GestureSemantics, SemError, Value};
+
+use crate::handler::{Ctx, EventHandler, HandlerResult};
+use crate::view::{ViewId, ViewStore};
+
+/// How the collection→manipulation transition happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseTransition {
+    /// The prefix became unambiguous (transition 3).
+    Eager,
+    /// The 200 ms dwell timeout fired (transition 2).
+    Timeout,
+    /// The button was released first (transition 1; no manipulation
+    /// phase).
+    MouseUp,
+}
+
+/// One gesture class the handler recognizes: its name plus its
+/// `recog`/`manip`/`done` semantics.
+#[derive(Debug, Clone)]
+pub struct GestureClass {
+    /// Class name (diagnostics and traces).
+    pub name: String,
+    /// The class's interaction semantics.
+    pub semantics: GestureSemantics,
+}
+
+impl GestureClass {
+    /// A class with no-op semantics.
+    pub fn named(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            semantics: GestureSemantics::noop(),
+        }
+    }
+
+    /// A class with the given semantics.
+    pub fn with_semantics(name: &str, semantics: GestureSemantics) -> Self {
+        Self {
+            name: name.to_string(),
+            semantics,
+        }
+    }
+}
+
+/// Gesture-handler configuration.
+#[derive(Debug, Clone)]
+pub struct GestureHandlerConfig {
+    /// Which button starts a gesture.
+    pub button: Button,
+    /// Whether eager recognition (transition 3) is enabled. Figure 3's
+    /// walkthrough has it off; §5's evaluations have it on.
+    pub eager: bool,
+    /// Jitter filter: collected points closer than this to the previous
+    /// kept point are discarded (Rubine used 3 px).
+    pub min_point_distance: f64,
+    /// Whether a mouse-down over the background (no view) starts a
+    /// gesture. GDP gestures at the top window, so `true` there.
+    pub over_background: bool,
+    /// Optional rejection: minimum estimated probability for the
+    /// classification to be acted upon.
+    pub min_probability: Option<f64>,
+}
+
+impl Default for GestureHandlerConfig {
+    fn default() -> Self {
+        Self {
+            button: Button::Left,
+            eager: true,
+            min_point_distance: 3.0,
+            over_background: true,
+            min_probability: None,
+        }
+    }
+}
+
+/// A record of one completed gesture interaction, for tests and traces.
+#[derive(Debug, Clone)]
+pub struct InteractionTrace {
+    /// The recognized class, or `None` when rejected.
+    pub class: Option<usize>,
+    /// The class name ("?" when rejected).
+    pub class_name: String,
+    /// Which trigger caused the phase transition.
+    pub transition: PhaseTransition,
+    /// Points collected when classification fired.
+    pub points_at_recognition: usize,
+    /// Points in the whole interaction.
+    pub total_points: usize,
+    /// Number of `manip` evaluations that ran.
+    pub manip_evaluations: usize,
+    /// Semantic errors encountered (kept, not raised — an interaction
+    /// must not wedge the interface).
+    pub errors: Vec<SemError>,
+}
+
+enum State {
+    Idle,
+    Collecting {
+        gesture: Gesture,
+        extractor: FeatureExtractor,
+        filter: PointFilter,
+        target: Option<ViewId>,
+    },
+    Manipulating {
+        trace: InteractionTrace,
+        semantics: GestureSemantics,
+        attrs: HashMap<String, Value>,
+        total_points: usize,
+    },
+}
+
+/// The gesture handler. Attach to a view, a view class, or the root
+/// (§3.1's "mouse press over the background window is interpreted as
+/// gesture" pattern).
+pub struct GestureHandler {
+    recognizer: Rc<EagerRecognizer>,
+    classes: Vec<GestureClass>,
+    config: GestureHandlerConfig,
+    state: State,
+    traces: Vec<InteractionTrace>,
+}
+
+impl GestureHandler {
+    /// Creates a gesture handler.
+    ///
+    /// `classes[c]` must line up with the recognizer's class indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class list length differs from the recognizer's
+    /// class count.
+    pub fn new(
+        recognizer: Rc<EagerRecognizer>,
+        classes: Vec<GestureClass>,
+        config: GestureHandlerConfig,
+    ) -> Self {
+        assert_eq!(
+            classes.len(),
+            recognizer.full_classifier().num_classes(),
+            "one GestureClass per recognizer class"
+        );
+        Self {
+            recognizer,
+            classes,
+            config,
+            state: State::Idle,
+            traces: Vec::new(),
+        }
+    }
+
+    /// Completed interaction traces, oldest first.
+    pub fn traces(&self) -> &[InteractionTrace] {
+        &self.traces
+    }
+
+    /// Clears accumulated traces.
+    pub fn clear_traces(&mut self) {
+        self.traces.clear();
+    }
+
+    /// Builds the gestural attribute map at the moment of recognition.
+    fn attrs_at_recognition(gesture: &Gesture, views: &ViewStore) -> HashMap<String, Value> {
+        let mut attrs = HashMap::new();
+        if let (Some(first), Some(last)) = (gesture.first(), gesture.last()) {
+            attrs.insert("startX".into(), Value::Num(first.x));
+            attrs.insert("startY".into(), Value::Num(first.y));
+            attrs.insert("startT".into(), Value::Num(first.t));
+            attrs.insert("currentX".into(), Value::Num(last.x));
+            attrs.insert("currentY".into(), Value::Num(last.y));
+            attrs.insert("endX".into(), Value::Num(last.x));
+            attrs.insert("endY".into(), Value::Num(last.y));
+            attrs.insert("prevX".into(), Value::Num(last.x));
+            attrs.insert("prevY".into(), Value::Num(last.y));
+            attrs.insert("duration".into(), Value::Num(gesture.duration()));
+            // Bounding-box attributes of the collected stroke: GDP's
+            // ellipse centers itself on the gesture's extent.
+            let bbox = gesture.bbox();
+            let center = bbox.center();
+            attrs.insert("centerX".into(), Value::Num(center.x));
+            attrs.insert("centerY".into(), Value::Num(center.y));
+            attrs.insert("halfWidth".into(), Value::Num(bbox.width() / 2.0));
+            attrs.insert("halfHeight".into(), Value::Num(bbox.height() / 2.0));
+            attrs.insert("bboxMinX".into(), Value::Num(bbox.min_x));
+            attrs.insert("bboxMinY".into(), Value::Num(bbox.min_y));
+            attrs.insert("bboxMaxX".into(), Value::Num(bbox.max_x));
+            attrs.insert("bboxMaxY".into(), Value::Num(bbox.max_y));
+            // Attributes the "modified GDP" maps to application
+            // parameters: stroke length (line thickness) and initial angle
+            // (rectangle orientation).
+            attrs.insert("length".into(), Value::Num(gesture.path_length()));
+            let third = gesture.points().get(2).copied().unwrap_or(*last);
+            attrs.insert(
+                "initialAngle".into(),
+                Value::Num((third.y - first.y).atan2(third.x - first.x)),
+            );
+            // The set of models fully enclosed by the gesture's bounding
+            // box (GDP's group operand).
+            let enclosed: Vec<Value> = views
+                .enclosed_by(&gesture.bbox())
+                .into_iter()
+                .filter_map(|id| views.get(id).and_then(|v| v.model.clone()))
+                .map(Value::Obj)
+                .collect();
+            attrs.insert("enclosed".into(), Value::List(enclosed));
+        }
+        attrs
+    }
+
+    fn install_attrs(attrs: &HashMap<String, Value>, ctx: &mut Ctx<'_>) {
+        let shared: Rc<HashMap<String, Value>> = Rc::new(attrs.clone());
+        ctx.env
+            .set_attr_source(Rc::new(move |name| shared.get(name).cloned()));
+    }
+
+    /// Performs the phase transition: classify, evaluate `recog`, move to
+    /// the manipulation phase (unless the interaction already ended).
+    fn transition(
+        &mut self,
+        gesture: Gesture,
+        target: Option<ViewId>,
+        trigger: PhaseTransition,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let classification = self.recognizer.classify_full(&gesture);
+        let rejected = self
+            .config
+            .min_probability
+            .is_some_and(|p| classification.probability < p);
+        let mut trace = InteractionTrace {
+            class: (!rejected).then_some(classification.class),
+            class_name: if rejected {
+                "?".to_string()
+            } else {
+                self.classes[classification.class].name.clone()
+            },
+            transition: trigger,
+            points_at_recognition: gesture.len(),
+            total_points: gesture.len(),
+            manip_evaluations: 0,
+            errors: Vec::new(),
+        };
+        if rejected {
+            self.traces.push(trace);
+            self.state = State::Idle;
+            return;
+        }
+        let semantics = self.classes[classification.class].semantics.clone();
+        let attrs = Self::attrs_at_recognition(&gesture, ctx.views);
+        // Bind `view` to the target view's model when it has one;
+        // otherwise leave the application's existing binding (GDP binds
+        // `view` to its top-level window object).
+        if let Some(model) = target
+            .and_then(|id| ctx.views.get(id))
+            .and_then(|v| v.model.clone())
+        {
+            ctx.env.bind("view", Value::Obj(model));
+        }
+        Self::install_attrs(&attrs, ctx);
+        match eval(&semantics.recog, ctx.env) {
+            Ok(value) => ctx.env.bind("recog", value),
+            Err(e) => trace.errors.push(e),
+        }
+        if trigger == PhaseTransition::MouseUp {
+            // Manipulation omitted; run `done` immediately.
+            match eval(&semantics.done, ctx.env) {
+                Ok(_) => {}
+                Err(e) => trace.errors.push(e),
+            }
+            self.traces.push(trace);
+            self.state = State::Idle;
+        } else {
+            self.state = State::Manipulating {
+                trace,
+                semantics,
+                attrs,
+                total_points: gesture.len(),
+            };
+        }
+    }
+}
+
+impl EventHandler for GestureHandler {
+    fn name(&self) -> &'static str {
+        "gesture"
+    }
+
+    fn wants(&self, event: &InputEvent, target: Option<ViewId>, _views: &ViewStore) -> bool {
+        match event.kind {
+            EventKind::MouseDown { button } => {
+                button == self.config.button && (self.config.over_background || target.is_some())
+            }
+            _ => !matches!(self.state, State::Idle),
+        }
+    }
+
+    fn handle(&mut self, event: &InputEvent, ctx: &mut Ctx<'_>) -> HandlerResult {
+        match (&mut self.state, event.kind) {
+            (State::Idle, EventKind::MouseDown { button }) if button == self.config.button => {
+                let mut gesture = Gesture::new();
+                let mut extractor = FeatureExtractor::new();
+                let mut filter = PointFilter::new(self.config.min_point_distance);
+                let p = Point::new(event.x, event.y, event.t);
+                filter.accept(&p);
+                gesture.push(p);
+                extractor.update(p);
+                self.state = State::Collecting {
+                    gesture,
+                    extractor,
+                    filter,
+                    target: ctx.target,
+                };
+                HandlerResult::Consumed
+            }
+            (State::Idle, _) => HandlerResult::Ignored,
+            (
+                State::Collecting {
+                    gesture,
+                    extractor,
+                    filter,
+                    target,
+                },
+                EventKind::MouseMove,
+            ) => {
+                let p = Point::new(event.x, event.y, event.t);
+                if !filter.accept(&p) {
+                    return HandlerResult::Consumed;
+                }
+                gesture.push(p);
+                extractor.update(p);
+                let min_points = self.recognizer.config().min_subgesture_points;
+                if self.config.eager && extractor.count() >= min_points {
+                    let features =
+                        extractor.masked_features(self.recognizer.full_classifier().mask());
+                    if self.recognizer.auc().is_unambiguous(&features) {
+                        let gesture = std::mem::take(gesture);
+                        let target = *target;
+                        self.transition(gesture, target, PhaseTransition::Eager, ctx);
+                    }
+                }
+                HandlerResult::Consumed
+            }
+            (
+                State::Collecting {
+                    gesture, target, ..
+                },
+                EventKind::Timeout,
+            ) => {
+                let gesture = std::mem::take(gesture);
+                let target = *target;
+                self.transition(gesture, target, PhaseTransition::Timeout, ctx);
+                HandlerResult::Consumed
+            }
+            (
+                State::Collecting {
+                    gesture, target, ..
+                },
+                EventKind::MouseUp { button },
+            ) if button == self.config.button => {
+                let gesture = std::mem::take(gesture);
+                let target = *target;
+                self.transition(gesture, target, PhaseTransition::MouseUp, ctx);
+                HandlerResult::Consumed
+            }
+            (State::Collecting { .. }, _) => HandlerResult::Consumed,
+            (
+                State::Manipulating {
+                    trace,
+                    semantics,
+                    attrs,
+                    total_points,
+                },
+                EventKind::MouseMove,
+            ) => {
+                *total_points += 1;
+                // The previous mouse position, so `manip` semantics can
+                // express incremental dragging (`moveFromX:y:toX:y:`).
+                let prev_x = attrs
+                    .get("currentX")
+                    .cloned()
+                    .unwrap_or(Value::Num(event.x));
+                let prev_y = attrs
+                    .get("currentY")
+                    .cloned()
+                    .unwrap_or(Value::Num(event.y));
+                attrs.insert("prevX".into(), prev_x);
+                attrs.insert("prevY".into(), prev_y);
+                attrs.insert("currentX".into(), Value::Num(event.x));
+                attrs.insert("currentY".into(), Value::Num(event.y));
+                attrs.insert("currentT".into(), Value::Num(event.t));
+                Self::install_attrs(attrs, ctx);
+                let manip = semantics.manip.clone();
+                match eval(&manip, ctx.env) {
+                    Ok(_) => trace.manip_evaluations += 1,
+                    Err(e) => trace.errors.push(e),
+                }
+                HandlerResult::Consumed
+            }
+            (State::Manipulating { .. }, EventKind::MouseUp { button })
+                if button == self.config.button =>
+            {
+                let State::Manipulating {
+                    mut trace,
+                    semantics,
+                    attrs,
+                    total_points,
+                } = std::mem::replace(&mut self.state, State::Idle)
+                else {
+                    unreachable!("matched Manipulating above");
+                };
+                trace.total_points = total_points;
+                Self::install_attrs(&attrs, ctx);
+                match eval(&semantics.done, ctx.env) {
+                    Ok(_) => {}
+                    Err(e) => trace.errors.push(e),
+                }
+                self.traces.push(trace);
+                HandlerResult::Consumed
+            }
+            (State::Manipulating { .. }, _) => HandlerResult::Consumed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::Interface;
+    use grandma_core::{EagerConfig, FeatureMask};
+    use grandma_events::{gesture_events, gesture_events_with_hold, DwellDetector};
+    use grandma_sem::{obj_ref, Expr, Recorder};
+    use std::cell::RefCell;
+
+    /// Two L-shaped classes: right-then-up (0), right-then-down (1).
+    fn training() -> Vec<Vec<Gesture>> {
+        let make = |sign: f64, jiggle: f64| {
+            let mut pts = Vec::new();
+            for i in 0..10 {
+                pts.push(Point::new(
+                    i as f64 * 8.0 + jiggle * (i % 3) as f64,
+                    jiggle * (i % 2) as f64,
+                    i as f64 * 10.0,
+                ));
+            }
+            for i in 1..10 {
+                pts.push(Point::new(
+                    72.0 + jiggle,
+                    sign * i as f64 * 8.0,
+                    90.0 + i as f64 * 10.0,
+                ));
+            }
+            Gesture::from_points(pts)
+        };
+        vec![
+            (0..10).map(|e| make(1.0, 0.1 + e as f64 * 0.05)).collect(),
+            (0..10).map(|e| make(-1.0, 0.1 + e as f64 * 0.05)).collect(),
+        ]
+    }
+
+    fn recognizer() -> Rc<EagerRecognizer> {
+        let (rec, _) =
+            EagerRecognizer::train(&training(), &FeatureMask::all(), &EagerConfig::default())
+                .unwrap();
+        Rc::new(rec)
+    }
+
+    fn handler_with(
+        recorder_msgs: &GestureSemantics,
+        config: GestureHandlerConfig,
+    ) -> (Interface, Rc<RefCell<GestureHandler>>, grandma_sem::ObjRef) {
+        let mut interface = Interface::new();
+        let app = obj_ref(Recorder::new());
+        interface.env_mut().bind("view", Value::Obj(app.clone()));
+        let classes = vec![
+            GestureClass::with_semantics("ru", recorder_msgs.clone()),
+            GestureClass::named("rd"),
+        ];
+        let gh = Rc::new(RefCell::new(GestureHandler::new(
+            recognizer(),
+            classes,
+            config,
+        )));
+        let gh_dyn: HandlerRef = gh.clone();
+        interface.attach_root_handler(gh_dyn);
+        (interface, gh, app)
+    }
+
+    use crate::handler::HandlerRef;
+
+    fn semantics_counting() -> GestureSemantics {
+        GestureSemantics {
+            recog: Expr::send(Expr::var("view"), "recognized", vec![]),
+            manip: Expr::send(
+                Expr::var("view"),
+                "manip:y:",
+                vec![Expr::attr("currentX"), Expr::attr("currentY")],
+            ),
+            done: Expr::send(Expr::var("view"), "done", vec![]),
+        }
+    }
+
+    fn run_gesture(interface: &mut Interface, g: &Gesture, hold: Option<(usize, f64)>) {
+        let events = match hold {
+            None => gesture_events(g, Button::Left),
+            Some((at, ms)) => gesture_events_with_hold(g, Button::Left, Some((at, ms))),
+        };
+        let mut dwell = DwellDetector::paper_default();
+        for e in dwell.expand(&events) {
+            interface.dispatch(&e);
+        }
+    }
+
+    #[test]
+    fn eager_transition_enters_manipulation_early() {
+        let (mut interface, gh, app) =
+            handler_with(&semantics_counting(), GestureHandlerConfig::default());
+        let g = &training()[0][0];
+        run_gesture(&mut interface, g, None);
+        let gh = gh.borrow();
+        let trace = &gh.traces()[0];
+        assert_eq!(trace.class, Some(0));
+        assert_eq!(trace.transition, PhaseTransition::Eager);
+        assert!(trace.points_at_recognition < trace.total_points);
+        assert!(trace.errors.is_empty(), "errors: {:?}", trace.errors);
+        assert!(trace.manip_evaluations > 0);
+        let app = app.borrow();
+        let _ = app.type_name();
+    }
+
+    #[test]
+    fn mouse_up_transition_omits_manipulation() {
+        let config = GestureHandlerConfig {
+            eager: false,
+            ..GestureHandlerConfig::default()
+        };
+        let (mut interface, gh, _) = handler_with(&semantics_counting(), config);
+        let g = &training()[0][1];
+        run_gesture(&mut interface, g, None);
+        let gh = gh.borrow();
+        let trace = &gh.traces()[0];
+        assert_eq!(trace.transition, PhaseTransition::MouseUp);
+        assert_eq!(trace.manip_evaluations, 0);
+        assert_eq!(trace.points_at_recognition, trace.total_points);
+    }
+
+    #[test]
+    fn dwell_timeout_triggers_transition() {
+        let config = GestureHandlerConfig {
+            eager: false,
+            ..GestureHandlerConfig::default()
+        };
+        let (mut interface, gh, _) = handler_with(&semantics_counting(), config);
+        let g = &training()[0][2];
+        // Hold still for 300 ms after point 12 (past the corner).
+        run_gesture(&mut interface, g, Some((12, 300.0)));
+        let gh = gh.borrow();
+        let trace = &gh.traces()[0];
+        assert_eq!(trace.transition, PhaseTransition::Timeout);
+        assert_eq!(trace.class, Some(0));
+        assert!(trace.points_at_recognition <= 13);
+        assert!(trace.manip_evaluations > 0, "manipulation follows the hold");
+    }
+
+    #[test]
+    fn eager_fires_before_timeout_would() {
+        let (mut interface, gh, _) =
+            handler_with(&semantics_counting(), GestureHandlerConfig::default());
+        let g = &training()[0][3];
+        run_gesture(&mut interface, g, Some((15, 400.0)));
+        let gh = gh.borrow();
+        assert_eq!(gh.traces()[0].transition, PhaseTransition::Eager);
+    }
+
+    #[test]
+    fn recog_value_is_bound_to_recog_variable() {
+        let semantics = GestureSemantics {
+            recog: Expr::num(42.0),
+            manip: Expr::Nil,
+            done: Expr::Nil,
+        };
+        let (mut interface, _, _) = handler_with(&semantics, GestureHandlerConfig::default());
+        run_gesture(&mut interface, &training()[0][0], None);
+        assert_eq!(
+            interface.env().lookup("recog").unwrap().as_num(),
+            Some(42.0)
+        );
+    }
+
+    #[test]
+    fn semantic_errors_are_collected_not_fatal() {
+        let semantics = GestureSemantics {
+            recog: Expr::var("no_such_variable"),
+            manip: Expr::Nil,
+            done: Expr::Nil,
+        };
+        let (mut interface, gh, _) = handler_with(&semantics, GestureHandlerConfig::default());
+        run_gesture(&mut interface, &training()[0][0], None);
+        let gh = gh.borrow();
+        assert_eq!(gh.traces().len(), 1, "interaction completed despite error");
+        assert!(!gh.traces()[0].errors.is_empty());
+    }
+
+    #[test]
+    fn consecutive_interactions_reset_state() {
+        let (mut interface, gh, _) =
+            handler_with(&semantics_counting(), GestureHandlerConfig::default());
+        run_gesture(&mut interface, &training()[0][0], None);
+        run_gesture(&mut interface, &training()[1][0], None);
+        let gh = gh.borrow();
+        assert_eq!(gh.traces().len(), 2);
+        assert_eq!(gh.traces()[0].class, Some(0));
+        assert_eq!(gh.traces()[1].class, Some(1));
+    }
+
+    #[test]
+    fn rejection_threshold_suppresses_semantics() {
+        let config = GestureHandlerConfig {
+            eager: false,
+            min_probability: Some(1.1), // impossible: always reject
+            ..GestureHandlerConfig::default()
+        };
+        let (mut interface, gh, _) = handler_with(&semantics_counting(), config);
+        run_gesture(&mut interface, &training()[0][0], None);
+        let gh = gh.borrow();
+        let trace = &gh.traces()[0];
+        assert_eq!(trace.class, None);
+        assert_eq!(trace.class_name, "?");
+    }
+
+    #[test]
+    fn jitter_filter_drops_close_points() {
+        let (mut interface, gh, _) =
+            handler_with(&semantics_counting(), GestureHandlerConfig::default());
+        // A gesture whose points are all within 1 px: only the first
+        // survives the 3 px filter, so classification happens at mouse-up
+        // with one point.
+        let tiny = Gesture::from_xy(&[(0.0, 0.0), (0.5, 0.0), (1.0, 0.0)], 10.0);
+        run_gesture(&mut interface, &tiny, None);
+        let gh = gh.borrow();
+        let trace = &gh.traces()[0];
+        assert_eq!(trace.points_at_recognition, 1);
+    }
+}

@@ -1,0 +1,393 @@
+//! Event handlers, handler lists, and the dispatch loop.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use grandma_events::InputEvent;
+use grandma_sem::Env;
+
+use crate::view::{ViewId, ViewStore};
+
+/// What a handler did with an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandlerResult {
+    /// The handler claimed the event (and, for a `MouseDown`, the rest of
+    /// the interaction).
+    Consumed,
+    /// The event is propagated to the next handler in the list.
+    Ignored,
+}
+
+/// The mutable state a handler may touch while handling an event: the view
+/// store (create/move/delete views) and the shared semantic environment.
+///
+/// Splitting this out of [`Interface`] is what lets handlers mutate views
+/// while the dispatcher holds the handler lists.
+pub struct Ctx<'a> {
+    /// All live views.
+    pub views: &'a mut ViewStore,
+    /// The shared semantic environment (`view`, `recog`, ... bindings).
+    pub env: &'a mut Env,
+    /// The view the interaction was initiated at, if any.
+    pub target: Option<ViewId>,
+}
+
+/// An interaction technique: §3.1 "Each class of event handler implements
+/// a particular kind of interaction technique."
+///
+/// `wants` is the handler's *predicate* — "Each handler has a predicate
+/// that it uses to decide which events it will handle", typically
+/// filtering by event type and button. `handle` performs the technique.
+pub trait EventHandler {
+    /// Handler name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// The predicate: would this handler take this event, directed at this
+    /// view?
+    fn wants(&self, event: &InputEvent, target: Option<ViewId>, views: &ViewStore) -> bool;
+
+    /// Handles one event.
+    fn handle(&mut self, event: &InputEvent, ctx: &mut Ctx<'_>) -> HandlerResult;
+}
+
+/// Shared handle to a handler: one handler instance may serve a whole view
+/// class ("a single handler is automatically shared by many objects",
+/// §3).
+pub type HandlerRef = Rc<RefCell<dyn EventHandler>>;
+
+/// Wraps a handler into a [`HandlerRef`].
+pub fn handler_ref<H: EventHandler + 'static>(handler: H) -> HandlerRef {
+    Rc::new(RefCell::new(handler))
+}
+
+/// The dispatch loop binding views, handler lists, and the semantic
+/// environment together — GRANDMA's window-and-input layer.
+///
+/// Dispatch rules (§3.1):
+/// 1. A `MouseDown` picks the topmost view under the pointer; the
+///    handler lists queried, in order, are: the view's own handlers, then
+///    its class handlers, then the root handlers.
+/// 2. Each queried handler's predicate runs first; the first handler to
+///    consume the event *grabs* the interaction — every subsequent event
+///    until `MouseUp` goes straight to it.
+/// 3. Unconsumed events propagate down the list.
+pub struct Interface {
+    views: ViewStore,
+    view_handlers: HashMap<ViewId, Vec<HandlerRef>>,
+    class_handlers: HashMap<&'static str, Vec<HandlerRef>>,
+    root_handlers: Vec<HandlerRef>,
+    env: Env,
+    grab: Option<(HandlerRef, Option<ViewId>)>,
+}
+
+impl Default for Interface {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interface {
+    /// Creates an interface with no views or handlers.
+    pub fn new() -> Self {
+        Self {
+            views: ViewStore::new(),
+            view_handlers: HashMap::new(),
+            class_handlers: HashMap::new(),
+            root_handlers: Vec::new(),
+            env: Env::new(),
+            grab: None,
+        }
+    }
+
+    /// Returns the view store.
+    pub fn views(&self) -> &ViewStore {
+        &self.views
+    }
+
+    /// Returns the view store mutably.
+    pub fn views_mut(&mut self) -> &mut ViewStore {
+        &mut self.views
+    }
+
+    /// Returns the shared environment.
+    pub fn env(&self) -> &Env {
+        &self.env
+    }
+
+    /// Returns the shared environment mutably.
+    pub fn env_mut(&mut self) -> &mut Env {
+        &mut self.env
+    }
+
+    /// Attaches a handler to one specific view (highest priority).
+    pub fn attach_view_handler(&mut self, view: ViewId, handler: HandlerRef) {
+        self.view_handlers.entry(view).or_default().push(handler);
+    }
+
+    /// Attaches a handler to a view class; every view of that class
+    /// inherits it.
+    pub fn attach_class_handler(&mut self, class: &'static str, handler: HandlerRef) {
+        self.class_handlers.entry(class).or_default().push(handler);
+    }
+
+    /// Attaches a handler at the root (lowest priority; receives input
+    /// over the background too).
+    pub fn attach_root_handler(&mut self, handler: HandlerRef) {
+        self.root_handlers.push(handler);
+    }
+
+    /// Dispatches one event. Returns the name of the handler that consumed
+    /// it, if any.
+    pub fn dispatch(&mut self, event: &InputEvent) -> Option<&'static str> {
+        // An in-progress interaction owns all events until mouse-up.
+        if let Some((handler, target)) = self.grab.clone() {
+            let mut ctx = Ctx {
+                views: &mut self.views,
+                env: &mut self.env,
+                target,
+            };
+            let name = handler.borrow().name();
+            handler.borrow_mut().handle(event, &mut ctx);
+            if event.is_up() {
+                self.grab = None;
+            }
+            return Some(name);
+        }
+        if !event.is_down() {
+            // Hover moves and stray events outside an interaction go to
+            // root handlers only.
+            return self.offer(event, None, self.root_handlers.clone(), false);
+        }
+        let target = self.views.pick(event.x, event.y);
+        let chain = self.chain_for(target);
+        self.offer(event, target, chain, true)
+    }
+
+    /// Dispatches a whole scripted event stream.
+    pub fn run(&mut self, events: &[InputEvent]) {
+        for e in events {
+            self.dispatch(e);
+        }
+    }
+
+    fn chain_for(&self, target: Option<ViewId>) -> Vec<HandlerRef> {
+        let mut chain = Vec::new();
+        if let Some(id) = target {
+            if let Some(hs) = self.view_handlers.get(&id) {
+                chain.extend(hs.iter().cloned());
+            }
+            if let Some(view) = self.views.get(id) {
+                if let Some(hs) = self.class_handlers.get(view.class) {
+                    chain.extend(hs.iter().cloned());
+                }
+            }
+        }
+        chain.extend(self.root_handlers.iter().cloned());
+        chain
+    }
+
+    fn offer(
+        &mut self,
+        event: &InputEvent,
+        target: Option<ViewId>,
+        chain: Vec<HandlerRef>,
+        grab_on_consume: bool,
+    ) -> Option<&'static str> {
+        for handler in chain {
+            if !handler.borrow().wants(event, target, &self.views) {
+                continue;
+            }
+            let mut ctx = Ctx {
+                views: &mut self.views,
+                env: &mut self.env,
+                target,
+            };
+            let result = handler.borrow_mut().handle(event, &mut ctx);
+            if result == HandlerResult::Consumed {
+                let name = handler.borrow().name();
+                if grab_on_consume && !event.is_up() {
+                    self.grab = Some((handler, target));
+                }
+                return Some(name);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grandma_events::{Button, EventKind};
+    use grandma_geom::BBox;
+
+    /// A handler that consumes the kinds of events it is configured for
+    /// and counts what it saw.
+    struct CountingHandler {
+        name: &'static str,
+        take_downs: bool,
+        seen: Rc<RefCell<Vec<EventKind>>>,
+    }
+
+    impl EventHandler for CountingHandler {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn wants(&self, _e: &InputEvent, _t: Option<ViewId>, _v: &ViewStore) -> bool {
+            true
+        }
+        fn handle(&mut self, event: &InputEvent, _ctx: &mut Ctx<'_>) -> HandlerResult {
+            self.seen.borrow_mut().push(event.kind);
+            if self.take_downs {
+                HandlerResult::Consumed
+            } else {
+                HandlerResult::Ignored
+            }
+        }
+    }
+
+    fn down(x: f64, y: f64, t: f64) -> InputEvent {
+        InputEvent::new(
+            EventKind::MouseDown {
+                button: Button::Left,
+            },
+            x,
+            y,
+            t,
+        )
+    }
+    fn mv(x: f64, y: f64, t: f64) -> InputEvent {
+        InputEvent::new(EventKind::MouseMove, x, y, t)
+    }
+    fn up(x: f64, y: f64, t: f64) -> InputEvent {
+        InputEvent::new(
+            EventKind::MouseUp {
+                button: Button::Left,
+            },
+            x,
+            y,
+            t,
+        )
+    }
+
+    fn counting(name: &'static str, take: bool) -> (HandlerRef, Rc<RefCell<Vec<EventKind>>>) {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        (
+            handler_ref(CountingHandler {
+                name,
+                take_downs: take,
+                seen: seen.clone(),
+            }),
+            seen,
+        )
+    }
+
+    #[test]
+    fn view_handlers_have_priority_over_class_and_root() {
+        let mut i = Interface::new();
+        let v = i
+            .views_mut()
+            .add_view("Shape", BBox::from_corners(0.0, 0.0, 10.0, 10.0));
+        let (vh, vs) = counting("view", true);
+        let (ch, cs) = counting("class", true);
+        let (rh, rs) = counting("root", true);
+        i.attach_class_handler("Shape", ch);
+        i.attach_view_handler(v, vh);
+        i.attach_root_handler(rh);
+        assert_eq!(i.dispatch(&down(5.0, 5.0, 0.0)), Some("view"));
+        assert_eq!(vs.borrow().len(), 1);
+        assert_eq!(cs.borrow().len(), 0);
+        assert_eq!(rs.borrow().len(), 0);
+    }
+
+    #[test]
+    fn ignored_events_propagate_down_the_chain() {
+        let mut i = Interface::new();
+        let v = i
+            .views_mut()
+            .add_view("Shape", BBox::from_corners(0.0, 0.0, 10.0, 10.0));
+        let (vh, vs) = counting("view", false); // ignores
+        let (ch, cs) = counting("class", true); // consumes
+        i.attach_view_handler(v, vh);
+        i.attach_class_handler("Shape", ch);
+        assert_eq!(i.dispatch(&down(5.0, 5.0, 0.0)), Some("class"));
+        assert_eq!(vs.borrow().len(), 1, "view handler saw it first");
+        assert_eq!(cs.borrow().len(), 1);
+    }
+
+    #[test]
+    fn background_clicks_go_to_root_handlers() {
+        let mut i = Interface::new();
+        let (rh, rs) = counting("root", true);
+        i.attach_root_handler(rh);
+        assert_eq!(i.dispatch(&down(50.0, 50.0, 0.0)), Some("root"));
+        assert_eq!(rs.borrow().len(), 1);
+    }
+
+    #[test]
+    fn consuming_mouse_down_grabs_the_interaction() {
+        let mut i = Interface::new();
+        let v = i
+            .views_mut()
+            .add_view("Shape", BBox::from_corners(0.0, 0.0, 10.0, 10.0));
+        let (vh, vs) = counting("view", true);
+        i.attach_view_handler(v, vh);
+        i.dispatch(&down(5.0, 5.0, 0.0));
+        // Moves far outside the view still reach the grabbing handler.
+        i.dispatch(&mv(500.0, 500.0, 10.0));
+        i.dispatch(&up(500.0, 500.0, 20.0));
+        assert_eq!(vs.borrow().len(), 3);
+        // After mouse-up the grab is released: a new down elsewhere does
+        // not reach the view handler.
+        i.dispatch(&down(500.0, 500.0, 30.0));
+        assert_eq!(vs.borrow().len(), 3);
+    }
+
+    #[test]
+    fn class_handler_is_shared_by_all_members() {
+        let mut i = Interface::new();
+        let a = i
+            .views_mut()
+            .add_view("Shape", BBox::from_corners(0.0, 0.0, 10.0, 10.0));
+        let b = i
+            .views_mut()
+            .add_view("Shape", BBox::from_corners(20.0, 0.0, 30.0, 10.0));
+        let _ = (a, b);
+        let (ch, cs) = counting("class", true);
+        i.attach_class_handler("Shape", ch);
+        i.dispatch(&down(5.0, 5.0, 0.0));
+        i.dispatch(&up(5.0, 5.0, 1.0));
+        i.dispatch(&down(25.0, 5.0, 2.0));
+        i.dispatch(&up(25.0, 5.0, 3.0));
+        assert_eq!(cs.borrow().len(), 4, "one handler served two views");
+    }
+
+    #[test]
+    fn predicate_filters_before_handle() {
+        struct OnlyRight;
+        impl EventHandler for OnlyRight {
+            fn name(&self) -> &'static str {
+                "right-only"
+            }
+            fn wants(&self, event: &InputEvent, _t: Option<ViewId>, _v: &ViewStore) -> bool {
+                event.button() == Some(Button::Right)
+            }
+            fn handle(&mut self, _e: &InputEvent, _c: &mut Ctx<'_>) -> HandlerResult {
+                HandlerResult::Consumed
+            }
+        }
+        let mut i = Interface::new();
+        i.attach_root_handler(handler_ref(OnlyRight));
+        assert_eq!(i.dispatch(&down(0.0, 0.0, 0.0)), None);
+        let right = InputEvent::new(
+            EventKind::MouseDown {
+                button: Button::Right,
+            },
+            0.0,
+            0.0,
+            1.0,
+        );
+        assert_eq!(i.dispatch(&right), Some("right-only"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Views: the display-side objects input is directed at.
+
+use std::collections::HashMap;
+
+use grandma_geom::BBox;
+use grandma_sem::ObjRef;
+
+/// Identifier of a view within a [`ViewStore`].
+pub type ViewId = usize;
+
+/// A view: bounds on the virtual screen, a class name (handler lists can
+/// attach to classes and are inherited by every member view), a z-order,
+/// and optionally the model (application object) it displays.
+pub struct View {
+    /// The view's id.
+    pub id: ViewId,
+    /// The view class name, e.g. `"GdpTopView"` or `"Shape"`.
+    pub class: &'static str,
+    /// Screen bounds.
+    pub bounds: BBox,
+    /// Stacking order; higher values are picked first.
+    pub z: i32,
+    /// The model this view displays, if any.
+    pub model: Option<ObjRef>,
+}
+
+/// The collection of live views plus picking.
+#[derive(Default)]
+pub struct ViewStore {
+    views: HashMap<ViewId, View>,
+    next_id: ViewId,
+    next_z: i32,
+}
+
+impl ViewStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a view of the given class and bounds; returns its id.
+    pub fn add_view(&mut self, class: &'static str, bounds: BBox) -> ViewId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.next_z += 1;
+        self.views.insert(
+            id,
+            View {
+                id,
+                class,
+                bounds,
+                z: self.next_z,
+                model: None,
+            },
+        );
+        id
+    }
+
+    /// Attaches a model object to a view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view does not exist.
+    pub fn set_model(&mut self, id: ViewId, model: ObjRef) {
+        self.views.get_mut(&id).expect("view exists").model = Some(model);
+    }
+
+    /// Removes a view; returns `true` if it existed.
+    pub fn remove(&mut self, id: ViewId) -> bool {
+        self.views.remove(&id).is_some()
+    }
+
+    /// Returns a view.
+    pub fn get(&self, id: ViewId) -> Option<&View> {
+        self.views.get(&id)
+    }
+
+    /// Returns a view mutably.
+    pub fn get_mut(&mut self, id: ViewId) -> Option<&mut View> {
+        self.views.get_mut(&id)
+    }
+
+    /// Returns the topmost view whose bounds contain `(x, y)`.
+    pub fn pick(&self, x: f64, y: f64) -> Option<ViewId> {
+        self.views
+            .values()
+            .filter(|v| v.bounds.contains(x, y))
+            .max_by_key(|v| v.z)
+            .map(|v| v.id)
+    }
+
+    /// Returns every view whose bounds are entirely inside `region`
+    /// (z-order ascending) — the `<enclosed>` gestural attribute.
+    pub fn enclosed_by(&self, region: &BBox) -> Vec<ViewId> {
+        let mut hits: Vec<&View> = self
+            .views
+            .values()
+            .filter(|v| region.contains_box(&v.bounds))
+            .collect();
+        hits.sort_by_key(|v| v.z);
+        hits.iter().map(|v| v.id).collect()
+    }
+
+    /// Raises a view to the top of the stacking order.
+    pub fn raise(&mut self, id: ViewId) {
+        self.next_z += 1;
+        let z = self.next_z;
+        if let Some(v) = self.views.get_mut(&id) {
+            v.z = z;
+        }
+    }
+
+    /// Translates a view's bounds.
+    pub fn translate(&mut self, id: ViewId, dx: f64, dy: f64) {
+        if let Some(v) = self.views.get_mut(&id) {
+            v.bounds = BBox {
+                min_x: v.bounds.min_x + dx,
+                min_y: v.bounds.min_y + dy,
+                max_x: v.bounds.max_x + dx,
+                max_y: v.bounds.max_y + dy,
+            };
+        }
+    }
+
+    /// Number of live views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Returns `true` when no views exist.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Iterates over views in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &View> {
+        self.views.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(x0: f64, y0: f64, x1: f64, y1: f64) -> BBox {
+        BBox::from_corners(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn add_and_get_views() {
+        let mut s = ViewStore::new();
+        let a = s.add_view("A", b(0.0, 0.0, 10.0, 10.0));
+        assert_eq!(s.get(a).unwrap().class, "A");
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn pick_returns_topmost() {
+        let mut s = ViewStore::new();
+        let bottom = s.add_view("A", b(0.0, 0.0, 10.0, 10.0));
+        let top = s.add_view("B", b(5.0, 5.0, 15.0, 15.0));
+        assert_eq!(s.pick(7.0, 7.0), Some(top));
+        assert_eq!(s.pick(1.0, 1.0), Some(bottom));
+        assert_eq!(s.pick(20.0, 20.0), None);
+    }
+
+    #[test]
+    fn raise_changes_pick_order() {
+        let mut s = ViewStore::new();
+        let first = s.add_view("A", b(0.0, 0.0, 10.0, 10.0));
+        let _second = s.add_view("B", b(0.0, 0.0, 10.0, 10.0));
+        s.raise(first);
+        assert_eq!(s.pick(5.0, 5.0), Some(first));
+    }
+
+    #[test]
+    fn enclosed_by_requires_full_containment() {
+        let mut s = ViewStore::new();
+        let inside = s.add_view("A", b(2.0, 2.0, 4.0, 4.0));
+        let _partial = s.add_view("B", b(8.0, 8.0, 15.0, 15.0));
+        let hits = s.enclosed_by(&b(0.0, 0.0, 10.0, 10.0));
+        assert_eq!(hits, vec![inside]);
+    }
+
+    #[test]
+    fn translate_moves_bounds() {
+        let mut s = ViewStore::new();
+        let v = s.add_view("A", b(0.0, 0.0, 10.0, 10.0));
+        s.translate(v, 5.0, -2.0);
+        let bounds = s.get(v).unwrap().bounds;
+        assert_eq!(bounds.min_x, 5.0);
+        assert_eq!(bounds.max_y, 8.0);
+    }
+
+    #[test]
+    fn remove_deletes_view() {
+        let mut s = ViewStore::new();
+        let v = s.add_view("A", b(0.0, 0.0, 1.0, 1.0));
+        assert!(s.remove(v));
+        assert!(!s.remove(v));
+        assert_eq!(s.pick(0.5, 0.5), None);
+    }
+}

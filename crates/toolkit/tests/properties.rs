@@ -1,0 +1,143 @@
+//! Property-based tests for the dispatch layer: arbitrary event streams
+//! must never wedge the interface, and the grab discipline must hold.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use grandma_events::{Button, EventKind, InputEvent};
+use grandma_geom::BBox;
+use grandma_toolkit::{
+    handler_ref, Ctx, DragHandler, EventHandler, HandlerResult, Interface, ViewStore,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Down(f64, f64),
+    Move(f64, f64),
+    Up(f64, f64),
+    Timeout(f64, f64),
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    let xy = (-50.0f64..150.0, -50.0f64..150.0);
+    prop_oneof![
+        xy.clone().prop_map(|(x, y)| Ev::Down(x, y)),
+        xy.clone().prop_map(|(x, y)| Ev::Move(x, y)),
+        xy.clone().prop_map(|(x, y)| Ev::Up(x, y)),
+        xy.prop_map(|(x, y)| Ev::Timeout(x, y)),
+    ]
+}
+
+fn to_input(ev: &Ev, t: f64) -> InputEvent {
+    match *ev {
+        Ev::Down(x, y) => InputEvent::new(
+            EventKind::MouseDown {
+                button: Button::Left,
+            },
+            x,
+            y,
+            t,
+        ),
+        Ev::Move(x, y) => InputEvent::new(EventKind::MouseMove, x, y, t),
+        Ev::Up(x, y) => InputEvent::new(
+            EventKind::MouseUp {
+                button: Button::Left,
+            },
+            x,
+            y,
+            t,
+        ),
+        Ev::Timeout(x, y) => InputEvent::new(EventKind::Timeout, x, y, t),
+    }
+}
+
+/// Records which handler instance saw each event.
+struct Tap {
+    tag: usize,
+    log: Rc<RefCell<Vec<(usize, EventKind)>>>,
+}
+
+impl EventHandler for Tap {
+    fn name(&self) -> &'static str {
+        "tap"
+    }
+    fn wants(&self, _e: &InputEvent, _t: Option<usize>, _v: &ViewStore) -> bool {
+        true
+    }
+    fn handle(&mut self, e: &InputEvent, _ctx: &mut Ctx<'_>) -> HandlerResult {
+        self.log.borrow_mut().push((self.tag, e.kind));
+        HandlerResult::Consumed
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_event_streams_never_panic(events in proptest::collection::vec(ev_strategy(), 0..80)) {
+        let mut interface = Interface::new();
+        let view = interface.views_mut().add_view("Shape", BBox::from_corners(0.0, 0.0, 60.0, 60.0));
+        let _ = view;
+        interface.attach_class_handler("Shape", handler_ref(DragHandler::new(Button::Left)));
+        for (i, ev) in events.iter().enumerate() {
+            interface.dispatch(&to_input(ev, i as f64 * 10.0));
+        }
+        // Views remain valid afterwards.
+        prop_assert!(!interface.views().is_empty());
+        let bounds = interface.views().iter().next().unwrap().bounds;
+        prop_assert!(bounds.min_x.is_finite() && bounds.max_y.is_finite());
+    }
+
+    #[test]
+    fn grab_routes_a_whole_interaction_to_one_handler(events in proptest::collection::vec(ev_strategy(), 1..60)) {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut interface = Interface::new();
+        let a = interface.views_mut().add_view("A", BBox::from_corners(0.0, 0.0, 60.0, 60.0));
+        let b = interface.views_mut().add_view("B", BBox::from_corners(70.0, 0.0, 140.0, 60.0));
+        interface.attach_view_handler(a, handler_ref(Tap { tag: 1, log: log.clone() }));
+        interface.attach_view_handler(b, handler_ref(Tap { tag: 2, log: log.clone() }));
+        for (i, ev) in events.iter().enumerate() {
+            interface.dispatch(&to_input(ev, i as f64 * 10.0));
+        }
+        // Between any down and the following up, all delivered events
+        // carry the same handler tag.
+        let log = log.borrow();
+        let mut current: Option<usize> = None;
+        for &(tag, kind) in log.iter() {
+            match kind {
+                EventKind::MouseDown { .. } => {
+                    // A second down during a grab stays with the grab
+                    // owner; otherwise it opens a new interaction.
+                    match current {
+                        Some(owner) => prop_assert_eq!(owner, tag, "down leaked from a grab"),
+                        None => current = Some(tag),
+                    }
+                }
+                EventKind::MouseUp { .. } => {
+                    if let Some(owner) = current {
+                        prop_assert_eq!(owner, tag, "up went to the wrong handler");
+                    }
+                    current = None;
+                }
+                _ => {
+                    if let Some(owner) = current {
+                        prop_assert_eq!(owner, tag, "mid-interaction event leaked");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pick_respects_view_bounds(x in -50.0f64..150.0, y in -50.0f64..150.0) {
+        let mut interface = Interface::new();
+        let v = interface.views_mut().add_view("Shape", BBox::from_corners(0.0, 0.0, 60.0, 60.0));
+        let picked = interface.views().pick(x, y);
+        let inside = (0.0..=60.0).contains(&x) && (0.0..=60.0).contains(&y);
+        prop_assert_eq!(picked.is_some(), inside);
+        if let Some(id) = picked {
+            prop_assert_eq!(id, v);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Build a gesture interface for your own application: define a gesture
+//! vocabulary with `PathBuilder`, synthesize training data, attach
+//! `recog`/`manip`/`done` semantics to your own semantic object, and run
+//! interactions through the GRANDMA toolkit.
+//!
+//! The toy application is a media player: a "play" caret, a "stop" box
+//! gesture, and a "volume" stroke whose manipulation phase sets the level
+//! with live feedback — the two-phase interaction on a non-drawing domain.
+//!
+//! Run: `cargo run --example custom_gestures`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use grandma::core::{EagerConfig, EagerRecognizer, FeatureMask};
+use grandma::events::{gesture_events, Button, DwellDetector};
+use grandma::sem::{obj_ref, Expr, GestureSemantics, SemError, SemObject, Value};
+use grandma::synth::{synthesize, PathBuilder, Variation};
+use grandma::toolkit::{GestureClass, GestureHandler, GestureHandlerConfig, HandlerRef, Interface};
+use grandma_geom::Gesture;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The application state, shared between the semantic object and `main`.
+#[derive(Default)]
+struct PlayerState {
+    playing: bool,
+    volume: f64,
+    log: Vec<String>,
+}
+
+/// The semantic object gestures talk to.
+struct Player(Rc<RefCell<PlayerState>>);
+
+impl SemObject for Player {
+    fn type_name(&self) -> &'static str {
+        "Player"
+    }
+    fn send(&mut self, selector: &str, args: &[Value]) -> Result<Value, SemError> {
+        let mut state = self.0.borrow_mut();
+        match selector {
+            "play" => {
+                state.playing = true;
+                state.log.push("play".into());
+                Ok(Value::Bool(true))
+            }
+            "stop" => {
+                state.playing = false;
+                state.log.push("stop".into());
+                Ok(Value::Bool(true))
+            }
+            "volumeFrom:to:" => {
+                // Volume follows the vertical drag distance: live feedback
+                // during the manipulation phase.
+                let start_y = args[0].as_num().unwrap_or(0.0);
+                let y = args[1].as_num().unwrap_or(0.0);
+                state.volume = ((y - start_y) / 60.0).clamp(0.0, 1.0);
+                Ok(Value::Num(state.volume))
+            }
+            "volumeDone" => {
+                let volume = state.volume;
+                state.log.push(format!("volume={volume:.2}"));
+                Ok(Value::Nil)
+            }
+            _ => Err(SemError::unknown_selector(self.type_name(), selector)),
+        }
+    }
+}
+
+fn main() {
+    // 1. The vocabulary: three single-stroke shapes.
+    let specs = vec![
+        (
+            "play", // a caret: up-right then down-right
+            PathBuilder::start(0.0, 0.0)
+                .line_to(0.5, 0.7)
+                .corner()
+                .line_to(1.0, 0.0)
+                .build(),
+        ),
+        (
+            "stop", // three sides of a box, starting down
+            PathBuilder::start(0.0, 0.0)
+                .line_to(0.0, -0.8)
+                .corner()
+                .line_to(0.8, -0.8)
+                .corner()
+                .line_to(0.8, 0.0)
+                .build(),
+        ),
+        (
+            "volume", // a straight upward stroke
+            PathBuilder::start(0.0, 0.0).line_to(0.0, 1.0).build(),
+        ),
+    ];
+
+    // 2. Synthesize training data (in a real application these would be
+    //    examples drawn by the user — "gesture recognizers automated").
+    let mut rng = StdRng::seed_from_u64(99);
+    let variation = Variation::standard();
+    let training: Vec<Vec<Gesture>> = specs
+        .iter()
+        .map(|(_, spec)| {
+            (0..20)
+                .map(|_| synthesize(spec, &variation, &mut rng).gesture)
+                .collect()
+        })
+        .collect();
+    let (recognizer, _) =
+        EagerRecognizer::train(&training, &FeatureMask::all(), &EagerConfig::default())
+            .expect("training succeeds");
+
+    // 3. Semantics per class, against the Player object.
+    let classes = vec![
+        GestureClass::with_semantics(
+            "play",
+            GestureSemantics {
+                recog: Expr::send(Expr::var("view"), "play", vec![]),
+                manip: Expr::Nil,
+                done: Expr::Nil,
+            },
+        ),
+        GestureClass::with_semantics(
+            "stop",
+            GestureSemantics {
+                recog: Expr::send(Expr::var("view"), "stop", vec![]),
+                manip: Expr::Nil,
+                done: Expr::Nil,
+            },
+        ),
+        GestureClass::with_semantics(
+            "volume",
+            GestureSemantics {
+                recog: Expr::Nil,
+                manip: Expr::send(
+                    Expr::var("view"),
+                    "volumeFrom:to:",
+                    vec![Expr::attr("startY"), Expr::attr("currentY")],
+                ),
+                done: Expr::send(Expr::var("view"), "volumeDone", vec![]),
+            },
+        ),
+    ];
+
+    // 4. Assemble the interface.
+    let state = Rc::new(RefCell::new(PlayerState {
+        volume: 0.3,
+        ..PlayerState::default()
+    }));
+    let player = obj_ref(Player(state.clone()));
+    let mut interface = Interface::new();
+    interface.env_mut().bind("view", Value::Obj(player));
+    let handler = Rc::new(RefCell::new(GestureHandler::new(
+        Rc::new(recognizer),
+        classes,
+        GestureHandlerConfig::default(),
+    )));
+    let handler_dyn: HandlerRef = handler.clone();
+    interface.attach_root_handler(handler_dyn);
+
+    // 5. Replay one gesture of each kind.
+    let mut rng = StdRng::seed_from_u64(1234);
+    for (name, spec) in &specs {
+        let gesture = synthesize(spec, &variation, &mut rng).gesture;
+        let mut dwell = DwellDetector::paper_default();
+        for e in dwell.expand(&gesture_events(&gesture, Button::Left)) {
+            interface.dispatch(&e);
+        }
+        let trace = handler.borrow().traces().last().cloned().expect("trace");
+        println!(
+            "drew '{name}': recognized as '{}' via {:?} at {}/{} points",
+            trace.class_name, trace.transition, trace.points_at_recognition, trace.total_points
+        );
+    }
+
+    // 6. The application saw it all.
+    let state = state.borrow();
+    println!("\napplication state after the session:");
+    println!("  playing = {}", state.playing);
+    println!("  volume  = {:.2}", state.volume);
+    println!("  log     = {:?}", state.log);
+}

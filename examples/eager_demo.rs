@@ -1,0 +1,52 @@
+//! Watch the ambiguous/unambiguous classifier work point by point on the
+//! U/D example of Figures 5-7: both classes share a horizontal prelude and
+//! only diverge after the corner.
+//!
+//! Run: `cargo run --example eager_demo`
+
+use grandma::core::{EagerConfig, EagerRecognizer, FeatureMask};
+use grandma::synth::datasets;
+
+fn main() {
+    let data = datasets::ud(7, 10, 2);
+    let (eager, _) =
+        EagerRecognizer::train(&data.training, &FeatureMask::all(), &EagerConfig::default())
+            .expect("training succeeds");
+
+    for labeled in &data.testing {
+        println!(
+            "gesture of class '{}', {} points:",
+            data.class_names[labeled.class],
+            labeled.gesture.len()
+        );
+        // Per-point verdicts: '.' while ambiguous, the class letter at the
+        // moment of recognition, '-' afterwards (manipulation phase).
+        let mut session = eager.session();
+        let mut verdicts = String::new();
+        for &p in labeled.gesture.points() {
+            match session.feed(p) {
+                Some(class) => verdicts.push_str(data.class_names[class]),
+                None if session.decided().is_some() => verdicts.push('-'),
+                None => verdicts.push('.'),
+            }
+        }
+        println!("  {verdicts}");
+        match session.recognition_point() {
+            Some(at) => println!(
+                "  -> unambiguous after {at} points; ground-truth corner at point {}\n",
+                labeled.min_points.unwrap_or(0)
+            ),
+            None => {
+                let class = session.finish().expect("classifies at mouse-up");
+                println!(
+                    "  -> stayed ambiguous; classified '{}' at mouse-up\n",
+                    data.class_names[class]
+                );
+            }
+        }
+    }
+    println!(
+        "legend: '.' = still ambiguous (collection phase), class letter = the\n\
+         eager recognition moment, '-' = manipulation phase."
+    );
+}

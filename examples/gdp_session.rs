@@ -1,0 +1,82 @@
+//! A scripted GDP session (§2 / Figure 3): draw with gestures, watch the
+//! two-phase interaction bind parameters at recognition vs. manipulation
+//! time, and render the scene.
+//!
+//! Run: `cargo run --example gdp_session`
+
+use grandma::gdp::{render, Gdp, GdpConfig};
+use grandma_geom::Transform;
+
+fn main() {
+    let mut gdp = Gdp::build(GdpConfig::default()).expect("training succeeds");
+
+    // Figure 3's walkthrough: "The user presses the mouse button and
+    // enters the rectangle gesture and then stops, holding the button
+    // down. The gesture is recognized, and a rectangle is created ...
+    // the latter endpoint can then be dragged by the mouse."
+    let rect = gdp.sample_gesture("rectangle", 11);
+    gdp.run_gesture_then_drag(&rect, &[(140.0, -40.0), (180.0, -90.0)], 300.0);
+
+    // An ellipse: the center and initial size bind at recognition; the
+    // manipulation drag then sets size and eccentricity (Figure 3).
+    let ellipse = gdp
+        .sample_gesture("ellipse", 3)
+        .transformed(&Transform::translation(260.0, 30.0));
+    let target = {
+        let b = ellipse.bbox();
+        (b.max_x + 18.0, b.max_y + 10.0)
+    };
+    gdp.run_gesture_then_drag(&ellipse, &[target], 300.0);
+    let line = gdp
+        .sample_gesture("line", 5)
+        .transformed(&Transform::translation(-30.0, -30.0));
+    gdp.run_gesture(&line);
+
+    // A dot, then delete it by gesturing over it.
+    let dot = gdp.sample_gesture("dot", 2);
+    gdp.run_gesture(&dot);
+
+    println!("interactions so far:");
+    for trace in gdp.traces() {
+        println!(
+            "  {:12} via {:?}: recognized at {}/{} points, {} manipulation steps{}",
+            trace.class_name,
+            trace.transition,
+            trace.points_at_recognition,
+            trace.total_points,
+            trace.manip_evaluations,
+            if trace.errors.is_empty() {
+                String::new()
+            } else {
+                format!(" (errors: {:?})", trace.errors)
+            }
+        );
+    }
+
+    let scene = gdp.scene().borrow();
+    println!("\nscene: {} objects", scene.len());
+    for obj in scene.iter() {
+        let b = obj.shape.bbox();
+        println!(
+            "  #{} {:8} bbox [{:.0},{:.0}]..[{:.0},{:.0}]{}",
+            obj.id,
+            obj.shape.kind(),
+            b.min_x,
+            b.min_y,
+            b.max_x,
+            b.max_y,
+            match obj.group {
+                Some(g) => format!(" (group {g})"),
+                None => String::new(),
+            }
+        );
+    }
+
+    let b = scene.bbox().expanded(10.0);
+    println!("\nASCII rendering:");
+    println!(
+        "{}",
+        render::ascii(&scene, 78, 24, (b.min_x, b.min_y, b.max_x, b.max_y))
+    );
+    println!("(render::svg(&scene) produces the same drawing as SVG)");
+}

@@ -1,0 +1,67 @@
+//! The §6 multi-path extension: classify two-finger gestures and drive a
+//! translate-rotate-scale manipulation, Sensor Frame style.
+//!
+//! Run: `cargo run --example multitouch`
+
+use grandma::core::FeatureMask;
+use grandma::gdp::{Scene, Shape};
+use grandma::multipath::{trs_session, two_finger_gesture, MultiPathClassifier, TwoFingerKind};
+use grandma_geom::Point;
+
+fn main() {
+    // 1. Train the multi-path classifier on the two-finger vocabulary.
+    let training: Vec<Vec<_>> = TwoFingerKind::all()
+        .iter()
+        .enumerate()
+        .map(|(k, &kind)| {
+            (0..12)
+                .map(|e| two_finger_gesture(kind, (k * 100 + e) as u64))
+                .collect()
+        })
+        .collect();
+    let classifier =
+        MultiPathClassifier::train(&training, &FeatureMask::all(), 2).expect("training succeeds");
+
+    let names = ["spread", "pinch", "rotate", "translate"];
+    println!("two-finger gesture classification:");
+    for (k, &kind) in TwoFingerKind::all().iter().enumerate() {
+        let gesture = two_finger_gesture(kind, 9999 + k as u64);
+        let class = classifier.classify(&gesture);
+        // How early does the prefix margin stabilize? (the eager story
+        // for multi-path gestures)
+        let mut stable_at = gesture.min_len();
+        for i in (4..gesture.min_len()).rev() {
+            match classifier.classify_prefix(&gesture, i) {
+                Some((c, margin)) if c == class && margin > 0.5 => stable_at = i,
+                _ => break,
+            }
+        }
+        println!(
+            "  drew {:9} -> classified '{}' (stable from point {stable_at}/{})",
+            names[k],
+            names[class],
+            gesture.min_len()
+        );
+    }
+
+    // 2. Manipulation: a two-finger translate-rotate-scale session over a
+    //    GDP rectangle.
+    let mut scene = Scene::new();
+    let rect = scene.create(Shape::rect(Point::xy(80.0, 80.0), Point::xy(120.0, 120.0)));
+    println!(
+        "\nrectangle before: {:?}",
+        scene.get(rect).unwrap().shape.bbox()
+    );
+
+    let mut session = trs_session((Point::xy(70.0, 100.0), Point::xy(130.0, 100.0)));
+    // Fingers spread apart and twist 90 degrees over the interaction.
+    session.update(Point::xy(100.0, 40.0), Point::xy(100.0, 160.0));
+    let transform = session.transform();
+    scene.get_mut(rect).unwrap().shape.apply(&transform);
+    let after = scene.get(rect).unwrap().shape.bbox();
+    println!("rectangle after : {after:?}");
+    println!(
+        "(one two-finger motion translated, rotated, and scaled the object\n\
+         simultaneously — §6's translate-rotate-scale gesture)"
+    );
+}

@@ -1,0 +1,65 @@
+//! Reproducibility: the entire pipeline — dataset synthesis, training,
+//! eager recognition, GDP sessions — is a pure function of its seeds.
+
+use grandma::core::{Classifier, EagerConfig, EagerRecognizer, FeatureMask};
+use grandma::gdp::{render, Gdp, GdpConfig};
+use grandma::synth::datasets;
+
+#[test]
+fn dataset_synthesis_is_seed_deterministic() {
+    let a = datasets::gdp(0xdede, 5, 5);
+    let b = datasets::gdp(0xdede, 5, 5);
+    for (ta, tb) in a.training.iter().zip(b.training.iter()) {
+        assert_eq!(ta, tb);
+    }
+    for (la, lb) in a.testing.iter().zip(b.testing.iter()) {
+        assert_eq!(la.gesture, lb.gesture);
+        assert_eq!(la.class, lb.class);
+    }
+}
+
+#[test]
+fn classifier_training_is_deterministic() {
+    let data = datasets::eight_way(0xdedf, 8, 10);
+    let mask = FeatureMask::all();
+    let a = Classifier::train(&data.training, &mask).unwrap();
+    let b = Classifier::train(&data.training, &mask).unwrap();
+    for l in &data.testing {
+        let ca = a.classify(&l.gesture);
+        let cb = b.classify(&l.gesture);
+        assert_eq!(ca.class, cb.class);
+        assert_eq!(ca.evaluations, cb.evaluations);
+    }
+}
+
+#[test]
+fn eager_training_and_runs_are_deterministic() {
+    let data = datasets::eight_way(0xdee0, 8, 10);
+    let mask = FeatureMask::all();
+    let config = EagerConfig::default();
+    let (a, report_a) = EagerRecognizer::train(&data.training, &mask, &config).unwrap();
+    let (b, report_b) = EagerRecognizer::train(&data.training, &mask, &config).unwrap();
+    assert_eq!(report_a.move_outcome, report_b.move_outcome);
+    assert_eq!(report_a.tweaks, report_b.tweaks);
+    assert_eq!(report_a.auc_classes, report_b.auc_classes);
+    for l in &data.testing {
+        assert_eq!(a.run(&l.gesture), b.run(&l.gesture));
+    }
+}
+
+#[test]
+fn gdp_sessions_render_identically() {
+    let run_session = || {
+        let mut gdp = Gdp::build(GdpConfig {
+            training_per_class: 8,
+            ..GdpConfig::default()
+        })
+        .unwrap();
+        gdp.run_gesture(&gdp.sample_gesture("rectangle", 1));
+        gdp.run_gesture(&gdp.sample_gesture("ellipse", 2));
+        gdp.run_gesture(&gdp.sample_gesture("dot", 3));
+        let scene = gdp.scene().borrow();
+        render::svg(&scene)
+    };
+    assert_eq!(run_session(), run_session());
+}

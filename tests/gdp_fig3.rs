@@ -1,0 +1,331 @@
+//! Figure 3 end-to-end: every GDP gesture, with its recognition-time and
+//! manipulation-time parameters, exercised through the full stack
+//! (synthetic events → toolkit dispatch → gesture handler → semantics →
+//! scene).
+
+use grandma::gdp::{Gdp, GdpConfig, Shape};
+use grandma_geom::Transform;
+
+fn build() -> Gdp {
+    build_with_eager(true)
+}
+
+fn build_with_eager(eager: bool) -> Gdp {
+    Gdp::build(GdpConfig {
+        training_per_class: 12,
+        eager,
+        ..GdpConfig::default()
+    })
+    .expect("training succeeds")
+}
+
+/// Picks a sample of `class` that the recognizer classifies correctly
+/// (the classifier is ~98 % accurate; tests need a hit, not an average).
+fn sample(gdp: &Gdp, class: &str) -> grandma_geom::Gesture {
+    let idx = gdp
+        .class_names()
+        .iter()
+        .position(|&n| n == class)
+        .expect("class exists");
+    for variant in 0..60 {
+        let g = gdp.sample_gesture(class, variant);
+        let filtered = grandma::core::PointFilter::filter_gesture(3.0, &g);
+        if gdp.recognizer().classify_full(&filtered).class == idx {
+            return g;
+        }
+    }
+    panic!("no correctly classified {class} sample found");
+}
+
+/// A sample translated so its first point lands on `(x, y)`.
+fn sample_at(gdp: &Gdp, class: &str, x: f64, y: f64) -> grandma_geom::Gesture {
+    let g = sample(gdp, class);
+    let first = g.first().expect("non-empty");
+    g.transformed(&Transform::translation(x - first.x, y - first.y))
+}
+
+#[test]
+fn rectangle_corner1_at_recognition_corner2_by_manipulation() {
+    let mut gdp = build();
+    let g = sample(&gdp, "rectangle");
+    let start = *g.first().unwrap();
+    gdp.run_gesture_then_drag(&g, &[(300.0, 250.0)], 300.0);
+    let scene = gdp.scene().borrow();
+    match &scene.iter().next().expect("created").shape {
+        Shape::Rect { c0, c1, .. } => {
+            // Corner 1 = gesture start (recognition time).
+            assert!((c0.x - start.x).abs() < 1e-9);
+            assert!((c0.y - start.y).abs() < 1e-9);
+            // Corner 2 = final mouse position (manipulation).
+            assert_eq!((c1.x, c1.y), (300.0, 250.0));
+        }
+        other => panic!("expected rect, got {}", other.kind()),
+    };
+}
+
+#[test]
+fn ellipse_center_at_recognition_size_by_manipulation() {
+    let mut gdp = build();
+    let g = sample(&gdp, "ellipse");
+    gdp.run_gesture_then_drag(&g, &[(g.bbox().max_x + 30.0, g.bbox().max_y + 20.0)], 300.0);
+    let scene = gdp.scene().borrow();
+    match &scene.iter().next().expect("created").shape {
+        Shape::Ellipse { rx, ry, .. } => {
+            assert!(
+                *rx > 5.0,
+                "manipulation should set a real x radius, got {rx}"
+            );
+            assert!(
+                *ry > 5.0,
+                "manipulation should set a real y radius, got {ry}"
+            );
+        }
+        other => panic!("expected ellipse, got {}", other.kind()),
+    };
+}
+
+#[test]
+fn group_binds_enclosed_objects_and_touch_adds_more() {
+    let mut gdp = build();
+    // Two dots inside where the lasso will be, one far away.
+    let group_gesture = sample_at(&gdp, "group", 0.0, 0.0);
+    let b = group_gesture.bbox();
+    let inside = b.center();
+    gdp.run_gesture(&sample_at(&gdp, "dot", inside.x, inside.y));
+    gdp.run_gesture(&sample_at(&gdp, "dot", inside.x + 4.0, inside.y + 4.0));
+    gdp.run_gesture(&sample_at(&gdp, "dot", b.max_x + 200.0, b.max_y + 200.0));
+    assert_eq!(gdp.scene().borrow().len(), 3);
+
+    gdp.run_gesture(&group_gesture);
+    let scene = gdp.scene().borrow();
+    let grouped = scene.iter().filter(|o| o.group.is_some()).count();
+    assert_eq!(grouped, 2, "exactly the enclosed dots are grouped");
+}
+
+#[test]
+fn move_gesture_picks_at_recognition_and_drags() {
+    let mut gdp = build();
+    gdp.run_gesture(&sample_at(&gdp, "dot", 50.0, 50.0));
+    let before = gdp.scene().borrow().bbox().center();
+    // A move gesture starting on the dot, manipulation dragging +100 in x.
+    let g = sample_at(&gdp, "move", before.x, before.y);
+    let end = *g.last().unwrap();
+    gdp.run_gesture_then_drag(&g, &[(end.x + 60.0, end.y), (end.x + 100.0, end.y)], 300.0);
+    let scene = gdp.scene().borrow();
+    let dot = scene
+        .iter()
+        .find(|o| o.shape.kind() == "dot")
+        .expect("dot survives");
+    let after = dot.shape.bbox().center();
+    assert!(
+        (after.x - before.x - 100.0).abs() < 1.0,
+        "dot should move by the manipulation drag: {} -> {}",
+        before.x,
+        after.x
+    );
+}
+
+#[test]
+fn copy_replicates_and_positions_during_manipulation() {
+    let mut gdp = build();
+    gdp.run_gesture(&sample_at(&gdp, "dot", 80.0, 60.0));
+    let g = sample_at(&gdp, "copy", 80.0, 60.0);
+    let end = *g.last().unwrap();
+    gdp.run_gesture_then_drag(&g, &[(end.x + 150.0, end.y + 40.0)], 300.0);
+    let scene = gdp.scene().borrow();
+    let dots: Vec<_> = scene.iter().filter(|o| o.shape.kind() == "dot").collect();
+    assert_eq!(dots.len(), 2, "copy must create a second dot");
+    let xs: Vec<f64> = dots.iter().map(|o| o.shape.bbox().center().x).collect();
+    assert!(
+        (xs[0] - xs[1]).abs() > 50.0,
+        "the copy must have been dragged away: {xs:?}"
+    );
+}
+
+#[test]
+fn rotate_scale_changes_size_and_orientation() {
+    // Eager off so the manipulation phase starts exactly at the gesture's
+    // final point, making the expected scale factor deterministic.
+    let mut gdp = build_with_eager(false);
+    // A line to operate on.
+    gdp.run_gesture_then_drag(
+        &sample_at(&gdp, "line", 100.0, 100.0),
+        &[(160.0, 100.0)],
+        300.0,
+    );
+    let before = {
+        let scene = gdp.scene().borrow();
+        let bbox = scene.iter().next().expect("line").shape.bbox();
+        bbox
+    };
+    // Rotate-scale starting on the line; drag the grab point outward to
+    // scale up.
+    let g = sample_at(&gdp, "rotate-scale", 130.0, 100.0);
+    let end = *g.last().unwrap();
+    let pivot = *g.first().unwrap();
+    let away = (
+        pivot.x + (end.x - pivot.x) * 2.0,
+        pivot.y + (end.y - pivot.y) * 2.0,
+    );
+    gdp.run_gesture_then_drag(&g, &[away], 300.0);
+    let scene = gdp.scene().borrow();
+    let after = scene.iter().next().expect("line").shape.bbox();
+    assert!(
+        after.diagonal() > before.diagonal() * 1.4,
+        "dragging the grab point outward must scale up: {} -> {}",
+        before.diagonal(),
+        after.diagonal()
+    );
+}
+
+#[test]
+fn delete_kills_start_object_and_touched_objects() {
+    let mut gdp = build();
+    gdp.run_gesture(&sample_at(&gdp, "dot", 40.0, 40.0));
+    gdp.run_gesture(&sample_at(&gdp, "dot", 400.0, 40.0));
+    assert_eq!(gdp.scene().borrow().len(), 2);
+    // Delete starting on the first dot, manipulation touching the second.
+    let g = sample_at(&gdp, "delete", 40.0, 40.0);
+    gdp.run_gesture_then_drag(&g, &[(400.0, 40.0)], 300.0);
+    assert_eq!(
+        gdp.scene().borrow().len(),
+        0,
+        "both the start object and the touched object must die"
+    );
+}
+
+#[test]
+fn edit_shows_control_points() {
+    let mut gdp = build();
+    gdp.run_gesture_then_drag(&sample_at(&gdp, "line", 10.0, 10.0), &[(90.0, 10.0)], 300.0);
+    assert_eq!(gdp.scene().borrow().editing(), None);
+    let g = sample_at(&gdp, "edit", 50.0, 10.0);
+    gdp.run_gesture(&g);
+    let scene = gdp.scene().borrow();
+    assert!(
+        scene.editing().is_some(),
+        "edit gesture must put the picked object into control-point mode"
+    );
+}
+
+#[test]
+fn edit_control_points_are_draggable_directly() {
+    // §2: "The control points do not themselves respond to gesture, but
+    // can be dragged around directly (scaling the object accordingly)."
+    use grandma::events::{Button, EventKind, InputEvent};
+    let mut gdp = build();
+    gdp.run_gesture_then_drag(&sample_at(&gdp, "line", 10.0, 10.0), &[(90.0, 10.0)], 300.0);
+    gdp.run_gesture(&sample_at(&gdp, "edit", 50.0, 10.0));
+    assert!(
+        !gdp.control_views().is_empty(),
+        "edit must surface control-point views"
+    );
+    // The line's endpoints are its control points; grab the one at
+    // (90, 10) and drag it.
+    let down = InputEvent::new(
+        EventKind::MouseDown {
+            button: Button::Left,
+        },
+        90.0,
+        10.0,
+        9000.0,
+    );
+    let mv = InputEvent::new(EventKind::MouseMove, 90.0, 80.0, 9010.0);
+    let up = InputEvent::new(
+        EventKind::MouseUp {
+            button: Button::Left,
+        },
+        90.0,
+        80.0,
+        9020.0,
+    );
+    let objects_before = gdp.scene().borrow().len();
+    gdp.run_events(&[down, mv, up]);
+    assert_eq!(
+        gdp.scene().borrow().len(),
+        objects_before,
+        "a control-point drag must not be interpreted as a gesture"
+    );
+    let scene = gdp.scene().borrow();
+    let line = scene
+        .iter()
+        .find(|o| o.shape.kind() == "line")
+        .expect("line");
+    match &line.shape {
+        Shape::Line { p0, p1, .. } => {
+            let max_y = p0.y.max(p1.y);
+            assert!(
+                (max_y - 80.0).abs() < 1e-9,
+                "the dragged endpoint must follow the mouse (got max y {max_y})"
+            );
+        }
+        _ => unreachable!(),
+    };
+}
+
+#[test]
+fn text_and_dot_bind_location_at_recognition() {
+    let mut gdp = build();
+    gdp.run_gesture(&sample_at(&gdp, "text", 120.0, 30.0));
+    gdp.run_gesture(&sample_at(&gdp, "dot", 10.0, 200.0));
+    let scene = gdp.scene().borrow();
+    let text = scene
+        .iter()
+        .find(|o| o.shape.kind() == "text")
+        .expect("text");
+    match &text.shape {
+        Shape::Text { pos, .. } => {
+            assert!((pos.x - 120.0).abs() < 1e-9);
+            assert!((pos.y - 30.0).abs() < 1e-9);
+        }
+        _ => unreachable!(),
+    }
+    let dot = scene.iter().find(|o| o.shape.kind() == "dot").expect("dot");
+    let c = dot.shape.bbox().center();
+    assert!((c.x - 10.0).abs() < 1e-9 && (c.y - 200.0).abs() < 1e-9);
+}
+
+#[test]
+fn modified_gdp_maps_gesture_attributes() {
+    // §2: initial angle -> rectangle orientation; gesture length -> line
+    // thickness.
+    let mut gdp = Gdp::build(GdpConfig {
+        modified: true,
+        training_per_class: 12,
+        ..GdpConfig::default()
+    })
+    .expect("training succeeds");
+    let line = sample(&gdp, "line");
+    gdp.run_gesture(&line);
+    let scene = gdp.scene().borrow();
+    match &scene.iter().next().expect("line").shape {
+        Shape::Line { thickness, .. } => {
+            assert!(
+                (*thickness - (line.path_length() / 40.0).clamp(0.5, 10.0)).abs() < 0.5,
+                "thickness {thickness} should track gesture length {}",
+                line.path_length()
+            );
+        }
+        other => panic!("expected line, got {}", other.kind()),
+    }
+    drop(scene);
+
+    let rect = sample(&gdp, "rectangle");
+    gdp.run_gesture(&rect);
+    let scene = gdp.scene().borrow();
+    let rect_obj = scene
+        .iter()
+        .find(|o| o.shape.kind() == "rect")
+        .expect("rect");
+    match &rect_obj.shape {
+        Shape::Rect { orientation, .. } => {
+            // The rectangle gesture starts straight down, so the initial
+            // angle is near -90 degrees.
+            assert!(
+                (orientation.abs() - std::f64::consts::FRAC_PI_2).abs() < 0.6,
+                "orientation {orientation} should track the initial angle"
+            );
+        }
+        _ => unreachable!(),
+    };
+}
