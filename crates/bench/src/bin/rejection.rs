@@ -12,16 +12,14 @@
 use grandma_bench::report;
 use grandma_core::{Classifier, FeatureMask};
 use grandma_geom::{Gesture, Point};
-use grandma_synth::datasets;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use grandma_synth::{datasets, SynthRng};
 
-fn random_walk(rng: &mut StdRng) -> Gesture {
+fn random_walk(rng: &mut SynthRng) -> Gesture {
     let mut pts = Vec::new();
-    let (mut x, mut y) = (rng.gen::<f64>() * 50.0, rng.gen::<f64>() * 50.0);
+    let (mut x, mut y) = (rng.gen_f64() * 50.0, rng.gen_f64() * 50.0);
     for i in 0..35 {
-        x += rng.gen::<f64>() * 12.0 - 6.0;
-        y += rng.gen::<f64>() * 12.0 - 6.0;
+        x += rng.gen_f64() * 12.0 - 6.0;
+        y += rng.gen_f64() * 12.0 - 6.0;
         pts.push(Point::new(x, y, i as f64 * 10.0));
     }
     Gesture::from_points(pts)
@@ -31,7 +29,7 @@ fn main() {
     let data = datasets::gdp(0x4e4e, 15, 30);
     let classifier =
         Classifier::train(&data.training, &FeatureMask::all()).expect("training succeeds");
-    let mut rng = StdRng::seed_from_u64(0x6a6a);
+    let mut rng = SynthRng::seed_from_u64(0x6a6a);
     let gibberish: Vec<Gesture> = (0..100).map(|_| random_walk(&mut rng)).collect();
 
     println!("== Rejection: probability and Mahalanobis thresholds ==\n");

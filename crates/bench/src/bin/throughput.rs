@@ -1,0 +1,168 @@
+//! Throughput benchmark: serial vs parallel eager training and batched
+//! evaluation, plus the per-point session cost with a heap-allocation
+//! count.
+//!
+//! Rubine's §5 argument for eager recognition is that it keeps up with the
+//! mouse; this binary measures whether the reproduction does. It times:
+//!
+//! (a) eager training (the §4.4 classify-every-prefix pass) on a synthetic
+//!     eleven-class GDP-sized set, serial vs parallel;
+//! (b) batched full-classifier + eager evaluation over the test split,
+//!     serial vs parallel;
+//! (c) the per-point cost of [`grandma_core::EagerSession::feed`], with the
+//!     number of heap allocations per point after warm-up (expected: 0).
+//!
+//! Results are written to `BENCH_throughput.json` at the repo root so
+//! future changes have a perf trajectory to compare against.
+//!
+//! Run: `cargo run -p grandma-bench --bin throughput --release`
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use grandma_bench::evaluate_with_workers;
+use grandma_core::parallel::available_workers;
+use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
+use grandma_synth::datasets;
+
+/// [`System`] wrapped with an allocation counter, so the per-point claim
+/// ("zero heap allocations after warm-up") is measured, not asserted.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+const SEED: u64 = 7;
+const TRAIN_PER_CLASS: usize = 15;
+const TEST_PER_CLASS: usize = 8;
+const REPS: usize = 5;
+
+/// Times `f` REPS times and returns the fastest wall-clock milliseconds.
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let workers = available_workers();
+    let data = datasets::gdp(SEED, TRAIN_PER_CLASS, TEST_PER_CLASS);
+    let mask = FeatureMask::all();
+    let config = EagerConfig::default();
+
+    // (a) Eager training, serial vs parallel.
+    let train_serial_ms = time_best(|| {
+        let _ = EagerRecognizer::train_with_workers(&data.training, &mask, &config, 1).unwrap();
+    });
+    let train_parallel_ms = time_best(|| {
+        let _ =
+            EagerRecognizer::train_with_workers(&data.training, &mask, &config, workers).unwrap();
+    });
+
+    // (b) Batched evaluation (full classifier + eager recognizer over the
+    // test split), serial vs parallel.
+    let eval_serial_ms = time_best(|| {
+        let _ = evaluate_with_workers(&data, &mask, &config, 1).unwrap();
+    });
+    let eval_parallel_ms = time_best(|| {
+        let _ = evaluate_with_workers(&data, &mask, &config, workers).unwrap();
+    });
+
+    // (c) Per-point session cost and allocation count. Sessions are driven
+    // over every test gesture; the allocation counter is read after each
+    // session is created (the one-time buffer warm-up) so the delta counts
+    // only what `feed`/`finish` allocate — which must be zero.
+    let (rec, _) = EagerRecognizer::train_with_workers(&data.training, &mask, &config, 1).unwrap();
+    let mut points = 0u64;
+    let mut feed_allocs = 0u64;
+    let start = Instant::now();
+    for labeled in &data.testing {
+        let mut session = rec.session();
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for &p in labeled.gesture.points() {
+            let _ = session.feed(p);
+            points += 1;
+        }
+        let _ = session.finish();
+        feed_allocs += ALLOCATIONS.load(Ordering::Relaxed) - before;
+    }
+    let session_elapsed = start.elapsed().as_secs_f64();
+    let ns_per_point = session_elapsed * 1e9 / points as f64;
+    let allocs_per_point = feed_allocs as f64 / points as f64;
+
+    let train_speedup = train_serial_ms / train_parallel_ms;
+    let eval_speedup = eval_serial_ms / eval_parallel_ms;
+
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"dataset\": \"{}\",\n  \"classes\": {},\n  \
+         \"train_per_class\": {},\n  \"test_per_class\": {},\n  \"seed\": {},\n  \
+         \"cores\": {},\n  \"workers\": {},\n  \"reps\": {},\n  \
+         \"train\": {{ \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3} }},\n  \
+         \"evaluate\": {{ \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3} }},\n  \
+         \"session\": {{ \"points\": {}, \"ns_per_point\": {:.1}, \
+         \"allocations_after_warmup\": {}, \"allocations_per_point\": {:.6} }}\n}}\n",
+        data.name,
+        data.num_classes(),
+        TRAIN_PER_CLASS,
+        TEST_PER_CLASS,
+        SEED,
+        workers,
+        workers,
+        REPS,
+        train_serial_ms,
+        train_parallel_ms,
+        train_speedup,
+        eval_serial_ms,
+        eval_parallel_ms,
+        eval_speedup,
+        points,
+        ns_per_point,
+        feed_allocs,
+        allocs_per_point,
+    );
+
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    std::fs::write(out_path, &json).expect("write BENCH_throughput.json");
+
+    println!(
+        "== throughput ({} classes, {} workers) ==",
+        data.num_classes(),
+        workers
+    );
+    println!(
+        "train    serial {train_serial_ms:8.2} ms   parallel {train_parallel_ms:8.2} ms   \
+         speedup {train_speedup:.2}x"
+    );
+    println!(
+        "evaluate serial {eval_serial_ms:8.2} ms   parallel {eval_parallel_ms:8.2} ms   \
+         speedup {eval_speedup:.2}x"
+    );
+    println!(
+        "session  {points} points, {ns_per_point:.0} ns/point, \
+         {feed_allocs} allocations after warm-up ({allocs_per_point:.4}/point)"
+    );
+    println!("wrote {out_path}");
+}

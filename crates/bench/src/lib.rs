@@ -8,6 +8,7 @@
 
 pub mod report;
 
+use grandma_core::parallel::{available_workers, parallel_map};
 use grandma_core::{
     Classifier, EagerConfig, EagerRecognizer, EagerTrainReport, FeatureMask, TrainError,
 };
@@ -77,6 +78,10 @@ impl EvalSummary {
 
 /// Trains on `data.training`, evaluates on `data.testing`.
 ///
+/// Test gestures are scored on [`available_workers`] threads; see
+/// [`evaluate_with_workers`] for an explicit count. The summary is
+/// identical for every worker count.
+///
 /// # Errors
 ///
 /// Propagates [`TrainError`] from classifier training.
@@ -85,8 +90,29 @@ pub fn evaluate(
     mask: &FeatureMask,
     config: &EagerConfig,
 ) -> Result<EvalSummary, TrainError> {
+    evaluate_with_workers(data, mask, config, available_workers())
+}
+
+/// [`evaluate`] with an explicit worker count for both eager training and
+/// the batched test pass.
+///
+/// Each test gesture is scored independently and the per-gesture results
+/// are folded into the summary serially, in dataset order — so every
+/// worker count (including 1, which spawns no threads) produces an
+/// identical [`EvalSummary`], down to the floating-point accumulators.
+///
+/// # Errors
+///
+/// Propagates [`TrainError`] from classifier training.
+pub fn evaluate_with_workers(
+    data: &Dataset,
+    mask: &FeatureMask,
+    config: &EagerConfig,
+    workers: usize,
+) -> Result<EvalSummary, TrainError> {
     let full = Classifier::train(&data.training, mask)?;
-    let (eager, train_report) = EagerRecognizer::train(&data.training, mask, config)?;
+    let (eager, train_report) =
+        EagerRecognizer::train_with_workers(&data.training, mask, config, workers)?;
 
     let mut per_class: Vec<ClassSummary> = data
         .class_names
@@ -102,13 +128,20 @@ pub fn evaluate(
         })
         .collect();
 
-    for labeled in &data.testing {
+    // Score every test gesture in parallel, then fold the results in
+    // dataset order below.
+    let scored = parallel_map(&data.testing, workers, |_, labeled| {
+        let full_class = full.classify(&labeled.gesture).class;
+        let run = eager.run(&labeled.gesture);
+        (full_class, run)
+    });
+
+    for (labeled, (full_class, run)) in data.testing.iter().zip(scored) {
         let summary = &mut per_class[labeled.class];
         summary.total += 1;
-        if full.classify(&labeled.gesture).class == labeled.class {
+        if full_class == labeled.class {
             summary.full_correct += 1;
         }
-        let run = eager.run(&labeled.gesture);
         if run.class == labeled.class {
             summary.eager_correct += 1;
         }

@@ -1,0 +1,57 @@
+//! Batched evaluation must be worker-count-invariant: per-gesture scores
+//! are computed in parallel but folded serially in dataset order, so every
+//! [`grandma_bench::EvalSummary`] field — including the floating-point
+//! accumulators — is identical for 1 and N workers.
+
+use grandma_bench::{evaluate_with_workers, EvalSummary};
+use grandma_core::{EagerConfig, FeatureMask};
+use grandma_synth::datasets;
+
+fn assert_summaries_identical(a: &EvalSummary, b: &EvalSummary) {
+    assert_eq!(a.dataset, b.dataset);
+    assert_eq!(a.full_accuracy, b.full_accuracy);
+    assert_eq!(a.eager_accuracy, b.eager_accuracy);
+    assert_eq!(a.avg_fraction_seen, b.avg_fraction_seen);
+    assert_eq!(a.avg_min_fraction, b.avg_min_fraction);
+    assert_eq!(a.fired_early, b.fired_early);
+    assert_eq!(a.total, b.total);
+    assert_eq!(a.per_class.len(), b.per_class.len());
+    for (x, y) in a.per_class.iter().zip(&b.per_class) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.full_correct, y.full_correct);
+        assert_eq!(x.eager_correct, y.eager_correct);
+        assert_eq!(x.total, y.total);
+        assert_eq!(x.avg_fraction_seen, y.avg_fraction_seen);
+        assert_eq!(x.avg_min_fraction, y.avg_min_fraction);
+        assert_eq!(x.fired_early, y.fired_early);
+    }
+    assert_eq!(a.train_report.records, b.train_report.records);
+    assert_eq!(
+        a.train_report.auc_classes.as_ref(),
+        b.train_report.auc_classes.as_ref()
+    );
+    assert_eq!(a.train_report.move_outcome, b.train_report.move_outcome);
+    assert_eq!(a.train_report.tweaks, b.train_report.tweaks);
+}
+
+#[test]
+fn evaluate_is_identical_for_every_worker_count() {
+    let data = datasets::eight_way(23, 6, 4);
+    let mask = FeatureMask::all();
+    let config = EagerConfig::default();
+    let serial = evaluate_with_workers(&data, &mask, &config, 1).unwrap();
+    for workers in [2, 4, 8] {
+        let parallel = evaluate_with_workers(&data, &mask, &config, workers).unwrap();
+        assert_summaries_identical(&serial, &parallel);
+    }
+}
+
+#[test]
+fn evaluate_on_gdp_is_identical_serial_vs_parallel() {
+    let data = datasets::gdp(7, 6, 3);
+    let mask = FeatureMask::all();
+    let config = EagerConfig::default();
+    let serial = evaluate_with_workers(&data, &mask, &config, 1).unwrap();
+    let parallel = evaluate_with_workers(&data, &mask, &config, 4).unwrap();
+    assert_summaries_identical(&serial, &parallel);
+}

@@ -18,11 +18,13 @@
 //!   and for detecting *accidentally complete* subgestures during eager
 //!   training.
 
+use std::borrow::Borrow;
 use std::fmt;
 
 use grandma_geom::Gesture;
 use grandma_linalg::{
-    mahalanobis_squared, mean_vector, pooled_covariance, scatter_matrix, Matrix, SolveError, Vector,
+    mahalanobis_squared, mean_vector, pooled_covariance, scatter_matrix, Matrix, SolveError,
+    Vector, Workspace,
 };
 
 use crate::features::{FeatureExtractor, FeatureMask};
@@ -119,17 +121,26 @@ pub struct LinearClassifier {
     means: Vec<Vector>,
     inverse_covariance: Matrix,
     ridge: f64,
+    /// Cached `μ_cᵀ Σ⁻¹ μ_c = w_c · μ_c` per class. With the shared
+    /// quadratic form `xᵀΣ⁻¹x` this turns each per-class Mahalanobis
+    /// distance into one dot product plus a constant:
+    /// `d²_c(x) = xᵀΣ⁻¹x − 2·w_c·x + μ_cᵀΣ⁻¹μ_c`.
+    mu_quads: Vec<f64>,
 }
 
 impl LinearClassifier {
     /// Trains from per-class feature-vector samples using the closed form.
+    ///
+    /// Samples may be owned (`Vec<Vector>`) or borrowed (`Vec<&Vector>`) —
+    /// the AUC trains on subgesture records without cloning their feature
+    /// vectors.
     ///
     /// # Errors
     ///
     /// Returns [`TrainError`] if fewer than two classes are given, a class
     /// is empty, a sample is non-finite, or the pooled covariance cannot be
     /// inverted even with ridge escalation.
-    pub fn train(per_class: &[Vec<Vector>]) -> Result<Self, TrainError> {
+    pub fn train<S: Borrow<Vector>>(per_class: &[Vec<S>]) -> Result<Self, TrainError> {
         if per_class.len() < 2 {
             return Err(TrainError::TooFewClasses {
                 got: per_class.len(),
@@ -140,7 +151,7 @@ impl LinearClassifier {
                 return Err(TrainError::EmptyClass { class: c });
             }
             for (e, s) in samples.iter().enumerate() {
-                if !s.is_finite() {
+                if !s.borrow().is_finite() {
                     return Err(TrainError::NonFiniteFeatures {
                         class: c,
                         example: e,
@@ -168,12 +179,14 @@ impl LinearClassifier {
             .zip(means.iter())
             .map(|(w, mu)| -0.5 * w.dot(mu))
             .collect();
+        let mu_quads = mu_quadratics(&weights, &means);
         Ok(Self {
             weights,
             constants,
             means,
             inverse_covariance,
             ridge: outcome.ridge,
+            mu_quads,
         })
     }
 
@@ -207,12 +220,14 @@ impl LinearClassifier {
             dim,
             "covariance dimension mismatch"
         );
+        let mu_quads = mu_quadratics(&weights, &means);
         Self {
             weights,
             constants,
             means,
             inverse_covariance,
             ridge,
+            mu_quads,
         }
     }
 
@@ -243,6 +258,71 @@ impl LinearClassifier {
             .zip(self.constants.iter())
             .map(|(w, c)| w.dot(features) + c)
             .collect()
+    }
+
+    /// Writes the per-class linear evaluations into a caller-provided
+    /// buffer, allocating nothing.
+    ///
+    /// The hot-path variant of [`LinearClassifier::evaluate`]: the eager
+    /// session and the tweak loop reuse one buffer across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong dimension or
+    /// `out.len() != self.num_classes()`.
+    pub fn evaluate_into(&self, features: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.weights.len(), "one slot per class");
+        for ((slot, w), c) in out
+            .iter_mut()
+            .zip(self.weights.iter())
+            .zip(self.constants.iter())
+        {
+            *slot = w.dot_slice(features) + c;
+        }
+    }
+
+    /// Returns the argmax class without materializing the evaluation
+    /// vector — zero allocations.
+    ///
+    /// This is all the per-point eager loop needs from the classifier: the
+    /// AUC verdict and the full classifier's pick are both argmax queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong dimension.
+    pub fn best_class(&self, features: &[f64]) -> usize {
+        let mut best = (0, f64::NEG_INFINITY);
+        for (i, (w, c)) in self.weights.iter().zip(self.constants.iter()).enumerate() {
+            let v = w.dot_slice(features) + c;
+            if v > best.1 {
+                best = (i, v);
+            }
+        }
+        best.0
+    }
+
+    /// Computes the shared quadratic form `xᵀ Σ⁻¹ x` of the Mahalanobis
+    /// identity using the caller's scratch [`Workspace`] (zero allocations
+    /// after warm-up).
+    ///
+    /// Pair with [`LinearClassifier::mahalanobis_from_quadratic`] to get
+    /// distances to many classes for one matrix-vector product total.
+    pub fn mahalanobis_quadratic(&self, ws: &mut Workspace, features: &[f64]) -> f64 {
+        ws.quadratic_form(features, &self.inverse_covariance)
+    }
+
+    /// Finishes the Mahalanobis identity for one class:
+    /// `d²_c(x) = xᵀΣ⁻¹x − 2·w_c·x + μ_cᵀΣ⁻¹μ_c`, where the first term is
+    /// the `quadratic` computed once per point by
+    /// [`LinearClassifier::mahalanobis_quadratic`] and the last is cached at
+    /// training time. One dot product per class, no allocation.
+    pub fn mahalanobis_from_quadratic(
+        &self,
+        quadratic: f64,
+        features: &[f64],
+        class: usize,
+    ) -> f64 {
+        quadratic - 2.0 * self.weights[class].dot_slice(features) + self.mu_quads[class]
     }
 
     /// Classifies a feature vector.
@@ -312,6 +392,18 @@ impl LinearClassifier {
     pub fn weights(&self, class: usize) -> &Vector {
         &self.weights[class]
     }
+}
+
+/// Precomputes `μ_cᵀ Σ⁻¹ μ_c = w_c · μ_c` for every class.
+///
+/// Valid because the stored weights are exactly `Σ⁻¹ μ_c`
+/// ([`LinearClassifier::add_to_constant`] only ever touches constants).
+fn mu_quadratics(weights: &[Vector], means: &[Vector]) -> Vec<f64> {
+    weights
+        .iter()
+        .zip(means.iter())
+        .map(|(w, mu)| w.dot(mu))
+        .collect()
 }
 
 /// A gesture classifier: the [`LinearClassifier`] engine plus the feature

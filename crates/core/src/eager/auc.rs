@@ -1,6 +1,7 @@
 //! Stage 4: the Ambiguous/Unambiguous Classifier (§4.3, §4.6).
 
 use std::fmt;
+use std::sync::Arc;
 
 use grandma_linalg::Vector;
 
@@ -67,7 +68,9 @@ pub struct TweakStats {
 #[derive(Debug, Clone)]
 pub struct Auc {
     linear: LinearClassifier,
-    kinds: Vec<AucClassKind>,
+    // Shared so the training report can reference the class list without
+    // copying it.
+    kinds: Arc<[AucClassKind]>,
 }
 
 impl Auc {
@@ -95,13 +98,14 @@ impl Auc {
             .max()
             .map_or(0, |m| m + 1);
         let mut kinds = Vec::new();
-        let mut samples: Vec<Vec<Vector>> = Vec::new();
+        // Borrowed samples: training never clones a feature vector.
+        let mut samples: Vec<Vec<&Vector>> = Vec::new();
         for c in 0..max_class {
             for kind in [AucClassKind::Complete(c), AucClassKind::Incomplete(c)] {
-                let class_samples: Vec<Vector> = records
+                let class_samples: Vec<&Vector> = records
                     .iter()
                     .filter(|r| r.assigned == kind)
-                    .map(|r| r.features.clone())
+                    .map(|r| &r.features)
                     .collect();
                 if !class_samples.is_empty() {
                     kinds.push(kind);
@@ -130,11 +134,13 @@ impl Auc {
             .filter(|r| r.is_incomplete())
             .map(|r| &r.features)
             .collect();
+        // One evaluation buffer reused across the whole loop.
+        let mut evaluations = vec![0.0; linear.num_classes()];
         for _pass in 0..config.max_tweak_passes {
             stats.passes += 1;
             let mut violations_this_pass = 0;
             for features in &incomplete_features {
-                let evaluations = linear.evaluate(features);
+                linear.evaluate_into(features.as_slice(), &mut evaluations);
                 let (winner, best) = argmax(&evaluations);
                 if kinds[winner].is_complete() {
                     let best_incomplete = evaluations
@@ -155,7 +161,13 @@ impl Auc {
                 break;
             }
         }
-        Ok((Self { linear, kinds }, stats))
+        Ok((
+            Self {
+                linear,
+                kinds: kinds.into(),
+            },
+            stats,
+        ))
     }
 
     /// Reassembles an AUC from its parts (used by persistence).
@@ -166,26 +178,45 @@ impl Auc {
     /// count.
     pub fn from_parts(linear: LinearClassifier, kinds: Vec<AucClassKind>) -> Self {
         assert_eq!(linear.num_classes(), kinds.len(), "one kind per AUC class");
-        Self { linear, kinds }
+        Self {
+            linear,
+            kinds: kinds.into(),
+        }
     }
 
     /// The paper's `D` function: `true` iff the subgesture's features land
     /// in a complete (unambiguous) class.
     pub fn is_unambiguous(&self, features: &Vector) -> bool {
-        self.classify_kind(features).is_complete()
+        self.is_unambiguous_slice(features.as_slice())
+    }
+
+    /// Slice variant of [`Auc::is_unambiguous`] — the zero-allocation form
+    /// the per-point session uses.
+    pub fn is_unambiguous_slice(&self, features: &[f64]) -> bool {
+        self.classify_kind_slice(features).is_complete()
     }
 
     /// Returns the winning AUC class for a feature vector.
     pub fn classify_kind(&self, features: &Vector) -> AucClassKind {
-        let evaluations = self.linear.evaluate(features);
-        let (winner, _) = argmax(&evaluations);
-        self.kinds[winner]
+        self.classify_kind_slice(features.as_slice())
+    }
+
+    /// Slice variant of [`Auc::classify_kind`]: a pure argmax query, no
+    /// allocation.
+    pub fn classify_kind_slice(&self, features: &[f64]) -> AucClassKind {
+        self.kinds[self.linear.best_class(features)]
     }
 
     /// Returns the AUC class list (index order matches the internal
     /// linear classifier).
     pub fn kinds(&self) -> &[AucClassKind] {
         &self.kinds
+    }
+
+    /// Returns a shared handle to the class list (used by the training
+    /// report, avoiding a copy).
+    pub fn kinds_shared(&self) -> Arc<[AucClassKind]> {
+        Arc::clone(&self.kinds)
     }
 
     /// Returns the underlying linear classifier.

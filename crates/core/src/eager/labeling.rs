@@ -13,7 +13,7 @@ use crate::features::FeatureExtractor;
 /// `assigned` starts at the initial partition (complete subgestures in
 /// `Complete(class)`, incomplete in `Incomplete(predicted)`) and is
 /// rewritten by [`crate::eager::move_accidentally_complete`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SubgestureRecord {
     /// True class of the full gesture this prefix came from.
     pub class: usize,
@@ -53,60 +53,99 @@ impl SubgestureRecord {
 ///
 /// Features are computed incrementally so the whole pass costs
 /// O(points × classes) rather than O(points² × classes).
+///
+/// Runs on [`crate::parallel::available_workers`] threads; see
+/// [`label_subgestures_with_workers`] for an explicit worker count. The
+/// output is identical for every worker count.
 pub fn label_subgestures(
     full: &Classifier,
     per_class: &[Vec<Gesture>],
     config: &EagerConfig,
 ) -> Vec<SubgestureRecord> {
-    let mut records = Vec::new();
+    label_subgestures_with_workers(full, per_class, config, crate::parallel::available_workers())
+}
+
+/// [`label_subgestures`] with an explicit worker count.
+///
+/// Examples are labeled independently (one work item per training example)
+/// and merged back in `(class, example)` order, so every worker count —
+/// including 1, which runs inline with no threads — produces byte-identical
+/// records in the identical order.
+pub fn label_subgestures_with_workers(
+    full: &Classifier,
+    per_class: &[Vec<Gesture>],
+    config: &EagerConfig,
+    workers: usize,
+) -> Vec<SubgestureRecord> {
     let min_len = config.min_subgesture_points.max(2);
-    for (class, examples) in per_class.iter().enumerate() {
-        for (example, gesture) in examples.iter().enumerate() {
-            if gesture.len() < min_len {
-                continue;
-            }
-            // Incremental pass: features and prediction for every prefix.
-            let mut fx = FeatureExtractor::new();
-            let mut prefix_records = Vec::with_capacity(gesture.len());
-            for (idx, &p) in gesture.points().iter().enumerate() {
-                fx.update(p);
-                let i = idx + 1;
-                if i < min_len {
-                    continue;
-                }
-                let features = fx.masked_features(full.mask());
-                let predicted = full.classify_features(&features).class;
-                prefix_records.push((i, features, predicted));
-            }
-            // Completeness: scan from the longest prefix down; stay
-            // complete while every prediction from here up matches the
-            // true class.
-            let mut complete_flags = vec![false; prefix_records.len()];
-            let mut still_complete = true;
-            for (slot, (_, _, predicted)) in prefix_records.iter().enumerate().rev() {
-                still_complete = still_complete && *predicted == class;
-                complete_flags[slot] = still_complete;
-            }
-            for ((i, features, predicted), complete) in
-                prefix_records.into_iter().zip(complete_flags)
-            {
-                let assigned = if complete {
-                    AucClassKind::Complete(class)
-                } else {
-                    AucClassKind::Incomplete(predicted)
-                };
-                records.push(SubgestureRecord {
-                    class,
-                    example,
-                    prefix_len: i,
-                    full_len: gesture.len(),
-                    features,
-                    predicted,
-                    complete,
-                    assigned,
-                });
-            }
+    let jobs: Vec<(usize, usize, &Gesture)> = per_class
+        .iter()
+        .enumerate()
+        .flat_map(|(class, examples)| {
+            examples
+                .iter()
+                .enumerate()
+                .map(move |(example, gesture)| (class, example, gesture))
+        })
+        .collect();
+    let per_example = crate::parallel::parallel_map(&jobs, workers, |_, &(class, example, g)| {
+        label_example(full, class, example, g, min_len)
+    });
+    per_example.into_iter().flatten().collect()
+}
+
+/// Labels every prefix of one training example.
+fn label_example(
+    full: &Classifier,
+    class: usize,
+    example: usize,
+    gesture: &Gesture,
+    min_len: usize,
+) -> Vec<SubgestureRecord> {
+    if gesture.len() < min_len {
+        return Vec::new();
+    }
+    // Incremental pass: features and prediction for every prefix.
+    // `best_class` is an argmax query, so the only allocation per
+    // prefix is the feature vector stored in the record itself.
+    let mut fx = FeatureExtractor::new();
+    let mut prefix_records = Vec::with_capacity(gesture.len());
+    for (idx, &p) in gesture.points().iter().enumerate() {
+        fx.update(p);
+        let i = idx + 1;
+        if i < min_len {
+            continue;
         }
+        let features = fx.masked_features(full.mask());
+        let predicted = full.linear().best_class(features.as_slice());
+        prefix_records.push((i, features, predicted));
+    }
+    // Completeness: scan from the longest prefix down; stay
+    // complete while every prediction from here up matches the
+    // true class.
+    let mut complete_flags = vec![false; prefix_records.len()];
+    let mut still_complete = true;
+    for (slot, (_, _, predicted)) in prefix_records.iter().enumerate().rev() {
+        still_complete = still_complete && *predicted == class;
+        complete_flags[slot] = still_complete;
+    }
+    let mut records = Vec::with_capacity(prefix_records.len());
+    for ((i, features, predicted), complete) in prefix_records.into_iter().zip(complete_flags) {
+        let assigned = if complete {
+            AucClassKind::Complete(class)
+        } else {
+            AucClassKind::Incomplete(predicted)
+        };
+        records.push(SubgestureRecord {
+            class,
+            example,
+            prefix_len: i,
+            full_len: gesture.len(),
+            features,
+            predicted,
+            complete,
+            assigned,
+        });
     }
     records
 }

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use grandma_linalg::{mean_vector, Vector};
+use grandma_linalg::{Vector, Workspace};
 
 use crate::classifier::LinearClassifier;
 use crate::eager::auc::AucClassKind;
@@ -50,25 +50,28 @@ pub fn move_accidentally_complete(
     full: &LinearClassifier,
     config: &EagerConfig,
 ) -> MoveOutcome {
-    // Collect incomplete-class means.
-    let mut incomplete_samples: HashMap<usize, Vec<Vector>> = HashMap::new();
+    // Collect incomplete-class means by running sums — no feature clones.
+    // Each class's sum accumulates in record order, so the result is
+    // bit-identical to averaging a collected sample list.
+    let mut incomplete_sums: HashMap<usize, (Vector, usize)> = HashMap::new();
     for r in records.iter() {
         if let AucClassKind::Incomplete(c) = r.assigned {
-            incomplete_samples
+            let (sum, count) = incomplete_sums
                 .entry(c)
-                .or_default()
-                .push(r.features.clone());
+                .or_insert_with(|| (Vector::zeros(r.features.len()), 0));
+            *sum += &r.features;
+            *count += 1;
         }
     }
-    if incomplete_samples.is_empty() {
+    if incomplete_sums.is_empty() {
         return MoveOutcome {
             moved: 0,
             threshold: None,
         };
     }
-    let mut incomplete_means: Vec<(usize, Vector)> = incomplete_samples
-        .iter()
-        .map(|(&c, samples)| (c, mean_vector(samples)))
+    let mut incomplete_means: Vec<(usize, Vector)> = incomplete_sums
+        .into_iter()
+        .map(|(c, (sum, count))| (c, sum.scaled(1.0 / count as f64)))
         .collect();
     incomplete_means.sort_by_key(|(c, _)| *c);
 
@@ -95,6 +98,21 @@ pub fn move_accidentally_complete(
     }
     let threshold = min_pair * config.threshold_fraction;
 
+    // Precompute `Σ⁻¹·m` and `mᵀΣ⁻¹m` per incomplete mean so the scan below
+    // expands `d²(x, m) = xᵀΣ⁻¹x − 2·(Σ⁻¹m)·x + mᵀΣ⁻¹m`: one quadratic
+    // form per record plus one dot product per candidate mean, instead of a
+    // matrix-vector product per (record, mean) pair.
+    let inverse_covariance = full.inverse_covariance();
+    let mean_caches: Vec<(usize, Vector, f64)> = incomplete_means
+        .iter()
+        .map(|(c, mean)| {
+            let transformed = inverse_covariance.mul_vector(mean);
+            let quad = mean.dot(&transformed);
+            (*c, transformed, quad)
+        })
+        .collect();
+    let mut ws = Workspace::with_dim(full.dimension());
+
     // Group record indices by example, longest prefix first.
     let mut by_example: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
     for (idx, r) in records.iter().enumerate() {
@@ -112,7 +130,7 @@ pub fn move_accidentally_complete(
                 continue;
             }
             let (nearest_class, nearest_dist) =
-                nearest_incomplete(&records[idx].features, &incomplete_means, full);
+                nearest_incomplete(&records[idx].features, &mean_caches, inverse_covariance, &mut ws);
             if cascading || nearest_dist < threshold {
                 records[idx].assigned = AucClassKind::Incomplete(nearest_class);
                 moved += 1;
@@ -130,12 +148,15 @@ pub fn move_accidentally_complete(
 
 fn nearest_incomplete(
     features: &Vector,
-    incomplete_means: &[(usize, Vector)],
-    full: &LinearClassifier,
+    mean_caches: &[(usize, Vector, f64)],
+    inverse_covariance: &grandma_linalg::Matrix,
+    ws: &mut Workspace,
 ) -> (usize, f64) {
-    let mut best = (incomplete_means[0].0, f64::INFINITY);
-    for (c, mean) in incomplete_means {
-        let d = full.mahalanobis_between(features, mean);
+    let x = features.as_slice();
+    let x_quad = ws.quadratic_form(x, inverse_covariance);
+    let mut best = (mean_caches[0].0, f64::INFINITY);
+    for (c, transformed, mean_quad) in mean_caches {
+        let d = x_quad - 2.0 * transformed.dot_slice(x) + mean_quad;
         if d < best.1 {
             best = (*c, d);
         }

@@ -1,13 +1,16 @@
 //! The trained eager recognizer and its point-at-a-time session.
 
+use std::sync::Arc;
+
 use grandma_geom::{Gesture, Point};
 
 use crate::classifier::{Classification, Classifier, TrainError};
 use crate::eager::auc::{Auc, AucClassKind, TweakStats};
 use crate::eager::config::EagerConfig;
-use crate::eager::labeling::{label_subgestures, SubgestureRecord};
+use crate::eager::labeling::{label_subgestures_with_workers, SubgestureRecord};
 use crate::eager::mover::{move_accidentally_complete, MoveOutcome};
 use crate::features::{FeatureExtractor, FeatureMask};
+use crate::parallel::available_workers;
 
 /// Diagnostic record of one eager-recognizer training run.
 ///
@@ -20,8 +23,9 @@ pub struct EagerTrainReport {
     pub records: Vec<SubgestureRecord>,
     /// Outcome of the accidental-completeness move pass.
     pub move_outcome: MoveOutcome,
-    /// AUC class list in classifier order.
-    pub auc_classes: Vec<AucClassKind>,
+    /// AUC class list in classifier order — shared with the trained
+    /// [`Auc`] rather than copied out of it.
+    pub auc_classes: Arc<[AucClassKind]>,
     /// Bias/tweak statistics.
     pub tweaks: TweakStats,
 }
@@ -82,12 +86,32 @@ impl EagerRecognizer {
         mask: &FeatureMask,
         config: &EagerConfig,
     ) -> Result<(Self, EagerTrainReport), TrainError> {
+        Self::train_with_workers(per_class, mask, config, available_workers())
+    }
+
+    /// [`EagerRecognizer::train`] with an explicit worker count for the
+    /// subgesture-labeling pass (the dominant training cost — it classifies
+    /// every prefix of every example).
+    ///
+    /// Labeling merges per-example results in deterministic order, so any
+    /// worker count — including 1, which spawns no threads — yields an
+    /// identical recognizer and identical [`EagerTrainReport`].
+    ///
+    /// # Errors
+    ///
+    /// See [`EagerRecognizer::train`].
+    pub fn train_with_workers(
+        per_class: &[Vec<Gesture>],
+        mask: &FeatureMask,
+        config: &EagerConfig,
+        workers: usize,
+    ) -> Result<(Self, EagerTrainReport), TrainError> {
         let full = Classifier::train(per_class, mask)?;
-        let mut records = label_subgestures(&full, per_class, config);
+        let mut records = label_subgestures_with_workers(&full, per_class, config, workers);
         let move_outcome = move_accidentally_complete(&mut records, full.linear(), config);
         let (auc, tweaks) = Auc::train(&records, config)?;
         let report = EagerTrainReport {
-            auc_classes: auc.kinds().to_vec(),
+            auc_classes: auc.kinds_shared(),
             move_outcome,
             tweaks,
             records,
@@ -139,10 +163,14 @@ impl EagerRecognizer {
     }
 
     /// Starts an incremental recognition session.
+    ///
+    /// The session allocates its feature scratch buffer here, once; every
+    /// subsequent [`EagerSession::feed`] is heap-allocation-free.
     pub fn session(&self) -> EagerSession<'_> {
         EagerSession {
             recognizer: self,
             extractor: FeatureExtractor::new(),
+            features_buf: vec![0.0; self.full.mask().count()],
             decided: None,
             decided_at: None,
         }
@@ -187,11 +215,14 @@ impl EagerRecognizer {
 ///
 /// Each [`EagerSession::feed`] call does O(features × classes) work,
 /// matching the paper's fixed per-point cost (§5: feature update plus one
-/// AUC evaluation per point).
+/// AUC evaluation per point) — and performs zero heap allocations: the
+/// masked features land in a buffer allocated once at session start, and
+/// both the AUC verdict and the class pick are argmax queries over it.
 #[derive(Debug, Clone)]
 pub struct EagerSession<'a> {
     recognizer: &'a EagerRecognizer,
     extractor: FeatureExtractor,
+    features_buf: Vec<f64>,
     decided: Option<usize>,
     decided_at: Option<usize>,
 }
@@ -208,9 +239,10 @@ impl EagerSession<'_> {
         if self.extractor.count() < self.recognizer.config.min_subgesture_points {
             return None;
         }
-        let features = self.extractor.masked_features(self.recognizer.full.mask());
-        if self.recognizer.auc.is_unambiguous(&features) {
-            let class = self.recognizer.full.classify_features(&features).class;
+        self.extractor
+            .masked_features_into(self.recognizer.full.mask(), &mut self.features_buf);
+        if self.recognizer.auc.is_unambiguous_slice(&self.features_buf) {
+            let class = self.recognizer.full.linear().best_class(&self.features_buf);
             self.decided = Some(class);
             self.decided_at = Some(self.extractor.count());
             Some(class)
@@ -229,8 +261,9 @@ impl EagerSession<'_> {
         if self.extractor.count() == 0 {
             return None;
         }
-        let features = self.extractor.masked_features(self.recognizer.full.mask());
-        let class = self.recognizer.full.classify_features(&features).class;
+        self.extractor
+            .masked_features_into(self.recognizer.full.mask(), &mut self.features_buf);
+        let class = self.recognizer.full.linear().best_class(&self.features_buf);
         self.decided = Some(class);
         self.decided_at = Some(self.extractor.count());
         Some(class)

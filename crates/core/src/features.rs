@@ -152,6 +152,22 @@ impl FeatureMask {
         Vector::from_vec(out)
     }
 
+    /// Projects a full 13-feature vector into a caller-provided buffer,
+    /// allocating nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.count()`.
+    pub fn project_into(&self, full: &[f64; FEATURE_COUNT], out: &mut [f64]) {
+        assert_eq!(out.len(), self.count(), "one slot per enabled feature");
+        let mut slots = out.iter_mut();
+        for (i, v) in full.iter().enumerate() {
+            if self.contains(i) {
+                *slots.next().expect("count() slots") = *v;
+            }
+        }
+    }
+
     /// Returns the names of the enabled features in vector order.
     pub fn names(&self) -> Vec<&'static str> {
         (0..FEATURE_COUNT)
@@ -332,6 +348,17 @@ impl FeatureExtractor {
     /// Returns the masked feature vector.
     pub fn masked_features(&self, mask: &FeatureMask) -> Vector {
         mask.project(&self.features())
+    }
+
+    /// Writes the masked feature vector into a caller-provided buffer,
+    /// allocating nothing. The full 13-feature vector lives on the stack,
+    /// so this is the zero-heap-allocation per-point read path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != mask.count()`.
+    pub fn masked_features_into(&self, mask: &FeatureMask, out: &mut [f64]) {
+        mask.project_into(&self.features(), out);
     }
 
     /// Extracts the masked feature vector of a complete gesture in one

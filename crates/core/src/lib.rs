@@ -68,6 +68,7 @@ pub mod classifier;
 pub mod eager;
 pub mod features;
 pub mod multistroke;
+pub mod parallel;
 pub mod persist;
 
 pub use classifier::{Classification, Classifier, LinearClassifier, TrainError};

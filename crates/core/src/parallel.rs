@@ -1,0 +1,115 @@
+//! Deterministic work-sharing over `std::thread::scope`.
+//!
+//! The container the reproduction builds in is offline, so no rayon: this
+//! module implements the one primitive the pipeline needs — map a function
+//! over a slice on a bounded pool of scoped threads and return the results
+//! *in input order*. Workers pull indices from a shared atomic counter and
+//! tag every result with its index; the merge sorts by index, so the output
+//! is byte-identical to the serial map regardless of worker count or
+//! scheduling. Eager training and batched evaluation both lean on this
+//! guarantee: their serial and parallel paths must produce identical
+//! records and identical summary numbers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of workers suggested by the host
+/// (`std::thread::available_parallelism`), falling back to 1 when the
+/// host cannot say.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` using up to `workers` scoped threads, returning
+/// results in input order.
+///
+/// `f` receives `(index, &item)` so callers can label work without
+/// threading state through. With `workers <= 1` (or fewer than two items)
+/// the map runs inline on the calling thread — no threads are spawned —
+/// and the parallel path merges by index, so both paths return the exact
+/// same vector.
+///
+/// # Examples
+///
+/// ```
+/// use grandma_core::parallel::parallel_map;
+///
+/// let squares = parallel_map(&[1, 2, 3, 4], 3, |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.min(items.len()).max(1);
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            tagged.extend(handle.join().expect("worker panicked"));
+        }
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn available_workers_is_positive() {
+        assert!(available_workers() >= 1);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let serial = parallel_map(&items, 1, |i, &x| x * 31 + i);
+        for workers in [2, 3, 8] {
+            let parallel = parallel_map(&items, workers, |i, &x| x * 31 + i);
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<i32> = parallel_map(&[] as &[i32], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = parallel_map(&[7], 16, |i, &x| (i, x));
+        assert_eq!(out, vec![(0, 7)]);
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = ["a", "b", "c"];
+        let out = parallel_map(&items, 2, |i, &s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+}

@@ -1,0 +1,144 @@
+//! The `_into`/slice hot-path APIs must agree with their allocating
+//! counterparts: same fold order ⇒ bit-exact where the arithmetic is
+//! identical, tolerance-checked where an algebraic identity rearranges it
+//! (the Mahalanobis split into quadratic form + per-class dot).
+
+use grandma_core::{Classifier, FeatureExtractor, FeatureMask, FEATURE_COUNT};
+use grandma_geom::{Gesture, Point};
+use grandma_linalg::Workspace;
+
+fn two_segment(first: (f64, f64), second: (f64, f64), jiggle: f64) -> Gesture {
+    let mut pts = Vec::new();
+    let (mut x, mut y) = (0.0, 0.0);
+    for i in 0..10 {
+        pts.push(Point::new(x + jiggle * (i % 2) as f64, y, i as f64 * 10.0));
+        x += first.0 * 5.0;
+        y += first.1 * 5.0;
+    }
+    for i in 0..9 {
+        x += second.0 * 5.0;
+        y += second.1 * 5.0;
+        pts.push(Point::new(
+            x,
+            y + jiggle * (i % 2) as f64,
+            100.0 + i as f64 * 10.0,
+        ));
+    }
+    Gesture::from_points(pts)
+}
+
+fn sparse_mask(indices: &[usize]) -> FeatureMask {
+    let mut m = FeatureMask::none();
+    for &i in indices {
+        m.enable(i);
+    }
+    m
+}
+
+fn four_class_training() -> Vec<Vec<Gesture>> {
+    let dirs = [
+        ((1.0, 0.0), (0.0, 1.0)),
+        ((1.0, 0.0), (0.0, -1.0)),
+        ((0.0, 1.0), (1.0, 0.0)),
+        ((0.0, 1.0), (-1.0, 0.0)),
+    ];
+    dirs.iter()
+        .map(|&(a, b)| {
+            (0..10)
+                .map(|e| two_segment(a, b, 0.1 + e as f64 * 0.04))
+                .collect()
+        })
+        .collect()
+}
+
+/// Feature vectors at several prefix lengths of several gestures —
+/// a spread of realistic inputs for the equivalence checks below.
+fn probe_features(mask: &FeatureMask) -> Vec<grandma_linalg::Vector> {
+    let mut out = Vec::new();
+    for &(a, b) in &[((1.0, 0.0), (0.0, 1.0)), ((0.0, 1.0), (-1.0, 0.0))] {
+        let g = two_segment(a, b, 0.27);
+        for len in [3, 7, 12, g.len()] {
+            let prefix = g.subgesture(len).unwrap();
+            out.push(FeatureExtractor::extract(&prefix, mask));
+        }
+    }
+    out
+}
+
+#[test]
+fn evaluate_into_matches_evaluate_exactly() {
+    let mask = FeatureMask::all();
+    let full = Classifier::train(&four_class_training(), &mask).unwrap();
+    let linear = full.linear();
+    let mut buf = vec![0.0; linear.num_classes()];
+    for features in probe_features(&mask) {
+        linear.evaluate_into(features.as_slice(), &mut buf);
+        assert_eq!(buf, linear.evaluate(&features));
+    }
+}
+
+#[test]
+fn best_class_matches_classify() {
+    let mask = FeatureMask::all();
+    let full = Classifier::train(&four_class_training(), &mask).unwrap();
+    let linear = full.linear();
+    for features in probe_features(&mask) {
+        assert_eq!(
+            linear.best_class(features.as_slice()),
+            linear.classify(&features).class
+        );
+    }
+}
+
+#[test]
+fn masked_features_into_matches_masked_features() {
+    // An irregular mask exercises the slot-compaction path too.
+    for mask in [FeatureMask::all(), sparse_mask(&[0, 2, 5, 11])] {
+        let g = two_segment((1.0, 0.0), (0.0, 1.0), 0.31);
+        let mut extractor = FeatureExtractor::new();
+        let mut buf = vec![0.0; mask.count()];
+        for &p in g.points() {
+            extractor.update(p);
+            extractor.masked_features_into(&mask, &mut buf);
+            assert_eq!(buf, extractor.masked_features(&mask).as_slice());
+        }
+    }
+}
+
+#[test]
+fn project_into_matches_project() {
+    let mut raw = [0.0; FEATURE_COUNT];
+    for (i, v) in raw.iter_mut().enumerate() {
+        *v = (i as f64 + 1.0) * 1.7 - 9.0;
+    }
+    for mask in [FeatureMask::all(), sparse_mask(&[1, 3, 4, 8, 12])] {
+        let mut buf = vec![0.0; mask.count()];
+        mask.project_into(&raw, &mut buf);
+        assert_eq!(buf, mask.project(&raw).as_slice());
+    }
+}
+
+#[test]
+fn mahalanobis_identity_matches_direct_distance() {
+    // d²(x, μ_c) = xᵀΣ⁻¹x − 2·(Σ⁻¹μ_c)·x + μ_cᵀΣ⁻¹μ_c. The identity
+    // cancels large terms, so its error is O(ε · xᵀΣ⁻¹x) — the tolerance
+    // scales with the quadratic form, not the distance. An implementation
+    // error (wrong sign, wrong class) would miss by orders of magnitude
+    // more.
+    let mask = FeatureMask::all();
+    let full = Classifier::train(&four_class_training(), &mask).unwrap();
+    let linear = full.linear();
+    let mut ws = Workspace::with_dim(mask.count());
+    for features in probe_features(&mask) {
+        let quadratic = linear.mahalanobis_quadratic(&mut ws, features.as_slice());
+        for class in 0..linear.num_classes() {
+            let fast = linear.mahalanobis_from_quadratic(quadratic, features.as_slice(), class);
+            let direct = linear.mahalanobis_to_class(&features, class);
+            let tol = 1e-11 * quadratic.abs().max(direct.abs()).max(1.0);
+            assert!(
+                (fast - direct).abs() <= tol,
+                "class {class}: identity {fast} vs direct {direct}"
+            );
+        }
+    }
+}

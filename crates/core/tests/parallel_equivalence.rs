@@ -1,0 +1,118 @@
+//! Serial/parallel equivalence: every worker count must produce the same
+//! trained recognizer, the same training report, and the same
+//! classifications.
+//!
+//! The parallel labeling pass merges per-example results by index, so the
+//! guarantee is exact equality — not tolerance-based agreement.
+
+use grandma_core::eager::label_subgestures_with_workers;
+use grandma_core::{Classifier, EagerConfig, EagerRecognizer, FeatureMask};
+use grandma_geom::{Gesture, Point};
+
+fn two_segment(first: (f64, f64), second: (f64, f64), jiggle: f64) -> Gesture {
+    let mut pts = Vec::new();
+    let (mut x, mut y) = (0.0, 0.0);
+    for i in 0..10 {
+        pts.push(Point::new(x + jiggle * (i % 2) as f64, y, i as f64 * 10.0));
+        x += first.0 * 5.0;
+        y += first.1 * 5.0;
+    }
+    for i in 0..9 {
+        x += second.0 * 5.0;
+        y += second.1 * 5.0;
+        pts.push(Point::new(
+            x,
+            y + jiggle * (i % 2) as f64,
+            100.0 + i as f64 * 10.0,
+        ));
+    }
+    Gesture::from_points(pts)
+}
+
+/// Four L-shaped classes sharing pairwise prefixes.
+fn four_class_training() -> Vec<Vec<Gesture>> {
+    let dirs = [
+        ((1.0, 0.0), (0.0, 1.0)),
+        ((1.0, 0.0), (0.0, -1.0)),
+        ((0.0, 1.0), (1.0, 0.0)),
+        ((0.0, 1.0), (-1.0, 0.0)),
+    ];
+    dirs.iter()
+        .map(|&(a, b)| {
+            (0..10)
+                .map(|e| two_segment(a, b, 0.1 + e as f64 * 0.04))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn labeling_is_identical_for_every_worker_count() {
+    let data = four_class_training();
+    let full = Classifier::train(&data, &FeatureMask::all()).unwrap();
+    let config = EagerConfig::default();
+    let serial = label_subgestures_with_workers(&full, &data, &config, 1);
+    assert!(!serial.is_empty());
+    for workers in [2, 3, 8] {
+        let parallel = label_subgestures_with_workers(&full, &data, &config, workers);
+        assert_eq!(serial, parallel, "workers = {workers}");
+    }
+}
+
+#[test]
+fn training_reports_are_identical_for_every_worker_count() {
+    let data = four_class_training();
+    let mask = FeatureMask::all();
+    let config = EagerConfig::default();
+    let (_, serial) = EagerRecognizer::train_with_workers(&data, &mask, &config, 1).unwrap();
+    for workers in [2, 4] {
+        let (_, parallel) =
+            EagerRecognizer::train_with_workers(&data, &mask, &config, workers).unwrap();
+        assert_eq!(serial.records, parallel.records, "workers = {workers}");
+        assert_eq!(serial.move_outcome, parallel.move_outcome);
+        assert_eq!(serial.auc_classes.as_ref(), parallel.auc_classes.as_ref());
+        assert_eq!(serial.tweaks, parallel.tweaks);
+    }
+}
+
+#[test]
+fn trained_auc_constants_are_identical_for_every_worker_count() {
+    let data = four_class_training();
+    let mask = FeatureMask::all();
+    let config = EagerConfig::default();
+    let (serial, _) = EagerRecognizer::train_with_workers(&data, &mask, &config, 1).unwrap();
+    let (parallel, _) = EagerRecognizer::train_with_workers(&data, &mask, &config, 4).unwrap();
+    let (a, b) = (serial.auc().linear(), parallel.auc().linear());
+    assert_eq!(a.num_classes(), b.num_classes());
+    for c in 0..a.num_classes() {
+        assert_eq!(a.constant(c), b.constant(c), "constant of AUC class {c}");
+        assert_eq!(
+            a.weights(c).as_slice(),
+            b.weights(c).as_slice(),
+            "weights of AUC class {c}"
+        );
+    }
+}
+
+#[test]
+fn classifications_are_identical_for_every_worker_count() {
+    let data = four_class_training();
+    let mask = FeatureMask::all();
+    let config = EagerConfig::default();
+    let (serial, _) = EagerRecognizer::train_with_workers(&data, &mask, &config, 1).unwrap();
+    let (parallel, _) = EagerRecognizer::train_with_workers(&data, &mask, &config, 4).unwrap();
+    let dirs = [
+        ((1.0, 0.0), (0.0, 1.0)),
+        ((1.0, 0.0), (0.0, -1.0)),
+        ((0.0, 1.0), (1.0, 0.0)),
+        ((0.0, 1.0), (-1.0, 0.0)),
+    ];
+    for &(a, b) in &dirs {
+        for e in 0..6 {
+            let g = two_segment(a, b, 0.13 + e as f64 * 0.05);
+            let rs = serial.run(&g);
+            let rp = parallel.run(&g);
+            assert_eq!(rs, rp, "runs must match on {a:?}/{b:?} example {e}");
+        }
+    }
+}

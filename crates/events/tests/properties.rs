@@ -1,73 +1,127 @@
-//! Property-based tests for the event substrate.
+//! Property-style tests for the event substrate.
+//!
+//! Plain `#[test]` loops over a seeded xorshift generator (the build
+//! environment is offline, so no proptest).
 
 use grandma_events::{
     gesture_events, gesture_events_with_hold, Button, DwellDetector, EventKind, EventQueue,
     InputEvent,
 };
 use grandma_geom::{Gesture, Point};
-use proptest::prelude::*;
 
-fn gesture_strategy() -> impl Strategy<Value = Gesture> {
-    proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..30).prop_map(|coords| {
-        Gesture::from_points(
-            coords
-                .iter()
-                .enumerate()
-                .map(|(i, &(x, y))| Point::new(x, y, i as f64 * 12.0))
-                .collect(),
-        )
-    })
+/// Tiny deterministic PRNG (xorshift64*) for generating test cases.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
 }
 
-proptest! {
-    #[test]
-    fn queue_pops_in_nondecreasing_time_order(times in proptest::collection::vec(0.0f64..10_000.0, 1..50)) {
+fn gesture(rng: &mut TestRng) -> Gesture {
+    let n = rng.usize_in(2, 30);
+    Gesture::from_points(
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    rng.range(-100.0, 100.0),
+                    rng.range(-100.0, 100.0),
+                    i as f64 * 12.0,
+                )
+            })
+            .collect(),
+    )
+}
+
+const CASES: usize = 128;
+
+#[test]
+fn queue_pops_in_nondecreasing_time_order() {
+    let mut rng = TestRng::new(0xe001);
+    for _ in 0..CASES {
+        let n = rng.usize_in(1, 50);
+        let times: Vec<f64> = (0..n).map(|_| rng.range(0.0, 10_000.0)).collect();
         let mut q = EventQueue::new();
         for &t in &times {
             q.push(InputEvent::new(EventKind::MouseMove, 0.0, 0.0, t));
         }
         let drained = q.drain_ordered();
-        prop_assert_eq!(drained.len(), times.len());
+        assert_eq!(drained.len(), times.len());
         for w in drained.windows(2) {
-            prop_assert!(w[0].t <= w[1].t);
+            assert!(w[0].t <= w[1].t);
         }
     }
+}
 
-    #[test]
-    fn gesture_events_preserve_point_order_and_positions(g in gesture_strategy()) {
+#[test]
+fn gesture_events_preserve_point_order_and_positions() {
+    let mut rng = TestRng::new(0xe002);
+    for _ in 0..CASES {
+        let g = gesture(&mut rng);
         let events = gesture_events(&g, Button::Left);
-        prop_assert_eq!(events.len(), g.len() + 1);
-        prop_assert!(events[0].is_down());
-        prop_assert!(events.last().unwrap().is_up());
+        assert_eq!(events.len(), g.len() + 1);
+        assert!(events[0].is_down());
+        assert!(events.last().unwrap().is_up());
         for (e, p) in events.iter().zip(g.points()) {
-            prop_assert_eq!(e.x, p.x);
-            prop_assert_eq!(e.y, p.y);
-            prop_assert_eq!(e.t, p.t);
+            assert_eq!(e.x, p.x);
+            assert_eq!(e.y, p.y);
+            assert_eq!(e.t, p.t);
         }
     }
+}
 
-    #[test]
-    fn hold_only_shifts_times_not_positions(g in gesture_strategy(), at in 0usize..29, hold in 1.0f64..2_000.0) {
-        prop_assume!(at < g.len());
+#[test]
+fn hold_only_shifts_times_not_positions() {
+    let mut rng = TestRng::new(0xe003);
+    for _ in 0..CASES {
+        let g = gesture(&mut rng);
+        let at = rng.usize_in(0, 29);
+        let hold = rng.range(1.0, 2_000.0);
+        if at >= g.len() {
+            continue;
+        }
         let plain = gesture_events(&g, Button::Left);
         let held = gesture_events_with_hold(&g, Button::Left, Some((at, hold)));
-        prop_assert_eq!(plain.len(), held.len());
+        assert_eq!(plain.len(), held.len());
         for (a, b) in plain.iter().zip(held.iter()) {
-            prop_assert_eq!(a.kind, b.kind);
-            prop_assert_eq!(a.x, b.x);
-            prop_assert_eq!(a.y, b.y);
-            prop_assert!(b.t >= a.t);
-            prop_assert!(b.t - a.t <= hold + 1e-9);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.y, b.y);
+            assert!(b.t >= a.t);
+            assert!(b.t - a.t <= hold + 1e-9);
         }
         // Timestamps stay nondecreasing.
         for w in held.windows(2) {
-            prop_assert!(w[0].t <= w[1].t);
+            assert!(w[0].t <= w[1].t);
         }
     }
+}
 
-    #[test]
-    fn dwell_timeouts_only_fire_with_button_down(g in gesture_strategy(), hold in 0.0f64..1_000.0, at in 0usize..29) {
-        prop_assume!(at < g.len());
+#[test]
+fn dwell_timeouts_only_fire_with_button_down() {
+    let mut rng = TestRng::new(0xe004);
+    for _ in 0..CASES {
+        let g = gesture(&mut rng);
+        let hold = rng.range(0.0, 1_000.0);
+        let at = rng.usize_in(0, 29);
+        if at >= g.len() {
+            continue;
+        }
         let events = gesture_events_with_hold(&g, Button::Left, Some((at, hold)));
         let mut dwell = DwellDetector::paper_default();
         let expanded = dwell.expand(&events);
@@ -76,7 +130,7 @@ proptest! {
         let down_t = expanded.iter().find(|e| e.is_down()).unwrap().t;
         let up_t = expanded.iter().find(|e| e.is_up()).unwrap().t;
         for e in expanded.iter().filter(|e| e.kind == EventKind::Timeout) {
-            prop_assert!(e.t >= down_t && e.t <= up_t);
+            assert!(e.t >= down_t && e.t <= up_t);
         }
         // Every timeout is justified: it fires exactly 200 ms after some
         // event position that was followed by >= 200 ms without a
@@ -111,16 +165,20 @@ proptest! {
             }
         }
         for e in expanded.iter().filter(|e| e.kind == EventKind::Timeout) {
-            prop_assert!(
+            assert!(
                 justified_times.iter().any(|&t| (t - e.t).abs() < 1e-6),
                 "timeout at {} not justified by any 200 ms stall",
                 e.t
             );
         }
     }
+}
 
-    #[test]
-    fn dwell_expansion_preserves_the_original_events(g in gesture_strategy()) {
+#[test]
+fn dwell_expansion_preserves_the_original_events() {
+    let mut rng = TestRng::new(0xe005);
+    for _ in 0..CASES {
+        let g = gesture(&mut rng);
         let events = gesture_events(&g, Button::Left);
         let mut dwell = DwellDetector::paper_default();
         let expanded = dwell.expand(&events);
@@ -128,9 +186,9 @@ proptest! {
             .iter()
             .filter(|e| e.kind != EventKind::Timeout)
             .collect();
-        prop_assert_eq!(originals.len(), events.len());
+        assert_eq!(originals.len(), events.len());
         for (a, b) in originals.iter().zip(events.iter()) {
-            prop_assert_eq!(**a, *b);
+            assert_eq!(**a, *b);
         }
     }
 }

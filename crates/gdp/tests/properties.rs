@@ -1,8 +1,34 @@
-//! Property-based tests for the GDP scene.
+//! Property-style tests for the GDP scene.
+//!
+//! Plain `#[test]` loops over a seeded xorshift generator (the build
+//! environment is offline, so no proptest).
 
 use grandma_gdp::{Scene, Shape};
 use grandma_geom::Point;
-use proptest::prelude::*;
+
+/// Tiny deterministic PRNG (xorshift64*) for generating test cases.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -14,27 +40,35 @@ enum Op {
     RotateScale(usize, f64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Op::Create(x, y)),
-        (0usize..20).prop_map(Op::Delete),
-        (0usize..20, -50.0f64..50.0, -50.0f64..50.0)
-            .prop_map(|(i, dx, dy)| Op::Translate(i, dx, dy)),
-        (0usize..20, -50.0f64..50.0, -50.0f64..50.0).prop_map(|(i, dx, dy)| Op::Copy(i, dx, dy)),
-        (0usize..20, 0usize..20).prop_map(|(a, b)| Op::Group(a, b)),
-        (0usize..20, 0.3f64..3.0).prop_map(|(i, s)| Op::RotateScale(i, s)),
-    ]
+fn random_op(rng: &mut TestRng) -> Op {
+    match rng.usize_in(0, 6) {
+        0 => Op::Create(rng.range(-100.0, 100.0), rng.range(-100.0, 100.0)),
+        1 => Op::Delete(rng.usize_in(0, 20)),
+        2 => Op::Translate(
+            rng.usize_in(0, 20),
+            rng.range(-50.0, 50.0),
+            rng.range(-50.0, 50.0),
+        ),
+        3 => Op::Copy(
+            rng.usize_in(0, 20),
+            rng.range(-50.0, 50.0),
+            rng.range(-50.0, 50.0),
+        ),
+        4 => Op::Group(rng.usize_in(0, 20), rng.usize_in(0, 20)),
+        _ => Op::RotateScale(rng.usize_in(0, 20), rng.range(0.3, 3.0)),
+    }
 }
 
 fn nth_id(scene: &Scene, n: usize) -> Option<usize> {
     scene.iter().map(|o| o.id).nth(n % scene.len().max(1))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn scene_survives_arbitrary_operation_sequences(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+#[test]
+fn scene_survives_arbitrary_operation_sequences() {
+    let mut rng = TestRng::new(0x6d01);
+    for _ in 0..64 {
+        let n_ops = rng.usize_in(0, 60);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
         let mut scene = Scene::new();
         for op in ops {
             match op {
@@ -79,27 +113,38 @@ proptest! {
             for obj in scene.iter() {
                 if let Some(g) = obj.group {
                     let members = scene.group_members(obj.id);
-                    prop_assert!(members.len() >= 2, "singleton group {g}");
-                    prop_assert!(members.contains(&obj.id));
+                    assert!(members.len() >= 2, "singleton group {g}");
+                    assert!(members.contains(&obj.id));
                 }
             }
             // 2. All shapes stay finite.
             for obj in scene.iter() {
                 let b = obj.shape.bbox();
-                prop_assert!(b.min_x.is_finite() && b.max_y.is_finite());
+                assert!(b.min_x.is_finite() && b.max_y.is_finite());
             }
             // 3. Editing target, if any, is alive.
             if let Some(e) = scene.editing() {
-                prop_assert!(scene.get(e).is_some());
+                assert!(scene.get(e).is_some());
             }
         }
     }
+}
 
-    #[test]
-    fn group_translation_is_rigid(n in 2usize..6, dx in -40.0f64..40.0, dy in -40.0f64..40.0) {
+#[test]
+fn group_translation_is_rigid() {
+    let mut rng = TestRng::new(0x6d02);
+    for _ in 0..128 {
+        let n = rng.usize_in(2, 6);
+        let dx = rng.range(-40.0, 40.0);
+        let dy = rng.range(-40.0, 40.0);
         let mut scene = Scene::new();
         let ids: Vec<usize> = (0..n)
-            .map(|i| scene.create(Shape::line(Point::xy(i as f64 * 30.0, 0.0), Point::xy(i as f64 * 30.0 + 10.0, 5.0))))
+            .map(|i| {
+                scene.create(Shape::line(
+                    Point::xy(i as f64 * 30.0, 0.0),
+                    Point::xy(i as f64 * 30.0 + 10.0, 5.0),
+                ))
+            })
             .collect();
         scene.group(&ids);
         let before: Vec<(f64, f64)> = ids
@@ -112,36 +157,46 @@ proptest! {
         scene.translate(ids[0], dx, dy);
         for (i, &id) in ids.iter().enumerate() {
             let c = scene.get(id).unwrap().shape.bbox().center();
-            prop_assert!((c.x - before[i].0 - dx).abs() < 1e-9);
-            prop_assert!((c.y - before[i].1 - dy).abs() < 1e-9);
+            assert!((c.x - before[i].0 - dx).abs() < 1e-9);
+            assert!((c.y - before[i].1 - dy).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn copy_preserves_the_original(x in -50.0f64..50.0, dx in -30.0f64..30.0) {
+#[test]
+fn copy_preserves_the_original() {
+    let mut rng = TestRng::new(0x6d03);
+    for _ in 0..128 {
+        let x = rng.range(-50.0, 50.0);
+        let dx = rng.range(-30.0, 30.0);
         let mut scene = Scene::new();
         let id = scene.create(Shape::ellipse(Point::xy(x, 0.0), 5.0, 3.0));
         let original = scene.get(id).unwrap().shape.clone();
         let copy = scene.copy(id, dx, 0.0).unwrap();
-        prop_assert_eq!(&scene.get(id).unwrap().shape, &original);
-        prop_assert_ne!(copy, id);
-        prop_assert_eq!(scene.len(), 2);
+        assert_eq!(&scene.get(id).unwrap().shape, &original);
+        assert_ne!(copy, id);
+        assert_eq!(scene.len(), 2);
     }
+}
 
-    #[test]
-    fn pick_always_returns_a_live_containing_object(
-        shapes in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..10),
-        px in -60.0f64..60.0,
-        py in -60.0f64..60.0,
-    ) {
+#[test]
+fn pick_always_returns_a_live_containing_object() {
+    let mut rng = TestRng::new(0x6d04);
+    for _ in 0..128 {
+        let n = rng.usize_in(1, 10);
+        let shapes: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.range(-50.0, 50.0), rng.range(-50.0, 50.0)))
+            .collect();
+        let px = rng.range(-60.0, 60.0);
+        let py = rng.range(-60.0, 60.0);
         let mut scene = Scene::new();
         for &(x, y) in &shapes {
             scene.create(Shape::rect(Point::xy(x, y), Point::xy(x + 20.0, y + 20.0)));
         }
         if let Some(id) = scene.pick(px, py, 0.0) {
             let obj = scene.get(id);
-            prop_assert!(obj.is_some());
-            prop_assert!(obj.unwrap().shape.bbox().contains(px, py));
+            assert!(obj.is_some());
+            assert!(obj.unwrap().shape.bbox().contains(px, py));
         }
     }
 }

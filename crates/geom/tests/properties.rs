@@ -1,100 +1,176 @@
-//! Property-based tests for the geometry substrate.
+//! Property-style tests for the geometry substrate.
+//!
+//! Plain `#[test]` loops over a seeded xorshift generator (the build
+//! environment is offline, so no proptest).
 
 use grandma_geom::{
     polyline_length, total_absolute_turning, total_turning, Gesture, Point, Transform,
 };
-use proptest::prelude::*;
 
-fn gesture_strategy() -> impl Strategy<Value = Gesture> {
-    proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..40).prop_map(|coords| {
-        Gesture::from_points(
-            coords
-                .iter()
-                .enumerate()
-                .map(|(i, &(x, y))| Point::new(x, y, i as f64 * 10.0))
-                .collect(),
-        )
-    })
+/// Tiny deterministic PRNG (xorshift64*) for generating test cases.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
 }
 
-proptest! {
-    #[test]
-    fn subgesture_lengths_match_definition(g in gesture_strategy(), i in 0usize..50) {
+fn gesture(rng: &mut TestRng) -> Gesture {
+    let n = rng.usize_in(2, 40);
+    Gesture::from_points(
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    rng.range(-100.0, 100.0),
+                    rng.range(-100.0, 100.0),
+                    i as f64 * 10.0,
+                )
+            })
+            .collect(),
+    )
+}
+
+const CASES: usize = 128;
+
+#[test]
+fn subgesture_lengths_match_definition() {
+    let mut rng = TestRng::new(0x6e01);
+    for _ in 0..CASES {
+        let g = gesture(&mut rng);
+        let i = rng.usize_in(0, 50);
         // The paper: |g[i]| = i when defined, undefined for i > |g|.
         match g.subgesture(i) {
             Some(s) => {
-                prop_assert!(i <= g.len());
-                prop_assert_eq!(s.len(), i);
-                prop_assert_eq!(s.points(), &g.points()[..i]);
+                assert!(i <= g.len());
+                assert_eq!(s.len(), i);
+                assert_eq!(s.points(), &g.points()[..i]);
             }
-            None => prop_assert!(i > g.len()),
+            None => assert!(i > g.len()),
         }
     }
+}
 
-    #[test]
-    fn subgesture_path_length_is_monotone(g in gesture_strategy()) {
+#[test]
+fn subgesture_path_length_is_monotone() {
+    let mut rng = TestRng::new(0x6e02);
+    for _ in 0..CASES {
+        let g = gesture(&mut rng);
         let mut prev = 0.0;
         for i in 1..=g.len() {
             let len = g.subgesture(i).unwrap().path_length();
-            prop_assert!(len + 1e-9 >= prev);
+            assert!(len + 1e-9 >= prev);
             prev = len;
         }
     }
+}
 
-    #[test]
-    fn bbox_contains_every_point(g in gesture_strategy()) {
+#[test]
+fn bbox_contains_every_point() {
+    let mut rng = TestRng::new(0x6e03);
+    for _ in 0..CASES {
+        let g = gesture(&mut rng);
         let b = g.bbox();
         for p in g.iter() {
-            prop_assert!(b.contains(p.x, p.y));
+            assert!(b.contains(p.x, p.y));
         }
     }
+}
 
-    #[test]
-    fn path_length_is_translation_invariant(g in gesture_strategy(), dx in -50.0f64..50.0, dy in -50.0f64..50.0) {
+#[test]
+fn path_length_is_translation_invariant() {
+    let mut rng = TestRng::new(0x6e04);
+    for _ in 0..CASES {
+        let g = gesture(&mut rng);
+        let dx = rng.range(-50.0, 50.0);
+        let dy = rng.range(-50.0, 50.0);
         let moved = g.transformed(&Transform::translation(dx, dy));
-        prop_assert!((moved.path_length() - g.path_length()).abs() < 1e-6);
+        assert!((moved.path_length() - g.path_length()).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn turning_is_rotation_invariant(g in gesture_strategy(), theta in -3.0f64..3.0) {
+#[test]
+fn turning_is_rotation_invariant() {
+    let mut rng = TestRng::new(0x6e05);
+    for _ in 0..CASES {
+        let g = gesture(&mut rng);
+        let theta = rng.range(-3.0, 3.0);
         let rotated = g.transformed(&Transform::rotation(theta));
         let t0 = total_turning(g.points());
         let t1 = total_turning(rotated.points());
-        prop_assert!((t0 - t1).abs() < 1e-6);
+        assert!((t0 - t1).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn absolute_turning_bounds_signed_turning(g in gesture_strategy()) {
+#[test]
+fn absolute_turning_bounds_signed_turning() {
+    let mut rng = TestRng::new(0x6e06);
+    for _ in 0..CASES {
+        let g = gesture(&mut rng);
         let signed = total_turning(g.points()).abs();
         let absolute = total_absolute_turning(g.points());
-        prop_assert!(absolute + 1e-9 >= signed);
+        assert!(absolute + 1e-9 >= signed);
     }
+}
 
-    #[test]
-    fn resampling_preserves_total_length_approximately(g in gesture_strategy()) {
-        prop_assume!(g.path_length() > 1.0);
+#[test]
+fn resampling_preserves_total_length_approximately() {
+    let mut rng = TestRng::new(0x6e07);
+    for _ in 0..CASES {
+        let g = gesture(&mut rng);
+        if g.path_length() <= 1.0 {
+            continue;
+        }
         let r = g.resampled(64);
         // Resampling shortcuts corners, so length can only shrink.
-        prop_assert!(r.path_length() <= g.path_length() + 1e-6);
-        prop_assert!(r.path_length() >= g.first().unwrap().distance(g.last().unwrap()) - 1e-6);
+        assert!(r.path_length() <= g.path_length() + 1e-6);
+        assert!(r.path_length() >= g.first().unwrap().distance(g.last().unwrap()) - 1e-6);
     }
+}
 
-    #[test]
-    fn rotation_preserves_distances(theta in -3.0f64..3.0, x in -10.0f64..10.0, y in -10.0f64..10.0) {
+#[test]
+fn rotation_preserves_distances() {
+    let mut rng = TestRng::new(0x6e08);
+    for _ in 0..CASES {
+        let theta = rng.range(-3.0, 3.0);
+        let x = rng.range(-10.0, 10.0);
+        let y = rng.range(-10.0, 10.0);
         let t = Transform::rotation(theta);
         let p = t.apply(&Point::xy(x, y));
         let d0 = (x * x + y * y).sqrt();
         let d1 = (p.x * p.x + p.y * p.y).sqrt();
-        prop_assert!((d0 - d1).abs() < 1e-9);
+        assert!((d0 - d1).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn polyline_length_is_additive_over_concatenation(g in gesture_strategy(), split in 1usize..39) {
-        prop_assume!(split < g.len());
+#[test]
+fn polyline_length_is_additive_over_concatenation() {
+    let mut rng = TestRng::new(0x6e09);
+    for _ in 0..CASES {
+        let g = gesture(&mut rng);
+        let split = rng.usize_in(1, 39);
+        if split >= g.len() {
+            continue;
+        }
         let head = &g.points()[..=split];
         let tail = &g.points()[split..];
         let total = polyline_length(g.points());
         let sum = polyline_length(head) + polyline_length(tail);
-        prop_assert!((total - sum).abs() < 1e-9);
+        assert!((total - sum).abs() < 1e-9);
     }
 }

@@ -26,8 +26,10 @@ mod matrix;
 mod solve;
 mod stats;
 mod vector;
+mod workspace;
 
 pub use matrix::Matrix;
 pub use solve::{InversionOutcome, SolveError};
 pub use stats::{mahalanobis_squared, mean_vector, pooled_covariance, scatter_matrix};
-pub use vector::Vector;
+pub use vector::{dot_slices, Vector};
+pub use workspace::Workspace;

@@ -105,6 +105,38 @@ impl Matrix {
         out
     }
 
+    /// Computes `self * v` into a caller-provided buffer, allocating
+    /// nothing.
+    ///
+    /// This is the hot-path variant of [`Matrix::mul_vector`]: the per-point
+    /// classification loop reuses one output buffer across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()` or `out.len() != self.rows()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use grandma_linalg::Matrix;
+    ///
+    /// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+    /// let mut out = [0.0; 2];
+    /// m.mul_vec_into(&[1.0, 1.0], &mut out);
+    /// assert_eq!(out, [3.0, 7.0]);
+    /// ```
+    pub fn mul_vec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec_into");
+        assert_eq!(out.len(), self.rows, "output length mismatch in mul_vec_into");
+        for (r, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (value, x) in self.row(r).iter().zip(v.iter()) {
+                acc += value * x;
+            }
+            *slot = acc;
+        }
+    }
+
     /// Computes the matrix product `self * other`.
     ///
     /// # Panics

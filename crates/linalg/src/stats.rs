@@ -6,10 +6,15 @@
 //! drives rejection in the full classifier and identifies *accidentally
 //! complete* subgestures in the eager-recognition training pipeline (§4.5).
 
+use std::borrow::Borrow;
+
 use crate::matrix::Matrix;
 use crate::vector::Vector;
 
 /// Computes the mean of a set of equally sized vectors.
+///
+/// Accepts owned samples (`&[Vector]`) or borrowed ones (`&[&Vector]`), so
+/// callers aggregating over stored records need not clone.
 ///
 /// # Panics
 ///
@@ -26,11 +31,12 @@ use crate::vector::Vector;
 /// ];
 /// assert_eq!(mean_vector(&samples).as_slice(), &[1.0, 3.0]);
 /// ```
-pub fn mean_vector(samples: &[Vector]) -> Vector {
+pub fn mean_vector<S: Borrow<Vector>>(samples: &[S]) -> Vector {
     assert!(!samples.is_empty(), "mean of an empty sample set");
-    let dim = samples[0].len();
+    let dim = samples[0].borrow().len();
     let mut mean = Vector::zeros(dim);
     for s in samples {
+        let s = s.borrow();
         assert_eq!(s.len(), dim, "all samples must have equal dimension");
         mean += s;
     }
@@ -43,11 +49,11 @@ pub fn mean_vector(samples: &[Vector]) -> Vector {
 /// # Panics
 ///
 /// Panics if the dimensions do not agree.
-pub fn scatter_matrix(samples: &[Vector], mean: &Vector) -> Matrix {
+pub fn scatter_matrix<S: Borrow<Vector>>(samples: &[S], mean: &Vector) -> Matrix {
     let dim = mean.len();
     let mut scatter = Matrix::zeros(dim, dim);
     for s in samples {
-        let centered = s - mean;
+        let centered = s.borrow() - mean;
         scatter.add_outer(1.0, &centered);
     }
     scatter

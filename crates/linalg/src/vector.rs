@@ -80,6 +80,28 @@ impl Vector {
             .sum()
     }
 
+    /// Computes the dot product with a raw slice.
+    ///
+    /// The hot-path variant of [`Vector::dot`]: callers holding scratch
+    /// buffers (plain `[f64]`) can take the product against a stored weight
+    /// vector without wrapping the buffer in a `Vector` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use grandma_linalg::Vector;
+    ///
+    /// let w = Vector::from_slice(&[1.0, 2.0]);
+    /// assert_eq!(w.dot_slice(&[3.0, 4.0]), 11.0);
+    /// ```
+    pub fn dot_slice(&self, other: &[f64]) -> f64 {
+        dot_slices(self.as_slice(), other)
+    }
+
     /// Returns the Euclidean norm.
     pub fn norm(&self) -> f64 {
         self.dot(self).sqrt()
@@ -113,6 +135,24 @@ impl Vector {
     pub fn iter(&self) -> std::slice::Iter<'_, f64> {
         self.data.iter()
     }
+}
+
+/// Computes the dot product of two raw slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use grandma_linalg::dot_slices;
+///
+/// assert_eq!(dot_slices(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
 }
 
 impl fmt::Debug for Vector {

@@ -1,81 +1,138 @@
-//! Property-based tests for the linear-algebra substrate.
+//! Property-style tests for the linear-algebra substrate.
+//!
+//! Written as plain `#[test]` loops over a seeded xorshift generator: the
+//! build environment is offline, so no proptest. Each test sweeps many
+//! random-ish cases deterministically.
 
 use grandma_linalg::{mahalanobis_squared, mean_vector, Matrix, Vector};
-use proptest::prelude::*;
 
-/// Strategy producing well-conditioned symmetric positive-definite 3x3
-/// matrices as `A Aᵀ + I`.
-fn spd3() -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-3.0f64..3.0, 9).prop_map(|v| {
-        let a = Matrix::from_rows(&[&v[0..3], &v[3..6], &v[6..9]]);
-        let mut m = a.mul_matrix(&a.transpose());
-        m.add_ridge(1.0);
-        m
-    })
+/// Tiny deterministic PRNG (xorshift64*) for generating test cases.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    /// Uniform f64 in [lo, hi).
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
 }
 
-fn vec3() -> impl Strategy<Value = Vector> {
-    proptest::collection::vec(-100.0f64..100.0, 3).prop_map(Vector::from_vec)
+/// Well-conditioned symmetric positive-definite 3x3 matrix as `A Aᵀ + I`.
+fn spd3(rng: &mut TestRng) -> Matrix {
+    let v: Vec<f64> = (0..9).map(|_| rng.range(-3.0, 3.0)).collect();
+    let a = Matrix::from_rows(&[&v[0..3], &v[3..6], &v[6..9]]);
+    let mut m = a.mul_matrix(&a.transpose());
+    m.add_ridge(1.0);
+    m
 }
 
-proptest! {
-    #[test]
-    fn inverse_round_trips(m in spd3()) {
+fn vec3(rng: &mut TestRng) -> Vector {
+    Vector::from_vec((0..3).map(|_| rng.range(-100.0, 100.0)).collect())
+}
+
+const CASES: usize = 128;
+
+#[test]
+fn inverse_round_trips() {
+    let mut rng = TestRng::new(0x11a1);
+    for _ in 0..CASES {
+        let m = spd3(&mut rng);
         let inv = m.inverse().unwrap();
         let prod = m.mul_matrix(&inv);
         for r in 0..3 {
             for c in 0..3 {
                 let expect = if r == c { 1.0 } else { 0.0 };
-                prop_assert!((prod[(r, c)] - expect).abs() < 1e-8);
+                assert!((prod[(r, c)] - expect).abs() < 1e-8);
             }
         }
     }
+}
 
-    #[test]
-    fn inverse_solves_linear_systems(m in spd3(), v in vec3()) {
+#[test]
+fn inverse_solves_linear_systems() {
+    let mut rng = TestRng::new(0x11a2);
+    for _ in 0..CASES {
+        let m = spd3(&mut rng);
+        let v = vec3(&mut rng);
         let inv = m.inverse().unwrap();
         let x = inv.mul_vector(&v);
         let back = m.mul_vector(&x);
         for i in 0..3 {
-            prop_assert!((back[i] - v[i]).abs() < 1e-6 * (1.0 + v[i].abs()));
+            assert!((back[i] - v[i]).abs() < 1e-6 * (1.0 + v[i].abs()));
         }
     }
+}
 
-    #[test]
-    fn determinant_of_product_is_product_of_determinants(a in spd3(), b in spd3()) {
+#[test]
+fn determinant_of_product_is_product_of_determinants() {
+    let mut rng = TestRng::new(0x11a3);
+    for _ in 0..CASES {
+        let a = spd3(&mut rng);
+        let b = spd3(&mut rng);
         let da = a.determinant().unwrap();
         let db = b.determinant().unwrap();
         let dab = a.mul_matrix(&b).determinant().unwrap();
-        prop_assert!((dab - da * db).abs() < 1e-6 * (1.0 + dab.abs()));
+        assert!((dab - da * db).abs() < 1e-6 * (1.0 + dab.abs()));
     }
+}
 
-    #[test]
-    fn mahalanobis_is_nonnegative_and_zero_at_mean(m in spd3(), v in vec3()) {
+#[test]
+fn mahalanobis_is_nonnegative_and_zero_at_mean() {
+    let mut rng = TestRng::new(0x11a4);
+    for _ in 0..CASES {
+        let m = spd3(&mut rng);
+        let v = vec3(&mut rng);
         let inv = m.inverse().unwrap();
         let mu = Vector::zeros(3);
         let d = mahalanobis_squared(&v, &mu, &inv);
-        prop_assert!(d >= -1e-9);
+        assert!(d >= -1e-9);
         let at_mean = mahalanobis_squared(&mu, &mu, &inv);
-        prop_assert!(at_mean.abs() < 1e-12);
+        assert!(at_mean.abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn mean_is_translation_equivariant(vs in proptest::collection::vec(vec3(), 1..8), shift in vec3()) {
+#[test]
+fn mean_is_translation_equivariant() {
+    let mut rng = TestRng::new(0x11a5);
+    for _ in 0..CASES {
+        let n = 1 + (rng.next_u64() % 7) as usize;
+        let vs: Vec<Vector> = (0..n).map(|_| vec3(&mut rng)).collect();
+        let shift = vec3(&mut rng);
         let mean = mean_vector(&vs);
         let shifted: Vec<Vector> = vs.iter().map(|v| v + &shift).collect();
         let shifted_mean = mean_vector(&shifted);
         for i in 0..3 {
-            prop_assert!((shifted_mean[i] - (mean[i] + shift[i])).abs() < 1e-9);
+            assert!((shifted_mean[i] - (mean[i] + shift[i])).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn dot_is_commutative(a in vec3(), b in vec3()) {
-        prop_assert_eq!(a.dot(&b), b.dot(&a));
+#[test]
+fn dot_is_commutative() {
+    let mut rng = TestRng::new(0x11a6);
+    for _ in 0..CASES {
+        let a = vec3(&mut rng);
+        let b = vec3(&mut rng);
+        assert_eq!(a.dot(&b), b.dot(&a));
     }
+}
 
-    #[test]
-    fn transpose_is_involutive(m in spd3()) {
-        prop_assert_eq!(m.transpose().transpose(), m);
+#[test]
+fn transpose_is_involutive() {
+    let mut rng = TestRng::new(0x11a7);
+    for _ in 0..CASES {
+        let m = spd3(&mut rng);
+        assert_eq!(m.transpose().transpose(), m);
     }
 }

@@ -1,8 +1,7 @@
 //! Multi-finger traces and their synthesis.
 
 use grandma_geom::{Gesture, Point};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use grandma_synth::SynthRng;
 
 /// A multi-path gesture: one [`Gesture`] per finger, sampled over the same
 /// time base.
@@ -68,7 +67,7 @@ impl TwoFingerKind {
 /// Synthesizes one two-finger gesture of the given kind, with seeded
 /// per-example variation (initial separation, orientation, speed).
 pub fn two_finger_gesture(kind: TwoFingerKind, seed: u64) -> MultiPathGesture {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SynthRng::seed_from_u64(seed);
     let sep = 30.0 + grandma_synth::normal(&mut rng, 0.0, 4.0);
     let orient = grandma_synth::normal(&mut rng, 0.0, 0.5);
     let jitter = 0.6;

@@ -1,60 +1,127 @@
-//! Property-based tests for the multi-path extension.
+//! Property-style tests for the multi-path extension.
+//!
+//! Plain `#[test]` loops over a seeded xorshift generator (the build
+//! environment is offline, so no proptest).
 
 use grandma_geom::{Point, Transform};
 use grandma_multipath::{trs_transform, two_finger_gesture, MultiPathGesture, TwoFingerKind};
-use proptest::prelude::*;
 
-fn point() -> impl Strategy<Value = Point> {
-    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::xy(x, y))
+/// Tiny deterministic PRNG (xorshift64*) for generating test cases.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
 }
 
-proptest! {
-    #[test]
-    fn trs_maps_fingers_onto_their_images(a0 in point(), b0 in point(), a1 in point(), b1 in point()) {
-        prop_assume!(a0.distance(&b0) > 1.0);
+fn point(rng: &mut TestRng) -> Point {
+    Point::xy(rng.range(-100.0, 100.0), rng.range(-100.0, 100.0))
+}
+
+const CASES: usize = 128;
+
+#[test]
+fn trs_maps_fingers_onto_their_images() {
+    let mut rng = TestRng::new(0xa001);
+    for _ in 0..CASES {
+        let (a0, b0, a1, b1) = (
+            point(&mut rng),
+            point(&mut rng),
+            point(&mut rng),
+            point(&mut rng),
+        );
+        if a0.distance(&b0) <= 1.0 {
+            continue;
+        }
         let t = trs_transform((a0, b0), (a1, b1));
         let ia = t.apply(&a0);
         let ib = t.apply(&b0);
-        prop_assert!(ia.distance(&a1) < 1e-6, "finger a: {ia:?} vs {a1:?}");
-        prop_assert!(ib.distance(&b1) < 1e-6, "finger b: {ib:?} vs {b1:?}");
+        assert!(ia.distance(&a1) < 1e-6, "finger a: {ia:?} vs {a1:?}");
+        assert!(ib.distance(&b1) < 1e-6, "finger b: {ib:?} vs {b1:?}");
     }
+}
 
-    #[test]
-    fn trs_is_a_similarity(a0 in point(), b0 in point(), a1 in point(), b1 in point(), p in point(), q in point()) {
-        prop_assume!(a0.distance(&b0) > 1.0);
-        prop_assume!(a1.distance(&b1) > 1.0);
+#[test]
+fn trs_is_a_similarity() {
+    let mut rng = TestRng::new(0xa002);
+    for _ in 0..CASES {
+        let (a0, b0, a1, b1) = (
+            point(&mut rng),
+            point(&mut rng),
+            point(&mut rng),
+            point(&mut rng),
+        );
+        let p = point(&mut rng);
+        let q = point(&mut rng);
+        if a0.distance(&b0) <= 1.0 || a1.distance(&b1) <= 1.0 {
+            continue;
+        }
         let t = trs_transform((a0, b0), (a1, b1));
         // Distances scale by a single global factor.
         let scale = a1.distance(&b1) / a0.distance(&b0);
         let d_before = p.distance(&q);
         let d_after = t.apply(&p).distance(&t.apply(&q));
-        prop_assert!((d_after - scale * d_before).abs() < 1e-6 * (1.0 + d_after));
+        assert!((d_after - scale * d_before).abs() < 1e-6 * (1.0 + d_after));
     }
+}
 
-    #[test]
-    fn identity_finger_motion_is_identity(a in point(), b in point(), p in point()) {
-        prop_assume!(a.distance(&b) > 1.0);
+#[test]
+fn identity_finger_motion_is_identity() {
+    let mut rng = TestRng::new(0xa003);
+    for _ in 0..CASES {
+        let a = point(&mut rng);
+        let b = point(&mut rng);
+        let p = point(&mut rng);
+        if a.distance(&b) <= 1.0 {
+            continue;
+        }
         let t = trs_transform((a, b), (a, b));
         let image = t.apply(&p);
-        prop_assert!(image.distance(&p) < 1e-9);
+        assert!(image.distance(&p) < 1e-9);
     }
+}
 
-    #[test]
-    fn prefix_never_exceeds_min_len(kind_idx in 0usize..4, seed in 0u64..500, i in 0usize..40) {
-        let kind = TwoFingerKind::all()[kind_idx];
+#[test]
+fn prefix_never_exceeds_min_len() {
+    let mut rng = TestRng::new(0xa004);
+    for _ in 0..CASES {
+        let kind = TwoFingerKind::all()[rng.usize_in(0, 4)];
+        let seed = rng.next_u64() % 500;
+        let i = rng.usize_in(0, 40);
         let g = two_finger_gesture(kind, seed);
         match g.prefix(i) {
             Some(p) => {
-                prop_assert!(i <= g.min_len());
-                prop_assert!(p.paths().iter().all(|path| path.len() == i));
+                assert!(i <= g.min_len());
+                assert!(p.paths().iter().all(|path| path.len() == i));
             }
-            None => prop_assert!(i > g.min_len()),
+            None => assert!(i > g.min_len()),
         }
     }
+}
 
-    #[test]
-    fn gesture_transform_commutes_with_path_access(kind_idx in 0usize..4, seed in 0u64..200, dx in -50.0f64..50.0) {
-        let kind = TwoFingerKind::all()[kind_idx];
+#[test]
+fn gesture_transform_commutes_with_path_access() {
+    let mut rng = TestRng::new(0xa005);
+    for _ in 0..CASES {
+        let kind = TwoFingerKind::all()[rng.usize_in(0, 4)];
+        let seed = rng.next_u64() % 200;
+        let dx = rng.range(-50.0, 50.0);
         let g = two_finger_gesture(kind, seed);
         let moved = MultiPathGesture::new(
             g.paths()
@@ -62,9 +129,9 @@ proptest! {
                 .map(|p| p.transformed(&Transform::translation(dx, 0.0)))
                 .collect(),
         );
-        prop_assert_eq!(moved.path_count(), g.path_count());
+        assert_eq!(moved.path_count(), g.path_count());
         for (a, b) in moved.paths().iter().zip(g.paths()) {
-            prop_assert!((a.path_length() - b.path_length()).abs() < 1e-9);
+            assert!((a.path_length() - b.path_length()).abs() < 1e-9);
         }
     }
 }

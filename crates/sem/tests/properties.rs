@@ -1,11 +1,49 @@
-//! Property-based tests for the semantics interpreter and parser.
+//! Property-style tests for the semantics interpreter and parser.
+//!
+//! Plain `#[test]` loops over a seeded xorshift generator (the build
+//! environment is offline, so no proptest).
 
 use grandma_sem::{eval, parse, Env, Expr, Value};
-use proptest::prelude::*;
 
-/// Strategy for identifier-ish names.
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-zA-Z0-9_]{0,8}".prop_filter("nil is reserved", |s| s != "nil")
+/// Tiny deterministic PRNG (xorshift64*) for generating test cases.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// Generates an identifier-ish name: `[a-z][a-zA-Z0-9_]{0,8}`, never "nil".
+fn ident(rng: &mut TestRng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    loop {
+        let len = rng.usize_in(1, 10);
+        let mut s = String::with_capacity(len);
+        s.push(FIRST[rng.usize_in(0, FIRST.len())] as char);
+        for _ in 1..len {
+            s.push(REST[rng.usize_in(0, REST.len())] as char);
+        }
+        if s != "nil" {
+            return s;
+        }
+    }
 }
 
 /// Renders an expression back to the surface syntax.
@@ -37,63 +75,80 @@ fn render(expr: &Expr) -> String {
     }
 }
 
-/// Strategy for expression trees that the surface syntax can represent.
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        Just(Expr::Nil),
-        (0i32..10_000).prop_map(|n| Expr::Num(n as f64)),
-        ident().prop_map(Expr::Var),
-        ident().prop_map(Expr::Attr),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            // Unary send.
-            (inner.clone(), ident()).prop_map(|(r, sel)| Expr::Send {
-                receiver: Box::new(r),
-                selector: sel,
-                args: vec![],
-            }),
-            // Keyword send with 1-3 args.
-            (
-                inner.clone(),
-                proptest::collection::vec((ident(), inner.clone()), 1..4)
-            )
-                .prop_map(|(r, parts)| {
-                    let selector: String = parts.iter().map(|(k, _)| format!("{k}:")).collect();
-                    Expr::Send {
-                        receiver: Box::new(r),
-                        selector,
-                        args: parts.into_iter().map(|(_, a)| a).collect(),
-                    }
-                }),
-        ]
-    })
+/// Generates an expression tree the surface syntax can represent, with
+/// recursion bounded by `depth`.
+fn expr(rng: &mut TestRng, depth: usize) -> Expr {
+    let leaf = depth == 0 || rng.usize_in(0, 3) == 0;
+    if leaf {
+        match rng.usize_in(0, 4) {
+            0 => Expr::Nil,
+            1 => Expr::Num(rng.usize_in(0, 10_000) as f64),
+            2 => Expr::Var(ident(rng)),
+            _ => Expr::Attr(ident(rng)),
+        }
+    } else if rng.usize_in(0, 2) == 0 {
+        // Unary send.
+        Expr::Send {
+            receiver: Box::new(expr(rng, depth - 1)),
+            selector: ident(rng),
+            args: vec![],
+        }
+    } else {
+        // Keyword send with 1-3 args.
+        let n = rng.usize_in(1, 4);
+        let parts: Vec<(String, Expr)> =
+            (0..n).map(|_| (ident(rng), expr(rng, depth - 1))).collect();
+        let selector: String = parts.iter().map(|(k, _)| format!("{k}:")).collect();
+        Expr::Send {
+            receiver: Box::new(expr(rng, depth - 1)),
+            selector,
+            args: parts.into_iter().map(|(_, a)| a).collect(),
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn parser_round_trips_rendered_expressions(e in expr_strategy()) {
+const CASES: usize = 256;
+
+#[test]
+fn parser_round_trips_rendered_expressions() {
+    let mut rng = TestRng::new(0x5e01);
+    for _ in 0..CASES {
+        let e = expr(&mut rng, 3);
         let text = render(&e);
         let parsed = parse(&text).unwrap_or_else(|err| panic!("failed on `{text}`: {err}"));
-        prop_assert_eq!(parsed, e);
+        assert_eq!(parsed, e);
     }
+}
 
-    #[test]
-    fn literals_evaluate_without_environment(n in -1.0e6f64..1.0e6) {
+#[test]
+fn literals_evaluate_without_environment() {
+    let mut rng = TestRng::new(0x5e02);
+    for _ in 0..CASES {
+        let n = rng.range(-1.0e6, 1.0e6);
         let mut env = Env::new();
         let v = eval(&Expr::Num(n), &mut env).unwrap();
-        prop_assert_eq!(v.as_num(), Some(n));
+        assert_eq!(v.as_num(), Some(n));
     }
+}
 
-    #[test]
-    fn assignment_round_trips_through_env(name in ident(), n in -100.0f64..100.0) {
+#[test]
+fn assignment_round_trips_through_env() {
+    let mut rng = TestRng::new(0x5e03);
+    for _ in 0..CASES {
+        let name = ident(&mut rng);
+        let n = rng.range(-100.0, 100.0);
         let mut env = Env::new();
         eval(&Expr::assign(&name, Expr::Num(n)), &mut env).unwrap();
-        prop_assert_eq!(env.lookup(&name).unwrap().as_num(), Some(n));
+        assert_eq!(env.lookup(&name).unwrap().as_num(), Some(n));
     }
+}
 
-    #[test]
-    fn seq_evaluates_left_to_right(values in proptest::collection::vec(-100.0f64..100.0, 1..6)) {
+#[test]
+fn seq_evaluates_left_to_right() {
+    let mut rng = TestRng::new(0x5e04);
+    for _ in 0..CASES {
+        let n = rng.usize_in(1, 6);
+        let values: Vec<f64> = (0..n).map(|_| rng.range(-100.0, 100.0)).collect();
         let mut env = Env::new();
         let exprs: Vec<Expr> = values
             .iter()
@@ -101,29 +156,42 @@ proptest! {
             .map(|(i, &v)| Expr::assign(&format!("v{i}"), Expr::Num(v)))
             .collect();
         let result = eval(&Expr::Seq(exprs), &mut env).unwrap();
-        prop_assert_eq!(result.as_num(), Some(*values.last().unwrap()));
+        assert_eq!(result.as_num(), Some(*values.last().unwrap()));
         for (i, &v) in values.iter().enumerate() {
-            prop_assert_eq!(env.lookup(&format!("v{i}")).unwrap().as_num(), Some(v));
+            assert_eq!(env.lookup(&format!("v{i}")).unwrap().as_num(), Some(v));
         }
     }
+}
 
-    #[test]
-    fn send_to_nil_never_errors(sel in ident(), n in -10.0f64..10.0) {
+#[test]
+fn send_to_nil_never_errors() {
+    let mut rng = TestRng::new(0x5e05);
+    for _ in 0..CASES {
+        let sel = ident(&mut rng);
+        let n = rng.range(-10.0, 10.0);
         let mut env = Env::new();
         let expr = Expr::send(Expr::Nil, &format!("{sel}:"), vec![Expr::Num(n)]);
         let v = eval(&expr, &mut env).unwrap();
-        prop_assert!(v.is_nil());
+        assert!(v.is_nil());
     }
+}
 
-    #[test]
-    fn unbound_variables_always_error(name in ident()) {
+#[test]
+fn unbound_variables_always_error() {
+    let mut rng = TestRng::new(0x5e06);
+    for _ in 0..CASES {
+        let name = ident(&mut rng);
         let mut env = Env::new();
-        prop_assert!(eval(&Expr::Var(name), &mut env).is_err());
+        assert!(eval(&Expr::Var(name), &mut env).is_err());
     }
+}
 
-    #[test]
-    fn truthiness_is_total(n in -100.0f64..100.0) {
+#[test]
+fn truthiness_is_total() {
+    let mut rng = TestRng::new(0x5e07);
+    for _ in 0..CASES {
+        let n = rng.range(-100.0, 100.0);
         // Every numeric value is truthy; only nil/false are not.
-        prop_assert!(Value::Num(n).truthy());
+        assert!(Value::Num(n).truthy());
     }
 }

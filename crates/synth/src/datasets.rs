@@ -17,10 +17,9 @@
 //! * [`ud`] — the two-class U/D illustration of Figures 5–7.
 
 use grandma_geom::Gesture;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::path_spec::{PathBuilder, PathSpec};
+use crate::rng::SynthRng;
 use crate::sampler::synthesize;
 use crate::variation::Variation;
 
@@ -78,7 +77,7 @@ fn build_dataset(
     train_per_class: usize,
     test_per_class: usize,
 ) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SynthRng::seed_from_u64(seed);
     let mut training = Vec::with_capacity(classes.len());
     let mut testing = Vec::new();
     for (class, cs) in classes.iter().enumerate() {

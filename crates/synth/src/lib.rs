@@ -37,6 +37,6 @@ mod variation;
 
 pub use datasets::{Dataset, LabeledGesture};
 pub use path_spec::{PathBuilder, PathSpec};
-pub use rng::normal;
+pub use rng::{normal, SynthRng};
 pub use sampler::{synthesize, SynthesizedGesture};
 pub use variation::Variation;

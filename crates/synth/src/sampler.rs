@@ -1,11 +1,9 @@
 //! Turns an ideal [`PathSpec`] into a concrete noisy [`Gesture`].
 
 use grandma_geom::{Gesture, Point};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 use crate::path_spec::PathSpec;
-use crate::rng::normal;
+use crate::rng::{normal, SynthRng};
 use crate::variation::Variation;
 
 /// A generated gesture plus its ground truth.
@@ -35,7 +33,7 @@ pub struct SynthesizedGesture {
 ///
 /// Panics if the spec has fewer than two vertices (prevented by
 /// [`crate::PathBuilder::build`]).
-pub fn synthesize(spec: &PathSpec, variation: &Variation, rng: &mut StdRng) -> SynthesizedGesture {
+pub fn synthesize(spec: &PathSpec, variation: &Variation, rng: &mut SynthRng) -> SynthesizedGesture {
     // Per-example global transform.
     let scale = (variation.size * normal(rng, 1.0, variation.size_sigma)).max(variation.size * 0.2);
     let theta = normal(rng, 0.0, variation.rotation_sigma);
@@ -65,7 +63,7 @@ pub fn synthesize(spec: &PathSpec, variation: &Variation, rng: &mut StdRng) -> S
         let corner_slot = spec.corners.iter().position(|&c| c == i);
         let is_interior = i > 0 && i + 1 < base.len();
         if let (Some(slot), true) = (corner_slot, is_interior) {
-            let do_loop = rng.gen::<f64>() < variation.corner_loop_prob;
+            let do_loop = rng.gen_f64() < variation.corner_loop_prob;
             if do_loop {
                 let loop_pts = corner_loop(
                     base[i - 1],
@@ -228,7 +226,6 @@ mod tests {
     use super::*;
     use crate::path_spec::PathBuilder;
     use grandma_geom::total_turning;
-    use rand::SeedableRng;
 
     fn l_spec() -> PathSpec {
         PathBuilder::start(0.0, 0.0)
@@ -240,7 +237,7 @@ mod tests {
 
     #[test]
     fn noiseless_sampling_is_exact() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SynthRng::seed_from_u64(1);
         let s = synthesize(&l_spec(), &Variation::noiseless(), &mut rng);
         let g = &s.gesture;
         // 60 px per side, 4 px steps: 31 samples (0..=120 by 4).
@@ -253,7 +250,7 @@ mod tests {
 
     #[test]
     fn corner_points_mark_the_turn() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SynthRng::seed_from_u64(1);
         let s = synthesize(&l_spec(), &Variation::noiseless(), &mut rng);
         assert_eq!(s.corner_points.len(), 1);
         // Corner at arc 60 of 120; sample index 15 (0-based) → count 16.
@@ -265,8 +262,8 @@ mod tests {
     fn same_seed_reproduces_identical_gestures() {
         let spec = l_spec();
         let v = Variation::standard();
-        let a = synthesize(&spec, &v, &mut StdRng::seed_from_u64(77));
-        let b = synthesize(&spec, &v, &mut StdRng::seed_from_u64(77));
+        let a = synthesize(&spec, &v, &mut SynthRng::seed_from_u64(77));
+        let b = synthesize(&spec, &v, &mut SynthRng::seed_from_u64(77));
         assert_eq!(a.gesture, b.gesture);
         assert_eq!(a.corner_points, b.corner_points);
     }
@@ -275,14 +272,14 @@ mod tests {
     fn different_seeds_differ() {
         let spec = l_spec();
         let v = Variation::standard();
-        let a = synthesize(&spec, &v, &mut StdRng::seed_from_u64(1));
-        let b = synthesize(&spec, &v, &mut StdRng::seed_from_u64(2));
+        let a = synthesize(&spec, &v, &mut SynthRng::seed_from_u64(1));
+        let b = synthesize(&spec, &v, &mut SynthRng::seed_from_u64(2));
         assert_ne!(a.gesture, b.gesture);
     }
 
     #[test]
     fn timestamps_are_strictly_increasing() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SynthRng::seed_from_u64(3);
         let s = synthesize(&l_spec(), &Variation::standard(), &mut rng);
         for w in s.gesture.points().windows(2) {
             assert!(w[1].t > w[0].t);
@@ -292,7 +289,7 @@ mod tests {
     #[test]
     fn forced_corner_loop_reverses_apparent_turn() {
         let v = Variation::noiseless().with_corner_loops(1.0);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SynthRng::seed_from_u64(5);
         let looped = synthesize(&l_spec(), &v, &mut rng);
         assert_eq!(looped.looped_corners, vec![0]);
         let plain = synthesize(&l_spec(), &Variation::noiseless(), &mut rng);
@@ -312,13 +309,13 @@ mod tests {
 
     #[test]
     fn looped_corner_point_comes_after_plain_corner_point() {
-        let mut rng1 = StdRng::seed_from_u64(5);
+        let mut rng1 = SynthRng::seed_from_u64(5);
         let looped = synthesize(
             &l_spec(),
             &Variation::noiseless().with_corner_loops(1.0),
             &mut rng1,
         );
-        let mut rng2 = StdRng::seed_from_u64(5);
+        let mut rng2 = SynthRng::seed_from_u64(5);
         let plain = synthesize(&l_spec(), &Variation::noiseless(), &mut rng2);
         assert!(looped.corner_points[0] > plain.corner_points[0]);
     }
@@ -329,7 +326,7 @@ mod tests {
             jitter_sigma: 1.0,
             ..Variation::noiseless()
         };
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SynthRng::seed_from_u64(7);
         let s = synthesize(&l_spec(), &v, &mut rng);
         assert_eq!(s.gesture.len(), 31);
         // Path length grows a little with jitter but stays in the
@@ -344,7 +341,7 @@ mod tests {
             size_sigma: 0.3,
             ..Variation::noiseless()
         };
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SynthRng::seed_from_u64(11);
         let a = synthesize(&l_spec(), &v, &mut rng).gesture.path_length();
         let b = synthesize(&l_spec(), &v, &mut rng).gesture.path_length();
         assert!((a - b).abs() > 1.0, "sizes {a} vs {b} too similar");
@@ -355,7 +352,7 @@ mod tests {
         let circle = PathBuilder::start(1.0, 0.0)
             .arc(0.0, 0.0, 1.0, 0.0, 2.0 * std::f64::consts::PI, 48)
             .build();
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = SynthRng::seed_from_u64(13);
         let s = synthesize(&circle, &Variation::noiseless(), &mut rng);
         // Total turning of a closed circle is ±2π.
         let t = total_turning(s.gesture.points()).abs();

@@ -1,5 +1,8 @@
-//! Property-based tests for the dispatch layer: arbitrary event streams
+//! Property-style tests for the dispatch layer: arbitrary event streams
 //! must never wedge the interface, and the grab discipline must hold.
+//!
+//! Plain `#[test]` loops over a seeded xorshift generator (the build
+//! environment is offline, so no proptest).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -9,7 +12,30 @@ use grandma_geom::BBox;
 use grandma_toolkit::{
     handler_ref, Ctx, DragHandler, EventHandler, HandlerResult, Interface, ViewStore,
 };
-use proptest::prelude::*;
+
+/// Tiny deterministic PRNG (xorshift64*) for generating test cases.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Ev {
@@ -19,14 +45,15 @@ enum Ev {
     Timeout(f64, f64),
 }
 
-fn ev_strategy() -> impl Strategy<Value = Ev> {
-    let xy = (-50.0f64..150.0, -50.0f64..150.0);
-    prop_oneof![
-        xy.clone().prop_map(|(x, y)| Ev::Down(x, y)),
-        xy.clone().prop_map(|(x, y)| Ev::Move(x, y)),
-        xy.clone().prop_map(|(x, y)| Ev::Up(x, y)),
-        xy.prop_map(|(x, y)| Ev::Timeout(x, y)),
-    ]
+fn random_ev(rng: &mut TestRng) -> Ev {
+    let x = rng.range(-50.0, 150.0);
+    let y = rng.range(-50.0, 150.0);
+    match rng.usize_in(0, 4) {
+        0 => Ev::Down(x, y),
+        1 => Ev::Move(x, y),
+        2 => Ev::Up(x, y),
+        _ => Ev::Timeout(x, y),
+    }
 }
 
 fn to_input(ev: &Ev, t: f64) -> InputEvent {
@@ -71,32 +98,56 @@ impl EventHandler for Tap {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn arbitrary_event_streams_never_panic(events in proptest::collection::vec(ev_strategy(), 0..80)) {
+#[test]
+fn arbitrary_event_streams_never_panic() {
+    let mut rng = TestRng::new(0x7001);
+    for _ in 0..128 {
+        let n = rng.usize_in(0, 80);
+        let events: Vec<Ev> = (0..n).map(|_| random_ev(&mut rng)).collect();
         let mut interface = Interface::new();
-        let view = interface.views_mut().add_view("Shape", BBox::from_corners(0.0, 0.0, 60.0, 60.0));
+        let view = interface
+            .views_mut()
+            .add_view("Shape", BBox::from_corners(0.0, 0.0, 60.0, 60.0));
         let _ = view;
         interface.attach_class_handler("Shape", handler_ref(DragHandler::new(Button::Left)));
         for (i, ev) in events.iter().enumerate() {
             interface.dispatch(&to_input(ev, i as f64 * 10.0));
         }
         // Views remain valid afterwards.
-        prop_assert!(!interface.views().is_empty());
+        assert!(!interface.views().is_empty());
         let bounds = interface.views().iter().next().unwrap().bounds;
-        prop_assert!(bounds.min_x.is_finite() && bounds.max_y.is_finite());
+        assert!(bounds.min_x.is_finite() && bounds.max_y.is_finite());
     }
+}
 
-    #[test]
-    fn grab_routes_a_whole_interaction_to_one_handler(events in proptest::collection::vec(ev_strategy(), 1..60)) {
+#[test]
+fn grab_routes_a_whole_interaction_to_one_handler() {
+    let mut rng = TestRng::new(0x7002);
+    for _ in 0..128 {
+        let n = rng.usize_in(1, 60);
+        let events: Vec<Ev> = (0..n).map(|_| random_ev(&mut rng)).collect();
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut interface = Interface::new();
-        let a = interface.views_mut().add_view("A", BBox::from_corners(0.0, 0.0, 60.0, 60.0));
-        let b = interface.views_mut().add_view("B", BBox::from_corners(70.0, 0.0, 140.0, 60.0));
-        interface.attach_view_handler(a, handler_ref(Tap { tag: 1, log: log.clone() }));
-        interface.attach_view_handler(b, handler_ref(Tap { tag: 2, log: log.clone() }));
+        let a = interface
+            .views_mut()
+            .add_view("A", BBox::from_corners(0.0, 0.0, 60.0, 60.0));
+        let b = interface
+            .views_mut()
+            .add_view("B", BBox::from_corners(70.0, 0.0, 140.0, 60.0));
+        interface.attach_view_handler(
+            a,
+            handler_ref(Tap {
+                tag: 1,
+                log: log.clone(),
+            }),
+        );
+        interface.attach_view_handler(
+            b,
+            handler_ref(Tap {
+                tag: 2,
+                log: log.clone(),
+            }),
+        );
         for (i, ev) in events.iter().enumerate() {
             interface.dispatch(&to_input(ev, i as f64 * 10.0));
         }
@@ -110,34 +161,41 @@ proptest! {
                     // A second down during a grab stays with the grab
                     // owner; otherwise it opens a new interaction.
                     match current {
-                        Some(owner) => prop_assert_eq!(owner, tag, "down leaked from a grab"),
+                        Some(owner) => assert_eq!(owner, tag, "down leaked from a grab"),
                         None => current = Some(tag),
                     }
                 }
                 EventKind::MouseUp { .. } => {
                     if let Some(owner) = current {
-                        prop_assert_eq!(owner, tag, "up went to the wrong handler");
+                        assert_eq!(owner, tag, "up went to the wrong handler");
                     }
                     current = None;
                 }
                 _ => {
                     if let Some(owner) = current {
-                        prop_assert_eq!(owner, tag, "mid-interaction event leaked");
+                        assert_eq!(owner, tag, "mid-interaction event leaked");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn pick_respects_view_bounds(x in -50.0f64..150.0, y in -50.0f64..150.0) {
+#[test]
+fn pick_respects_view_bounds() {
+    let mut rng = TestRng::new(0x7003);
+    for _ in 0..256 {
+        let x = rng.range(-50.0, 150.0);
+        let y = rng.range(-50.0, 150.0);
         let mut interface = Interface::new();
-        let v = interface.views_mut().add_view("Shape", BBox::from_corners(0.0, 0.0, 60.0, 60.0));
+        let v = interface
+            .views_mut()
+            .add_view("Shape", BBox::from_corners(0.0, 0.0, 60.0, 60.0));
         let picked = interface.views().pick(x, y);
         let inside = (0.0..=60.0).contains(&x) && (0.0..=60.0).contains(&y);
-        prop_assert_eq!(picked.is_some(), inside);
+        assert_eq!(picked.is_some(), inside);
         if let Some(id) = picked {
-            prop_assert_eq!(id, v);
+            assert_eq!(id, v);
         }
     }
 }

@@ -15,11 +15,9 @@ use std::rc::Rc;
 use grandma::core::{EagerConfig, EagerRecognizer, FeatureMask};
 use grandma::events::{gesture_events, Button, DwellDetector};
 use grandma::sem::{obj_ref, Expr, GestureSemantics, SemError, SemObject, Value};
-use grandma::synth::{synthesize, PathBuilder, Variation};
+use grandma::synth::{synthesize, PathBuilder, SynthRng, Variation};
 use grandma::toolkit::{GestureClass, GestureHandler, GestureHandlerConfig, HandlerRef, Interface};
 use grandma_geom::Gesture;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// The application state, shared between the semantic object and `main`.
 #[derive(Default)]
@@ -96,7 +94,7 @@ fn main() {
 
     // 2. Synthesize training data (in a real application these would be
     //    examples drawn by the user — "gesture recognizers automated").
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SynthRng::seed_from_u64(99);
     let variation = Variation::standard();
     let training: Vec<Vec<Gesture>> = specs
         .iter()
@@ -159,7 +157,7 @@ fn main() {
     interface.attach_root_handler(handler_dyn);
 
     // 5. Replay one gesture of each kind.
-    let mut rng = StdRng::seed_from_u64(1234);
+    let mut rng = SynthRng::seed_from_u64(1234);
     for (name, spec) in &specs {
         let gesture = synthesize(spec, &variation, &mut rng).gesture;
         let mut dwell = DwellDetector::paper_default();

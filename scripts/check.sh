@@ -1,0 +1,24 @@
+#!/bin/sh
+# Repo gate: build, test, lint. Run before every commit.
+#
+# Works fully offline. Clippy is skipped (with a warning) when the
+# component is not installed, so the gate degrades gracefully on
+# minimal toolchains.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --workspace --release =="
+cargo build --workspace --release
+
+echo "== cargo test --workspace (quiet) =="
+cargo test --workspace -q
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy --workspace --all-targets =="
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "warning: clippy not installed; skipping lint" >&2
+fi
+
+echo "check.sh: all green"
