@@ -19,6 +19,7 @@
 //!   training.
 
 use std::borrow::Borrow;
+use std::cmp::Ordering;
 use std::fmt;
 
 use grandma_geom::Gesture;
@@ -327,16 +328,25 @@ impl LinearClassifier {
 
     /// Classifies a feature vector.
     ///
+    /// Never panics on NaN: evaluations are compared with `total_cmp`, so
+    /// a corrupted feature vector yields a deterministic (if meaningless)
+    /// argmax. Callers on untrusted input should prefer
+    /// [`LinearClassifier::classify_checked`], which turns non-finite
+    /// input into an explicit rejection instead.
+    ///
     /// # Panics
     ///
     /// Panics if `features` has the wrong dimension.
     pub fn classify(&self, features: &Vector) -> Classification {
         let evaluations = self.evaluate(features);
-        let (class, &best) = evaluations
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite evaluations"))
-            .expect("at least one class");
+        let mut class = 0;
+        let mut best = f64::NEG_INFINITY;
+        for (i, &v) in evaluations.iter().enumerate() {
+            if v.total_cmp(&best) == Ordering::Greater && !v.is_nan() {
+                class = i;
+                best = v;
+            }
+        }
         // P̂(correct) = 1 / Σ_j e^{v_j − v_best}; subtracting the max keeps
         // the exponentials bounded.
         let denom: f64 = evaluations.iter().map(|v| (v - best).exp()).sum();
@@ -348,6 +358,32 @@ impl LinearClassifier {
             evaluations,
             probability,
             mahalanobis_squared,
+        }
+    }
+
+    /// Classifies a feature vector with explicit rejection of degenerate
+    /// input: returns `None` when the features — or any resulting linear
+    /// evaluation — are non-finite, instead of letting NaN flow through
+    /// the argmax. This is the classify-time path the hardened interaction
+    /// pipeline uses ([`crate::EagerSession`], the toolkit's gesture
+    /// handler).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong dimension.
+    pub fn classify_checked(&self, features: &Vector) -> Option<Classification> {
+        if !features.is_finite() {
+            return None;
+        }
+        let classification = self.classify(features);
+        if classification
+            .evaluations
+            .iter()
+            .all(|v| v.is_finite())
+        {
+            Some(classification)
+        } else {
+            None
         }
     }
 
@@ -483,6 +519,19 @@ impl Classifier {
     /// uses this to avoid re-walking the points).
     pub fn classify_features(&self, features: &Vector) -> Classification {
         self.linear.classify(features)
+    }
+
+    /// Classifies a gesture, returning `None` instead of a garbage argmax
+    /// when the extracted features are non-finite (degenerate or corrupted
+    /// input). See [`LinearClassifier::classify_checked`].
+    pub fn classify_checked(&self, gesture: &Gesture) -> Option<Classification> {
+        self.linear
+            .classify_checked(&FeatureExtractor::extract(gesture, &self.mask))
+    }
+
+    /// Checked variant of [`Classifier::classify_features`].
+    pub fn classify_features_checked(&self, features: &Vector) -> Option<Classification> {
+        self.linear.classify_checked(features)
     }
 
     /// Returns the feature mask used at training time.
@@ -682,5 +731,42 @@ mod tests {
         let best = cls.evaluations[cls.class];
         let denom: f64 = cls.evaluations.iter().map(|v| (v - best).exp()).sum();
         assert!((cls.probability - 1.0 / denom).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_features_never_panic_plain_classify() {
+        let data = four_direction_training();
+        let c = Classifier::train(&data, &FeatureMask::all()).unwrap();
+        let mut features = vec![0.0; c.linear().dimension()];
+        features[0] = f64::NAN;
+        features[3] = f64::INFINITY;
+        // The unchecked path must stay panic-free and return a valid index.
+        let cls = c.classify_features(&Vector::from_vec(features));
+        assert!(cls.class < c.num_classes());
+    }
+
+    #[test]
+    fn checked_classify_rejects_non_finite_features() {
+        let data = four_direction_training();
+        let c = Classifier::train(&data, &FeatureMask::all()).unwrap();
+        let mut features = vec![0.0; c.linear().dimension()];
+        features[5] = f64::NAN;
+        assert!(c.classify_features_checked(&Vector::from_vec(features)).is_none());
+        // A clean vector still classifies, and agrees with the unchecked path.
+        let good = FeatureExtractor::extract(&stroke(1.0, 0.0, 0.1), &FeatureMask::all());
+        let checked = c.classify_features_checked(&good).unwrap();
+        assert_eq!(checked.class, c.classify_features(&good).class);
+    }
+
+    #[test]
+    fn checked_classify_rejects_gesture_with_non_finite_points() {
+        let data = four_direction_training();
+        let c = Classifier::train(&data, &FeatureMask::all()).unwrap();
+        let g = Gesture::from_points(vec![
+            Point::new(0.0, 0.0, 0.0),
+            Point::new(f64::NAN, 4.0, 10.0),
+            Point::new(8.0, 8.0, 20.0),
+        ]);
+        assert!(c.classify_checked(&g).is_none());
     }
 }

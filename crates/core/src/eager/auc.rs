@@ -192,7 +192,15 @@ impl Auc {
 
     /// Slice variant of [`Auc::is_unambiguous`] — the zero-allocation form
     /// the per-point session uses.
+    ///
+    /// A non-finite feature vector is never unambiguous: corrupted input
+    /// must not trigger the eager collection→manipulation transition, so
+    /// NaN/infinite features short-circuit to `false` instead of flowing
+    /// through the argmax.
     pub fn is_unambiguous_slice(&self, features: &[f64]) -> bool {
+        if features.iter().any(|v| !v.is_finite()) {
+            return false;
+        }
         self.classify_kind_slice(features).is_complete()
     }
 
@@ -299,6 +307,22 @@ mod tests {
                 "incomplete prefix {:?} judged unambiguous",
                 (r.class, r.example, r.prefix_len)
             );
+        }
+    }
+
+    #[test]
+    fn non_finite_features_are_never_unambiguous() {
+        let (full, _, auc, _) = pipeline();
+        let dim = full.linear().dimension();
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for slot in 0..dim {
+                let mut features = vec![0.5; dim];
+                features[slot] = poison;
+                assert!(
+                    !auc.is_unambiguous_slice(&features),
+                    "corrupt feature ({poison}) in slot {slot} must not fire eagerly"
+                );
+            }
         }
     }
 

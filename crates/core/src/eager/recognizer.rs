@@ -147,6 +147,14 @@ impl EagerRecognizer {
         self.full.classify(gesture)
     }
 
+    /// Checked variant of [`EagerRecognizer::classify_full`]: `None` when
+    /// the gesture's features are non-finite (corrupted or degenerate
+    /// input) instead of a garbage argmax. See
+    /// [`Classifier::classify_checked`].
+    pub fn classify_full_checked(&self, gesture: &Gesture) -> Option<Classification> {
+        self.full.classify_checked(gesture)
+    }
+
     /// Returns the underlying full classifier.
     pub fn full_classifier(&self) -> &Classifier {
         &self.full
@@ -182,7 +190,9 @@ impl EagerRecognizer {
     ///
     /// # Panics
     ///
-    /// Panics if the gesture is empty.
+    /// Panics if the gesture is empty or contains no finite points
+    /// (non-finite points are dropped by [`EagerSession::feed`]). Untrusted
+    /// streams should go through a session and [`EagerSession::finish_checked`].
     pub fn run(&self, gesture: &Gesture) -> EagerRun {
         assert!(!gesture.is_empty(), "cannot run on an empty gesture");
         let mut session = self.session();
@@ -231,7 +241,16 @@ impl EagerSession<'_> {
     /// Consumes one mouse point. Returns `Some(class)` at the moment the
     /// prefix first becomes unambiguous, `None` otherwise (including on
     /// every point after the decision).
+    ///
+    /// Non-finite points (NaN/infinite coordinates or timestamps) are
+    /// dropped without touching the running feature state: a single
+    /// corrupted sample would otherwise poison every cumulative feature
+    /// for the rest of the gesture. Dropped points do not count toward
+    /// [`EagerSession::points_seen`].
     pub fn feed(&mut self, p: Point) -> Option<usize> {
+        if !p.is_finite() {
+            return None;
+        }
         self.extractor.update(p);
         if self.decided.is_some() {
             return None;
@@ -263,6 +282,29 @@ impl EagerSession<'_> {
         }
         self.extractor
             .masked_features_into(self.recognizer.full.mask(), &mut self.features_buf);
+        let class = self.recognizer.full.linear().best_class(&self.features_buf);
+        self.decided = Some(class);
+        self.decided_at = Some(self.extractor.count());
+        Some(class)
+    }
+
+    /// Checked variant of [`EagerSession::finish`]: additionally returns
+    /// `None` when the full-gesture features come out non-finite (a
+    /// degenerate gesture that survived point-level filtering, e.g. one
+    /// whose span overflows). The hardened interaction pipeline maps this
+    /// to an explicit `Rejected` outcome instead of trusting a NaN argmax.
+    pub fn finish_checked(&mut self) -> Option<usize> {
+        if let Some(class) = self.decided {
+            return Some(class);
+        }
+        if self.extractor.count() == 0 {
+            return None;
+        }
+        self.extractor
+            .masked_features_into(self.recognizer.full.mask(), &mut self.features_buf);
+        if self.features_buf.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
         let class = self.recognizer.full.linear().best_class(&self.features_buf);
         self.decided = Some(class);
         self.decided_at = Some(self.extractor.count());
@@ -410,6 +452,75 @@ mod tests {
         }
         let class = session.finish().expect("classifies at mouse-up");
         assert!(class == 0 || class == 1, "prefix belongs to class 0 or 1");
+    }
+
+    #[test]
+    fn feed_drops_non_finite_points_without_poisoning_features() {
+        let (rec, _) = trained();
+        let g = two_segment((1.0, 0.0), (0.0, 1.0), 0.23);
+        // Interleave corrupted samples into the clean stream: the session
+        // must reach the same decision as the clean run.
+        let clean = rec.run(&g);
+        let mut session = rec.session();
+        let mut fired = None;
+        for &p in g.points() {
+            for bad in [
+                Point::new(f64::NAN, p.y, p.t),
+                Point::new(p.x, f64::INFINITY, p.t),
+                Point::new(p.x, p.y, f64::NAN),
+            ] {
+                assert!(session.feed(bad).is_none());
+            }
+            if let Some(c) = session.feed(p) {
+                fired.get_or_insert((c, session.points_seen()));
+            }
+        }
+        let (class, at) = fired.expect("still fires on the clean samples");
+        assert_eq!(class, clean.class);
+        assert_eq!(at, clean.points_at_recognition);
+    }
+
+    #[test]
+    fn all_non_finite_stream_finishes_as_none() {
+        let (rec, _) = trained();
+        let mut session = rec.session();
+        for i in 0..20 {
+            let p = Point::new(f64::NAN, f64::INFINITY, i as f64 * 10.0);
+            assert!(session.feed(p).is_none());
+        }
+        assert_eq!(session.points_seen(), 0);
+        assert_eq!(session.finish(), None);
+        assert_eq!(session.finish_checked(), None);
+    }
+
+    #[test]
+    fn finish_checked_matches_finish_on_clean_input() {
+        let (rec, _) = trained();
+        let prefix = two_segment((1.0, 0.0), (0.0, 1.0), 0.2)
+            .subgesture(8)
+            .unwrap();
+        let mut a = rec.session();
+        let mut b = rec.session();
+        for &p in prefix.points() {
+            a.feed(p);
+            b.feed(p);
+        }
+        assert_eq!(a.finish(), b.finish_checked());
+    }
+
+    #[test]
+    fn classify_full_checked_rejects_corrupt_gestures() {
+        let (rec, _) = trained();
+        let good = two_segment((1.0, 0.0), (0.0, 1.0), 0.23);
+        assert_eq!(
+            rec.classify_full_checked(&good).map(|c| c.class),
+            Some(rec.classify_full(&good).class)
+        );
+        let bad = Gesture::from_points(vec![
+            Point::new(0.0, 0.0, 0.0),
+            Point::new(f64::NAN, 1.0, 10.0),
+        ]);
+        assert!(rec.classify_full_checked(&bad).is_none());
     }
 
     #[test]

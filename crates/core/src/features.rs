@@ -532,6 +532,67 @@ mod tests {
     }
 
     #[test]
+    fn single_point_gesture_yields_finite_features() {
+        let g = Gesture::from_points(vec![Point::new(3.0, -7.0, 42.0)]);
+        let f = extract_full(&g);
+        assert!(f.iter().all(|v| v.is_finite()), "features {f:?}");
+        // No extent, no motion, no elapsed time.
+        assert_eq!(f[2], 0.0);
+        assert_eq!(f[7], 0.0);
+        assert_eq!(f[11], 0.0);
+        assert_eq!(f[12], 0.0);
+    }
+
+    #[test]
+    fn all_identical_points_yield_finite_features() {
+        // A "gesture" that never moves: every normalized-direction feature
+        // is undefined geometry and must fall back to zero, not NaN.
+        let g = Gesture::from_points(vec![Point::new(5.0, 5.0, 10.0 * 0.0); 6]);
+        let f = extract_full(&g);
+        assert!(f.iter().all(|v| v.is_finite()), "features {f:?}");
+        assert_eq!(f[0], 0.0);
+        assert_eq!(f[1], 0.0);
+        assert_eq!(f[5], 0.0);
+        assert_eq!(f[6], 0.0);
+    }
+
+    #[test]
+    fn zero_duration_gesture_never_produces_nan_speed() {
+        // All points share one timestamp: dt = 0 on every segment. The
+        // speed feature must not divide by zero.
+        let g = Gesture::from_points(vec![
+            Point::new(0.0, 0.0, 100.0),
+            Point::new(10.0, 0.0, 100.0),
+            Point::new(20.0, 5.0, 100.0),
+        ]);
+        let f = extract_full(&g);
+        assert!(f.iter().all(|v| v.is_finite()), "features {f:?}");
+        assert_eq!(f[11], 0.0, "zero-duration motion has no defined speed");
+        assert_eq!(f[12], 0.0);
+        // Geometry features still work.
+        assert!(f[7] > 0.0);
+    }
+
+    #[test]
+    fn degenerate_gestures_classify_or_reject_without_nan() {
+        // End-to-end: degenerate-but-finite gestures must either classify
+        // (finite features) or reject via the checked path — never panic,
+        // never emit NaN.
+        let degenerates = [
+            Gesture::from_points(vec![Point::new(1.0, 2.0, 3.0)]),
+            Gesture::from_points(vec![Point::new(4.0, 4.0, 0.0); 5]),
+            Gesture::from_points(vec![
+                Point::new(0.0, 0.0, 50.0),
+                Point::new(6.0, 8.0, 50.0),
+            ]),
+        ];
+        for g in &degenerates {
+            let v = FeatureExtractor::extract(g, &FeatureMask::all());
+            assert!(v.is_finite(), "degenerate gesture produced {v:?}");
+        }
+    }
+
+    #[test]
     fn duration_and_speed() {
         let g = Gesture::from_points(vec![
             Point::new(0.0, 0.0, 0.0),

@@ -32,6 +32,11 @@ pub struct DwellDetector {
     timeout_ms: f64,
     movement_threshold: f64,
     button_down: bool,
+    /// Monotonic clock: the maximum finite timestamp seen so far. Events
+    /// with NaN or backwards timestamps never move it, so a warped clock
+    /// can neither synthesize a spurious timeout nor produce a negative
+    /// dwell (see the monotonicity contract on [`InputEvent`]).
+    clock: Option<f64>,
     last_move: Option<(f64, f64, f64)>,
     fired_since_move: bool,
 }
@@ -45,6 +50,7 @@ impl DwellDetector {
             timeout_ms,
             movement_threshold,
             button_down: false,
+            clock: None,
             last_move: None,
             fired_since_move: false,
         }
@@ -55,13 +61,32 @@ impl DwellDetector {
         Self::new(200.0, 3.0)
     }
 
+    /// Records a significant-movement anchor, but only when both the
+    /// position and the clock are finite — a dwell can only be measured
+    /// from a well-defined point in space and time.
+    fn arm(&mut self, x: f64, y: f64) {
+        if let Some(clock) = self.clock {
+            if x.is_finite() && y.is_finite() {
+                self.last_move = Some((x, y, clock));
+                self.fired_since_move = false;
+            }
+        }
+    }
+
     /// Processes one event; returns any `Timeout` events that must be
     /// delivered before it.
     pub fn process(&mut self, event: &InputEvent) -> Vec<InputEvent> {
+        // Advance the monotonic clock. Non-finite timestamps are ignored;
+        // backwards timestamps leave it in place.
+        if event.t.is_finite() {
+            self.clock = Some(self.clock.map_or(event.t, |c| c.max(event.t)));
+        }
         let mut fired = Vec::new();
         if self.button_down && !self.fired_since_move {
-            if let Some((x, y, t)) = self.last_move {
-                if event.t - t >= self.timeout_ms {
+            if let (Some((x, y, t)), Some(clock)) = (self.last_move, self.clock) {
+                // clock and t are both finite by construction, so the gap
+                // is a well-defined non-negative duration.
+                if clock - t >= self.timeout_ms {
                     fired.push(InputEvent::new(
                         EventKind::Timeout,
                         x,
@@ -75,22 +100,24 @@ impl DwellDetector {
         match event.kind {
             EventKind::MouseDown { .. } => {
                 self.button_down = true;
-                self.last_move = Some((event.x, event.y, event.t));
+                self.last_move = None;
                 self.fired_since_move = false;
+                self.arm(event.x, event.y);
             }
             EventKind::MouseMove => {
                 if let Some((x, y, _)) = self.last_move {
                     let dx = event.x - x;
                     let dy = event.y - y;
+                    // A NaN distance compares false: corrupted positions
+                    // count as jitter, not movement.
                     if (dx * dx + dy * dy).sqrt() >= self.movement_threshold {
-                        self.last_move = Some((event.x, event.y, event.t));
-                        self.fired_since_move = false;
+                        self.arm(event.x, event.y);
                     }
                 } else {
-                    self.last_move = Some((event.x, event.y, event.t));
+                    self.arm(event.x, event.y);
                 }
             }
-            EventKind::MouseUp { .. } => {
+            EventKind::MouseUp { .. } | EventKind::GrabBreak => {
                 self.button_down = false;
                 self.last_move = None;
                 self.fired_since_move = false;
@@ -242,6 +269,101 @@ mod tests {
     fn no_timeout_after_button_up() {
         let mut d = DwellDetector::paper_default();
         let stream = [down(0.0, 0.0, 0.0), up(0.0, 0.0, 50.0), mv(0.0, 0.0, 500.0)];
+        let expanded = d.expand(&stream);
+        assert!(expanded.iter().all(|e| e.kind != EventKind::Timeout));
+    }
+
+    #[test]
+    fn backwards_clock_cannot_synthesize_a_timeout() {
+        // The clock warps back after the down: the re-armed anchor must
+        // not be measured against the stale (larger) earlier time, and the
+        // backwards jump itself must not read as a 1000 ms stall.
+        let mut d = DwellDetector::paper_default();
+        let stream = [
+            down(0.0, 0.0, 1000.0),
+            mv(10.0, 0.0, 100.0),  // clock warped backwards
+            mv(20.0, 0.0, 1100.0), // 100 ms after the down in real time
+        ];
+        let expanded = d.expand(&stream);
+        assert!(
+            expanded.iter().all(|e| e.kind != EventKind::Timeout),
+            "backwards clock synthesized a spurious timeout: {expanded:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_timestamps_do_not_fire_spuriously() {
+        let mut d = DwellDetector::paper_default();
+        let stream = [
+            down(0.0, 0.0, 50.0),
+            mv(10.0, 0.0, 50.0),
+            mv(20.0, 0.0, 50.0),
+            mv(30.0, 0.0, 50.0),
+        ];
+        let expanded = d.expand(&stream);
+        assert!(expanded.iter().all(|e| e.kind != EventKind::Timeout));
+    }
+
+    #[test]
+    fn genuine_stall_still_fires_despite_earlier_warp() {
+        let mut d = DwellDetector::paper_default();
+        let stream = [
+            down(0.0, 0.0, 1000.0),
+            mv(10.0, 0.0, 100.0),   // warp backwards (ignored by the clock)
+            mv(20.0, 0.0, 1050.0),  // real movement re-arms at clock 1050
+            mv(20.5, 0.0, 1300.0),  // 250 ms genuinely still
+        ];
+        let expanded = d.expand(&stream);
+        let timeouts: Vec<&InputEvent> = expanded
+            .iter()
+            .filter(|e| e.kind == EventKind::Timeout)
+            .collect();
+        assert_eq!(timeouts.len(), 1);
+        assert_eq!(timeouts[0].t, 1250.0);
+        assert!(timeouts[0].is_finite());
+    }
+
+    #[test]
+    fn nan_timestamps_neither_panic_nor_advance_the_clock() {
+        let mut d = DwellDetector::paper_default();
+        let stream = [
+            down(0.0, 0.0, 0.0),
+            mv(10.0, 0.0, f64::NAN),
+            mv(20.0, 0.0, f64::NAN),
+            mv(30.0, 0.0, 100.0),
+        ];
+        let expanded = d.expand(&stream);
+        assert!(expanded.iter().all(|e| e.kind != EventKind::Timeout));
+        assert!(expanded.iter().all(|e| e.t.is_nan() || e.t <= 100.0));
+    }
+
+    #[test]
+    fn nan_position_does_not_become_a_timeout_anchor() {
+        let mut d = DwellDetector::paper_default();
+        let stream = [
+            down(f64::NAN, 0.0, 0.0), // corrupt anchor: cannot arm
+            mv(10.0, 0.0, 50.0),      // finite movement arms here
+            mv(10.5, 0.0, 300.0),     // stall measured from t=50
+        ];
+        let expanded = d.expand(&stream);
+        let timeouts: Vec<&InputEvent> = expanded
+            .iter()
+            .filter(|e| e.kind == EventKind::Timeout)
+            .collect();
+        assert_eq!(timeouts.len(), 1);
+        assert!(timeouts[0].is_finite(), "timeout carries finite fields");
+        assert_eq!(timeouts[0].t, 250.0);
+        assert_eq!(timeouts[0].x, 10.0);
+    }
+
+    #[test]
+    fn grab_break_cancels_the_dwell() {
+        let mut d = DwellDetector::paper_default();
+        let stream = [
+            down(0.0, 0.0, 0.0),
+            InputEvent::new(EventKind::GrabBreak, 0.0, 0.0, 50.0),
+            mv(0.0, 0.0, 500.0), // long-still but no interaction
+        ];
         let expanded = d.expand(&stream);
         assert!(expanded.iter().all(|e| e.kind != EventKind::Timeout));
     }

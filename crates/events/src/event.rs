@@ -34,9 +34,31 @@ pub enum EventKind {
     /// for the configured period (the paper's 200 ms phase-transition
     /// trigger).
     Timeout,
+    /// The interaction was torn down by the input layer rather than the
+    /// user: the window-system grab broke, the stream lost its `MouseUp`,
+    /// or the sanitizer gave up on the interaction. Handlers must treat
+    /// this as a *cancellation* — abandon the interaction, run no
+    /// semantics, and return to idle. GRANDMA's X10 substrate faced the
+    /// same failure (server grabs break under load); this is the
+    /// deterministic replacement.
+    GrabBreak,
 }
 
 /// A timestamped input event at a position.
+///
+/// # Monotonicity contract
+///
+/// Consumers downstream of [`crate::EventSanitizer`] (the
+/// [`crate::DwellDetector`], the toolkit dispatcher, gesture handlers) may
+/// assume timestamps are **finite and non-decreasing** within a stream:
+/// `e[i+1].t >= e[i].t` for consecutive delivered events, with equal
+/// timestamps permitted (coalesced hardware reports). Raw device streams
+/// do *not* carry this guarantee — clocks warp backwards, NaN and infinite
+/// values appear in corrupted transport — so raw input must pass through
+/// the sanitizer first. Components below the sanitizer are nevertheless
+/// written defensively: a contract violation may degrade behaviour
+/// (dropped points, a cancelled interaction) but must never panic or
+/// synthesize spurious time (see `DwellDetector`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InputEvent {
     /// What happened.
@@ -45,7 +67,7 @@ pub struct InputEvent {
     pub x: f64,
     /// Pointer y position.
     pub y: f64,
-    /// Time in milliseconds.
+    /// Time in milliseconds. See the monotonicity contract above.
     pub t: f64,
 }
 
@@ -71,6 +93,22 @@ impl InputEvent {
             EventKind::MouseDown { button } | EventKind::MouseUp { button } => Some(button),
             _ => None,
         }
+    }
+
+    /// Returns `true` for `GrabBreak`.
+    pub fn is_grab_break(&self) -> bool {
+        self.kind == EventKind::GrabBreak
+    }
+
+    /// Returns `true` when the event ends an interaction for dispatch
+    /// purposes: a `MouseUp` or a `GrabBreak`.
+    pub fn ends_interaction(&self) -> bool {
+        self.is_up() || self.is_grab_break()
+    }
+
+    /// Returns `true` when every field (position and timestamp) is finite.
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.t.is_finite()
     }
 }
 
@@ -102,5 +140,30 @@ mod tests {
         assert!(!mv.is_down() && !mv.is_up());
         assert_eq!(down.button(), Some(Button::Left));
         assert_eq!(mv.button(), None);
+    }
+
+    #[test]
+    fn grab_break_ends_interactions() {
+        let brk = InputEvent::new(EventKind::GrabBreak, 1.0, 2.0, 3.0);
+        assert!(brk.is_grab_break());
+        assert!(brk.ends_interaction());
+        assert!(!brk.is_up());
+        let up = InputEvent::new(
+            EventKind::MouseUp {
+                button: Button::Left,
+            },
+            0.0,
+            0.0,
+            0.0,
+        );
+        assert!(up.ends_interaction());
+    }
+
+    #[test]
+    fn finiteness_checks_every_field() {
+        assert!(InputEvent::new(EventKind::MouseMove, 0.0, 0.0, 0.0).is_finite());
+        assert!(!InputEvent::new(EventKind::MouseMove, f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!InputEvent::new(EventKind::MouseMove, 0.0, f64::INFINITY, 0.0).is_finite());
+        assert!(!InputEvent::new(EventKind::MouseMove, 0.0, 0.0, f64::NEG_INFINITY).is_finite());
     }
 }

@@ -3,8 +3,10 @@
 //! GRANDMA ran against X10 on a MicroVAX; this crate is the documented
 //! substitution (DESIGN.md §2): timestamped mouse events, an ordered event
 //! queue, a dwell detector that synthesizes the paper's 200 ms
-//! "mouse kept still" timeout, and scripting helpers that turn gestures
-//! into replayable event streams. Everything is deterministic — time is
+//! "mouse kept still" timeout, an [`EventSanitizer`] that normalizes raw
+//! (possibly malformed) device streams and reports every repair as a typed
+//! [`StreamFault`], and scripting helpers that turn gestures into
+//! replayable event streams. Everything is deterministic — time is
 //! whatever the event timestamps say it is — so interaction tests replay
 //! exactly.
 //!
@@ -30,9 +32,11 @@
 mod dwell;
 mod event;
 mod queue;
+mod sanitize;
 mod script;
 
 pub use dwell::DwellDetector;
 pub use event::{Button, EventKind, InputEvent};
 pub use queue::EventQueue;
+pub use sanitize::{EventSanitizer, SanitizerConfig, StreamFault};
 pub use script::{gesture_events, gesture_events_with_hold, EventScript};

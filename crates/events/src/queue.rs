@@ -52,12 +52,15 @@ impl PartialOrd for Entry {
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest time (then the
-        // lowest sequence number) pops first.
+        // lowest sequence number) pops first. `total_cmp` gives a total
+        // order over *all* f64 values — NaN and infinities included — so a
+        // corrupted timestamp can never violate the heap's Ord invariants
+        // or panic. Under total_cmp, -inf < finite < +inf < NaN, so NaN
+        // timestamps simply pop last.
         other
             .event
             .t
-            .partial_cmp(&self.event.t)
-            .expect("finite timestamps")
+            .total_cmp(&self.event.t)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -142,6 +145,35 @@ mod tests {
         assert_eq!(q.peek().unwrap().t, 5.0);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn non_finite_timestamps_do_not_panic_and_order_totally() {
+        // Regression: Entry::cmp used partial_cmp().expect(), so a NaN
+        // timestamp could panic or (worse) corrupt the BinaryHeap's
+        // ordering invariants. total_cmp gives NaN a defined place: last.
+        let mut q = EventQueue::new();
+        for &t in &[f64::NAN, 20.0, f64::INFINITY, 10.0, f64::NEG_INFINITY, f64::NAN] {
+            q.push(mv(t));
+        }
+        let ts: Vec<f64> = q.drain_ordered().iter().map(|e| e.t).collect();
+        assert_eq!(ts.len(), 6);
+        assert_eq!(ts[0], f64::NEG_INFINITY);
+        assert_eq!(ts[1], 10.0);
+        assert_eq!(ts[2], 20.0);
+        assert_eq!(ts[3], f64::INFINITY);
+        assert!(ts[4].is_nan() && ts[5].is_nan());
+    }
+
+    #[test]
+    fn nan_timestamps_preserve_insertion_order_among_themselves() {
+        let mut q = EventQueue::new();
+        let a = InputEvent::new(EventKind::Timeout, 1.0, 0.0, f64::NAN);
+        let b = InputEvent::new(EventKind::MouseMove, 2.0, 0.0, f64::NAN);
+        q.push(a);
+        q.push(b);
+        assert_eq!(q.pop().map(|e| e.kind), Some(EventKind::Timeout));
+        assert_eq!(q.pop().map(|e| e.kind), Some(EventKind::MouseMove));
     }
 
     #[test]

@@ -48,13 +48,14 @@ pub fn gesture_events_with_hold(
             }
         }
     }
-    let last = points.last().expect("non-empty");
-    out.push(InputEvent::new(
-        EventKind::MouseUp { button },
-        last.x,
-        last.y,
-        last.t + shift + 1.0,
-    ));
+    if let Some(last) = points.last() {
+        out.push(InputEvent::new(
+            EventKind::MouseUp { button },
+            last.x,
+            last.y,
+            last.t + shift + 1.0,
+        ));
+    }
     out
 }
 

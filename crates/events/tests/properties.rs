@@ -161,7 +161,7 @@ fn dwell_timeouts_only_fire_with_button_down() {
                     }
                     last_sig = None;
                 }
-                EventKind::Timeout => {}
+                EventKind::Timeout | EventKind::GrabBreak => {}
             }
         }
         for e in expanded.iter().filter(|e| e.kind == EventKind::Timeout) {

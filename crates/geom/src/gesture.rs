@@ -169,7 +169,9 @@ impl Gesture {
                 seg += 1;
             }
         }
-        out.push(*self.points.last().expect("non-empty"));
+        if let Some(&last) = self.points.last() {
+            out.push(last);
+        }
         Gesture { points: out }
     }
 

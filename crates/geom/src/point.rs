@@ -37,6 +37,14 @@ impl Point {
         Self { x, y, t: 0.0 }
     }
 
+    /// Returns `true` when `x`, `y`, and `t` are all finite. Corrupted
+    /// device input (NaN/infinite fields) must be filtered before a point
+    /// reaches the feature extractor; this is the check collection paths
+    /// use.
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.t.is_finite()
+    }
+
     /// Returns the Euclidean distance to another point.
     pub fn distance(&self, other: &Point) -> f64 {
         let dx = other.x - self.x;

@@ -30,12 +30,14 @@
 //! ```
 
 pub mod datasets;
+mod fault;
 mod path_spec;
 mod rng;
 mod sampler;
 mod variation;
 
 pub use datasets::{Dataset, LabeledGesture};
+pub use fault::{FaultInjector, FaultInjectorConfig};
 pub use path_spec::{PathBuilder, PathSpec};
 pub use rng::{normal, SynthRng};
 pub use sampler::{synthesize, SynthesizedGesture};

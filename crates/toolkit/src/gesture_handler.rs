@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use grandma_core::{EagerRecognizer, FeatureExtractor, PointFilter};
-use grandma_events::{Button, EventKind, InputEvent};
+use grandma_events::{Button, EventKind, InputEvent, StreamFault};
 use grandma_geom::{Gesture, Point};
 use grandma_sem::{eval, GestureSemantics, SemError, Value};
 
@@ -41,6 +41,29 @@ pub enum PhaseTransition {
     /// The button was released first (transition 1; no manipulation
     /// phase).
     MouseUp,
+    /// No transition ever happened: the interaction was cancelled while
+    /// still collecting (grab break or fault budget exhausted).
+    Aborted,
+}
+
+/// The terminal state every gesture interaction reaches — exactly one of
+/// these per [`InteractionTrace`], no matter how malformed the event
+/// stream was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InteractionOutcome {
+    /// Classified at mouse-up; the manipulation phase was omitted.
+    Recognized,
+    /// Classified mid-gesture (eager or timeout) and the manipulation
+    /// phase ran to a clean mouse-up.
+    Manipulated,
+    /// Classification declined to act: estimated probability below
+    /// [`GestureHandlerConfig::min_probability`], or the collected
+    /// gesture's features were non-finite/degenerate.
+    Rejected,
+    /// The interaction was torn down without running its remaining
+    /// semantics: a [`EventKind::GrabBreak`] arrived, or the per-
+    /// interaction fault budget was exhausted.
+    Cancelled,
 }
 
 /// One gesture class the handler recognizes: its name plus its
@@ -88,6 +111,12 @@ pub struct GestureHandlerConfig {
     /// Optional rejection: minimum estimated probability for the
     /// classification to be acted upon.
     pub min_probability: Option<f64>,
+    /// Maximum number of stream faults tolerated within one interaction
+    /// (non-finite samples seen by the handler plus any faults reported
+    /// via [`GestureHandler::note_faults`]). Exceeding it cancels the
+    /// interaction: a corrupted-beyond-repair stream must not be
+    /// classified.
+    pub fault_budget: usize,
 }
 
 impl Default for GestureHandlerConfig {
@@ -98,6 +127,7 @@ impl Default for GestureHandlerConfig {
             min_point_distance: 3.0,
             over_background: true,
             min_probability: None,
+            fault_budget: 8,
         }
     }
 }
@@ -120,8 +150,30 @@ pub struct InteractionTrace {
     /// Semantic errors encountered (kept, not raised — an interaction
     /// must not wedge the interface).
     pub errors: Vec<SemError>,
+    /// The terminal state the interaction reached.
+    pub outcome: InteractionOutcome,
+    /// Stream faults observed during this interaction: non-finite samples
+    /// the handler skipped itself, plus anything the pipeline reported
+    /// through [`GestureHandler::note_faults`].
+    pub faults: Vec<StreamFault>,
 }
 
+/// The per-interaction session state machine.
+///
+/// ```text
+/// Idle ──down──▶ Collecting ──transition──▶ Manipulating ──up──▶ Idle
+///   ▲                │  │                       │    │
+///   │                │  └──up (recognize/reject at up)──────────▶ Idle
+///   │                └────grab-break / budget──▶ Draining ──end──┘
+///   └──────grab-break / budget (from Manipulating) via Draining───┘
+/// ```
+///
+/// `Draining` is the cancelled-but-still-grabbed state: the trace is
+/// final (outcome [`InteractionOutcome::Cancelled`] or
+/// [`InteractionOutcome::Rejected`]), no further semantics run, and the
+/// handler swallows events until one that
+/// [ends the interaction](InputEvent::ends_interaction) returns it to
+/// `Idle`. Every path terminates in `Idle`.
 enum State {
     Idle,
     Collecting {
@@ -136,6 +188,9 @@ enum State {
         attrs: HashMap<String, Value>,
         total_points: usize,
     },
+    Draining {
+        trace: InteractionTrace,
+    },
 }
 
 /// The gesture handler. Attach to a view, a view class, or the root
@@ -147,6 +202,9 @@ pub struct GestureHandler {
     config: GestureHandlerConfig,
     state: State,
     traces: Vec<InteractionTrace>,
+    /// Fault log of the interaction in progress; attached to its trace
+    /// when the interaction reaches a terminal state.
+    faults: Vec<StreamFault>,
 }
 
 impl GestureHandler {
@@ -174,6 +232,7 @@ impl GestureHandler {
             config,
             state: State::Idle,
             traces: Vec::new(),
+            faults: Vec::new(),
         }
     }
 
@@ -185,6 +244,106 @@ impl GestureHandler {
     /// Clears accumulated traces.
     pub fn clear_traces(&mut self) {
         self.traces.clear();
+    }
+
+    /// `true` while an interaction is in progress (any non-idle state,
+    /// including the cancelled-but-still-grabbed drain).
+    pub fn interaction_in_progress(&self) -> bool {
+        !matches!(self.state, State::Idle)
+    }
+
+    /// Reports stream faults (typically from an upstream
+    /// [`grandma_events::EventSanitizer`]) against the interaction in
+    /// progress. They are attached to the interaction's trace and count
+    /// toward [`GestureHandlerConfig::fault_budget`]; exhausting the
+    /// budget cancels the interaction. Faults reported while idle are
+    /// dropped — there is no interaction to charge them to.
+    pub fn note_faults(&mut self, faults: &[StreamFault]) {
+        if faults.is_empty() || matches!(self.state, State::Idle) {
+            return;
+        }
+        self.faults.extend_from_slice(faults);
+        self.enforce_fault_budget();
+    }
+
+    /// Records one handler-detected fault and applies the budget.
+    fn record_fault(&mut self, fault: StreamFault) {
+        self.faults.push(fault);
+        self.enforce_fault_budget();
+    }
+
+    /// Cancels the in-progress interaction when the fault budget is
+    /// exhausted: the trace becomes final with
+    /// [`InteractionOutcome::Cancelled`] and the handler drains the rest
+    /// of the grab.
+    fn enforce_fault_budget(&mut self) {
+        if self.faults.len() <= self.config.fault_budget {
+            return;
+        }
+        match std::mem::replace(&mut self.state, State::Idle) {
+            State::Idle => {}
+            State::Collecting { gesture, .. } => {
+                self.state = State::Draining {
+                    trace: Self::cancelled_trace(gesture.len()),
+                };
+            }
+            State::Manipulating {
+                mut trace,
+                total_points,
+                ..
+            } => {
+                trace.outcome = InteractionOutcome::Cancelled;
+                trace.total_points = total_points;
+                self.state = State::Draining { trace };
+            }
+            State::Draining { trace } => self.state = State::Draining { trace },
+        }
+    }
+
+    /// Cancels the in-progress interaction *now* (grab break or corrupted
+    /// ending event): the trace is finalized with
+    /// [`InteractionOutcome::Cancelled`] and the handler returns to idle.
+    fn cancel_interaction(&mut self) {
+        match std::mem::replace(&mut self.state, State::Idle) {
+            State::Idle => {}
+            State::Collecting { gesture, .. } => {
+                self.finish_interaction(Self::cancelled_trace(gesture.len()));
+            }
+            State::Manipulating {
+                mut trace,
+                total_points,
+                ..
+            } => {
+                trace.outcome = InteractionOutcome::Cancelled;
+                trace.total_points = total_points;
+                self.finish_interaction(trace);
+            }
+            State::Draining { trace } => self.finish_interaction(trace),
+        }
+    }
+
+    /// The trace of an interaction cancelled before any phase transition.
+    fn cancelled_trace(points: usize) -> InteractionTrace {
+        InteractionTrace {
+            class: None,
+            class_name: "?".to_string(),
+            transition: PhaseTransition::Aborted,
+            points_at_recognition: points,
+            total_points: points,
+            manip_evaluations: 0,
+            errors: Vec::new(),
+            outcome: InteractionOutcome::Cancelled,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Finalizes an interaction: attaches the fault log, records the
+    /// trace, and returns to idle. The single exit point of the state
+    /// machine.
+    fn finish_interaction(&mut self, mut trace: InteractionTrace) {
+        trace.faults = std::mem::take(&mut self.faults);
+        self.traces.push(trace);
+        self.state = State::Idle;
     }
 
     /// Builds the gestural attribute map at the moment of recognition.
@@ -243,6 +402,10 @@ impl GestureHandler {
 
     /// Performs the phase transition: classify, evaluate `recog`, move to
     /// the manipulation phase (unless the interaction already ended).
+    ///
+    /// Classification goes through the checked path: a gesture whose
+    /// features come out non-finite (corrupted or degenerate input) is
+    /// rejected explicitly rather than argmaxed over NaN.
     fn transition(
         &mut self,
         gesture: Gesture,
@@ -250,27 +413,55 @@ impl GestureHandler {
         trigger: PhaseTransition,
         ctx: &mut Ctx<'_>,
     ) {
-        let classification = self.recognizer.classify_full(&gesture);
-        let rejected = self
-            .config
-            .min_probability
-            .is_some_and(|p| classification.probability < p);
+        let classification = self.recognizer.classify_full_checked(&gesture);
+        let rejected = match &classification {
+            None => true,
+            Some(c) => self
+                .config
+                .min_probability
+                .is_some_and(|p| c.probability < p),
+        };
         let mut trace = InteractionTrace {
-            class: (!rejected).then_some(classification.class),
-            class_name: if rejected {
-                "?".to_string()
+            class: if rejected {
+                None
             } else {
-                self.classes[classification.class].name.clone()
+                classification.as_ref().map(|c| c.class)
+            },
+            class_name: match (&classification, rejected) {
+                (Some(c), false) => self.classes[c.class].name.clone(),
+                _ => "?".to_string(),
             },
             transition: trigger,
             points_at_recognition: gesture.len(),
             total_points: gesture.len(),
             manip_evaluations: 0,
             errors: Vec::new(),
+            outcome: if rejected {
+                InteractionOutcome::Rejected
+            } else if trigger == PhaseTransition::MouseUp {
+                InteractionOutcome::Recognized
+            } else {
+                InteractionOutcome::Manipulated
+            },
+            faults: Vec::new(),
+        };
+        let Some(classification) = classification else {
+            // Non-finite features: reject. The grab may still be live
+            // (eager/timeout trigger), so drain until the stream ends the
+            // interaction.
+            if trigger == PhaseTransition::MouseUp {
+                self.finish_interaction(trace);
+            } else {
+                self.state = State::Draining { trace };
+            }
+            return;
         };
         if rejected {
-            self.traces.push(trace);
-            self.state = State::Idle;
+            if trigger == PhaseTransition::MouseUp {
+                self.finish_interaction(trace);
+            } else {
+                self.state = State::Draining { trace };
+            }
             return;
         }
         let semantics = self.classes[classification.class].semantics.clone();
@@ -295,8 +486,7 @@ impl GestureHandler {
                 Ok(_) => {}
                 Err(e) => trace.errors.push(e),
             }
-            self.traces.push(trace);
-            self.state = State::Idle;
+            self.finish_interaction(trace);
         } else {
             self.state = State::Manipulating {
                 trace,
@@ -323,7 +513,53 @@ impl EventHandler for GestureHandler {
     }
 
     fn handle(&mut self, event: &InputEvent, ctx: &mut Ctx<'_>) -> HandlerResult {
+        let in_progress = !matches!(self.state, State::Idle);
+        // A corrupted sample never reaches collection or semantics. If it
+        // also ends the interaction (a NaN mouse-up), the end is honored
+        // as a cancellation — the kind is trustworthy, the payload is not.
+        if in_progress && !event.is_finite() {
+            let fault = if event.x.is_finite() && event.y.is_finite() {
+                StreamFault::NonFiniteTimestamp { repaired: false }
+            } else {
+                StreamFault::NonFiniteCoordinates {
+                    t: event.t,
+                    repaired: false,
+                }
+            };
+            self.record_fault(fault);
+            if event.ends_interaction() {
+                self.cancel_interaction();
+            }
+            return HandlerResult::Consumed;
+        }
+        // A grab break unconditionally tears down whatever is in
+        // progress; no further semantics run.
+        if event.is_grab_break() {
+            if in_progress {
+                self.cancel_interaction();
+                return HandlerResult::Consumed;
+            }
+            return HandlerResult::Ignored;
+        }
+        // Cancelled/rejected but still grabbed: swallow events until the
+        // stream ends the interaction.
+        if matches!(self.state, State::Draining { .. }) {
+            if event.ends_interaction() {
+                if let State::Draining { trace } =
+                    std::mem::replace(&mut self.state, State::Idle)
+                {
+                    self.finish_interaction(trace);
+                }
+            }
+            return HandlerResult::Consumed;
+        }
         match (&mut self.state, event.kind) {
+            (State::Idle, EventKind::MouseDown { button })
+                if button == self.config.button && !event.is_finite() =>
+            {
+                // A corrupted down cannot anchor a gesture; stay idle.
+                HandlerResult::Ignored
+            }
             (State::Idle, EventKind::MouseDown { button }) if button == self.config.button => {
                 let mut gesture = Gesture::new();
                 let mut extractor = FeatureExtractor::new();
@@ -390,6 +626,13 @@ impl EventHandler for GestureHandler {
                 self.transition(gesture, target, PhaseTransition::MouseUp, ctx);
                 HandlerResult::Consumed
             }
+            (State::Collecting { .. }, EventKind::MouseDown { .. }) => {
+                // A second down mid-collection is a stream defect (the
+                // sanitizer demotes these upstream); on the raw path it is
+                // recorded and otherwise ignored.
+                self.record_fault(StreamFault::DuplicateMouseDown { t: event.t });
+                HandlerResult::Consumed
+            }
             (State::Collecting { .. }, _) => HandlerResult::Consumed,
             (
                 State::Manipulating {
@@ -427,25 +670,27 @@ impl EventHandler for GestureHandler {
             (State::Manipulating { .. }, EventKind::MouseUp { button })
                 if button == self.config.button =>
             {
-                let State::Manipulating {
+                if let State::Manipulating {
                     mut trace,
                     semantics,
                     attrs,
                     total_points,
                 } = std::mem::replace(&mut self.state, State::Idle)
-                else {
-                    unreachable!("matched Manipulating above");
-                };
-                trace.total_points = total_points;
-                Self::install_attrs(&attrs, ctx);
-                match eval(&semantics.done, ctx.env) {
-                    Ok(_) => {}
-                    Err(e) => trace.errors.push(e),
+                {
+                    trace.total_points = total_points;
+                    Self::install_attrs(&attrs, ctx);
+                    match eval(&semantics.done, ctx.env) {
+                        Ok(_) => {}
+                        Err(e) => trace.errors.push(e),
+                    }
+                    self.finish_interaction(trace);
                 }
-                self.traces.push(trace);
                 HandlerResult::Consumed
             }
             (State::Manipulating { .. }, _) => HandlerResult::Consumed,
+            // Draining is fully handled before the match; this arm exists
+            // only to keep the state machine exhaustive.
+            (State::Draining { .. }, _) => HandlerResult::Consumed,
         }
     }
 }
@@ -653,6 +898,181 @@ mod tests {
         let trace = &gh.traces()[0];
         assert_eq!(trace.class, None);
         assert_eq!(trace.class_name, "?");
+    }
+
+    #[test]
+    fn grab_break_cancels_collection_without_semantics() {
+        let (mut interface, gh, _) =
+            handler_with(&semantics_counting(), GestureHandlerConfig::default());
+        let g = &training()[0][0];
+        let mut events = gesture_events(g, Button::Left);
+        // Replace everything from point 5 on with a grab break.
+        events.truncate(5);
+        let t = events.last().map_or(0.0, |e| e.t) + 1.0;
+        events.push(InputEvent::new(EventKind::GrabBreak, 0.0, 0.0, t));
+        for e in &events {
+            interface.dispatch(e);
+        }
+        let gh = gh.borrow();
+        let trace = &gh.traces()[0];
+        assert_eq!(trace.outcome, InteractionOutcome::Cancelled);
+        assert_eq!(trace.transition, PhaseTransition::Aborted);
+        assert_eq!(trace.class, None);
+        assert_eq!(trace.manip_evaluations, 0);
+        assert!(!gh.interaction_in_progress(), "must return to idle");
+    }
+
+    #[test]
+    fn grab_break_cancels_manipulation_and_releases_the_grab() {
+        let (mut interface, gh, _) =
+            handler_with(&semantics_counting(), GestureHandlerConfig::default());
+        let g = &training()[0][0];
+        let events = gesture_events(g, Button::Left);
+        // Feed all but the mouse-up, then break the grab.
+        for e in &events[..events.len() - 1] {
+            interface.dispatch(e);
+        }
+        let t = events[events.len() - 2].t + 1.0;
+        interface.dispatch(&InputEvent::new(EventKind::GrabBreak, 0.0, 0.0, t));
+        {
+            let gh = gh.borrow();
+            let trace = &gh.traces()[0];
+            assert_eq!(trace.outcome, InteractionOutcome::Cancelled);
+            assert_eq!(trace.transition, PhaseTransition::Eager);
+            assert!(!gh.interaction_in_progress());
+        }
+        // The interface grab is released: the next gesture works normally.
+        run_gesture(&mut interface, &training()[1][0], None);
+        let gh = gh.borrow();
+        assert_eq!(gh.traces().len(), 2);
+        assert_eq!(gh.traces()[1].class, Some(1));
+    }
+
+    #[test]
+    fn non_finite_samples_are_skipped_and_logged() {
+        let (mut interface, gh, _) =
+            handler_with(&semantics_counting(), GestureHandlerConfig::default());
+        let g = &training()[0][0];
+        let events = gesture_events(g, Button::Left);
+        for (i, e) in events.iter().enumerate() {
+            interface.dispatch(e);
+            if i == 3 {
+                // Inject a corrupted move mid-collection.
+                interface.dispatch(&InputEvent::new(
+                    EventKind::MouseMove,
+                    f64::NAN,
+                    10.0,
+                    e.t + 0.5,
+                ));
+            }
+        }
+        let gh = gh.borrow();
+        let trace = &gh.traces()[0];
+        assert_eq!(trace.class, Some(0), "clean samples still classify");
+        assert_eq!(trace.faults.len(), 1);
+        assert!(matches!(
+            trace.faults[0],
+            StreamFault::NonFiniteCoordinates { .. }
+        ));
+    }
+
+    #[test]
+    fn fault_budget_exhaustion_cancels_the_interaction() {
+        let config = GestureHandlerConfig {
+            fault_budget: 2,
+            ..GestureHandlerConfig::default()
+        };
+        let (mut interface, gh, _) = handler_with(&semantics_counting(), config);
+        let g = &training()[0][0];
+        let events = gesture_events(g, Button::Left);
+        for (i, e) in events.iter().enumerate() {
+            interface.dispatch(e);
+            if i < 4 {
+                // One corrupted sample after each of the first four
+                // events: blows a budget of 2 mid-collection.
+                interface.dispatch(&InputEvent::new(
+                    EventKind::MouseMove,
+                    f64::INFINITY,
+                    0.0,
+                    e.t + 0.5,
+                ));
+            }
+        }
+        let gh = gh.borrow();
+        let trace = &gh.traces()[0];
+        assert_eq!(trace.outcome, InteractionOutcome::Cancelled);
+        assert!(trace.faults.len() > 2);
+        assert!(!gh.interaction_in_progress());
+    }
+
+    #[test]
+    fn note_faults_counts_toward_the_budget() {
+        let config = GestureHandlerConfig {
+            fault_budget: 1,
+            ..GestureHandlerConfig::default()
+        };
+        let (mut interface, gh, _) = handler_with(&semantics_counting(), config);
+        let g = &training()[0][0];
+        let events = gesture_events(g, Button::Left);
+        interface.dispatch(&events[0]);
+        interface.dispatch(&events[1]);
+        gh.borrow_mut().note_faults(&[
+            StreamFault::NonFiniteTimestamp { repaired: true },
+            StreamFault::DuplicateMouseDown { t: 5.0 },
+        ]);
+        for e in &events[2..] {
+            interface.dispatch(e);
+        }
+        let gh = gh.borrow();
+        let trace = &gh.traces()[0];
+        assert_eq!(trace.outcome, InteractionOutcome::Cancelled);
+        assert_eq!(trace.faults.len(), 2);
+    }
+
+    #[test]
+    fn note_faults_while_idle_is_dropped() {
+        let (_, gh, _) = handler_with(&semantics_counting(), GestureHandlerConfig::default());
+        gh.borrow_mut()
+            .note_faults(&[StreamFault::NonFiniteTimestamp { repaired: false }]);
+        assert!(!gh.borrow().interaction_in_progress());
+        assert!(gh.borrow().traces().is_empty());
+    }
+
+    #[test]
+    fn outcomes_map_to_transitions() {
+        // Mouse-up transition → Recognized; eager transition → Manipulated.
+        let (mut interface, gh, _) =
+            handler_with(&semantics_counting(), GestureHandlerConfig::default());
+        run_gesture(&mut interface, &training()[0][0], None);
+        let eager_cfg = GestureHandlerConfig {
+            eager: false,
+            ..GestureHandlerConfig::default()
+        };
+        let (mut iface2, gh2, _) = handler_with(&semantics_counting(), eager_cfg);
+        run_gesture(&mut iface2, &training()[0][1], None);
+        assert_eq!(
+            gh.borrow().traces()[0].outcome,
+            InteractionOutcome::Manipulated
+        );
+        assert_eq!(
+            gh2.borrow().traces()[0].outcome,
+            InteractionOutcome::Recognized
+        );
+    }
+
+    #[test]
+    fn rejection_outcome_is_terminal_and_returns_to_idle() {
+        let config = GestureHandlerConfig {
+            min_probability: Some(1.1),
+            ..GestureHandlerConfig::default()
+        };
+        let (mut interface, gh, _) = handler_with(&semantics_counting(), config);
+        run_gesture(&mut interface, &training()[0][0], None);
+        let gh = gh.borrow();
+        let trace = &gh.traces()[0];
+        assert_eq!(trace.outcome, InteractionOutcome::Rejected);
+        assert_eq!(trace.class, None);
+        assert!(!gh.interaction_in_progress());
     }
 
     #[test]

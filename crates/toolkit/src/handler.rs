@@ -149,7 +149,10 @@ impl Interface {
             };
             let name = handler.borrow().name();
             handler.borrow_mut().handle(event, &mut ctx);
-            if event.is_up() {
+            // Both a mouse-up and a grab break end the interaction; a
+            // broken grab must not leave the interface wedged on a
+            // handler that will never see its mouse-up.
+            if event.ends_interaction() {
                 self.grab = None;
             }
             return Some(name);
@@ -206,7 +209,7 @@ impl Interface {
             let result = handler.borrow_mut().handle(event, &mut ctx);
             if result == HandlerResult::Consumed {
                 let name = handler.borrow().name();
-                if grab_on_consume && !event.is_up() {
+                if grab_on_consume && !event.ends_interaction() {
                     self.grab = Some((handler, target));
                 }
                 return Some(name);

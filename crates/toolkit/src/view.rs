@@ -56,13 +56,13 @@ impl ViewStore {
         id
     }
 
-    /// Attaches a model object to a view.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the view does not exist.
+    /// Attaches a model object to a view. A no-op when the view no longer
+    /// exists (it may have been deleted by a concurrent interaction; a
+    /// late model attach must not take the interface down).
     pub fn set_model(&mut self, id: ViewId, model: ObjRef) {
-        self.views.get_mut(&id).expect("view exists").model = Some(model);
+        if let Some(view) = self.views.get_mut(&id) {
+            view.model = Some(model);
+        }
     }
 
     /// Removes a view; returns `true` if it existed.

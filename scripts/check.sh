@@ -1,5 +1,5 @@
 #!/bin/sh
-# Repo gate: build, test, lint. Run before every commit.
+# Repo gate: build, test, chaos suite, lint. Run before every commit.
 #
 # Works fully offline. Clippy is skipped (with a warning) when the
 # component is not installed, so the gate degrades gracefully on
@@ -14,9 +14,21 @@ cargo build --workspace --release
 echo "== cargo test --workspace (quiet) =="
 cargo test --workspace -q
 
+echo "== chaos suite (seeded corrupted-stream replays) =="
+cargo test --test chaos -q
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --workspace --all-targets =="
     cargo clippy --workspace --all-targets -- -D warnings
+    # The interaction pipeline must not be able to panic on malformed
+    # input: library code (not tests) in the event substrate and the
+    # toolkit is held to a no-unwrap/no-expect/no-panic standard.
+    echo "== clippy panic gate (grandma-events, grandma-toolkit lib code) =="
+    cargo clippy -p grandma-events -p grandma-toolkit --lib --no-deps -- \
+        -D warnings \
+        -D clippy::unwrap_used \
+        -D clippy::expect_used \
+        -D clippy::panic
 else
     echo "warning: clippy not installed; skipping lint" >&2
 fi
