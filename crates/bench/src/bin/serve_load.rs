@@ -1,0 +1,275 @@
+//! Load generator for the grandma-serve TCP service.
+//!
+//! Spins up the sharded service on loopback, then replays seeded
+//! `grandma-synth` scripted event streams — a quarter of them
+//! `FaultInjector`-corrupted — from N concurrent client connections,
+//! measuring end-to-end throughput and per-event round-trip latency
+//! (client send → first server frame echoing that event's `seq`).
+//!
+//! Writes `BENCH_serve.json` next to `BENCH_throughput.json` at the repo
+//! root. The workload is fully seeded and dependency-free; absolute
+//! numbers move with the host, the artifact schema does not.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
+use grandma_events::{Button, EventKind, EventScript, InputEvent};
+use grandma_serve::{
+    encode_client, ClientFrame, FrameBuffer, OutcomeKind, ServeConfig, ServerFrame,
+    SessionRouter, TcpService, WIRE_VERSION,
+};
+use grandma_synth::{datasets, FaultInjector, SynthRng};
+
+const CLIENTS: u64 = 4;
+const SESSIONS_PER_CLIENT: u64 = 8;
+const GESTURES_PER_SESSION: usize = 6;
+const SHARDS: usize = 4;
+
+/// Seeded event stream for one session; every fourth session corrupted.
+fn session_stream(session: u64) -> Vec<InputEvent> {
+    let data = datasets::eight_way(0x7e57, 0, 8);
+    let mut rng = SynthRng::seed_from_u64(0x10AD ^ session.wrapping_mul(0x9E37_79B9));
+    let mut script = EventScript::new();
+    for _ in 0..GESTURES_PER_SESSION {
+        let idx = (rng.next_u64() as usize) % data.testing.len();
+        script = script.then_gesture(&data.testing[idx].gesture, Button::Left);
+    }
+    let events = script.into_events();
+    if session.is_multiple_of(4) {
+        FaultInjector::new(0xBAD ^ session).corrupt(&events)
+    } else {
+        events
+    }
+}
+
+struct ClientStats {
+    rtts_ns: Vec<u64>,
+    events_sent: u64,
+    points_sent: u64,
+    interactions: u64,
+}
+
+/// One client connection: interleaves its sessions' events round-robin,
+/// reading replies on a parallel thread to timestamp round trips.
+fn run_client(addr: std::net::SocketAddr, sessions: Vec<u64>) -> ClientStats {
+    let streams: Vec<Vec<InputEvent>> =
+        sessions.iter().map(|&s| session_stream(s)).collect();
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let inflight: Arc<Mutex<HashMap<(u64, u32), Instant>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+
+    let reader = {
+        let inflight = inflight.clone();
+        let want_closed = sessions.len();
+        let mut stream = stream;
+        std::thread::spawn(move || {
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("timeout");
+            let mut fb = FrameBuffer::new();
+            let mut chunk = [0u8; 8192];
+            let mut rtts_ns = Vec::new();
+            let mut interactions = 0u64;
+            let mut closed = 0usize;
+            while closed < want_closed {
+                let n = match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => n,
+                };
+                let now = Instant::now();
+                fb.extend(&chunk[..n]);
+                while let Some(frame) = fb.next_server().expect("server bytes") {
+                    let (session, seq) = match frame {
+                        ServerFrame::Recognized { session, seq, .. }
+                        | ServerFrame::Manipulate { session, seq, .. }
+                        | ServerFrame::Outcome { session, seq, .. }
+                        | ServerFrame::Fault { session, seq, .. } => (session, seq),
+                    };
+                    if let Some(sent) = inflight.lock().expect("lock").remove(&(session, seq)) {
+                        rtts_ns.push(now.duration_since(sent).as_nanos() as u64);
+                    }
+                    if let ServerFrame::Outcome { outcome, .. } = frame {
+                        match outcome {
+                            OutcomeKind::Closed => closed += 1,
+                            _ => interactions += 1,
+                        }
+                    }
+                }
+            }
+            (rtts_ns, interactions, closed)
+        })
+    };
+
+    let mut events_sent = 0u64;
+    let mut points_sent = 0u64;
+    let mut bytes = Vec::with_capacity(4096);
+    encode_client(
+        &ClientFrame::Hello {
+            version: WIRE_VERSION,
+        },
+        &mut bytes,
+    );
+    for &session in &sessions {
+        encode_client(&ClientFrame::Open { session }, &mut bytes);
+    }
+    writer.write_all(&bytes).expect("write opens");
+
+    let mut cursors = vec![0usize; sessions.len()];
+    loop {
+        let mut progressed = false;
+        for (slot, &session) in sessions.iter().enumerate() {
+            let Some(&event) = streams[slot].get(cursors[slot]) else {
+                continue;
+            };
+            let seq = cursors[slot] as u32;
+            cursors[slot] += 1;
+            progressed = true;
+            bytes.clear();
+            encode_client(
+                &ClientFrame::Event {
+                    session,
+                    seq,
+                    event,
+                },
+                &mut bytes,
+            );
+            inflight
+                .lock()
+                .expect("lock")
+                .insert((session, seq), Instant::now());
+            writer.write_all(&bytes).expect("write event");
+            events_sent += 1;
+            if matches!(event.kind, EventKind::MouseMove) {
+                points_sent += 1;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    bytes.clear();
+    for (slot, &session) in sessions.iter().enumerate() {
+        encode_client(
+            &ClientFrame::Close {
+                session,
+                seq: streams[slot].len() as u32,
+            },
+            &mut bytes,
+        );
+    }
+    writer.write_all(&bytes).expect("write closes");
+    writer.flush().expect("flush");
+
+    let (rtts_ns, interactions, closed) = reader.join().expect("reader thread");
+    assert_eq!(closed, sessions.len(), "every session must close");
+    ClientStats {
+        rtts_ns,
+        events_sent,
+        points_sent,
+        interactions,
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let data = datasets::eight_way(0x2b2b, 10, 0);
+    let (rec, _) =
+        EagerRecognizer::train(&data.training, &FeatureMask::all(), &EagerConfig::default())
+            .expect("training succeeds");
+    let config = ServeConfig {
+        shards: SHARDS,
+        queue_capacity: 1 << 15,
+        ..ServeConfig::default()
+    };
+    let mut service =
+        TcpService::start(SessionRouter::new(Arc::new(rec), config), "127.0.0.1:0")
+            .expect("bind loopback");
+    let addr = service.local_addr();
+    eprintln!(
+        "serve_load: {} clients x {} sessions against {addr} ({SHARDS} shards)",
+        CLIENTS, SESSIONS_PER_CLIENT
+    );
+
+    let started = Instant::now();
+    let mut stats: Vec<ClientStats> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for client in 0..CLIENTS {
+            let sessions: Vec<u64> = (0..SESSIONS_PER_CLIENT)
+                .map(|i| 1 + client * SESSIONS_PER_CLIENT + i)
+                .collect();
+            joins.push(scope.spawn(move || run_client(addr, sessions)));
+        }
+        for join in joins {
+            stats.push(join.join().expect("client"));
+        }
+    });
+    let wall = started.elapsed();
+    service.shutdown();
+    let snap = service.metrics().snapshot();
+
+    let mut rtts: Vec<u64> = stats.iter().flat_map(|s| s.rtts_ns.iter().copied()).collect();
+    rtts.sort_unstable();
+    let events_sent: u64 = stats.iter().map(|s| s.events_sent).sum();
+    let points_sent: u64 = stats.iter().map(|s| s.points_sent).sum();
+    let interactions: u64 = stats.iter().map(|s| s.interactions).sum();
+    let wall_s = wall.as_secs_f64();
+    let p50 = percentile(&rtts, 0.50);
+    let p95 = percentile(&rtts, 0.95);
+    let p99 = percentile(&rtts, 0.99);
+
+    let mut shard_json = String::new();
+    for (i, s) in snap.shards.iter().enumerate() {
+        if i > 0 {
+            shard_json.push_str(", ");
+        }
+        shard_json.push_str(&format!(
+            "{{\"events\": {}, \"points\": {}, \"queue_highwater\": {}, \"ns_per_point\": {:.1}}}",
+            s.events, s.points, s.queue_highwater, s.ns_per_point
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"serve_load\",\n  \"transport\": \"tcp-loopback\",\n  \
+         \"clients\": {CLIENTS},\n  \"sessions_per_client\": {SESSIONS_PER_CLIENT},\n  \
+         \"gestures_per_session\": {GESTURES_PER_SESSION},\n  \"shards\": {SHARDS},\n  \
+         \"events_sent\": {events_sent},\n  \"points_sent\": {points_sent},\n  \
+         \"interactions\": {interactions},\n  \"wall_s\": {wall_s:.4},\n  \
+         \"points_per_s\": {:.0},\n  \"events_per_s\": {:.0},\n  \"interactions_per_s\": {:.1},\n  \
+         \"rtt_samples\": {},\n  \"rtt_ns_p50\": {p50},\n  \"rtt_ns_p95\": {p95},\n  \"rtt_ns_p99\": {p99},\n  \
+         \"faults_repaired\": {},\n  \"busy_rejections\": {},\n  \"decode_errors\": {},\n  \
+         \"outcomes\": {{\"recognized\": {}, \"manipulated\": {}, \"cancelled\": {}, \"rejected\": {}, \"closed\": {}}},\n  \
+         \"shards_detail\": [{shard_json}]\n}}\n",
+        points_sent as f64 / wall_s,
+        events_sent as f64 / wall_s,
+        interactions as f64 / wall_s,
+        rtts.len(),
+        snap.faults_repaired,
+        snap.busy_rejections,
+        snap.decode_errors,
+        snap.outcomes_recognized,
+        snap.outcomes_manipulated,
+        snap.outcomes_cancelled,
+        snap.outcomes_rejected,
+        snap.outcomes_closed,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    eprintln!(
+        "serve_load: {events_sent} events / {wall_s:.3}s = {:.0} ev/s; RTT p50 {p50}ns p95 {p95}ns p99 {p99}ns; wrote {path}",
+        events_sent as f64 / wall_s
+    );
+}

@@ -1,0 +1,142 @@
+//! The `serve` binary: train-and-persist a recognizer, then serve it
+//! over TCP.
+//!
+//! ```text
+//! serve train --out model.txt [--seed N] [--per-class N]
+//! serve run --model model.txt [--addr 127.0.0.1:0] [--shards N]
+//! ```
+//!
+//! `run` loads a *persisted* recognizer (`grandma_core::persist`) rather
+//! than retraining — a server restart serves the exact same classifier,
+//! bit for bit. It prints `listening on <addr>` on stdout, serves until
+//! stdin reaches EOF (or a line is entered), then shuts down gracefully
+//! and prints the service metrics snapshot as JSON.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
+use grandma_serve::{ServeConfig, SessionRouter, TcpService};
+use grandma_synth::datasets;
+
+fn fail(msg: &str) -> ExitCode {
+    let _ = writeln!(std::io::stderr(), "serve: {msg}");
+    ExitCode::FAILURE
+}
+
+fn usage() -> ExitCode {
+    fail(
+        "usage:\n  serve train --out PATH [--seed N] [--per-class N]\n  \
+         serve run --model PATH [--addr ADDR] [--shards N]",
+    )
+}
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Option<Self> {
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let name = flag.strip_prefix("--")?;
+            let value = it.next()?;
+            flags.push((name.to_string(), value.clone()));
+        }
+        Some(Self { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn cmd_train(args: &Args) -> ExitCode {
+    let Some(out_path) = args.get("out") else {
+        return fail("train requires --out PATH");
+    };
+    let seed = match args.get("seed").map(str::parse::<u64>) {
+        None => 0x5EED,
+        Some(Ok(s)) => s,
+        Some(Err(_)) => return fail("--seed must be an integer"),
+    };
+    let per_class = match args.get("per-class").map(str::parse::<usize>) {
+        None => 15,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => return fail("--per-class must be an integer"),
+    };
+    let data = datasets::eight_way(seed, per_class, 0);
+    let trained = EagerRecognizer::train(&data.training, &FeatureMask::all(), &EagerConfig::default());
+    let (rec, report) = match trained {
+        Ok(pair) => pair,
+        Err(e) => return fail(&format!("training failed: {e:?}")),
+    };
+    if let Err(e) = std::fs::write(out_path, rec.to_text()) {
+        return fail(&format!("writing {out_path}: {e}"));
+    }
+    println!(
+        "trained {} classes ({} examples/class, seed {seed:#x}); {} subgesture records; wrote {out_path}",
+        data.class_names.len(),
+        per_class,
+        report.records.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let Some(model_path) = args.get("model") else {
+        return fail("run requires --model PATH");
+    };
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let shards = match args.get("shards").map(str::parse::<usize>) {
+        None => ServeConfig::default().shards,
+        Some(Ok(n)) if n > 0 => n,
+        _ => return fail("--shards must be a positive integer"),
+    };
+    let text = match std::fs::read_to_string(model_path) {
+        Ok(text) => text,
+        Err(e) => return fail(&format!("reading {model_path}: {e}")),
+    };
+    let rec = match EagerRecognizer::from_text(&text) {
+        Ok(rec) => rec,
+        Err(e) => return fail(&format!("loading {model_path}: {e:?}")),
+    };
+    let config = ServeConfig {
+        shards,
+        ..ServeConfig::default()
+    };
+    let router = SessionRouter::new(Arc::new(rec), config);
+    let mut service = match TcpService::start(router, addr) {
+        Ok(service) => service,
+        Err(e) => return fail(&format!("binding {addr}: {e}")),
+    };
+    println!("listening on {}", service.local_addr());
+    let _ = std::io::stdout().flush();
+    // Serve until stdin closes (or any line arrives) — lets a parent
+    // process hold the server up for exactly as long as it needs it.
+    let mut line = String::new();
+    let _ = std::io::stdin().lock().read_line(&mut line);
+    service.shutdown();
+    println!("{}", service.metrics().snapshot().to_json());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return usage();
+    };
+    let Some(args) = Args::parse(rest) else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "train" => cmd_train(&args),
+        "run" => cmd_run(&args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,60 @@
+//! Sharded multi-session gesture recognition service.
+//!
+//! GRANDMA was a single-user toolkit; this crate (DESIGN.md §11) turns
+//! the recognition pipeline into a small network service without taking
+//! on a single dependency: a versioned length-prefixed binary protocol
+//! ([`wire`]), a per-session sanitize→classify→outcome pipeline
+//! ([`SessionPipeline`]) mirroring the toolkit's interaction state
+//! machine, a [`SessionRouter`] that shards sessions across a fixed pool
+//! of worker threads with bounded queues and `Busy` backpressure, two
+//! transports — the in-process [`Duplex`] for deterministic tests and a
+//! `std::net` [`TcpService`] — and lock-free [`ServiceMetrics`]
+//! snapshotted to JSON.
+//!
+//! Determinism contract: a session's server-frame sequence is a pure
+//! function of its event stream and the recognizer, regardless of
+//! transport, shard count, or how other sessions interleave. The
+//! loopback integration test holds the TCP service to byte-identical
+//! outcomes against [`run_events_inproc`].
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
+//! use grandma_serve::{Duplex, ClientFrame, ServeConfig, SessionRouter, WIRE_VERSION};
+//! use grandma_synth::datasets;
+//!
+//! let data = datasets::eight_way(7, 6, 0);
+//! let (rec, _) = EagerRecognizer::train(
+//!     &data.training, &FeatureMask::all(), &EagerConfig::default()).unwrap();
+//! let router = SessionRouter::new(Arc::new(rec), ServeConfig::default());
+//! let mut client = Duplex::connect(router.clone());
+//! client.send(&ClientFrame::Hello { version: WIRE_VERSION }).unwrap();
+//! client.send(&ClientFrame::Open { session: 1 }).unwrap();
+//! client.send(&ClientFrame::Close { session: 1, seq: 0 }).unwrap();
+//! let frames = client
+//!     .recv_session_until_closed(1, std::time::Duration::from_secs(5))
+//!     .unwrap();
+//! assert!(!frames.is_empty());
+//! router.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod duplex;
+pub mod metrics;
+pub mod router;
+pub mod session;
+pub mod tcp;
+pub mod wire;
+
+pub use duplex::{Duplex, DuplexError};
+pub use metrics::{MetricsSnapshot, ServiceMetrics, ShardSnapshot};
+pub use router::{ServeConfig, SessionRouter, ShardMsg, SubmitError};
+pub use session::{run_events_inproc, PipelineConfig, SessionPipeline};
+pub use tcp::TcpService;
+pub use wire::{
+    decode_client, decode_server, encode_client, encode_server, ClientFrame, FaultCode,
+    FrameBuffer, OutcomeKind, ServerFrame, WireError, MAX_FRAME_LEN, WIRE_VERSION,
+};

@@ -1,0 +1,295 @@
+//! Service metrics: lock-free counters snapshotted to JSON.
+//!
+//! One [`ServiceMetrics`] instance is shared (via `Arc`) by the router,
+//! every shard worker, and every transport thread. All counters are
+//! relaxed atomics — metrics must never contend with the hot path — and
+//! [`ServiceMetrics::snapshot`] produces a consistent-enough point-in-time
+//! [`MetricsSnapshot`] that serializes itself to JSON with
+//! [`MetricsSnapshot::to_json`] (hand-rolled; the serving layer is
+//! dependency-free).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-shard counters.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Messages currently queued to the shard (approximate: incremented
+    /// by submitters, decremented by the worker).
+    pub queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    pub queue_highwater: AtomicU64,
+    /// Events this shard processed.
+    pub events: AtomicU64,
+    /// Mouse-move points this shard ingested.
+    pub points: AtomicU64,
+    /// Nanoseconds spent inside the pipeline on this shard.
+    pub busy_ns: AtomicU64,
+}
+
+impl ShardMetrics {
+    /// Records a submit: bumps depth and folds it into the high-water
+    /// mark.
+    pub fn note_enqueue(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_highwater.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records the worker taking a message off the queue.
+    pub fn note_dequeue(&self) {
+        // Saturate rather than wrap if an enqueue/dequeue race ever
+        // transiently inverts the count.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+    }
+}
+
+/// Counter index for [`ServiceMetrics::outcomes`]: Recognized,
+/// Manipulated, Cancelled, Rejected, Closed.
+pub const OUTCOME_KINDS: usize = 5;
+
+/// The service-wide counter set.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    /// Sessions opened over the service lifetime.
+    pub sessions_opened: AtomicU64,
+    /// Sessions closed (client `Close` or connection teardown).
+    pub sessions_closed: AtomicU64,
+    /// Client `Event` frames accepted into shard queues.
+    pub events_ingested: AtomicU64,
+    /// Mouse-move points among them.
+    pub points_ingested: AtomicU64,
+    /// Interaction outcomes by kind (see [`OUTCOME_KINDS`]).
+    pub outcomes: [AtomicU64; OUTCOME_KINDS],
+    /// Sanitizer repairs performed across all sessions.
+    pub faults_repaired: AtomicU64,
+    /// Frames rejected with `Busy` because a shard queue was full.
+    pub busy_rejections: AtomicU64,
+    /// Events/closes naming a session no shard holds.
+    pub unknown_sessions: AtomicU64,
+    /// Connections dropped for undecodable bytes.
+    pub decode_errors: AtomicU64,
+    /// Per-shard counters.
+    shards: Vec<ShardMetrics>,
+}
+
+impl ServiceMetrics {
+    /// Creates the counter set for `shards` shard workers.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            sessions_opened: AtomicU64::new(0),
+            sessions_closed: AtomicU64::new(0),
+            events_ingested: AtomicU64::new(0),
+            points_ingested: AtomicU64::new(0),
+            outcomes: Default::default(),
+            faults_repaired: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            unknown_sessions: AtomicU64::new(0),
+            decode_errors: AtomicU64::new(0),
+            shards: (0..shards.max(1)).map(|_| ShardMetrics::default()).collect(),
+        }
+    }
+
+    /// The per-shard counter block (clamped to a valid index).
+    pub fn shard(&self, shard: usize) -> &ShardMetrics {
+        let idx = shard % self.shards.len().max(1);
+        // The modulo keeps idx in range; fall back to shard 0 defensively.
+        self.shards.get(idx).unwrap_or_else(|| &self.shards[0])
+    }
+
+    /// Number of shards the metrics were sized for.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records one interaction outcome by wire kind.
+    pub fn note_outcome(&self, kind: crate::wire::OutcomeKind) {
+        use crate::wire::OutcomeKind as K;
+        let idx = match kind {
+            K::Recognized => 0,
+            K::Manipulated => 1,
+            K::Cancelled => 2,
+            K::Rejected => 3,
+            K::Closed => 4,
+        };
+        if let Some(counter) = self.outcomes.get(idx) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let opened = load(&self.sessions_opened);
+        let closed = load(&self.sessions_closed);
+        MetricsSnapshot {
+            sessions_opened: opened,
+            sessions_closed: closed,
+            sessions_active: opened.saturating_sub(closed),
+            events_ingested: load(&self.events_ingested),
+            points_ingested: load(&self.points_ingested),
+            outcomes_recognized: load(&self.outcomes[0]),
+            outcomes_manipulated: load(&self.outcomes[1]),
+            outcomes_cancelled: load(&self.outcomes[2]),
+            outcomes_rejected: load(&self.outcomes[3]),
+            outcomes_closed: load(&self.outcomes[4]),
+            faults_repaired: load(&self.faults_repaired),
+            busy_rejections: load(&self.busy_rejections),
+            unknown_sessions: load(&self.unknown_sessions),
+            decode_errors: load(&self.decode_errors),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| {
+                    let points = load(&s.points);
+                    let ns = load(&s.busy_ns);
+                    ShardSnapshot {
+                        queue_depth: load(&s.queue_depth),
+                        queue_highwater: load(&s.queue_highwater),
+                        events: load(&s.events),
+                        points,
+                        ns_per_point: if points > 0 {
+                            ns as f64 / points as f64
+                        } else {
+                            0.0
+                        },
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One shard's snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// Approximate queued messages at snapshot time.
+    pub queue_depth: u64,
+    /// Deepest the queue has been.
+    pub queue_highwater: u64,
+    /// Events processed.
+    pub events: u64,
+    /// Move points ingested.
+    pub points: u64,
+    /// Mean pipeline nanoseconds per ingested point.
+    pub ns_per_point: f64,
+}
+
+/// Point-in-time service counters; serializes to JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Sessions opened over the service lifetime.
+    pub sessions_opened: u64,
+    /// Sessions closed.
+    pub sessions_closed: u64,
+    /// Opened minus closed.
+    pub sessions_active: u64,
+    /// Events accepted into shard queues.
+    pub events_ingested: u64,
+    /// Mouse-move points among them.
+    pub points_ingested: u64,
+    /// Outcomes by kind.
+    pub outcomes_recognized: u64,
+    /// Outcomes by kind.
+    pub outcomes_manipulated: u64,
+    /// Outcomes by kind.
+    pub outcomes_cancelled: u64,
+    /// Outcomes by kind.
+    pub outcomes_rejected: u64,
+    /// End-of-session markers emitted.
+    pub outcomes_closed: u64,
+    /// Sanitizer repairs.
+    pub faults_repaired: u64,
+    /// Busy rejections.
+    pub busy_rejections: u64,
+    /// Unknown-session drops.
+    pub unknown_sessions: u64,
+    /// Connections dropped for undecodable bytes.
+    pub decode_errors: u64,
+    /// Per-shard snapshots.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut shards = String::new();
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                shards.push_str(", ");
+            }
+            shards.push_str(&format!(
+                "{{\"queue_depth\": {}, \"queue_highwater\": {}, \"events\": {}, \"points\": {}, \"ns_per_point\": {:.1}}}",
+                s.queue_depth, s.queue_highwater, s.events, s.points, s.ns_per_point
+            ));
+        }
+        format!(
+            "{{\n  \"sessions_opened\": {},\n  \"sessions_closed\": {},\n  \"sessions_active\": {},\n  \
+             \"events_ingested\": {},\n  \"points_ingested\": {},\n  \
+             \"outcomes\": {{\"recognized\": {}, \"manipulated\": {}, \"cancelled\": {}, \"rejected\": {}, \"closed\": {}}},\n  \
+             \"faults_repaired\": {},\n  \"busy_rejections\": {},\n  \"unknown_sessions\": {},\n  \"decode_errors\": {},\n  \
+             \"shards\": [{}]\n}}",
+            self.sessions_opened,
+            self.sessions_closed,
+            self.sessions_active,
+            self.events_ingested,
+            self.points_ingested,
+            self.outcomes_recognized,
+            self.outcomes_manipulated,
+            self.outcomes_cancelled,
+            self.outcomes_rejected,
+            self.outcomes_closed,
+            self.faults_repaired,
+            self.busy_rejections,
+            self.unknown_sessions,
+            self.decode_errors,
+            shards
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn highwater_tracks_the_deepest_queue() {
+        let m = ServiceMetrics::new(2);
+        let s = m.shard(0);
+        s.note_enqueue();
+        s.note_enqueue();
+        s.note_enqueue();
+        s.note_dequeue();
+        s.note_enqueue();
+        let snap = m.snapshot();
+        assert_eq!(snap.shards[0].queue_depth, 3);
+        assert_eq!(snap.shards[0].queue_highwater, 3);
+    }
+
+    #[test]
+    fn dequeue_saturates_at_zero() {
+        let m = ServiceMetrics::new(1);
+        m.shard(0).note_dequeue();
+        assert_eq!(m.snapshot().shards[0].queue_depth, 0);
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_enough() {
+        let m = ServiceMetrics::new(2);
+        m.sessions_opened.fetch_add(3, Ordering::Relaxed);
+        m.note_outcome(crate::wire::OutcomeKind::Manipulated);
+        let json = m.snapshot().to_json();
+        assert!(json.contains("\"sessions_opened\": 3"));
+        assert!(json.contains("\"manipulated\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn shard_index_wraps_safely() {
+        let m = ServiceMetrics::new(2);
+        m.shard(7).note_enqueue(); // 7 % 2 == 1
+        assert_eq!(m.snapshot().shards[1].queue_depth, 1);
+    }
+}

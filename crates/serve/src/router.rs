@@ -1,0 +1,582 @@
+//! The session router: shards sessions across a fixed pool of worker
+//! threads with bounded queues and explicit backpressure.
+//!
+//! Every session id maps to exactly one shard
+//! ([`SessionRouter::shard_of`], a fixed multiplicative hash), and each
+//! shard worker exclusively owns its sessions' [`SessionPipeline`]s —
+//! there is no cross-shard locking and no shared mutable recognition
+//! state. Messages travel over `std::sync::mpsc::sync_channel` with a
+//! fixed capacity: when a shard's queue is full, [`SessionRouter::submit`]
+//! returns [`SubmitError::Busy`] *immediately* and the transport layer
+//! converts that into a `Fault(Busy)` wire frame. Queue growth is bounded
+//! by construction; the service never buffers an unbounded backlog.
+//!
+//! Determinism: a session's frames depend only on its own event order,
+//! which each transport preserves, so outcome sequences are byte-identical
+//! run to run regardless of how sessions interleave across shards.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use grandma_core::EagerRecognizer;
+use grandma_events::{EventKind, InputEvent};
+
+use crate::metrics::ServiceMetrics;
+use crate::session::{PipelineConfig, SessionPipeline};
+use crate::wire::{FaultCode, ServerFrame};
+
+/// Service-level configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shard worker threads.
+    pub shards: usize,
+    /// Bounded per-shard queue capacity; a full queue rejects with
+    /// `Busy`.
+    pub queue_capacity: usize,
+    /// Maximum sessions one shard will hold; `Open`s beyond it are
+    /// rejected with `SessionLimit`.
+    pub max_sessions_per_shard: usize,
+    /// Per-session pipeline tuning.
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 1024,
+            max_sessions_per_shard: 4096,
+            pipeline: PipelineConfig::default(),
+        }
+    }
+}
+
+/// A message to a shard worker.
+pub enum ShardMsg {
+    /// Open a session; `reply` is the connection's outbound frame
+    /// channel, held by the shard for the session's lifetime.
+    Open {
+        /// Session id.
+        session: u64,
+        /// Correlation id for any rejection fault.
+        seq: u32,
+        /// Outbound frame channel of the owning connection.
+        reply: Sender<ServerFrame>,
+    },
+    /// One input event for an open session.
+    Event {
+        /// Session id.
+        session: u64,
+        /// Correlation id.
+        seq: u32,
+        /// The raw event.
+        event: InputEvent,
+    },
+    /// Close a session (flush, finalize, emit `Closed`).
+    Close {
+        /// Session id.
+        session: u64,
+        /// Correlation id.
+        seq: u32,
+    },
+    /// Park the worker on a barrier — used by backpressure tests and
+    /// controlled drains to hold a shard still while its queue fills.
+    Pause(Arc<Barrier>),
+    /// Finalize every session and exit the worker.
+    Shutdown,
+}
+
+impl ShardMsg {
+    fn session(&self) -> Option<u64> {
+        match self {
+            ShardMsg::Open { session, .. }
+            | ShardMsg::Event { session, .. }
+            | ShardMsg::Close { session, .. } => Some(*session),
+            ShardMsg::Pause(_) | ShardMsg::Shutdown => None,
+        }
+    }
+}
+
+/// Why a submit was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The shard queue is full; retry after draining replies.
+    Busy,
+    /// The router has shut down.
+    Closed,
+}
+
+/// Handle returned by [`SessionRouter::pause_shard`]; dropping or
+/// releasing it lets the worker continue.
+pub struct ShardPause {
+    barrier: Arc<Barrier>,
+}
+
+impl ShardPause {
+    /// Releases the paused worker.
+    pub fn release(self) {
+        self.barrier.wait();
+    }
+}
+
+struct SessionEntry {
+    pipeline: SessionPipeline,
+    reply: Sender<ServerFrame>,
+}
+
+/// The sharded session router. Shared across transports via `Arc`;
+/// [`SessionRouter::shutdown`] is idempotent and joins every worker.
+pub struct SessionRouter {
+    shards: Vec<SyncSender<ShardMsg>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    metrics: Arc<ServiceMetrics>,
+    down: AtomicBool,
+}
+
+impl SessionRouter {
+    /// Spawns `config.shards` workers, each owning its sessions' full
+    /// pipelines and sharing `recognizer` read-only.
+    pub fn new(recognizer: Arc<EagerRecognizer>, config: ServeConfig) -> Arc<Self> {
+        let shard_count = config.shards.max(1);
+        let metrics = Arc::new(ServiceMetrics::new(shard_count));
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut handles = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_capacity.max(1));
+            let worker_rec = recognizer.clone();
+            let worker_metrics = metrics.clone();
+            let worker_config = config.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("grandma-shard-{shard}"))
+                .spawn(move || shard_worker(shard, rx, worker_rec, worker_metrics, worker_config));
+            match handle {
+                Ok(h) => {
+                    shards.push(tx);
+                    handles.push(h);
+                }
+                Err(_) => {
+                    // Thread spawn failed (resource exhaustion): run with
+                    // the shards that did start. shard_of only routes to
+                    // live senders.
+                }
+            }
+        }
+        Arc::new(Self {
+            shards,
+            handles: Mutex::new(handles),
+            metrics,
+            down: AtomicBool::new(false),
+        })
+    }
+
+    /// The shard a session id routes to: a fixed multiplicative mix so
+    /// adjacent ids spread across shards, stable across runs.
+    pub fn shard_of(&self, session: u64) -> usize {
+        let mixed = session.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((mixed >> 32) as usize) % self.shards.len().max(1)
+    }
+
+    /// Number of live shard workers.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared metrics block.
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
+    }
+
+    /// Routes `msg` to its session's shard without blocking. A full
+    /// queue returns [`SubmitError::Busy`] — the caller owns the
+    /// rejection (typically by sending a `Fault(Busy)` frame).
+    pub fn submit(&self, msg: ShardMsg) -> Result<(), SubmitError> {
+        let shard = msg.session().map(|s| self.shard_of(s)).unwrap_or(0);
+        let Some(tx) = self.shards.get(shard) else {
+            return Err(SubmitError::Closed);
+        };
+        match tx.try_send(msg) {
+            Ok(()) => {
+                self.metrics.shard(shard).note_enqueue();
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Busy)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// Parks `shard`'s worker on a barrier until the returned handle is
+    /// released. Blocks while the shard queue is full. For tests and
+    /// controlled drains.
+    pub fn pause_shard(&self, shard: usize) -> Option<ShardPause> {
+        let barrier = Arc::new(Barrier::new(2));
+        let tx = self.shards.get(shard)?;
+        tx.send(ShardMsg::Pause(barrier.clone())).ok()?;
+        self.metrics.shard(shard).note_enqueue();
+        Some(ShardPause { barrier })
+    }
+
+    /// Sends `Shutdown` to every shard and joins the workers. Queued
+    /// messages ahead of the `Shutdown` are processed first; open
+    /// sessions are finalized. Idempotent.
+    pub fn shutdown(&self) {
+        if self.down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for (shard, tx) in self.shards.iter().enumerate() {
+            if tx.send(ShardMsg::Shutdown).is_ok() {
+                self.metrics.shard(shard).note_enqueue();
+            }
+        }
+        let handles = match self.handles.lock() {
+            Ok(mut guard) => std::mem::take(&mut *guard),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SessionRouter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The shard worker loop: exclusive owner of its sessions' pipelines.
+fn shard_worker(
+    shard: usize,
+    rx: Receiver<ShardMsg>,
+    recognizer: Arc<EagerRecognizer>,
+    metrics: Arc<ServiceMetrics>,
+    config: ServeConfig,
+) {
+    let mut sessions: HashMap<u64, SessionEntry> = HashMap::new();
+    let mut scratch: Vec<ServerFrame> = Vec::with_capacity(16);
+    let shard_metrics = metrics.shard(shard);
+    while let Ok(msg) = rx.recv() {
+        shard_metrics.note_dequeue();
+        match msg {
+            ShardMsg::Open {
+                session,
+                seq,
+                reply,
+            } => {
+                if sessions.contains_key(&session) {
+                    let _ = reply.send(ServerFrame::Fault {
+                        session,
+                        seq,
+                        code: FaultCode::AlreadyOpen,
+                    });
+                    continue;
+                }
+                if sessions.len() >= config.max_sessions_per_shard {
+                    let _ = reply.send(ServerFrame::Fault {
+                        session,
+                        seq,
+                        code: FaultCode::SessionLimit,
+                    });
+                    continue;
+                }
+                sessions.insert(
+                    session,
+                    SessionEntry {
+                        pipeline: SessionPipeline::new(session, config.pipeline.clone()),
+                        reply,
+                    },
+                );
+                metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
+            }
+            ShardMsg::Event {
+                session,
+                seq,
+                event,
+            } => {
+                let Some(entry) = sessions.get_mut(&session) else {
+                    metrics.unknown_sessions.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                metrics.events_ingested.fetch_add(1, Ordering::Relaxed);
+                shard_metrics.events.fetch_add(1, Ordering::Relaxed);
+                let is_point = matches!(event.kind, EventKind::MouseMove);
+                if is_point {
+                    metrics.points_ingested.fetch_add(1, Ordering::Relaxed);
+                    shard_metrics.points.fetch_add(1, Ordering::Relaxed);
+                }
+                scratch.clear();
+                let start = Instant::now();
+                let repairs = entry.pipeline.feed(&recognizer, seq, event, &mut scratch);
+                shard_metrics
+                    .busy_ns
+                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if repairs > 0 {
+                    metrics
+                        .faults_repaired
+                        .fetch_add(repairs as u64, Ordering::Relaxed);
+                }
+                flush_frames(&metrics, &entry.reply, &mut scratch);
+            }
+            ShardMsg::Close { session, seq } => {
+                let Some(mut entry) = sessions.remove(&session) else {
+                    metrics.unknown_sessions.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                scratch.clear();
+                entry.pipeline.close(&recognizer, seq, &mut scratch);
+                metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                flush_frames(&metrics, &entry.reply, &mut scratch);
+            }
+            ShardMsg::Pause(barrier) => {
+                barrier.wait();
+            }
+            ShardMsg::Shutdown => {
+                // Finalize every open session so clients holding the
+                // reply channel see a terminal Closed marker.
+                for (_, mut entry) in sessions.drain() {
+                    scratch.clear();
+                    entry.pipeline.close(&recognizer, u32::MAX, &mut scratch);
+                    metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                    flush_frames(&metrics, &entry.reply, &mut scratch);
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Ships pipeline frames to the connection, folding outcomes into the
+/// metrics. Send failures mean the connection is gone — the session will
+/// be reaped by its `Close`; frames are dropped silently.
+fn flush_frames(
+    metrics: &ServiceMetrics,
+    reply: &Sender<ServerFrame>,
+    frames: &mut Vec<ServerFrame>,
+) {
+    for frame in frames.drain(..) {
+        if let ServerFrame::Outcome { outcome, .. } = frame {
+            metrics.note_outcome(outcome);
+        }
+        let _ = reply.send(frame);
+    }
+}
+
+/// Convenience: drains `rx` of everything immediately available.
+pub fn drain_frames(rx: &Receiver<ServerFrame>) -> Vec<ServerFrame> {
+    let mut out = Vec::new();
+    while let Ok(frame) = rx.try_recv() {
+        out.push(frame);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::OutcomeKind;
+    use grandma_core::{EagerConfig, FeatureMask};
+    use grandma_events::{Button, EventScript};
+    use grandma_synth::datasets;
+    use std::time::Duration;
+
+    fn recognizer() -> Arc<EagerRecognizer> {
+        let data = datasets::eight_way(0x2b2b, 10, 0);
+        let (rec, _) =
+            EagerRecognizer::train(&data.training, &FeatureMask::all(), &EagerConfig::default())
+                .expect("training succeeds");
+        Arc::new(rec)
+    }
+
+    fn recv_until_closed(rx: &Receiver<ServerFrame>) -> Vec<ServerFrame> {
+        let mut out = Vec::new();
+        loop {
+            match rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(frame) => {
+                    let done = matches!(
+                        frame,
+                        ServerFrame::Outcome {
+                            outcome: OutcomeKind::Closed,
+                            ..
+                        }
+                    );
+                    out.push(frame);
+                    if done {
+                        return out;
+                    }
+                }
+                Err(_) => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn open_feed_close_produces_outcomes() {
+        let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        let (tx, rx) = std::sync::mpsc::channel();
+        router
+            .submit(ShardMsg::Open {
+                session: 42,
+                seq: 0,
+                reply: tx,
+            })
+            .unwrap();
+        let data = datasets::eight_way(0x7e57, 0, 1);
+        let events = EventScript::new()
+            .then_gesture(&data.testing[0].gesture, Button::Left)
+            .into_events();
+        for (i, e) in events.iter().enumerate() {
+            router
+                .submit(ShardMsg::Event {
+                    session: 42,
+                    seq: i as u32,
+                    event: *e,
+                })
+                .unwrap();
+        }
+        router
+            .submit(ShardMsg::Close {
+                session: 42,
+                seq: events.len() as u32,
+            })
+            .unwrap();
+        let frames = recv_until_closed(&rx);
+        let outcomes: Vec<_> = frames
+            .iter()
+            .filter_map(|f| match f {
+                ServerFrame::Outcome { outcome, .. } => Some(*outcome),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(outcomes.len(), 2, "{outcomes:?}");
+        assert!(matches!(
+            outcomes[0],
+            OutcomeKind::Recognized | OutcomeKind::Manipulated
+        ));
+        assert_eq!(outcomes[1], OutcomeKind::Closed);
+        router.shutdown();
+        let snap = router.metrics().snapshot();
+        assert_eq!(snap.sessions_opened, 1);
+        assert_eq!(snap.sessions_closed, 1);
+        assert!(snap.points_ingested > 0);
+    }
+
+    #[test]
+    fn duplicate_open_faults_already_open() {
+        let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        let (tx, rx) = std::sync::mpsc::channel();
+        for seq in 0..2 {
+            router
+                .submit(ShardMsg::Open {
+                    session: 7,
+                    seq,
+                    reply: tx.clone(),
+                })
+                .unwrap();
+        }
+        router.submit(ShardMsg::Close { session: 7, seq: 2 }).unwrap();
+        let frames = recv_until_closed(&rx);
+        assert!(frames.iter().any(|f| matches!(
+            f,
+            ServerFrame::Fault {
+                code: FaultCode::AlreadyOpen,
+                ..
+            }
+        )));
+        router.shutdown();
+    }
+
+    #[test]
+    fn paused_shard_fills_its_bounded_queue_and_rejects_busy() {
+        let config = ServeConfig {
+            shards: 1,
+            queue_capacity: 4,
+            ..ServeConfig::default()
+        };
+        let router = SessionRouter::new(recognizer(), config);
+        let pause = router.pause_shard(0).expect("pause");
+        // Give the worker a moment to take the Pause message off the
+        // queue, freeing all capacity slots.
+        std::thread::sleep(Duration::from_millis(50));
+        let (tx, _rx) = std::sync::mpsc::channel();
+        router
+            .submit(ShardMsg::Open {
+                session: 1,
+                seq: 0,
+                reply: tx,
+            })
+            .unwrap();
+        let mut busy = 0;
+        for i in 0..32 {
+            let r = router.submit(ShardMsg::Event {
+                session: 1,
+                seq: i,
+                event: InputEvent::new(EventKind::MouseMove, 0.0, 0.0, i as f64),
+            });
+            if r == Err(SubmitError::Busy) {
+                busy += 1;
+            }
+        }
+        assert!(busy >= 28, "queue of 4 must reject the flood: {busy}");
+        let snap = router.metrics().snapshot();
+        assert!(snap.shards[0].queue_highwater <= 5, "{snap:?}");
+        assert!(snap.busy_rejections >= 28);
+        pause.release();
+        router.shutdown();
+    }
+
+    #[test]
+    fn unknown_session_events_are_counted_and_dropped() {
+        let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        router
+            .submit(ShardMsg::Event {
+                session: 999,
+                seq: 0,
+                event: InputEvent::new(EventKind::MouseMove, 0.0, 0.0, 0.0),
+            })
+            .unwrap();
+        router.shutdown();
+        assert_eq!(router.metrics().snapshot().unknown_sessions, 1);
+    }
+
+    #[test]
+    fn shutdown_finalizes_open_sessions() {
+        let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        let (tx, rx) = std::sync::mpsc::channel();
+        router
+            .submit(ShardMsg::Open {
+                session: 5,
+                seq: 0,
+                reply: tx,
+            })
+            .unwrap();
+        router.shutdown();
+        let frames = drain_frames(&rx);
+        assert!(frames.iter().any(|f| matches!(
+            f,
+            ServerFrame::Outcome {
+                outcome: OutcomeKind::Closed,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let router = SessionRouter::new(recognizer(), ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        });
+        for s in 0..100u64 {
+            let a = router.shard_of(s);
+            assert_eq!(a, router.shard_of(s));
+            assert!(a < 4);
+        }
+        router.shutdown();
+    }
+}

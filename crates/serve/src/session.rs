@@ -1,0 +1,628 @@
+//! The per-session recognition pipeline: sanitize → eager classify →
+//! outcome.
+//!
+//! [`SessionPipeline`] is the serving-layer counterpart of the toolkit's
+//! `GestureHandler` state machine (ISSUE 2), with the interaction
+//! semantics stripped out and replaced by wire frames: where the handler
+//! evaluates `recog`/`manip`/`done` expressions, the pipeline emits
+//! [`ServerFrame::Recognized`] / [`ServerFrame::Manipulate`] /
+//! [`ServerFrame::Outcome`] for the consuming application to act on at
+//! the far end of the transport.
+//!
+//! The pipeline is pure with respect to its inputs: the same
+//! `(recognizer, config, event sequence)` always produces the same frame
+//! sequence, which is what lets the loopback integration test demand
+//! byte-identical outcomes between the TCP service and
+//! [`run_events_inproc`]. It holds no clock, no thread, and no
+//! allocation beyond its collection buffers; the classification hot path
+//! is the same allocation-free eager machinery as ISSUE 1.
+//!
+//! State machine (mirroring the handler's, §3.2 two-phase technique):
+//!
+//! ```text
+//! Idle ──down──▶ Collecting ──eager/timeout──▶ Manipulating ──up──▶ Idle
+//!   ▲                │  │                          │    │
+//!   │                │  └──up (classify at up)─────────────────────▶ Idle
+//!   │                └────reject / budget──▶ Draining ──end────────┘
+//!   └────grab-break (from anywhere, immediate Cancelled outcome)────┘
+//! ```
+
+use grandma_core::{EagerRecognizer, FeatureExtractor, PointFilter};
+use grandma_events::{EventKind, EventSanitizer, InputEvent, SanitizerConfig};
+use grandma_geom::{Gesture, Point};
+
+use crate::wire::{fault_code_of, OutcomeKind, ServerFrame};
+
+/// Per-session pipeline tuning. Defaults mirror the toolkit's
+/// `GestureHandlerConfig` so a served session behaves like a local one.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Whether eager recognition (the mid-gesture phase transition) is
+    /// enabled.
+    pub eager: bool,
+    /// Jitter filter threshold: collected points closer than this to the
+    /// previous kept point are discarded (Rubine used 3 px).
+    pub min_point_distance: f64,
+    /// Optional rejection: minimum estimated probability for a
+    /// classification to be acted on.
+    pub min_probability: Option<f64>,
+    /// Maximum sanitizer repairs tolerated within one interaction before
+    /// it is cancelled — a corrupted-beyond-repair stream must not be
+    /// classified.
+    pub fault_budget: u32,
+    /// Sanitizer tuning for this session's stream.
+    pub sanitizer: SanitizerConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            eager: true,
+            min_point_distance: 3.0,
+            min_probability: None,
+            fault_budget: 8,
+            sanitizer: SanitizerConfig::default(),
+        }
+    }
+}
+
+enum Phase {
+    Idle,
+    Collecting {
+        gesture: Gesture,
+        // Boxed: the extractor dominates the enum's size and Collecting
+        // is entered once per interaction, not per point.
+        extractor: Box<FeatureExtractor>,
+        filter: PointFilter,
+    },
+    Manipulating {
+        class: u16,
+        total_points: u32,
+    },
+    /// Terminal outcome decided but the grab is still live: swallow
+    /// events until one ends the interaction, then emit the held outcome.
+    Draining {
+        outcome: OutcomeKind,
+        class: Option<u16>,
+        total_points: u32,
+    },
+}
+
+/// One session's full recognition pipeline. Owned by exactly one shard
+/// worker; never shared across threads.
+pub struct SessionPipeline {
+    session: u64,
+    config: PipelineConfig,
+    sanitizer: EventSanitizer,
+    phase: Phase,
+    /// Faults charged to the interaction in progress.
+    interaction_faults: u32,
+}
+
+impl SessionPipeline {
+    /// Creates the pipeline for `session`.
+    pub fn new(session: u64, config: PipelineConfig) -> Self {
+        let sanitizer = EventSanitizer::with_config(config.sanitizer.clone());
+        Self {
+            session,
+            config,
+            sanitizer,
+            phase: Phase::Idle,
+            interaction_faults: 0,
+        }
+    }
+
+    /// The session id frames are stamped with.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// `true` while an interaction is in progress (any non-idle phase).
+    pub fn interaction_in_progress(&self) -> bool {
+        !matches!(self.phase, Phase::Idle)
+    }
+
+    /// Feeds one raw (possibly corrupted) event through sanitization and
+    /// the state machine, appending every provoked frame to `out`.
+    /// Returns the number of sanitizer repairs this event cost.
+    pub fn feed(
+        &mut self,
+        rec: &EagerRecognizer,
+        seq: u32,
+        raw: InputEvent,
+        out: &mut Vec<ServerFrame>,
+    ) -> u32 {
+        let cleaned = self.sanitizer.process(raw);
+        let repairs = self.note_sanitizer_faults(seq, out);
+        for event in cleaned {
+            self.dispatch(rec, seq, event, out);
+        }
+        repairs
+    }
+
+    /// Ends the session: flushes the sanitizer (closing any dangling
+    /// interaction), finalizes the state machine, and emits the terminal
+    /// [`OutcomeKind::Closed`] marker. Exactly one `Closed` outcome is
+    /// emitted per pipeline lifetime.
+    pub fn close(&mut self, rec: &EagerRecognizer, seq: u32, out: &mut Vec<ServerFrame>) {
+        let closing = self.sanitizer.finish();
+        self.note_sanitizer_faults(seq, out);
+        for event in closing {
+            self.dispatch(rec, seq, event, out);
+        }
+        // Defense in depth: the sanitizer's finish() guarantees an ending
+        // event for any open interaction, but a pipeline must terminate
+        // even if that contract is ever violated.
+        if self.interaction_in_progress() {
+            self.finish_interaction(seq, OutcomeKind::Cancelled, None, 0, out);
+        }
+        out.push(ServerFrame::Outcome {
+            session: self.session,
+            seq,
+            outcome: OutcomeKind::Closed,
+            class: None,
+            total_points: 0,
+            faults: 0,
+        });
+    }
+
+    /// Drains the sanitizer's fault log: emits one `Fault` frame per
+    /// repair and, while an interaction is in progress, charges them to
+    /// its budget (faults with no interaction to blame are reported but
+    /// not budgeted — mirroring the handler's `note_faults`).
+    fn note_sanitizer_faults(&mut self, seq: u32, out: &mut Vec<ServerFrame>) -> u32 {
+        let faults = self.sanitizer.take_faults();
+        if faults.is_empty() {
+            return 0;
+        }
+        for fault in &faults {
+            out.push(ServerFrame::Fault {
+                session: self.session,
+                seq,
+                code: fault_code_of(fault),
+            });
+        }
+        let n = faults.len() as u32;
+        if self.interaction_in_progress() {
+            self.interaction_faults = self.interaction_faults.saturating_add(n);
+            self.enforce_fault_budget();
+        }
+        n
+    }
+
+    /// Cancels the interaction into `Draining` when the budget is blown.
+    fn enforce_fault_budget(&mut self) {
+        if self.interaction_faults <= self.config.fault_budget {
+            return;
+        }
+        match std::mem::replace(&mut self.phase, Phase::Idle) {
+            Phase::Idle => {}
+            Phase::Collecting { gesture, .. } => {
+                self.phase = Phase::Draining {
+                    outcome: OutcomeKind::Cancelled,
+                    class: None,
+                    total_points: gesture.len() as u32,
+                };
+            }
+            Phase::Manipulating {
+                class,
+                total_points,
+            } => {
+                self.phase = Phase::Draining {
+                    outcome: OutcomeKind::Cancelled,
+                    class: Some(class),
+                    total_points,
+                };
+            }
+            draining @ Phase::Draining { .. } => self.phase = draining,
+        }
+    }
+
+    /// Emits the interaction's terminal outcome and returns to idle,
+    /// resetting the per-interaction fault charge. The single exit point
+    /// of the state machine.
+    fn finish_interaction(
+        &mut self,
+        seq: u32,
+        outcome: OutcomeKind,
+        class: Option<u16>,
+        total_points: u32,
+        out: &mut Vec<ServerFrame>,
+    ) {
+        out.push(ServerFrame::Outcome {
+            session: self.session,
+            seq,
+            outcome,
+            class,
+            total_points,
+            faults: self.interaction_faults,
+        });
+        self.interaction_faults = 0;
+        self.phase = Phase::Idle;
+    }
+
+    /// The phase transition: classify the collected gesture and either
+    /// enter manipulation (mid-gesture trigger) or finish (mouse-up).
+    fn transition(
+        &mut self,
+        rec: &EagerRecognizer,
+        seq: u32,
+        gesture: Gesture,
+        at_mouse_up: bool,
+        out: &mut Vec<ServerFrame>,
+    ) {
+        let points = gesture.len() as u32;
+        // Checked classification: non-finite or degenerate features are
+        // rejected explicitly rather than argmaxed over NaN.
+        let classification = rec.classify_full_checked(&gesture);
+        let accepted = match &classification {
+            None => None,
+            Some(c) => {
+                if self
+                    .config
+                    .min_probability
+                    .is_some_and(|p| c.probability < p)
+                {
+                    None
+                } else {
+                    Some(c.class as u16)
+                }
+            }
+        };
+        match accepted {
+            Some(class) => {
+                if at_mouse_up {
+                    self.finish_interaction(seq, OutcomeKind::Recognized, Some(class), points, out);
+                } else {
+                    out.push(ServerFrame::Recognized {
+                        session: self.session,
+                        seq,
+                        class,
+                        points,
+                    });
+                    self.phase = Phase::Manipulating {
+                        class,
+                        total_points: points,
+                    };
+                }
+            }
+            None => {
+                if at_mouse_up {
+                    self.finish_interaction(seq, OutcomeKind::Rejected, None, points, out);
+                } else {
+                    // The grab is still live: hold the rejection until the
+                    // stream ends the interaction.
+                    self.phase = Phase::Draining {
+                        outcome: OutcomeKind::Rejected,
+                        class: None,
+                        total_points: points,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Routes one *sanitized* event through the state machine.
+    fn dispatch(
+        &mut self,
+        rec: &EagerRecognizer,
+        seq: u32,
+        event: InputEvent,
+        out: &mut Vec<ServerFrame>,
+    ) {
+        // Post-sanitizer events are finite by contract; anything else is
+        // dropped defensively (never classified, never panicking).
+        if !event.is_finite() {
+            if self.interaction_in_progress() {
+                self.interaction_faults = self.interaction_faults.saturating_add(1);
+                self.enforce_fault_budget();
+                if event.ends_interaction() {
+                    self.teardown(seq, out);
+                }
+            }
+            return;
+        }
+        // A grab break tears down whatever is in progress, immediately.
+        if event.is_grab_break() {
+            if self.interaction_in_progress() {
+                self.teardown(seq, out);
+            }
+            return;
+        }
+        if let Phase::Draining {
+            outcome,
+            class,
+            total_points,
+        } = self.phase
+        {
+            if event.ends_interaction() {
+                self.finish_interaction(seq, outcome, class, total_points, out);
+            }
+            return;
+        }
+        match (&mut self.phase, event.kind) {
+            (Phase::Idle, EventKind::MouseDown { .. }) => {
+                let mut gesture = Gesture::new();
+                let mut extractor = Box::new(FeatureExtractor::new());
+                let mut filter = PointFilter::new(self.config.min_point_distance);
+                let p = Point::new(event.x, event.y, event.t);
+                filter.accept(&p);
+                gesture.push(p);
+                extractor.update(p);
+                self.phase = Phase::Collecting {
+                    gesture,
+                    extractor,
+                    filter,
+                };
+            }
+            (Phase::Idle, _) => {}
+            (
+                Phase::Collecting {
+                    gesture,
+                    extractor,
+                    filter,
+                },
+                EventKind::MouseMove,
+            ) => {
+                let p = Point::new(event.x, event.y, event.t);
+                if !filter.accept(&p) {
+                    return;
+                }
+                gesture.push(p);
+                extractor.update(p);
+                let min_points = rec.config().min_subgesture_points;
+                if self.config.eager && extractor.count() >= min_points {
+                    let features = extractor.masked_features(rec.full_classifier().mask());
+                    if rec.auc().is_unambiguous(&features) {
+                        let gesture = std::mem::take(gesture);
+                        self.transition(rec, seq, gesture, false, out);
+                    }
+                }
+            }
+            (Phase::Collecting { gesture, .. }, EventKind::Timeout) => {
+                let gesture = std::mem::take(gesture);
+                self.transition(rec, seq, gesture, false, out);
+            }
+            (Phase::Collecting { gesture, .. }, EventKind::MouseUp { .. }) => {
+                let gesture = std::mem::take(gesture);
+                self.transition(rec, seq, gesture, true, out);
+            }
+            (Phase::Collecting { .. }, EventKind::MouseDown { .. }) => {
+                // The sanitizer demotes duplicate downs upstream; if one
+                // slips through, record it and ignore the event.
+                out.push(ServerFrame::Fault {
+                    session: self.session,
+                    seq,
+                    code: crate::wire::FaultCode::DuplicateMouseDown,
+                });
+                self.interaction_faults = self.interaction_faults.saturating_add(1);
+                self.enforce_fault_budget();
+            }
+            (Phase::Collecting { .. }, _) => {}
+            (
+                Phase::Manipulating {
+                    total_points: total,
+                    ..
+                },
+                EventKind::MouseMove,
+            ) => {
+                *total += 1;
+                out.push(ServerFrame::Manipulate {
+                    session: self.session,
+                    seq,
+                    x: event.x,
+                    y: event.y,
+                });
+            }
+            (
+                Phase::Manipulating {
+                    class,
+                    total_points,
+                },
+                EventKind::MouseUp { .. },
+            ) => {
+                let (class, total_points) = (*class, *total_points);
+                self.finish_interaction(seq, OutcomeKind::Manipulated, Some(class), total_points, out);
+            }
+            (Phase::Manipulating { .. }, _) => {}
+            // Draining is fully handled before the match; this arm keeps
+            // the machine exhaustive.
+            (Phase::Draining { .. }, _) => {}
+        }
+    }
+
+    /// Immediate teardown (grab break or corrupted ending event): the
+    /// terminal outcome is emitted now and the pipeline returns to idle.
+    fn teardown(&mut self, seq: u32, out: &mut Vec<ServerFrame>) {
+        match std::mem::replace(&mut self.phase, Phase::Idle) {
+            Phase::Idle => {}
+            Phase::Collecting { gesture, .. } => {
+                self.finish_interaction(
+                    seq,
+                    OutcomeKind::Cancelled,
+                    None,
+                    gesture.len() as u32,
+                    out,
+                );
+            }
+            Phase::Manipulating {
+                class,
+                total_points,
+            } => {
+                self.finish_interaction(seq, OutcomeKind::Cancelled, Some(class), total_points, out);
+            }
+            Phase::Draining {
+                outcome,
+                class,
+                total_points,
+            } => {
+                self.finish_interaction(seq, outcome, class, total_points, out);
+            }
+        }
+    }
+}
+
+/// Runs a whole `(seq, event)` stream through a fresh [`SessionPipeline`]
+/// without any transport or thread: the deterministic in-process
+/// reference the loopback integration test compares the TCP service
+/// against, and the reference implementation of "the same scripts run
+/// through the in-process pipeline".
+pub fn run_events_inproc(
+    rec: &EagerRecognizer,
+    session: u64,
+    config: &PipelineConfig,
+    events: &[(u32, InputEvent)],
+    close_seq: u32,
+) -> Vec<ServerFrame> {
+    let mut pipeline = SessionPipeline::new(session, config.clone());
+    let mut out = Vec::new();
+    for &(seq, raw) in events {
+        pipeline.feed(rec, seq, raw, &mut out);
+    }
+    pipeline.close(rec, close_seq, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grandma_core::{EagerConfig, FeatureMask};
+    use grandma_events::{Button, EventScript};
+    use grandma_synth::datasets;
+
+    fn recognizer() -> EagerRecognizer {
+        let data = datasets::eight_way(0x2b2b, 10, 0);
+        let (rec, _) =
+            EagerRecognizer::train(&data.training, &FeatureMask::all(), &EagerConfig::default())
+                .expect("training succeeds");
+        rec
+    }
+
+    fn seq_events(events: Vec<InputEvent>) -> Vec<(u32, InputEvent)> {
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| (i as u32, e))
+            .collect()
+    }
+
+    fn clean_stream(n: usize) -> Vec<(u32, InputEvent)> {
+        let data = datasets::eight_way(0x7e57, 0, 4);
+        let mut script = EventScript::new();
+        for i in 0..n {
+            script = script.then_gesture(&data.testing[i % data.testing.len()].gesture, Button::Left);
+        }
+        seq_events(script.into_events())
+    }
+
+    #[test]
+    fn clean_interactions_recognize_and_close() {
+        let rec = recognizer();
+        let events = clean_stream(3);
+        let close_seq = events.len() as u32;
+        let frames = run_events_inproc(&rec, 11, &PipelineConfig::default(), &events, close_seq);
+        let outcomes: Vec<OutcomeKind> = frames
+            .iter()
+            .filter_map(|f| match f {
+                ServerFrame::Outcome { outcome, .. } => Some(*outcome),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(outcomes.len(), 4, "3 interactions + 1 Closed: {outcomes:?}");
+        assert!(outcomes[..3]
+            .iter()
+            .all(|o| matches!(o, OutcomeKind::Recognized | OutcomeKind::Manipulated)));
+        assert_eq!(outcomes[3], OutcomeKind::Closed);
+        // Eager recognition fired: Recognized frames precede Manipulate
+        // streams.
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f, ServerFrame::Recognized { .. })));
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f, ServerFrame::Manipulate { .. })));
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let rec = recognizer();
+        let events = clean_stream(2);
+        let a = run_events_inproc(&rec, 1, &PipelineConfig::default(), &events, 999);
+        let b = run_events_inproc(&rec, 1, &PipelineConfig::default(), &events, 999);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupted_stream_reports_faults_and_terminates() {
+        use grandma_synth::FaultInjector;
+        let rec = recognizer();
+        let clean: Vec<InputEvent> = clean_stream(4).into_iter().map(|(_, e)| e).collect();
+        let corrupted = seq_events(FaultInjector::new(0xBAD).corrupt(&clean));
+        let close_seq = corrupted.len() as u32;
+        let frames =
+            run_events_inproc(&rec, 2, &PipelineConfig::default(), &corrupted, close_seq);
+        // Terminal marker present, pipeline survived.
+        assert!(matches!(
+            frames.last(),
+            Some(ServerFrame::Outcome {
+                outcome: OutcomeKind::Closed,
+                ..
+            })
+        ));
+        let rerun =
+            run_events_inproc(&rec, 2, &PipelineConfig::default(), &corrupted, close_seq);
+        assert_eq!(frames, rerun, "corruption replays deterministically");
+    }
+
+    #[test]
+    fn dangling_interaction_is_cancelled_at_close() {
+        let rec = recognizer();
+        let mut events = clean_stream(1);
+        events.pop(); // lose the MouseUp
+        let frames = run_events_inproc(&rec, 3, &PipelineConfig::default(), &events, 100);
+        let outcomes: Vec<OutcomeKind> = frames
+            .iter()
+            .filter_map(|f| match f {
+                ServerFrame::Outcome { outcome, .. } => Some(*outcome),
+                _ => None,
+            })
+            .collect();
+        // The sanitizer's finish() synthesizes the grab break: the
+        // interaction cancels, then the session closes.
+        assert_eq!(outcomes.last(), Some(&OutcomeKind::Closed));
+        assert!(outcomes.contains(&OutcomeKind::Cancelled));
+    }
+
+    #[test]
+    fn fault_budget_cancels_interaction() {
+        let rec = recognizer();
+        let config = PipelineConfig {
+            fault_budget: 1,
+            ..PipelineConfig::default()
+        };
+        let mut pipeline = SessionPipeline::new(4, config);
+        let mut out = Vec::new();
+        let events = clean_stream(1);
+        // Open the interaction, then hammer it with NaN moves.
+        pipeline.feed(&rec, 0, events[0].1, &mut out);
+        for i in 0..4 {
+            pipeline.feed(
+                &rec,
+                i + 1,
+                InputEvent::new(EventKind::MouseMove, f64::NAN, 0.0, 5.0 + i as f64),
+                &mut out,
+            );
+        }
+        pipeline.close(&rec, 99, &mut out);
+        let cancelled = out.iter().any(|f| {
+            matches!(
+                f,
+                ServerFrame::Outcome {
+                    outcome: OutcomeKind::Cancelled,
+                    ..
+                }
+            )
+        });
+        assert!(cancelled, "budget exhaustion must cancel: {out:?}");
+    }
+}

@@ -1,0 +1,514 @@
+//! The TCP front-end: a `std::net::TcpListener` accept loop feeding the
+//! [`SessionRouter`], one reader thread and one writer thread per
+//! connection.
+//!
+//! Connection protocol:
+//!
+//! 1. The first frame must be [`ClientFrame::Hello`] with a matching
+//!    [`WIRE_VERSION`]; anything else earns a `Fault` and the connection
+//!    is dropped.
+//! 2. `Open`/`Event`/`Close` frames route to the session's shard. A full
+//!    shard queue bounces the frame back as `Fault(Busy)` — the bytes
+//!    are never buffered beyond the bounded shard queue.
+//! 3. Undecodable bytes produce `Fault(BadFrame)` and close the
+//!    connection; the decoder returns typed errors and never panics, so
+//!    hostile input costs one connection, not the process.
+//! 4. On EOF (or error) the reader submits `Close` for every session the
+//!    connection still has open, so abandoned connections cannot leak
+//!    sessions.
+//!
+//! Shutdown is graceful and idempotent: stop the accept loop (a self-
+//! connection unblocks `accept`), shut down every live connection's
+//! socket to unblock its reader, join all connection threads, then shut
+//! down the router (which finalizes any remaining sessions).
+
+use std::collections::HashSet;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::metrics::ServiceMetrics;
+use crate::router::{SessionRouter, ShardMsg, SubmitError};
+use crate::wire::{
+    encode_server, ClientFrame, FaultCode, FrameBuffer, ServerFrame, WIRE_VERSION,
+};
+
+/// Live-connection registry shared between the accept loop and shutdown.
+#[derive(Default)]
+struct ConnRegistry {
+    streams: Mutex<Vec<TcpStream>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The running TCP service. Dropping it shuts everything down.
+pub struct TcpService {
+    router: Arc<SessionRouter>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    registry: Arc<ConnRegistry>,
+}
+
+impl TcpService {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections for `router`.
+    pub fn start(router: Arc<SessionRouter>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(ConnRegistry::default());
+        let accept_thread = {
+            let router = router.clone();
+            let stop = stop.clone();
+            let registry = registry.clone();
+            std::thread::Builder::new()
+                .name("grandma-accept".into())
+                .spawn(move || accept_loop(listener, router, stop, registry))?
+        };
+        Ok(Self {
+            router,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            registry,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router behind this front-end.
+    pub fn router(&self) -> &Arc<SessionRouter> {
+        &self.router
+    }
+
+    /// The shared service metrics.
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        self.router.metrics()
+    }
+
+    /// Gracefully stops accepting, drains and joins every connection,
+    /// and shuts the router down. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock accept() with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Unblock each connection's blocking read.
+        for stream in lock_or_recover(&self.registry.streams).drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let threads = {
+            let mut guard = lock_or_recover(&self.registry.threads);
+            std::mem::take(&mut *guard)
+        };
+        for handle in threads {
+            let _ = handle.join();
+        }
+        self.router.shutdown();
+    }
+}
+
+impl Drop for TcpService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    router: Arc<SessionRouter>,
+    stop: Arc<AtomicBool>,
+    registry: Arc<ConnRegistry>,
+) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            // The shutdown self-connection (or a late client): drop it.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            lock_or_recover(&registry.streams).push(clone);
+        }
+        let conn_router = router.clone();
+        let spawned = std::thread::Builder::new()
+            .name("grandma-conn".into())
+            .spawn(move || handle_connection(stream, conn_router));
+        if let Ok(handle) = spawned {
+            lock_or_recover(&registry.threads).push(handle);
+        }
+    }
+}
+
+/// Sends `frame` to the connection's writer; a dead writer just means the
+/// client is gone.
+fn reply(tx: &Sender<ServerFrame>, frame: ServerFrame) {
+    let _ = tx.send(frame);
+}
+
+/// One connection: reads frames, routes them, and on exit closes every
+/// session the connection left open.
+fn handle_connection(mut stream: TcpStream, router: Arc<SessionRouter>) {
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel::<ServerFrame>();
+    let writer = stream.try_clone().ok().and_then(|mut out| {
+        std::thread::Builder::new()
+            .name("grandma-conn-writer".into())
+            .spawn(move || {
+                let mut bytes = Vec::with_capacity(4096);
+                while let Ok(frame) = reply_rx.recv() {
+                    bytes.clear();
+                    encode_server(&frame, &mut bytes);
+                    // Opportunistically coalesce whatever else is queued.
+                    while bytes.len() < 16 * 1024 {
+                        match reply_rx.try_recv() {
+                            Ok(next) => encode_server(&next, &mut bytes),
+                            Err(_) => break,
+                        }
+                    }
+                    if out.write_all(&bytes).is_err() {
+                        return;
+                    }
+                    let _ = out.flush();
+                }
+            })
+            .ok()
+    });
+
+    let mut frames = FrameBuffer::new();
+    let mut chunk = [0u8; 4096];
+    let mut hello_ok = false;
+    let mut open_sessions: HashSet<u64> = HashSet::new();
+    'conn: loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break 'conn,
+            Ok(n) => n,
+        };
+        frames.extend(chunk.get(..n).unwrap_or(&[]));
+        loop {
+            let frame = match frames.next_client() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(_) => {
+                    router
+                        .metrics()
+                        .decode_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    reply(
+                        &reply_tx,
+                        ServerFrame::Fault {
+                            session: 0,
+                            seq: 0,
+                            code: FaultCode::BadFrame,
+                        },
+                    );
+                    break 'conn;
+                }
+            };
+            if !hello_ok {
+                match frame {
+                    ClientFrame::Hello { version } if version == WIRE_VERSION => {
+                        hello_ok = true;
+                        continue;
+                    }
+                    ClientFrame::Hello { .. } => {
+                        reply(
+                            &reply_tx,
+                            ServerFrame::Fault {
+                                session: 0,
+                                seq: 0,
+                                code: FaultCode::VersionMismatch,
+                            },
+                        );
+                    }
+                    _ => {
+                        reply(
+                            &reply_tx,
+                            ServerFrame::Fault {
+                                session: 0,
+                                seq: 0,
+                                code: FaultCode::BadFrame,
+                            },
+                        );
+                    }
+                }
+                break 'conn;
+            }
+            match frame {
+                ClientFrame::Hello { .. } => {
+                    // A second Hello is harmless; ignore it.
+                }
+                ClientFrame::Open { session } => {
+                    let msg = ShardMsg::Open {
+                        session,
+                        seq: 0,
+                        reply: reply_tx.clone(),
+                    };
+                    match router.submit(msg) {
+                        Ok(()) => {
+                            open_sessions.insert(session);
+                        }
+                        Err(SubmitError::Busy) => reply(
+                            &reply_tx,
+                            ServerFrame::Fault {
+                                session,
+                                seq: 0,
+                                code: FaultCode::Busy,
+                            },
+                        ),
+                        Err(SubmitError::Closed) => break 'conn,
+                    }
+                }
+                ClientFrame::Event {
+                    session,
+                    seq,
+                    event,
+                } => match router.submit(ShardMsg::Event {
+                    session,
+                    seq,
+                    event,
+                }) {
+                    Ok(()) => {}
+                    Err(SubmitError::Busy) => reply(
+                        &reply_tx,
+                        ServerFrame::Fault {
+                            session,
+                            seq,
+                            code: FaultCode::Busy,
+                        },
+                    ),
+                    Err(SubmitError::Closed) => break 'conn,
+                },
+                ClientFrame::Close { session, seq } => {
+                    open_sessions.remove(&session);
+                    match submit_close(&router, session, seq) {
+                        Ok(()) => {}
+                        Err(SubmitError::Busy) => reply(
+                            &reply_tx,
+                            ServerFrame::Fault {
+                                session,
+                                seq,
+                                code: FaultCode::Busy,
+                            },
+                        ),
+                        Err(SubmitError::Closed) => break 'conn,
+                    }
+                }
+            }
+        }
+    }
+    // Reap sessions the connection abandoned so their pipelines finalize.
+    for session in open_sessions {
+        let _ = submit_close(&router, session, u32::MAX);
+    }
+    drop(reply_tx);
+    if let Some(handle) = writer {
+        let _ = handle.join();
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Close is the one message worth briefly retrying under backpressure:
+/// losing it leaks the session until connection teardown.
+fn submit_close(router: &Arc<SessionRouter>, session: u64, seq: u32) -> Result<(), SubmitError> {
+    for _ in 0..64 {
+        match router.submit(ShardMsg::Close { session, seq }) {
+            Err(SubmitError::Busy) => std::thread::sleep(std::time::Duration::from_micros(250)),
+            other => return other,
+        }
+    }
+    Err(SubmitError::Busy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::ServeConfig;
+    use crate::wire::{encode_client, OutcomeKind};
+    use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
+    use grandma_synth::datasets;
+    use std::time::Duration;
+
+    fn recognizer() -> Arc<EagerRecognizer> {
+        let data = datasets::eight_way(0x2b2b, 10, 0);
+        let (rec, _) =
+            EagerRecognizer::train(&data.training, &FeatureMask::all(), &EagerConfig::default())
+                .expect("training succeeds");
+        Arc::new(rec)
+    }
+
+    fn read_server_frames(stream: &mut TcpStream, until_closed_for: u64) -> Vec<ServerFrame> {
+        let mut fb = FrameBuffer::new();
+        let mut chunk = [0u8; 4096];
+        let mut out = Vec::new();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return out,
+                Ok(n) => fb.extend(&chunk[..n]),
+            }
+            while let Some(frame) = fb.next_server().expect("valid server bytes") {
+                let done = matches!(
+                    frame,
+                    ServerFrame::Outcome {
+                        session,
+                        outcome: OutcomeKind::Closed,
+                        ..
+                    } if session == until_closed_for
+                );
+                out.push(frame);
+                if done {
+                    return out;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tcp_session_round_trips_and_shuts_down() {
+        use grandma_events::{Button, EventScript};
+        let service = TcpService::start(
+            SessionRouter::new(recognizer(), ServeConfig::default()),
+            "127.0.0.1:0",
+        )
+        .expect("bind");
+        let mut service = service;
+        let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
+        let mut bytes = Vec::new();
+        encode_client(
+            &ClientFrame::Hello {
+                version: WIRE_VERSION,
+            },
+            &mut bytes,
+        );
+        encode_client(&ClientFrame::Open { session: 1 }, &mut bytes);
+        let data = datasets::eight_way(0x7e57, 0, 1);
+        let events = EventScript::new()
+            .then_gesture(&data.testing[0].gesture, Button::Left)
+            .into_events();
+        for (i, e) in events.iter().enumerate() {
+            encode_client(
+                &ClientFrame::Event {
+                    session: 1,
+                    seq: i as u32,
+                    event: *e,
+                },
+                &mut bytes,
+            );
+        }
+        encode_client(
+            &ClientFrame::Close {
+                session: 1,
+                seq: events.len() as u32,
+            },
+            &mut bytes,
+        );
+        stream.write_all(&bytes).expect("write");
+        let frames = read_server_frames(&mut stream, 1);
+        assert!(matches!(
+            frames.last(),
+            Some(ServerFrame::Outcome {
+                outcome: OutcomeKind::Closed,
+                ..
+            })
+        ));
+        service.shutdown();
+        assert_eq!(service.metrics().snapshot().sessions_closed, 1);
+    }
+
+    #[test]
+    fn garbage_bytes_fault_and_close_the_connection() {
+        let mut service = TcpService::start(
+            SessionRouter::new(recognizer(), ServeConfig::default()),
+            "127.0.0.1:0",
+        )
+        .expect("bind");
+        let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
+        stream
+            .write_all(&[0xFF; 64])
+            .expect("write garbage");
+        let mut fb = FrameBuffer::new();
+        let mut chunk = [0u8; 256];
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let mut got_fault = false;
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => fb.extend(&chunk[..n]),
+            }
+            while let Some(frame) = fb.next_server().expect("server bytes") {
+                if matches!(
+                    frame,
+                    ServerFrame::Fault {
+                        code: FaultCode::BadFrame,
+                        ..
+                    }
+                ) {
+                    got_fault = true;
+                }
+            }
+            if got_fault {
+                break;
+            }
+        }
+        assert!(got_fault, "hostile bytes must earn a BadFrame fault");
+        service.shutdown();
+        assert!(service.metrics().snapshot().decode_errors >= 1);
+    }
+
+    #[test]
+    fn dropped_connection_reaps_its_sessions() {
+        let mut service = TcpService::start(
+            SessionRouter::new(recognizer(), ServeConfig::default()),
+            "127.0.0.1:0",
+        )
+        .expect("bind");
+        {
+            let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
+            let mut bytes = Vec::new();
+            encode_client(
+                &ClientFrame::Hello {
+                    version: WIRE_VERSION,
+                },
+                &mut bytes,
+            );
+            encode_client(&ClientFrame::Open { session: 9 }, &mut bytes);
+            stream.write_all(&bytes).expect("write");
+            stream.flush().expect("flush");
+            // Give the server a moment to register the session, then
+            // vanish without a Close.
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        // Shutdown joins the reader, which must have closed session 9.
+        service.shutdown();
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.sessions_opened, 1);
+        assert_eq!(snap.sessions_closed, 1, "{snap:?}");
+    }
+}

@@ -1,0 +1,914 @@
+//! The versioned binary wire protocol.
+//!
+//! Every frame on the wire is length-prefixed:
+//!
+//! ```text
+//! ┌────────────┬─────────┬──────────────────────────┐
+//! │ u32 LE len │ u8 tag  │ payload (len − 1 bytes)  │
+//! └────────────┴─────────┴──────────────────────────┘
+//! ```
+//!
+//! `len` counts the tag plus the payload and is capped at
+//! [`MAX_FRAME_LEN`]; a larger prefix is a protocol violation
+//! ([`WireError::Oversized`]), never an allocation request. All integers
+//! are little-endian; floating-point fields travel as raw IEEE-754 bit
+//! patterns so NaN and ±∞ — which corrupted device streams legitimately
+//! contain — cross the wire unchanged and are repaired *server-side* by
+//! the [`grandma_events::EventSanitizer`].
+//!
+//! Client → server: [`ClientFrame`] (`Hello`, `Open`, `Event`, `Close`).
+//! Server → client: [`ServerFrame`] (`Recognized`, `Manipulate`,
+//! `Outcome`, `Fault`).
+//!
+//! Encoding and decoding are pure functions of bytes; the streaming
+//! [`FrameBuffer`] feeds a byte stream through them incrementally. A
+//! decoder handed hostile bytes returns a typed [`WireError`] — it must
+//! never panic, which the fuzz suite in `tests/wire_roundtrip.rs` checks
+//! against seeded byte soup.
+
+use grandma_events::{Button, EventKind, InputEvent};
+
+/// Protocol version spoken by this build; [`ClientFrame::Hello`] carries
+/// the client's version and a mismatch closes the connection with
+/// [`FaultCode::VersionMismatch`].
+pub const WIRE_VERSION: u16 = 1;
+
+/// Upper bound on the length prefix (tag + payload). The largest real
+/// frame is `Event` at 39 bytes; anything claiming more is hostile.
+pub const MAX_FRAME_LEN: usize = 128;
+
+/// Typed decoding failure. Every variant is a protocol violation that is
+/// fatal for the connection; an incomplete frame is *not* an error (the
+/// decoders return `Ok(None)` until more bytes arrive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The claimed length.
+        len: usize,
+    },
+    /// The length prefix was zero (no room for a tag).
+    EmptyFrame,
+    /// The frame tag byte is not a known frame kind.
+    UnknownTag {
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A payload field held a value outside its enum's range.
+    BadEnum {
+        /// Which field.
+        what: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// The payload ended before the frame's fields did.
+    Malformed {
+        /// Which field ran out of bytes.
+        what: &'static str,
+    },
+    /// The payload was longer than the frame's fields.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Oversized { len } => write!(f, "frame length {len} exceeds cap"),
+            WireError::EmptyFrame => write!(f, "zero-length frame"),
+            WireError::UnknownTag { tag } => write!(f, "unknown frame tag {tag:#04x}"),
+            WireError::BadEnum { what, value } => write!(f, "bad {what} value {value}"),
+            WireError::Malformed { what } => write!(f, "frame truncated reading {what}"),
+            WireError::TrailingBytes { extra } => write!(f, "{extra} trailing bytes in frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Frames a client sends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClientFrame {
+    /// Protocol handshake: the client's wire version. Must be the first
+    /// frame on a connection.
+    Hello {
+        /// The client's [`WIRE_VERSION`].
+        version: u16,
+    },
+    /// Opens a recognition session. Session ids are client-chosen and
+    /// route the session to a shard.
+    Open {
+        /// Session id.
+        session: u64,
+    },
+    /// One input event for a session. `seq` is a client-assigned
+    /// correlation id echoed on every server frame the event provokes.
+    Event {
+        /// Session id.
+        session: u64,
+        /// Client-assigned sequence number.
+        seq: u32,
+        /// The raw (possibly corrupted) input event.
+        event: InputEvent,
+    },
+    /// Ends a session: the server flushes its sanitizer, finalizes any
+    /// open interaction, and replies with a terminal
+    /// [`OutcomeKind::Closed`] outcome.
+    Close {
+        /// Session id.
+        session: u64,
+        /// Client-assigned sequence number.
+        seq: u32,
+    },
+}
+
+/// How an interaction (or session) ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// Classified at mouse-up; the manipulation phase was omitted.
+    Recognized,
+    /// Classified mid-gesture and manipulated to a clean mouse-up.
+    Manipulated,
+    /// Torn down: grab break or fault budget exhausted.
+    Cancelled,
+    /// Classification declined to act (low probability or degenerate
+    /// features).
+    Rejected,
+    /// The session itself was closed; emitted exactly once per
+    /// [`ClientFrame::Close`] as the end-of-session marker.
+    Closed,
+}
+
+impl OutcomeKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            OutcomeKind::Recognized => 0,
+            OutcomeKind::Manipulated => 1,
+            OutcomeKind::Cancelled => 2,
+            OutcomeKind::Rejected => 3,
+            OutcomeKind::Closed => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => OutcomeKind::Recognized,
+            1 => OutcomeKind::Manipulated,
+            2 => OutcomeKind::Cancelled,
+            3 => OutcomeKind::Rejected,
+            4 => OutcomeKind::Closed,
+            _ => {
+                return Err(WireError::BadEnum {
+                    what: "outcome",
+                    value: v,
+                })
+            }
+        })
+    }
+}
+
+/// What went wrong, as reported in a [`ServerFrame::Fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCode {
+    /// Non-finite coordinates repaired or dropped by the sanitizer.
+    NonFiniteCoordinates,
+    /// Non-finite timestamp repaired or dropped.
+    NonFiniteTimestamp,
+    /// Out-of-order timestamp clamped to the present.
+    OutOfOrder,
+    /// Event older than the reorder window; dropped.
+    DroppedStale,
+    /// Duplicate `MouseDown` demoted to a move.
+    DuplicateMouseDown,
+    /// `MouseUp` with no interaction in progress; dropped.
+    UnmatchedMouseUp,
+    /// Grab presumed broken; a `GrabBreak` was synthesized.
+    MissingMouseUp,
+    /// The session's shard queue is full; the frame was rejected, not
+    /// queued. The client may retry after draining replies.
+    Busy,
+    /// The connection sent bytes that do not decode; the connection is
+    /// closed after this frame.
+    BadFrame,
+    /// An `Event`/`Close` referenced a session this server does not hold.
+    UnknownSession,
+    /// An `Open` for a session id that is already open.
+    AlreadyOpen,
+    /// The shard is at its session-count cap; the `Open` was rejected.
+    SessionLimit,
+    /// The client's `Hello` version differs from [`WIRE_VERSION`]; the
+    /// connection is closed after this frame.
+    VersionMismatch,
+}
+
+impl FaultCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            FaultCode::NonFiniteCoordinates => 0,
+            FaultCode::NonFiniteTimestamp => 1,
+            FaultCode::OutOfOrder => 2,
+            FaultCode::DroppedStale => 3,
+            FaultCode::DuplicateMouseDown => 4,
+            FaultCode::UnmatchedMouseUp => 5,
+            FaultCode::MissingMouseUp => 6,
+            FaultCode::Busy => 7,
+            FaultCode::BadFrame => 8,
+            FaultCode::UnknownSession => 9,
+            FaultCode::AlreadyOpen => 10,
+            FaultCode::SessionLimit => 11,
+            FaultCode::VersionMismatch => 12,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => FaultCode::NonFiniteCoordinates,
+            1 => FaultCode::NonFiniteTimestamp,
+            2 => FaultCode::OutOfOrder,
+            3 => FaultCode::DroppedStale,
+            4 => FaultCode::DuplicateMouseDown,
+            5 => FaultCode::UnmatchedMouseUp,
+            6 => FaultCode::MissingMouseUp,
+            7 => FaultCode::Busy,
+            8 => FaultCode::BadFrame,
+            9 => FaultCode::UnknownSession,
+            10 => FaultCode::AlreadyOpen,
+            11 => FaultCode::SessionLimit,
+            12 => FaultCode::VersionMismatch,
+            _ => {
+                return Err(WireError::BadEnum {
+                    what: "fault code",
+                    value: v,
+                })
+            }
+        })
+    }
+}
+
+/// Frames the server sends. Every frame carries the session id and the
+/// `seq` of the client event that provoked it, so clients can correlate
+/// replies (and measure per-event round trips).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServerFrame {
+    /// The eager recognizer (or dwell/mouse-up classification) committed
+    /// to a class mid-gesture; the session is now manipulating.
+    Recognized {
+        /// Session id.
+        session: u64,
+        /// Triggering event's sequence number.
+        seq: u32,
+        /// Winning class index.
+        class: u16,
+        /// Points collected when classification fired.
+        points: u32,
+    },
+    /// One manipulation-phase position update (the `manip` stream the
+    /// consuming application would drive its direct manipulation from).
+    Manipulate {
+        /// Session id.
+        session: u64,
+        /// Triggering event's sequence number.
+        seq: u32,
+        /// Pointer x.
+        x: f64,
+        /// Pointer y.
+        y: f64,
+    },
+    /// Terminal state of one interaction (or of the session itself, for
+    /// [`OutcomeKind::Closed`]).
+    Outcome {
+        /// Session id.
+        session: u64,
+        /// Triggering event's sequence number.
+        seq: u32,
+        /// How the interaction ended.
+        outcome: OutcomeKind,
+        /// The recognized class, when there was one.
+        class: Option<u16>,
+        /// Points in the whole interaction.
+        total_points: u32,
+        /// Stream faults charged to the interaction.
+        faults: u32,
+    },
+    /// A stream repair, rejection, or protocol error.
+    Fault {
+        /// Session id (0 when the fault is connection-level).
+        session: u64,
+        /// Triggering event's sequence number (0 when connection-level).
+        seq: u32,
+        /// What happened.
+        code: FaultCode,
+    },
+}
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_OPEN: u8 = 0x02;
+const TAG_EVENT: u8 = 0x03;
+const TAG_CLOSE: u8 = 0x04;
+const TAG_RECOGNIZED: u8 = 0x81;
+const TAG_MANIPULATE: u8 = 0x82;
+const TAG_OUTCOME: u8 = 0x83;
+const TAG_FAULT: u8 = 0x84;
+
+/// Sentinel for "no class" in an `Outcome` frame.
+const NO_CLASS: u16 = u16::MAX;
+
+fn kind_to_bytes(kind: EventKind) -> (u8, u8) {
+    match kind {
+        EventKind::MouseDown { button } => (0, button_to_u8(button)),
+        EventKind::MouseMove => (1, 0),
+        EventKind::MouseUp { button } => (2, button_to_u8(button)),
+        EventKind::Timeout => (3, 0),
+        EventKind::GrabBreak => (4, 0),
+    }
+}
+
+fn button_to_u8(b: Button) -> u8 {
+    match b {
+        Button::Left => 0,
+        Button::Middle => 1,
+        Button::Right => 2,
+    }
+}
+
+fn button_from_u8(v: u8) -> Result<Button, WireError> {
+    Ok(match v {
+        0 => Button::Left,
+        1 => Button::Middle,
+        2 => Button::Right,
+        _ => {
+            return Err(WireError::BadEnum {
+                what: "button",
+                value: v,
+            })
+        }
+    })
+}
+
+fn kind_from_bytes(kind: u8, button: u8) -> Result<EventKind, WireError> {
+    Ok(match kind {
+        0 => EventKind::MouseDown {
+            button: button_from_u8(button)?,
+        },
+        1 => EventKind::MouseMove,
+        2 => EventKind::MouseUp {
+            button: button_from_u8(button)?,
+        },
+        3 => EventKind::Timeout,
+        4 => EventKind::GrabBreak,
+        _ => {
+            return Err(WireError::BadEnum {
+                what: "event kind",
+                value: kind,
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Patches the 4-byte length prefix reserved at `at` once the body is
+/// written.
+fn finish_frame(out: &mut [u8], at: usize) {
+    let len = (out.len() - at - 4) as u32;
+    let bytes = len.to_le_bytes();
+    for (i, b) in bytes.iter().enumerate() {
+        if let Some(slot) = out.get_mut(at + i) {
+            *slot = *b;
+        }
+    }
+}
+
+/// Appends one encoded client frame (length prefix included) to `out`.
+pub fn encode_client(frame: &ClientFrame, out: &mut Vec<u8>) {
+    let at = out.len();
+    put_u32(out, 0);
+    match *frame {
+        ClientFrame::Hello { version } => {
+            out.push(TAG_HELLO);
+            put_u16(out, version);
+        }
+        ClientFrame::Open { session } => {
+            out.push(TAG_OPEN);
+            put_u64(out, session);
+        }
+        ClientFrame::Event {
+            session,
+            seq,
+            event,
+        } => {
+            out.push(TAG_EVENT);
+            put_u64(out, session);
+            put_u32(out, seq);
+            let (kind, button) = kind_to_bytes(event.kind);
+            out.push(kind);
+            out.push(button);
+            put_f64(out, event.x);
+            put_f64(out, event.y);
+            put_f64(out, event.t);
+        }
+        ClientFrame::Close { session, seq } => {
+            out.push(TAG_CLOSE);
+            put_u64(out, session);
+            put_u32(out, seq);
+        }
+    }
+    finish_frame(out, at);
+}
+
+/// Appends one encoded server frame (length prefix included) to `out`.
+pub fn encode_server(frame: &ServerFrame, out: &mut Vec<u8>) {
+    let at = out.len();
+    put_u32(out, 0);
+    match *frame {
+        ServerFrame::Recognized {
+            session,
+            seq,
+            class,
+            points,
+        } => {
+            out.push(TAG_RECOGNIZED);
+            put_u64(out, session);
+            put_u32(out, seq);
+            put_u16(out, class);
+            put_u32(out, points);
+        }
+        ServerFrame::Manipulate { session, seq, x, y } => {
+            out.push(TAG_MANIPULATE);
+            put_u64(out, session);
+            put_u32(out, seq);
+            put_f64(out, x);
+            put_f64(out, y);
+        }
+        ServerFrame::Outcome {
+            session,
+            seq,
+            outcome,
+            class,
+            total_points,
+            faults,
+        } => {
+            out.push(TAG_OUTCOME);
+            put_u64(out, session);
+            put_u32(out, seq);
+            out.push(outcome.to_u8());
+            put_u16(out, class.unwrap_or(NO_CLASS));
+            put_u32(out, total_points);
+            put_u32(out, faults);
+        }
+        ServerFrame::Fault { session, seq, code } => {
+            out.push(TAG_FAULT);
+            put_u64(out, session);
+            put_u32(out, seq);
+            out.push(code.to_u8());
+        }
+    }
+    finish_frame(out, at);
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked cursor over one frame body.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Malformed { what })?;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(WireError::Malformed { what })?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+}
+
+/// Splits off the next frame body from `buf`. `Ok(None)` means the buffer
+/// holds an incomplete frame (wait for more bytes); `Ok(Some)` yields the
+/// body and the total bytes consumed (prefix included).
+fn next_body(buf: &[u8]) -> Result<Option<(&[u8], usize)>, WireError> {
+    let Some(prefix) = buf.get(..4) else {
+        return Ok(None);
+    };
+    let len = u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]) as usize;
+    if len == 0 {
+        return Err(WireError::EmptyFrame);
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized { len });
+    }
+    match buf.get(4..4 + len) {
+        Some(body) => Ok(Some((body, 4 + len))),
+        None => Ok(None),
+    }
+}
+
+fn finish_body(cur: &Cur<'_>) -> Result<(), WireError> {
+    match cur.remaining() {
+        0 => Ok(()),
+        extra => Err(WireError::TrailingBytes { extra }),
+    }
+}
+
+/// Decodes the next client frame from `buf`. Returns `Ok(None)` while the
+/// frame is incomplete, `Ok(Some((frame, consumed)))` on success, and a
+/// typed [`WireError`] on protocol violation. Never panics on any input.
+pub fn decode_client(buf: &[u8]) -> Result<Option<(ClientFrame, usize)>, WireError> {
+    let Some((body, consumed)) = next_body(buf)? else {
+        return Ok(None);
+    };
+    let mut cur = Cur::new(body);
+    let frame = match cur.u8("tag")? {
+        TAG_HELLO => ClientFrame::Hello {
+            version: cur.u16("version")?,
+        },
+        TAG_OPEN => ClientFrame::Open {
+            session: cur.u64("session")?,
+        },
+        TAG_EVENT => {
+            let session = cur.u64("session")?;
+            let seq = cur.u32("seq")?;
+            let kind = cur.u8("event kind")?;
+            let button = cur.u8("button")?;
+            let x = cur.f64("x")?;
+            let y = cur.f64("y")?;
+            let t = cur.f64("t")?;
+            ClientFrame::Event {
+                session,
+                seq,
+                event: InputEvent::new(kind_from_bytes(kind, button)?, x, y, t),
+            }
+        }
+        TAG_CLOSE => ClientFrame::Close {
+            session: cur.u64("session")?,
+            seq: cur.u32("seq")?,
+        },
+        tag => return Err(WireError::UnknownTag { tag }),
+    };
+    finish_body(&cur)?;
+    Ok(Some((frame, consumed)))
+}
+
+/// Decodes the next server frame from `buf`; same contract as
+/// [`decode_client`].
+pub fn decode_server(buf: &[u8]) -> Result<Option<(ServerFrame, usize)>, WireError> {
+    let Some((body, consumed)) = next_body(buf)? else {
+        return Ok(None);
+    };
+    let mut cur = Cur::new(body);
+    let frame = match cur.u8("tag")? {
+        TAG_RECOGNIZED => ServerFrame::Recognized {
+            session: cur.u64("session")?,
+            seq: cur.u32("seq")?,
+            class: cur.u16("class")?,
+            points: cur.u32("points")?,
+        },
+        TAG_MANIPULATE => ServerFrame::Manipulate {
+            session: cur.u64("session")?,
+            seq: cur.u32("seq")?,
+            x: cur.f64("x")?,
+            y: cur.f64("y")?,
+        },
+        TAG_OUTCOME => {
+            let session = cur.u64("session")?;
+            let seq = cur.u32("seq")?;
+            let outcome = OutcomeKind::from_u8(cur.u8("outcome")?)?;
+            let class = match cur.u16("class")? {
+                NO_CLASS => None,
+                c => Some(c),
+            };
+            ServerFrame::Outcome {
+                session,
+                seq,
+                outcome,
+                class,
+                total_points: cur.u32("total points")?,
+                faults: cur.u32("faults")?,
+            }
+        }
+        TAG_FAULT => ServerFrame::Fault {
+            session: cur.u64("session")?,
+            seq: cur.u32("seq")?,
+            code: FaultCode::from_u8(cur.u8("fault code")?)?,
+        },
+        tag => return Err(WireError::UnknownTag { tag }),
+    };
+    finish_body(&cur)?;
+    Ok(Some((frame, consumed)))
+}
+
+/// Incremental framing over a byte stream: [`FrameBuffer::extend`] with
+/// whatever the transport delivered, then drain complete frames with
+/// [`FrameBuffer::next_client`] / [`FrameBuffer::next_server`].
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw transport bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn pending(&self) -> usize {
+        self.buf.len().saturating_sub(self.start)
+    }
+
+    fn compact(&mut self) {
+        // Reclaim consumed prefix once it dominates the buffer, keeping
+        // the amortized cost linear.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    fn advance(&mut self, consumed: usize) {
+        self.start += consumed;
+        self.compact();
+    }
+
+    /// Next complete client frame, if one is buffered.
+    pub fn next_client(&mut self) -> Result<Option<ClientFrame>, WireError> {
+        let tail = self.buf.get(self.start..).unwrap_or(&[]);
+        match decode_client(tail)? {
+            Some((frame, consumed)) => {
+                self.advance(consumed);
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Next complete server frame, if one is buffered.
+    pub fn next_server(&mut self) -> Result<Option<ServerFrame>, WireError> {
+        let tail = self.buf.get(self.start..).unwrap_or(&[]);
+        match decode_server(tail)? {
+            Some((frame, consumed)) => {
+                self.advance(consumed);
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Maps a sanitizer repair to its wire fault code.
+pub fn fault_code_of(fault: &grandma_events::StreamFault) -> FaultCode {
+    use grandma_events::StreamFault as F;
+    match fault {
+        F::NonFiniteCoordinates { .. } => FaultCode::NonFiniteCoordinates,
+        F::NonFiniteTimestamp { .. } => FaultCode::NonFiniteTimestamp,
+        F::OutOfOrder { .. } => FaultCode::OutOfOrder,
+        F::DroppedStale { .. } => FaultCode::DroppedStale,
+        F::DuplicateMouseDown { .. } => FaultCode::DuplicateMouseDown,
+        F::UnmatchedMouseUp { .. } => FaultCode::UnmatchedMouseUp,
+        F::MissingMouseUp { .. } => FaultCode::MissingMouseUp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_client(frame: ClientFrame) {
+        let mut bytes = Vec::new();
+        encode_client(&frame, &mut bytes);
+        let (decoded, consumed) = decode_client(&bytes)
+            .expect("decodes")
+            .expect("complete frame");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, frame);
+    }
+
+    fn roundtrip_server(frame: ServerFrame) {
+        let mut bytes = Vec::new();
+        encode_server(&frame, &mut bytes);
+        let (decoded, consumed) = decode_server(&bytes)
+            .expect("decodes")
+            .expect("complete frame");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn client_frames_round_trip() {
+        roundtrip_client(ClientFrame::Hello {
+            version: WIRE_VERSION,
+        });
+        roundtrip_client(ClientFrame::Open { session: u64::MAX });
+        roundtrip_client(ClientFrame::Event {
+            session: 7,
+            seq: 42,
+            event: InputEvent::new(
+                EventKind::MouseDown {
+                    button: Button::Middle,
+                },
+                1.5,
+                -2.5,
+                1e12,
+            ),
+        });
+        roundtrip_client(ClientFrame::Close { session: 7, seq: 43 });
+    }
+
+    #[test]
+    fn server_frames_round_trip() {
+        roundtrip_server(ServerFrame::Recognized {
+            session: 9,
+            seq: 1,
+            class: 3,
+            points: 17,
+        });
+        roundtrip_server(ServerFrame::Manipulate {
+            session: 9,
+            seq: 2,
+            x: 0.25,
+            y: -0.75,
+        });
+        roundtrip_server(ServerFrame::Outcome {
+            session: 9,
+            seq: 3,
+            outcome: OutcomeKind::Manipulated,
+            class: Some(3),
+            total_points: 40,
+            faults: 2,
+        });
+        roundtrip_server(ServerFrame::Outcome {
+            session: 9,
+            seq: 4,
+            outcome: OutcomeKind::Rejected,
+            class: None,
+            total_points: 5,
+            faults: 0,
+        });
+        roundtrip_server(ServerFrame::Fault {
+            session: 9,
+            seq: 5,
+            code: FaultCode::Busy,
+        });
+    }
+
+    #[test]
+    fn non_finite_floats_cross_the_wire_bit_exact() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let frame = ClientFrame::Event {
+                session: 1,
+                seq: 0,
+                event: InputEvent::new(EventKind::MouseMove, bad, 2.0, bad),
+            };
+            let mut bytes = Vec::new();
+            encode_client(&frame, &mut bytes);
+            let (decoded, _) = decode_client(&bytes).unwrap().unwrap();
+            if let ClientFrame::Event { event, .. } = decoded {
+                assert_eq!(event.x.to_bits(), bad.to_bits());
+                assert_eq!(event.t.to_bits(), bad.to_bits());
+            } else {
+                panic!("wrong frame kind");
+            }
+        }
+    }
+
+    #[test]
+    fn incomplete_prefixes_wait_for_more_bytes() {
+        let mut bytes = Vec::new();
+        encode_client(&ClientFrame::Open { session: 5 }, &mut bytes);
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode_client(&bytes[..cut]).expect("truncation is not an error"),
+                None,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.push(TAG_OPEN);
+        assert_eq!(
+            decode_client(&bytes),
+            Err(WireError::Oversized {
+                len: u32::MAX as usize
+            })
+        );
+    }
+
+    #[test]
+    fn zero_length_and_bad_tag_are_typed_errors() {
+        assert_eq!(decode_client(&0u32.to_le_bytes()), Err(WireError::EmptyFrame));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(0x7f);
+        assert_eq!(decode_client(&bytes), Err(WireError::UnknownTag { tag: 0x7f }));
+    }
+
+    #[test]
+    fn trailing_bytes_inside_a_frame_are_rejected() {
+        let mut bytes = Vec::new();
+        encode_client(&ClientFrame::Open { session: 5 }, &mut bytes);
+        // Grow the declared length by one and append a stray byte.
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) + 1;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        bytes.push(0xEE);
+        assert_eq!(decode_client(&bytes), Err(WireError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let mut bytes = Vec::new();
+        encode_server(
+            &ServerFrame::Fault {
+                session: 3,
+                seq: 9,
+                code: FaultCode::OutOfOrder,
+            },
+            &mut bytes,
+        );
+        encode_server(
+            &ServerFrame::Manipulate {
+                session: 3,
+                seq: 10,
+                x: 1.0,
+                y: 2.0,
+            },
+            &mut bytes,
+        );
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for b in bytes {
+            fb.extend(&[b]);
+            while let Some(f) = fb.next_server().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert!(matches!(got[0], ServerFrame::Fault { .. }));
+        assert!(matches!(got[1], ServerFrame::Manipulate { .. }));
+        assert_eq!(fb.pending(), 0);
+    }
+}

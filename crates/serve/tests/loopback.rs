@@ -1,0 +1,295 @@
+//! The loopback integration test: 64 concurrent sessions over real TCP
+//! connections, interleaved within and across connections, must produce
+//! *byte-identical* per-session frame sequences to the deterministic
+//! in-process pipeline — per seed, across two independent service runs.
+//!
+//! A quarter of the sessions replay `FaultInjector`-corrupted streams, so
+//! the equality also covers the sanitizer/fault path end to end.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
+use grandma_events::{Button, EventScript, InputEvent};
+use grandma_serve::{
+    encode_client, encode_server, run_events_inproc, ClientFrame, FrameBuffer, OutcomeKind,
+    PipelineConfig, ServeConfig, ServerFrame, SessionRouter, TcpService, WIRE_VERSION,
+};
+use grandma_synth::{datasets, FaultInjector, SynthRng};
+
+const SESSIONS: u64 = 64;
+const CONNECTIONS: u64 = 8;
+const SESSIONS_PER_CONN: u64 = SESSIONS / CONNECTIONS;
+
+fn recognizer() -> Arc<EagerRecognizer> {
+    let data = datasets::eight_way(0x2b2b, 10, 0);
+    let (rec, _) =
+        EagerRecognizer::train(&data.training, &FeatureMask::all(), &EagerConfig::default())
+            .expect("training succeeds");
+    Arc::new(rec)
+}
+
+/// The seeded event stream of one session: a few gestures picked by the
+/// session's own rng, with every fourth session corrupted.
+fn session_stream(session: u64) -> Vec<(u32, InputEvent)> {
+    let data = datasets::eight_way(0x7e57, 0, 8);
+    let mut rng = SynthRng::seed_from_u64(0x10AD ^ session.wrapping_mul(0x9E37_79B9));
+    let gestures = 2 + (rng.next_u64() % 2) as usize;
+    let mut script = EventScript::new();
+    for _ in 0..gestures {
+        let idx = (rng.next_u64() as usize) % data.testing.len();
+        script = script.then_gesture(&data.testing[idx].gesture, Button::Left);
+    }
+    let mut events = script.into_events();
+    if session.is_multiple_of(4) {
+        events = FaultInjector::new(0xBAD ^ session).corrupt(&events);
+    }
+    events
+        .into_iter()
+        .enumerate()
+        .map(|(i, e)| (i as u32, e))
+        .collect()
+}
+
+/// Serializes a frame sequence to wire bytes — the "byte-identical"
+/// comparison is on these, not on struct equality.
+fn frames_to_bytes(frames: &[ServerFrame]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for frame in frames {
+        encode_server(frame, &mut bytes);
+    }
+    bytes
+}
+
+/// One client connection driving `sessions` concurrently: opens all of
+/// them, interleaves their events round-robin, closes each, then reads
+/// until every session's `Closed` marker arrived.
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    sessions: &[u64],
+    streams: &HashMap<u64, Vec<(u32, InputEvent)>>,
+) -> HashMap<u64, Vec<ServerFrame>> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut bytes = Vec::new();
+    encode_client(
+        &ClientFrame::Hello {
+            version: WIRE_VERSION,
+        },
+        &mut bytes,
+    );
+    for &session in sessions {
+        encode_client(&ClientFrame::Open { session }, &mut bytes);
+    }
+    // Round-robin interleave: session A's event i, session B's event i, …
+    // so sessions genuinely overlap in time on the wire and in the shards.
+    let mut cursors: Vec<usize> = vec![0; sessions.len()];
+    loop {
+        let mut progressed = false;
+        for (slot, &session) in sessions.iter().enumerate() {
+            let events = &streams[&session];
+            if let Some(&(seq, event)) = events.get(cursors[slot]) {
+                encode_client(
+                    &ClientFrame::Event {
+                        session,
+                        seq,
+                        event,
+                    },
+                    &mut bytes,
+                );
+                cursors[slot] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for &session in sessions {
+        encode_client(
+            &ClientFrame::Close {
+                session,
+                seq: streams[&session].len() as u32,
+            },
+            &mut bytes,
+        );
+    }
+    stream.write_all(&bytes).expect("write");
+    stream.flush().expect("flush");
+
+    let mut fb = FrameBuffer::new();
+    let mut per_session: HashMap<u64, Vec<ServerFrame>> =
+        sessions.iter().map(|&s| (s, Vec::new())).collect();
+    let mut closed = 0usize;
+    let mut chunk = [0u8; 8192];
+    while closed < sessions.len() {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => panic!("server EOF with {closed}/{} sessions closed", sessions.len()),
+            Ok(n) => n,
+            Err(e) => panic!("read failed with {closed} closed: {e}"),
+        };
+        fb.extend(&chunk[..n]);
+        while let Some(frame) = fb.next_server().expect("valid server stream") {
+            let session = match frame {
+                ServerFrame::Recognized { session, .. }
+                | ServerFrame::Manipulate { session, .. }
+                | ServerFrame::Outcome { session, .. }
+                | ServerFrame::Fault { session, .. } => session,
+            };
+            if matches!(
+                frame,
+                ServerFrame::Outcome {
+                    outcome: OutcomeKind::Closed,
+                    ..
+                }
+            ) {
+                closed += 1;
+            }
+            per_session
+                .get_mut(&session)
+                .expect("frame for unknown session")
+                .push(frame);
+        }
+    }
+    per_session
+}
+
+/// One full service run: start TCP, drive every connection from its own
+/// thread, shut down, return per-session frames.
+fn run_service_once(
+    rec: Arc<EagerRecognizer>,
+    streams: &HashMap<u64, Vec<(u32, InputEvent)>>,
+) -> HashMap<u64, Vec<ServerFrame>> {
+    let config = ServeConfig {
+        shards: 4,
+        // Large enough that this test never trips backpressure — Busy
+        // determinism is covered separately in tests/backpressure.rs.
+        queue_capacity: 1 << 15,
+        ..ServeConfig::default()
+    };
+    let mut service =
+        TcpService::start(SessionRouter::new(rec, config), "127.0.0.1:0").expect("bind");
+    let addr = service.local_addr();
+    let mut results = HashMap::new();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for conn in 0..CONNECTIONS {
+            let sessions: Vec<u64> = (0..SESSIONS_PER_CONN)
+                .map(|i| 1 + conn * SESSIONS_PER_CONN + i)
+                .collect();
+            let streams = &streams;
+            joins.push(scope.spawn(move || drive_connection(addr, &sessions, streams)));
+        }
+        for join in joins {
+            results.extend(join.join().expect("client thread"));
+        }
+    });
+    service.shutdown();
+    let snap = service.metrics().snapshot();
+    assert_eq!(snap.sessions_opened, SESSIONS, "{snap:?}");
+    assert_eq!(snap.sessions_closed, SESSIONS, "{snap:?}");
+    assert_eq!(snap.busy_rejections, 0, "loopback run must not hit Busy");
+    results
+}
+
+#[test]
+fn sixty_four_tcp_sessions_match_the_inproc_pipeline_byte_for_byte() {
+    let rec = recognizer();
+    let streams: HashMap<u64, Vec<(u32, InputEvent)>> =
+        (1..=SESSIONS).map(|s| (s, session_stream(s))).collect();
+
+    // The deterministic reference: each session through a bare pipeline.
+    let expected: HashMap<u64, Vec<u8>> = streams
+        .iter()
+        .map(|(&session, events)| {
+            let frames = run_events_inproc(
+                &rec,
+                session,
+                &PipelineConfig::default(),
+                events,
+                events.len() as u32,
+            );
+            (session, frames_to_bytes(&frames))
+        })
+        .collect();
+
+    // Sanity on the workload itself: corrupted sessions really repaired
+    // faults, clean ones really recognized.
+    let fault_frames = |bytes: &Vec<u8>| !bytes.is_empty();
+    assert!(expected.values().all(fault_frames));
+
+    // Two independent service runs must both reproduce the reference.
+    for run in 0..2 {
+        let got = run_service_once(rec.clone(), &streams);
+        assert_eq!(got.len() as u64, SESSIONS);
+        for (&session, frames) in &got {
+            let got_bytes = frames_to_bytes(frames);
+            assert_eq!(
+                got_bytes, expected[&session],
+                "run {run}, session {session}: TCP frames diverge from in-process pipeline"
+            );
+            assert!(
+                matches!(
+                    frames.last(),
+                    Some(ServerFrame::Outcome {
+                        outcome: OutcomeKind::Closed,
+                        ..
+                    })
+                ),
+                "run {run}, session {session} missing Closed marker"
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupted_sessions_report_faults_and_clean_ones_do_not_cancel() {
+    let rec = recognizer();
+    let streams: HashMap<u64, Vec<(u32, InputEvent)>> =
+        (1..=SESSIONS).map(|s| (s, session_stream(s))).collect();
+    let mut corrupted_faults = 0usize;
+    let mut clean_recognized = 0usize;
+    for (&session, events) in &streams {
+        let frames = run_events_inproc(
+            &rec,
+            session,
+            &PipelineConfig::default(),
+            events,
+            events.len() as u32,
+        );
+        let faults = frames
+            .iter()
+            .filter(|f| matches!(f, ServerFrame::Fault { .. }))
+            .count();
+        if session.is_multiple_of(4) {
+            corrupted_faults += faults;
+        } else {
+            assert_eq!(faults, 0, "clean session {session} reported faults");
+            clean_recognized += frames
+                .iter()
+                .filter(|f| {
+                    matches!(
+                        f,
+                        ServerFrame::Outcome {
+                            outcome: OutcomeKind::Recognized | OutcomeKind::Manipulated,
+                            ..
+                        }
+                    )
+                })
+                .count();
+        }
+    }
+    assert!(
+        corrupted_faults > 0,
+        "the corrupted quarter must provoke fault frames"
+    );
+    assert!(
+        clean_recognized as u64 >= SESSIONS,
+        "clean sessions must mostly recognize: {clean_recognized}"
+    );
+}

@@ -14,17 +14,22 @@ cargo build --workspace --release
 echo "== cargo test --workspace (quiet) =="
 cargo test --workspace -q
 
-echo "== chaos suite (seeded corrupted-stream replays) =="
-cargo test --test chaos -q
+# The chaos suite already runs as part of the workspace tests above; the
+# serve loopback suite is the one end-to-end check worth calling out by
+# name — 64 concurrent TCP sessions held byte-identical to the in-process
+# pipeline.
+echo "== serve loopback suite (64 TCP sessions vs in-process pipeline) =="
+cargo test -p grandma-serve --test loopback -q
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --workspace --all-targets =="
     cargo clippy --workspace --all-targets -- -D warnings
     # The interaction pipeline must not be able to panic on malformed
-    # input: library code (not tests) in the event substrate and the
-    # toolkit is held to a no-unwrap/no-expect/no-panic standard.
-    echo "== clippy panic gate (grandma-events, grandma-toolkit lib code) =="
-    cargo clippy -p grandma-events -p grandma-toolkit --lib --no-deps -- \
+    # input: library code (not tests) in the event substrate, the
+    # toolkit, and the serving layer is held to a
+    # no-unwrap/no-expect/no-panic standard.
+    echo "== clippy panic gate (grandma-events, grandma-toolkit, grandma-serve lib code) =="
+    cargo clippy -p grandma-events -p grandma-toolkit -p grandma-serve --lib --no-deps -- \
         -D warnings \
         -D clippy::unwrap_used \
         -D clippy::expect_used \

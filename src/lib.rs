@@ -13,6 +13,8 @@
 //! - [`toolkit`] — the GRANDMA MVC architecture and two-phase interaction.
 //! - [`gdp`] — the GDP gesture-based drawing program.
 //! - [`multipath`] — the §6 multi-finger extension.
+//! - [`serve`] — the sharded multi-session recognition service: binary
+//!   wire protocol, session router, Duplex/TCP transports, metrics.
 //!
 //! # Examples
 //!
@@ -34,6 +36,7 @@ pub use grandma_geom as geom;
 pub use grandma_linalg as linalg;
 pub use grandma_multipath as multipath;
 pub use grandma_sem as sem;
+pub use grandma_serve as serve;
 pub use grandma_synth as synth;
 pub use grandma_toolkit as toolkit;
 
