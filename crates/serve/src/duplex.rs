@@ -45,6 +45,7 @@ impl std::error::Error for DuplexError {}
 /// frames here.
 pub struct Duplex {
     router: Arc<SessionRouter>,
+    conn: u64,
     reply_tx: Sender<ServerFrame>,
     reply_rx: Receiver<ServerFrame>,
     hello_ok: bool,
@@ -52,11 +53,14 @@ pub struct Duplex {
 
 impl Duplex {
     /// Connects to the router. Like a TCP client, the connection must
-    /// send [`ClientFrame::Hello`] before anything else.
+    /// send [`ClientFrame::Hello`] before anything else, and holds its
+    /// own connection identity: sessions it opens belong to it alone.
     pub fn connect(router: Arc<SessionRouter>) -> Self {
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        let conn = router.new_conn_id();
         Self {
             router,
+            conn,
             reply_tx,
             reply_rx,
             hello_ok: false,
@@ -93,6 +97,7 @@ impl Duplex {
                 session,
                 0,
                 ShardMsg::Open {
+                    conn: self.conn,
                     session,
                     seq: 0,
                     reply: self.reply_tx.clone(),
@@ -106,14 +111,23 @@ impl Duplex {
                 session,
                 seq,
                 ShardMsg::Event {
+                    conn: self.conn,
                     session,
                     seq,
                     event,
+                    reply: self.reply_tx.clone(),
                 },
             ),
-            ClientFrame::Close { session, seq } => {
-                self.submit(session, seq, ShardMsg::Close { session, seq })
-            }
+            ClientFrame::Close { session, seq } => self.submit(
+                session,
+                seq,
+                ShardMsg::Close {
+                    conn: self.conn,
+                    session,
+                    seq,
+                    reply: self.reply_tx.clone(),
+                },
+            ),
         }
     }
 
@@ -268,6 +282,88 @@ mod tests {
             }
         ));
         router.shutdown();
+    }
+
+    #[test]
+    fn unknown_session_event_is_faulted_back() {
+        let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        let mut client = Duplex::connect(router.clone());
+        client
+            .send(&ClientFrame::Hello {
+                version: WIRE_VERSION,
+            })
+            .expect("hello");
+        client
+            .send(&ClientFrame::Event {
+                session: 404,
+                seq: 9,
+                event: grandma_events::InputEvent::new(
+                    grandma_events::EventKind::MouseMove,
+                    0.0,
+                    0.0,
+                    0.0,
+                ),
+            })
+            .expect("send");
+        let frame = client
+            .recv_timeout(Duration::from_secs(5))
+            .expect("recv")
+            .expect("fault frame");
+        assert!(matches!(
+            frame,
+            ServerFrame::Fault {
+                session: 404,
+                seq: 9,
+                code: FaultCode::UnknownSession,
+            }
+        ));
+        router.shutdown();
+    }
+
+    #[test]
+    fn sessions_are_isolated_between_duplex_connections() {
+        let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        let mut owner = Duplex::connect(router.clone());
+        let mut intruder = Duplex::connect(router.clone());
+        for client in [&mut owner, &mut intruder] {
+            client
+                .send(&ClientFrame::Hello {
+                    version: WIRE_VERSION,
+                })
+                .expect("hello");
+        }
+        owner.send(&ClientFrame::Open { session: 1 }).expect("open");
+        // A different connection cannot close the owner's session.
+        intruder
+            .send(&ClientFrame::Close { session: 1, seq: 0 })
+            .expect("send");
+        let frame = intruder
+            .recv_timeout(Duration::from_secs(5))
+            .expect("recv")
+            .expect("fault frame");
+        assert!(matches!(
+            frame,
+            ServerFrame::Fault {
+                code: FaultCode::UnknownSession,
+                ..
+            }
+        ));
+        // The owner's session is still live and closes normally.
+        owner
+            .send(&ClientFrame::Close { session: 1, seq: 1 })
+            .expect("close");
+        let frames = owner
+            .recv_session_until_closed(1, Duration::from_secs(10))
+            .expect("frames");
+        assert!(matches!(
+            frames.last(),
+            Some(ServerFrame::Outcome {
+                outcome: OutcomeKind::Closed,
+                ..
+            })
+        ));
+        router.shutdown();
+        assert_eq!(router.metrics().snapshot().sessions_closed, 1);
     }
 
     #[test]

@@ -14,9 +14,20 @@
 //! Determinism: a session's frames depend only on its own event order,
 //! which each transport preserves, so outcome sequences are byte-identical
 //! run to run regardless of how sessions interleave across shards.
+//!
+//! Ownership: session ids are a global namespace, but every session is
+//! bound to the connection that opened it. Each transport connection
+//! obtains a [`SessionRouter::new_conn_id`] and stamps it on every
+//! `Open`/`Event`/`Close`; the shard records the opener's id and rejects
+//! `Event`/`Close` from any other connection with
+//! [`FaultCode::UnknownSession`] — deliberately indistinguishable from a
+//! session that does not exist, so one client can neither probe for nor
+//! disturb another client's sessions. In particular, a connection that
+//! loses an `Open` race (`AlreadyOpen`) cannot tear the winner's session
+//! down by replaying `Close` for the contested id.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Barrier, Mutex};
 use std::thread::JoinHandle;
@@ -60,6 +71,9 @@ pub enum ShardMsg {
     /// Open a session; `reply` is the connection's outbound frame
     /// channel, held by the shard for the session's lifetime.
     Open {
+        /// The opening connection's [`SessionRouter::new_conn_id`];
+        /// recorded as the session's owner.
+        conn: u64,
         /// Session id.
         session: u64,
         /// Correlation id for any rejection fault.
@@ -67,21 +81,33 @@ pub enum ShardMsg {
         /// Outbound frame channel of the owning connection.
         reply: Sender<ServerFrame>,
     },
-    /// One input event for an open session.
+    /// One input event for an open session. Rejected with
+    /// `Fault(UnknownSession)` on `reply` unless `conn` owns `session`.
     Event {
+        /// The sending connection's id; must match the session's owner.
+        conn: u64,
         /// Session id.
         session: u64,
         /// Correlation id.
         seq: u32,
         /// The raw event.
         event: InputEvent,
+        /// Outbound frame channel of the sending connection, for
+        /// rejection faults.
+        reply: Sender<ServerFrame>,
     },
-    /// Close a session (flush, finalize, emit `Closed`).
+    /// Close a session (flush, finalize, emit `Closed`). Rejected with
+    /// `Fault(UnknownSession)` on `reply` unless `conn` owns `session`.
     Close {
+        /// The sending connection's id; must match the session's owner.
+        conn: u64,
         /// Session id.
         session: u64,
         /// Correlation id.
         seq: u32,
+        /// Outbound frame channel of the sending connection, for
+        /// rejection faults.
+        reply: Sender<ServerFrame>,
     },
     /// Park the worker on a barrier — used by backpressure tests and
     /// controlled drains to hold a shard still while its queue fills.
@@ -124,6 +150,9 @@ impl ShardPause {
 }
 
 struct SessionEntry {
+    /// The connection that opened the session; the only one allowed to
+    /// feed or close it.
+    conn: u64,
     pipeline: SessionPipeline,
     reply: Sender<ServerFrame>,
 }
@@ -134,6 +163,7 @@ pub struct SessionRouter {
     shards: Vec<SyncSender<ShardMsg>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     metrics: Arc<ServiceMetrics>,
+    conn_ids: AtomicU64,
     down: AtomicBool,
 }
 
@@ -169,8 +199,17 @@ impl SessionRouter {
             shards,
             handles: Mutex::new(handles),
             metrics,
+            conn_ids: AtomicU64::new(0),
             down: AtomicBool::new(false),
         })
+    }
+
+    /// Issues a fresh connection identity. Every transport connection
+    /// must hold one and stamp it on its `Open`/`Event`/`Close`
+    /// messages; sessions are owned by the connection id that opened
+    /// them. Ids start at 1, so 0 never matches a live connection.
+    pub fn new_conn_id(&self) -> u64 {
+        self.conn_ids.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// The shard a session id routes to: a fixed multiplicative mix so
@@ -265,6 +304,7 @@ fn shard_worker(
         shard_metrics.note_dequeue();
         match msg {
             ShardMsg::Open {
+                conn,
                 session,
                 seq,
                 reply,
@@ -288,6 +328,7 @@ fn shard_worker(
                 sessions.insert(
                     session,
                     SessionEntry {
+                        conn,
                         pipeline: SessionPipeline::new(session, config.pipeline.clone()),
                         reply,
                     },
@@ -295,13 +336,26 @@ fn shard_worker(
                 metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
             }
             ShardMsg::Event {
+                conn,
                 session,
                 seq,
                 event,
+                reply,
             } => {
-                let Some(entry) = sessions.get_mut(&session) else {
-                    metrics.unknown_sessions.fetch_add(1, Ordering::Relaxed);
-                    continue;
+                // Unknown and not-owned are deliberately the same fault:
+                // a foreign connection must not be able to distinguish
+                // (or touch) someone else's session.
+                let entry = match sessions.get_mut(&session) {
+                    Some(entry) if entry.conn == conn => entry,
+                    _ => {
+                        metrics.unknown_sessions.fetch_add(1, Ordering::Relaxed);
+                        let _ = reply.send(ServerFrame::Fault {
+                            session,
+                            seq,
+                            code: FaultCode::UnknownSession,
+                        });
+                        continue;
+                    }
                 };
                 metrics.events_ingested.fetch_add(1, Ordering::Relaxed);
                 shard_metrics.events.fetch_add(1, Ordering::Relaxed);
@@ -323,9 +377,21 @@ fn shard_worker(
                 }
                 flush_frames(&metrics, &entry.reply, &mut scratch);
             }
-            ShardMsg::Close { session, seq } => {
-                let Some(mut entry) = sessions.remove(&session) else {
+            ShardMsg::Close {
+                conn,
+                session,
+                seq,
+                reply,
+            } => {
+                let owned = sessions.get(&session).is_some_and(|e| e.conn == conn);
+                let entry = if owned { sessions.remove(&session) } else { None };
+                let Some(mut entry) = entry else {
                     metrics.unknown_sessions.fetch_add(1, Ordering::Relaxed);
+                    let _ = reply.send(ServerFrame::Fault {
+                        session,
+                        seq,
+                        code: FaultCode::UnknownSession,
+                    });
                     continue;
                 };
                 scratch.clear();
@@ -418,12 +484,14 @@ mod tests {
     #[test]
     fn open_feed_close_produces_outcomes() {
         let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        let conn = router.new_conn_id();
         let (tx, rx) = std::sync::mpsc::channel();
         router
             .submit(ShardMsg::Open {
+                conn,
                 session: 42,
                 seq: 0,
-                reply: tx,
+                reply: tx.clone(),
             })
             .unwrap();
         let data = datasets::eight_way(0x7e57, 0, 1);
@@ -433,16 +501,20 @@ mod tests {
         for (i, e) in events.iter().enumerate() {
             router
                 .submit(ShardMsg::Event {
+                    conn,
                     session: 42,
                     seq: i as u32,
                     event: *e,
+                    reply: tx.clone(),
                 })
                 .unwrap();
         }
         router
             .submit(ShardMsg::Close {
+                conn,
                 session: 42,
                 seq: events.len() as u32,
+                reply: tx,
             })
             .unwrap();
         let frames = recv_until_closed(&rx);
@@ -469,17 +541,26 @@ mod tests {
     #[test]
     fn duplicate_open_faults_already_open() {
         let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        let conn = router.new_conn_id();
         let (tx, rx) = std::sync::mpsc::channel();
         for seq in 0..2 {
             router
                 .submit(ShardMsg::Open {
+                    conn,
                     session: 7,
                     seq,
                     reply: tx.clone(),
                 })
                 .unwrap();
         }
-        router.submit(ShardMsg::Close { session: 7, seq: 2 }).unwrap();
+        router
+            .submit(ShardMsg::Close {
+                conn,
+                session: 7,
+                seq: 2,
+                reply: tx,
+            })
+            .unwrap();
         let frames = recv_until_closed(&rx);
         assert!(frames.iter().any(|f| matches!(
             f,
@@ -489,6 +570,156 @@ mod tests {
             }
         )));
         router.shutdown();
+    }
+
+    #[test]
+    fn foreign_connection_cannot_feed_or_close_a_session() {
+        let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        let owner = router.new_conn_id();
+        let intruder = router.new_conn_id();
+        let (owner_tx, owner_rx) = std::sync::mpsc::channel();
+        let (intruder_tx, intruder_rx) = std::sync::mpsc::channel();
+        router
+            .submit(ShardMsg::Open {
+                conn: owner,
+                session: 11,
+                seq: 0,
+                reply: owner_tx.clone(),
+            })
+            .unwrap();
+        // The intruder tries to inject an event and tear the session down.
+        router
+            .submit(ShardMsg::Event {
+                conn: intruder,
+                session: 11,
+                seq: 0,
+                event: InputEvent::new(EventKind::MouseMove, 1.0, 1.0, 1.0),
+                reply: intruder_tx.clone(),
+            })
+            .unwrap();
+        router
+            .submit(ShardMsg::Close {
+                conn: intruder,
+                session: 11,
+                seq: 1,
+                reply: intruder_tx,
+            })
+            .unwrap();
+        // The owner can still close its session: the intruder's Close
+        // must not have destroyed it.
+        router
+            .submit(ShardMsg::Close {
+                conn: owner,
+                session: 11,
+                seq: 1,
+                reply: owner_tx,
+            })
+            .unwrap();
+        let owner_frames = recv_until_closed(&owner_rx);
+        assert!(
+            matches!(
+                owner_frames.last(),
+                Some(ServerFrame::Outcome {
+                    outcome: OutcomeKind::Closed,
+                    ..
+                })
+            ),
+            "{owner_frames:?}"
+        );
+        let mut intruder_faults = 0;
+        while let Ok(frame) = intruder_rx.recv_timeout(Duration::from_secs(5)) {
+            assert!(
+                matches!(
+                    frame,
+                    ServerFrame::Fault {
+                        code: FaultCode::UnknownSession,
+                        ..
+                    }
+                ),
+                "intruder must only ever see UnknownSession: {frame:?}"
+            );
+            intruder_faults += 1;
+            if intruder_faults == 2 {
+                break;
+            }
+        }
+        assert_eq!(intruder_faults, 2);
+        router.shutdown();
+        let snap = router.metrics().snapshot();
+        assert_eq!(snap.sessions_opened, 1);
+        assert_eq!(snap.sessions_closed, 1);
+        assert_eq!(snap.unknown_sessions, 2);
+    }
+
+    #[test]
+    fn losing_an_open_race_cannot_close_the_winners_session() {
+        let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        let winner = router.new_conn_id();
+        let loser = router.new_conn_id();
+        let (winner_tx, winner_rx) = std::sync::mpsc::channel();
+        let (loser_tx, loser_rx) = std::sync::mpsc::channel();
+        router
+            .submit(ShardMsg::Open {
+                conn: winner,
+                session: 3,
+                seq: 0,
+                reply: winner_tx.clone(),
+            })
+            .unwrap();
+        router
+            .submit(ShardMsg::Open {
+                conn: loser,
+                session: 3,
+                seq: 0,
+                reply: loser_tx.clone(),
+            })
+            .unwrap();
+        // The loser disconnects and (as the transport teardown does)
+        // submits Close for the id it tried to open.
+        router
+            .submit(ShardMsg::Close {
+                conn: loser,
+                session: 3,
+                seq: 1,
+                reply: loser_tx,
+            })
+            .unwrap();
+        let loser_frames: Vec<_> = (0..2)
+            .filter_map(|_| loser_rx.recv_timeout(Duration::from_secs(5)).ok())
+            .collect();
+        assert!(loser_frames.iter().any(|f| matches!(
+            f,
+            ServerFrame::Fault {
+                code: FaultCode::AlreadyOpen,
+                ..
+            }
+        )));
+        assert!(loser_frames.iter().any(|f| matches!(
+            f,
+            ServerFrame::Fault {
+                code: FaultCode::UnknownSession,
+                ..
+            }
+        )));
+        // The winner's session survived and closes normally.
+        router
+            .submit(ShardMsg::Close {
+                conn: winner,
+                session: 3,
+                seq: 1,
+                reply: winner_tx,
+            })
+            .unwrap();
+        let frames = recv_until_closed(&winner_rx);
+        assert!(matches!(
+            frames.last(),
+            Some(ServerFrame::Outcome {
+                outcome: OutcomeKind::Closed,
+                ..
+            })
+        ));
+        router.shutdown();
+        assert_eq!(router.metrics().snapshot().sessions_closed, 1);
     }
 
     #[test]
@@ -503,20 +734,24 @@ mod tests {
         // Give the worker a moment to take the Pause message off the
         // queue, freeing all capacity slots.
         std::thread::sleep(Duration::from_millis(50));
+        let conn = router.new_conn_id();
         let (tx, _rx) = std::sync::mpsc::channel();
         router
             .submit(ShardMsg::Open {
+                conn,
                 session: 1,
                 seq: 0,
-                reply: tx,
+                reply: tx.clone(),
             })
             .unwrap();
         let mut busy = 0;
         for i in 0..32 {
             let r = router.submit(ShardMsg::Event {
+                conn,
                 session: 1,
                 seq: i,
                 event: InputEvent::new(EventKind::MouseMove, 0.0, 0.0, i as f64),
+                reply: tx.clone(),
             });
             if r == Err(SubmitError::Busy) {
                 busy += 1;
@@ -531,15 +766,28 @@ mod tests {
     }
 
     #[test]
-    fn unknown_session_events_are_counted_and_dropped() {
+    fn unknown_session_events_are_counted_and_faulted() {
         let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        let conn = router.new_conn_id();
+        let (tx, rx) = std::sync::mpsc::channel();
         router
             .submit(ShardMsg::Event {
+                conn,
                 session: 999,
-                seq: 0,
+                seq: 5,
                 event: InputEvent::new(EventKind::MouseMove, 0.0, 0.0, 0.0),
+                reply: tx,
             })
             .unwrap();
+        let frame = rx.recv_timeout(Duration::from_secs(5)).expect("fault frame");
+        assert!(matches!(
+            frame,
+            ServerFrame::Fault {
+                session: 999,
+                seq: 5,
+                code: FaultCode::UnknownSession,
+            }
+        ));
         router.shutdown();
         assert_eq!(router.metrics().snapshot().unknown_sessions, 1);
     }
@@ -550,6 +798,7 @@ mod tests {
         let (tx, rx) = std::sync::mpsc::channel();
         router
             .submit(ShardMsg::Open {
+                conn: router.new_conn_id(),
                 session: 5,
                 seq: 0,
                 reply: tx,

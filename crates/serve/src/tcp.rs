@@ -16,19 +16,28 @@
 //! 4. On EOF (or error) the reader submits `Close` for every session the
 //!    connection still has open, so abandoned connections cannot leak
 //!    sessions.
+//! 5. Each connection holds a [`SessionRouter::new_conn_id`] identity
+//!    stamped on every message it routes; the shard rejects `Event`/
+//!    `Close` from any connection other than the session's opener with
+//!    `Fault(UnknownSession)`, so one connection can neither feed nor
+//!    tear down another's sessions.
 //!
 //! Shutdown is graceful and idempotent: stop the accept loop (a self-
 //! connection unblocks `accept`), shut down every live connection's
 //! socket to unblock its reader, join all connection threads, then shut
-//! down the router (which finalizes any remaining sessions).
+//! down the router (which finalizes any remaining sessions). The
+//! registry of live connections is keyed by connection id and pruned as
+//! connections end — a long-running server does not accumulate dead
+//! streams or finished thread handles.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::metrics::ServiceMetrics;
 use crate::router::{SessionRouter, ShardMsg, SubmitError};
@@ -36,11 +45,20 @@ use crate::wire::{
     encode_server, ClientFrame, FaultCode, FrameBuffer, ServerFrame, WIRE_VERSION,
 };
 
-/// Live-connection registry shared between the accept loop and shutdown.
+/// How long the accept loop sleeps after `accept()` fails, so persistent
+/// errors (e.g. fd exhaustion) degrade to slow retries instead of a
+/// busy-spin.
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Live-connection registry shared between the accept loop and shutdown,
+/// keyed by connection id. Entries are removed when their connection
+/// ends: the connection thread prunes its own stream clone and thread
+/// handle on exit, and the accept loop reaps any handle that finished
+/// before it could be registered.
 #[derive(Default)]
 struct ConnRegistry {
-    streams: Mutex<Vec<TcpStream>>,
-    threads: Mutex<Vec<JoinHandle<()>>>,
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    threads: Mutex<HashMap<u64, JoinHandle<()>>>,
 }
 
 fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -110,15 +128,16 @@ impl TcpService {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        // Unblock each connection's blocking read.
-        for stream in lock_or_recover(&self.registry.streams).drain(..) {
+        // Unblock each connection's blocking read. Take the maps out of
+        // their mutexes first: joining while holding a registry lock
+        // would deadlock against a connection thread pruning its own
+        // entries on exit.
+        let streams = std::mem::take(&mut *lock_or_recover(&self.registry.streams));
+        for stream in streams.into_values() {
             let _ = stream.shutdown(Shutdown::Both);
         }
-        let threads = {
-            let mut guard = lock_or_recover(&self.registry.threads);
-            std::mem::take(&mut *guard)
-        };
-        for handle in threads {
+        let threads = std::mem::take(&mut *lock_or_recover(&self.registry.threads));
+        for handle in threads.into_values() {
             let _ = handle.join();
         }
         self.router.shutdown();
@@ -142,6 +161,9 @@ fn accept_loop(
             if stop.load(Ordering::SeqCst) {
                 return;
             }
+            // Persistent accept errors (EMFILE and friends) must retry
+            // slowly, not spin a core.
+            std::thread::sleep(ACCEPT_ERROR_BACKOFF);
             continue;
         };
         if stop.load(Ordering::SeqCst) {
@@ -149,17 +171,46 @@ fn accept_loop(
             let _ = stream.shutdown(Shutdown::Both);
             return;
         }
+        // Connections normally prune their own registry entries on exit;
+        // reap any handle that finished before it was registered.
+        reap_finished(&registry);
+        let conn = router.new_conn_id();
         let _ = stream.set_nodelay(true);
         if let Ok(clone) = stream.try_clone() {
-            lock_or_recover(&registry.streams).push(clone);
+            lock_or_recover(&registry.streams).insert(conn, clone);
         }
         let conn_router = router.clone();
+        let conn_registry = registry.clone();
         let spawned = std::thread::Builder::new()
             .name("grandma-conn".into())
-            .spawn(move || handle_connection(stream, conn_router));
-        if let Ok(handle) = spawned {
-            lock_or_recover(&registry.threads).push(handle);
+            .spawn(move || handle_connection(conn, stream, conn_router, conn_registry));
+        match spawned {
+            Ok(handle) => {
+                lock_or_recover(&registry.threads).insert(conn, handle);
+            }
+            Err(_) => {
+                lock_or_recover(&registry.streams).remove(&conn);
+            }
         }
+    }
+}
+
+/// Joins and removes every registry thread handle whose connection has
+/// already finished.
+fn reap_finished(registry: &ConnRegistry) {
+    let finished: Vec<JoinHandle<()>> = {
+        let mut guard = lock_or_recover(&registry.threads);
+        let done: Vec<u64> = guard
+            .iter()
+            .filter(|(_, handle)| handle.is_finished())
+            .map(|(conn, _)| *conn)
+            .collect();
+        done.iter().filter_map(|conn| guard.remove(conn)).collect()
+    };
+    // Join outside the lock: these threads have already finished, but a
+    // join that races their last instructions must not hold the registry.
+    for handle in finished {
+        let _ = handle.join();
     }
 }
 
@@ -169,9 +220,15 @@ fn reply(tx: &Sender<ServerFrame>, frame: ServerFrame) {
     let _ = tx.send(frame);
 }
 
-/// One connection: reads frames, routes them, and on exit closes every
-/// session the connection left open.
-fn handle_connection(mut stream: TcpStream, router: Arc<SessionRouter>) {
+/// One connection: reads frames, routes them stamped with the
+/// connection's identity, and on exit closes every session the
+/// connection left open, then prunes its registry entries.
+fn handle_connection(
+    conn: u64,
+    mut stream: TcpStream,
+    router: Arc<SessionRouter>,
+    registry: Arc<ConnRegistry>,
+) {
     let (reply_tx, reply_rx) = std::sync::mpsc::channel::<ServerFrame>();
     let writer = stream.try_clone().ok().and_then(|mut out| {
         std::thread::Builder::new()
@@ -262,12 +319,18 @@ fn handle_connection(mut stream: TcpStream, router: Arc<SessionRouter>) {
                 }
                 ClientFrame::Open { session } => {
                     let msg = ShardMsg::Open {
+                        conn,
                         session,
                         seq: 0,
                         reply: reply_tx.clone(),
                     };
                     match router.submit(msg) {
                         Ok(()) => {
+                            // Optimistic: the shard may still reject the
+                            // Open (AlreadyOpen/SessionLimit). That is
+                            // harmless — the teardown Close below carries
+                            // our conn id, so it cannot touch a session
+                            // some other connection owns.
                             open_sessions.insert(session);
                         }
                         Err(SubmitError::Busy) => reply(
@@ -286,9 +349,11 @@ fn handle_connection(mut stream: TcpStream, router: Arc<SessionRouter>) {
                     seq,
                     event,
                 } => match router.submit(ShardMsg::Event {
+                    conn,
                     session,
                     seq,
                     event,
+                    reply: reply_tx.clone(),
                 }) {
                     Ok(()) => {}
                     Err(SubmitError::Busy) => reply(
@@ -303,7 +368,7 @@ fn handle_connection(mut stream: TcpStream, router: Arc<SessionRouter>) {
                 },
                 ClientFrame::Close { session, seq } => {
                     open_sessions.remove(&session);
-                    match submit_close(&router, session, seq) {
+                    match submit_close(&router, conn, session, seq, &reply_tx) {
                         Ok(()) => {}
                         Err(SubmitError::Busy) => reply(
                             &reply_tx,
@@ -321,20 +386,40 @@ fn handle_connection(mut stream: TcpStream, router: Arc<SessionRouter>) {
     }
     // Reap sessions the connection abandoned so their pipelines finalize.
     for session in open_sessions {
-        let _ = submit_close(&router, session, u32::MAX);
+        let _ = submit_close(&router, conn, session, u32::MAX, &reply_tx);
     }
     drop(reply_tx);
     if let Some(handle) = writer {
         let _ = handle.join();
     }
     let _ = stream.shutdown(Shutdown::Both);
+    // Prune our registry entries so a long-running server does not leak
+    // one fd + one thread handle per past connection. The cleanup Closes
+    // above were submitted before this removal, so a shutdown that finds
+    // the handle already gone still sees them queued at the router.
+    lock_or_recover(&registry.streams).remove(&conn);
+    // Dropping our own JoinHandle detaches this thread; shutdown either
+    // joined it already or finds nothing left to wait for.
+    let _ = lock_or_recover(&registry.threads).remove(&conn);
 }
 
 /// Close is the one message worth briefly retrying under backpressure:
 /// losing it leaks the session until connection teardown.
-fn submit_close(router: &Arc<SessionRouter>, session: u64, seq: u32) -> Result<(), SubmitError> {
+fn submit_close(
+    router: &Arc<SessionRouter>,
+    conn: u64,
+    session: u64,
+    seq: u32,
+    reply: &Sender<ServerFrame>,
+) -> Result<(), SubmitError> {
     for _ in 0..64 {
-        match router.submit(ShardMsg::Close { session, seq }) {
+        let msg = ShardMsg::Close {
+            conn,
+            session,
+            seq,
+            reply: reply.clone(),
+        };
+        match router.submit(msg) {
             Err(SubmitError::Busy) => std::thread::sleep(std::time::Duration::from_micros(250)),
             other => return other,
         }
@@ -480,6 +565,145 @@ mod tests {
         assert!(got_fault, "hostile bytes must earn a BadFrame fault");
         service.shutdown();
         assert!(service.metrics().snapshot().decode_errors >= 1);
+    }
+
+    #[test]
+    fn sessions_are_bound_to_their_connection() {
+        let mut service = TcpService::start(
+            SessionRouter::new(recognizer(), ServeConfig::default()),
+            "127.0.0.1:0",
+        )
+        .expect("bind");
+        let addr = service.local_addr();
+        let mut hello = Vec::new();
+        encode_client(
+            &ClientFrame::Hello {
+                version: WIRE_VERSION,
+            },
+            &mut hello,
+        );
+
+        let mut owner = TcpStream::connect(addr).expect("connect owner");
+        let mut bytes = hello.clone();
+        encode_client(&ClientFrame::Open { session: 5 }, &mut bytes);
+        owner.write_all(&bytes).expect("owner open");
+
+        // A second connection tries to close (and feed) the owner's
+        // session; it must only ever see UnknownSession.
+        let mut intruder = TcpStream::connect(addr).expect("connect intruder");
+        let mut bytes = hello.clone();
+        encode_client(
+            &ClientFrame::Event {
+                session: 5,
+                seq: 0,
+                event: grandma_events::InputEvent::new(
+                    grandma_events::EventKind::MouseMove,
+                    1.0,
+                    1.0,
+                    1.0,
+                ),
+            },
+            &mut bytes,
+        );
+        encode_client(&ClientFrame::Close { session: 5, seq: 1 }, &mut bytes);
+        intruder.write_all(&bytes).expect("intruder write");
+        let mut fb = FrameBuffer::new();
+        let mut chunk = [0u8; 1024];
+        intruder
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let mut faults = 0;
+        while faults < 2 {
+            let n = match intruder.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => n,
+            };
+            fb.extend(&chunk[..n]);
+            while let Some(frame) = fb.next_server().expect("server bytes") {
+                assert!(
+                    matches!(
+                        frame,
+                        ServerFrame::Fault {
+                            session: 5,
+                            code: FaultCode::UnknownSession,
+                            ..
+                        }
+                    ),
+                    "intruder saw {frame:?}"
+                );
+                faults += 1;
+            }
+        }
+        assert_eq!(faults, 2, "both intrusions must bounce as UnknownSession");
+        drop(intruder);
+
+        // The owner's session survived the foreign Close.
+        let mut bytes = Vec::new();
+        encode_client(&ClientFrame::Close { session: 5, seq: 2 }, &mut bytes);
+        owner.write_all(&bytes).expect("owner close");
+        let frames = read_server_frames(&mut owner, 5);
+        assert!(matches!(
+            frames.last(),
+            Some(ServerFrame::Outcome {
+                outcome: OutcomeKind::Closed,
+                ..
+            })
+        ));
+        service.shutdown();
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.sessions_opened, 1);
+        assert_eq!(snap.sessions_closed, 1);
+        assert_eq!(snap.unknown_sessions, 2, "{snap:?}");
+    }
+
+    #[test]
+    fn finished_connections_are_pruned_from_the_registry() {
+        let mut service = TcpService::start(
+            SessionRouter::new(recognizer(), ServeConfig::default()),
+            "127.0.0.1:0",
+        )
+        .expect("bind");
+        let addr = service.local_addr();
+        for round in 0..4u64 {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            let mut bytes = Vec::new();
+            encode_client(
+                &ClientFrame::Hello {
+                    version: WIRE_VERSION,
+                },
+                &mut bytes,
+            );
+            encode_client(&ClientFrame::Open { session: round }, &mut bytes);
+            encode_client(
+                &ClientFrame::Close {
+                    session: round,
+                    seq: 0,
+                },
+                &mut bytes,
+            );
+            stream.write_all(&bytes).expect("write");
+            let frames = read_server_frames(&mut stream, round);
+            assert!(!frames.is_empty());
+        }
+        // Connection threads prune their own entries as they exit; wait
+        // for the last ones to get there.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let streams = lock_or_recover(&service.registry.streams).len();
+            let threads = lock_or_recover(&service.registry.threads).len();
+            if streams == 0 && threads == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "registry still holds {streams} streams / {threads} threads"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        service.shutdown();
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.sessions_opened, 4);
+        assert_eq!(snap.sessions_closed, 4);
     }
 
     #[test]

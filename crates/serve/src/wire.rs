@@ -192,7 +192,10 @@ pub enum FaultCode {
     /// The connection sent bytes that do not decode; the connection is
     /// closed after this frame.
     BadFrame,
-    /// An `Event`/`Close` referenced a session this server does not hold.
+    /// An `Event`/`Close` referenced a session this server does not hold
+    /// — or one opened by a different connection, which is deliberately
+    /// reported identically so sessions cannot be probed or disturbed
+    /// across connections.
     UnknownSession,
     /// An `Open` for a session id that is already open.
     AlreadyOpen,
