@@ -1,80 +1,186 @@
-//! Load generator for the grandma-serve TCP service.
+//! Load generator for the grandma-serve TCP service: batched (wire v2)
+//! versus unbatched (v1 single-`Event`) fast-path comparison.
 //!
 //! Spins up the sharded service on loopback, then replays seeded
 //! `grandma-synth` scripted event streams — a quarter of them
 //! `FaultInjector`-corrupted — from N concurrent client connections,
 //! measuring end-to-end throughput and per-event round-trip latency
-//! (client send → first server frame echoing that event's `seq`).
+//! (client send → first server frame echoing that event's `seq`). Each
+//! mode runs warm-up rounds first, then repeats measured rounds until a
+//! minimum wall-clock duration so the percentiles are stable.
 //!
-//! Writes `BENCH_serve.json` next to `BENCH_throughput.json` at the repo
-//! root. The workload is fully seeded and dependency-free; absolute
-//! numbers move with the host, the artifact schema does not.
+//! Server-side steady-state allocations are counted by a global
+//! allocator that the bench's own threads opt out of: everything the
+//! service threads (accept loop, connection readers/writers, shard
+//! workers) allocate during measured rounds is divided by the frames
+//! they handled. After warm-up the batched path should sit near zero —
+//! pooled batch buffers, reused encode buffers, zero-copy decode.
+//!
+//! The two modes differ in client discipline as well as framing. The
+//! unbatched client replicates the recorded v1 baseline: every session
+//! open at once, one `Event` frame (one write) per event, events
+//! interleaved round-robin — an open-loop firehose whose RTT is
+//! dominated by the unbounded backlog it creates. The batched client is
+//! the v2 fast path: events ride `EventBatch` frames (one write per
+//! batch) and at most `--window` sessions per connection are in flight,
+//! using the `Closed` outcome as the completion ack — bounded backlog,
+//! so RTT measures the service, not the queue.
+//!
+//! ```text
+//! serve_load [--mode both|batched|unbatched] [--batch N] [--window N]
+//!            [--min-duration-s F] [--warmup N] [--smoke]
+//! ```
+//!
+//! `--smoke` runs a short fixed workload, asserts zero decode errors and
+//! zero busy rejections, and does NOT write BENCH_serve.json — that is
+//! the CI guard. The full run writes `BENCH_serve.json` at the repo
+//! root with an `unbatched` section, a `batched` section, and the
+//! ratios between them.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
 use grandma_events::{Button, EventKind, EventScript, InputEvent};
 use grandma_serve::{
-    encode_client, ClientFrame, FrameBuffer, OutcomeKind, ServeConfig, ServerFrame,
-    SessionRouter, TcpService, WIRE_VERSION,
+    encode_client, encode_event_batch, ClientFrame, FrameBuffer, OutcomeKind, ServeConfig,
+    ServerFrame, SessionRouter, TcpService, WIRE_VERSION,
 };
 use grandma_synth::{datasets, FaultInjector, SynthRng};
 
-const CLIENTS: u64 = 4;
-const SESSIONS_PER_CLIENT: u64 = 8;
-const GESTURES_PER_SESSION: usize = 6;
-const SHARDS: usize = 4;
+/// [`System`] with a counter that bench threads opt out of: counted
+/// allocations are the service's, not the load generator's.
+struct CountingAllocator;
 
-/// Seeded event stream for one session; every fourth session corrupted.
-fn session_stream(session: u64) -> Vec<InputEvent> {
+static SERVER_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Bench-owned threads set this to skip the counter; service threads
+    /// never touch it, so their allocations are the ones measured.
+    static SUPPRESS_COUNT: Cell<bool> = const { Cell::new(false) };
+}
+
+fn suppressed() -> bool {
+    // During TLS teardown the cell may be gone; err on not counting.
+    SUPPRESS_COUNT.try_with(Cell::get).unwrap_or(true)
+}
+
+/// Marks the calling thread as bench-owned (uncounted).
+fn suppress_this_thread() {
+    let _ = SUPPRESS_COUNT.try_with(|s| s.set(true));
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if !suppressed() {
+            SERVER_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if !suppressed() {
+            SERVER_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+const CLIENTS: u64 = 6;
+const SESSIONS_PER_CLIENT: u64 = 24;
+/// Round trips are stamped for every Nth event sequence number (both
+/// modes, so the comparison is symmetric). Stamping every event makes
+/// the load generator's own bookkeeping — a locked map touched per
+/// event on the writer and per reply on the reader — a visible fraction
+/// of a small machine's CPU, perturbing the service being measured.
+const RTT_SAMPLE_EVERY: u32 = 8;
+const GESTURES_PER_SESSION: usize = 2;
+const SHARDS: usize = 4;
+const SLOTS: u64 = CLIENTS * SESSIONS_PER_CLIENT;
+
+/// Seeded event stream for one session *slot* (stable across rounds);
+/// every fourth slot corrupted.
+fn slot_stream(slot: u64) -> Vec<InputEvent> {
     let data = datasets::eight_way(0x7e57, 0, 8);
-    let mut rng = SynthRng::seed_from_u64(0x10AD ^ session.wrapping_mul(0x9E37_79B9));
+    let mut rng = SynthRng::seed_from_u64(0x10AD ^ slot.wrapping_mul(0x9E37_79B9));
     let mut script = EventScript::new();
     for _ in 0..GESTURES_PER_SESSION {
         let idx = (rng.next_u64() as usize) % data.testing.len();
         script = script.then_gesture(&data.testing[idx].gesture, Button::Left);
     }
     let events = script.into_events();
-    if session.is_multiple_of(4) {
-        FaultInjector::new(0xBAD ^ session).corrupt(&events)
+    if slot.is_multiple_of(4) {
+        FaultInjector::new(0xBAD ^ slot).corrupt(&events)
     } else {
         events
     }
 }
 
-struct ClientStats {
+#[derive(Default)]
+struct RoundStats {
     rtts_ns: Vec<u64>,
     events_sent: u64,
     points_sent: u64,
+    /// Client wire frames carrying those events (== events for the
+    /// unbatched mode, events/batch for the batched one).
+    event_frames_sent: u64,
+    /// Server frames decoded back off the wire (all of them, not just
+    /// the RTT-sampled subset).
+    reply_frames: u64,
     interactions: u64,
 }
 
-/// One client connection: interleaves its sessions' events round-robin,
+/// One client connection for one round: replays its sessions' streams,
 /// reading replies on a parallel thread to timestamp round trips.
-fn run_client(addr: std::net::SocketAddr, sessions: Vec<u64>) -> ClientStats {
-    let streams: Vec<Vec<InputEvent>> =
-        sessions.iter().map(|&s| session_stream(s)).collect();
+///
+/// `batch: None` is the open-loop v1 firehose (every session open, one
+/// `Event` write per event, round-robin). `batch: Some(size)` is the
+/// closed-loop v2 fast path: whole sessions are sent as `EventBatch`
+/// writes of `size` events, with at most `window` sessions in flight —
+/// the reader acks each `Closed` outcome back to the writer.
+fn run_client(
+    addr: std::net::SocketAddr,
+    sessions: Vec<u64>,
+    streams: Arc<Vec<Vec<InputEvent>>>,
+    slots: Vec<usize>,
+    batch: Option<usize>,
+    window: usize,
+) -> RoundStats {
+    suppress_this_thread();
     let stream = TcpStream::connect(addr).expect("connect");
     stream.set_nodelay(true).expect("nodelay");
     let mut writer = stream.try_clone().expect("clone stream");
     let inflight: Arc<Mutex<HashMap<(u64, u32), Instant>>> =
         Arc::new(Mutex::new(HashMap::new()));
+    let (closed_tx, closed_rx) = std::sync::mpsc::channel::<()>();
 
     let reader = {
         let inflight = inflight.clone();
         let want_closed = sessions.len();
         let mut stream = stream;
         std::thread::spawn(move || {
+            suppress_this_thread();
             stream
                 .set_read_timeout(Some(Duration::from_secs(30)))
                 .expect("timeout");
             let mut fb = FrameBuffer::new();
-            let mut chunk = [0u8; 8192];
+            let mut chunk = vec![0u8; 64 * 1024];
             let mut rtts_ns = Vec::new();
+            let mut reply_frames = 0u64;
             let mut interactions = 0u64;
             let mut closed = 0usize;
             while closed < want_closed {
@@ -85,95 +191,206 @@ fn run_client(addr: std::net::SocketAddr, sessions: Vec<u64>) -> ClientStats {
                 let now = Instant::now();
                 fb.extend(&chunk[..n]);
                 while let Some(frame) = fb.next_server().expect("server bytes") {
+                    reply_frames += 1;
                     let (session, seq) = match frame {
                         ServerFrame::Recognized { session, seq, .. }
                         | ServerFrame::Manipulate { session, seq, .. }
                         | ServerFrame::Outcome { session, seq, .. }
                         | ServerFrame::Fault { session, seq, .. } => (session, seq),
                     };
-                    if let Some(sent) = inflight.lock().expect("lock").remove(&(session, seq)) {
-                        rtts_ns.push(now.duration_since(sent).as_nanos() as u64);
+                    if seq.is_multiple_of(RTT_SAMPLE_EVERY) {
+                        if let Some(sent) = inflight.lock().expect("lock").remove(&(session, seq))
+                        {
+                            rtts_ns.push(now.duration_since(sent).as_nanos() as u64);
+                        }
                     }
                     if let ServerFrame::Outcome { outcome, .. } = frame {
                         match outcome {
-                            OutcomeKind::Closed => closed += 1,
+                            OutcomeKind::Closed => {
+                                closed += 1;
+                                let _ = closed_tx.send(());
+                            }
                             _ => interactions += 1,
                         }
                     }
                 }
             }
-            (rtts_ns, interactions, closed)
+            (rtts_ns, reply_frames, interactions, closed)
         })
     };
 
-    let mut events_sent = 0u64;
-    let mut points_sent = 0u64;
-    let mut bytes = Vec::with_capacity(4096);
+    let mut stats = RoundStats::default();
+    let mut bytes = Vec::with_capacity(16 * 1024);
     encode_client(
         &ClientFrame::Hello {
             version: WIRE_VERSION,
         },
         &mut bytes,
     );
-    for &session in &sessions {
-        encode_client(&ClientFrame::Open { session }, &mut bytes);
-    }
-    writer.write_all(&bytes).expect("write opens");
+    writer.write_all(&bytes).expect("write hello");
 
-    let mut cursors = vec![0usize; sessions.len()];
-    loop {
-        let mut progressed = false;
-        for (slot, &session) in sessions.iter().enumerate() {
-            let Some(&event) = streams[slot].get(cursors[slot]) else {
-                continue;
-            };
-            let seq = cursors[slot] as u32;
-            cursors[slot] += 1;
-            progressed = true;
-            bytes.clear();
-            encode_client(
-                &ClientFrame::Event {
-                    session,
-                    seq,
-                    event,
-                },
-                &mut bytes,
-            );
-            inflight
-                .lock()
-                .expect("lock")
-                .insert((session, seq), Instant::now());
-            writer.write_all(&bytes).expect("write event");
-            events_sent += 1;
-            if matches!(event.kind, EventKind::MouseMove) {
-                points_sent += 1;
+    match batch {
+        Some(size) => {
+            let size = size.max(1);
+            let window = window.max(1);
+            let mut in_flight = 0usize;
+            let mut scratch: Vec<(u32, InputEvent)> = Vec::new();
+            for (idx, &session) in sessions.iter().enumerate() {
+                while in_flight >= window {
+                    closed_rx.recv().expect("closed ack");
+                    in_flight -= 1;
+                }
+                let events = &streams[slots[idx]];
+                bytes.clear();
+                encode_client(&ClientFrame::Open { session }, &mut bytes);
+                writer.write_all(&bytes).expect("write open");
+                let mut at = 0usize;
+                while at < events.len() {
+                    // One EventBatch frame = one write syscall for up to
+                    // `size` events, all stamped with one send time.
+                    let end = (at + size).min(events.len());
+                    scratch.clear();
+                    for (i, &event) in events[at..end].iter().enumerate() {
+                        scratch.push(((at + i) as u32, event));
+                    }
+                    at = end;
+                    bytes.clear();
+                    encode_event_batch(session, &scratch, &mut bytes);
+                    let now = Instant::now();
+                    {
+                        let mut map = inflight.lock().expect("lock");
+                        for &(seq, _) in &scratch {
+                            if seq.is_multiple_of(RTT_SAMPLE_EVERY) {
+                                map.insert((session, seq), now);
+                            }
+                        }
+                    }
+                    writer.write_all(&bytes).expect("write batch");
+                    stats.events_sent += scratch.len() as u64;
+                    stats.event_frames_sent += 1;
+                    stats.points_sent += scratch
+                        .iter()
+                        .filter(|(_, e)| matches!(e.kind, EventKind::MouseMove))
+                        .count() as u64;
+                }
+                bytes.clear();
+                encode_client(
+                    &ClientFrame::Close {
+                        session,
+                        seq: events.len() as u32,
+                    },
+                    &mut bytes,
+                );
+                writer.write_all(&bytes).expect("write close");
+                in_flight += 1;
             }
         }
-        if !progressed {
-            break;
+        None => {
+            bytes.clear();
+            for &session in &sessions {
+                encode_client(&ClientFrame::Open { session }, &mut bytes);
+            }
+            writer.write_all(&bytes).expect("write opens");
+            let mut cursors = vec![0usize; sessions.len()];
+            loop {
+                let mut progressed = false;
+                for (idx, &session) in sessions.iter().enumerate() {
+                    let events = &streams[slots[idx]];
+                    let at = cursors[idx];
+                    if at >= events.len() {
+                        continue;
+                    }
+                    progressed = true;
+                    let event = events[at];
+                    let seq = at as u32;
+                    cursors[idx] += 1;
+                    bytes.clear();
+                    encode_client(
+                        &ClientFrame::Event {
+                            session,
+                            seq,
+                            event,
+                        },
+                        &mut bytes,
+                    );
+                    if seq.is_multiple_of(RTT_SAMPLE_EVERY) {
+                        inflight
+                            .lock()
+                            .expect("lock")
+                            .insert((session, seq), Instant::now());
+                    }
+                    writer.write_all(&bytes).expect("write event");
+                    stats.events_sent += 1;
+                    stats.event_frames_sent += 1;
+                    if matches!(event.kind, EventKind::MouseMove) {
+                        stats.points_sent += 1;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            bytes.clear();
+            for (idx, &session) in sessions.iter().enumerate() {
+                encode_client(
+                    &ClientFrame::Close {
+                        session,
+                        seq: streams[slots[idx]].len() as u32,
+                    },
+                    &mut bytes,
+                );
+            }
+            writer.write_all(&bytes).expect("write closes");
         }
     }
-    bytes.clear();
-    for (slot, &session) in sessions.iter().enumerate() {
-        encode_client(
-            &ClientFrame::Close {
-                session,
-                seq: streams[slot].len() as u32,
-            },
-            &mut bytes,
-        );
-    }
-    writer.write_all(&bytes).expect("write closes");
     writer.flush().expect("flush");
 
-    let (rtts_ns, interactions, closed) = reader.join().expect("reader thread");
+    let (rtts_ns, reply_frames, interactions, closed) = reader.join().expect("reader thread");
     assert_eq!(closed, sessions.len(), "every session must close");
-    ClientStats {
-        rtts_ns,
-        events_sent,
-        points_sent,
-        interactions,
-    }
+    stats.rtts_ns = rtts_ns;
+    stats.reply_frames = reply_frames;
+    stats.interactions = interactions;
+    stats
+}
+
+/// One full round: every client drives its sessions concurrently.
+/// Session ids are offset per round so each round opens fresh sessions
+/// against the same long-lived service.
+fn run_round(
+    addr: std::net::SocketAddr,
+    streams: &Arc<Vec<Vec<InputEvent>>>,
+    session_base: u64,
+    batch: Option<usize>,
+    window: usize,
+) -> (RoundStats, f64) {
+    let started = Instant::now();
+    let mut merged = RoundStats::default();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for client in 0..CLIENTS {
+            let slots: Vec<usize> = (0..SESSIONS_PER_CLIENT)
+                .map(|i| (client * SESSIONS_PER_CLIENT + i) as usize)
+                .collect();
+            let sessions: Vec<u64> = slots
+                .iter()
+                .map(|&slot| session_base + slot as u64)
+                .collect();
+            let streams = streams.clone();
+            joins.push(
+                scope.spawn(move || run_client(addr, sessions, streams, slots, batch, window)),
+            );
+        }
+        for join in joins {
+            let stats = join.join().expect("client");
+            merged.rtts_ns.extend(stats.rtts_ns);
+            merged.events_sent += stats.events_sent;
+            merged.points_sent += stats.points_sent;
+            merged.event_frames_sent += stats.event_frames_sent;
+            merged.reply_frames += stats.reply_frames;
+            merged.interactions += stats.interactions;
+        }
+    });
+    (merged, started.elapsed().as_secs_f64())
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -184,7 +401,186 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
-fn main() {
+struct ModeResult {
+    mode: &'static str,
+    batch: usize,
+    window: usize,
+    rounds: u64,
+    events_sent: u64,
+    points_sent: u64,
+    event_frames_sent: u64,
+    reply_frames: u64,
+    interactions: u64,
+    wall_s: f64,
+    rtt_samples: usize,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    allocs_per_frame: f64,
+}
+
+impl ModeResult {
+    fn points_per_s(&self) -> f64 {
+        self.points_sent as f64 / self.wall_s.max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"batch\": {},\n    \"window\": {},\n    \"rounds\": {},\n    \
+             \"events_sent\": {},\n    \
+             \"points_sent\": {},\n    \"event_frames_sent\": {},\n    \"reply_frames\": {},\n    \
+             \"interactions\": {},\n    \
+             \"wall_s\": {:.4},\n    \"points_per_s\": {:.0},\n    \"events_per_s\": {:.0},\n    \
+             \"rtt_samples\": {},\n    \"rtt_ns_p50\": {},\n    \"rtt_ns_p95\": {},\n    \
+             \"rtt_ns_p99\": {},\n    \"server_allocs_per_frame\": {:.4}\n  }}",
+            self.batch,
+            self.window,
+            self.rounds,
+            self.events_sent,
+            self.points_sent,
+            self.event_frames_sent,
+            self.reply_frames,
+            self.interactions,
+            self.wall_s,
+            self.points_per_s(),
+            self.events_sent as f64 / self.wall_s.max(1e-9),
+            self.rtt_samples,
+            self.p50,
+            self.p95,
+            self.p99,
+            self.allocs_per_frame,
+        )
+    }
+}
+
+/// Runs one mode: `warmup` unmeasured rounds, then measured rounds until
+/// `min_duration_s` of measured wall-clock has accumulated.
+fn run_mode(
+    addr: std::net::SocketAddr,
+    streams: &Arc<Vec<Vec<InputEvent>>>,
+    next_session_base: &mut u64,
+    batch: Option<usize>,
+    window: usize,
+    warmup: u64,
+    min_duration_s: f64,
+) -> ModeResult {
+    for _ in 0..warmup {
+        let (_, _) = run_round(addr, streams, *next_session_base, batch, window);
+        *next_session_base += SLOTS;
+    }
+    let mut rtts: Vec<u64> = Vec::new();
+    let mut totals = RoundStats::default();
+    let mut wall_s = 0.0f64;
+    let mut rounds = 0u64;
+    let allocs_before = SERVER_ALLOCATIONS.load(Ordering::Relaxed);
+    loop {
+        let (stats, round_s) = run_round(addr, streams, *next_session_base, batch, window);
+        *next_session_base += SLOTS;
+        rounds += 1;
+        wall_s += round_s;
+        rtts.extend(&stats.rtts_ns);
+        totals.events_sent += stats.events_sent;
+        totals.points_sent += stats.points_sent;
+        totals.event_frames_sent += stats.event_frames_sent;
+        totals.reply_frames += stats.reply_frames;
+        totals.interactions += stats.interactions;
+        if wall_s >= min_duration_s {
+            break;
+        }
+    }
+    let server_allocs = SERVER_ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    // Frames the service handled this mode: client frames in (hello/
+    // open/event/batch/close ≈ event_frames + per-session overhead) plus
+    // reply frames out. Event frames dominate; the per-session constants
+    // are charged too so the figure cannot hide session-setup churn.
+    let session_overhead = rounds * CLIENTS * (2 * SESSIONS_PER_CLIENT + 1);
+    let frames_handled = totals.event_frames_sent + session_overhead + totals.reply_frames;
+    rtts.sort_unstable();
+    ModeResult {
+        mode: if batch.is_some() { "batched" } else { "unbatched" },
+        batch: batch.unwrap_or(0),
+        window: if batch.is_some() { window } else { 0 },
+        rounds,
+        events_sent: totals.events_sent,
+        points_sent: totals.points_sent,
+        event_frames_sent: totals.event_frames_sent,
+        reply_frames: totals.reply_frames,
+        interactions: totals.interactions,
+        wall_s,
+        rtt_samples: rtts.len(),
+        p50: percentile(&rtts, 0.50),
+        p95: percentile(&rtts, 0.95),
+        p99: percentile(&rtts, 0.99),
+        allocs_per_frame: server_allocs as f64 / frames_handled.max(1) as f64,
+    }
+}
+
+struct Options {
+    batched: bool,
+    unbatched: bool,
+    batch: usize,
+    window: usize,
+    min_duration_s: f64,
+    warmup: u64,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        batched: true,
+        unbatched: true,
+        batch: 32,
+        window: 1,
+        min_duration_s: 2.0,
+        warmup: 2,
+        smoke: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--mode" => match it.next().map(String::as_str) {
+                Some("both") => {}
+                Some("batched") => opts.unbatched = false,
+                Some("unbatched") => opts.batched = false,
+                _ => return Err("--mode wants both|batched|unbatched".into()),
+            },
+            "--batch" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => opts.batch = n,
+                _ => return Err("--batch wants a positive integer".into()),
+            },
+            "--window" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => opts.window = n,
+                _ => return Err("--window wants a positive integer".into()),
+            },
+            "--min-duration-s" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(s)) if s >= 0.0 => opts.min_duration_s = s,
+                _ => return Err("--min-duration-s wants a non-negative number".into()),
+            },
+            "--warmup" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => opts.warmup = n,
+                _ => return Err("--warmup wants an integer".into()),
+            },
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.smoke {
+        opts.min_duration_s = 0.0;
+        opts.warmup = 0;
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    suppress_this_thread();
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let data = datasets::eight_way(0x2b2b, 10, 0);
     let (rec, _) =
         EagerRecognizer::train(&data.training, &FeatureMask::all(), &EagerConfig::default())
@@ -198,78 +594,109 @@ fn main() {
         TcpService::start(SessionRouter::new(Arc::new(rec), config), "127.0.0.1:0")
             .expect("bind loopback");
     let addr = service.local_addr();
+    let streams: Arc<Vec<Vec<InputEvent>>> =
+        Arc::new((0..SLOTS).map(slot_stream).collect());
     eprintln!(
-        "serve_load: {} clients x {} sessions against {addr} ({SHARDS} shards)",
-        CLIENTS, SESSIONS_PER_CLIENT
+        "serve_load: {CLIENTS} clients x {SESSIONS_PER_CLIENT} sessions against {addr} \
+         ({SHARDS} shards, batch {}, window {}, warmup {}, min {:.1}s/mode{})",
+        opts.batch,
+        opts.window,
+        opts.warmup,
+        opts.min_duration_s,
+        if opts.smoke { ", smoke" } else { "" }
     );
 
-    let started = Instant::now();
-    let mut stats: Vec<ClientStats> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut joins = Vec::new();
-        for client in 0..CLIENTS {
-            let sessions: Vec<u64> = (0..SESSIONS_PER_CLIENT)
-                .map(|i| 1 + client * SESSIONS_PER_CLIENT + i)
-                .collect();
-            joins.push(scope.spawn(move || run_client(addr, sessions)));
-        }
-        for join in joins {
-            stats.push(join.join().expect("client"));
-        }
-    });
-    let wall = started.elapsed();
+    let mut next_session_base = 1u64;
+    let mut results: Vec<ModeResult> = Vec::new();
+    if opts.unbatched {
+        results.push(run_mode(
+            addr,
+            &streams,
+            &mut next_session_base,
+            None,
+            opts.window,
+            opts.warmup,
+            opts.min_duration_s,
+        ));
+    }
+    if opts.batched {
+        results.push(run_mode(
+            addr,
+            &streams,
+            &mut next_session_base,
+            Some(opts.batch),
+            opts.window,
+            opts.warmup,
+            opts.min_duration_s,
+        ));
+    }
+    let (pool_hits, pool_misses) = service.router().batch_pool().stats();
     service.shutdown();
     let snap = service.metrics().snapshot();
 
-    let mut rtts: Vec<u64> = stats.iter().flat_map(|s| s.rtts_ns.iter().copied()).collect();
-    rtts.sort_unstable();
-    let events_sent: u64 = stats.iter().map(|s| s.events_sent).sum();
-    let points_sent: u64 = stats.iter().map(|s| s.points_sent).sum();
-    let interactions: u64 = stats.iter().map(|s| s.interactions).sum();
-    let wall_s = wall.as_secs_f64();
-    let p50 = percentile(&rtts, 0.50);
-    let p95 = percentile(&rtts, 0.95);
-    let p99 = percentile(&rtts, 0.99);
-
-    let mut shard_json = String::new();
-    for (i, s) in snap.shards.iter().enumerate() {
-        if i > 0 {
-            shard_json.push_str(", ");
-        }
-        shard_json.push_str(&format!(
-            "{{\"events\": {}, \"points\": {}, \"queue_highwater\": {}, \"ns_per_point\": {:.1}}}",
-            s.events, s.points, s.queue_highwater, s.ns_per_point
-        ));
+    for r in &results {
+        eprintln!(
+            "serve_load[{}]: {} rounds, {} events / {:.3}s = {:.0} ev/s; \
+             RTT p50 {}ns p95 {}ns p99 {}ns; {:.4} server allocs/frame",
+            r.mode,
+            r.rounds,
+            r.events_sent,
+            r.wall_s,
+            r.events_sent as f64 / r.wall_s.max(1e-9),
+            r.p50,
+            r.p95,
+            r.p99,
+            r.allocs_per_frame,
+        );
     }
+
+    if opts.smoke {
+        // The CI guard: the workload ran clean end to end.
+        assert_eq!(snap.decode_errors, 0, "smoke: decode errors: {snap:?}");
+        assert_eq!(snap.busy_rejections, 0, "smoke: busy rejections: {snap:?}");
+        assert!(
+            results.iter().all(|r| r.rtt_samples > 0),
+            "smoke: no RTT samples collected"
+        );
+        eprintln!("serve_load: smoke ok (0 decode errors, 0 busy rejections)");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut sections = String::new();
+    for r in &results {
+        sections.push_str(&format!(",\n  \"{}\": {}", r.mode, r.to_json()));
+    }
+    let ratios = match (
+        results.iter().find(|r| r.mode == "unbatched"),
+        results.iter().find(|r| r.mode == "batched"),
+    ) {
+        (Some(u), Some(b)) => format!(
+            ",\n  \"rtt_p50_ratio\": {:.2},\n  \"points_per_s_ratio\": {:.2}",
+            u.p50 as f64 / b.p50.max(1) as f64,
+            b.points_per_s() / u.points_per_s().max(1e-9),
+        ),
+        _ => String::new(),
+    };
     let json = format!(
         "{{\n  \"bench\": \"serve_load\",\n  \"transport\": \"tcp-loopback\",\n  \
          \"clients\": {CLIENTS},\n  \"sessions_per_client\": {SESSIONS_PER_CLIENT},\n  \
          \"gestures_per_session\": {GESTURES_PER_SESSION},\n  \"shards\": {SHARDS},\n  \
-         \"events_sent\": {events_sent},\n  \"points_sent\": {points_sent},\n  \
-         \"interactions\": {interactions},\n  \"wall_s\": {wall_s:.4},\n  \
-         \"points_per_s\": {:.0},\n  \"events_per_s\": {:.0},\n  \"interactions_per_s\": {:.1},\n  \
-         \"rtt_samples\": {},\n  \"rtt_ns_p50\": {p50},\n  \"rtt_ns_p95\": {p95},\n  \"rtt_ns_p99\": {p99},\n  \
+         \"warmup_rounds\": {},\n  \"min_duration_s\": {:.1},\n  \
          \"faults_repaired\": {},\n  \"busy_rejections\": {},\n  \"decode_errors\": {},\n  \
-         \"outcomes\": {{\"recognized\": {}, \"manipulated\": {}, \"cancelled\": {}, \"rejected\": {}, \"closed\": {}}},\n  \
-         \"shards_detail\": [{shard_json}]\n}}\n",
-        points_sent as f64 / wall_s,
-        events_sent as f64 / wall_s,
-        interactions as f64 / wall_s,
-        rtts.len(),
+         \"batches_ingested\": {},\n  \"writer_flushes\": {},\n  \"frames_sent\": {},\n  \
+         \"batch_pool_hits\": {pool_hits},\n  \"batch_pool_misses\": {pool_misses}{sections}{ratios}\n}}\n",
+        opts.warmup,
+        opts.min_duration_s,
         snap.faults_repaired,
         snap.busy_rejections,
         snap.decode_errors,
-        snap.outcomes_recognized,
-        snap.outcomes_manipulated,
-        snap.outcomes_cancelled,
-        snap.outcomes_rejected,
-        snap.outcomes_closed,
+        snap.batches_ingested,
+        snap.writer_flushes,
+        snap.frames_sent,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, &json).expect("write BENCH_serve.json");
     println!("{json}");
-    eprintln!(
-        "serve_load: {events_sent} events / {wall_s:.3}s = {:.0} ev/s; RTT p50 {p50}ns p95 {p95}ns p99 {p99}ns; wrote {path}",
-        events_sent as f64 / wall_s
-    );
+    eprintln!("serve_load: wrote {path}");
+    ExitCode::SUCCESS
 }

@@ -116,6 +116,24 @@ fn main() {
     let train_speedup = train_serial_ms / train_parallel_ms;
     let eval_speedup = eval_serial_ms / eval_parallel_ms;
 
+    // Regression gate: when only one worker is available the parallel
+    // entry points short-circuit to the serial path (no spawn, no merge),
+    // so "parallel" must not be meaningfully slower than serial. The
+    // margin absorbs shared-machine timer noise; an actual regression
+    // (spawning threads for workers == 1) costs far more than 30%.
+    if workers == 1 {
+        assert!(
+            eval_parallel_ms <= eval_serial_ms * 1.3,
+            "workers == 1 evaluate must short-circuit to serial: \
+             parallel {eval_parallel_ms:.3} ms vs serial {eval_serial_ms:.3} ms"
+        );
+        assert!(
+            train_parallel_ms <= train_serial_ms * 1.3,
+            "workers == 1 training must short-circuit to serial: \
+             parallel {train_parallel_ms:.3} ms vs serial {train_serial_ms:.3} ms"
+        );
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"throughput\",\n  \"dataset\": \"{}\",\n  \"classes\": {},\n  \
          \"train_per_class\": {},\n  \"test_per_class\": {},\n  \"seed\": {},\n  \

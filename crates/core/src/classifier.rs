@@ -387,6 +387,40 @@ impl LinearClassifier {
         }
     }
 
+    /// Zero-allocation twin of [`LinearClassifier::classify_checked`] for
+    /// hot loops: evaluates into the caller's scratch buffer and returns
+    /// only the argmax class and its probability. `None` exactly when
+    /// `classify_checked` would reject (non-finite features or a
+    /// non-finite evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong dimension or
+    /// `evaluations.len() != self.num_classes()`.
+    pub fn classify_slice_checked(
+        &self,
+        features: &[f64],
+        evaluations: &mut [f64],
+    ) -> Option<(usize, f64)> {
+        if features.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        self.evaluate_into(features, evaluations);
+        let mut class = 0;
+        let mut best = f64::NEG_INFINITY;
+        for (i, &v) in evaluations.iter().enumerate() {
+            if !v.is_finite() {
+                return None;
+            }
+            if v.total_cmp(&best) == Ordering::Greater {
+                class = i;
+                best = v;
+            }
+        }
+        let denom: f64 = evaluations.iter().map(|v| (v - best).exp()).sum();
+        Some((class, 1.0 / denom))
+    }
+
     /// Returns the mean feature vector of a class.
     pub fn class_mean(&self, class: usize) -> &Vector {
         &self.means[class]
@@ -534,6 +568,16 @@ impl Classifier {
         self.linear.classify_checked(features)
     }
 
+    /// Zero-allocation twin of [`Classifier::classify_features_checked`]:
+    /// see [`LinearClassifier::classify_slice_checked`].
+    pub fn classify_slice_checked(
+        &self,
+        features: &[f64],
+        evaluations: &mut [f64],
+    ) -> Option<(usize, f64)> {
+        self.linear.classify_slice_checked(features, evaluations)
+    }
+
     /// Returns the feature mask used at training time.
     pub fn mask(&self) -> &FeatureMask {
         &self.mask
@@ -657,6 +701,34 @@ mod tests {
         assert!(cls.accepted(0.95, 20.0));
         assert!(!cls.accepted(0.99, 20.0));
         assert!(!cls.accepted(0.95, 5.0));
+    }
+
+    #[test]
+    fn classify_slice_checked_matches_allocating_path() {
+        let data = four_direction_training();
+        let c = Classifier::train(&data, &FeatureMask::all()).unwrap();
+        let mut evals = vec![0.0; c.num_classes()];
+        for g in [
+            stroke(1.0, 0.0, 0.1),
+            stroke(0.0, 1.0, 0.1),
+            stroke(-1.0, 0.3, 0.2),
+        ] {
+            let features = FeatureExtractor::extract(&g, c.mask());
+            let full = c.classify_features_checked(&features).unwrap();
+            let (class, probability) = c
+                .classify_slice_checked(features.as_slice(), &mut evals)
+                .unwrap();
+            assert_eq!(class, full.class);
+            assert!((probability - full.probability).abs() < 1e-12);
+            assert_eq!(evals, full.evaluations);
+        }
+        // Non-finite features reject in both paths.
+        let mut bad = FeatureExtractor::extract(&stroke(1.0, 0.0, 0.1), c.mask());
+        bad.as_mut_slice()[0] = f64::NAN;
+        assert!(c.classify_features_checked(&bad).is_none());
+        assert!(c
+            .classify_slice_checked(bad.as_slice(), &mut evals)
+            .is_none());
     }
 
     #[test]

@@ -107,6 +107,18 @@ mod tests {
     }
 
     #[test]
+    fn one_worker_never_spawns_threads() {
+        // The workers == 1 short-circuit is a performance contract, not
+        // just an equivalence: a single-worker evaluate must not pay
+        // thread spawn/join or the tag-and-sort merge. Pin it by
+        // observing that every closure call runs on the calling thread.
+        let caller = std::thread::current().id();
+        let items: Vec<u32> = (0..64).collect();
+        let out = parallel_map(&items, 1, |_, &x| (std::thread::current().id(), x));
+        assert!(out.iter().all(|&(id, _)| id == caller));
+    }
+
+    #[test]
     fn index_argument_matches_position() {
         let items = ["a", "b", "c"];
         let out = parallel_map(&items, 2, |i, &s| format!("{i}:{s}"));

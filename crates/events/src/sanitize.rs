@@ -183,6 +183,23 @@ impl EventSanitizer {
         std::mem::take(&mut self.faults)
     }
 
+    /// Empties the fault log in place, keeping its capacity — the
+    /// zero-allocation counterpart of [`EventSanitizer::take_faults`]
+    /// for callers that read [`EventSanitizer::faults`] first.
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Returns the sanitizer to its freshly-constructed state (same
+    /// config), keeping the fault log's capacity. Lets a pooled consumer
+    /// reuse one sanitizer across streams without reallocating.
+    pub fn reset(&mut self) {
+        self.last_t = None;
+        self.last_pos = None;
+        self.interaction_open = false;
+        self.faults.clear();
+    }
+
     /// `true` while a delivered `MouseDown` awaits its `MouseUp`.
     pub fn interaction_open(&self) -> bool {
         self.interaction_open
@@ -193,6 +210,15 @@ impl EventSanitizer {
     /// front of the event).
     pub fn process(&mut self, raw: InputEvent) -> Vec<InputEvent> {
         let mut out = Vec::new();
+        self.process_into(raw, &mut out);
+        out
+    }
+
+    /// [`EventSanitizer::process`] into a caller-provided buffer: appends
+    /// the zero, one, or two delivered events to `out` without
+    /// allocating. The per-event hot path for callers that reuse one
+    /// buffer across an event stream.
+    pub fn process_into(&mut self, raw: InputEvent, out: &mut Vec<InputEvent>) {
         let mut event = raw;
 
         // Rule 1: non-finite coordinates. Only the corrupted axis is
@@ -216,7 +242,7 @@ impl EventSanitizer {
                         t: event.t,
                         repaired: false,
                     });
-                    return out;
+                    return;
                 }
             }
         }
@@ -232,7 +258,7 @@ impl EventSanitizer {
                 None => {
                     self.faults
                         .push(StreamFault::NonFiniteTimestamp { repaired: false });
-                    return out;
+                    return;
                 }
             }
         }
@@ -252,7 +278,7 @@ impl EventSanitizer {
                         t: event.t,
                         regression_ms: regression,
                     });
-                    return out;
+                    return;
                 }
             }
         }
@@ -283,7 +309,7 @@ impl EventSanitizer {
             }
             EventKind::MouseUp { .. } | EventKind::GrabBreak if !self.interaction_open => {
                 self.faults.push(StreamFault::UnmatchedMouseUp { t: event.t });
-                return out;
+                return;
             }
             EventKind::MouseUp { .. } | EventKind::GrabBreak => {
                 self.interaction_open = false;
@@ -294,13 +320,18 @@ impl EventSanitizer {
         self.last_t = Some(event.t);
         self.last_pos = Some((event.x, event.y));
         out.push(event);
-        out
     }
 
     /// Ends the stream: when an interaction is still open, synthesizes the
     /// missing-up `GrabBreak` so downstream handlers return to idle.
     pub fn finish(&mut self) -> Vec<InputEvent> {
         let mut out = Vec::new();
+        self.finish_into(&mut out);
+        out
+    }
+
+    /// [`EventSanitizer::finish`] into a caller-provided buffer.
+    pub fn finish_into(&mut self, out: &mut Vec<InputEvent>) {
         if self.interaction_open {
             let (x, y) = self.last_pos.unwrap_or((0.0, 0.0));
             let t = self.last_t.unwrap_or(0.0) + self.config.grab_timeout_ms;
@@ -308,7 +339,6 @@ impl EventSanitizer {
             self.faults.push(StreamFault::MissingMouseUp { t });
             self.interaction_open = false;
         }
-        out
     }
 
     /// Sanitizes a whole stream, including the end-of-stream flush.

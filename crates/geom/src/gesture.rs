@@ -74,6 +74,12 @@ impl Gesture {
         self.points.push(p);
     }
 
+    /// Removes every point, keeping the allocated capacity — lets a
+    /// collection buffer be reused across gestures without reallocating.
+    pub fn clear(&mut self) {
+        self.points.clear();
+    }
+
     /// Returns the `i`-point prefix `g[i]`, or `None` when `i > |g|`
     /// (the paper leaves `g[i]` undefined in that case).
     pub fn subgesture(&self, i: usize) -> Option<Gesture> {

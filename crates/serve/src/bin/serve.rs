@@ -4,7 +4,12 @@
 //! ```text
 //! serve train --out model.txt [--seed N] [--per-class N]
 //! serve run --model model.txt [--addr 127.0.0.1:0] [--shards N]
+//!           [--queue-capacity N] [--flush-bytes N]
 //! ```
+//!
+//! `--queue-capacity` bounds each shard's inbound queue (full queues
+//! reject with `Busy`); `--flush-bytes` sets the per-connection writer's
+//! initial coalescing threshold — the adaptive ceiling is 16× that.
 //!
 //! `run` loads a *persisted* recognizer (`grandma_core::persist`) rather
 //! than retraining — a server restart serves the exact same classifier,
@@ -17,7 +22,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
-use grandma_serve::{ServeConfig, SessionRouter, TcpService};
+use grandma_serve::{ServeConfig, SessionRouter, TcpOptions, TcpService};
 use grandma_synth::datasets;
 
 fn fail(msg: &str) -> ExitCode {
@@ -28,7 +33,8 @@ fn fail(msg: &str) -> ExitCode {
 fn usage() -> ExitCode {
     fail(
         "usage:\n  serve train --out PATH [--seed N] [--per-class N]\n  \
-         serve run --model PATH [--addr ADDR] [--shards N]",
+         serve run --model PATH [--addr ADDR] [--shards N] \
+         [--queue-capacity N] [--flush-bytes N]",
     )
 }
 
@@ -98,6 +104,19 @@ fn cmd_run(args: &Args) -> ExitCode {
         Some(Ok(n)) if n > 0 => n,
         _ => return fail("--shards must be a positive integer"),
     };
+    let queue_capacity = match args.get("queue-capacity").map(str::parse::<usize>) {
+        None => ServeConfig::default().queue_capacity,
+        Some(Ok(n)) if n > 0 => n,
+        _ => return fail("--queue-capacity must be a positive integer"),
+    };
+    let options = match args.get("flush-bytes").map(str::parse::<usize>) {
+        None => TcpOptions::default(),
+        Some(Ok(n)) if n > 0 => TcpOptions {
+            flush_start: n,
+            flush_max: n.saturating_mul(16),
+        },
+        _ => return fail("--flush-bytes must be a positive integer"),
+    };
     let text = match std::fs::read_to_string(model_path) {
         Ok(text) => text,
         Err(e) => return fail(&format!("reading {model_path}: {e}")),
@@ -108,10 +127,11 @@ fn cmd_run(args: &Args) -> ExitCode {
     };
     let config = ServeConfig {
         shards,
+        queue_capacity,
         ..ServeConfig::default()
     };
     let router = SessionRouter::new(Arc::new(rec), config);
-    let mut service = match TcpService::start(router, addr) {
+    let mut service = match TcpService::start_with(router, addr, options) {
         Ok(service) => service,
         Err(e) => return fail(&format!("binding {addr}: {e}")),
     };

@@ -16,7 +16,7 @@ use std::time::Duration;
 use crate::router::{SessionRouter, ShardMsg, SubmitError};
 use crate::wire::{
     decode_client, decode_server, encode_client, encode_server, ClientFrame, FaultCode,
-    OutcomeKind, ServerFrame, WireError, WIRE_VERSION,
+    OutcomeKind, ServerFrame, WireError, MIN_WIRE_VERSION, WIRE_VERSION,
 };
 
 /// Why a duplex operation failed.
@@ -82,7 +82,7 @@ impl Duplex {
         };
         match decoded {
             ClientFrame::Hello { version } => {
-                if version == WIRE_VERSION {
+                if (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
                     self.hello_ok = true;
                 } else {
                     let _ = self.reply_tx.send(ServerFrame::Fault {
@@ -118,6 +118,25 @@ impl Duplex {
                     reply: self.reply_tx.clone(),
                 },
             ),
+            ClientFrame::EventBatch { session, events } => {
+                // Mirror the TCP reader: the decoded records land in a
+                // pooled buffer that crosses the shard queue as one
+                // message. A Busy rejection echoes the first record's
+                // seq, and `submit` recycles the rejected buffer.
+                let first_seq = events.first().map(|&(s, _)| s).unwrap_or(0);
+                let mut batch = self.router.batch_pool().take();
+                batch.extend_from_slice(&events);
+                self.submit(
+                    session,
+                    first_seq,
+                    ShardMsg::EventBatch {
+                        conn: self.conn,
+                        session,
+                        events: batch,
+                        reply: self.reply_tx.clone(),
+                    },
+                )
+            }
             ClientFrame::Close { session, seq } => self.submit(
                 session,
                 seq,

@@ -11,6 +11,13 @@
 //! `std::net` [`TcpService`] — and lock-free [`ServiceMetrics`]
 //! snapshotted to JSON.
 //!
+//! Wire v2 adds the serve fast path: `EventBatch` frames carry many
+//! events per syscall, decoded zero-copy via [`ClientFrameView`], routed
+//! across the shard queue as one message, and drained through pooled
+//! buffers ([`BatchPool`]) so the steady state allocates nothing per
+//! frame. v1 single-`Event` clients still round-trip unchanged
+//! ([`MIN_WIRE_VERSION`]).
+//!
 //! Determinism contract: a session's server-frame sequence is a pure
 //! function of its event stream and the recognizer, regardless of
 //! transport, shard count, or how other sessions interleave. The
@@ -44,6 +51,7 @@
 
 pub mod duplex;
 pub mod metrics;
+pub mod pool;
 pub mod router;
 pub mod session;
 pub mod tcp;
@@ -51,10 +59,13 @@ pub mod wire;
 
 pub use duplex::{Duplex, DuplexError};
 pub use metrics::{MetricsSnapshot, ServiceMetrics, ShardSnapshot};
+pub use pool::BatchPool;
 pub use router::{ServeConfig, SessionRouter, ShardMsg, SubmitError};
 pub use session::{run_events_inproc, PipelineConfig, SessionPipeline};
-pub use tcp::TcpService;
+pub use tcp::{TcpOptions, TcpService};
 pub use wire::{
-    decode_client, decode_server, encode_client, encode_server, ClientFrame, FaultCode,
-    FrameBuffer, OutcomeKind, ServerFrame, WireError, MAX_FRAME_LEN, WIRE_VERSION,
+    decode_client, decode_client_view, decode_server, encode_client, encode_event_batch,
+    encode_server, ClientFrame, ClientFrameView, EventBatchIter, EventBatchView, FaultCode,
+    FrameBuffer, OutcomeKind, ServerFrame, WireError, EVENT_RECORD_LEN, MAX_BATCH_EVENTS,
+    MAX_BATCH_FRAME_LEN, MAX_FRAME_LEN, MIN_WIRE_VERSION, WIRE_VERSION,
 };

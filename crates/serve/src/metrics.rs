@@ -61,6 +61,12 @@ pub struct ServiceMetrics {
     pub events_ingested: AtomicU64,
     /// Mouse-move points among them.
     pub points_ingested: AtomicU64,
+    /// `EventBatch` frames accepted into shard queues (wire v2).
+    pub batches_ingested: AtomicU64,
+    /// Coalesced socket writes performed by connection writer threads.
+    pub writer_flushes: AtomicU64,
+    /// Server frames encoded into those writes.
+    pub frames_sent: AtomicU64,
     /// Interaction outcomes by kind (see [`OUTCOME_KINDS`]).
     pub outcomes: [AtomicU64; OUTCOME_KINDS],
     /// Sanitizer repairs performed across all sessions.
@@ -83,6 +89,9 @@ impl ServiceMetrics {
             sessions_closed: AtomicU64::new(0),
             events_ingested: AtomicU64::new(0),
             points_ingested: AtomicU64::new(0),
+            batches_ingested: AtomicU64::new(0),
+            writer_flushes: AtomicU64::new(0),
+            frames_sent: AtomicU64::new(0),
             outcomes: Default::default(),
             faults_repaired: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
@@ -130,6 +139,9 @@ impl ServiceMetrics {
             sessions_active: opened.saturating_sub(closed),
             events_ingested: load(&self.events_ingested),
             points_ingested: load(&self.points_ingested),
+            batches_ingested: load(&self.batches_ingested),
+            writer_flushes: load(&self.writer_flushes),
+            frames_sent: load(&self.frames_sent),
             outcomes_recognized: load(&self.outcomes[0]),
             outcomes_manipulated: load(&self.outcomes[1]),
             outcomes_cancelled: load(&self.outcomes[2]),
@@ -190,6 +202,12 @@ pub struct MetricsSnapshot {
     pub events_ingested: u64,
     /// Mouse-move points among them.
     pub points_ingested: u64,
+    /// `EventBatch` frames accepted into shard queues.
+    pub batches_ingested: u64,
+    /// Coalesced socket writes by connection writers.
+    pub writer_flushes: u64,
+    /// Server frames carried by those writes.
+    pub frames_sent: u64,
     /// Outcomes by kind.
     pub outcomes_recognized: u64,
     /// Outcomes by kind.
@@ -227,7 +245,8 @@ impl MetricsSnapshot {
         }
         format!(
             "{{\n  \"sessions_opened\": {},\n  \"sessions_closed\": {},\n  \"sessions_active\": {},\n  \
-             \"events_ingested\": {},\n  \"points_ingested\": {},\n  \
+             \"events_ingested\": {},\n  \"points_ingested\": {},\n  \"batches_ingested\": {},\n  \
+             \"writer_flushes\": {},\n  \"frames_sent\": {},\n  \
              \"outcomes\": {{\"recognized\": {}, \"manipulated\": {}, \"cancelled\": {}, \"rejected\": {}, \"closed\": {}}},\n  \
              \"faults_repaired\": {},\n  \"busy_rejections\": {},\n  \"unknown_sessions\": {},\n  \"decode_errors\": {},\n  \
              \"shards\": [{}]\n}}",
@@ -236,6 +255,9 @@ impl MetricsSnapshot {
             self.sessions_active,
             self.events_ingested,
             self.points_ingested,
+            self.batches_ingested,
+            self.writer_flushes,
+            self.frames_sent,
             self.outcomes_recognized,
             self.outcomes_manipulated,
             self.outcomes_cancelled,

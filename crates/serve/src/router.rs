@@ -37,6 +37,7 @@ use grandma_core::EagerRecognizer;
 use grandma_events::{EventKind, InputEvent};
 
 use crate::metrics::ServiceMetrics;
+use crate::pool::BatchPool;
 use crate::session::{PipelineConfig, SessionPipeline};
 use crate::wire::{FaultCode, ServerFrame};
 
@@ -96,6 +97,22 @@ pub enum ShardMsg {
         /// rejection faults.
         reply: Sender<ServerFrame>,
     },
+    /// A whole batch of input events for one open session, crossing the
+    /// shard queue as a single message (wire v2): the shard resolves the
+    /// session once and feeds every record through the pipeline loop.
+    /// Rejected with one `Fault(UnknownSession)` (carrying the first
+    /// record's seq) unless `conn` owns `session`. The buffer is
+    /// recycled through the router's [`BatchPool`] after processing.
+    EventBatch {
+        /// The sending connection's id; must match the session's owner.
+        conn: u64,
+        /// Session id.
+        session: u64,
+        /// The `(seq, event)` records, in send order.
+        events: Vec<(u32, InputEvent)>,
+        /// Outbound frame channel of the sending connection.
+        reply: Sender<ServerFrame>,
+    },
     /// Close a session (flush, finalize, emit `Closed`). Rejected with
     /// `Fault(UnknownSession)` on `reply` unless `conn` owns `session`.
     Close {
@@ -121,6 +138,7 @@ impl ShardMsg {
         match self {
             ShardMsg::Open { session, .. }
             | ShardMsg::Event { session, .. }
+            | ShardMsg::EventBatch { session, .. }
             | ShardMsg::Close { session, .. } => Some(*session),
             ShardMsg::Pause(_) | ShardMsg::Shutdown => None,
         }
@@ -163,6 +181,7 @@ pub struct SessionRouter {
     shards: Vec<SyncSender<ShardMsg>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     metrics: Arc<ServiceMetrics>,
+    pool: Arc<BatchPool>,
     conn_ids: AtomicU64,
     down: AtomicBool,
 }
@@ -173,6 +192,7 @@ impl SessionRouter {
     pub fn new(recognizer: Arc<EagerRecognizer>, config: ServeConfig) -> Arc<Self> {
         let shard_count = config.shards.max(1);
         let metrics = Arc::new(ServiceMetrics::new(shard_count));
+        let pool = Arc::new(BatchPool::new());
         let mut shards = Vec::with_capacity(shard_count);
         let mut handles = Vec::with_capacity(shard_count);
         for shard in 0..shard_count {
@@ -180,9 +200,12 @@ impl SessionRouter {
             let worker_rec = recognizer.clone();
             let worker_metrics = metrics.clone();
             let worker_config = config.clone();
+            let worker_pool = pool.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("grandma-shard-{shard}"))
-                .spawn(move || shard_worker(shard, rx, worker_rec, worker_metrics, worker_config));
+                .spawn(move || {
+                    shard_worker(shard, rx, worker_rec, worker_metrics, worker_config, worker_pool)
+                });
             match handle {
                 Ok(h) => {
                     shards.push(tx);
@@ -199,9 +222,18 @@ impl SessionRouter {
             shards,
             handles: Mutex::new(handles),
             metrics,
+            pool,
             conn_ids: AtomicU64::new(0),
             down: AtomicBool::new(false),
         })
+    }
+
+    /// The shared batch-buffer pool. Transports take buffers here to
+    /// assemble [`ShardMsg::EventBatch`] payloads; shard workers return
+    /// them after draining, so the steady state recycles instead of
+    /// allocating.
+    pub fn batch_pool(&self) -> &Arc<BatchPool> {
+        &self.pool
     }
 
     /// Issues a fresh connection identity. Every transport connection
@@ -242,7 +274,12 @@ impl SessionRouter {
                 self.metrics.shard(shard).note_enqueue();
                 Ok(())
             }
-            Err(TrySendError::Full(_)) => {
+            Err(TrySendError::Full(msg)) => {
+                // A rejected batch still owns a pooled buffer; recycle it
+                // so backpressure doesn't leak allocations.
+                if let ShardMsg::EventBatch { events, .. } = msg {
+                    self.pool.put(events);
+                }
                 self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
                 Err(SubmitError::Busy)
             }
@@ -289,6 +326,9 @@ impl Drop for SessionRouter {
     }
 }
 
+/// Closed pipelines kept per shard for reuse; beyond this they drop.
+const PIPELINE_POOL_MAX: usize = 64;
+
 /// The shard worker loop: exclusive owner of its sessions' pipelines.
 fn shard_worker(
     shard: usize,
@@ -296,9 +336,13 @@ fn shard_worker(
     recognizer: Arc<EagerRecognizer>,
     metrics: Arc<ServiceMetrics>,
     config: ServeConfig,
+    pool: Arc<BatchPool>,
 ) {
     let mut sessions: HashMap<u64, SessionEntry> = HashMap::new();
     let mut scratch: Vec<ServerFrame> = Vec::with_capacity(16);
+    // Closed sessions donate their pipelines (warmed gesture/sanitizer
+    // buffers) back here; Opens take from it before allocating.
+    let mut pipeline_pool: Vec<SessionPipeline> = Vec::new();
     let shard_metrics = metrics.shard(shard);
     while let Ok(msg) = rx.recv() {
         shard_metrics.note_dequeue();
@@ -325,11 +369,18 @@ fn shard_worker(
                     });
                     continue;
                 }
+                let pipeline = match pipeline_pool.pop() {
+                    Some(mut recycled) => {
+                        recycled.recycle(session);
+                        recycled
+                    }
+                    None => SessionPipeline::new(session, config.pipeline.clone()),
+                };
                 sessions.insert(
                     session,
                     SessionEntry {
                         conn,
-                        pipeline: SessionPipeline::new(session, config.pipeline.clone()),
+                        pipeline,
                         reply,
                     },
                 );
@@ -377,6 +428,58 @@ fn shard_worker(
                 }
                 flush_frames(&metrics, &entry.reply, &mut scratch);
             }
+            ShardMsg::EventBatch {
+                conn,
+                session,
+                events,
+                reply,
+            } => {
+                // Same ownership rule as single events; the whole batch
+                // is accepted or rejected as a unit, and the rejection
+                // fault echoes the first record's seq.
+                let entry = match sessions.get_mut(&session) {
+                    Some(entry) if entry.conn == conn => entry,
+                    _ => {
+                        metrics.unknown_sessions.fetch_add(1, Ordering::Relaxed);
+                        let seq = events.first().map(|&(s, _)| s).unwrap_or(0);
+                        let _ = reply.send(ServerFrame::Fault {
+                            session,
+                            seq,
+                            code: FaultCode::UnknownSession,
+                        });
+                        pool.put(events);
+                        continue;
+                    }
+                };
+                // Session resolved once; every record rides the same
+                // zero-alloc pipeline loop as a single Event would.
+                let count = events.len() as u64;
+                metrics.events_ingested.fetch_add(count, Ordering::Relaxed);
+                metrics.batches_ingested.fetch_add(1, Ordering::Relaxed);
+                shard_metrics.events.fetch_add(count, Ordering::Relaxed);
+                let mut repairs = 0u64;
+                let mut points = 0u64;
+                scratch.clear();
+                let start = Instant::now();
+                for &(seq, event) in &events {
+                    if matches!(event.kind, EventKind::MouseMove) {
+                        points += 1;
+                    }
+                    repairs += u64::from(entry.pipeline.feed(&recognizer, seq, event, &mut scratch));
+                }
+                shard_metrics
+                    .busy_ns
+                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if points > 0 {
+                    metrics.points_ingested.fetch_add(points, Ordering::Relaxed);
+                    shard_metrics.points.fetch_add(points, Ordering::Relaxed);
+                }
+                if repairs > 0 {
+                    metrics.faults_repaired.fetch_add(repairs, Ordering::Relaxed);
+                }
+                flush_frames(&metrics, &entry.reply, &mut scratch);
+                pool.put(events);
+            }
             ShardMsg::Close {
                 conn,
                 session,
@@ -398,6 +501,9 @@ fn shard_worker(
                 entry.pipeline.close(&recognizer, seq, &mut scratch);
                 metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
                 flush_frames(&metrics, &entry.reply, &mut scratch);
+                if pipeline_pool.len() < PIPELINE_POOL_MAX {
+                    pipeline_pool.push(entry.pipeline);
+                }
             }
             ShardMsg::Pause(barrier) => {
                 barrier.wait();
@@ -763,6 +869,149 @@ mod tests {
         assert!(snap.busy_rejections >= 28);
         pause.release();
         router.shutdown();
+    }
+
+    #[test]
+    fn event_batch_matches_single_events_and_recycles_buffers() {
+        let data = datasets::eight_way(0x7e57, 0, 1);
+        let events: Vec<(u32, InputEvent)> = EventScript::new()
+            .then_gesture(&data.testing[0].gesture, Button::Left)
+            .into_events()
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| (i as u32, e))
+            .collect();
+        let close_seq = events.len() as u32;
+
+        let run = |batched: bool| -> Vec<ServerFrame> {
+            let router = SessionRouter::new(recognizer(), ServeConfig::default());
+            let conn = router.new_conn_id();
+            let (tx, rx) = std::sync::mpsc::channel();
+            router
+                .submit(ShardMsg::Open {
+                    conn,
+                    session: 9,
+                    seq: 0,
+                    reply: tx.clone(),
+                })
+                .unwrap();
+            if batched {
+                let mut buf = router.batch_pool().take();
+                buf.extend_from_slice(&events);
+                router
+                    .submit(ShardMsg::EventBatch {
+                        conn,
+                        session: 9,
+                        events: buf,
+                        reply: tx.clone(),
+                    })
+                    .unwrap();
+            } else {
+                for &(seq, event) in &events {
+                    router
+                        .submit(ShardMsg::Event {
+                            conn,
+                            session: 9,
+                            seq,
+                            event,
+                            reply: tx.clone(),
+                        })
+                        .unwrap();
+                }
+            }
+            router
+                .submit(ShardMsg::Close {
+                    conn,
+                    session: 9,
+                    seq: close_seq,
+                    reply: tx,
+                })
+                .unwrap();
+            let frames = recv_until_closed(&rx);
+            router.shutdown();
+            frames
+        };
+
+        let batched = run(true);
+        let single = run(false);
+        assert_eq!(batched, single, "batched path must mirror single events");
+
+        // The shard returns the buffer to the pool after draining it.
+        let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        let conn = router.new_conn_id();
+        let (tx, rx) = std::sync::mpsc::channel();
+        router
+            .submit(ShardMsg::Open {
+                conn,
+                session: 9,
+                seq: 0,
+                reply: tx.clone(),
+            })
+            .unwrap();
+        for _ in 0..4 {
+            let mut buf = router.batch_pool().take();
+            buf.extend_from_slice(&events);
+            router
+                .submit(ShardMsg::EventBatch {
+                    conn,
+                    session: 9,
+                    events: buf,
+                    reply: tx.clone(),
+                })
+                .unwrap();
+            // Wait for the shard to drain the batch and recycle the
+            // buffer, so the next round exercises a pool hit.
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while router.batch_pool().idle_len() == 0 {
+                assert!(std::time::Instant::now() < deadline, "buffer never recycled");
+                std::thread::yield_now();
+            }
+        }
+        router
+            .submit(ShardMsg::Close {
+                conn,
+                session: 9,
+                seq: close_seq,
+                reply: tx,
+            })
+            .unwrap();
+        let _ = recv_until_closed(&rx);
+        router.shutdown();
+        let (hits, misses) = router.batch_pool().stats();
+        assert!(hits >= 3, "steady state must recycle: {hits} hits, {misses} misses");
+        let snap = router.metrics().snapshot();
+        assert_eq!(snap.batches_ingested, 4);
+        assert_eq!(snap.events_ingested, 4 * events.len() as u64);
+    }
+
+    #[test]
+    fn event_batch_for_unknown_session_faults_with_first_seq() {
+        let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        let conn = router.new_conn_id();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut buf = router.batch_pool().take();
+        buf.push((17, InputEvent::new(EventKind::MouseMove, 0.0, 0.0, 0.0)));
+        buf.push((18, InputEvent::new(EventKind::MouseMove, 1.0, 1.0, 1.0)));
+        router
+            .submit(ShardMsg::EventBatch {
+                conn,
+                session: 404,
+                events: buf,
+                reply: tx,
+            })
+            .unwrap();
+        let frame = rx.recv_timeout(Duration::from_secs(5)).expect("fault frame");
+        assert!(matches!(
+            frame,
+            ServerFrame::Fault {
+                session: 404,
+                seq: 17,
+                code: FaultCode::UnknownSession,
+            }
+        ));
+        router.shutdown();
+        // The rejected batch's buffer still made it back to the pool.
+        assert_eq!(router.batch_pool().idle_len(), 1);
     }
 
     #[test]

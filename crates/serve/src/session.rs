@@ -27,7 +27,7 @@
 //!   └────grab-break (from anywhere, immediate Cancelled outcome)────┘
 //! ```
 
-use grandma_core::{EagerRecognizer, FeatureExtractor, PointFilter};
+use grandma_core::{EagerRecognizer, FeatureExtractor, PointFilter, FEATURE_COUNT};
 use grandma_events::{EventKind, EventSanitizer, InputEvent, SanitizerConfig};
 use grandma_geom::{Gesture, Point};
 
@@ -66,15 +66,13 @@ impl Default for PipelineConfig {
     }
 }
 
+#[derive(Clone, Copy)]
 enum Phase {
     Idle,
-    Collecting {
-        gesture: Gesture,
-        // Boxed: the extractor dominates the enum's size and Collecting
-        // is entered once per interaction, not per point.
-        extractor: Box<FeatureExtractor>,
-        filter: PointFilter,
-    },
+    /// Collecting points into the pipeline's reusable gesture buffer,
+    /// extractor, and jitter filter (fields on [`SessionPipeline`], not
+    /// here, so one interaction's allocations serve every later one).
+    Collecting,
     Manipulating {
         class: u16,
         total_points: u32,
@@ -90,6 +88,12 @@ enum Phase {
 
 /// One session's full recognition pipeline. Owned by exactly one shard
 /// worker; never shared across threads.
+///
+/// The collection state (`gesture`, `extractor`, `filter`) and the
+/// sanitizer's scratch buffer live on the pipeline and are *cleared*, not
+/// dropped, between interactions: after the first gesture has warmed the
+/// buffers up, feeding an event performs no heap allocation — the
+/// serving-layer counterpart of `EagerSession`'s zero-allocation claim.
 pub struct SessionPipeline {
     session: u64,
     config: PipelineConfig,
@@ -97,24 +101,60 @@ pub struct SessionPipeline {
     phase: Phase,
     /// Faults charged to the interaction in progress.
     interaction_faults: u32,
+    /// Reusable collection buffer; cleared at each interaction start.
+    gesture: Gesture,
+    /// Boxed once at session open, reset in place per interaction.
+    extractor: Box<FeatureExtractor>,
+    filter: PointFilter,
+    /// Sanitizer output scratch, reused across `feed` calls.
+    cleaned: Vec<InputEvent>,
+    /// Stack buffer for the per-point eager ambiguity check.
+    features: [f64; FEATURE_COUNT],
+    /// Per-class evaluation scratch for the commit-time classification;
+    /// sized lazily to the recognizer's class count, then reused.
+    evaluations: Vec<f64>,
 }
 
 impl SessionPipeline {
     /// Creates the pipeline for `session`.
     pub fn new(session: u64, config: PipelineConfig) -> Self {
         let sanitizer = EventSanitizer::with_config(config.sanitizer.clone());
+        let filter = PointFilter::new(config.min_point_distance);
         Self {
             session,
             config,
             sanitizer,
             phase: Phase::Idle,
             interaction_faults: 0,
+            gesture: Gesture::new(),
+            extractor: Box::new(FeatureExtractor::new()),
+            filter,
+            cleaned: Vec::new(),
+            features: [0.0; FEATURE_COUNT],
+            evaluations: Vec::new(),
         }
     }
 
     /// The session id frames are stamped with.
     pub fn session(&self) -> u64 {
         self.session
+    }
+
+    /// Re-arms a finished pipeline for a new session, keeping every
+    /// warmed buffer (gesture, extractor, sanitizer fault log, sanitizer
+    /// scratch). Observationally identical to
+    /// `SessionPipeline::new(session, config)` with the same config —
+    /// shard workers recycle closed pipelines through this instead of
+    /// reallocating.
+    pub fn recycle(&mut self, session: u64) {
+        self.session = session;
+        self.sanitizer.reset();
+        self.phase = Phase::Idle;
+        self.interaction_faults = 0;
+        self.gesture.clear();
+        self.extractor.reset();
+        self.filter = PointFilter::new(self.config.min_point_distance);
+        self.cleaned.clear();
     }
 
     /// `true` while an interaction is in progress (any non-idle phase).
@@ -132,11 +172,16 @@ impl SessionPipeline {
         raw: InputEvent,
         out: &mut Vec<ServerFrame>,
     ) -> u32 {
-        let cleaned = self.sanitizer.process(raw);
+        // The scratch buffer is moved out for the duration of the call so
+        // dispatch can borrow `self` mutably; moving a Vec never allocates.
+        let mut cleaned = std::mem::take(&mut self.cleaned);
+        cleaned.clear();
+        self.sanitizer.process_into(raw, &mut cleaned);
         let repairs = self.note_sanitizer_faults(seq, out);
-        for event in cleaned {
+        for &event in &cleaned {
             self.dispatch(rec, seq, event, out);
         }
+        self.cleaned = cleaned;
         repairs
     }
 
@@ -145,11 +190,14 @@ impl SessionPipeline {
     /// [`OutcomeKind::Closed`] marker. Exactly one `Closed` outcome is
     /// emitted per pipeline lifetime.
     pub fn close(&mut self, rec: &EagerRecognizer, seq: u32, out: &mut Vec<ServerFrame>) {
-        let closing = self.sanitizer.finish();
+        let mut closing = std::mem::take(&mut self.cleaned);
+        closing.clear();
+        self.sanitizer.finish_into(&mut closing);
         self.note_sanitizer_faults(seq, out);
-        for event in closing {
+        for &event in &closing {
             self.dispatch(rec, seq, event, out);
         }
+        self.cleaned = closing;
         // Defense in depth: the sanitizer's finish() guarantees an ending
         // event for any open interaction, but a pipeline must terminate
         // even if that contract is ever violated.
@@ -171,18 +219,18 @@ impl SessionPipeline {
     /// its budget (faults with no interaction to blame are reported but
     /// not budgeted — mirroring the handler's `note_faults`).
     fn note_sanitizer_faults(&mut self, seq: u32, out: &mut Vec<ServerFrame>) -> u32 {
-        let faults = self.sanitizer.take_faults();
-        if faults.is_empty() {
+        if self.sanitizer.faults().is_empty() {
             return 0;
         }
-        for fault in &faults {
+        for fault in self.sanitizer.faults() {
             out.push(ServerFrame::Fault {
                 session: self.session,
                 seq,
                 code: fault_code_of(fault),
             });
         }
-        let n = faults.len() as u32;
+        let n = self.sanitizer.faults().len() as u32;
+        self.sanitizer.clear_faults();
         if self.interaction_in_progress() {
             self.interaction_faults = self.interaction_faults.saturating_add(n);
             self.enforce_fault_budget();
@@ -195,13 +243,13 @@ impl SessionPipeline {
         if self.interaction_faults <= self.config.fault_budget {
             return;
         }
-        match std::mem::replace(&mut self.phase, Phase::Idle) {
-            Phase::Idle => {}
-            Phase::Collecting { gesture, .. } => {
+        match self.phase {
+            Phase::Idle | Phase::Draining { .. } => {}
+            Phase::Collecting => {
                 self.phase = Phase::Draining {
                     outcome: OutcomeKind::Cancelled,
                     class: None,
-                    total_points: gesture.len() as u32,
+                    total_points: self.gesture.len() as u32,
                 };
             }
             Phase::Manipulating {
@@ -214,7 +262,6 @@ impl SessionPipeline {
                     total_points,
                 };
             }
-            draining @ Phase::Draining { .. } => self.phase = draining,
         }
     }
 
@@ -241,31 +288,39 @@ impl SessionPipeline {
         self.phase = Phase::Idle;
     }
 
-    /// The phase transition: classify the collected gesture and either
-    /// enter manipulation (mid-gesture trigger) or finish (mouse-up).
+    /// The phase transition: classify the collected gesture (still in the
+    /// pipeline's reusable buffer) and either enter manipulation
+    /// (mid-gesture trigger) or finish (mouse-up).
     fn transition(
         &mut self,
         rec: &EagerRecognizer,
         seq: u32,
-        gesture: Gesture,
         at_mouse_up: bool,
         out: &mut Vec<ServerFrame>,
     ) {
-        let points = gesture.len() as u32;
+        let points = self.gesture.len() as u32;
         // Checked classification: non-finite or degenerate features are
-        // rejected explicitly rather than argmaxed over NaN.
-        let classification = rec.classify_full_checked(&gesture);
-        let accepted = match &classification {
+        // rejected explicitly rather than argmaxed over NaN. The warm
+        // extractor has accumulated exactly the collected points, so its
+        // features equal a fresh re-extraction of `self.gesture` without
+        // re-walking the points.
+        let classifier = rec.full_classifier();
+        let mask = classifier.mask();
+        let slots = &mut self.features[..mask.count()];
+        self.extractor.masked_features_into(mask, slots);
+        self.evaluations.resize(classifier.num_classes(), 0.0);
+        let classification = classifier.classify_slice_checked(slots, &mut self.evaluations);
+        let accepted = match classification {
             None => None,
-            Some(c) => {
+            Some((class, probability)) => {
                 if self
                     .config
                     .min_probability
-                    .is_some_and(|p| c.probability < p)
+                    .is_some_and(|p| probability < p)
                 {
                     None
                 } else {
-                    Some(c.class as u16)
+                    Some(class as u16)
                 }
             }
         };
@@ -340,54 +395,46 @@ impl SessionPipeline {
             }
             return;
         }
-        match (&mut self.phase, event.kind) {
+        match (self.phase, event.kind) {
             (Phase::Idle, EventKind::MouseDown { .. }) => {
-                let mut gesture = Gesture::new();
-                let mut extractor = Box::new(FeatureExtractor::new());
-                let mut filter = PointFilter::new(self.config.min_point_distance);
+                // Reuse the collection buffers from the previous
+                // interaction: clear, don't reallocate.
+                self.gesture.clear();
+                self.extractor.reset();
+                self.filter = PointFilter::new(self.config.min_point_distance);
                 let p = Point::new(event.x, event.y, event.t);
-                filter.accept(&p);
-                gesture.push(p);
-                extractor.update(p);
-                self.phase = Phase::Collecting {
-                    gesture,
-                    extractor,
-                    filter,
-                };
+                self.filter.accept(&p);
+                self.gesture.push(p);
+                self.extractor.update(p);
+                self.phase = Phase::Collecting;
             }
             (Phase::Idle, _) => {}
-            (
-                Phase::Collecting {
-                    gesture,
-                    extractor,
-                    filter,
-                },
-                EventKind::MouseMove,
-            ) => {
+            (Phase::Collecting, EventKind::MouseMove) => {
                 let p = Point::new(event.x, event.y, event.t);
-                if !filter.accept(&p) {
+                if !self.filter.accept(&p) {
                     return;
                 }
-                gesture.push(p);
-                extractor.update(p);
+                self.gesture.push(p);
+                self.extractor.update(p);
                 let min_points = rec.config().min_subgesture_points;
-                if self.config.eager && extractor.count() >= min_points {
-                    let features = extractor.masked_features(rec.full_classifier().mask());
-                    if rec.auc().is_unambiguous(&features) {
-                        let gesture = std::mem::take(gesture);
-                        self.transition(rec, seq, gesture, false, out);
+                if self.config.eager && self.extractor.count() >= min_points {
+                    // Stack-buffered feature read: no per-point heap
+                    // traffic on the ambiguity check.
+                    let mask = rec.full_classifier().mask();
+                    let slots = &mut self.features[..mask.count()];
+                    self.extractor.masked_features_into(mask, slots);
+                    if rec.auc().is_unambiguous_slice(slots) {
+                        self.transition(rec, seq, false, out);
                     }
                 }
             }
-            (Phase::Collecting { gesture, .. }, EventKind::Timeout) => {
-                let gesture = std::mem::take(gesture);
-                self.transition(rec, seq, gesture, false, out);
+            (Phase::Collecting, EventKind::Timeout) => {
+                self.transition(rec, seq, false, out);
             }
-            (Phase::Collecting { gesture, .. }, EventKind::MouseUp { .. }) => {
-                let gesture = std::mem::take(gesture);
-                self.transition(rec, seq, gesture, true, out);
+            (Phase::Collecting, EventKind::MouseUp { .. }) => {
+                self.transition(rec, seq, true, out);
             }
-            (Phase::Collecting { .. }, EventKind::MouseDown { .. }) => {
+            (Phase::Collecting, EventKind::MouseDown { .. }) => {
                 // The sanitizer demotes duplicate downs upstream; if one
                 // slips through, record it and ignore the event.
                 out.push(ServerFrame::Fault {
@@ -398,15 +445,18 @@ impl SessionPipeline {
                 self.interaction_faults = self.interaction_faults.saturating_add(1);
                 self.enforce_fault_budget();
             }
-            (Phase::Collecting { .. }, _) => {}
+            (Phase::Collecting, _) => {}
             (
                 Phase::Manipulating {
-                    total_points: total,
-                    ..
+                    class,
+                    total_points,
                 },
                 EventKind::MouseMove,
             ) => {
-                *total += 1;
+                self.phase = Phase::Manipulating {
+                    class,
+                    total_points: total_points + 1,
+                };
                 out.push(ServerFrame::Manipulate {
                     session: self.session,
                     seq,
@@ -421,7 +471,6 @@ impl SessionPipeline {
                 },
                 EventKind::MouseUp { .. },
             ) => {
-                let (class, total_points) = (*class, *total_points);
                 self.finish_interaction(seq, OutcomeKind::Manipulated, Some(class), total_points, out);
             }
             (Phase::Manipulating { .. }, _) => {}
@@ -436,12 +485,12 @@ impl SessionPipeline {
     fn teardown(&mut self, seq: u32, out: &mut Vec<ServerFrame>) {
         match std::mem::replace(&mut self.phase, Phase::Idle) {
             Phase::Idle => {}
-            Phase::Collecting { gesture, .. } => {
+            Phase::Collecting => {
                 self.finish_interaction(
                     seq,
                     OutcomeKind::Cancelled,
                     None,
-                    gesture.len() as u32,
+                    self.gesture.len() as u32,
                     out,
                 );
             }

@@ -4,12 +4,13 @@
 //!
 //! Connection protocol:
 //!
-//! 1. The first frame must be [`ClientFrame::Hello`] with a matching
-//!    [`WIRE_VERSION`]; anything else earns a `Fault` and the connection
-//!    is dropped.
-//! 2. `Open`/`Event`/`Close` frames route to the session's shard. A full
-//!    shard queue bounces the frame back as `Fault(Busy)` — the bytes
-//!    are never buffered beyond the bounded shard queue.
+//! 1. The first frame must be a `Hello` whose version falls in
+//!    [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`]; anything else earns a
+//!    `Fault` and the connection is dropped. v1 clients speak
+//!    single-`Event` frames; v2 clients may also send `EventBatch`.
+//! 2. `Open`/`Event`/`EventBatch`/`Close` frames route to the session's
+//!    shard. A full shard queue bounces the frame back as `Fault(Busy)`
+//!    — the bytes are never buffered beyond the bounded shard queue.
 //! 3. Undecodable bytes produce `Fault(BadFrame)` and close the
 //!    connection; the decoder returns typed errors and never panics, so
 //!    hostile input costs one connection, not the process.
@@ -29,6 +30,16 @@
 //! registry of live connections is keyed by connection id and pruned as
 //! connections end — a long-running server does not accumulate dead
 //! streams or finished thread handles.
+//!
+//! Fast path (wire v2): the reader decodes frames zero-copy through
+//! [`FrameBuffer::next_client_view`] from a large read buffer (one
+//! `read` drains everything the kernel has before blocking), batch
+//! payloads land in pooled `Vec`s recycled through the router's
+//! [`crate::BatchPool`], and the writer coalesces queued reply frames
+//! into one `write` per flush behind an adaptive threshold
+//! ([`TcpOptions`]) that grows when replies keep arriving and decays
+//! when the queue naturally drains. `TCP_NODELAY` is set on every
+//! accepted socket so a flush becomes a packet immediately.
 
 use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
@@ -42,13 +53,53 @@ use std::time::Duration;
 use crate::metrics::ServiceMetrics;
 use crate::router::{SessionRouter, ShardMsg, SubmitError};
 use crate::wire::{
-    encode_server, ClientFrame, FaultCode, FrameBuffer, ServerFrame, WIRE_VERSION,
+    encode_server, ClientFrameView, FaultCode, FrameBuffer, ServerFrame, MIN_WIRE_VERSION,
+    WIRE_VERSION,
 };
 
 /// How long the accept loop sleeps after `accept()` fails, so persistent
 /// errors (e.g. fd exhaustion) degrade to slow retries instead of a
 /// busy-spin.
 const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Size of each connection reader's buffer: one `read` call drains
+/// everything the kernel has buffered (up to this much) before the
+/// thread blocks again.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Per-connection transport tuning for the coalescing writer.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpOptions {
+    /// Initial (and floor) writer flush threshold in bytes: the writer
+    /// keeps appending queued reply frames to its buffer until it either
+    /// drains the queue or crosses this size, then issues one `write`.
+    pub flush_start: usize,
+    /// Ceiling the adaptive threshold may grow to under sustained reply
+    /// pressure. Each threshold-capped flush doubles the threshold; each
+    /// natural drain halves it back toward `flush_start`.
+    pub flush_max: usize,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        Self {
+            flush_start: 4 * 1024,
+            flush_max: 64 * 1024,
+        }
+    }
+}
+
+impl TcpOptions {
+    /// `flush_start` clamped to something sane.
+    fn start_bytes(&self) -> usize {
+        self.flush_start.clamp(64, 1 << 20)
+    }
+
+    /// `flush_max` clamped to at least the start threshold.
+    fn max_bytes(&self) -> usize {
+        self.flush_max.max(self.start_bytes())
+    }
+}
 
 /// Live-connection registry shared between the accept loop and shutdown,
 /// keyed by connection id. Entries are removed when their connection
@@ -79,8 +130,18 @@ pub struct TcpService {
 
 impl TcpService {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts accepting connections for `router`.
+    /// starts accepting connections for `router`, with default
+    /// [`TcpOptions`].
     pub fn start(router: Arc<SessionRouter>, addr: &str) -> std::io::Result<Self> {
+        Self::start_with(router, addr, TcpOptions::default())
+    }
+
+    /// [`TcpService::start`] with explicit transport tuning.
+    pub fn start_with(
+        router: Arc<SessionRouter>,
+        addr: &str,
+        options: TcpOptions,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -91,7 +152,7 @@ impl TcpService {
             let registry = registry.clone();
             std::thread::Builder::new()
                 .name("grandma-accept".into())
-                .spawn(move || accept_loop(listener, router, stop, registry))?
+                .spawn(move || accept_loop(listener, router, stop, registry, options))?
         };
         Ok(Self {
             router,
@@ -155,6 +216,7 @@ fn accept_loop(
     router: Arc<SessionRouter>,
     stop: Arc<AtomicBool>,
     registry: Arc<ConnRegistry>,
+    options: TcpOptions,
 ) {
     loop {
         let Ok((stream, _)) = listener.accept() else {
@@ -183,7 +245,7 @@ fn accept_loop(
         let conn_registry = registry.clone();
         let spawned = std::thread::Builder::new()
             .name("grandma-conn".into())
-            .spawn(move || handle_connection(conn, stream, conn_router, conn_registry));
+            .spawn(move || handle_connection(conn, stream, conn_router, conn_registry, options));
         match spawned {
             Ok(handle) => {
                 lock_or_recover(&registry.threads).insert(conn, handle);
@@ -228,34 +290,59 @@ fn handle_connection(
     mut stream: TcpStream,
     router: Arc<SessionRouter>,
     registry: Arc<ConnRegistry>,
+    options: TcpOptions,
 ) {
     let (reply_tx, reply_rx) = std::sync::mpsc::channel::<ServerFrame>();
+    let writer_metrics = router.metrics().clone();
     let writer = stream.try_clone().ok().and_then(|mut out| {
         std::thread::Builder::new()
             .name("grandma-conn-writer".into())
             .spawn(move || {
-                let mut bytes = Vec::with_capacity(4096);
+                // One reusable encode buffer for the connection's whole
+                // lifetime, flushed as one write per coalescing round.
+                // The threshold adapts: a flush that was capped by the
+                // threshold (replies still queued) doubles it, a flush
+                // that drained the queue naturally halves it back toward
+                // the floor — bursty sessions get big writes, idle ones
+                // get low latency.
+                let floor = options.start_bytes();
+                let ceiling = options.max_bytes();
+                let mut threshold = floor;
+                let mut bytes = Vec::with_capacity(floor);
                 while let Ok(frame) = reply_rx.recv() {
                     bytes.clear();
+                    let mut queued = 1u64;
                     encode_server(&frame, &mut bytes);
-                    // Opportunistically coalesce whatever else is queued.
-                    while bytes.len() < 16 * 1024 {
+                    while bytes.len() < threshold {
                         match reply_rx.try_recv() {
-                            Ok(next) => encode_server(&next, &mut bytes),
+                            Ok(next) => {
+                                encode_server(&next, &mut bytes);
+                                queued += 1;
+                            }
                             Err(_) => break,
                         }
                     }
+                    let capped = bytes.len() >= threshold;
                     if out.write_all(&bytes).is_err() {
                         return;
                     }
                     let _ = out.flush();
+                    writer_metrics.writer_flushes.fetch_add(1, Ordering::Relaxed);
+                    writer_metrics.frames_sent.fetch_add(queued, Ordering::Relaxed);
+                    threshold = if capped {
+                        (threshold * 2).min(ceiling)
+                    } else {
+                        (threshold / 2).max(floor)
+                    };
                 }
             })
             .ok()
     });
 
     let mut frames = FrameBuffer::new();
-    let mut chunk = [0u8; 4096];
+    // Heap chunk: big enough that one read drains the kernel buffer for
+    // a whole burst of batches before the thread blocks again.
+    let mut chunk = vec![0u8; READ_CHUNK];
     let mut hello_ok = false;
     let mut open_sessions: HashSet<u64> = HashSet::new();
     'conn: loop {
@@ -265,7 +352,10 @@ fn handle_connection(
         };
         frames.extend(chunk.get(..n).unwrap_or(&[]));
         loop {
-            let frame = match frames.next_client() {
+            // Zero-copy decode: batch payloads are iterated straight out
+            // of the frame buffer; only the pooled `Vec` that crosses
+            // the shard channel is written to.
+            let frame = match frames.next_client_view() {
                 Ok(Some(frame)) => frame,
                 Ok(None) => break,
                 Err(_) => {
@@ -286,11 +376,13 @@ fn handle_connection(
             };
             if !hello_ok {
                 match frame {
-                    ClientFrame::Hello { version } if version == WIRE_VERSION => {
+                    ClientFrameView::Hello { version }
+                        if (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) =>
+                    {
                         hello_ok = true;
                         continue;
                     }
-                    ClientFrame::Hello { .. } => {
+                    ClientFrameView::Hello { .. } => {
                         reply(
                             &reply_tx,
                             ServerFrame::Fault {
@@ -314,10 +406,10 @@ fn handle_connection(
                 break 'conn;
             }
             match frame {
-                ClientFrame::Hello { .. } => {
+                ClientFrameView::Hello { .. } => {
                     // A second Hello is harmless; ignore it.
                 }
-                ClientFrame::Open { session } => {
+                ClientFrameView::Open { session } => {
                     let msg = ShardMsg::Open {
                         conn,
                         session,
@@ -344,7 +436,7 @@ fn handle_connection(
                         Err(SubmitError::Closed) => break 'conn,
                     }
                 }
-                ClientFrame::Event {
+                ClientFrameView::Event {
                     session,
                     seq,
                     event,
@@ -366,7 +458,32 @@ fn handle_connection(
                     ),
                     Err(SubmitError::Closed) => break 'conn,
                 },
-                ClientFrame::Close { session, seq } => {
+                ClientFrameView::EventBatch(view) => {
+                    let session = view.session();
+                    let mut events = router.batch_pool().take();
+                    events.extend(view.iter());
+                    let first_seq = events.first().map(|&(s, _)| s).unwrap_or(0);
+                    match router.submit(ShardMsg::EventBatch {
+                        conn,
+                        session,
+                        events,
+                        reply: reply_tx.clone(),
+                    }) {
+                        Ok(()) => {}
+                        // The whole batch is rejected as a unit; submit
+                        // already recycled its buffer.
+                        Err(SubmitError::Busy) => reply(
+                            &reply_tx,
+                            ServerFrame::Fault {
+                                session,
+                                seq: first_seq,
+                                code: FaultCode::Busy,
+                            },
+                        ),
+                        Err(SubmitError::Closed) => break 'conn,
+                    }
+                }
+                ClientFrameView::Close { session, seq } => {
                     open_sessions.remove(&session);
                     match submit_close(&router, conn, session, seq, &reply_tx) {
                         Ok(()) => {}
@@ -431,7 +548,7 @@ fn submit_close(
 mod tests {
     use super::*;
     use crate::router::ServeConfig;
-    use crate::wire::{encode_client, OutcomeKind};
+    use crate::wire::{encode_client, ClientFrame, OutcomeKind};
     use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
     use grandma_synth::datasets;
     use std::time::Duration;
@@ -514,6 +631,108 @@ mod tests {
         );
         stream.write_all(&bytes).expect("write");
         let frames = read_server_frames(&mut stream, 1);
+        assert!(matches!(
+            frames.last(),
+            Some(ServerFrame::Outcome {
+                outcome: OutcomeKind::Closed,
+                ..
+            })
+        ));
+        service.shutdown();
+        assert_eq!(service.metrics().snapshot().sessions_closed, 1);
+    }
+
+    #[test]
+    fn batched_tcp_session_round_trips() {
+        use grandma_events::{Button, EventScript};
+        let mut service = TcpService::start(
+            SessionRouter::new(recognizer(), ServeConfig::default()),
+            "127.0.0.1:0",
+        )
+        .expect("bind");
+        let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
+        let mut bytes = Vec::new();
+        encode_client(
+            &ClientFrame::Hello {
+                version: WIRE_VERSION,
+            },
+            &mut bytes,
+        );
+        encode_client(&ClientFrame::Open { session: 2 }, &mut bytes);
+        let data = datasets::eight_way(0x7e57, 0, 1);
+        let events: Vec<(u32, grandma_events::InputEvent)> = EventScript::new()
+            .then_gesture(&data.testing[0].gesture, Button::Left)
+            .into_events()
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| (i as u32, e))
+            .collect();
+        crate::wire::encode_event_batch(2, &events, &mut bytes);
+        encode_client(
+            &ClientFrame::Close {
+                session: 2,
+                seq: events.len() as u32,
+            },
+            &mut bytes,
+        );
+        stream.write_all(&bytes).expect("write");
+        let frames = read_server_frames(&mut stream, 2);
+        assert!(matches!(
+            frames.last(),
+            Some(ServerFrame::Outcome {
+                outcome: OutcomeKind::Closed,
+                ..
+            })
+        ));
+        service.shutdown();
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.batches_ingested, 1);
+        assert_eq!(snap.events_ingested, events.len() as u64);
+        assert!(snap.frames_sent >= frames.len() as u64);
+        assert!(snap.writer_flushes >= 1);
+    }
+
+    #[test]
+    fn v1_client_round_trips_against_v2_server() {
+        use grandma_events::{Button, EventScript};
+        let mut service = TcpService::start(
+            SessionRouter::new(recognizer(), ServeConfig::default()),
+            "127.0.0.1:0",
+        )
+        .expect("bind");
+        let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
+        let mut bytes = Vec::new();
+        // A v1 client: old Hello version, single-Event frames only.
+        encode_client(
+            &ClientFrame::Hello {
+                version: MIN_WIRE_VERSION,
+            },
+            &mut bytes,
+        );
+        encode_client(&ClientFrame::Open { session: 3 }, &mut bytes);
+        let data = datasets::eight_way(0x7e57, 0, 1);
+        let events = EventScript::new()
+            .then_gesture(&data.testing[0].gesture, Button::Left)
+            .into_events();
+        for (i, e) in events.iter().enumerate() {
+            encode_client(
+                &ClientFrame::Event {
+                    session: 3,
+                    seq: i as u32,
+                    event: *e,
+                },
+                &mut bytes,
+            );
+        }
+        encode_client(
+            &ClientFrame::Close {
+                session: 3,
+                seq: events.len() as u32,
+            },
+            &mut bytes,
+        );
+        stream.write_all(&bytes).expect("write");
+        let frames = read_server_frames(&mut stream, 3);
         assert!(matches!(
             frames.last(),
             Some(ServerFrame::Outcome {

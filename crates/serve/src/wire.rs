@@ -16,9 +16,26 @@
 //! contain — cross the wire unchanged and are repaired *server-side* by
 //! the [`grandma_events::EventSanitizer`].
 //!
-//! Client → server: [`ClientFrame`] (`Hello`, `Open`, `Event`, `Close`).
-//! Server → client: [`ServerFrame`] (`Recognized`, `Manipulate`,
-//! `Outcome`, `Fault`).
+//! Client → server: [`ClientFrame`] (`Hello`, `Open`, `Event`,
+//! `EventBatch`, `Close`). Server → client: [`ServerFrame`]
+//! (`Recognized`, `Manipulate`, `Outcome`, `Fault`).
+//!
+//! # Wire v2: event batching
+//!
+//! Version 2 adds the `EventBatch` frame (tag `0x05`): up to
+//! [`MAX_BATCH_EVENTS`] events for one session packed into a single
+//! length-prefixed frame, each record carrying its own `seq` so the seq
+//! echo (and per-event RTT attribution) is preserved. Batched frames use
+//! a larger length cap ([`MAX_BATCH_FRAME_LEN`]); every other frame is
+//! still held to [`MAX_FRAME_LEN`]. A v2 server accepts v1 `Hello`s and
+//! v1 single-`Event` streams unchanged ([`MIN_WIRE_VERSION`]); a batch of
+//! events is defined to be semantically identical to the same events sent
+//! as consecutive single `Event` frames.
+//!
+//! The hot decode path is allocation-free: [`decode_client_view`] returns
+//! a [`ClientFrameView`] whose batch variant ([`EventBatchView`]) borrows
+//! the packed records straight out of the receive buffer — records are
+//! fully validated at decode time so iterating them cannot fail.
 //!
 //! Encoding and decoding are pure functions of bytes; the streaming
 //! [`FrameBuffer`] feeds a byte stream through them incrementally. A
@@ -29,13 +46,32 @@
 use grandma_events::{Button, EventKind, InputEvent};
 
 /// Protocol version spoken by this build; [`ClientFrame::Hello`] carries
-/// the client's version and a mismatch closes the connection with
+/// the client's version and anything outside
+/// [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`] closes the connection with
 /// [`FaultCode::VersionMismatch`].
-pub const WIRE_VERSION: u16 = 1;
+pub const WIRE_VERSION: u16 = 2;
 
-/// Upper bound on the length prefix (tag + payload). The largest real
-/// frame is `Event` at 39 bytes; anything claiming more is hostile.
+/// Oldest client version this build still serves. Version 1 clients
+/// (single-`Event` frames only) round-trip against a v2 server
+/// unchanged; they simply never send `EventBatch`.
+pub const MIN_WIRE_VERSION: u16 = 1;
+
+/// Upper bound on the length prefix (tag + payload) for every frame
+/// except `EventBatch`. The largest real single frame is `Event` at 39
+/// bytes; anything claiming more is hostile.
 pub const MAX_FRAME_LEN: usize = 128;
+
+/// Bytes of one packed batch record: `seq: u32`, `kind: u8`,
+/// `button: u8`, and `x`/`y`/`t` as raw `f64` bits.
+pub const EVENT_RECORD_LEN: usize = 30;
+
+/// Maximum events one `EventBatch` frame may carry; longer client-side
+/// batches are split across frames by [`encode_event_batch`].
+pub const MAX_BATCH_EVENTS: usize = 256;
+
+/// Length-prefix cap for `EventBatch` frames: tag + session + count +
+/// a full complement of records.
+pub const MAX_BATCH_FRAME_LEN: usize = 1 + 8 + 2 + MAX_BATCH_EVENTS * EVENT_RECORD_LEN;
 
 /// Typed decoding failure. Every variant is a protocol violation that is
 /// fatal for the connection; an incomplete frame is *not* an error (the
@@ -89,7 +125,7 @@ impl std::fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 /// Frames a client sends.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ClientFrame {
     /// Protocol handshake: the client's wire version. Must be the first
     /// frame on a connection.
@@ -112,6 +148,15 @@ pub enum ClientFrame {
         seq: u32,
         /// The raw (possibly corrupted) input event.
         event: InputEvent,
+    },
+    /// Many events for one session in a single frame (wire v2). Each
+    /// record keeps its own `seq`, so server frames correlate exactly as
+    /// they would for the same events sent as single `Event` frames.
+    EventBatch {
+        /// Session id (resolved once per batch server-side).
+        session: u64,
+        /// The `(seq, event)` records, in send order.
+        events: Vec<(u32, InputEvent)>,
     },
     /// Ends a session: the server flushes its sanitizer, finalizes any
     /// open interaction, and replies with a terminal
@@ -310,6 +355,7 @@ const TAG_HELLO: u8 = 0x01;
 const TAG_OPEN: u8 = 0x02;
 const TAG_EVENT: u8 = 0x03;
 const TAG_CLOSE: u8 = 0x04;
+const TAG_EVENT_BATCH: u8 = 0x05;
 const TAG_RECOGNIZED: u8 = 0x81;
 const TAG_MANIPULATE: u8 = 0x82;
 const TAG_OUTCOME: u8 = 0x83;
@@ -399,8 +445,14 @@ fn finish_frame(out: &mut [u8], at: usize) {
     }
 }
 
-/// Appends one encoded client frame (length prefix included) to `out`.
+/// Appends the encoded client frame(s) to `out`. Every variant encodes
+/// to exactly one frame except `EventBatch`, which splits into as many
+/// frames as [`MAX_BATCH_EVENTS`] requires (see [`encode_event_batch`]).
 pub fn encode_client(frame: &ClientFrame, out: &mut Vec<u8>) {
+    if let ClientFrame::EventBatch { session, events } = frame {
+        encode_event_batch(*session, events, out);
+        return;
+    }
     let at = out.len();
     put_u32(out, 0);
     match *frame {
@@ -432,8 +484,45 @@ pub fn encode_client(frame: &ClientFrame, out: &mut Vec<u8>) {
             put_u64(out, session);
             put_u32(out, seq);
         }
+        // Handled above; unreachable here.
+        ClientFrame::EventBatch { .. } => {}
     }
     finish_frame(out, at);
+}
+
+/// Appends `events` for `session` as `EventBatch` frame(s) to `out`:
+/// one frame per [`MAX_BATCH_EVENTS`] chunk (a single count-zero frame
+/// when `events` is empty). Encoding appends to the caller's buffer, so
+/// a connection can reuse one `Vec` for its entire lifetime — the
+/// steady-state encode path performs no allocation.
+pub fn encode_event_batch(session: u64, events: &[(u32, InputEvent)], out: &mut Vec<u8>) {
+    let mut chunks = events.chunks(MAX_BATCH_EVENTS);
+    let mut emit = |chunk: &[(u32, InputEvent)]| {
+        let at = out.len();
+        put_u32(out, 0);
+        out.push(TAG_EVENT_BATCH);
+        put_u64(out, session);
+        put_u16(out, chunk.len() as u16);
+        for &(seq, event) in chunk {
+            put_u32(out, seq);
+            let (kind, button) = kind_to_bytes(event.kind);
+            out.push(kind);
+            out.push(button);
+            put_f64(out, event.x);
+            put_f64(out, event.y);
+            put_f64(out, event.t);
+        }
+        finish_frame(out, at);
+    };
+    match chunks.next() {
+        None => emit(&[]),
+        Some(first) => {
+            emit(first);
+            for chunk in chunks {
+                emit(chunk);
+            }
+        }
+    }
 }
 
 /// Appends one encoded server frame (length prefix included) to `out`.
@@ -552,7 +641,21 @@ fn next_body(buf: &[u8]) -> Result<Option<(&[u8], usize)>, WireError> {
     if len == 0 {
         return Err(WireError::EmptyFrame);
     }
-    if len > MAX_FRAME_LEN {
+    // The cap depends on the tag: only EventBatch may exceed the single-
+    // frame limit. Until the tag byte arrives only the absolute bound can
+    // be enforced; one more byte settles it.
+    if len > MAX_BATCH_FRAME_LEN {
+        return Err(WireError::Oversized { len });
+    }
+    let Some(&tag) = buf.get(4) else {
+        return Ok(None);
+    };
+    let cap = if tag == TAG_EVENT_BATCH {
+        MAX_BATCH_FRAME_LEN
+    } else {
+        MAX_FRAME_LEN
+    };
+    if len > cap {
         return Err(WireError::Oversized { len });
     }
     match buf.get(4..4 + len) {
@@ -568,19 +671,184 @@ fn finish_body(cur: &Cur<'_>) -> Result<(), WireError> {
     }
 }
 
-/// Decodes the next client frame from `buf`. Returns `Ok(None)` while the
-/// frame is incomplete, `Ok(Some((frame, consumed)))` on success, and a
-/// typed [`WireError`] on protocol violation. Never panics on any input.
-pub fn decode_client(buf: &[u8]) -> Result<Option<(ClientFrame, usize)>, WireError> {
+/// A zero-copy view over one `EventBatch` frame's packed records,
+/// borrowed straight from the receive buffer. Every record was validated
+/// when the view was constructed, so iteration is infallible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventBatchView<'a> {
+    session: u64,
+    records: &'a [u8],
+}
+
+impl<'a> EventBatchView<'a> {
+    /// The session every record in the batch belongs to.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.records.len() / EVENT_RECORD_LEN
+    }
+
+    /// `true` when the batch carries no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates the `(seq, event)` records in send order without
+    /// allocating or copying.
+    pub fn iter(&self) -> EventBatchIter<'a> {
+        EventBatchIter { rest: self.records }
+    }
+}
+
+impl<'a> IntoIterator for &EventBatchView<'a> {
+    type Item = (u32, InputEvent);
+    type IntoIter = EventBatchIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over an [`EventBatchView`]'s records.
+#[derive(Debug, Clone)]
+pub struct EventBatchIter<'a> {
+    rest: &'a [u8],
+}
+
+impl Iterator for EventBatchIter<'_> {
+    type Item = (u32, InputEvent);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rest.len() < EVENT_RECORD_LEN {
+            return None;
+        }
+        let (rec, rest) = self.rest.split_at(EVENT_RECORD_LEN);
+        self.rest = rest;
+        let seq = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
+        // Validated at decode time; a mismatch here would be a codec bug
+        // and ends iteration rather than panicking.
+        let kind = kind_from_bytes(rec[4], rec[5]).ok()?;
+        let bits = |at: usize| {
+            u64::from_le_bytes([
+                rec[at],
+                rec[at + 1],
+                rec[at + 2],
+                rec[at + 3],
+                rec[at + 4],
+                rec[at + 5],
+                rec[at + 6],
+                rec[at + 7],
+            ])
+        };
+        let event = InputEvent::new(
+            kind,
+            f64::from_bits(bits(6)),
+            f64::from_bits(bits(14)),
+            f64::from_bits(bits(22)),
+        );
+        Some((seq, event))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.rest.len() / EVENT_RECORD_LEN;
+        (n, Some(n))
+    }
+}
+
+/// A decoded client frame that borrows batch payloads from the input
+/// buffer instead of copying them — the allocation-free fast path used by
+/// the transports. [`ClientFrameView::into_frame`] converts to the owned
+/// [`ClientFrame`] when a copy is wanted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClientFrameView<'a> {
+    /// See [`ClientFrame::Hello`].
+    Hello {
+        /// The client's wire version.
+        version: u16,
+    },
+    /// See [`ClientFrame::Open`].
+    Open {
+        /// Session id.
+        session: u64,
+    },
+    /// See [`ClientFrame::Event`].
+    Event {
+        /// Session id.
+        session: u64,
+        /// Client-assigned sequence number.
+        seq: u32,
+        /// The raw event.
+        event: InputEvent,
+    },
+    /// See [`ClientFrame::EventBatch`]; the records stay in the receive
+    /// buffer.
+    EventBatch(EventBatchView<'a>),
+    /// See [`ClientFrame::Close`].
+    Close {
+        /// Session id.
+        session: u64,
+        /// Client-assigned sequence number.
+        seq: u32,
+    },
+}
+
+impl ClientFrameView<'_> {
+    /// Copies the view into an owned [`ClientFrame`] (allocates for
+    /// batches; the transports never call this on the hot path).
+    pub fn into_frame(self) -> ClientFrame {
+        match self {
+            ClientFrameView::Hello { version } => ClientFrame::Hello { version },
+            ClientFrameView::Open { session } => ClientFrame::Open { session },
+            ClientFrameView::Event {
+                session,
+                seq,
+                event,
+            } => ClientFrame::Event {
+                session,
+                seq,
+                event,
+            },
+            ClientFrameView::EventBatch(view) => ClientFrame::EventBatch {
+                session: view.session(),
+                events: view.iter().collect(),
+            },
+            ClientFrameView::Close { session, seq } => ClientFrame::Close { session, seq },
+        }
+    }
+}
+
+fn decode_batch_body<'a>(cur: &mut Cur<'a>) -> Result<EventBatchView<'a>, WireError> {
+    let session = cur.u64("session")?;
+    let count = cur.u16("batch count")? as usize;
+    if count > MAX_BATCH_EVENTS {
+        return Err(WireError::Malformed {
+            what: "batch count",
+        });
+    }
+    let records = cur.take(count * EVENT_RECORD_LEN, "batch records")?;
+    // Validate every record now so the view's iterator cannot fail.
+    for rec in records.chunks_exact(EVENT_RECORD_LEN) {
+        kind_from_bytes(rec[4], rec[5])?;
+    }
+    Ok(EventBatchView { session, records })
+}
+
+/// Decodes the next client frame from `buf` without copying batch
+/// payloads. Returns `Ok(None)` while the frame is incomplete,
+/// `Ok(Some((view, consumed)))` on success, and a typed [`WireError`] on
+/// protocol violation. Never panics on any input.
+pub fn decode_client_view(buf: &[u8]) -> Result<Option<(ClientFrameView<'_>, usize)>, WireError> {
     let Some((body, consumed)) = next_body(buf)? else {
         return Ok(None);
     };
     let mut cur = Cur::new(body);
-    let frame = match cur.u8("tag")? {
-        TAG_HELLO => ClientFrame::Hello {
+    let view = match cur.u8("tag")? {
+        TAG_HELLO => ClientFrameView::Hello {
             version: cur.u16("version")?,
         },
-        TAG_OPEN => ClientFrame::Open {
+        TAG_OPEN => ClientFrameView::Open {
             session: cur.u64("session")?,
         },
         TAG_EVENT => {
@@ -591,20 +859,31 @@ pub fn decode_client(buf: &[u8]) -> Result<Option<(ClientFrame, usize)>, WireErr
             let x = cur.f64("x")?;
             let y = cur.f64("y")?;
             let t = cur.f64("t")?;
-            ClientFrame::Event {
+            ClientFrameView::Event {
                 session,
                 seq,
                 event: InputEvent::new(kind_from_bytes(kind, button)?, x, y, t),
             }
         }
-        TAG_CLOSE => ClientFrame::Close {
+        TAG_EVENT_BATCH => ClientFrameView::EventBatch(decode_batch_body(&mut cur)?),
+        TAG_CLOSE => ClientFrameView::Close {
             session: cur.u64("session")?,
             seq: cur.u32("seq")?,
         },
         tag => return Err(WireError::UnknownTag { tag }),
     };
     finish_body(&cur)?;
-    Ok(Some((frame, consumed)))
+    Ok(Some((view, consumed)))
+}
+
+/// Decodes the next client frame from `buf` into the owned
+/// [`ClientFrame`]; same contract as [`decode_client_view`] (which the
+/// transports use to avoid the batch copy).
+pub fn decode_client(buf: &[u8]) -> Result<Option<(ClientFrame, usize)>, WireError> {
+    match decode_client_view(buf)? {
+        None => Ok(None),
+        Some((view, consumed)) => Ok(Some((view.into_frame(), consumed))),
+    }
 }
 
 /// Decodes the next server frame from `buf`; same contract as
@@ -670,8 +949,17 @@ impl FrameBuffer {
         Self::default()
     }
 
-    /// Appends raw transport bytes.
+    /// Appends raw transport bytes. Compaction happens here — never in
+    /// the frame-draining calls — so a [`ClientFrameView`] borrowed from
+    /// the buffer stays valid until the next `extend`.
     pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim the consumed prefix once it dominates the buffer,
+        // keeping the amortized cost linear and the steady-state
+        // footprint bounded.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
         self.buf.extend_from_slice(bytes);
     }
 
@@ -680,18 +968,8 @@ impl FrameBuffer {
         self.buf.len().saturating_sub(self.start)
     }
 
-    fn compact(&mut self) {
-        // Reclaim consumed prefix once it dominates the buffer, keeping
-        // the amortized cost linear.
-        if self.start > 4096 && self.start * 2 > self.buf.len() {
-            self.buf.drain(..self.start);
-            self.start = 0;
-        }
-    }
-
     fn advance(&mut self, consumed: usize) {
         self.start += consumed;
-        self.compact();
     }
 
     /// Next complete client frame, if one is buffered.
@@ -701,6 +979,19 @@ impl FrameBuffer {
             Some((frame, consumed)) => {
                 self.advance(consumed);
                 Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Next complete client frame as a borrowed [`ClientFrameView`] — the
+    /// allocation-free decode path. The view borrows this buffer and is
+    /// invalidated by the next [`FrameBuffer::extend`].
+    pub fn next_client_view(&mut self) -> Result<Option<ClientFrameView<'_>>, WireError> {
+        match decode_client_view(self.buf.get(self.start..).unwrap_or(&[]))? {
+            Some((view, consumed)) => {
+                self.start += consumed;
+                Ok(Some(view))
             }
             None => Ok(None),
         }
@@ -879,6 +1170,176 @@ mod tests {
         bytes[..4].copy_from_slice(&len.to_le_bytes());
         bytes.push(0xEE);
         assert_eq!(decode_client(&bytes), Err(WireError::TrailingBytes { extra: 1 }));
+    }
+
+    fn batch_events(n: usize) -> Vec<(u32, InputEvent)> {
+        (0..n)
+            .map(|i| {
+                let kind = match i % 3 {
+                    0 => EventKind::MouseDown {
+                        button: Button::Left,
+                    },
+                    1 => EventKind::MouseMove,
+                    _ => EventKind::MouseUp {
+                        button: Button::Right,
+                    },
+                };
+                (
+                    i as u32,
+                    InputEvent::new(kind, i as f64 * 1.5, -(i as f64), i as f64),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn event_batch_round_trips_owned_and_viewed() {
+        for n in [0usize, 1, 7, MAX_BATCH_EVENTS] {
+            let frame = ClientFrame::EventBatch {
+                session: 0xDEAD_BEEF,
+                events: batch_events(n),
+            };
+            let mut bytes = Vec::new();
+            encode_client(&frame, &mut bytes);
+            let (decoded, consumed) = decode_client(&bytes)
+                .expect("decodes")
+                .expect("complete frame");
+            assert_eq!(consumed, bytes.len(), "n = {n}");
+            assert_eq!(decoded, frame, "n = {n}");
+            // The borrowed view yields the same records without copying.
+            let (view, _) = decode_client_view(&bytes)
+                .expect("view decodes")
+                .expect("complete");
+            let ClientFrameView::EventBatch(batch) = view else {
+                panic!("expected a batch view");
+            };
+            assert_eq!(batch.session(), 0xDEAD_BEEF);
+            assert_eq!(batch.len(), n);
+            let collected: Vec<_> = batch.iter().collect();
+            assert_eq!(collected, batch_events(n));
+        }
+    }
+
+    #[test]
+    fn oversized_batches_split_across_frames() {
+        let events = batch_events(MAX_BATCH_EVENTS + 3);
+        let mut bytes = Vec::new();
+        encode_event_batch(9, &events, &mut bytes);
+        let mut got = Vec::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let (view, consumed) = decode_client_view(&bytes[pos..])
+                .expect("decodes")
+                .expect("complete");
+            let ClientFrameView::EventBatch(batch) = view else {
+                panic!("expected batch frames");
+            };
+            assert!(batch.len() <= MAX_BATCH_EVENTS);
+            got.extend(batch.iter());
+            pos += consumed;
+        }
+        assert_eq!(got, events, "split batches concatenate losslessly");
+    }
+
+    #[test]
+    fn batch_count_beyond_cap_is_malformed() {
+        let mut bytes = Vec::new();
+        encode_event_batch(1, &batch_events(2), &mut bytes);
+        // Forge the count to exceed the cap while leaving the length
+        // prefix intact: must be rejected, not iterated.
+        let count = (MAX_BATCH_EVENTS as u16 + 1).to_le_bytes();
+        bytes[13..15].copy_from_slice(&count);
+        assert_eq!(
+            decode_client(&bytes),
+            Err(WireError::Malformed {
+                what: "batch count"
+            })
+        );
+    }
+
+    #[test]
+    fn batch_record_count_mismatch_is_rejected() {
+        let mut bytes = Vec::new();
+        encode_event_batch(1, &batch_events(2), &mut bytes);
+        // Claim 3 records while carrying 2: the record take runs out.
+        bytes[13..15].copy_from_slice(&3u16.to_le_bytes());
+        assert_eq!(
+            decode_client(&bytes),
+            Err(WireError::Malformed {
+                what: "batch records"
+            })
+        );
+        // Claim 1 record while carrying 2: trailing bytes.
+        let mut bytes = Vec::new();
+        encode_event_batch(1, &batch_events(2), &mut bytes);
+        bytes[13..15].copy_from_slice(&1u16.to_le_bytes());
+        assert_eq!(
+            decode_client(&bytes),
+            Err(WireError::TrailingBytes {
+                extra: EVENT_RECORD_LEN
+            })
+        );
+    }
+
+    #[test]
+    fn batch_bad_event_kind_is_typed_not_panicking() {
+        let mut bytes = Vec::new();
+        encode_event_batch(1, &batch_events(2), &mut bytes);
+        // First record's kind byte: prefix(4) + tag(1) + session(8) +
+        // count(2) + seq(4) = offset 19.
+        bytes[19] = 0x7F;
+        assert_eq!(
+            decode_client(&bytes),
+            Err(WireError::BadEnum {
+                what: "event kind",
+                value: 0x7F
+            })
+        );
+    }
+
+    #[test]
+    fn batch_floats_cross_the_wire_bit_exact() {
+        let events = vec![
+            (0, InputEvent::new(EventKind::MouseMove, f64::NAN, f64::INFINITY, -0.0)),
+            (1, InputEvent::new(EventKind::MouseMove, f64::NEG_INFINITY, 1e-310, f64::NAN)),
+        ];
+        let mut bytes = Vec::new();
+        encode_event_batch(5, &events, &mut bytes);
+        let (view, _) = decode_client_view(&bytes).unwrap().unwrap();
+        let ClientFrameView::EventBatch(batch) = view else {
+            panic!("expected batch");
+        };
+        for ((_, got), (_, want)) in batch.iter().zip(&events) {
+            assert_eq!(got.x.to_bits(), want.x.to_bits());
+            assert_eq!(got.y.to_bits(), want.y.to_bits());
+            assert_eq!(got.t.to_bits(), want.t.to_bits());
+        }
+    }
+
+    #[test]
+    fn frame_buffer_views_survive_byte_at_a_time_chunking() {
+        let mut bytes = Vec::new();
+        encode_event_batch(7, &batch_events(40), &mut bytes);
+        encode_client(&ClientFrame::Close { session: 7, seq: 40 }, &mut bytes);
+        let mut fb = FrameBuffer::new();
+        let mut batch_records = Vec::new();
+        let mut got_close = false;
+        for b in bytes {
+            fb.extend(&[b]);
+            loop {
+                match fb.next_client_view().expect("valid stream") {
+                    Some(ClientFrameView::EventBatch(batch)) => {
+                        batch_records.extend(batch.iter());
+                    }
+                    Some(ClientFrameView::Close { session: 7, seq: 40 }) => got_close = true,
+                    Some(other) => panic!("unexpected frame {other:?}"),
+                    None => break,
+                }
+            }
+        }
+        assert_eq!(batch_records, batch_events(40));
+        assert!(got_close);
+        assert_eq!(fb.pending(), 0);
     }
 
     #[test]

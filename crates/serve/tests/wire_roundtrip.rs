@@ -4,8 +4,9 @@
 
 use grandma_events::{Button, EventKind, InputEvent};
 use grandma_serve::wire::{
-    decode_client, decode_server, encode_client, encode_server, ClientFrame, FaultCode,
-    FrameBuffer, OutcomeKind, ServerFrame, WireError, MAX_FRAME_LEN, WIRE_VERSION,
+    decode_client, decode_client_view, decode_server, encode_client, encode_server, ClientFrame,
+    FaultCode, FrameBuffer, OutcomeKind, ServerFrame, WireError, MAX_BATCH_EVENTS,
+    MAX_BATCH_FRAME_LEN, MAX_FRAME_LEN, WIRE_VERSION,
 };
 use grandma_synth::SynthRng;
 
@@ -30,8 +31,12 @@ fn rng_kind(rng: &mut SynthRng) -> EventKind {
     }
 }
 
+fn rng_event(rng: &mut SynthRng) -> InputEvent {
+    InputEvent::new(rng_kind(rng), rng_f64(rng), rng_f64(rng), rng_f64(rng))
+}
+
 fn rng_client(rng: &mut SynthRng) -> ClientFrame {
-    match rng.next_u64() % 4 {
+    match rng.next_u64() % 5 {
         0 => ClientFrame::Hello {
             version: rng.next_u64() as u16,
         },
@@ -41,13 +46,19 @@ fn rng_client(rng: &mut SynthRng) -> ClientFrame {
         2 => ClientFrame::Event {
             session: rng.next_u64(),
             seq: rng.next_u64() as u32,
-            event: InputEvent::new(
-                rng_kind(rng),
-                rng_f64(rng),
-                rng_f64(rng),
-                rng_f64(rng),
-            ),
+            event: rng_event(rng),
         },
+        3 => {
+            // Counts up to the single-frame cap so the identity check
+            // below sees exactly one frame per generated value.
+            let count = (rng.next_u64() % (MAX_BATCH_EVENTS as u64 + 1)) as usize;
+            ClientFrame::EventBatch {
+                session: rng.next_u64(),
+                events: (0..count)
+                    .map(|_| (rng.next_u64() as u32, rng_event(rng)))
+                    .collect(),
+            }
+        }
         _ => ClientFrame::Close {
             session: rng.next_u64(),
             seq: rng.next_u64() as u32,
@@ -113,6 +124,13 @@ fn rng_server(rng: &mut SynthRng) -> ServerFrame {
 /// `true` when two frames are identical *including* float bit patterns
 /// (`==` treats NaN as unequal to itself, which would fail exactly the
 /// values this suite most needs to check).
+fn event_bit_eq(e1: &InputEvent, e2: &InputEvent) -> bool {
+    e1.kind == e2.kind
+        && e1.x.to_bits() == e2.x.to_bits()
+        && e1.y.to_bits() == e2.y.to_bits()
+        && e1.t.to_bits() == e2.t.to_bits()
+}
+
 fn client_bit_eq(a: &ClientFrame, b: &ClientFrame) -> bool {
     match (a, b) {
         (
@@ -126,13 +144,23 @@ fn client_bit_eq(a: &ClientFrame, b: &ClientFrame) -> bool {
                 seq: q2,
                 event: e2,
             },
+        ) => s1 == s2 && q1 == q2 && event_bit_eq(e1, e2),
+        (
+            ClientFrame::EventBatch {
+                session: s1,
+                events: v1,
+            },
+            ClientFrame::EventBatch {
+                session: s2,
+                events: v2,
+            },
         ) => {
             s1 == s2
-                && q1 == q2
-                && e1.kind == e2.kind
-                && e1.x.to_bits() == e2.x.to_bits()
-                && e1.y.to_bits() == e2.y.to_bits()
-                && e1.t.to_bits() == e2.t.to_bits()
+                && v1.len() == v2.len()
+                && v1
+                    .iter()
+                    .zip(v2)
+                    .all(|((q1, e1), (q2, e2))| q1 == q2 && event_bit_eq(e1, e2))
         }
         _ => a == b,
     }
@@ -165,7 +193,12 @@ fn seeded_client_frames_round_trip_identically() {
         let frame = rng_client(&mut rng);
         let mut bytes = Vec::new();
         encode_client(&frame, &mut bytes);
-        assert!(bytes.len() <= 4 + MAX_FRAME_LEN, "frame {i} oversized");
+        let cap = if matches!(frame, ClientFrame::EventBatch { .. }) {
+            MAX_BATCH_FRAME_LEN
+        } else {
+            MAX_FRAME_LEN
+        };
+        assert!(bytes.len() <= 4 + cap, "frame {i} oversized");
         let (decoded, consumed) = decode_client(&bytes)
             .expect("round trip decodes")
             .expect("round trip is complete");
@@ -174,6 +207,12 @@ fn seeded_client_frames_round_trip_identically() {
             client_bit_eq(&decoded, &frame),
             "frame {i}: {decoded:?} != {frame:?}"
         );
+        // The zero-copy view path must agree with the owned decoder.
+        let (view, view_consumed) = decode_client_view(&bytes)
+            .expect("view decodes")
+            .expect("view is complete");
+        assert_eq!(view_consumed, consumed);
+        assert!(client_bit_eq(&view.into_frame(), &frame), "view mismatch at {i}");
     }
 }
 
@@ -229,6 +268,17 @@ fn decoder_fuzz_returns_typed_errors_never_panics() {
                 | WireError::Malformed { .. }
                 | WireError::TrailingBytes { .. },
             ) => typed_errors += 1,
+        }
+        // The borrowed decoder sees the identical verdict: same Ok/Err
+        // shape on every input, no panics.
+        match (decode_client(&soup), decode_client_view(&soup)) {
+            (Ok(Some((owned, c1))), Ok(Some((view, c2)))) => {
+                assert_eq!(c1, c2);
+                assert!(client_bit_eq(&owned, &view.into_frame()));
+            }
+            (Ok(None), Ok(None)) => {}
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("owned {a:?} disagrees with view {b:?}"),
         }
         match decode_server(&soup) {
             Ok(_) => {}
@@ -286,8 +336,41 @@ fn corrupted_valid_frames_never_panic_the_decoder() {
             bytes[at] ^= (rng.next_u64() as u8) | 1;
         }
         let _ = decode_client(&bytes);
+        let _ = decode_client_view(&bytes);
         let _ = decode_server(&bytes);
     }
+}
+
+#[test]
+fn client_view_stream_survives_adversarial_chunking() {
+    // Batched and single-event frames mixed, fed through the zero-copy
+    // FrameBuffer path at random chunk boundaries: every frame comes out
+    // exactly once, in order, bit-identical.
+    let mut rng = SynthRng::seed_from_u64(0x0BA7C4);
+    let mut frames = Vec::new();
+    let mut bytes = Vec::new();
+    for _ in 0..200 {
+        let frame = rng_client(&mut rng);
+        encode_client(&frame, &mut bytes);
+        frames.push(frame);
+    }
+    let mut fb = FrameBuffer::new();
+    let mut got = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let chunk = 1 + (rng.next_u64() % 37) as usize;
+        let end = (pos + chunk).min(bytes.len());
+        fb.extend(&bytes[pos..end]);
+        pos = end;
+        while let Some(view) = fb.next_client_view().expect("valid stream") {
+            got.push(view.into_frame());
+        }
+    }
+    assert_eq!(got.len(), frames.len());
+    for (i, (g, f)) in got.iter().zip(&frames).enumerate() {
+        assert!(client_bit_eq(g, f), "frame {i} diverged");
+    }
+    assert_eq!(fb.pending(), 0);
 }
 
 #[test]

@@ -21,6 +21,18 @@ cargo test --workspace -q
 echo "== serve loopback suite (64 TCP sessions vs in-process pipeline) =="
 cargo test -p grandma-serve --test loopback -q
 
+# Wire v2 equivalence: batched EventBatch delivery must stay
+# byte-identical to single-Event delivery, over both the in-process
+# duplex transport and real TCP.
+echo "== serve batched-vs-single equivalence suite =="
+cargo test -p grandma-serve --test batch_equivalence -q
+
+# Fast-path smoke: a short serve_load run must finish with zero decode
+# errors and zero busy rejections on both the batched and unbatched
+# client disciplines.
+echo "== serve_load smoke (batched + unbatched, zero decode errors) =="
+cargo run -p grandma-bench --bin serve_load --release -- --smoke
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --workspace --all-targets =="
     cargo clippy --workspace --all-targets -- -D warnings
