@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared evaluation harness for the table/figure reproduction binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the

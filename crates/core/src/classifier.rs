@@ -271,6 +271,7 @@ impl LinearClassifier {
     ///
     /// Panics if `features` has the wrong dimension or
     /// `out.len() != self.num_classes()`.
+    // lint:hot-path start — per-point eager loop: no panics, no allocation
     pub fn evaluate_into(&self, features: &[f64], out: &mut [f64]) {
         assert_eq!(out.len(), self.weights.len(), "one slot per class");
         for ((slot, w), c) in out
@@ -301,6 +302,7 @@ impl LinearClassifier {
         }
         best.0
     }
+    // lint:hot-path end
 
     /// Computes the shared quadratic form `xᵀ Σ⁻¹ x` of the Mahalanobis
     /// identity using the caller's scratch [`Workspace`] (zero allocations
@@ -397,6 +399,7 @@ impl LinearClassifier {
     ///
     /// Panics if `features` has the wrong dimension or
     /// `evaluations.len() != self.num_classes()`.
+    // lint:hot-path start — zero-alloc commit path of the serve pipeline
     pub fn classify_slice_checked(
         &self,
         features: &[f64],
@@ -420,6 +423,7 @@ impl LinearClassifier {
         let denom: f64 = evaluations.iter().map(|v| (v - best).exp()).sum();
         Some((class, 1.0 / denom))
     }
+    // lint:hot-path end
 
     /// Returns the mean feature vector of a class.
     pub fn class_mean(&self, class: usize) -> &Vector {

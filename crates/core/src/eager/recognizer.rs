@@ -193,6 +193,7 @@ impl EagerRecognizer {
     /// Panics if the gesture is empty or contains no finite points
     /// (non-finite points are dropped by [`EagerSession::feed`]). Untrusted
     /// streams should go through a session and [`EagerSession::finish_checked`].
+    #[allow(clippy::expect_used)] // documented panic contract; see # Panics above
     pub fn run(&self, gesture: &Gesture) -> EagerRun {
         assert!(!gesture.is_empty(), "cannot run on an empty gesture");
         let mut session = self.session();
@@ -206,6 +207,7 @@ impl EagerRecognizer {
                 };
             }
         }
+        // lint:allow(no-panic): documented panic contract; untrusted input uses finish_checked
         let class = session.finish().expect("non-empty gesture classifies");
         EagerRun {
             class,

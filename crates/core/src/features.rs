@@ -163,7 +163,9 @@ impl FeatureMask {
         let mut slots = out.iter_mut();
         for (i, v) in full.iter().enumerate() {
             if self.contains(i) {
-                *slots.next().expect("count() slots") = *v;
+                if let Some(slot) = slots.next() {
+                    *slot = *v;
+                }
             }
         }
     }
@@ -284,6 +286,7 @@ impl FeatureExtractor {
         }
         if self.count >= 3 {
             let (pdx, pdy) = self.prev_delta;
+            // lint:allow(float-eq): exact-zero means a repeated point; skip it
             if (pdx != 0.0 || pdy != 0.0) && (dx != 0.0 || dy != 0.0) {
                 // Same sign convention as `grandma_geom::turning_angles`:
                 // counterclockwise turns positive in a y-up frame.
@@ -295,6 +298,7 @@ impl FeatureExtractor {
                 self.sq_turning += theta * theta;
             }
         }
+        // lint:allow(float-eq): only a true zero delta keeps prev_delta
         if dx != 0.0 || dy != 0.0 {
             self.prev_delta = (dx, dy);
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The paper's primary contribution: Rubine's statistical single-stroke
 //! gesture recognizer and the eager-recognition training algorithm.
 //!

@@ -87,20 +87,19 @@ impl MultiStroke {
 pub fn segment_strokes(strokes: &[Gesture], timeout_ms: f64) -> Vec<MultiStroke> {
     let mut groups: Vec<Vec<Gesture>> = Vec::new();
     for stroke in strokes {
-        if stroke.is_empty() {
+        let Some(first) = stroke.first() else {
             continue;
-        }
-        let start = stroke.first().expect("non-empty").t;
+        };
+        let start = first.t;
         let join = groups
             .last()
             .and_then(|g| g.last())
             .and_then(|last| last.last())
             .map(|p| start - p.t <= timeout_ms)
             .unwrap_or(false);
-        if join {
-            groups.last_mut().expect("checked").push(stroke.clone());
-        } else {
-            groups.push(vec![stroke.clone()]);
+        match groups.last_mut() {
+            Some(group) if join => group.push(stroke.clone()),
+            _ => groups.push(vec![stroke.clone()]),
         }
     }
     groups.into_iter().map(MultiStroke::new).collect()

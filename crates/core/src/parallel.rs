@@ -68,7 +68,10 @@ where
             })
             .collect();
         for handle in handles {
-            tagged.extend(handle.join().expect("worker panicked"));
+            match handle.join() {
+                Ok(results) => tagged.extend(results),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     tagged.sort_by_key(|(i, _)| *i);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Virtual input-event substrate.
 //!
 //! GRANDMA ran against X10 on a MicroVAX; this crate is the documented

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! GDP: the gesture-based drawing program of §2.
 //!
 //! "GDP is a gesture-based drawing program based on (the non-gesture-based

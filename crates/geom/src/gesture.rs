@@ -146,6 +146,7 @@ impl Gesture {
         assert!(self.points.len() >= 2, "resampling needs >= 2 points");
         assert!(n >= 2, "resampling target must be >= 2");
         let total = self.path_length();
+        // lint:allow(float-eq): exact zero length is the stationary case
         if total == 0.0 {
             // A stationary gesture: repeat the first point.
             return Gesture {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Geometry substrate: points, gestures, subgestures, and path measures.
 //!
 //! The paper defines a gesture as a sequence of timestamped points

@@ -30,6 +30,7 @@ pub fn turning_angles(points: &[Point]) -> Vec<f64> {
         let dy0 = w[1].y - w[0].y;
         let dx1 = w[2].x - w[1].x;
         let dy1 = w[2].y - w[1].y;
+        // lint:allow(float-eq): atan2 needs a truly zero segment excluded
         if (dx0 == 0.0 && dy0 == 0.0) || (dx1 == 0.0 && dy1 == 0.0) {
             out.push(0.0);
             continue;

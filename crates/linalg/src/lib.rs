@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Small dense linear-algebra library for the GRANDMA reproduction.
 //!
 //! Implements exactly what Rubine-style statistical gesture recognition

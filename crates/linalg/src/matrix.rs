@@ -148,6 +148,7 @@ impl Matrix {
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(r, k)];
+                // lint:allow(float-eq): sparsity skip; exact zero only
                 if a == 0.0 {
                     continue;
                 }
@@ -197,6 +198,7 @@ impl Matrix {
         assert_eq!(self.cols, v.len(), "dimension mismatch in add_outer");
         for r in 0..self.rows {
             let vr = v[r] * factor;
+            // lint:allow(float-eq): sparsity skip; exact zero only
             if vr == 0.0 {
                 continue;
             }

@@ -120,6 +120,7 @@ impl Matrix {
                     continue;
                 }
                 let factor = a[(r, col)];
+                // lint:allow(float-eq): elimination skip; exact zero only
                 if factor == 0.0 {
                     continue;
                 }
@@ -206,6 +207,7 @@ impl Matrix {
                     pivot_row = r;
                 }
             }
+            // lint:allow(float-eq): an exactly singular pivot column
             if pivot_val == 0.0 {
                 return Ok(0.0);
             }
@@ -217,6 +219,7 @@ impl Matrix {
             det *= pivot;
             for r in (col + 1)..n {
                 let factor = a[(r, col)] / pivot;
+                // lint:allow(float-eq): elimination skip; exact zero only
                 if factor == 0.0 {
                     continue;
                 }

@@ -1,0 +1,344 @@
+//! Per-file structural analysis layered on top of the token stream:
+//! `lint:allow` suppressions, `lint:hot-path` regions, `#[cfg(test)]`
+//! blocks, fn scopes, and brace-depth tracking. Every rule consumes this
+//! instead of re-walking comments itself.
+
+use crate::lexer::{Lexed, TokenKind};
+
+/// One inline suppression: `// lint:allow(rule-a, rule-b): reason`.
+/// A suppression covers the lines the comment spans plus the line
+/// immediately after it, so it works both as a trailing comment and as a
+/// standalone comment above the offending line.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    pub first_line: u32,
+    pub last_line: u32,
+}
+
+/// An `fn` item: name plus the half-open token range of its body.
+#[derive(Debug, Clone)]
+pub struct FnScope {
+    pub name: String,
+    pub line: u32,
+    /// Token index of the opening `{` of the body.
+    pub body_start: usize,
+    /// Token index one past the matching `}`.
+    pub body_end: usize,
+}
+
+/// Structural facts about one lexed file.
+pub struct Analysis {
+    allows: Vec<Allow>,
+    /// Inclusive line ranges between `lint:hot-path start` / `end` markers.
+    hot_ranges: Vec<(u32, u32)>,
+    /// Inclusive line ranges of `#[cfg(test)] mod` bodies.
+    test_ranges: Vec<(u32, u32)>,
+    pub fns: Vec<FnScope>,
+    /// Brace depth *before* each token.
+    pub brace_depth: Vec<u32>,
+    /// Paren+bracket depth *before* each token (used to find statement ends).
+    pub group_depth: Vec<u32>,
+}
+
+impl Analysis {
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && line >= a.first_line && line <= a.last_line + 1)
+    }
+
+    pub fn in_hot_path(&self, line: u32) -> bool {
+        self.hot_ranges
+            .iter()
+            .any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+}
+
+/// Strip comment sigils and whitespace so directives must lead the comment.
+/// Prose that merely *mentions* a directive (docs, examples in backticks)
+/// therefore never activates it.
+fn directive_body(text: &str) -> &str {
+    text.trim_start_matches(['/', '*', '!']).trim()
+}
+
+/// Parse `lint:allow(rule-a, rule-b): reason` out of a comment body.
+fn parse_allows(text: &str, first_line: u32, last_line: u32, out: &mut Vec<Allow>) {
+    let body = directive_body(text);
+    if !body.starts_with("lint:allow(") {
+        return;
+    }
+    let after = &body["lint:allow(".len()..];
+    let Some(close) = after.find(')') else {
+        return;
+    };
+    for rule in after[..close].split(',') {
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            out.push(Allow {
+                rule: rule.to_string(),
+                first_line,
+                last_line,
+            });
+        }
+    }
+}
+
+/// Find the token index one past the `}` matching the `{` at `open`.
+/// Returns `tokens.len()` when unbalanced (rules then treat the region as
+/// running to end of file, which is the safe direction for a gate).
+fn matching_brace(lexed: &Lexed<'_>, open: usize) -> usize {
+    let mut depth = 0u32;
+    for (i, tok) in lexed.tokens.iter().enumerate().skip(open) {
+        if tok.kind == TokenKind::Punct {
+            match lexed.text(tok) {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    lexed.tokens.len()
+}
+
+/// Token-level predicate helpers shared by rules.
+pub fn is_punct(lexed: &Lexed<'_>, idx: usize, text: &str) -> bool {
+    lexed
+        .tokens
+        .get(idx)
+        .is_some_and(|t| t.kind == TokenKind::Punct && lexed.text(t) == text)
+}
+
+pub fn is_ident(lexed: &Lexed<'_>, idx: usize, text: &str) -> bool {
+    lexed
+        .tokens
+        .get(idx)
+        .is_some_and(|t| t.kind == TokenKind::Ident && lexed.text(t) == text)
+}
+
+pub fn ident_text<'a>(lexed: &'a Lexed<'_>, idx: usize) -> Option<&'a str> {
+    lexed
+        .tokens
+        .get(idx)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| lexed.text(t))
+}
+
+/// Detect `#[cfg(test)]`-attributed `mod` bodies and record their line spans.
+fn find_test_ranges(lexed: &Lexed<'_>, out: &mut Vec<(u32, u32)>) {
+    let tokens = &lexed.tokens;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Match `# [ cfg ( test ) ]`.
+        let is_cfg_test = is_punct(lexed, i, "#")
+            && is_punct(lexed, i + 1, "[")
+            && is_ident(lexed, i + 2, "cfg")
+            && is_punct(lexed, i + 3, "(")
+            && is_ident(lexed, i + 4, "test")
+            && is_punct(lexed, i + 5, ")")
+            && is_punct(lexed, i + 6, "]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 7;
+        // Skip any further attributes between the cfg and the item.
+        while is_punct(lexed, j, "#") && is_punct(lexed, j + 1, "[") {
+            let mut depth = 0u32;
+            let mut k = j + 1;
+            while k < tokens.len() {
+                if is_punct(lexed, k, "[") {
+                    depth += 1;
+                } else if is_punct(lexed, k, "]") {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        if is_ident(lexed, j, "mod") {
+            // Find the `{` opening the mod body (or `;` for an out-of-line mod).
+            let mut k = j + 1;
+            while k < tokens.len() && !is_punct(lexed, k, "{") && !is_punct(lexed, k, ";") {
+                k += 1;
+            }
+            if is_punct(lexed, k, "{") {
+                let end = matching_brace(lexed, k);
+                let start_line = tokens.get(i).map_or(1, |t| t.line);
+                let end_line = tokens
+                    .get(end.saturating_sub(1))
+                    .map_or(u32::MAX, |t| t.line);
+                out.push((start_line, end_line));
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Record every `fn name ... { body }` scope.
+fn find_fns(lexed: &Lexed<'_>, out: &mut Vec<FnScope>) {
+    let tokens = &lexed.tokens;
+    for i in 0..tokens.len() {
+        if !is_ident(lexed, i, "fn") {
+            continue;
+        }
+        let Some(name) = ident_text(lexed, i + 1) else {
+            continue;
+        };
+        // Walk to the body `{`: first brace at zero paren/bracket nesting.
+        // Stop at `;` (trait method declarations have no body).
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        let mut body_start = None;
+        while j < tokens.len() {
+            if tokens.get(j).is_some_and(|t| t.kind == TokenKind::Punct) {
+                match lexed.text(&tokens[j]) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        body_start = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if let Some(start) = body_start {
+            out.push(FnScope {
+                name: name.to_string(),
+                line: tokens.get(i).map_or(1, |t| t.line),
+                body_start: start,
+                body_end: matching_brace(lexed, start),
+            });
+        }
+    }
+}
+
+/// Run the full structural analysis for one file.
+pub fn analyze(lexed: &Lexed<'_>) -> Analysis {
+    let mut allows = Vec::new();
+    let mut hot_ranges = Vec::new();
+    let mut hot_open: Option<u32> = None;
+    for comment in &lexed.comments {
+        let text = lexed.comment_text(comment);
+        parse_allows(text, comment.line, comment.end_line, &mut allows);
+        let body = directive_body(text);
+        if body.starts_with("lint:hot-path start") {
+            hot_open = Some(comment.line);
+        } else if body.starts_with("lint:hot-path end") {
+            if let Some(lo) = hot_open.take() {
+                hot_ranges.push((lo, comment.end_line));
+            }
+        }
+    }
+    if let Some(lo) = hot_open {
+        // Unterminated region runs to end of file: over-report, never under.
+        hot_ranges.push((lo, u32::MAX));
+    }
+
+    let mut test_ranges = Vec::new();
+    find_test_ranges(lexed, &mut test_ranges);
+
+    let mut fns = Vec::new();
+    find_fns(lexed, &mut fns);
+
+    let mut brace_depth = Vec::with_capacity(lexed.tokens.len());
+    let mut group_depth = Vec::with_capacity(lexed.tokens.len());
+    let mut braces = 0u32;
+    let mut groups = 0u32;
+    for tok in &lexed.tokens {
+        brace_depth.push(braces);
+        group_depth.push(groups);
+        if tok.kind == TokenKind::Punct {
+            match lexed.text(tok) {
+                "{" => braces += 1,
+                "}" => braces = braces.saturating_sub(1),
+                "(" | "[" => groups += 1,
+                ")" | "]" => groups = groups.saturating_sub(1),
+                _ => {}
+            }
+        }
+    }
+
+    Analysis {
+        allows,
+        hot_ranges,
+        test_ranges,
+        fns,
+        brace_depth,
+        group_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn allow_covers_comment_line_and_next() {
+        let src = "// lint:allow(no-panic): fixture\nlet x = y.unwrap();\nlet z = 1;\n";
+        let lexed = lex(src);
+        let analysis = analyze(&lexed);
+        assert!(analysis.allowed("no-panic", 1));
+        assert!(analysis.allowed("no-panic", 2));
+        assert!(!analysis.allowed("no-panic", 3));
+        assert!(!analysis.allowed("float-eq", 2));
+    }
+
+    #[test]
+    fn hot_path_ranges() {
+        let src = "fn a() {}\n// lint:hot-path start\nfn b() {}\n// lint:hot-path end\nfn c() {}\n";
+        let lexed = lex(src);
+        let analysis = analyze(&lexed);
+        assert!(!analysis.in_hot_path(1));
+        assert!(analysis.in_hot_path(3));
+        assert!(!analysis.in_hot_path(5));
+    }
+
+    #[test]
+    fn cfg_test_mod_detected() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let lexed = lex(src);
+        let analysis = analyze(&lexed);
+        assert!(!analysis.in_test_code(1));
+        assert!(analysis.in_test_code(4));
+        assert!(!analysis.in_test_code(6));
+    }
+
+    #[test]
+    fn fn_scopes_found() {
+        let src = "fn decode_thing(buf: &[u8]) -> Option<u8> { buf.first().copied() }\n";
+        let lexed = lex(src);
+        let analysis = analyze(&lexed);
+        assert_eq!(analysis.fns.len(), 1);
+        assert_eq!(analysis.fns[0].name, "decode_thing");
+    }
+
+    #[test]
+    fn generic_fn_signature_body_found() {
+        let src = "fn wrap<F: Fn(u8) -> u8>(f: F) -> impl Fn(u8) -> u8 { move |x| f(x) }\n";
+        let lexed = lex(src);
+        let analysis = analyze(&lexed);
+        assert_eq!(analysis.fns.len(), 1);
+        assert_eq!(analysis.fns[0].name, "wrap");
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: channel ops under a live lock guard, and channel unwraps.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn guard_held(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let guard = m.lock().expect("lock");
+    tx.send(*guard).ok();
+}
+
+pub fn dropped_first(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let guard = m.lock().expect("lock");
+    let v = *guard;
+    drop(guard);
+    tx.send(v).ok();
+}

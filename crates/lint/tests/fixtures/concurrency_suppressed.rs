@@ -1,0 +1,9 @@
+//! Fixture: the same concurrency hazards, each suppressed inline.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn guard_held(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let guard = m.lock().expect("lock"); // lint:allow(channel-unwrap): fixture
+    tx.send(*guard).ok(); // lint:allow(guard-held-channel): fixture
+}

@@ -1,0 +1,13 @@
+//! Fixture: truncating `as` casts inside decode paths.
+
+pub fn decode_len(raw: u64) -> usize {
+    raw as usize
+}
+
+pub fn next_body(raw: u32) -> u16 {
+    raw as u16
+}
+
+pub fn encode_len(len: usize) -> u32 {
+    len as u32
+}

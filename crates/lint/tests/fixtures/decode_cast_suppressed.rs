@@ -1,0 +1,5 @@
+//! Fixture: decode-path cast, suppressed inline.
+
+pub fn decode_len(raw: u64) -> usize {
+    raw as usize // lint:allow(decode-as-cast): fixture
+}

@@ -1,0 +1,13 @@
+//! Fixture: float hygiene — exact comparisons and partial_cmp.
+
+pub fn exactly_half(x: f64) -> bool {
+    x == 0.5
+}
+
+pub fn not_negative_quarter(x: f64) -> bool {
+    x != -0.25
+}
+
+pub fn ordered(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some()
+}

@@ -1,0 +1,9 @@
+//! Fixture: the same float hazards, each suppressed inline.
+
+pub fn exactly_half(x: f64) -> bool {
+    x == 0.5 // lint:allow(float-eq): fixture
+}
+
+pub fn ordered(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some() // lint:allow(partial-cmp): fixture
+}

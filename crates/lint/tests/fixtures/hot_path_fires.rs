@@ -1,0 +1,16 @@
+//! Fixture: indexing and allocation inside a hot-path region.
+
+pub fn warm(xs: &mut Vec<f64>) -> f64 {
+    // lint:hot-path start
+    let head = xs[0];
+    let copy = xs.clone();
+    let label = format!("{head}");
+    let mut out = Vec::new();
+    out.push(copy.len() as f64 + label.len() as f64);
+    // lint:hot-path end
+    head
+}
+
+pub fn cold(xs: &[f64]) -> f64 {
+    xs[0] + xs.to_vec().len() as f64
+}

@@ -1,0 +1,12 @@
+//! Fixture: hot-path violations, each suppressed inline.
+
+pub fn warm(xs: &mut Vec<f64>) -> f64 {
+    // lint:hot-path start
+    let head = xs[0]; // lint:allow(hot-path-index): fixture
+    let copy = xs.clone(); // lint:allow(hot-path-alloc): fixture
+    // lint:allow(hot-path-alloc): fixture
+    let mut out = Vec::new();
+    out.push(copy.len() as f64);
+    // lint:hot-path end
+    head
+}

@@ -1,0 +1,33 @@
+//! Fixture: no-panic violations in panic-free lib code.
+
+pub fn f1(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn f2(x: Option<u8>) -> u8 {
+    x.expect("present")
+}
+
+pub fn f3() {
+    panic!("boom");
+}
+
+pub fn f4(n: u8) -> u8 {
+    match n {
+        0 => todo!(),
+        1 => unreachable!(),
+        _ => n,
+    }
+}
+
+pub fn fine(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u8).unwrap();
+    }
+}

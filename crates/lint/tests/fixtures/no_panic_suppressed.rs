@@ -1,0 +1,15 @@
+//! Fixture: the same violations, each suppressed inline.
+
+pub fn f1(x: Option<u8>) -> u8 {
+    x.unwrap() // lint:allow(no-panic): fixture
+}
+
+pub fn f2(x: Option<u8>) -> u8 {
+    // lint:allow(no-panic): fixture, standalone comment form
+    x.expect("present")
+}
+
+pub fn f3() {
+    // lint:allow(no-panic): fixture
+    panic!("boom");
+}

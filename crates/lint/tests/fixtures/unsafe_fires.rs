@@ -1,0 +1,6 @@
+//! Fixture lib root: no forbid(unsafe_code), and unsafe outside the
+//! audited inventory.
+
+pub fn peek(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

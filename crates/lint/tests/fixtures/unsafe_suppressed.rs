@@ -1,0 +1,7 @@
+// lint:allow(forbid-unsafe): fixture demonstrates suppression
+//! Fixture lib root with both unsafe rules suppressed inline.
+
+pub fn peek(xs: &[u8]) -> u8 {
+    // lint:allow(unsafe-code): fixture
+    unsafe { *xs.as_ptr() }
+}

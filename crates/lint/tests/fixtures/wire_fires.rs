@@ -1,0 +1,22 @@
+// Fixture wire module: no module docs, inverted versions, a tag missing
+// from decode, a tag missing from encode, and a duplicated tag value.
+
+pub const WIRE_VERSION: u16 = 1;
+pub const MIN_WIRE_VERSION: u16 = 2;
+
+pub const TAG_A: u8 = 0x01;
+pub const TAG_B: u8 = 0x02;
+pub const TAG_C: u8 = 0x03;
+pub const TAG_D: u8 = 0x01;
+
+pub fn encode_frame(out: &mut Vec<u8>, kind: u8) {
+    match kind {
+        0 => out.push(TAG_A),
+        1 => out.push(TAG_B),
+        _ => out.push(TAG_D),
+    }
+}
+
+pub fn decode_frame(tag: u8) -> bool {
+    matches!(tag, TAG_A | TAG_C | TAG_D)
+}

@@ -1,0 +1,21 @@
+// lint:allow(wire-version): fixture, single-version protocol has no separate floor
+//! Fixture wire module documenting its MIN_WIRE_VERSION..=WIRE_VERSION
+//! range, with one deliberate decode gap suppressed inline.
+
+pub const WIRE_VERSION: u16 = 2;
+
+pub const TAG_A: u8 = 0x01;
+pub const TAG_B: u8 = 0x02; // lint:allow(wire-tag-decode): fixture, reserved for v3
+// lint:allow(wire-tag-encode, wire-tag-dup): fixture, deliberate alias of TAG_A
+pub const TAG_C: u8 = 0x01;
+
+pub fn encode_frame(out: &mut Vec<u8>, kind: u8) {
+    match kind {
+        0 => out.push(TAG_A),
+        _ => out.push(TAG_B),
+    }
+}
+
+pub fn decode_frame(tag: u8) -> bool {
+    matches!(tag, TAG_A | TAG_C)
+}

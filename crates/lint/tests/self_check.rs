@@ -1,0 +1,70 @@
+//! Self-check: the shipped `lint-baseline.txt` must exactly match a fresh
+//! scan of this workspace — zero new findings, zero stale entries. This is
+//! the same invariant `scripts/check.sh` enforces, run as a plain cargo
+//! test so `cargo test` alone catches drift.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use grandma_lint::baseline;
+use grandma_lint::{scan_workspace, Config};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+#[test]
+fn shipped_baseline_matches_fresh_scan() {
+    let root = repo_root();
+    let config = Config::repo_default();
+    let findings = scan_workspace(&root, &config).expect("workspace scan");
+    let text = fs::read_to_string(root.join("lint-baseline.txt")).expect("lint-baseline.txt");
+    let shipped = baseline::parse(&text).expect("baseline parses");
+    let matched = baseline::match_findings(&findings, &shipped);
+    assert!(
+        matched.new.is_empty(),
+        "workspace has findings not in lint-baseline.txt:\n{}",
+        matched
+            .new
+            .iter()
+            .map(|f| format!("  {}:{} {} `{}`", f.path, f.line, f.rule, f.snippet))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        matched.stale.is_empty(),
+        "lint-baseline.txt has stale entries (fixed findings):\n{}",
+        matched
+            .stale
+            .iter()
+            .map(|e| format!("  {} {} `{}`", e.rule, e.path, e.snippet))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn baseline_render_is_idempotent_against_workspace() {
+    let root = repo_root();
+    let findings = scan_workspace(&root, &Config::repo_default()).expect("workspace scan");
+    let text = fs::read_to_string(root.join("lint-baseline.txt")).expect("lint-baseline.txt");
+    let shipped = baseline::parse(&text).expect("baseline parses");
+    // Re-rendering the shipped baseline from the live scan must reproduce it
+    // byte for byte — i.e. `--fix-baseline` is a no-op on a clean tree.
+    assert_eq!(baseline::render(&findings, &shipped), text);
+}
+
+#[test]
+fn unsafe_inventory_files_actually_contain_unsafe() {
+    let root = repo_root();
+    for rel in Config::repo_default().unsafe_files {
+        let src = fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("{rel}: {e}"));
+        assert!(
+            src.contains("unsafe"),
+            "{rel} is in the unsafe inventory but contains no `unsafe` — remove it"
+        );
+    }
+}

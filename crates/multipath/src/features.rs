@@ -30,7 +30,7 @@ pub fn multipath_features(
     paths.sort_by(|a, b| {
         let ax = a.first().map_or(0.0, |p| p.x);
         let bx = b.first().map_or(0.0, |p| p.x);
-        ax.partial_cmp(&bx).expect("finite coordinates")
+        ax.total_cmp(&bx)
     });
     for path in &paths {
         let v = FeatureExtractor::extract(path, mask);

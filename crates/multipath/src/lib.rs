@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Multi-path (multi-finger) gestures: the §6 extension.
 //!
 //! "The two-phase interaction technique is also applicable to multi-path

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The gesture-semantics interpreter.
 //!
 //! In GRANDMA, each gesture's behaviour is given by three expressions

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Sharded multi-session gesture recognition service.
 //!
 //! GRANDMA was a single-user toolkit; this crate (DESIGN.md §11) turns

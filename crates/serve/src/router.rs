@@ -386,6 +386,7 @@ fn shard_worker(
                 );
                 metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
             }
+            // lint:hot-path start — per-event/per-batch arms: no panics, no allocation
             ShardMsg::Event {
                 conn,
                 session,
@@ -480,6 +481,7 @@ fn shard_worker(
                 flush_frames(&metrics, &entry.reply, &mut scratch);
                 pool.put(events);
             }
+            // lint:hot-path end
             ShardMsg::Close {
                 conn,
                 session,

@@ -162,6 +162,7 @@ impl SessionPipeline {
         !matches!(self.phase, Phase::Idle)
     }
 
+    // lint:hot-path start — per-event steady state: no panics, no allocation
     /// Feeds one raw (possibly corrupted) event through sanitization and
     /// the state machine, appending every provoked frame to `out`.
     /// Returns the number of sanitizer repairs this event cost.
@@ -306,6 +307,7 @@ impl SessionPipeline {
         // re-walking the points.
         let classifier = rec.full_classifier();
         let mask = classifier.mask();
+        // lint:allow(hot-path-index): mask.count() <= FEATURE_COUNT by construction
         let slots = &mut self.features[..mask.count()];
         self.extractor.masked_features_into(mask, slots);
         self.evaluations.resize(classifier.num_classes(), 0.0);
@@ -421,6 +423,7 @@ impl SessionPipeline {
                     // Stack-buffered feature read: no per-point heap
                     // traffic on the ambiguity check.
                     let mask = rec.full_classifier().mask();
+                    // lint:allow(hot-path-index): mask.count() <= FEATURE_COUNT by construction
                     let slots = &mut self.features[..mask.count()];
                     self.extractor.masked_features_into(mask, slots);
                     if rec.auc().is_unambiguous_slice(slots) {
@@ -479,6 +482,7 @@ impl SessionPipeline {
             (Phase::Draining { .. }, _) => {}
         }
     }
+    // lint:hot-path end
 
     /// Immediate teardown (grab break or corrupted ending event): the
     /// terminal outcome is emitted now and the pipeline returns to idle.

@@ -27,10 +27,11 @@
 //! length-prefixed frame, each record carrying its own `seq` so the seq
 //! echo (and per-event RTT attribution) is preserved. Batched frames use
 //! a larger length cap ([`MAX_BATCH_FRAME_LEN`]); every other frame is
-//! still held to [`MAX_FRAME_LEN`]. A v2 server accepts v1 `Hello`s and
-//! v1 single-`Event` streams unchanged ([`MIN_WIRE_VERSION`]); a batch of
-//! events is defined to be semantically identical to the same events sent
-//! as consecutive single `Event` frames.
+//! still held to [`MAX_FRAME_LEN`]. The server speaks every protocol
+//! version in `MIN_WIRE_VERSION..=WIRE_VERSION` (currently 1..=2): a v2
+//! server accepts v1 `Hello`s and v1 single-`Event` streams unchanged; a
+//! batch of events is defined to be semantically identical to the same
+//! events sent as consecutive single `Event` frames.
 //!
 //! The hot decode path is allocation-free: [`decode_client_view`] returns
 //! a [`ClientFrameView`] whose batch variant ([`EventBatchView`]) borrows
@@ -107,6 +108,12 @@ pub enum WireError {
         /// How many bytes were left over.
         extra: usize,
     },
+    /// A wire integer did not fit the host type it feeds (decode paths
+    /// convert with `try_from`, never a truncating `as` cast).
+    IntOutOfRange {
+        /// Which field.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -118,6 +125,9 @@ impl std::fmt::Display for WireError {
             WireError::BadEnum { what, value } => write!(f, "bad {what} value {value}"),
             WireError::Malformed { what } => write!(f, "frame truncated reading {what}"),
             WireError::TrailingBytes { extra } => write!(f, "{extra} trailing bytes in frame"),
+            WireError::IntOutOfRange { what } => {
+                write!(f, "{what} does not fit the host integer type")
+            }
         }
     }
 }
@@ -637,7 +647,8 @@ fn next_body(buf: &[u8]) -> Result<Option<(&[u8], usize)>, WireError> {
     let Some(prefix) = buf.get(..4) else {
         return Ok(None);
     };
-    let len = u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]) as usize;
+    let len = usize::try_from(u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]))
+        .map_err(|_| WireError::IntOutOfRange { what: "frame length" })?;
     if len == 0 {
         return Err(WireError::EmptyFrame);
     }
@@ -821,7 +832,7 @@ impl ClientFrameView<'_> {
 
 fn decode_batch_body<'a>(cur: &mut Cur<'a>) -> Result<EventBatchView<'a>, WireError> {
     let session = cur.u64("session")?;
-    let count = cur.u16("batch count")? as usize;
+    let count = usize::from(cur.u16("batch count")?);
     if count > MAX_BATCH_EVENTS {
         return Err(WireError::Malformed {
             what: "batch count",

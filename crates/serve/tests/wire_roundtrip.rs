@@ -266,7 +266,8 @@ fn decoder_fuzz_returns_typed_errors_never_panics() {
                 | WireError::UnknownTag { .. }
                 | WireError::BadEnum { .. }
                 | WireError::Malformed { .. }
-                | WireError::TrailingBytes { .. },
+                | WireError::TrailingBytes { .. }
+                | WireError::IntOutOfRange { .. },
             ) => typed_errors += 1,
         }
         // The borrowed decoder sees the identical verdict: same Ok/Err

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Synthetic gesture generation and the paper's evaluation datasets.
 //!
 //! The paper trains and tests on human mouse input collected under X10 on

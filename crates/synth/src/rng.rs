@@ -82,6 +82,7 @@ impl SynthRng {
 /// assert_eq!(x, 10.0);
 /// ```
 pub fn normal(rng: &mut SynthRng, mean: f64, sigma: f64) -> f64 {
+    // lint:allow(float-eq): documented degenerate case, returns the mean
     if sigma == 0.0 {
         return mean;
     }

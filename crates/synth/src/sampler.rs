@@ -152,7 +152,7 @@ fn point_at(vertices: &[(f64, f64)], cumulative: &[f64], s: f64) -> (f64, f64) {
     if s <= 0.0 {
         return vertices[0];
     }
-    match cumulative.binary_search_by(|c| c.partial_cmp(&s).expect("finite")) {
+    match cumulative.binary_search_by(|c| c.total_cmp(&s)) {
         Ok(i) => vertices[i],
         Err(i) => {
             if i >= vertices.len() {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The GRANDMA architecture: Models, Views, and event-handler lists.
 //!
 //! §3: "GRANDMA is a Model/View/Controller-like system. In GRANDMA, models

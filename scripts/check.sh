@@ -33,15 +33,24 @@ cargo test -p grandma-serve --test batch_equivalence -q
 echo "== serve_load smoke (batched + unbatched, zero decode errors) =="
 cargo run -p grandma-bench --bin serve_load --release -- --smoke
 
+# grandma-lint is the always-on static-analysis gate: panic-freedom,
+# wire-protocol lockstep, hot-path alloc/index hygiene, float-comparison
+# and unsafe-code policy. Dependency-free, so it runs on any toolchain.
+# Any finding not covered by lint-baseline.txt (and any stale baseline
+# entry) fails the gate; see DESIGN.md §12.
+echo "== grandma-lint (static-analysis gate, deny warnings) =="
+cargo run -p grandma-lint --release -- --deny-warnings
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --workspace --all-targets =="
     cargo clippy --workspace --all-targets -- -D warnings
     # The interaction pipeline must not be able to panic on malformed
-    # input: library code (not tests) in the event substrate, the
-    # toolkit, and the serving layer is held to a
-    # no-unwrap/no-expect/no-panic standard.
-    echo "== clippy panic gate (grandma-events, grandma-toolkit, grandma-serve lib code) =="
-    cargo clippy -p grandma-events -p grandma-toolkit -p grandma-serve --lib --no-deps -- \
+    # input: library code (not tests) in the recognition core, the linear
+    # algebra kernel, the event substrate, the toolkit, and the serving
+    # layer is held to a no-unwrap/no-expect/no-panic standard.
+    echo "== clippy panic gate (core, linalg, events, toolkit, serve lib code) =="
+    cargo clippy -p grandma-core -p grandma-linalg \
+        -p grandma-events -p grandma-toolkit -p grandma-serve --lib --no-deps -- \
         -D warnings \
         -D clippy::unwrap_used \
         -D clippy::expect_used \

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Facade crate for the GRANDMA reproduction.
 //!
 //! Re-exports every workspace crate under one roof so examples, integration
