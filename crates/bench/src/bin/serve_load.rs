@@ -29,6 +29,7 @@
 //! ```text
 //! serve_load [--mode both|batched|unbatched] [--batch N] [--window N]
 //!            [--min-duration-s F] [--warmup N] [--smoke]
+//!            [--connections N[,N...]]
 //! ```
 //!
 //! `--smoke` runs a short fixed workload, asserts zero decode errors and
@@ -36,6 +37,19 @@
 //! the CI guard. The full run writes `BENCH_serve.json` at the repo
 //! root with an `unbatched` section, a `batched` section, and the
 //! ratios between them.
+//!
+//! The connection sweep exercises the reactor transport's fan-in: for
+//! each tier it starts a fresh service with 4 I/O threads, establishes
+//! that many concurrent TCP connections from a small pool of worker
+//! threads, then drives closed-loop open→batch→close round trips over
+//! every connection, reporting accepted connections, connect failures,
+//! RTT percentiles (batch write → `Closed` outcome), and the process
+//! RSS delta per established connection (client + server share this
+//! process, so it is an upper bound on the server's share). The full
+//! run sweeps 64/256/1024/2048/4096 and adds a `connection_sweep`
+//! section to BENCH_serve.json; `--connections` overrides the tier
+//! list, and with `--smoke` it runs a single quick tier as a CI guard
+//! without writing the file.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -51,7 +65,7 @@ use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
 use grandma_events::{Button, EventKind, EventScript, InputEvent};
 use grandma_serve::{
     encode_client, encode_event_batch, ClientFrame, FrameBuffer, OutcomeKind, ServeConfig,
-    ServerFrame, SessionRouter, TcpService, WIRE_VERSION,
+    ServerFrame, SessionRouter, TcpOptions, TcpService, WIRE_VERSION,
 };
 use grandma_synth::{datasets, FaultInjector, SynthRng};
 
@@ -515,6 +529,278 @@ fn run_mode(
     }
 }
 
+/// Default connection-sweep tiers for the full bench run.
+const SWEEP_TIERS: &[usize] = &[64, 256, 1024, 2048, 4096];
+/// Client worker threads driving a sweep tier; each owns an equal share
+/// of the connections and runs them closed-loop (one round trip in
+/// flight per worker), so the server-side concurrency under test is the
+/// established connections, not an unbounded request backlog.
+const SWEEP_WORKERS: usize = 4;
+/// Events per sweep round trip, sent as one `EventBatch` frame.
+const SWEEP_BATCH: usize = 24;
+/// Reactor I/O threads for every sweep tier (the C100K acceptance bar:
+/// thousands of connections on at most this many poll loops).
+const SWEEP_IO_THREADS: usize = 4;
+
+/// Resident set size of this process in kilobytes, from
+/// `/proc/self/status`; 0 when unavailable (non-Linux).
+fn rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let digits: String = rest.chars().filter(|c| c.is_ascii_digit()).collect();
+            return digits.parse().unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// One established sweep connection: its socket plus the decode buffer
+/// that must persist across rounds (replies can straddle reads).
+struct SweepConn {
+    stream: TcpStream,
+    fb: FrameBuffer,
+    idx: usize,
+}
+
+/// Results for one sweep tier.
+struct TierResult {
+    connections: usize,
+    accepted: usize,
+    connect_failures: usize,
+    round_trip_failures: usize,
+    rounds: u64,
+    rtt_samples: usize,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    rss_bytes_per_conn: u64,
+    wall_s: f64,
+}
+
+impl TierResult {
+    fn to_json(&self) -> String {
+        format!(
+            "{{ \"connections\": {}, \"accepted\": {}, \"connect_failures\": {}, \
+             \"round_trip_failures\": {}, \"rounds\": {}, \"rtt_samples\": {}, \
+             \"rtt_ns_p50\": {}, \"rtt_ns_p95\": {}, \"rtt_ns_p99\": {}, \
+             \"rss_bytes_per_conn\": {}, \"wall_s\": {:.4} }}",
+            self.connections,
+            self.accepted,
+            self.connect_failures,
+            self.round_trip_failures,
+            self.rounds,
+            self.rtt_samples,
+            self.p50,
+            self.p95,
+            self.p99,
+            self.rss_bytes_per_conn,
+            self.wall_s,
+        )
+    }
+}
+
+fn connect_with_retry(addr: std::net::SocketAddr) -> Option<TcpStream> {
+    for attempt in 0..5 {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Some(stream),
+            Err(_) => std::thread::sleep(Duration::from_millis(5 << attempt)),
+        }
+    }
+    None
+}
+
+/// One closed-loop round trip on one connection: `Open` + one
+/// `EventBatch` + `Close` in a single write, timed until the `Closed`
+/// outcome for that session comes back.
+fn sweep_round_trip(
+    conn: &mut SweepConn,
+    session: u64,
+    events: &[(u32, InputEvent)],
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<u64> {
+    scratch.clear();
+    encode_client(&ClientFrame::Open { session }, scratch);
+    encode_event_batch(session, events, scratch);
+    encode_client(
+        &ClientFrame::Close {
+            session,
+            seq: events.len() as u32,
+        },
+        scratch,
+    );
+    let started = Instant::now();
+    conn.stream.write_all(scratch)?;
+    let mut chunk = [0u8; 4096];
+    loop {
+        while let Some(frame) = conn.fb.next_server().expect("valid server bytes") {
+            if matches!(
+                frame,
+                ServerFrame::Outcome {
+                    session: s,
+                    outcome: OutcomeKind::Closed,
+                    ..
+                } if s == session
+            ) {
+                return Ok(started.elapsed().as_nanos() as u64);
+            }
+        }
+        let n = conn.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid round trip",
+            ));
+        }
+        conn.fb.extend(&chunk[..n]);
+    }
+}
+
+/// Drives `rounds` closed-loop rounds over every connection group in
+/// parallel. Session ids are `session_base + round*n + idx`, unique for
+/// the tier's lifetime. Returns (rtts, failed round trips).
+fn sweep_phase(
+    groups: &mut [Vec<SweepConn>],
+    n: usize,
+    session_base: u64,
+    rounds: u64,
+    events: &[(u32, InputEvent)],
+) -> (Vec<u64>, usize) {
+    let mut all_rtts = Vec::new();
+    let mut failures = 0usize;
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for group in groups.iter_mut() {
+            joins.push(scope.spawn(move || {
+                suppress_this_thread();
+                let mut rtts = Vec::new();
+                let mut failed = 0usize;
+                let mut scratch = Vec::with_capacity(4096);
+                for round in 0..rounds {
+                    for conn in group.iter_mut() {
+                        let session = session_base + round * n as u64 + conn.idx as u64;
+                        match sweep_round_trip(conn, session, events, &mut scratch) {
+                            Ok(ns) => rtts.push(ns),
+                            Err(_) => failed += 1,
+                        }
+                    }
+                }
+                (rtts, failed)
+            }));
+        }
+        for join in joins {
+            let (rtts, failed) = join.join().expect("sweep worker");
+            all_rtts.extend(rtts);
+            failures += failed;
+        }
+    });
+    (all_rtts, failures)
+}
+
+/// One sweep tier: fresh service, `n` concurrent connections, one
+/// warm-up round, then `rounds` measured rounds.
+fn sweep_tier(
+    rec: &Arc<EagerRecognizer>,
+    n: usize,
+    rounds: u64,
+    events: &[(u32, InputEvent)],
+) -> TierResult {
+    let config = ServeConfig {
+        shards: SHARDS,
+        queue_capacity: 1 << 15,
+        ..ServeConfig::default()
+    };
+    let options = TcpOptions {
+        io_threads: SWEEP_IO_THREADS,
+        ..TcpOptions::default()
+    };
+    let mut service = TcpService::start_with(
+        SessionRouter::new(rec.clone(), config),
+        "127.0.0.1:0",
+        options,
+    )
+    .expect("bind sweep service");
+    let addr = service.local_addr();
+    let rss_before = rss_kb();
+
+    // Establish the tier's connections in parallel, striped over the
+    // workers so every group ends up with an equal share.
+    let mut groups: Vec<Vec<SweepConn>> = Vec::new();
+    let mut connect_failures = 0usize;
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for w in 0..SWEEP_WORKERS {
+            joins.push(scope.spawn(move || {
+                suppress_this_thread();
+                let mut conns = Vec::new();
+                let mut failures = 0usize;
+                let mut hello = Vec::new();
+                encode_client(
+                    &ClientFrame::Hello {
+                        version: WIRE_VERSION,
+                    },
+                    &mut hello,
+                );
+                let mut idx = w;
+                while idx < n {
+                    match connect_with_retry(addr) {
+                        Some(mut stream) => {
+                            let _ = stream.set_nodelay(true);
+                            let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+                            if stream.write_all(&hello).is_ok() {
+                                conns.push(SweepConn {
+                                    stream,
+                                    fb: FrameBuffer::new(),
+                                    idx,
+                                });
+                            } else {
+                                failures += 1;
+                            }
+                        }
+                        None => failures += 1,
+                    }
+                    idx += SWEEP_WORKERS;
+                }
+                (conns, failures)
+            }));
+        }
+        for join in joins {
+            let (conns, failures) = join.join().expect("connect worker");
+            groups.push(conns);
+            connect_failures += failures;
+        }
+    });
+    let accepted: usize = groups.iter().map(Vec::len).sum();
+
+    // Warm-up round: materializes per-connection buffers on both sides,
+    // so the RSS delta reflects steady-state per-connection cost.
+    let (_, warmup_failures) = sweep_phase(&mut groups, n, 1, 1, events);
+    let rss_after = rss_kb();
+    let started = Instant::now();
+    let session_base = 1 + n as u64;
+    let (mut rtts, mut failures) = sweep_phase(&mut groups, n, session_base, rounds, events);
+    let wall_s = started.elapsed().as_secs_f64();
+    failures += warmup_failures;
+    service.shutdown();
+
+    rtts.sort_unstable();
+    TierResult {
+        connections: n,
+        accepted,
+        connect_failures,
+        round_trip_failures: failures,
+        rounds,
+        rtt_samples: rtts.len(),
+        p50: percentile(&rtts, 0.50),
+        p95: percentile(&rtts, 0.95),
+        p99: percentile(&rtts, 0.99),
+        rss_bytes_per_conn: rss_after.saturating_sub(rss_before) * 1024 / accepted.max(1) as u64,
+        wall_s,
+    }
+}
+
 struct Options {
     batched: bool,
     unbatched: bool,
@@ -523,6 +809,9 @@ struct Options {
     min_duration_s: f64,
     warmup: u64,
     smoke: bool,
+    /// Connection-sweep tier list; `None` means the default tiers on a
+    /// full run and no sweep at all under `--smoke`.
+    connections: Option<Vec<usize>>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -534,6 +823,7 @@ fn parse_args() -> Result<Options, String> {
         min_duration_s: 2.0,
         warmup: 2,
         smoke: false,
+        connections: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -562,6 +852,25 @@ fn parse_args() -> Result<Options, String> {
                 Some(Ok(n)) => opts.warmup = n,
                 _ => return Err("--warmup wants an integer".into()),
             },
+            "--connections" => {
+                let tiers: Option<Vec<usize>> = it
+                    .next()
+                    .map(|v| {
+                        v.split(',')
+                            .map(|t| t.trim().parse::<usize>())
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .and_then(Result::ok)
+                    .filter(|tiers| !tiers.is_empty() && tiers.iter().all(|&t| t > 0));
+                match tiers {
+                    Some(tiers) => opts.connections = Some(tiers),
+                    None => {
+                        return Err("--connections wants a comma-separated list of \
+                                    positive integers"
+                            .into())
+                    }
+                }
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -585,13 +894,14 @@ fn main() -> ExitCode {
     let (rec, _) =
         EagerRecognizer::train(&data.training, &FeatureMask::all(), &EagerConfig::default())
             .expect("training succeeds");
+    let rec = Arc::new(rec);
     let config = ServeConfig {
         shards: SHARDS,
         queue_capacity: 1 << 15,
         ..ServeConfig::default()
     };
     let mut service =
-        TcpService::start(SessionRouter::new(Arc::new(rec), config), "127.0.0.1:0")
+        TcpService::start(SessionRouter::new(rec.clone(), config), "127.0.0.1:0")
             .expect("bind loopback");
     let addr = service.local_addr();
     let streams: Arc<Vec<Vec<InputEvent>>> =
@@ -650,6 +960,41 @@ fn main() -> ExitCode {
         );
     }
 
+    // Connection sweep: fresh services, so it runs after the main
+    // workload's service is down. `--smoke` only sweeps when a tier
+    // list was given explicitly (the CI guard passes `--connections`).
+    let sweep_rounds: u64 = if opts.smoke { 1 } else { 3 };
+    let tiers: Vec<usize> = match (&opts.connections, opts.smoke) {
+        (Some(tiers), _) => tiers.clone(),
+        (None, false) => SWEEP_TIERS.to_vec(),
+        (None, true) => Vec::new(),
+    };
+    let sweep_events: Vec<(u32, InputEvent)> = slot_stream(1)
+        .into_iter()
+        .take(SWEEP_BATCH)
+        .enumerate()
+        .map(|(i, e)| (i as u32, e))
+        .collect();
+    let mut sweep: Vec<TierResult> = Vec::new();
+    for &n in &tiers {
+        let tier = sweep_tier(&rec, n, sweep_rounds, &sweep_events);
+        eprintln!(
+            "serve_load[sweep {n}]: {}/{} accepted ({} connect failures), \
+             {} round trips in {:.3}s, RTT p50 {}ns p95 {}ns p99 {}ns, \
+             {} RSS bytes/conn",
+            tier.accepted,
+            tier.connections,
+            tier.connect_failures,
+            tier.rtt_samples,
+            tier.wall_s,
+            tier.p50,
+            tier.p95,
+            tier.p99,
+            tier.rss_bytes_per_conn,
+        );
+        sweep.push(tier);
+    }
+
     if opts.smoke {
         // The CI guard: the workload ran clean end to end.
         assert_eq!(snap.decode_errors, 0, "smoke: decode errors: {snap:?}");
@@ -658,7 +1003,26 @@ fn main() -> ExitCode {
             results.iter().all(|r| r.rtt_samples > 0),
             "smoke: no RTT samples collected"
         );
-        eprintln!("serve_load: smoke ok (0 decode errors, 0 busy rejections)");
+        for tier in &sweep {
+            assert_eq!(
+                tier.accepted, tier.connections,
+                "smoke: sweep tier {} dropped connections",
+                tier.connections
+            );
+            assert_eq!(
+                tier.round_trip_failures, 0,
+                "smoke: sweep tier {} had failed round trips",
+                tier.connections
+            );
+        }
+        eprintln!(
+            "serve_load: smoke ok (0 decode errors, 0 busy rejections{})",
+            if sweep.is_empty() {
+                String::new()
+            } else {
+                format!(", {} sweep tiers clean", sweep.len())
+            }
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -677,6 +1041,18 @@ fn main() -> ExitCode {
         ),
         _ => String::new(),
     };
+    if !sweep.is_empty() {
+        let tier_rows = sweep
+            .iter()
+            .map(|t| format!("      {}", t.to_json()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        sections.push_str(&format!(
+            ",\n  \"connection_sweep\": {{\n    \"io_threads\": {SWEEP_IO_THREADS},\n    \
+             \"workers\": {SWEEP_WORKERS},\n    \"batch_events\": {SWEEP_BATCH},\n    \
+             \"measured_rounds\": {sweep_rounds},\n    \"tiers\": [\n{tier_rows}\n    ]\n  }}"
+        ));
+    }
     let json = format!(
         "{{\n  \"bench\": \"serve_load\",\n  \"transport\": \"tcp-loopback\",\n  \
          \"clients\": {CLIENTS},\n  \"sessions_per_client\": {SESSIONS_PER_CLIENT},\n  \

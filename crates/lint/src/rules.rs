@@ -450,31 +450,57 @@ fn rule_unsafe_code(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
                 out,
                 "unsafe-code",
                 ctx.line(i),
-                "`unsafe` outside the audited inventory (bench counting allocators)".to_string(),
+                "`unsafe` outside the audited inventory (bench allocators, serve syscall module)"
+                    .to_string(),
             );
         }
     }
 }
 
 /// Satellite: every lib crate root must carry `#![forbid(unsafe_code)]`.
+/// A crate that owns a file in the audited unsafe inventory may downgrade
+/// to `#![deny(unsafe_code)]` instead — `forbid` cannot be overridden, and
+/// the inventoried module needs a module-level `allow` to opt back in;
+/// `rule_unsafe_code` still confines the `unsafe` to exactly that file.
 fn rule_forbid_unsafe(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
     if !ctx.meta.is_lib_root {
         return;
     }
     let lexed = ctx.lexed;
-    let has_forbid = (0..lexed.tokens.len()).any(|i| {
-        is_ident(lexed, i, "forbid")
-            && is_punct(lexed, i + 1, "(")
-            && is_ident(lexed, i + 2, "unsafe_code")
-    });
-    if !has_forbid {
-        ctx.emit(
-            out,
-            "forbid-unsafe",
-            1,
-            "lib crate root missing #![forbid(unsafe_code)]".to_string(),
-        );
+    let has_attr = |word: &str| {
+        (0..lexed.tokens.len()).any(|i| {
+            is_ident(lexed, i, word)
+                && is_punct(lexed, i + 1, "(")
+                && is_ident(lexed, i + 2, "unsafe_code")
+        })
+    };
+    if has_attr("forbid") {
+        return;
     }
+    // `crates/serve/src/lib.rs` → `crates/serve/`; `src/lib.rs` → `src/`.
+    let crate_prefix = ctx
+        .meta
+        .rel_path
+        .strip_suffix("src/lib.rs")
+        .map(|p| format!("{p}src/"))
+        .unwrap_or_default();
+    let owns_inventory = !crate_prefix.is_empty()
+        && ctx
+            .config
+            .unsafe_files
+            .iter()
+            .any(|f| f.starts_with(&crate_prefix));
+    if has_attr("deny") && owns_inventory {
+        return;
+    }
+    ctx.emit(
+        out,
+        "forbid-unsafe",
+        1,
+        "lib crate root missing #![forbid(unsafe_code)] (deny is accepted only \
+         when the crate owns an audited unsafe-inventory module)"
+            .to_string(),
+    );
 }
 
 /// Parse an integer literal's text (`0x05`, `42`, `1_000`).

@@ -1,0 +1,8 @@
+//! Fixture: the serve crate root downgrades forbid→deny because it owns
+//! an audited unsafe-inventory module (`sys.rs`); clean under the
+//! forbid-unsafe rule.
+#![deny(unsafe_code)]
+
+pub fn safe_everywhere(x: u8) -> u8 {
+    x.wrapping_add(1)
+}

@@ -1,0 +1,8 @@
+//! Fixture: `deny(unsafe_code)` alone does not satisfy the forbid rule —
+//! this crate owns nothing in the audited unsafe inventory, so the
+//! downgrade has no justification and the `unsafe` is flagged too.
+#![deny(unsafe_code)]
+
+pub fn peek(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

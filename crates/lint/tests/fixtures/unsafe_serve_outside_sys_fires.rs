@@ -1,0 +1,6 @@
+//! Fixture: `unsafe` in a serve-crate file other than the inventoried
+//! `sys.rs` is flagged — the inventory is per-file, not per-crate.
+
+pub fn sneak(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

@@ -4,12 +4,17 @@
 //! ```text
 //! serve train --out model.txt [--seed N] [--per-class N]
 //! serve run --model model.txt [--addr 127.0.0.1:0] [--shards N]
-//!           [--queue-capacity N] [--flush-bytes N]
+//!           [--queue-capacity N] [--flush-bytes N] [--io-threads N]
+//!           [--max-connections N] [--idle-timeout-ms N]
 //! ```
 //!
 //! `--queue-capacity` bounds each shard's inbound queue (full queues
-//! reject with `Busy`); `--flush-bytes` sets the per-connection writer's
-//! initial coalescing threshold — the adaptive ceiling is 16× that.
+//! reject with `Busy`); `--flush-bytes` sets the per-connection encode
+//! buffer's initial size — the retained-capacity ceiling is 16× that.
+//! `--io-threads` sizes the reactor's poll-loop pool (0 = `min(4,
+//! cores)`); `--max-connections` sheds connections beyond the cap at
+//! accept time; `--idle-timeout-ms` reaps connections that send nothing
+//! for the window (0 = never).
 //!
 //! `run` loads a *persisted* recognizer (`grandma_core::persist`) rather
 //! than retraining — a server restart serves the exact same classifier,
@@ -34,7 +39,8 @@ fn usage() -> ExitCode {
     fail(
         "usage:\n  serve train --out PATH [--seed N] [--per-class N]\n  \
          serve run --model PATH [--addr ADDR] [--shards N] \
-         [--queue-capacity N] [--flush-bytes N]",
+         [--queue-capacity N] [--flush-bytes N] [--io-threads N] \
+         [--max-connections N] [--idle-timeout-ms N]",
     )
 }
 
@@ -109,14 +115,30 @@ fn cmd_run(args: &Args) -> ExitCode {
         Some(Ok(n)) if n > 0 => n,
         _ => return fail("--queue-capacity must be a positive integer"),
     };
-    let options = match args.get("flush-bytes").map(str::parse::<usize>) {
+    let mut options = match args.get("flush-bytes").map(str::parse::<usize>) {
         None => TcpOptions::default(),
         Some(Ok(n)) if n > 0 => TcpOptions {
             flush_start: n,
             flush_max: n.saturating_mul(16),
+            ..TcpOptions::default()
         },
         _ => return fail("--flush-bytes must be a positive integer"),
     };
+    match args.get("io-threads").map(str::parse::<usize>) {
+        None => {}
+        Some(Ok(n)) => options.io_threads = n,
+        Some(Err(_)) => return fail("--io-threads must be an integer (0 = auto)"),
+    }
+    match args.get("max-connections").map(str::parse::<usize>) {
+        None => {}
+        Some(Ok(n)) if n > 0 => options.max_connections = n,
+        _ => return fail("--max-connections must be a positive integer"),
+    }
+    match args.get("idle-timeout-ms").map(str::parse::<u64>) {
+        None => {}
+        Some(Ok(n)) => options.idle_timeout_ms = n,
+        Some(Err(_)) => return fail("--idle-timeout-ms must be an integer (0 = off)"),
+    }
     let text = match std::fs::read_to_string(model_path) {
         Ok(text) => text,
         Err(e) => return fail(&format!("reading {model_path}: {e}")),

@@ -100,7 +100,7 @@ impl Duplex {
                     conn: self.conn,
                     session,
                     seq: 0,
-                    reply: self.reply_tx.clone(),
+                    reply: self.reply_tx.clone().into(),
                 },
             ),
             ClientFrame::Event {
@@ -115,7 +115,7 @@ impl Duplex {
                     session,
                     seq,
                     event,
-                    reply: self.reply_tx.clone(),
+                    reply: self.reply_tx.clone().into(),
                 },
             ),
             ClientFrame::EventBatch { session, events } => {
@@ -133,7 +133,7 @@ impl Duplex {
                         conn: self.conn,
                         session,
                         events: batch,
-                        reply: self.reply_tx.clone(),
+                        reply: self.reply_tx.clone().into(),
                     },
                 )
             }
@@ -144,7 +144,7 @@ impl Duplex {
                     conn: self.conn,
                     session,
                     seq,
-                    reply: self.reply_tx.clone(),
+                    reply: self.reply_tx.clone().into(),
                 },
             ),
         }

@@ -77,6 +77,26 @@ pub struct ServiceMetrics {
     pub unknown_sessions: AtomicU64,
     /// Connections dropped for undecodable bytes.
     pub decode_errors: AtomicU64,
+    /// Gauge: TCP connections currently registered with the reactor
+    /// (incremented at accept handoff, decremented at teardown).
+    pub open_connections: AtomicU64,
+    /// Self-pipe wakeups consumed by reactor I/O threads. Wakes that
+    /// arrive while a poll loop is busy coalesce and are not counted.
+    pub reactor_wakeups: AtomicU64,
+    /// File-descriptor readiness notifications processed by reactor
+    /// poll loops (sum of ready entries over all `poll` returns).
+    pub readiness_events: AtomicU64,
+    /// Socket writes that accepted fewer bytes than requested; the
+    /// remainder stayed queued until the next writable notification.
+    pub writes_short: AtomicU64,
+    /// Connections deliberately dropped at accept time: over
+    /// `max_connections`, fd exhaustion (EMFILE/ENFILE), or a
+    /// slow-consumer write queue overrunning its cap.
+    pub connections_shed: AtomicU64,
+    /// `accept()` failures (including fd exhaustion before shedding).
+    pub accept_errors: AtomicU64,
+    /// Connections reaped by the idle timeout.
+    pub idle_reaped: AtomicU64,
     /// Per-shard counters.
     shards: Vec<ShardMetrics>,
 }
@@ -97,6 +117,13 @@ impl ServiceMetrics {
             busy_rejections: AtomicU64::new(0),
             unknown_sessions: AtomicU64::new(0),
             decode_errors: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            reactor_wakeups: AtomicU64::new(0),
+            readiness_events: AtomicU64::new(0),
+            writes_short: AtomicU64::new(0),
+            connections_shed: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
+            idle_reaped: AtomicU64::new(0),
             shards: (0..shards.max(1)).map(|_| ShardMetrics::default()).collect(),
         }
     }
@@ -151,6 +178,13 @@ impl ServiceMetrics {
             busy_rejections: load(&self.busy_rejections),
             unknown_sessions: load(&self.unknown_sessions),
             decode_errors: load(&self.decode_errors),
+            open_connections: load(&self.open_connections),
+            reactor_wakeups: load(&self.reactor_wakeups),
+            readiness_events: load(&self.readiness_events),
+            writes_short: load(&self.writes_short),
+            connections_shed: load(&self.connections_shed),
+            accept_errors: load(&self.accept_errors),
+            idle_reaped: load(&self.idle_reaped),
             shards: self
                 .shards
                 .iter()
@@ -226,6 +260,20 @@ pub struct MetricsSnapshot {
     pub unknown_sessions: u64,
     /// Connections dropped for undecodable bytes.
     pub decode_errors: u64,
+    /// Gauge: connections currently registered with the reactor.
+    pub open_connections: u64,
+    /// Self-pipe wakeups consumed by reactor poll loops.
+    pub reactor_wakeups: u64,
+    /// Readiness notifications processed by reactor poll loops.
+    pub readiness_events: u64,
+    /// Partial socket writes (kernel accepted fewer bytes than asked).
+    pub writes_short: u64,
+    /// Connections shed at accept (limit, fd exhaustion, slow consumer).
+    pub connections_shed: u64,
+    /// `accept()` failures.
+    pub accept_errors: u64,
+    /// Connections reaped by the idle timeout.
+    pub idle_reaped: u64,
     /// Per-shard snapshots.
     pub shards: Vec<ShardSnapshot>,
 }
@@ -249,6 +297,8 @@ impl MetricsSnapshot {
              \"writer_flushes\": {},\n  \"frames_sent\": {},\n  \
              \"outcomes\": {{\"recognized\": {}, \"manipulated\": {}, \"cancelled\": {}, \"rejected\": {}, \"closed\": {}}},\n  \
              \"faults_repaired\": {},\n  \"busy_rejections\": {},\n  \"unknown_sessions\": {},\n  \"decode_errors\": {},\n  \
+             \"open_connections\": {},\n  \"reactor_wakeups\": {},\n  \"readiness_events\": {},\n  \
+             \"writes_short\": {},\n  \"connections_shed\": {},\n  \"accept_errors\": {},\n  \"idle_reaped\": {},\n  \
              \"shards\": [{}]\n}}",
             self.sessions_opened,
             self.sessions_closed,
@@ -267,6 +317,13 @@ impl MetricsSnapshot {
             self.busy_rejections,
             self.unknown_sessions,
             self.decode_errors,
+            self.open_connections,
+            self.reactor_wakeups,
+            self.readiness_events,
+            self.writes_short,
+            self.connections_shed,
+            self.accept_errors,
+            self.idle_reaped,
             shards
         )
     }
@@ -305,6 +362,44 @@ mod tests {
         let json = m.snapshot().to_json();
         assert!(json.contains("\"sessions_opened\": 3"));
         assert!(json.contains("\"manipulated\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn snapshot_json_carries_every_reactor_counter_exactly_once() {
+        let m = ServiceMetrics::new(1);
+        m.open_connections.fetch_add(2, Ordering::Relaxed);
+        m.reactor_wakeups.fetch_add(5, Ordering::Relaxed);
+        m.readiness_events.fetch_add(7, Ordering::Relaxed);
+        m.writes_short.fetch_add(1, Ordering::Relaxed);
+        m.connections_shed.fetch_add(3, Ordering::Relaxed);
+        m.accept_errors.fetch_add(4, Ordering::Relaxed);
+        m.idle_reaped.fetch_add(6, Ordering::Relaxed);
+        let snap = m.snapshot();
+        assert_eq!(snap.open_connections, 2);
+        assert_eq!(snap.reactor_wakeups, 5);
+        assert_eq!(snap.readiness_events, 7);
+        assert_eq!(snap.writes_short, 1);
+        assert_eq!(snap.connections_shed, 3);
+        assert_eq!(snap.accept_errors, 4);
+        assert_eq!(snap.idle_reaped, 6);
+        let json = snap.to_json();
+        for (key, value) in [
+            ("open_connections", 2u64),
+            ("reactor_wakeups", 5),
+            ("readiness_events", 7),
+            ("writes_short", 1),
+            ("connections_shed", 3),
+            ("accept_errors", 4),
+            ("idle_reaped", 6),
+        ] {
+            let needle = format!("\"{key}\": {value}");
+            assert_eq!(
+                json.matches(&needle).count(),
+                1,
+                "snapshot JSON must carry {key} exactly once:\n{json}"
+            );
+        }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

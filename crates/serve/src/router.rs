@@ -67,6 +67,71 @@ impl Default for ServeConfig {
     }
 }
 
+/// Delivers server frames from a shard worker back to the transport
+/// that owns a connection, without the shard knowing which transport
+/// that is.
+///
+/// The reactor transport implements this by enqueueing `(conn, frame)`
+/// on the owning I/O thread's reply queue and waking its poll loop —
+/// the non-blocking reply path keyed by conn id. `deliver` must never
+/// block: shard workers call it from the hot path.
+pub trait ReplyBridge: Send + Sync {
+    /// Hands `frame` to the transport for connection `conn`. Frames for
+    /// connections that no longer exist are dropped silently.
+    fn deliver(&self, conn: u64, frame: ServerFrame);
+}
+
+#[derive(Clone)]
+enum ReplyInner {
+    /// Direct mpsc delivery: the Duplex transport and tests.
+    Channel(Sender<ServerFrame>),
+    /// Reactor delivery: frames are routed to the transport's bridge
+    /// keyed by the owning connection id.
+    Bridge {
+        conn: u64,
+        bridge: Arc<dyn ReplyBridge>,
+    },
+}
+
+/// A non-blocking outbound frame path from shard workers to one
+/// connection. Either a plain mpsc sender (Duplex, tests) or a
+/// conn-id-keyed [`ReplyBridge`] (the TCP reactor). Cheap to clone;
+/// send never blocks and never fails visibly — a dead connection just
+/// drops frames, and its sessions are reaped by the transport's
+/// close path.
+#[derive(Clone)]
+pub struct ReplyTx {
+    inner: ReplyInner,
+}
+
+impl ReplyTx {
+    /// A reply path that hands frames for `conn` to `bridge`.
+    pub fn bridged(conn: u64, bridge: Arc<dyn ReplyBridge>) -> Self {
+        Self {
+            inner: ReplyInner::Bridge { conn, bridge },
+        }
+    }
+
+    /// Ships one frame. Infallible by design: failures mean the
+    /// connection is gone, and the frame is dropped.
+    pub fn send(&self, frame: ServerFrame) {
+        match &self.inner {
+            ReplyInner::Channel(tx) => {
+                let _ = tx.send(frame);
+            }
+            ReplyInner::Bridge { conn, bridge } => bridge.deliver(*conn, frame),
+        }
+    }
+}
+
+impl From<Sender<ServerFrame>> for ReplyTx {
+    fn from(tx: Sender<ServerFrame>) -> Self {
+        Self {
+            inner: ReplyInner::Channel(tx),
+        }
+    }
+}
+
 /// A message to a shard worker.
 pub enum ShardMsg {
     /// Open a session; `reply` is the connection's outbound frame
@@ -79,8 +144,8 @@ pub enum ShardMsg {
         session: u64,
         /// Correlation id for any rejection fault.
         seq: u32,
-        /// Outbound frame channel of the owning connection.
-        reply: Sender<ServerFrame>,
+        /// Outbound frame path of the owning connection.
+        reply: ReplyTx,
     },
     /// One input event for an open session. Rejected with
     /// `Fault(UnknownSession)` on `reply` unless `conn` owns `session`.
@@ -93,9 +158,9 @@ pub enum ShardMsg {
         seq: u32,
         /// The raw event.
         event: InputEvent,
-        /// Outbound frame channel of the sending connection, for
+        /// Outbound frame path of the sending connection, for
         /// rejection faults.
-        reply: Sender<ServerFrame>,
+        reply: ReplyTx,
     },
     /// A whole batch of input events for one open session, crossing the
     /// shard queue as a single message (wire v2): the shard resolves the
@@ -110,8 +175,8 @@ pub enum ShardMsg {
         session: u64,
         /// The `(seq, event)` records, in send order.
         events: Vec<(u32, InputEvent)>,
-        /// Outbound frame channel of the sending connection.
-        reply: Sender<ServerFrame>,
+        /// Outbound frame path of the sending connection.
+        reply: ReplyTx,
     },
     /// Close a session (flush, finalize, emit `Closed`). Rejected with
     /// `Fault(UnknownSession)` on `reply` unless `conn` owns `session`.
@@ -122,9 +187,9 @@ pub enum ShardMsg {
         session: u64,
         /// Correlation id.
         seq: u32,
-        /// Outbound frame channel of the sending connection, for
+        /// Outbound frame path of the sending connection, for
         /// rejection faults.
-        reply: Sender<ServerFrame>,
+        reply: ReplyTx,
     },
     /// Park the worker on a barrier — used by backpressure tests and
     /// controlled drains to hold a shard still while its queue fills.
@@ -172,7 +237,7 @@ struct SessionEntry {
     /// feed or close it.
     conn: u64,
     pipeline: SessionPipeline,
-    reply: Sender<ServerFrame>,
+    reply: ReplyTx,
 }
 
 /// The sharded session router. Shared across transports via `Arc`;
@@ -354,7 +419,7 @@ fn shard_worker(
                 reply,
             } => {
                 if sessions.contains_key(&session) {
-                    let _ = reply.send(ServerFrame::Fault {
+                    reply.send(ServerFrame::Fault {
                         session,
                         seq,
                         code: FaultCode::AlreadyOpen,
@@ -362,7 +427,7 @@ fn shard_worker(
                     continue;
                 }
                 if sessions.len() >= config.max_sessions_per_shard {
-                    let _ = reply.send(ServerFrame::Fault {
+                    reply.send(ServerFrame::Fault {
                         session,
                         seq,
                         code: FaultCode::SessionLimit,
@@ -401,7 +466,7 @@ fn shard_worker(
                     Some(entry) if entry.conn == conn => entry,
                     _ => {
                         metrics.unknown_sessions.fetch_add(1, Ordering::Relaxed);
-                        let _ = reply.send(ServerFrame::Fault {
+                        reply.send(ServerFrame::Fault {
                             session,
                             seq,
                             code: FaultCode::UnknownSession,
@@ -443,7 +508,7 @@ fn shard_worker(
                     _ => {
                         metrics.unknown_sessions.fetch_add(1, Ordering::Relaxed);
                         let seq = events.first().map(|&(s, _)| s).unwrap_or(0);
-                        let _ = reply.send(ServerFrame::Fault {
+                        reply.send(ServerFrame::Fault {
                             session,
                             seq,
                             code: FaultCode::UnknownSession,
@@ -492,7 +557,7 @@ fn shard_worker(
                 let entry = if owned { sessions.remove(&session) } else { None };
                 let Some(mut entry) = entry else {
                     metrics.unknown_sessions.fetch_add(1, Ordering::Relaxed);
-                    let _ = reply.send(ServerFrame::Fault {
+                    reply.send(ServerFrame::Fault {
                         session,
                         seq,
                         code: FaultCode::UnknownSession,
@@ -528,16 +593,12 @@ fn shard_worker(
 /// Ships pipeline frames to the connection, folding outcomes into the
 /// metrics. Send failures mean the connection is gone — the session will
 /// be reaped by its `Close`; frames are dropped silently.
-fn flush_frames(
-    metrics: &ServiceMetrics,
-    reply: &Sender<ServerFrame>,
-    frames: &mut Vec<ServerFrame>,
-) {
+fn flush_frames(metrics: &ServiceMetrics, reply: &ReplyTx, frames: &mut Vec<ServerFrame>) {
     for frame in frames.drain(..) {
         if let ServerFrame::Outcome { outcome, .. } = frame {
             metrics.note_outcome(outcome);
         }
-        let _ = reply.send(frame);
+        reply.send(frame);
     }
 }
 
@@ -599,7 +660,7 @@ mod tests {
                 conn,
                 session: 42,
                 seq: 0,
-                reply: tx.clone(),
+                reply: tx.clone().into(),
             })
             .unwrap();
         let data = datasets::eight_way(0x7e57, 0, 1);
@@ -613,7 +674,7 @@ mod tests {
                     session: 42,
                     seq: i as u32,
                     event: *e,
-                    reply: tx.clone(),
+                    reply: tx.clone().into(),
                 })
                 .unwrap();
         }
@@ -622,7 +683,7 @@ mod tests {
                 conn,
                 session: 42,
                 seq: events.len() as u32,
-                reply: tx,
+                reply: tx.into(),
             })
             .unwrap();
         let frames = recv_until_closed(&rx);
@@ -657,7 +718,7 @@ mod tests {
                     conn,
                     session: 7,
                     seq,
-                    reply: tx.clone(),
+                    reply: tx.clone().into(),
                 })
                 .unwrap();
         }
@@ -666,7 +727,7 @@ mod tests {
                 conn,
                 session: 7,
                 seq: 2,
-                reply: tx,
+                reply: tx.into(),
             })
             .unwrap();
         let frames = recv_until_closed(&rx);
@@ -692,7 +753,7 @@ mod tests {
                 conn: owner,
                 session: 11,
                 seq: 0,
-                reply: owner_tx.clone(),
+                reply: owner_tx.clone().into(),
             })
             .unwrap();
         // The intruder tries to inject an event and tear the session down.
@@ -702,7 +763,7 @@ mod tests {
                 session: 11,
                 seq: 0,
                 event: InputEvent::new(EventKind::MouseMove, 1.0, 1.0, 1.0),
-                reply: intruder_tx.clone(),
+                reply: intruder_tx.clone().into(),
             })
             .unwrap();
         router
@@ -710,7 +771,7 @@ mod tests {
                 conn: intruder,
                 session: 11,
                 seq: 1,
-                reply: intruder_tx,
+                reply: intruder_tx.into(),
             })
             .unwrap();
         // The owner can still close its session: the intruder's Close
@@ -720,7 +781,7 @@ mod tests {
                 conn: owner,
                 session: 11,
                 seq: 1,
-                reply: owner_tx,
+                reply: owner_tx.into(),
             })
             .unwrap();
         let owner_frames = recv_until_closed(&owner_rx);
@@ -771,7 +832,7 @@ mod tests {
                 conn: winner,
                 session: 3,
                 seq: 0,
-                reply: winner_tx.clone(),
+                reply: winner_tx.clone().into(),
             })
             .unwrap();
         router
@@ -779,7 +840,7 @@ mod tests {
                 conn: loser,
                 session: 3,
                 seq: 0,
-                reply: loser_tx.clone(),
+                reply: loser_tx.clone().into(),
             })
             .unwrap();
         // The loser disconnects and (as the transport teardown does)
@@ -789,7 +850,7 @@ mod tests {
                 conn: loser,
                 session: 3,
                 seq: 1,
-                reply: loser_tx,
+                reply: loser_tx.into(),
             })
             .unwrap();
         let loser_frames: Vec<_> = (0..2)
@@ -815,7 +876,7 @@ mod tests {
                 conn: winner,
                 session: 3,
                 seq: 1,
-                reply: winner_tx,
+                reply: winner_tx.into(),
             })
             .unwrap();
         let frames = recv_until_closed(&winner_rx);
@@ -849,7 +910,7 @@ mod tests {
                 conn,
                 session: 1,
                 seq: 0,
-                reply: tx.clone(),
+                reply: tx.clone().into(),
             })
             .unwrap();
         let mut busy = 0;
@@ -859,7 +920,7 @@ mod tests {
                 session: 1,
                 seq: i,
                 event: InputEvent::new(EventKind::MouseMove, 0.0, 0.0, i as f64),
-                reply: tx.clone(),
+                reply: tx.clone().into(),
             });
             if r == Err(SubmitError::Busy) {
                 busy += 1;
@@ -894,7 +955,7 @@ mod tests {
                     conn,
                     session: 9,
                     seq: 0,
-                    reply: tx.clone(),
+                    reply: tx.clone().into(),
                 })
                 .unwrap();
             if batched {
@@ -905,7 +966,7 @@ mod tests {
                         conn,
                         session: 9,
                         events: buf,
-                        reply: tx.clone(),
+                        reply: tx.clone().into(),
                     })
                     .unwrap();
             } else {
@@ -916,7 +977,7 @@ mod tests {
                             session: 9,
                             seq,
                             event,
-                            reply: tx.clone(),
+                            reply: tx.clone().into(),
                         })
                         .unwrap();
                 }
@@ -926,7 +987,7 @@ mod tests {
                     conn,
                     session: 9,
                     seq: close_seq,
-                    reply: tx,
+                    reply: tx.into(),
                 })
                 .unwrap();
             let frames = recv_until_closed(&rx);
@@ -947,7 +1008,7 @@ mod tests {
                 conn,
                 session: 9,
                 seq: 0,
-                reply: tx.clone(),
+                reply: tx.clone().into(),
             })
             .unwrap();
         for _ in 0..4 {
@@ -958,7 +1019,7 @@ mod tests {
                     conn,
                     session: 9,
                     events: buf,
-                    reply: tx.clone(),
+                    reply: tx.clone().into(),
                 })
                 .unwrap();
             // Wait for the shard to drain the batch and recycle the
@@ -974,7 +1035,7 @@ mod tests {
                 conn,
                 session: 9,
                 seq: close_seq,
-                reply: tx,
+                reply: tx.into(),
             })
             .unwrap();
         let _ = recv_until_closed(&rx);
@@ -999,7 +1060,7 @@ mod tests {
                 conn,
                 session: 404,
                 events: buf,
-                reply: tx,
+                reply: tx.into(),
             })
             .unwrap();
         let frame = rx.recv_timeout(Duration::from_secs(5)).expect("fault frame");
@@ -1027,7 +1088,7 @@ mod tests {
                 session: 999,
                 seq: 5,
                 event: InputEvent::new(EventKind::MouseMove, 0.0, 0.0, 0.0),
-                reply: tx,
+                reply: tx.into(),
             })
             .unwrap();
         let frame = rx.recv_timeout(Duration::from_secs(5)).expect("fault frame");
@@ -1052,7 +1113,7 @@ mod tests {
                 conn: router.new_conn_id(),
                 session: 5,
                 seq: 0,
-                reply: tx,
+                reply: tx.into(),
             })
             .unwrap();
         router.shutdown();

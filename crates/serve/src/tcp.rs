@@ -1,83 +1,117 @@
-//! The TCP front-end: a `std::net::TcpListener` accept loop feeding the
-//! [`SessionRouter`], one reader thread and one writer thread per
-//! connection.
+//! The TCP front-end: a readiness-driven reactor. One blocking accept
+//! thread hands nonblocking sockets to a small pool of I/O threads
+//! (default `min(4, cores)`), each running a `poll(2)` loop that
+//! multiplexes hundreds–thousands of connections through a
+//! per-connection frame state machine: read buffer → [`FrameBuffer`]
+//! decode → dispatch to the [`SessionRouter`]; reply frames are encoded
+//! into a per-connection pending-write buffer drained when the socket
+//! is writable. The I/O layer only decodes, encodes, and forwards — all
+//! session state stays on shard threads (DESIGN.md §13).
 //!
-//! Connection protocol:
+//! Connection protocol (unchanged from the thread-per-connection
+//! transport it replaces — the loopback and batch-equivalence suites
+//! hold the reactor byte-identical):
 //!
 //! 1. The first frame must be a `Hello` whose version falls in
 //!    [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`]; anything else earns a
 //!    `Fault` and the connection is dropped. v1 clients speak
 //!    single-`Event` frames; v2 clients may also send `EventBatch`.
 //! 2. `Open`/`Event`/`EventBatch`/`Close` frames route to the session's
-//!    shard. A full shard queue bounces the frame back as `Fault(Busy)`
-//!    — the bytes are never buffered beyond the bounded shard queue.
-//! 3. Undecodable bytes produce `Fault(BadFrame)` and close the
-//!    connection; the decoder returns typed errors and never panics, so
-//!    hostile input costs one connection, not the process.
-//! 4. On EOF (or error) the reader submits `Close` for every session the
-//!    connection still has open, so abandoned connections cannot leak
-//!    sessions.
+//!    shard. A full shard queue bounces `Open`/`Event`/`EventBatch`
+//!    back as `Fault(Busy)`; a busy `Close` is queued transport-side
+//!    and retried each reactor iteration (losing it would leak the
+//!    session until teardown). The bytes are never buffered beyond the
+//!    bounded shard queue.
+//! 3. Undecodable bytes produce `Fault(BadFrame)`; the fault is flushed
+//!    and the connection closed. The decoder returns typed errors and
+//!    never panics, so hostile input costs one connection, not the
+//!    process.
+//! 4. On EOF, error, or idle timeout the reactor submits `Close` for
+//!    every session the connection still has open, so abandoned
+//!    connections cannot leak sessions.
 //! 5. Each connection holds a [`SessionRouter::new_conn_id`] identity
 //!    stamped on every message it routes; the shard rejects `Event`/
 //!    `Close` from any connection other than the session's opener with
 //!    `Fault(UnknownSession)`, so one connection can neither feed nor
 //!    tear down another's sessions.
 //!
-//! Shutdown is graceful and idempotent: stop the accept loop (a self-
-//! connection unblocks `accept`), shut down every live connection's
-//! socket to unblock its reader, join all connection threads, then shut
-//! down the router (which finalizes any remaining sessions). The
-//! registry of live connections is keyed by connection id and pruned as
-//! connections end — a long-running server does not accumulate dead
-//! streams or finished thread handles.
+//! Reply path: shard workers deliver frames through a
+//! [`ReplyBridge`] keyed by conn id — `deliver` enqueues `(conn,
+//! frame)` on the owning I/O thread's queue and pokes its
+//! [`crate::sys::Waker`]; wakes while the loop is busy coalesce into
+//! nothing (counted by `reactor_wakeups` only when a pipe write was
+//! actually consumed). Connections are assigned to I/O threads
+//! round-robin by conn id, so delivery needs no shared routing table.
 //!
-//! Fast path (wire v2): the reader decodes frames zero-copy through
-//! [`FrameBuffer::next_client_view`] from a large read buffer (one
-//! `read` drains everything the kernel has before blocking), batch
-//! payloads land in pooled `Vec`s recycled through the router's
-//! [`crate::BatchPool`], and the writer coalesces queued reply frames
-//! into one `write` per flush behind an adaptive threshold
-//! ([`TcpOptions`]) that grows when replies keep arriving and decays
-//! when the queue naturally drains. `TCP_NODELAY` is set on every
-//! accepted socket so a flush becomes a packet immediately.
+//! The accept loop degrades under pressure instead of failing: accept
+//! errors back off exponentially (1 ms doubling to 1 s), fd exhaustion
+//! (EMFILE/ENFILE) releases a reserve descriptor to accept-and-shed the
+//! newest connection (counted by `connections_shed`), and connections
+//! beyond `max_connections` are shed the same way. An optional idle
+//! timeout reaps connections that have sent no frames for the window.
+//!
+//! Shutdown is graceful and idempotent: stop the accept loop (a self-
+//! connection unblocks `accept`), wake and join every I/O thread (each
+//! tears down its connections, closing their abandoned sessions), then
+//! shut down the router — the teardown `Close`s are queued ahead of the
+//! router's `Shutdown`, so they are processed first.
 
 use std::collections::{HashMap, HashSet};
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::Sender;
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::metrics::ServiceMetrics;
-use crate::router::{SessionRouter, ShardMsg, SubmitError};
+use crate::router::{ReplyBridge, ReplyTx, SessionRouter, ShardMsg, SubmitError};
+use crate::sys::{poll_fds, PollFd, Waker, POLLIN, POLLOUT};
 use crate::wire::{
     encode_server, ClientFrameView, FaultCode, FrameBuffer, ServerFrame, MIN_WIRE_VERSION,
     WIRE_VERSION,
 };
 
-/// How long the accept loop sleeps after `accept()` fails, so persistent
-/// errors (e.g. fd exhaustion) degrade to slow retries instead of a
-/// busy-spin.
-const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(50);
+/// First retry delay after `accept()` fails; doubles per consecutive
+/// failure up to [`ACCEPT_BACKOFF_MAX`], resetting on success.
+const ACCEPT_BACKOFF_START: Duration = Duration::from_millis(1);
 
-/// Size of each connection reader's buffer: one `read` call drains
-/// everything the kernel has buffered (up to this much) before the
-/// thread blocks again.
+/// Ceiling for the accept-error backoff.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
+
+/// Size of each I/O thread's read buffer: one `read` call drains
+/// everything the kernel has buffered (up to this much) per readable
+/// connection per reactor round.
 const READ_CHUNK: usize = 64 * 1024;
 
-/// Per-connection transport tuning for the coalescing writer.
+/// A connection whose pending-write buffer outgrows this is a slow (or
+/// stalled) consumer and is dropped rather than buffered without bound.
+const MAX_PENDING_WRITE: usize = 16 * 1024 * 1024;
+
+/// Rounds a busy `Close` is retried (at the pending-close poll tick,
+/// and with a short sleep during shutdown drain) before giving up.
+const CLOSE_RETRY_ROUNDS: usize = 64;
+
+/// Transport tuning for the reactor front-end.
 #[derive(Debug, Clone, Copy)]
 pub struct TcpOptions {
-    /// Initial (and floor) writer flush threshold in bytes: the writer
-    /// keeps appending queued reply frames to its buffer until it either
-    /// drains the queue or crosses this size, then issues one `write`.
+    /// Initial capacity hint for a connection's encode buffer; replies
+    /// coalesce here between flushes, so this is the natural write size
+    /// under load.
     pub flush_start: usize,
-    /// Ceiling the adaptive threshold may grow to under sustained reply
-    /// pressure. Each threshold-capped flush doubles the threshold; each
-    /// natural drain halves it back toward `flush_start`.
+    /// Retained-capacity ceiling for per-connection buffers: after a
+    /// burst drains, encode buffers shrink back to at most this many
+    /// bytes so thousands of mostly idle connections stay cheap.
     pub flush_max: usize,
+    /// Reactor I/O threads; `0` picks `min(4, available cores)`.
+    pub io_threads: usize,
+    /// Connections beyond this are shed at accept time.
+    pub max_connections: usize,
+    /// Close connections that send no frames for this many
+    /// milliseconds; `0` disables idle reaping.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for TcpOptions {
@@ -85,6 +119,9 @@ impl Default for TcpOptions {
         Self {
             flush_start: 4 * 1024,
             flush_max: 64 * 1024,
+            io_threads: 0,
+            max_connections: 65_536,
+            idle_timeout_ms: 0,
         }
     }
 }
@@ -99,17 +136,23 @@ impl TcpOptions {
     fn max_bytes(&self) -> usize {
         self.flush_max.max(self.start_bytes())
     }
-}
 
-/// Live-connection registry shared between the accept loop and shutdown,
-/// keyed by connection id. Entries are removed when their connection
-/// ends: the connection thread prunes its own stream clone and thread
-/// handle on exit, and the accept loop reaps any handle that finished
-/// before it could be registered.
-#[derive(Default)]
-struct ConnRegistry {
-    streams: Mutex<HashMap<u64, TcpStream>>,
-    threads: Mutex<HashMap<u64, JoinHandle<()>>>,
+    /// The I/O thread count after applying the `min(4, cores)` default.
+    fn resolved_io_threads(&self) -> usize {
+        if self.io_threads > 0 {
+            self.io_threads.min(256)
+        } else {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            cores.clamp(1, 4)
+        }
+    }
+
+    /// Idle window as a `Duration`, `None` when disabled.
+    fn idle_timeout(&self) -> Option<Duration> {
+        (self.idle_timeout_ms > 0).then(|| Duration::from_millis(self.idle_timeout_ms))
+    }
 }
 
 fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -119,13 +162,93 @@ fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     }
 }
 
+/// Next accept-error backoff: exponential with a cap.
+fn next_backoff(current: Duration) -> Duration {
+    (current * 2).min(ACCEPT_BACKOFF_MAX)
+}
+
+/// The accept thread's half of one I/O thread: a registration queue
+/// plus the waker and reply sender that reach its poll loop.
+struct IoShared {
+    waker: Waker,
+    replies: Sender<(u64, ServerFrame)>,
+    registrations: Mutex<Vec<(u64, TcpStream)>>,
+    stop: AtomicBool,
+}
+
+/// Routes shard replies back to the I/O thread that owns the
+/// connection: conn ids are assigned round-robin, so the owning thread
+/// is a modulo away and delivery is lock-free queue + waker poke.
+struct ReactorBridge {
+    io: Vec<Arc<IoShared>>,
+}
+
+impl ReactorBridge {
+    fn io_of(&self, conn: u64) -> Option<&Arc<IoShared>> {
+        let n = self.io.len();
+        if n == 0 {
+            return None;
+        }
+        self.io.get((conn.wrapping_sub(1) as usize) % n)
+    }
+}
+
+impl ReplyBridge for ReactorBridge {
+    fn deliver(&self, conn: u64, frame: ServerFrame) {
+        if let Some(io) = self.io_of(conn) {
+            let _ = io.replies.send((conn, frame));
+            io.waker.wake();
+        }
+    }
+}
+
+/// Per-connection reactor state: the frame decode buffer, the pending
+/// encode/write buffer, and the session-ownership bookkeeping that
+/// backs teardown.
+struct Conn {
+    stream: TcpStream,
+    reply: ReplyTx,
+    frames: FrameBuffer,
+    hello_ok: bool,
+    open_sessions: HashSet<u64>,
+    /// Encoded-but-unwritten reply bytes; `out_at` marks how much of
+    /// the front has already reached the kernel.
+    out: Vec<u8>,
+    out_at: usize,
+    /// Wait for a writable notification before trying to write again.
+    want_write: bool,
+    /// Protocol fault sent: stop reading, flush `out`, then close.
+    closing: bool,
+    /// Marked for teardown this round.
+    dead: bool,
+    /// Reap sessions via `Close(seq=u32::MAX)` on teardown.
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn pending_out(&self) -> usize {
+        self.out.len().saturating_sub(self.out_at)
+    }
+}
+
+/// A `Close` that bounced off a full shard queue; retried every
+/// reactor round so backpressure cannot leak a session.
+struct PendingClose {
+    conn: u64,
+    session: u64,
+    seq: u32,
+    reply: ReplyTx,
+    rounds: usize,
+}
+
 /// The running TCP service. Dropping it shuts everything down.
 pub struct TcpService {
     router: Arc<SessionRouter>,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    registry: Arc<ConnRegistry>,
+    io: Vec<Arc<IoShared>>,
+    io_threads: Vec<JoinHandle<()>>,
 }
 
 impl TcpService {
@@ -145,21 +268,48 @@ impl TcpService {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let registry = Arc::new(ConnRegistry::default());
+        let io_count = options.resolved_io_threads();
+        let mut io = Vec::with_capacity(io_count);
+        let mut receivers = Vec::with_capacity(io_count);
+        for _ in 0..io_count {
+            let (tx, rx) = std::sync::mpsc::channel();
+            io.push(Arc::new(IoShared {
+                waker: Waker::new()?,
+                replies: tx,
+                registrations: Mutex::new(Vec::new()),
+                stop: AtomicBool::new(false),
+            }));
+            receivers.push(rx);
+        }
+        let bridge = Arc::new(ReactorBridge { io: io.clone() });
+        let mut io_threads = Vec::with_capacity(io_count);
+        for (index, replies) in receivers.into_iter().enumerate() {
+            let shared = match io.get(index) {
+                Some(shared) => shared.clone(),
+                None => continue,
+            };
+            let thread_router = router.clone();
+            let thread_bridge = bridge.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("grandma-io-{index}"))
+                .spawn(move || io_loop(shared, replies, thread_router, thread_bridge, options))?;
+            io_threads.push(handle);
+        }
         let accept_thread = {
             let router = router.clone();
             let stop = stop.clone();
-            let registry = registry.clone();
+            let io = io.clone();
             std::thread::Builder::new()
                 .name("grandma-accept".into())
-                .spawn(move || accept_loop(listener, router, stop, registry, options))?
+                .spawn(move || accept_loop(listener, router, stop, io, options))?
         };
         Ok(Self {
             router,
             addr,
             stop,
             accept_thread: Some(accept_thread),
-            registry,
+            io,
+            io_threads,
         })
     }
 
@@ -178,8 +328,9 @@ impl TcpService {
         self.router.metrics()
     }
 
-    /// Gracefully stops accepting, drains and joins every connection,
-    /// and shuts the router down. Idempotent.
+    /// Gracefully stops accepting, tears down every connection (closing
+    /// its sessions), joins the I/O threads, and shuts the router down.
+    /// Idempotent.
     pub fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
@@ -189,16 +340,16 @@ impl TcpService {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        // Unblock each connection's blocking read. Take the maps out of
-        // their mutexes first: joining while holding a registry lock
-        // would deadlock against a connection thread pruning its own
-        // entries on exit.
-        let streams = std::mem::take(&mut *lock_or_recover(&self.registry.streams));
-        for stream in streams.into_values() {
-            let _ = stream.shutdown(Shutdown::Both);
+        // Each I/O thread drains its connections on the way out: the
+        // teardown Closes reach the shard queues before the router's
+        // Shutdown below, so abandoned sessions are finalized and
+        // counted.
+        for shared in &self.io {
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.waker.arm();
+            shared.waker.wake();
         }
-        let threads = std::mem::take(&mut *lock_or_recover(&self.registry.threads));
-        for handle in threads.into_values() {
+        for handle in self.io_threads.drain(..) {
             let _ = handle.join();
         }
         self.router.shutdown();
@@ -211,337 +362,608 @@ impl Drop for TcpService {
     }
 }
 
+/// Sheds a connection that cannot be served (over the connection cap or
+/// out of descriptors): closed immediately, counted, never registered.
+fn shed(stream: TcpStream, metrics: &ServiceMetrics) {
+    metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
 fn accept_loop(
     listener: TcpListener,
     router: Arc<SessionRouter>,
     stop: Arc<AtomicBool>,
-    registry: Arc<ConnRegistry>,
+    io: Vec<Arc<IoShared>>,
     options: TcpOptions,
 ) {
+    let metrics = router.metrics().clone();
+    let mut backoff = ACCEPT_BACKOFF_START;
+    // One descriptor held in reserve: when accept() hits EMFILE/ENFILE
+    // the pending connection has no fd to land in, so we release the
+    // reserve, accept-and-shed the newest connection (telling the
+    // client immediately instead of letting it hang in the backlog),
+    // then re-arm the reserve.
+    let mut reserve = std::fs::File::open("/dev/null").ok();
     loop {
-        let Ok((stream, _)) = listener.accept() else {
-            if stop.load(Ordering::SeqCst) {
-                return;
+        match listener.accept() {
+            Ok((stream, _)) => {
+                backoff = ACCEPT_BACKOFF_START;
+                if stop.load(Ordering::SeqCst) {
+                    // The shutdown self-connection (or a late client).
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+                if metrics.open_connections.load(Ordering::Relaxed) as usize
+                    >= options.max_connections
+                {
+                    shed(stream, &metrics);
+                    continue;
+                }
+                register(stream, &router, &io, &metrics);
             }
-            // Persistent accept errors (EMFILE and friends) must retry
-            // slowly, not spin a core.
-            std::thread::sleep(ACCEPT_ERROR_BACKOFF);
-            continue;
-        };
-        if stop.load(Ordering::SeqCst) {
-            // The shutdown self-connection (or a late client): drop it.
-            let _ = stream.shutdown(Shutdown::Both);
-            return;
-        }
-        // Connections normally prune their own registry entries on exit;
-        // reap any handle that finished before it was registered.
-        reap_finished(&registry);
-        let conn = router.new_conn_id();
-        let _ = stream.set_nodelay(true);
-        if let Ok(clone) = stream.try_clone() {
-            lock_or_recover(&registry.streams).insert(conn, clone);
-        }
-        let conn_router = router.clone();
-        let conn_registry = registry.clone();
-        let spawned = std::thread::Builder::new()
-            .name("grandma-conn".into())
-            .spawn(move || handle_connection(conn, stream, conn_router, conn_registry, options));
-        match spawned {
-            Ok(handle) => {
-                lock_or_recover(&registry.threads).insert(conn, handle);
-            }
-            Err(_) => {
-                lock_or_recover(&registry.streams).remove(&conn);
-            }
-        }
-    }
-}
-
-/// Joins and removes every registry thread handle whose connection has
-/// already finished.
-fn reap_finished(registry: &ConnRegistry) {
-    let finished: Vec<JoinHandle<()>> = {
-        let mut guard = lock_or_recover(&registry.threads);
-        let done: Vec<u64> = guard
-            .iter()
-            .filter(|(_, handle)| handle.is_finished())
-            .map(|(conn, _)| *conn)
-            .collect();
-        done.iter().filter_map(|conn| guard.remove(conn)).collect()
-    };
-    // Join outside the lock: these threads have already finished, but a
-    // join that races their last instructions must not hold the registry.
-    for handle in finished {
-        let _ = handle.join();
-    }
-}
-
-/// Sends `frame` to the connection's writer; a dead writer just means the
-/// client is gone.
-fn reply(tx: &Sender<ServerFrame>, frame: ServerFrame) {
-    let _ = tx.send(frame);
-}
-
-/// One connection: reads frames, routes them stamped with the
-/// connection's identity, and on exit closes every session the
-/// connection left open, then prunes its registry entries.
-fn handle_connection(
-    conn: u64,
-    mut stream: TcpStream,
-    router: Arc<SessionRouter>,
-    registry: Arc<ConnRegistry>,
-    options: TcpOptions,
-) {
-    let (reply_tx, reply_rx) = std::sync::mpsc::channel::<ServerFrame>();
-    let writer_metrics = router.metrics().clone();
-    let writer = stream.try_clone().ok().and_then(|mut out| {
-        std::thread::Builder::new()
-            .name("grandma-conn-writer".into())
-            .spawn(move || {
-                // One reusable encode buffer for the connection's whole
-                // lifetime, flushed as one write per coalescing round.
-                // The threshold adapts: a flush that was capped by the
-                // threshold (replies still queued) doubles it, a flush
-                // that drained the queue naturally halves it back toward
-                // the floor — bursty sessions get big writes, idle ones
-                // get low latency.
-                let floor = options.start_bytes();
-                let ceiling = options.max_bytes();
-                let mut threshold = floor;
-                let mut bytes = Vec::with_capacity(floor);
-                while let Ok(frame) = reply_rx.recv() {
-                    bytes.clear();
-                    let mut queued = 1u64;
-                    encode_server(&frame, &mut bytes);
-                    while bytes.len() < threshold {
-                        match reply_rx.try_recv() {
-                            Ok(next) => {
-                                encode_server(&next, &mut bytes);
-                                queued += 1;
-                            }
-                            Err(_) => break,
-                        }
+            Err(err) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                metrics.accept_errors.fetch_add(1, Ordering::Relaxed);
+                let raw = err.raw_os_error();
+                if raw == Some(24) || raw == Some(23) {
+                    // EMFILE/ENFILE: free the reserve fd, take the
+                    // newest pending connection, and shed it.
+                    drop(reserve.take());
+                    if let Ok((stream, peer)) = listener.accept() {
+                        eprintln!("grandma-serve: fd exhausted; shedding connection from {peer}");
+                        shed(stream, &metrics);
                     }
-                    let capped = bytes.len() >= threshold;
-                    if out.write_all(&bytes).is_err() {
+                    reserve = std::fs::File::open("/dev/null").ok();
+                    if stop.load(Ordering::SeqCst) {
                         return;
                     }
-                    let _ = out.flush();
-                    writer_metrics.writer_flushes.fetch_add(1, Ordering::Relaxed);
-                    writer_metrics.frames_sent.fetch_add(queued, Ordering::Relaxed);
-                    threshold = if capped {
-                        (threshold * 2).min(ceiling)
-                    } else {
-                        (threshold / 2).max(floor)
-                    };
+                    continue;
                 }
-            })
-            .ok()
-    });
+                // Transient failure (ECONNABORTED and friends): retry
+                // with exponential backoff instead of spinning a core.
+                std::thread::sleep(backoff);
+                backoff = next_backoff(backoff);
+            }
+        }
+    }
+}
 
-    let mut frames = FrameBuffer::new();
-    // Heap chunk: big enough that one read drains the kernel buffer for
-    // a whole burst of batches before the thread blocks again.
-    let mut chunk = vec![0u8; READ_CHUNK];
-    let mut hello_ok = false;
-    let mut open_sessions: HashSet<u64> = HashSet::new();
-    'conn: loop {
-        let n = match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => break 'conn,
-            Ok(n) => n,
+/// Hands an accepted socket to its round-robin I/O thread. The gauge is
+/// bumped here so the accept loop's `max_connections` check sees
+/// connections that are registered but not yet polled.
+fn register(
+    stream: TcpStream,
+    router: &Arc<SessionRouter>,
+    io: &[Arc<IoShared>],
+    metrics: &ServiceMetrics,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_nonblocking(true).is_err() || io.is_empty() {
+        shed(stream, metrics);
+        return;
+    }
+    let conn = router.new_conn_id();
+    let idx = (conn.wrapping_sub(1) as usize) % io.len();
+    let Some(shared) = io.get(idx) else {
+        shed(stream, metrics);
+        return;
+    };
+    metrics.open_connections.fetch_add(1, Ordering::Relaxed);
+    lock_or_recover(&shared.registrations).push((conn, stream));
+    shared.waker.wake();
+}
+
+/// Encodes `frame` into the connection's pending-write buffer.
+fn queue_frame(c: &mut Conn, metrics: &ServiceMetrics, frame: &ServerFrame) {
+    encode_server(frame, &mut c.out);
+    metrics.frames_sent.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Writes as much pending output as the socket will take. Returns
+/// `false` when the connection died. Sets `want_write` (and leaves the
+/// remainder queued) on a full socket buffer.
+fn flush_conn(c: &mut Conn, metrics: &ServiceMetrics, retain_cap: usize) -> bool {
+    while c.out_at < c.out.len() {
+        let pending = c.out.get(c.out_at..).unwrap_or(&[]);
+        if pending.is_empty() {
+            break;
+        }
+        match c.stream.write(pending) {
+            Ok(0) => return false,
+            Ok(n) => {
+                metrics.writer_flushes.fetch_add(1, Ordering::Relaxed);
+                c.out_at += n;
+                if n < pending.len() {
+                    // Partial write: the socket buffer is full; wait
+                    // for POLLOUT rather than burning a sure EAGAIN.
+                    metrics.writes_short.fetch_add(1, Ordering::Relaxed);
+                    c.want_write = true;
+                    return true;
+                }
+            }
+            Err(ref e) if e.kind() == ErrorKind::WouldBlock => {
+                c.want_write = true;
+                return true;
+            }
+            Err(ref e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    // Fully drained: recycle the buffer, shrinking bursts back down so
+    // thousands of idle connections do not pin burst-sized buffers.
+    c.out.clear();
+    c.out_at = 0;
+    c.want_write = false;
+    if c.out.capacity() > retain_cap {
+        c.out.shrink_to(retain_cap);
+    }
+    true
+}
+
+/// Submits one `Close`, treating a shut-down router as done. Returns
+/// `false` when the shard queue was full and the close must be retried.
+fn try_close(router: &SessionRouter, conn: u64, session: u64, seq: u32, reply: &ReplyTx) -> bool {
+    let msg = ShardMsg::Close {
+        conn,
+        session,
+        seq,
+        reply: reply.clone(),
+    };
+    !matches!(router.submit(msg), Err(SubmitError::Busy))
+}
+
+/// Tears a connection down: submits `Close` for every session it still
+/// has open (busy shards park the close on the retry list), shuts the
+/// socket, and drops the state.
+fn teardown(
+    conn_id: u64,
+    mut c: Conn,
+    router: &SessionRouter,
+    metrics: &ServiceMetrics,
+    pending_closes: &mut Vec<PendingClose>,
+) {
+    for session in c.open_sessions.drain() {
+        if !try_close(router, conn_id, session, u32::MAX, &c.reply) {
+            pending_closes.push(PendingClose {
+                conn: conn_id,
+                session,
+                seq: u32::MAX,
+                reply: c.reply.clone(),
+                rounds: 0,
+            });
+        }
+    }
+    let _ = c.stream.shutdown(Shutdown::Both);
+    metrics.open_connections.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Decodes and dispatches every complete frame in the connection's read
+/// buffer. Returns `false` when the connection must die immediately
+/// (router gone); protocol faults instead set `closing` so the fault
+/// frame is flushed before the socket closes.
+fn dispatch_frames(
+    conn_id: u64,
+    c: &mut Conn,
+    router: &SessionRouter,
+    metrics: &ServiceMetrics,
+    pending_closes: &mut Vec<PendingClose>,
+) -> bool {
+    loop {
+        if c.closing {
+            return true;
+        }
+        // Zero-copy decode: batch payloads are iterated straight out of
+        // the frame buffer; only the pooled `Vec` that crosses the
+        // shard channel is written to.
+        let frame = match c.frames.next_client_view() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return true,
+            Err(_) => {
+                metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
+                queue_frame(
+                    c,
+                    metrics,
+                    &ServerFrame::Fault {
+                        session: 0,
+                        seq: 0,
+                        code: FaultCode::BadFrame,
+                    },
+                );
+                c.closing = true;
+                return true;
+            }
         };
-        frames.extend(chunk.get(..n).unwrap_or(&[]));
-        loop {
-            // Zero-copy decode: batch payloads are iterated straight out
-            // of the frame buffer; only the pooled `Vec` that crosses
-            // the shard channel is written to.
-            let frame = match frames.next_client_view() {
-                Ok(Some(frame)) => frame,
-                Ok(None) => break,
-                Err(_) => {
-                    router
-                        .metrics()
-                        .decode_errors
-                        .fetch_add(1, Ordering::Relaxed);
-                    reply(
-                        &reply_tx,
-                        ServerFrame::Fault {
+        if !c.hello_ok {
+            match frame {
+                ClientFrameView::Hello { version }
+                    if (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) =>
+                {
+                    c.hello_ok = true;
+                    continue;
+                }
+                ClientFrameView::Hello { .. } => {
+                    queue_frame(
+                        c,
+                        metrics,
+                        &ServerFrame::Fault {
+                            session: 0,
+                            seq: 0,
+                            code: FaultCode::VersionMismatch,
+                        },
+                    );
+                }
+                _ => {
+                    queue_frame(
+                        c,
+                        metrics,
+                        &ServerFrame::Fault {
                             session: 0,
                             seq: 0,
                             code: FaultCode::BadFrame,
                         },
                     );
-                    break 'conn;
                 }
-            };
-            if !hello_ok {
-                match frame {
-                    ClientFrameView::Hello { version }
-                        if (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) =>
-                    {
-                        hello_ok = true;
-                        continue;
-                    }
-                    ClientFrameView::Hello { .. } => {
-                        reply(
-                            &reply_tx,
-                            ServerFrame::Fault {
-                                session: 0,
-                                seq: 0,
-                                code: FaultCode::VersionMismatch,
-                            },
-                        );
-                    }
-                    _ => {
-                        reply(
-                            &reply_tx,
-                            ServerFrame::Fault {
-                                session: 0,
-                                seq: 0,
-                                code: FaultCode::BadFrame,
-                            },
-                        );
-                    }
-                }
-                break 'conn;
             }
-            match frame {
-                ClientFrameView::Hello { .. } => {
-                    // A second Hello is harmless; ignore it.
-                }
-                ClientFrameView::Open { session } => {
-                    let msg = ShardMsg::Open {
-                        conn,
-                        session,
-                        seq: 0,
-                        reply: reply_tx.clone(),
-                    };
-                    match router.submit(msg) {
-                        Ok(()) => {
-                            // Optimistic: the shard may still reject the
-                            // Open (AlreadyOpen/SessionLimit). That is
-                            // harmless — the teardown Close below carries
-                            // our conn id, so it cannot touch a session
-                            // some other connection owns.
-                            open_sessions.insert(session);
-                        }
-                        Err(SubmitError::Busy) => reply(
-                            &reply_tx,
-                            ServerFrame::Fault {
-                                session,
-                                seq: 0,
-                                code: FaultCode::Busy,
-                            },
-                        ),
-                        Err(SubmitError::Closed) => break 'conn,
+            c.closing = true;
+            return true;
+        }
+        match frame {
+            ClientFrameView::Hello { .. } => {
+                // A second Hello is harmless; ignore it.
+            }
+            ClientFrameView::Open { session } => {
+                let msg = ShardMsg::Open {
+                    conn: conn_id,
+                    session,
+                    seq: 0,
+                    reply: c.reply.clone(),
+                };
+                match router.submit(msg) {
+                    Ok(()) => {
+                        // Optimistic: the shard may still reject the
+                        // Open (AlreadyOpen/SessionLimit). That is
+                        // harmless — the teardown Close carries our
+                        // conn id, so it cannot touch a session some
+                        // other connection owns.
+                        c.open_sessions.insert(session);
                     }
-                }
-                ClientFrameView::Event {
-                    session,
-                    seq,
-                    event,
-                } => match router.submit(ShardMsg::Event {
-                    conn,
-                    session,
-                    seq,
-                    event,
-                    reply: reply_tx.clone(),
-                }) {
-                    Ok(()) => {}
-                    Err(SubmitError::Busy) => reply(
-                        &reply_tx,
-                        ServerFrame::Fault {
+                    Err(SubmitError::Busy) => queue_frame(
+                        c,
+                        metrics,
+                        &ServerFrame::Fault {
                             session,
-                            seq,
+                            seq: 0,
                             code: FaultCode::Busy,
                         },
                     ),
-                    Err(SubmitError::Closed) => break 'conn,
-                },
-                ClientFrameView::EventBatch(view) => {
-                    let session = view.session();
-                    let mut events = router.batch_pool().take();
-                    events.extend(view.iter());
-                    let first_seq = events.first().map(|&(s, _)| s).unwrap_or(0);
-                    match router.submit(ShardMsg::EventBatch {
-                        conn,
-                        session,
-                        events,
-                        reply: reply_tx.clone(),
-                    }) {
-                        Ok(()) => {}
-                        // The whole batch is rejected as a unit; submit
-                        // already recycled its buffer.
-                        Err(SubmitError::Busy) => reply(
-                            &reply_tx,
-                            ServerFrame::Fault {
-                                session,
-                                seq: first_seq,
-                                code: FaultCode::Busy,
-                            },
-                        ),
-                        Err(SubmitError::Closed) => break 'conn,
-                    }
+                    Err(SubmitError::Closed) => return false,
                 }
-                ClientFrameView::Close { session, seq } => {
-                    open_sessions.remove(&session);
-                    match submit_close(&router, conn, session, seq, &reply_tx) {
-                        Ok(()) => {}
-                        Err(SubmitError::Busy) => reply(
-                            &reply_tx,
-                            ServerFrame::Fault {
-                                session,
-                                seq,
-                                code: FaultCode::Busy,
-                            },
-                        ),
-                        Err(SubmitError::Closed) => break 'conn,
-                    }
+            }
+            ClientFrameView::Event {
+                session,
+                seq,
+                event,
+            } => match router.submit(ShardMsg::Event {
+                conn: conn_id,
+                session,
+                seq,
+                event,
+                reply: c.reply.clone(),
+            }) {
+                Ok(()) => {}
+                Err(SubmitError::Busy) => queue_frame(
+                    c,
+                    metrics,
+                    &ServerFrame::Fault {
+                        session,
+                        seq,
+                        code: FaultCode::Busy,
+                    },
+                ),
+                Err(SubmitError::Closed) => return false,
+            },
+            ClientFrameView::EventBatch(view) => {
+                let session = view.session();
+                let mut events = router.batch_pool().take();
+                events.extend(view.iter());
+                let first_seq = events.first().map(|&(s, _)| s).unwrap_or(0);
+                match router.submit(ShardMsg::EventBatch {
+                    conn: conn_id,
+                    session,
+                    events,
+                    reply: c.reply.clone(),
+                }) {
+                    Ok(()) => {}
+                    // The whole batch is rejected as a unit; submit
+                    // already recycled its buffer.
+                    Err(SubmitError::Busy) => queue_frame(
+                        c,
+                        metrics,
+                        &ServerFrame::Fault {
+                            session,
+                            seq: first_seq,
+                            code: FaultCode::Busy,
+                        },
+                    ),
+                    Err(SubmitError::Closed) => return false,
+                }
+            }
+            ClientFrameView::Close { session, seq } => {
+                c.open_sessions.remove(&session);
+                // A busy Close is retried transport-side instead of
+                // bounced: losing it would leak the session, and the
+                // client is owed its Closed outcome.
+                if !try_close(router, conn_id, session, seq, &c.reply) {
+                    pending_closes.push(PendingClose {
+                        conn: conn_id,
+                        session,
+                        seq,
+                        reply: c.reply.clone(),
+                        rounds: 0,
+                    });
                 }
             }
         }
     }
-    // Reap sessions the connection abandoned so their pipelines finalize.
-    for session in open_sessions {
-        let _ = submit_close(&router, conn, session, u32::MAX, &reply_tx);
-    }
-    drop(reply_tx);
-    if let Some(handle) = writer {
-        let _ = handle.join();
-    }
-    let _ = stream.shutdown(Shutdown::Both);
-    // Prune our registry entries so a long-running server does not leak
-    // one fd + one thread handle per past connection. The cleanup Closes
-    // above were submitted before this removal, so a shutdown that finds
-    // the handle already gone still sees them queued at the router.
-    lock_or_recover(&registry.streams).remove(&conn);
-    // Dropping our own JoinHandle detaches this thread; shutdown either
-    // joined it already or finds nothing left to wait for.
-    let _ = lock_or_recover(&registry.threads).remove(&conn);
 }
 
-/// Close is the one message worth briefly retrying under backpressure:
-/// losing it leaks the session until connection teardown.
-fn submit_close(
-    router: &Arc<SessionRouter>,
-    conn: u64,
-    session: u64,
-    seq: u32,
-    reply: &Sender<ServerFrame>,
-) -> Result<(), SubmitError> {
-    for _ in 0..64 {
-        let msg = ShardMsg::Close {
-            conn,
-            session,
-            seq,
-            reply: reply.clone(),
-        };
-        match router.submit(msg) {
-            Err(SubmitError::Busy) => std::thread::sleep(std::time::Duration::from_micros(250)),
-            other => return other,
+/// Reads everything the kernel has for this connection and dispatches
+/// it. Returns `false` on EOF or a dead socket.
+fn service_read(
+    conn_id: u64,
+    c: &mut Conn,
+    router: &SessionRouter,
+    metrics: &ServiceMetrics,
+    chunk: &mut [u8],
+    now: Instant,
+    pending_closes: &mut Vec<PendingClose>,
+) -> bool {
+    loop {
+        match c.stream.read(chunk) {
+            Ok(0) => return false,
+            Ok(n) => {
+                c.last_activity = now;
+                c.frames.extend(chunk.get(..n).unwrap_or(&[]));
+                if !dispatch_frames(conn_id, c, router, metrics, pending_closes) {
+                    return false;
+                }
+                if c.closing || n < chunk.len() {
+                    // Short read: the kernel buffer is drained; poll is
+                    // level-triggered, so anything that races in will
+                    // re-report.
+                    return true;
+                }
+            }
+            Err(ref e) if e.kind() == ErrorKind::WouldBlock => return true,
+            Err(ref e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
         }
     }
-    Err(SubmitError::Busy)
+}
+
+/// One reactor I/O thread: a `poll(2)` loop multiplexing every
+/// connection assigned to it. The loop is wake-accurate without being
+/// wake-hungry — the waker is armed before the work queues are drained,
+/// so a producer either lands its item before the drain or its wake
+/// byte lands in the poll set.
+fn io_loop(
+    shared: Arc<IoShared>,
+    replies: Receiver<(u64, ServerFrame)>,
+    router: Arc<SessionRouter>,
+    bridge: Arc<ReactorBridge>,
+    options: TcpOptions,
+) {
+    let metrics = router.metrics().clone();
+    let retain_cap = options.max_bytes();
+    let idle_timeout = options.idle_timeout();
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut pollfds: Vec<PollFd> = Vec::new();
+    let mut poll_keys: Vec<u64> = Vec::new();
+    let mut pending_closes: Vec<PendingClose> = Vec::new();
+    let mut dead: Vec<u64> = Vec::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    loop {
+        // Arm first: any wake() from here on writes a pipe byte, so the
+        // final queue drains below cannot race a producer into a lost
+        // wakeup.
+        shared.waker.arm();
+
+        // Intake newly accepted connections.
+        let fresh = std::mem::take(&mut *lock_or_recover(&shared.registrations));
+        let now = Instant::now();
+        for (conn_id, stream) in fresh {
+            let reply = ReplyTx::bridged(conn_id, bridge.clone() as Arc<dyn ReplyBridge>);
+            conns.insert(
+                conn_id,
+                Conn {
+                    stream,
+                    reply,
+                    frames: FrameBuffer::new(),
+                    hello_ok: false,
+                    open_sessions: HashSet::new(),
+                    out: Vec::new(),
+                    out_at: 0,
+                    want_write: false,
+                    closing: false,
+                    dead: false,
+                    last_activity: now,
+                },
+            );
+        }
+
+        // Drain shard replies into per-connection encode buffers.
+        // Frames for connections that died race-free-but-late are
+        // dropped, same as the old writer thread losing its socket.
+        while let Ok((conn_id, frame)) = replies.try_recv() {
+            if let Some(c) = conns.get_mut(&conn_id) {
+                if !c.dead {
+                    queue_frame(c, &metrics, &frame);
+                }
+            }
+        }
+
+        // Retry closes that bounced off full shard queues.
+        pending_closes.retain_mut(|pc| {
+            pc.rounds += 1;
+            !try_close(&router, pc.conn, pc.session, pc.seq, &pc.reply)
+                && pc.rounds < CLOSE_RETRY_ROUNDS
+        });
+
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+
+        // Flush pending output; mark writer-dead and slow consumers.
+        for (&conn_id, c) in conns.iter_mut() {
+            if c.dead {
+                continue;
+            }
+            if c.pending_out() > 0 && !c.want_write && !flush_conn(c, &metrics, retain_cap) {
+                c.dead = true;
+                dead.push(conn_id);
+                continue;
+            }
+            if c.pending_out() > MAX_PENDING_WRITE {
+                metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
+                c.dead = true;
+                dead.push(conn_id);
+                continue;
+            }
+            if c.closing && c.pending_out() == 0 {
+                c.dead = true;
+                dead.push(conn_id);
+            }
+        }
+
+        // Idle reaping: no client frames for the window means the
+        // connection (and its sessions) are abandoned.
+        if let Some(window) = idle_timeout {
+            let now = Instant::now();
+            for (&conn_id, c) in conns.iter_mut() {
+                if !c.dead && now.duration_since(c.last_activity) >= window {
+                    metrics.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                    c.dead = true;
+                    dead.push(conn_id);
+                }
+            }
+        }
+
+        for conn_id in dead.drain(..) {
+            if let Some(c) = conns.remove(&conn_id) {
+                teardown(conn_id, c, &router, &metrics, &mut pending_closes);
+            }
+        }
+
+        // Build the poll set: the waker plus every live connection.
+        pollfds.clear();
+        poll_keys.clear();
+        pollfds.push(PollFd::new(shared.waker.fd(), POLLIN));
+        for (&conn_id, c) in conns.iter() {
+            let mut events = 0i16;
+            if !c.closing {
+                events |= POLLIN;
+            }
+            if c.want_write && c.pending_out() > 0 {
+                events |= POLLOUT;
+            }
+            pollfds.push(PollFd::new(c.stream.as_raw_fd(), events));
+            poll_keys.push(conn_id);
+        }
+
+        let timeout_ms = if !pending_closes.is_empty() {
+            1
+        } else if idle_timeout.is_some() {
+            // Reap ticks: a quarter of the window bounds the overshoot.
+            (options.idle_timeout_ms / 4).clamp(5, 500) as i32
+        } else {
+            -1
+        };
+        let ready = match poll_fds(&mut pollfds, timeout_ms) {
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        if ready > 0 {
+            metrics
+                .readiness_events
+                .fetch_add(ready as u64, Ordering::Relaxed);
+        }
+        if pollfds.first().is_some_and(|w| w.readable()) {
+            shared.waker.drain();
+            metrics.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+        }
+
+        if ready > 0 {
+            let now = Instant::now();
+            for (i, &conn_id) in poll_keys.iter().enumerate() {
+                let Some(pfd) = pollfds.get(i + 1) else {
+                    break;
+                };
+                if !pfd.ready() {
+                    continue;
+                }
+                let Some(c) = conns.get_mut(&conn_id) else {
+                    continue;
+                };
+                if c.dead {
+                    continue;
+                }
+                if pfd.writable() {
+                    c.want_write = false;
+                    if !flush_conn(c, &metrics, retain_cap) {
+                        c.dead = true;
+                        dead.push(conn_id);
+                        continue;
+                    }
+                }
+                if pfd.readable()
+                    && !c.closing
+                    && !service_read(
+                        conn_id,
+                        c,
+                        &router,
+                        &metrics,
+                        &mut chunk,
+                        now,
+                        &mut pending_closes,
+                    )
+                {
+                    c.dead = true;
+                    dead.push(conn_id);
+                }
+            }
+        }
+        for conn_id in dead.drain(..) {
+            if let Some(c) = conns.remove(&conn_id) {
+                teardown(conn_id, c, &router, &metrics, &mut pending_closes);
+            }
+        }
+    }
+
+    // Stop: tear down every connection (their session Closes land ahead
+    // of the router's Shutdown message) and drain the retry list with a
+    // short bounded backoff — sleeping is fine here, off the hot path.
+    let fresh = std::mem::take(&mut *lock_or_recover(&shared.registrations));
+    for (_, stream) in fresh {
+        let _ = stream.shutdown(Shutdown::Both);
+        metrics.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+    let ids: Vec<u64> = conns.keys().copied().collect();
+    for conn_id in ids {
+        if let Some(c) = conns.remove(&conn_id) {
+            teardown(conn_id, c, &router, &metrics, &mut pending_closes);
+        }
+    }
+    for _ in 0..CLOSE_RETRY_ROUNDS {
+        if pending_closes.is_empty() {
+            break;
+        }
+        pending_closes.retain(|pc| !try_close(&router, pc.conn, pc.session, pc.seq, &pc.reply));
+        if !pending_closes.is_empty() {
+            std::thread::sleep(Duration::from_micros(250));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -588,6 +1010,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn backoff_doubles_to_a_cap() {
+        let mut d = ACCEPT_BACKOFF_START;
+        let mut seen = vec![d];
+        for _ in 0..12 {
+            d = next_backoff(d);
+            seen.push(d);
+        }
+        assert_eq!(seen[1], ACCEPT_BACKOFF_START * 2);
+        assert_eq!(seen[2], ACCEPT_BACKOFF_START * 4);
+        assert_eq!(
+            *seen.last().expect("nonempty"),
+            ACCEPT_BACKOFF_MAX,
+            "backoff must saturate at the cap"
+        );
+        assert!(seen.windows(2).all(|w| w[1] >= w[0]), "monotone: {seen:?}");
     }
 
     #[test]
@@ -752,9 +1192,7 @@ mod tests {
         )
         .expect("bind");
         let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
-        stream
-            .write_all(&[0xFF; 64])
-            .expect("write garbage");
+        stream.write_all(&[0xFF; 64]).expect("write garbage");
         let mut fb = FrameBuffer::new();
         let mut chunk = [0u8; 256];
         stream
@@ -904,18 +1342,18 @@ mod tests {
             let frames = read_server_frames(&mut stream, round);
             assert!(!frames.is_empty());
         }
-        // Connection threads prune their own entries as they exit; wait
-        // for the last ones to get there.
+        // The reactor prunes a connection's state on EOF; the
+        // open-connections gauge is the observable. Wait for the last
+        // teardowns to land.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         loop {
-            let streams = lock_or_recover(&service.registry.streams).len();
-            let threads = lock_or_recover(&service.registry.threads).len();
-            if streams == 0 && threads == 0 {
+            let open = service.metrics().snapshot().open_connections;
+            if open == 0 {
                 break;
             }
             assert!(
                 std::time::Instant::now() < deadline,
-                "registry still holds {streams} streams / {threads} threads"
+                "reactor still tracks {open} connections"
             );
             std::thread::sleep(Duration::from_millis(10));
         }
@@ -948,10 +1386,162 @@ mod tests {
             // vanish without a Close.
             std::thread::sleep(Duration::from_millis(100));
         }
-        // Shutdown joins the reader, which must have closed session 9.
+        // Shutdown joins the I/O threads, whose teardown must have
+        // closed session 9 ahead of the router's Shutdown.
         service.shutdown();
         let snap = service.metrics().snapshot();
         assert_eq!(snap.sessions_opened, 1);
         assert_eq!(snap.sessions_closed, 1, "{snap:?}");
+    }
+
+    #[test]
+    fn idle_connection_is_reaped_while_active_one_survives() {
+        let mut service = TcpService::start_with(
+            SessionRouter::new(recognizer(), ServeConfig::default()),
+            "127.0.0.1:0",
+            TcpOptions {
+                io_threads: 1, // both connections on the same poll thread
+                idle_timeout_ms: 200,
+                ..TcpOptions::default()
+            },
+        )
+        .expect("bind");
+        let addr = service.local_addr();
+        let mut hello = Vec::new();
+        encode_client(
+            &ClientFrame::Hello {
+                version: WIRE_VERSION,
+            },
+            &mut hello,
+        );
+
+        // The idle victim: opens a session, then goes silent.
+        let mut idle = TcpStream::connect(addr).expect("connect idle");
+        let mut bytes = hello.clone();
+        encode_client(&ClientFrame::Open { session: 40 }, &mut bytes);
+        idle.write_all(&bytes).expect("idle open");
+
+        // The survivor: keeps sending frames within the window.
+        let mut active = TcpStream::connect(addr).expect("connect active");
+        let mut bytes = hello.clone();
+        encode_client(&ClientFrame::Open { session: 41 }, &mut bytes);
+        active.write_all(&bytes).expect("active open");
+
+        let started = std::time::Instant::now();
+        let mut seq = 0u32;
+        while started.elapsed() < Duration::from_millis(700) {
+            encode_client(
+                &ClientFrame::Event {
+                    session: 41,
+                    seq,
+                    event: grandma_events::InputEvent::new(
+                        grandma_events::EventKind::MouseMove,
+                        seq as f64,
+                        0.0,
+                        seq as f64,
+                    ),
+                },
+                &mut bytes,
+            );
+            bytes.clear();
+            encode_client(
+                &ClientFrame::Event {
+                    session: 41,
+                    seq,
+                    event: grandma_events::InputEvent::new(
+                        grandma_events::EventKind::MouseMove,
+                        seq as f64,
+                        0.0,
+                        seq as f64,
+                    ),
+                },
+                &mut bytes,
+            );
+            active.write_all(&bytes).expect("active keepalive");
+            seq += 1;
+            std::thread::sleep(Duration::from_millis(40));
+        }
+
+        // The idle connection must have been reaped: its socket reads
+        // EOF and its session was closed through the teardown path.
+        idle.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut sink = [0u8; 256];
+        let mut saw_eof = false;
+        loop {
+            match idle.read(&mut sink) {
+                Ok(0) => {
+                    saw_eof = true;
+                    break;
+                }
+                Ok(_) => continue, // drain any frames written pre-reap
+                Err(_) => break,
+            }
+        }
+        assert!(saw_eof, "idle connection must be closed by the reaper");
+
+        // The active connection is untouched: it can still close its
+        // session normally.
+        let mut bytes = Vec::new();
+        encode_client(
+            &ClientFrame::Close {
+                session: 41,
+                seq: seq + 1,
+            },
+            &mut bytes,
+        );
+        active.write_all(&bytes).expect("active close");
+        let frames = read_server_frames(&mut active, 41);
+        assert!(matches!(
+            frames.last(),
+            Some(ServerFrame::Outcome {
+                outcome: OutcomeKind::Closed,
+                ..
+            })
+        ));
+
+        service.shutdown();
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.idle_reaped, 1, "{snap:?}");
+        assert_eq!(snap.sessions_opened, 2);
+        assert_eq!(snap.sessions_closed, 2, "{snap:?}");
+    }
+
+    #[test]
+    fn connections_beyond_the_cap_are_shed() {
+        let mut service = TcpService::start_with(
+            SessionRouter::new(recognizer(), ServeConfig::default()),
+            "127.0.0.1:0",
+            TcpOptions {
+                io_threads: 1,
+                max_connections: 2,
+                ..TcpOptions::default()
+            },
+        )
+        .expect("bind");
+        let addr = service.local_addr();
+        let _a = TcpStream::connect(addr).expect("conn a");
+        let _b = TcpStream::connect(addr).expect("conn b");
+        // Give the accept loop time to register both before the third.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while service.metrics().snapshot().open_connections < 2 {
+            assert!(std::time::Instant::now() < deadline, "registration stalled");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut c = TcpStream::connect(addr).expect("conn c");
+        c.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut sink = [0u8; 16];
+        // The shed connection sees immediate EOF/reset, never a frame.
+        let shed_observed = matches!(c.read(&mut sink), Ok(0) | Err(_));
+        assert!(shed_observed, "third connection must be shed");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while service.metrics().snapshot().connections_shed < 1 {
+            assert!(std::time::Instant::now() < deadline, "shed not counted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        service.shutdown();
+        let snap = service.metrics().snapshot();
+        assert!(snap.connections_shed >= 1, "{snap:?}");
     }
 }

@@ -29,9 +29,10 @@ cargo test -p grandma-serve --test batch_equivalence -q
 
 # Fast-path smoke: a short serve_load run must finish with zero decode
 # errors and zero busy rejections on both the batched and unbatched
-# client disciplines.
-echo "== serve_load smoke (batched + unbatched, zero decode errors) =="
-cargo run -p grandma-bench --bin serve_load --release -- --smoke
+# client disciplines, and the reactor must hold a 256-connection sweep
+# tier with zero connect failures and zero failed round trips.
+echo "== serve_load smoke (batched + unbatched + 256-conn sweep) =="
+cargo run -p grandma-bench --bin serve_load --release -- --smoke --connections 256
 
 # grandma-lint is the always-on static-analysis gate: panic-freedom,
 # wire-protocol lockstep, hot-path alloc/index hygiene, float-comparison
