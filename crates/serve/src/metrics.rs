@@ -97,6 +97,10 @@ pub struct ServiceMetrics {
     pub accept_errors: AtomicU64,
     /// Connections reaped by the idle timeout.
     pub idle_reaped: AtomicU64,
+    /// Session `Close`s the shutdown drain gave up retrying against a
+    /// saturated shard queue; the router's own shutdown still finalizes
+    /// those sessions, but the orderly Close path lost them.
+    pub closes_abandoned: AtomicU64,
     /// Per-shard counters.
     shards: Vec<ShardMetrics>,
 }
@@ -124,6 +128,7 @@ impl ServiceMetrics {
             connections_shed: AtomicU64::new(0),
             accept_errors: AtomicU64::new(0),
             idle_reaped: AtomicU64::new(0),
+            closes_abandoned: AtomicU64::new(0),
             shards: (0..shards.max(1)).map(|_| ShardMetrics::default()).collect(),
         }
     }
@@ -185,6 +190,7 @@ impl ServiceMetrics {
             connections_shed: load(&self.connections_shed),
             accept_errors: load(&self.accept_errors),
             idle_reaped: load(&self.idle_reaped),
+            closes_abandoned: load(&self.closes_abandoned),
             shards: self
                 .shards
                 .iter()
@@ -274,6 +280,8 @@ pub struct MetricsSnapshot {
     pub accept_errors: u64,
     /// Connections reaped by the idle timeout.
     pub idle_reaped: u64,
+    /// `Close`s abandoned by the shutdown drain against saturated shards.
+    pub closes_abandoned: u64,
     /// Per-shard snapshots.
     pub shards: Vec<ShardSnapshot>,
 }
@@ -299,6 +307,7 @@ impl MetricsSnapshot {
              \"faults_repaired\": {},\n  \"busy_rejections\": {},\n  \"unknown_sessions\": {},\n  \"decode_errors\": {},\n  \
              \"open_connections\": {},\n  \"reactor_wakeups\": {},\n  \"readiness_events\": {},\n  \
              \"writes_short\": {},\n  \"connections_shed\": {},\n  \"accept_errors\": {},\n  \"idle_reaped\": {},\n  \
+             \"closes_abandoned\": {},\n  \
              \"shards\": [{}]\n}}",
             self.sessions_opened,
             self.sessions_closed,
@@ -324,6 +333,7 @@ impl MetricsSnapshot {
             self.connections_shed,
             self.accept_errors,
             self.idle_reaped,
+            self.closes_abandoned,
             shards
         )
     }
@@ -375,6 +385,7 @@ mod tests {
         m.connections_shed.fetch_add(3, Ordering::Relaxed);
         m.accept_errors.fetch_add(4, Ordering::Relaxed);
         m.idle_reaped.fetch_add(6, Ordering::Relaxed);
+        m.closes_abandoned.fetch_add(8, Ordering::Relaxed);
         let snap = m.snapshot();
         assert_eq!(snap.open_connections, 2);
         assert_eq!(snap.reactor_wakeups, 5);
@@ -383,6 +394,7 @@ mod tests {
         assert_eq!(snap.connections_shed, 3);
         assert_eq!(snap.accept_errors, 4);
         assert_eq!(snap.idle_reaped, 6);
+        assert_eq!(snap.closes_abandoned, 8);
         let json = snap.to_json();
         for (key, value) in [
             ("open_connections", 2u64),
@@ -392,6 +404,7 @@ mod tests {
             ("connections_shed", 3),
             ("accept_errors", 4),
             ("idle_reaped", 6),
+            ("closes_abandoned", 8),
         ] {
             let needle = format!("\"{key}\": {value}");
             assert_eq!(

@@ -334,12 +334,18 @@ impl SessionRouter {
         let Some(tx) = self.shards.get(shard) else {
             return Err(SubmitError::Closed);
         };
+        // Count *before* sending: the instant the message lands, an idle
+        // worker may dequeue it and decrement — and a decrement racing
+        // ahead of its own increment saturates at zero, skewing the
+        // depth gauge high for the rest of the process. Rejected sends
+        // undo the increment (their transient +1 is why the high-water
+        // bound is capacity + 1).
+        let shard_metrics = self.metrics.shard(shard);
+        shard_metrics.note_enqueue();
         match tx.try_send(msg) {
-            Ok(()) => {
-                self.metrics.shard(shard).note_enqueue();
-                Ok(())
-            }
+            Ok(()) => Ok(()),
             Err(TrySendError::Full(msg)) => {
+                shard_metrics.note_dequeue();
                 // A rejected batch still owns a pooled buffer; recycle it
                 // so backpressure doesn't leak allocations.
                 if let ShardMsg::EventBatch { events, .. } = msg {
@@ -348,7 +354,10 @@ impl SessionRouter {
                 self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
                 Err(SubmitError::Busy)
             }
-            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Closed),
+            Err(TrySendError::Disconnected(_)) => {
+                shard_metrics.note_dequeue();
+                Err(SubmitError::Closed)
+            }
         }
     }
 
@@ -358,8 +367,13 @@ impl SessionRouter {
     pub fn pause_shard(&self, shard: usize) -> Option<ShardPause> {
         let barrier = Arc::new(Barrier::new(2));
         let tx = self.shards.get(shard)?;
-        tx.send(ShardMsg::Pause(barrier.clone())).ok()?;
+        // Same ordering as submit: the worker is idle here, so it will
+        // dequeue (and decrement) the moment the send lands.
         self.metrics.shard(shard).note_enqueue();
+        if tx.send(ShardMsg::Pause(barrier.clone())).is_err() {
+            self.metrics.shard(shard).note_dequeue();
+            return None;
+        }
         Some(ShardPause { barrier })
     }
 
@@ -371,8 +385,9 @@ impl SessionRouter {
             return;
         }
         for (shard, tx) in self.shards.iter().enumerate() {
-            if tx.send(ShardMsg::Shutdown).is_ok() {
-                self.metrics.shard(shard).note_enqueue();
+            self.metrics.shard(shard).note_enqueue();
+            if tx.send(ShardMsg::Shutdown).is_err() {
+                self.metrics.shard(shard).note_dequeue();
             }
         }
         let handles = match self.handles.lock() {

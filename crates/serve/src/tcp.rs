@@ -90,8 +90,10 @@ const READ_CHUNK: usize = 64 * 1024;
 /// stalled) consumer and is dropped rather than buffered without bound.
 const MAX_PENDING_WRITE: usize = 16 * 1024 * 1024;
 
-/// Rounds a busy `Close` is retried (at the pending-close poll tick,
-/// and with a short sleep during shutdown drain) before giving up.
+/// Rounds the shutdown drain retries busy `Close`s (with a short sleep
+/// between rounds) before giving up and counting the remainder in
+/// `closes_abandoned`. During normal operation busy `Close`s are
+/// retried without limit — the retry list is bounded by open sessions.
 const CLOSE_RETRY_ROUNDS: usize = 64;
 
 /// Transport tuning for the reactor front-end.
@@ -229,6 +231,21 @@ impl Conn {
     fn pending_out(&self) -> usize {
         self.out.len().saturating_sub(self.out_at)
     }
+
+    /// Reclaims the already-flushed prefix of `out` once it outgrows the
+    /// unwritten tail (or the retention cap). Without this a connection
+    /// that keeps pace with production but never fully drains — a
+    /// network-limited or read-pacing client — accumulates every byte
+    /// ever sent; with it `out.len()` stays within a small factor of
+    /// `pending_out()`, which [`MAX_PENDING_WRITE`] bounds. The
+    /// prefix-outweighs-tail threshold keeps the memmove amortized O(1)
+    /// per flushed byte.
+    fn compact_out(&mut self, retain_cap: usize) {
+        if self.out_at > 0 && (self.out_at >= self.pending_out() || self.out_at >= retain_cap) {
+            self.out.drain(..self.out_at);
+            self.out_at = 0;
+        }
+    }
 }
 
 /// A `Close` that bounced off a full shard queue; retried every
@@ -238,7 +255,6 @@ struct PendingClose {
     session: u64,
     seq: u32,
     reply: ReplyTx,
-    rounds: usize,
 }
 
 /// The running TCP service. Dropping it shuts everything down.
@@ -409,15 +425,34 @@ fn accept_loop(
                 let raw = err.raw_os_error();
                 if raw == Some(24) || raw == Some(23) {
                     // EMFILE/ENFILE: free the reserve fd, take the
-                    // newest pending connection, and shed it.
+                    // newest *already pending* connection, and shed it.
+                    // The recovery accept must be nonblocking: with the
+                    // reserve released and the backlog empty, a blocking
+                    // accept would park here until the next client
+                    // arrives — possibly long after descriptors freed up
+                    // — and then shed that serviceable connection.
                     drop(reserve.take());
-                    if let Ok((stream, peer)) = listener.accept() {
-                        eprintln!("grandma-serve: fd exhausted; shedding connection from {peer}");
-                        shed(stream, &metrics);
+                    let mut shed_one = false;
+                    if listener.set_nonblocking(true).is_ok() {
+                        if let Ok((stream, peer)) = listener.accept() {
+                            eprintln!(
+                                "grandma-serve: fd exhausted; shedding connection from {peer}"
+                            );
+                            shed(stream, &metrics);
+                            shed_one = true;
+                        }
+                        let _ = listener.set_nonblocking(false);
                     }
                     reserve = std::fs::File::open("/dev/null").ok();
                     if stop.load(Ordering::SeqCst) {
                         return;
+                    }
+                    if !shed_one {
+                        // Nothing pending to shed (or still no fd to
+                        // land it in): back off instead of re-running
+                        // accept straight into the same EMFILE.
+                        std::thread::sleep(backoff);
+                        backoff = next_backoff(backoff);
                     }
                     continue;
                 }
@@ -480,11 +515,13 @@ fn flush_conn(c: &mut Conn, metrics: &ServiceMetrics, retain_cap: usize) -> bool
                     // for POLLOUT rather than burning a sure EAGAIN.
                     metrics.writes_short.fetch_add(1, Ordering::Relaxed);
                     c.want_write = true;
+                    c.compact_out(retain_cap);
                     return true;
                 }
             }
             Err(ref e) if e.kind() == ErrorKind::WouldBlock => {
                 c.want_write = true;
+                c.compact_out(retain_cap);
                 return true;
             }
             Err(ref e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -531,7 +568,6 @@ fn teardown(
                 session,
                 seq: u32::MAX,
                 reply: c.reply.clone(),
-                rounds: 0,
             });
         }
     }
@@ -701,7 +737,6 @@ fn dispatch_frames(
                         session,
                         seq,
                         reply: c.reply.clone(),
-                        rounds: 0,
                     });
                 }
             }
@@ -804,12 +839,11 @@ fn io_loop(
             }
         }
 
-        // Retry closes that bounced off full shard queues.
-        pending_closes.retain_mut(|pc| {
-            pc.rounds += 1;
-            !try_close(&router, pc.conn, pc.session, pc.seq, &pc.reply)
-                && pc.rounds < CLOSE_RETRY_ROUNDS
-        });
+        // Retry closes that bounced off full shard queues. Retried
+        // until they land (the 1 ms pending-close poll tick is the
+        // backoff): the list is bounded by open sessions, and dropping
+        // an entry would leak its session for the process lifetime.
+        pending_closes.retain(|pc| !try_close(&router, pc.conn, pc.session, pc.seq, &pc.reply));
 
         if shared.stop.load(Ordering::SeqCst) {
             break;
@@ -916,6 +950,17 @@ fn io_loop(
                         dead.push(conn_id);
                         continue;
                     }
+                } else if !pfd.readable() || c.closing {
+                    // Ready, but neither branch can make progress: the
+                    // kernel reported only error bits (POLLERR/POLLHUP/
+                    // POLLNVAL — set regardless of requested events),
+                    // typically on a closing connection whose peer
+                    // reset. Left alone, level-triggered poll would
+                    // re-report it every iteration, spinning this
+                    // thread and leaking the connection forever.
+                    c.dead = true;
+                    dead.push(conn_id);
+                    continue;
                 }
                 if pfd.readable()
                     && !c.closing
@@ -963,6 +1008,14 @@ fn io_loop(
         if !pending_closes.is_empty() {
             std::thread::sleep(Duration::from_micros(250));
         }
+    }
+    // The router's Shutdown (queued after we exit) finalizes whatever
+    // sessions these would have closed, but record that the orderly
+    // Close path gave up on them.
+    if !pending_closes.is_empty() {
+        metrics
+            .closes_abandoned
+            .fetch_add(pending_closes.len() as u64, Ordering::Relaxed);
     }
 }
 
@@ -1028,6 +1081,58 @@ mod tests {
             "backoff must saturate at the cap"
         );
         assert!(seen.windows(2).all(|w| w[1] >= w[0]), "monotone: {seen:?}");
+    }
+
+    /// The reviewer scenario for the slow-but-keeping-up consumer: the
+    /// kernel accepts bytes at roughly the production rate, so the
+    /// buffer never fully drains and `flush_conn`'s clear-on-empty
+    /// never fires. The flushed prefix must be reclaimed anyway, or
+    /// `out` grows by every byte ever sent for the connection lifetime
+    /// and `MAX_PENDING_WRITE` (which bounds only the tail) never trips.
+    #[test]
+    fn compaction_bounds_a_never_drained_write_buffer() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let _client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (stream, _) = listener.accept().expect("accept");
+        let retain_cap = TcpOptions::default().max_bytes();
+        let mut c = Conn {
+            stream,
+            reply: ReplyTx::bridged(1, Arc::new(ReactorBridge { io: Vec::new() })),
+            frames: FrameBuffer::new(),
+            hello_ok: true,
+            open_sessions: HashSet::new(),
+            out: Vec::new(),
+            out_at: 0,
+            want_write: false,
+            closing: false,
+            dead: false,
+            last_activity: Instant::now(),
+        };
+        let (mut produced, mut consumed) = (0usize, 0usize);
+        for _ in 0..512 {
+            // Produce 1024 bytes, flush 1000: pending creeps up but the
+            // buffer never hits empty.
+            c.out
+                .extend((0..1024).map(|i| ((produced + i) % 251) as u8));
+            produced += 1024;
+            c.out_at += 1000;
+            consumed += 1000;
+            c.compact_out(retain_cap);
+            assert_eq!(c.pending_out(), produced - consumed);
+            assert!(
+                c.out.len() <= c.pending_out() + retain_cap,
+                "flushed prefix must be reclaimed: len {} pending {} after {} bytes",
+                c.out.len(),
+                c.pending_out(),
+                produced
+            );
+        }
+        // Compaction must not disturb the unwritten tail.
+        let tail = c.out.get(c.out_at..).expect("tail in bounds");
+        assert!(tail
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| b == ((consumed + i) % 251) as u8));
     }
 
     #[test]
