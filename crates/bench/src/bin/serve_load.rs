@@ -29,8 +29,18 @@
 //! ```text
 //! serve_load [--mode both|batched|unbatched] [--batch N] [--window N]
 //!            [--min-duration-s F] [--warmup N] [--smoke]
-//!            [--connections N[,N...]]
+//!            [--connections N[,N...]] [--chaos] [--kill-after-ms N]
 //! ```
+//!
+//! `--chaos` replaces the workload with the reconnect harness: an
+//! in-process service with `detach_on_disconnect`, driven by
+//! `ReconnectingClient`s that sever their own connections mid-gesture
+//! and must resume without losing, duplicating, or cross-wiring a
+//! single outcome. `--kill-after-ms N` goes further: it spawns a real
+//! `serve` child with `--wal sync`, SIGKILLs it N ms into the load,
+//! restarts it with `--recover`, and requires every client to finish
+//! through the crash — then measures cold replay of the crash image and
+//! writes a `recovery` section into BENCH_serve.json (unless --smoke).
 //!
 //! `--smoke` runs a short fixed workload, asserts zero decode errors and
 //! zero busy rejections, and does NOT write BENCH_serve.json — that is
@@ -64,8 +74,9 @@ use std::time::{Duration, Instant};
 use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
 use grandma_events::{Button, EventKind, EventScript, InputEvent};
 use grandma_serve::{
-    encode_client, encode_event_batch, ClientFrame, FrameBuffer, OutcomeKind, ServeConfig,
-    ServerFrame, SessionRouter, TcpOptions, TcpService, WIRE_VERSION,
+    encode_client, encode_event_batch, encode_server, run_events_inproc, ClientFrame, FrameBuffer,
+    FsyncPolicy, OutcomeKind, PipelineConfig, ReconnectingClient, RetryPolicy, ServeConfig,
+    ServerFrame, SessionRouter, TcpOptions, TcpService, WalConfig, WIRE_VERSION,
 };
 use grandma_synth::{datasets, FaultInjector, SynthRng};
 
@@ -211,6 +222,9 @@ fn run_client(
                         | ServerFrame::Manipulate { session, seq, .. }
                         | ServerFrame::Outcome { session, seq, .. }
                         | ServerFrame::Fault { session, seq, .. } => (session, seq),
+                        // Only sent in reply to Resume, which this
+                        // workload never issues.
+                        ServerFrame::Resumed { session, last_seq } => (session, last_seq),
                     };
                     if seq.is_multiple_of(RTT_SAMPLE_EVERY) {
                         if let Some(sent) = inflight.lock().expect("lock").remove(&(session, seq))
@@ -801,6 +815,420 @@ fn sweep_tier(
     }
 }
 
+// ---------------------------------------------------------------------
+// Crash/recovery harness: --chaos (in-process reconnects) and
+// --kill-after-ms (SIGKILL a real serve child, restart with --recover).
+// ---------------------------------------------------------------------
+
+/// Sessions driven by the chaos and kill harnesses.
+const CHAOS_SESSIONS: u64 = 12;
+/// A chaos client severs its connection every this many events.
+const CHAOS_DISCONNECT_EVERY: usize = 40;
+
+fn frame_session(frame: &ServerFrame) -> u64 {
+    match *frame {
+        ServerFrame::Recognized { session, .. }
+        | ServerFrame::Manipulate { session, .. }
+        | ServerFrame::Outcome { session, .. }
+        | ServerFrame::Fault { session, .. }
+        | ServerFrame::Resumed { session, .. } => session,
+    }
+}
+
+/// Per-frame wire encodings — the unit of the byte-identical and
+/// subsequence comparisons.
+fn frames_to_wire(frames: &[ServerFrame]) -> Vec<Vec<u8>> {
+    frames
+        .iter()
+        .map(|frame| {
+            let mut bytes = Vec::new();
+            encode_server(frame, &mut bytes);
+            bytes
+        })
+        .collect()
+}
+
+/// What a never-crashed in-process pipeline says this session's frames
+/// are, with the reconnecting client's 1-based seq numbering.
+fn chaos_baseline(rec: &EagerRecognizer, session: u64, events: &[InputEvent]) -> Vec<Vec<u8>> {
+    let seqd: Vec<(u32, InputEvent)> = events
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| ((i + 1) as u32, e))
+        .collect();
+    let frames = run_events_inproc(
+        rec,
+        session,
+        &PipelineConfig::default(),
+        &seqd,
+        events.len() as u32 + 1,
+    );
+    frames_to_wire(&frames)
+}
+
+fn is_subsequence(needle: &[Vec<u8>], hay: &[Vec<u8>]) -> bool {
+    let mut it = hay.iter();
+    needle.iter().all(|n| it.any(|h| h == n))
+}
+
+/// The invariants every chaos/kill session must satisfy regardless of
+/// how many times its connection died: no foreign frames (zero
+/// cross-session contamination), strictly increasing outcome seqs (no
+/// replays), and exactly one `Closed`, last.
+fn assert_session_invariants(session: u64, frames: &[ServerFrame]) {
+    let mut last_outcome_seq = 0u32;
+    let mut closed = 0usize;
+    for (i, frame) in frames.iter().enumerate() {
+        assert_eq!(
+            frame_session(frame),
+            session,
+            "cross-session contamination: session {session} received {frame:?}"
+        );
+        if let ServerFrame::Outcome { seq, outcome, .. } = frame {
+            assert!(
+                *seq > last_outcome_seq || (*seq == 0 && last_outcome_seq == 0),
+                "session {session}: outcome seq {seq} after {last_outcome_seq} (duplicate?)"
+            );
+            last_outcome_seq = *seq;
+            if *outcome == OutcomeKind::Closed {
+                closed += 1;
+                assert_eq!(i, frames.len() - 1, "session {session}: frames after Closed");
+            }
+        }
+    }
+    assert_eq!(closed, 1, "session {session}: {closed} Closed outcomes");
+}
+
+/// Drives one session's events through a `ReconnectingClient`,
+/// optionally severing the connection every `disconnect_every` events
+/// and pacing sends so a concurrent kill lands mid-stream. Returns the
+/// received frames and how often the client reconnected.
+fn drive_chaos_session(
+    addr: std::net::SocketAddr,
+    session: u64,
+    events: &[InputEvent],
+    disconnect_every: Option<usize>,
+    pace: Duration,
+) -> (Vec<ServerFrame>, u64, u64) {
+    suppress_this_thread();
+    let policy = RetryPolicy {
+        max_attempts: 30,
+        base_delay: Duration::from_millis(25),
+        max_delay: Duration::from_millis(400),
+        request_timeout: Duration::from_secs(10),
+        jitter_seed: 0xC0FFEE ^ session,
+    };
+    let mut client = ReconnectingClient::connect(addr, session, policy).expect("chaos connect");
+    for (i, &event) in events.iter().enumerate() {
+        if disconnect_every.is_some_and(|k| i > 0 && i.is_multiple_of(k)) {
+            client.force_disconnect();
+        }
+        client.send_event(event).expect("chaos send");
+        if !pace.is_zero() {
+            std::thread::sleep(pace);
+        }
+    }
+    let frames = client.close().expect("chaos close");
+    (frames, client.reconnects(), client.resent_events())
+}
+
+/// `--chaos`: in-process reconnect harness. Odd sessions sever their
+/// connection repeatedly and must produce a subsequence of the
+/// never-crashed baseline (the gap frames were emitted while the wire
+/// was down); even sessions never disconnect and must match the
+/// baseline byte for byte.
+fn run_chaos(rec: &Arc<EagerRecognizer>) -> ExitCode {
+    let config = ServeConfig {
+        shards: SHARDS,
+        queue_capacity: 1 << 15,
+        detach_on_disconnect: true,
+        ..ServeConfig::default()
+    };
+    let mut service = TcpService::start(SessionRouter::new(rec.clone(), config), "127.0.0.1:0")
+        .expect("bind chaos service");
+    let addr = service.local_addr();
+    let mut total_reconnects = 0u64;
+    let mut total_resent = 0u64;
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for session in 1..=CHAOS_SESSIONS {
+            joins.push(scope.spawn(move || {
+                let events = slot_stream(session);
+                let chaotic = session % 2 == 1;
+                let (frames, reconnects, resent) = drive_chaos_session(
+                    addr,
+                    session,
+                    &events,
+                    chaotic.then_some(CHAOS_DISCONNECT_EVERY),
+                    Duration::ZERO,
+                );
+                assert_session_invariants(session, &frames);
+                let got = frames_to_wire(&frames);
+                let want = chaos_baseline(rec, session, &events);
+                if chaotic {
+                    assert!(reconnects >= 1, "chaos session {session} never reconnected");
+                    assert!(
+                        is_subsequence(&got, &want),
+                        "chaos session {session}: frames are not a subsequence of the baseline"
+                    );
+                } else {
+                    assert_eq!(
+                        got, want,
+                        "clean session {session}: frames must be byte-identical"
+                    );
+                }
+                (reconnects, resent)
+            }));
+        }
+        for join in joins {
+            let (reconnects, resent) = join.join().expect("chaos client");
+            total_reconnects += reconnects;
+            total_resent += resent;
+        }
+    });
+    let resumed = service.metrics().snapshot().sessions_resumed;
+    service.shutdown();
+    assert!(resumed >= total_reconnects.min(1), "server never resumed");
+    eprintln!(
+        "serve_load: chaos ok ({CHAOS_SESSIONS} sessions, {total_reconnects} reconnects, \
+         {total_resent} events re-sent, {resumed} server-side resumes)"
+    );
+    ExitCode::SUCCESS
+}
+
+/// Spawns `serve run` on `addr` with a sync WAL at `wal_dir`
+/// (recovering from it when `recover`), holding its stdin open, and
+/// waits for the `listening on` line.
+// The returned child is always reaped by the caller — the killer thread
+// kill()+wait()s the first server, and the drill wait()s the recovered
+// one after its graceful stop; the lint cannot see across the return.
+#[allow(clippy::zombie_processes)]
+fn spawn_serve(
+    bin: &std::path::Path,
+    model: &std::path::Path,
+    addr: &str,
+    wal_dir: &std::path::Path,
+    recover: bool,
+) -> std::process::Child {
+    let mut cmd = std::process::Command::new(bin);
+    cmd.arg("run")
+        .args(["--model"])
+        .arg(model)
+        .args(["--addr", addr, "--wal", "sync", "--wal-dir"])
+        .arg(wal_dir);
+    if recover {
+        cmd.arg("--recover").arg(wal_dir);
+    }
+    cmd.stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit());
+    let mut child = cmd.spawn().expect("spawn serve");
+    let stdout = child.stdout.take().expect("serve stdout");
+    let mut lines = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = std::io::BufRead::read_line(&mut lines, &mut line).unwrap_or(0);
+        if n > 0 && line.starts_with("listening on ") {
+            return child;
+        }
+        if n == 0 {
+            // EOF (or a read error) before the listening line: reap the
+            // child before failing so the panic leaves no zombie behind.
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("serve exited before listening");
+        }
+    }
+}
+
+/// Copies `shard-*` WAL/snapshot files into a point-in-time image.
+fn copy_wal_image(from: &std::path::Path, to: &std::path::Path) {
+    std::fs::create_dir_all(to).expect("mkdir image");
+    for entry in std::fs::read_dir(from).expect("read wal dir").flatten() {
+        if entry.file_name().to_string_lossy().starts_with("shard-") {
+            std::fs::copy(entry.path(), to.join(entry.file_name())).expect("copy wal file");
+        }
+    }
+}
+
+/// `--kill-after-ms`: the full crash drill against a real `serve`
+/// process. See the module docs.
+fn run_kill_recovery(kill_after_ms: u64, smoke: bool) -> ExitCode {
+    let dir = std::env::temp_dir().join(format!("grandma-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir harness dir");
+    let serve_bin = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("serve")))
+        .filter(|p| p.exists())
+        .expect("serve binary next to serve_load (cargo build --workspace)");
+    let model = dir.join("model.txt");
+    let trained = std::process::Command::new(&serve_bin)
+        .args(["train", "--out"])
+        .arg(&model)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("run serve train");
+    assert!(trained.success(), "serve train failed");
+    let rec = Arc::new(
+        EagerRecognizer::from_text(&std::fs::read_to_string(&model).expect("read model"))
+            .expect("parse model"),
+    );
+
+    // A fixed port so clients can redial the restarted server.
+    let addr_str = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe port");
+        probe.local_addr().expect("probe addr").to_string()
+    };
+    let addr: std::net::SocketAddr = addr_str.parse().expect("addr");
+    let wal_dir = dir.join("wal");
+    let image_dir = dir.join("wal-kill-image");
+    let child = spawn_serve(&serve_bin, &model, &addr_str, &wal_dir, false);
+
+    // Pace sends so every session still has events in flight when the
+    // SIGKILL lands and finishes only after recovery.
+    let max_events = (1..=CHAOS_SESSIONS)
+        .map(|s| slot_stream(s).len())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let pace = Duration::from_micros((kill_after_ms * 2 + 1000) * 1000 / max_events as u64);
+
+    let mut total_reconnects = 0u64;
+    let mut total_resent = 0u64;
+    let killed_at = Instant::now();
+    let second = std::thread::scope(|scope| {
+        let killer = {
+            let serve_bin = &serve_bin;
+            let model = &model;
+            let addr_str = &addr_str;
+            let wal_dir = &wal_dir;
+            let image_dir = &image_dir;
+            scope.spawn(move || {
+                suppress_this_thread();
+                std::thread::sleep(Duration::from_millis(kill_after_ms));
+                let mut child = child;
+                child.kill().expect("SIGKILL serve");
+                let _ = child.wait();
+                // Freeze the crash image before the recovering server
+                // compacts the log.
+                copy_wal_image(wal_dir, image_dir);
+                spawn_serve(serve_bin, model, addr_str, wal_dir, true)
+            })
+        };
+        let mut joins = Vec::new();
+        for session in 1..=CHAOS_SESSIONS {
+            let rec = rec.clone();
+            joins.push(scope.spawn(move || {
+                let events = slot_stream(session);
+                let (frames, reconnects, resent) =
+                    drive_chaos_session(addr, session, &events, None, pace);
+                assert_session_invariants(session, &frames);
+                assert!(
+                    is_subsequence(&frames_to_wire(&frames), &chaos_baseline(&rec, session, &events)),
+                    "kill session {session}: frames are not a subsequence of the baseline"
+                );
+                (reconnects, resent)
+            }));
+        }
+        for join in joins {
+            let (reconnects, resent) = join.join().expect("kill client");
+            total_reconnects += reconnects;
+            total_resent += resent;
+        }
+        killer.join().expect("killer thread")
+    });
+    let survived_s = killed_at.elapsed().as_secs_f64() - kill_after_ms as f64 / 1e3;
+    assert!(
+        total_reconnects >= 1,
+        "the kill landed after every client finished — raise --kill-after-ms pacing"
+    );
+
+    // Control group: fresh sessions against the *recovered* server must
+    // be byte-identical to the never-crashed pipeline.
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for session in 1001..=(1000 + CHAOS_SESSIONS) {
+            let rec = rec.clone();
+            joins.push(scope.spawn(move || {
+                let events = slot_stream(session);
+                let (frames, _, _) =
+                    drive_chaos_session(addr, session, &events, None, Duration::ZERO);
+                assert_session_invariants(session, &frames);
+                assert_eq!(
+                    frames_to_wire(&frames),
+                    chaos_baseline(&rec, session, &events),
+                    "post-recovery session {session}: frames must be byte-identical"
+                );
+            }));
+        }
+        for join in joins {
+            join.join().expect("control client");
+        }
+    });
+
+    // Graceful stop (stdin EOF) — also seals the WAL.
+    let mut second = second;
+    drop(second.stdin.take());
+    let status = second.wait().expect("wait recovered serve");
+    assert!(status.success(), "recovered serve exited {status}");
+
+    // Cold-replay measurement from the frozen crash image.
+    let config = ServeConfig {
+        shards: SHARDS,
+        queue_capacity: 1 << 15,
+        ..ServeConfig::default()
+    };
+    let router = SessionRouter::new(rec.clone(), config);
+    let report = router
+        .recover(&WalConfig::new(image_dir.clone(), FsyncPolicy::Async))
+        .expect("replay crash image");
+    router.shutdown();
+    let frames_per_s = report.frames as f64 / (report.replay_ms / 1e3).max(1e-9);
+    eprintln!(
+        "serve_load: kill-recovery ok ({CHAOS_SESSIONS}+{CHAOS_SESSIONS} sessions, kill at \
+         {kill_after_ms} ms, {total_reconnects} reconnects, {total_resent} events re-sent, \
+         finished {survived_s:.2}s after kill; crash image: {} sessions, {} frames, {} bytes, \
+         replay {:.1} ms = {frames_per_s:.0} frames/s{})",
+        report.sessions,
+        report.frames,
+        report.bytes,
+        report.replay_ms,
+        if report.torn { ", torn tail" } else { "" },
+    );
+
+    if !smoke {
+        let section = format!(
+            "  \"recovery\": {{\n    \"kill_after_ms\": {kill_after_ms},\n    \
+             \"chaos_sessions\": {CHAOS_SESSIONS},\n    \"client_reconnects\": {total_reconnects},\n    \
+             \"events_resent\": {total_resent},\n    \"image_sessions\": {},\n    \
+             \"image_frames\": {},\n    \"image_bytes\": {},\n    \"replay_ms\": {:.3},\n    \
+             \"replay_frames_per_s\": {frames_per_s:.0},\n    \"torn\": {}\n  }}",
+            report.sessions, report.frames, report.bytes, report.replay_ms, report.torn,
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+        let merged = match std::fs::read_to_string(path) {
+            Ok(existing) => {
+                // The recovery section is always appended last, so an
+                // older one can be dropped by truncating at its key.
+                let base = existing
+                    .find(",\n  \"recovery\":")
+                    .map(|at| existing[..at].to_string())
+                    .unwrap_or_else(|| {
+                        existing.trim_end().trim_end_matches('}').trim_end().to_string()
+                    });
+                format!("{base},\n{section}\n}}\n")
+            }
+            Err(_) => format!("{{\n  \"bench\": \"serve_load\",\n{section}\n}}\n"),
+        };
+        std::fs::write(path, merged).expect("write BENCH_serve.json");
+        eprintln!("serve_load: updated {path} (recovery section)");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    ExitCode::SUCCESS
+}
+
 struct Options {
     batched: bool,
     unbatched: bool,
@@ -812,6 +1240,11 @@ struct Options {
     /// Connection-sweep tier list; `None` means the default tiers on a
     /// full run and no sweep at all under `--smoke`.
     connections: Option<Vec<usize>>,
+    /// Run the in-process reconnect harness instead of the workload.
+    chaos: bool,
+    /// Run the SIGKILL-and-recover drill, killing the serve child this
+    /// many ms into the load.
+    kill_after_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -824,12 +1257,19 @@ fn parse_args() -> Result<Options, String> {
         warmup: 2,
         smoke: false,
         connections: None,
+        chaos: false,
+        kill_after_ms: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--smoke" => opts.smoke = true,
+            "--chaos" => opts.chaos = true,
+            "--kill-after-ms" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => opts.kill_after_ms = Some(n),
+                _ => return Err("--kill-after-ms wants a positive integer".into()),
+            },
             "--mode" => match it.next().map(String::as_str) {
                 Some("both") => {}
                 Some("batched") => opts.unbatched = false,
@@ -890,11 +1330,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(kill_after_ms) = opts.kill_after_ms {
+        return run_kill_recovery(kill_after_ms, opts.smoke);
+    }
     let data = datasets::eight_way(0x2b2b, 10, 0);
     let (rec, _) =
         EagerRecognizer::train(&data.training, &FeatureMask::all(), &EagerConfig::default())
             .expect("training succeeds");
     let rec = Arc::new(rec);
+    if opts.chaos {
+        return run_chaos(&rec);
+    }
     let config = ServeConfig {
         shards: SHARDS,
         queue_capacity: 1 << 15,

@@ -39,5 +39,5 @@ mod script;
 pub use dwell::DwellDetector;
 pub use event::{Button, EventKind, InputEvent};
 pub use queue::EventQueue;
-pub use sanitize::{EventSanitizer, SanitizerConfig, StreamFault};
+pub use sanitize::{EventSanitizer, SanitizerConfig, SanitizerState, StreamFault};
 pub use script::{gesture_events, gesture_events_with_hold, EventScript};

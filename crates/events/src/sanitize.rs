@@ -114,7 +114,7 @@ pub enum StreamFault {
 }
 
 /// Tuning knobs for [`EventSanitizer`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SanitizerConfig {
     /// Maximum timestamp regression (ms) that is repaired by clamping;
     /// anything older is dropped as stale.
@@ -131,6 +131,25 @@ impl Default for SanitizerConfig {
             grab_timeout_ms: 5_000.0,
         }
     }
+}
+
+/// The sanitizer's portable mid-stream state: everything a fresh
+/// [`EventSanitizer`] needs (beyond its config) to continue a stream
+/// exactly where another instance left off. Used by the serving layer's
+/// session snapshots — a restored sanitizer must repair the remaining
+/// stream identically to one that never stopped.
+///
+/// The fault log is deliberately *not* part of the state: pending faults
+/// are drained and reported before a snapshot is taken, so a restored
+/// sanitizer always starts with an empty log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SanitizerState {
+    /// Last delivered timestamp (finite once set).
+    pub last_t: Option<f64>,
+    /// Last known-good pointer position (finite once set).
+    pub last_pos: Option<(f64, f64)>,
+    /// `true` while a delivered `MouseDown` awaits its `MouseUp`.
+    pub interaction_open: bool,
 }
 
 /// Streaming sanitizer: feed raw events with [`EventSanitizer::process`],
@@ -203,6 +222,28 @@ impl EventSanitizer {
     /// `true` while a delivered `MouseDown` awaits its `MouseUp`.
     pub fn interaction_open(&self) -> bool {
         self.interaction_open
+    }
+
+    /// Copies out the portable mid-stream state (see [`SanitizerState`]).
+    /// The fault log is not included; drain it first with
+    /// [`EventSanitizer::take_faults`] if the caller needs it.
+    pub fn state(&self) -> SanitizerState {
+        SanitizerState {
+            last_t: self.last_t,
+            last_pos: self.last_pos,
+            interaction_open: self.interaction_open,
+        }
+    }
+
+    /// Overwrites the mid-stream state with a previously captured
+    /// [`SanitizerState`], clearing the fault log. After this call the
+    /// sanitizer behaves exactly like the instance `state` was taken
+    /// from (given the same config).
+    pub fn restore_state(&mut self, state: SanitizerState) {
+        self.last_t = state.last_t;
+        self.last_pos = state.last_pos;
+        self.interaction_open = state.interaction_open;
+        self.faults.clear();
     }
 
     /// Sanitizes one raw event. Returns zero, one, or two events to
@@ -608,6 +649,53 @@ mod tests {
         assert_eq!(out_a, out_b);
         assert_eq!(faults_a, faults_b);
         assert_contract(&out_a);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_the_stream_identically() {
+        let stream = [
+            down(0.0, 0.0, 0.0),
+            mv(f64::NAN, 1.0, 10.0),
+            mv(5.0, 1.0, 8.0), // small regression: reordered
+            up(5.0, 1.0, 20.0),
+            down(6.0, 1.0, 30.0),
+        ];
+        // Reference: one sanitizer runs the whole stream.
+        let mut whole = EventSanitizer::new();
+        let mut whole_out = Vec::new();
+        for &e in &stream {
+            whole.process_into(e, &mut whole_out);
+        }
+        // Split: snapshot after the first two events, restore into a
+        // fresh instance, continue.
+        let mut first = EventSanitizer::new();
+        let mut split_out = Vec::new();
+        for &e in &stream[..2] {
+            first.process_into(e, &mut split_out);
+        }
+        let state = first.state();
+        let mut second = EventSanitizer::new();
+        second.restore_state(state);
+        assert_eq!(second.state(), state);
+        for &e in &stream[2..] {
+            second.process_into(e, &mut split_out);
+        }
+        assert_eq!(split_out, whole_out);
+        assert!(second.interaction_open());
+    }
+
+    #[test]
+    fn restore_state_clears_the_fault_log() {
+        let mut s = EventSanitizer::new();
+        s.process(mv(f64::NAN, 0.0, 0.0));
+        assert_eq!(s.faults().len(), 1);
+        s.restore_state(SanitizerState {
+            last_t: Some(5.0),
+            last_pos: Some((1.0, 2.0)),
+            interaction_open: false,
+        });
+        assert!(s.faults().is_empty());
+        assert_eq!(s.state().last_t, Some(5.0));
     }
 
     #[test]

@@ -109,6 +109,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "WIRE_VERSION/MIN_WIRE_VERSION missing, inverted, or absent from wire.rs module docs",
     },
     RuleInfo {
+        id: "snapshot-version-lockstep",
+        severity: Severity::Error,
+        summary: "SessionSnapshot VERSION missing, not stamped by encode, or not checked (typed) by decode in session.rs",
+    },
+    RuleInfo {
         id: "unsafe-code",
         severity: Severity::Error,
         summary: "`unsafe` outside the audited inventory (the two bench counting allocators)",

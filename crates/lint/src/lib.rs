@@ -31,6 +31,9 @@ pub struct Config {
     pub panic_free_crates: Vec<&'static str>,
     /// Workspace-relative path of the wire-protocol module (R2/R5 target).
     pub wire_file: &'static str,
+    /// Workspace-relative path of the session module holding the durable
+    /// `SessionSnapshot` codec (snapshot-version-lockstep target).
+    pub session_file: &'static str,
     /// Files allowed to contain `unsafe` (the audited inventory).
     pub unsafe_files: Vec<&'static str>,
     /// Files where `.partial_cmp()` is allowed (the sanitizer layer).
@@ -42,6 +45,7 @@ impl Config {
         Config {
             panic_free_crates: vec!["core", "linalg", "events", "toolkit", "serve", "lint"],
             wire_file: "crates/serve/src/wire.rs",
+            session_file: "crates/serve/src/session.rs",
             unsafe_files: vec![
                 "crates/bench/src/bin/serve_load.rs",
                 "crates/bench/src/bin/throughput.rs",

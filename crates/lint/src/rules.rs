@@ -660,6 +660,88 @@ fn rule_wire(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+/// R6: snapshot-format lockstep — the session module's durable snapshot
+/// `VERSION` const must exist, be stamped by the encode path, and be
+/// checked by the decode path with a typed `UnsupportedVersion` error.
+/// This is what forces a format bump to touch writer and reader together
+/// instead of silently shipping bytes an old reader misparses.
+fn rule_snapshot_version(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    if ctx.meta.rel_path != ctx.config.session_file {
+        return;
+    }
+    let lexed = ctx.lexed;
+    let mut version_line = None;
+    for i in 0..lexed.tokens.len() {
+        if is_ident(lexed, i, "const") && is_ident(lexed, i + 1, "VERSION") {
+            version_line = Some(ctx.line(i + 1));
+            break;
+        }
+    }
+    let Some(line) = version_line else {
+        ctx.emit(
+            out,
+            "snapshot-version-lockstep",
+            1,
+            "session module must declare a snapshot `VERSION` const".to_string(),
+        );
+        return;
+    };
+    let mut encode_stamps = false;
+    let mut decode_checks = false;
+    let mut decode_typed = false;
+    for scope in &ctx.analysis.fns {
+        let is_encode = scope.name.starts_with("encode");
+        let is_decode = scope.name.starts_with("decode");
+        if !is_encode && !is_decode {
+            continue;
+        }
+        for i in scope.body_start..scope.body_end.min(lexed.tokens.len()) {
+            let Some(text) = ident_text(lexed, i) else {
+                continue;
+            };
+            if text == "VERSION" {
+                if is_encode {
+                    encode_stamps = true;
+                } else {
+                    decode_checks = true;
+                }
+            } else if text == "UnsupportedVersion" && is_decode {
+                decode_typed = true;
+            }
+        }
+    }
+    if !encode_stamps {
+        ctx.emit(
+            out,
+            "snapshot-version-lockstep",
+            line,
+            "snapshot VERSION is never stamped by any encode fn; a format bump \
+             would not reach the bytes on disk"
+                .to_string(),
+        );
+    }
+    if !decode_checks {
+        ctx.emit(
+            out,
+            "snapshot-version-lockstep",
+            line,
+            "snapshot VERSION is never checked by any decode fn; old readers \
+             would misparse a bumped format"
+                .to_string(),
+        );
+    }
+    if !decode_typed {
+        ctx.emit(
+            out,
+            "snapshot-version-lockstep",
+            line,
+            "no decode fn raises UnsupportedVersion; a version mismatch must \
+             be a typed error, not a misparse"
+                .to_string(),
+        );
+    }
+}
+
 /// Run every rule over one analyzed file.
 pub fn check_file(
     meta: &FileMeta,
@@ -684,4 +766,5 @@ pub fn check_file(
     rule_partial_cmp(&ctx, out);
     rule_decode_as_cast(&ctx, out);
     rule_wire(&ctx, out);
+    rule_snapshot_version(&ctx, out);
 }

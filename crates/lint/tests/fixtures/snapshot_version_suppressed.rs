@@ -1,0 +1,23 @@
+// Fixture snapshot module with a decode path that deliberately trusts
+// its caller to have checked the version, suppressed inline.
+
+pub struct SessionSnapshot {
+    pub last_seq: u32,
+}
+
+impl SessionSnapshot {
+    // lint:allow(snapshot-version-lockstep): fixture, outer envelope checks the version
+    pub const VERSION: u16 = 1;
+
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&Self::VERSION.to_le_bytes());
+        out.extend_from_slice(&self.last_seq.to_le_bytes());
+    }
+
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let raw = [*buf.first()?, *buf.get(1)?, *buf.get(2)?, *buf.get(3)?];
+        Some(Self {
+            last_seq: u32::from_le_bytes(raw),
+        })
+    }
+}

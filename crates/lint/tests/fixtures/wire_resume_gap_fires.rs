@@ -1,0 +1,18 @@
+//! Fixture wire module with a broken resume handshake: the server can
+//! emit Resumed frames no client decodes, and clients would send Resume
+//! frames the server never encodes an answer for. Both directions of the
+//! MIN_WIRE_VERSION..=WIRE_VERSION handshake must fire.
+
+pub const MIN_WIRE_VERSION: u16 = 1;
+pub const WIRE_VERSION: u16 = 3;
+
+pub const TAG_RESUME: u8 = 0x06;
+pub const TAG_RESUMED: u8 = 0x15;
+
+pub fn encode_frame(out: &mut Vec<u8>) {
+    out.push(TAG_RESUMED);
+}
+
+pub fn decode_frame(tag: u8) -> bool {
+    tag == TAG_RESUME
+}

@@ -1,0 +1,22 @@
+//! Fixture wire module proving the resume handshake tags stay in
+//! lockstep: TAG_RESUME / TAG_RESUMED are both encoded and decoded, so
+//! the MIN_WIRE_VERSION..=WIRE_VERSION range stays honest. Expected to
+//! produce zero findings.
+
+pub const MIN_WIRE_VERSION: u16 = 1;
+pub const WIRE_VERSION: u16 = 3;
+
+pub const TAG_RESUME: u8 = 0x06;
+pub const TAG_RESUMED: u8 = 0x15;
+
+pub fn encode_frame(out: &mut Vec<u8>, server: bool) {
+    if server {
+        out.push(TAG_RESUMED);
+    } else {
+        out.push(TAG_RESUME);
+    }
+}
+
+pub fn decode_frame(tag: u8) -> bool {
+    matches!(tag, TAG_RESUME | TAG_RESUMED)
+}

@@ -6,6 +6,7 @@
 //! serve run --model model.txt [--addr 127.0.0.1:0] [--shards N]
 //!           [--queue-capacity N] [--flush-bytes N] [--io-threads N]
 //!           [--max-connections N] [--idle-timeout-ms N]
+//!           [--wal off|async|sync] [--wal-dir DIR] [--recover DIR]
 //! ```
 //!
 //! `--queue-capacity` bounds each shard's inbound queue (full queues
@@ -16,18 +17,31 @@
 //! accept time; `--idle-timeout-ms` reaps connections that send nothing
 //! for the window (0 = never).
 //!
+//! `--wal` enables the per-shard write-ahead log (DESIGN.md §14):
+//! `async` appends without fsync (survives process crashes), `sync`
+//! fsyncs every append (survives power loss), `off` (the default) logs
+//! nothing. `--wal-dir` picks the log directory (default `grandma-wal`);
+//! starting with a WAL but *without* `--recover` clears any stale log
+//! there first. `--recover DIR` replays DIR's snapshots + log tail into
+//! the fresh router before accepting connections — run it after a crash
+//! to resume every session that was live, then keep logging to the same
+//! directory.
+//!
 //! `run` loads a *persisted* recognizer (`grandma_core::persist`) rather
 //! than retraining — a server restart serves the exact same classifier,
 //! bit for bit. It prints `listening on <addr>` on stdout, serves until
-//! stdin reaches EOF (or a line is entered), then shuts down gracefully
-//! and prints the service metrics snapshot as JSON.
+//! stdin reaches EOF (or a line is entered) or `SIGINT`/`SIGTERM`
+//! arrives, then shuts down gracefully — stops accepting, drains the
+//! shards, seals live sessions into the WAL snapshot when one is
+//! configured — and prints the service metrics snapshot as JSON.
 
-use std::io::{BufRead, Write};
+use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
-use grandma_serve::{ServeConfig, SessionRouter, TcpOptions, TcpService};
+use grandma_serve::sys::{poll_fds, PollFd, SignalPipe, POLLIN, SIGINT, SIGTERM};
+use grandma_serve::{FsyncPolicy, ServeConfig, SessionRouter, TcpOptions, TcpService, WalConfig};
 use grandma_synth::datasets;
 
 fn fail(msg: &str) -> ExitCode {
@@ -40,7 +54,8 @@ fn usage() -> ExitCode {
         "usage:\n  serve train --out PATH [--seed N] [--per-class N]\n  \
          serve run --model PATH [--addr ADDR] [--shards N] \
          [--queue-capacity N] [--flush-bytes N] [--io-threads N] \
-         [--max-connections N] [--idle-timeout-ms N]",
+         [--max-connections N] [--idle-timeout-ms N] \
+         [--wal off|async|sync] [--wal-dir DIR] [--recover DIR]",
     )
 }
 
@@ -147,25 +162,120 @@ fn cmd_run(args: &Args) -> ExitCode {
         Ok(rec) => rec,
         Err(e) => return fail(&format!("loading {model_path}: {e:?}")),
     };
+    let fsync = match args.get("wal") {
+        None | Some("off") => None,
+        Some("async") => Some(FsyncPolicy::Async),
+        Some("sync") => Some(FsyncPolicy::Sync),
+        Some(_) => return fail("--wal wants off|async|sync"),
+    };
+    let recover_dir = args.get("recover").map(std::path::PathBuf::from);
+    // Recovery keeps logging to the same place unless told otherwise,
+    // and implies a WAL (async) even when --wal wasn't given.
+    let wal_dir = args
+        .get("wal-dir")
+        .map(std::path::PathBuf::from)
+        .or_else(|| recover_dir.clone())
+        .unwrap_or_else(|| std::path::PathBuf::from("grandma-wal"));
+    let fsync = match (fsync, &recover_dir) {
+        (None, Some(_)) => Some(FsyncPolicy::Async),
+        (f, _) => f,
+    };
+    let wal = fsync.map(|policy| WalConfig::new(wal_dir.clone(), policy));
+    // A WAL without recovery starts a fresh log: stale shard files from
+    // an earlier run must not replay into this one later.
+    if wal.is_some() && recover_dir.is_none() {
+        if let Ok(entries) = std::fs::read_dir(&wal_dir) {
+            for entry in entries.flatten() {
+                if entry.file_name().to_string_lossy().starts_with("shard-") {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
     let config = ServeConfig {
         shards,
         queue_capacity,
+        wal,
         ..ServeConfig::default()
     };
+    // Install before serving so an early signal still shuts down
+    // cleanly; without handlers (exotic platforms) fall back to the
+    // stdin-only wait.
+    let signals = match SignalPipe::install() {
+        Ok(pipe) => Some(pipe),
+        Err(e) => {
+            eprintln!("serve: signal handling unavailable ({e}); use stdin EOF to stop");
+            None
+        }
+    };
     let router = SessionRouter::new(Arc::new(rec), config);
+    if let Some(dir) = recover_dir {
+        let source = WalConfig::new(dir, fsync.unwrap_or(FsyncPolicy::Async));
+        match router.recover(&source) {
+            Ok(report) => eprintln!(
+                "serve: recovered {} sessions ({} frames, {} bytes) in {:.1} ms{}",
+                report.sessions,
+                report.frames,
+                report.bytes,
+                report.replay_ms,
+                if report.torn {
+                    " — torn tail dropped"
+                } else {
+                    ""
+                }
+            ),
+            Err(e) => return fail(&format!("recovering WAL: {e}")),
+        }
+    }
     let mut service = match TcpService::start_with(router, addr, options) {
         Ok(service) => service,
         Err(e) => return fail(&format!("binding {addr}: {e}")),
     };
-    println!("listening on {}", service.local_addr());
+    // Ignore stdout write failures throughout: a parent that closed the
+    // pipe early must not turn a clean shutdown into a SIGPIPE panic.
+    let _ = writeln!(std::io::stdout(), "listening on {}", service.local_addr());
     let _ = std::io::stdout().flush();
-    // Serve until stdin closes (or any line arrives) — lets a parent
-    // process hold the server up for exactly as long as it needs it.
-    let mut line = String::new();
-    let _ = std::io::stdin().lock().read_line(&mut line);
+    wait_for_exit(signals.as_ref());
+    // Graceful: stop accepting, drain the shards; with a WAL this also
+    // seals live sessions into the snapshot for a later --recover.
     service.shutdown();
-    println!("{}", service.metrics().snapshot().to_json());
+    let _ = writeln!(
+        std::io::stdout(),
+        "{}",
+        service.metrics().snapshot().to_json()
+    );
     ExitCode::SUCCESS
+}
+
+/// Blocks until stdin closes (or delivers a line) or a termination
+/// signal arrives — whichever lets the parent or the operator stop the
+/// server first.
+fn wait_for_exit(signals: Option<&SignalPipe>) {
+    let Some(pipe) = signals else {
+        let mut line = String::new();
+        let _ = std::io::BufRead::read_line(&mut std::io::stdin().lock(), &mut line);
+        return;
+    };
+    loop {
+        let mut fds = [PollFd::new(0, POLLIN), PollFd::new(pipe.fd(), POLLIN)];
+        if poll_fds(&mut fds, -1).is_err() {
+            return;
+        }
+        if let Some(signo) = pipe.triggered() {
+            let name = match signo {
+                SIGINT => "SIGINT",
+                SIGTERM => "SIGTERM",
+                _ => "signal",
+            };
+            eprintln!("serve: caught {name}, shutting down");
+            return;
+        }
+        if fds[0].readable() {
+            // Data or EOF on stdin: either way the parent is done with
+            // us.
+            return;
+        }
+    }
 }
 
 fn main() -> ExitCode {

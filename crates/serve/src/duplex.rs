@@ -147,6 +147,15 @@ impl Duplex {
                     reply: self.reply_tx.clone().into(),
                 },
             ),
+            ClientFrame::Resume { session, last_seq } => self.submit(
+                session,
+                last_seq,
+                ShardMsg::Resume {
+                    conn: self.conn,
+                    session,
+                    reply: self.reply_tx.clone().into(),
+                },
+            ),
         }
     }
 

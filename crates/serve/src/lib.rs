@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod duplex;
 pub mod metrics;
 pub mod pool;
@@ -61,14 +62,22 @@ pub mod router;
 pub mod session;
 pub mod sys;
 pub mod tcp;
+pub mod wal;
 pub mod wire;
 
+pub use client::{ClientError, ReconnectingClient, RetryPolicy};
 pub use duplex::{Duplex, DuplexError};
 pub use metrics::{MetricsSnapshot, ServiceMetrics, ShardSnapshot};
 pub use pool::BatchPool;
-pub use router::{ReplyBridge, ReplyTx, ServeConfig, SessionRouter, ShardMsg, SubmitError};
-pub use session::{run_events_inproc, PipelineConfig, SessionPipeline};
+pub use router::{
+    RecoveryReport, ReplyBridge, ReplyTx, ServeConfig, SessionRouter, ShardMsg, SubmitError,
+};
+pub use session::{
+    run_events_inproc, PipelineConfig, SessionPipeline, SessionSnapshot, SnapshotError,
+    SnapshotPhase, OUTCOME_KIND_COUNT,
+};
 pub use tcp::{TcpOptions, TcpService};
+pub use wal::{FsyncPolicy, WalConfig};
 pub use wire::{
     decode_client, decode_client_view, decode_server, encode_client, encode_event_batch,
     encode_server, ClientFrame, ClientFrameView, EventBatchIter, EventBatchView, FaultCode,

@@ -101,6 +101,18 @@ pub struct ServiceMetrics {
     /// saturated shard queue; the router's own shutdown still finalizes
     /// those sessions, but the orderly Close path lost them.
     pub closes_abandoned: AtomicU64,
+    /// Sessions rebuilt from WAL compaction snapshots during recovery.
+    pub recovered_sessions: AtomicU64,
+    /// Successful `Resume`s — orphaned sessions re-bound to a live
+    /// connection.
+    pub sessions_resumed: AtomicU64,
+    /// Records appended to write-ahead logs across all shards.
+    pub wal_appends: AtomicU64,
+    /// Bytes those appends wrote (headers included).
+    pub wal_bytes: AtomicU64,
+    /// Gauge: wall-clock milliseconds the last WAL recovery took
+    /// (0 when the process never recovered).
+    pub replay_ms: AtomicU64,
     /// Per-shard counters.
     shards: Vec<ShardMetrics>,
 }
@@ -129,6 +141,11 @@ impl ServiceMetrics {
             accept_errors: AtomicU64::new(0),
             idle_reaped: AtomicU64::new(0),
             closes_abandoned: AtomicU64::new(0),
+            recovered_sessions: AtomicU64::new(0),
+            sessions_resumed: AtomicU64::new(0),
+            wal_appends: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            replay_ms: AtomicU64::new(0),
             shards: (0..shards.max(1)).map(|_| ShardMetrics::default()).collect(),
         }
     }
@@ -191,6 +208,11 @@ impl ServiceMetrics {
             accept_errors: load(&self.accept_errors),
             idle_reaped: load(&self.idle_reaped),
             closes_abandoned: load(&self.closes_abandoned),
+            recovered_sessions: load(&self.recovered_sessions),
+            sessions_resumed: load(&self.sessions_resumed),
+            wal_appends: load(&self.wal_appends),
+            wal_bytes: load(&self.wal_bytes),
+            replay_ms: load(&self.replay_ms),
             shards: self
                 .shards
                 .iter()
@@ -282,6 +304,16 @@ pub struct MetricsSnapshot {
     pub idle_reaped: u64,
     /// `Close`s abandoned by the shutdown drain against saturated shards.
     pub closes_abandoned: u64,
+    /// Sessions rebuilt from WAL snapshots during recovery.
+    pub recovered_sessions: u64,
+    /// Successful `Resume`s onto live connections.
+    pub sessions_resumed: u64,
+    /// WAL records appended across all shards.
+    pub wal_appends: u64,
+    /// Bytes those appends wrote.
+    pub wal_bytes: u64,
+    /// Milliseconds the last WAL recovery took (0 = never recovered).
+    pub replay_ms: u64,
     /// Per-shard snapshots.
     pub shards: Vec<ShardSnapshot>,
 }
@@ -308,6 +340,8 @@ impl MetricsSnapshot {
              \"open_connections\": {},\n  \"reactor_wakeups\": {},\n  \"readiness_events\": {},\n  \
              \"writes_short\": {},\n  \"connections_shed\": {},\n  \"accept_errors\": {},\n  \"idle_reaped\": {},\n  \
              \"closes_abandoned\": {},\n  \
+             \"recovered_sessions\": {},\n  \"sessions_resumed\": {},\n  \
+             \"wal_appends\": {},\n  \"wal_bytes\": {},\n  \"replay_ms\": {},\n  \
              \"shards\": [{}]\n}}",
             self.sessions_opened,
             self.sessions_closed,
@@ -334,6 +368,11 @@ impl MetricsSnapshot {
             self.accept_errors,
             self.idle_reaped,
             self.closes_abandoned,
+            self.recovered_sessions,
+            self.sessions_resumed,
+            self.wal_appends,
+            self.wal_bytes,
+            self.replay_ms,
             shards
         )
     }
@@ -386,6 +425,11 @@ mod tests {
         m.accept_errors.fetch_add(4, Ordering::Relaxed);
         m.idle_reaped.fetch_add(6, Ordering::Relaxed);
         m.closes_abandoned.fetch_add(8, Ordering::Relaxed);
+        m.recovered_sessions.fetch_add(9, Ordering::Relaxed);
+        m.sessions_resumed.fetch_add(10, Ordering::Relaxed);
+        m.wal_appends.fetch_add(11, Ordering::Relaxed);
+        m.wal_bytes.fetch_add(12, Ordering::Relaxed);
+        m.replay_ms.store(13, Ordering::Relaxed);
         let snap = m.snapshot();
         assert_eq!(snap.open_connections, 2);
         assert_eq!(snap.reactor_wakeups, 5);
@@ -395,6 +439,11 @@ mod tests {
         assert_eq!(snap.accept_errors, 4);
         assert_eq!(snap.idle_reaped, 6);
         assert_eq!(snap.closes_abandoned, 8);
+        assert_eq!(snap.recovered_sessions, 9);
+        assert_eq!(snap.sessions_resumed, 10);
+        assert_eq!(snap.wal_appends, 11);
+        assert_eq!(snap.wal_bytes, 12);
+        assert_eq!(snap.replay_ms, 13);
         let json = snap.to_json();
         for (key, value) in [
             ("open_connections", 2u64),
@@ -405,6 +454,11 @@ mod tests {
             ("accept_errors", 4),
             ("idle_reaped", 6),
             ("closes_abandoned", 8),
+            ("recovered_sessions", 9),
+            ("sessions_resumed", 10),
+            ("wal_appends", 11),
+            ("wal_bytes", 12),
+            ("replay_ms", 13),
         ] {
             let needle = format!("\"{key}\": {value}");
             assert_eq!(

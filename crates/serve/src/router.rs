@@ -38,8 +38,9 @@ use grandma_events::{EventKind, InputEvent};
 
 use crate::metrics::ServiceMetrics;
 use crate::pool::BatchPool;
-use crate::session::{PipelineConfig, SessionPipeline};
-use crate::wire::{FaultCode, ServerFrame};
+use crate::session::{PipelineConfig, SessionPipeline, SessionSnapshot};
+use crate::wal::{WalConfig, WalShard};
+use crate::wire::{encode_client, ClientFrame, FaultCode, ServerFrame};
 
 /// Service-level configuration.
 #[derive(Debug, Clone)]
@@ -54,6 +55,13 @@ pub struct ServeConfig {
     pub max_sessions_per_shard: usize,
     /// Per-session pipeline tuning.
     pub pipeline: PipelineConfig,
+    /// Write-ahead log configuration; `None` disables durability.
+    pub wal: Option<WalConfig>,
+    /// When `true`, a connection teardown *orphans* its open sessions
+    /// (owner reset to 0, replies discarded) instead of closing them, so
+    /// a reconnecting client can `Resume`. When `false` (the default)
+    /// teardown closes the sessions, as before.
+    pub detach_on_disconnect: bool,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +71,8 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             max_sessions_per_shard: 4096,
             pipeline: PipelineConfig::default(),
+            wal: None,
+            detach_on_disconnect: false,
         }
     }
 }
@@ -91,6 +101,9 @@ enum ReplyInner {
         conn: u64,
         bridge: Arc<dyn ReplyBridge>,
     },
+    /// Discards every frame: the reply path of orphaned (detached or
+    /// recovered-but-not-yet-resumed) sessions and of WAL replay.
+    Sink,
 }
 
 /// A non-blocking outbound frame path from shard workers to one
@@ -112,6 +125,14 @@ impl ReplyTx {
         }
     }
 
+    /// A reply path that discards every frame — for orphaned sessions
+    /// awaiting `Resume` and for WAL replay, where nobody is listening.
+    pub fn sink() -> Self {
+        Self {
+            inner: ReplyInner::Sink,
+        }
+    }
+
     /// Ships one frame. Infallible by design: failures mean the
     /// connection is gone, and the frame is dropped.
     pub fn send(&self, frame: ServerFrame) {
@@ -120,6 +141,7 @@ impl ReplyTx {
                 let _ = tx.send(frame);
             }
             ReplyInner::Bridge { conn, bridge } => bridge.deliver(*conn, frame),
+            ReplyInner::Sink => {}
         }
     }
 }
@@ -191,6 +213,40 @@ pub enum ShardMsg {
         /// rejection faults.
         reply: ReplyTx,
     },
+    /// Re-bind an orphaned (or own) session to `conn`. Succeeds when the
+    /// session exists and is either unowned (owner 0: detached or
+    /// recovered) or already owned by `conn`; replies
+    /// [`ServerFrame::Resumed`] carrying the server's `last_seq` so the
+    /// client knows exactly which events to re-send. Any other state —
+    /// including a session owned by a *different* live connection —
+    /// faults `UnknownSession`, indistinguishable from nonexistence.
+    Resume {
+        /// The resuming connection's id; becomes the session's owner.
+        conn: u64,
+        /// Session id.
+        session: u64,
+        /// Outbound frame path of the resuming connection.
+        reply: ReplyTx,
+    },
+    /// Orphan every session owned by `conn`: owner reset to 0, reply
+    /// replaced with a sink. Sent to *all* shards on teardown when
+    /// [`ServeConfig::detach_on_disconnect`] is set.
+    Detach {
+        /// The disconnected connection's id.
+        conn: u64,
+    },
+    /// Install a recovered session from a WAL compaction snapshot,
+    /// orphaned (owner 0) until a client `Resume`s it. Skipped silently
+    /// if the session id already exists.
+    Restore {
+        /// The decoded snapshot (boxed: snapshots carry point buffers).
+        snapshot: Box<SessionSnapshot>,
+    },
+    /// Snapshot every live session into the shard's WAL snapshot file
+    /// and truncate its log, then rendezvous on the barrier. Doubles as
+    /// a flush fence: by the time the barrier releases, every message
+    /// queued ahead of the checkpoint has been processed.
+    Checkpoint(Arc<Barrier>),
     /// Park the worker on a barrier — used by backpressure tests and
     /// controlled drains to hold a shard still while its queue fills.
     Pause(Arc<Barrier>),
@@ -204,8 +260,13 @@ impl ShardMsg {
             ShardMsg::Open { session, .. }
             | ShardMsg::Event { session, .. }
             | ShardMsg::EventBatch { session, .. }
-            | ShardMsg::Close { session, .. } => Some(*session),
-            ShardMsg::Pause(_) | ShardMsg::Shutdown => None,
+            | ShardMsg::Close { session, .. }
+            | ShardMsg::Resume { session, .. } => Some(*session),
+            ShardMsg::Restore { snapshot } => Some(snapshot.session),
+            ShardMsg::Detach { .. }
+            | ShardMsg::Checkpoint(_)
+            | ShardMsg::Pause(_)
+            | ShardMsg::Shutdown => None,
         }
     }
 }
@@ -217,6 +278,22 @@ pub enum SubmitError {
     Busy,
     /// The router has shut down.
     Closed,
+}
+
+/// What [`SessionRouter::recover`] rebuilt, for operator logs and the
+/// benchmark's recovery section.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct RecoveryReport {
+    /// Sessions restored from compaction snapshots.
+    pub sessions: u64,
+    /// Log-tail frames re-fed through the pipelines.
+    pub frames: u64,
+    /// Verified payload bytes read across all shard files.
+    pub bytes: u64,
+    /// Wall-clock milliseconds from first read to sealed checkpoint.
+    pub replay_ms: f64,
+    /// `true` when any shard file ended in a torn record (dropped).
+    pub torn: bool,
 }
 
 /// Handle returned by [`SessionRouter::pause_shard`]; dropping or
@@ -233,9 +310,18 @@ impl ShardPause {
 }
 
 struct SessionEntry {
-    /// The connection that opened the session; the only one allowed to
-    /// feed or close it.
+    /// The connection that opened (or resumed) the session; the only
+    /// one allowed to feed or close it. 0 marks an orphan — detached or
+    /// recovered — that only `Resume` (or WAL replay, which stamps
+    /// conn 0) can touch.
     conn: u64,
+    /// `Some(last_seq)` while the entry is freshly restored from a
+    /// compaction snapshot: replayed (conn 0) events at or below the
+    /// watermark were already applied before the snapshot was cut and
+    /// are skipped, which makes the crash window between snapshot
+    /// rename and log truncate double-apply-safe. Live traffic never
+    /// consults it.
+    restored_watermark: Option<u32>,
     pipeline: SessionPipeline,
     reply: ReplyTx,
 }
@@ -249,6 +335,7 @@ pub struct SessionRouter {
     pool: Arc<BatchPool>,
     conn_ids: AtomicU64,
     down: AtomicBool,
+    detach_on_disconnect: bool,
 }
 
 impl SessionRouter {
@@ -290,7 +377,14 @@ impl SessionRouter {
             pool,
             conn_ids: AtomicU64::new(0),
             down: AtomicBool::new(false),
+            detach_on_disconnect: config.detach_on_disconnect,
         })
+    }
+
+    /// Whether transports should orphan (detach) a torn-down
+    /// connection's sessions for later `Resume` instead of closing them.
+    pub fn detach_on_disconnect(&self) -> bool {
+        self.detach_on_disconnect
     }
 
     /// The shared batch-buffer pool. Transports take buffers here to
@@ -377,6 +471,133 @@ impl SessionRouter {
         Some(ShardPause { barrier })
     }
 
+    /// Blocking submit for recovery and teardown paths, where waiting
+    /// out a full queue is correct and `Busy` rejection is not. Keeps
+    /// the same enqueue-before-send metrics discipline as `submit`.
+    fn send_blocking(&self, msg: ShardMsg) {
+        let shard = msg.session().map(|s| self.shard_of(s)).unwrap_or(0);
+        let Some(tx) = self.shards.get(shard) else {
+            return;
+        };
+        self.metrics.shard(shard).note_enqueue();
+        if tx.send(msg).is_err() {
+            self.metrics.shard(shard).note_dequeue();
+        }
+    }
+
+    /// Orphans every session owned by `conn` on every shard (owner reset
+    /// to 0, replies discarded) so a reconnecting client can `Resume`
+    /// them. Called by transports on teardown when
+    /// [`ServeConfig::detach_on_disconnect`] is set.
+    pub fn detach_conn(&self, conn: u64) {
+        for (shard, tx) in self.shards.iter().enumerate() {
+            self.metrics.shard(shard).note_enqueue();
+            if tx.send(ShardMsg::Detach { conn }).is_err() {
+                self.metrics.shard(shard).note_dequeue();
+            }
+        }
+    }
+
+    /// Forces every shard to snapshot its live sessions into the WAL
+    /// snapshot file and truncate its log, blocking until all shards
+    /// have done so. A no-op fence on shards without a WAL. Used for the
+    /// final snapshot of a graceful shutdown and to seal a recovery.
+    pub fn checkpoint_all(&self) {
+        let mut barriers = Vec::new();
+        for (shard, tx) in self.shards.iter().enumerate() {
+            let barrier = Arc::new(Barrier::new(2));
+            self.metrics.shard(shard).note_enqueue();
+            if tx.send(ShardMsg::Checkpoint(barrier.clone())).is_err() {
+                self.metrics.shard(shard).note_dequeue();
+            } else {
+                barriers.push(barrier);
+            }
+        }
+        for barrier in barriers {
+            barrier.wait();
+        }
+    }
+
+    /// Rebuilds session state from `wal`'s directory: every shard file's
+    /// compaction snapshots are restored (orphaned, awaiting `Resume`)
+    /// and the log tails re-fed through the normal pipeline path with
+    /// replay identity conn 0, so replayed outcomes are byte-identical
+    /// to the pre-crash run. Finishes with [`SessionRouter::checkpoint_all`],
+    /// which seals the recovered state into a fresh snapshot + empty log
+    /// (replayed frames are deliberately *not* re-appended; a crash
+    /// mid-recovery just recovers again from the same files). Call
+    /// before accepting connections. Routing is by session id, so the
+    /// shard count may differ from the crashed process's.
+    pub fn recover(&self, wal: &WalConfig) -> std::io::Result<RecoveryReport> {
+        let start = Instant::now();
+        let mut report = RecoveryReport::default();
+        for shard in 0..self.shard_count() {
+            let recovery = crate::wal::read_shard(wal, shard)?;
+            report.torn |= recovery.torn;
+            report.bytes += recovery.bytes;
+            for snapshot in recovery.snapshots {
+                report.sessions += 1;
+                self.send_blocking(ShardMsg::Restore {
+                    snapshot: Box::new(snapshot),
+                });
+            }
+            for frame in recovery.frames {
+                let msg = match frame {
+                    // A logged Open is a session the log (re)creates —
+                    // count it alongside the snapshot sessions.
+                    ClientFrame::Open { session } => {
+                        report.sessions += 1;
+                        ShardMsg::Open {
+                            conn: 0,
+                            session,
+                            seq: 0,
+                            reply: ReplyTx::sink(),
+                        }
+                    }
+                    ClientFrame::Event {
+                        session,
+                        seq,
+                        event,
+                    } => ShardMsg::Event {
+                        conn: 0,
+                        session,
+                        seq,
+                        event,
+                        reply: ReplyTx::sink(),
+                    },
+                    ClientFrame::EventBatch { session, events } => {
+                        let mut buf = self.pool.take();
+                        buf.extend_from_slice(&events);
+                        ShardMsg::EventBatch {
+                            conn: 0,
+                            session,
+                            events: buf,
+                            reply: ReplyTx::sink(),
+                        }
+                    }
+                    ClientFrame::Close { session, seq } => ShardMsg::Close {
+                        conn: 0,
+                        session,
+                        seq,
+                        reply: ReplyTx::sink(),
+                    },
+                    // Handshake and resume frames never reach the log;
+                    // tolerate them in a hand-edited file by skipping.
+                    ClientFrame::Hello { .. } | ClientFrame::Resume { .. } => continue,
+                };
+                report.frames += 1;
+                self.send_blocking(msg);
+            }
+        }
+        self.checkpoint_all();
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        report.replay_ms = elapsed_ms;
+        self.metrics
+            .replay_ms
+            .store(elapsed_ms as u64, Ordering::Relaxed);
+        Ok(report)
+    }
+
     /// Sends `Shutdown` to every shard and joins the workers. Queued
     /// messages ahead of the `Shutdown` are processed first; open
     /// sessions are finalized. Idempotent.
@@ -423,9 +644,26 @@ fn shard_worker(
     // Closed sessions donate their pipelines (warmed gesture/sanitizer
     // buffers) back here; Opens take from it before allocating.
     let mut pipeline_pool: Vec<SessionPipeline> = Vec::new();
+    // Durability: the worker exclusively owns its shard's log, so
+    // appends need no locking and are exactly consistent with the
+    // pipelines. A failed open degrades to running without a WAL.
+    let mut wal: Option<WalShard> = config.wal.clone().and_then(|wal_config| {
+        match WalShard::open(wal_config, shard) {
+            Ok(w) => Some(w),
+            Err(e) => {
+                eprintln!("serve: shard {shard}: WAL disabled (open failed: {e})");
+                None
+            }
+        }
+    });
+    // Reusable wire-encoding buffer for WAL appends.
+    let mut wal_buf: Vec<u8> = Vec::new();
     let shard_metrics = metrics.shard(shard);
     while let Ok(msg) = rx.recv() {
         shard_metrics.note_dequeue();
+        // Amortized compaction between messages, where the log and the
+        // pipelines are exactly consistent.
+        wal_compact_if_due(&mut wal, shard, &sessions, false);
         match msg {
             ShardMsg::Open {
                 conn,
@@ -456,10 +694,18 @@ fn shard_worker(
                     }
                     None => SessionPipeline::new(session, config.pipeline.clone()),
                 };
+                // Write-ahead: the accepted Open is durable before the
+                // session exists. Replay (conn 0) never re-appends.
+                if conn != 0 && wal.is_some() {
+                    wal_buf.clear();
+                    encode_client(&ClientFrame::Open { session }, &mut wal_buf);
+                    wal_append(&mut wal, shard, &metrics, &wal_buf);
+                }
                 sessions.insert(
                     session,
                     SessionEntry {
                         conn,
+                        restored_watermark: None,
                         pipeline,
                         reply,
                     },
@@ -489,12 +735,31 @@ fn shard_worker(
                         continue;
                     }
                 };
+                // Replay dedup: a freshly restored session skips replayed
+                // events already folded into its snapshot (see
+                // `SessionEntry::restored_watermark`).
+                if conn == 0 && entry.restored_watermark.is_some_and(|w| seq <= w) {
+                    continue;
+                }
                 metrics.events_ingested.fetch_add(1, Ordering::Relaxed);
                 shard_metrics.events.fetch_add(1, Ordering::Relaxed);
                 let is_point = matches!(event.kind, EventKind::MouseMove);
                 if is_point {
                     metrics.points_ingested.fetch_add(1, Ordering::Relaxed);
                     shard_metrics.points.fetch_add(1, Ordering::Relaxed);
+                }
+                // Write-ahead: durable before the pipeline mutates.
+                if conn != 0 && wal.is_some() {
+                    wal_buf.clear();
+                    encode_client(
+                        &ClientFrame::Event {
+                            session,
+                            seq,
+                            event,
+                        },
+                        &mut wal_buf,
+                    );
+                    wal_append(&mut wal, shard, &metrics, &wal_buf);
                 }
                 scratch.clear();
                 let start = Instant::now();
@@ -538,11 +803,23 @@ fn shard_worker(
                 metrics.events_ingested.fetch_add(count, Ordering::Relaxed);
                 metrics.batches_ingested.fetch_add(1, Ordering::Relaxed);
                 shard_metrics.events.fetch_add(count, Ordering::Relaxed);
+                // Write-ahead: the whole accepted batch is durable
+                // before the pipeline mutates.
+                if conn != 0 && wal.is_some() {
+                    wal_buf.clear();
+                    crate::wire::encode_event_batch(session, &events, &mut wal_buf);
+                    wal_append(&mut wal, shard, &metrics, &wal_buf);
+                }
+                // Replay dedup, per record (see the Event arm).
+                let watermark = if conn == 0 { entry.restored_watermark } else { None };
                 let mut repairs = 0u64;
                 let mut points = 0u64;
                 scratch.clear();
                 let start = Instant::now();
                 for &(seq, event) in &events {
+                    if watermark.is_some_and(|w| seq <= w) {
+                        continue;
+                    }
                     if matches!(event.kind, EventKind::MouseMove) {
                         points += 1;
                     }
@@ -579,6 +856,13 @@ fn shard_worker(
                     });
                     continue;
                 };
+                // Write-ahead: the accepted Close is durable before the
+                // session is finalized, so replay closes it too.
+                if conn != 0 && wal.is_some() {
+                    wal_buf.clear();
+                    encode_client(&ClientFrame::Close { session, seq }, &mut wal_buf);
+                    wal_append(&mut wal, shard, &metrics, &wal_buf);
+                }
                 scratch.clear();
                 entry.pipeline.close(&recognizer, seq, &mut scratch);
                 metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
@@ -587,12 +871,70 @@ fn shard_worker(
                     pipeline_pool.push(entry.pipeline);
                 }
             }
+            ShardMsg::Resume { conn, session, reply } => {
+                match sessions.get_mut(&session) {
+                    Some(entry) if entry.conn == 0 || entry.conn == conn => {
+                        entry.conn = conn;
+                        entry.reply = reply.clone();
+                        // The session is live again; any future replay
+                        // identity mismatch is caught by ownership.
+                        entry.restored_watermark = None;
+                        reply.send(ServerFrame::Resumed {
+                            session,
+                            last_seq: entry.pipeline.last_seq(),
+                        });
+                        metrics.sessions_resumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Unknown, or owned by a *different* live connection:
+                    // same opaque fault as any foreign touch.
+                    _ => {
+                        metrics.unknown_sessions.fetch_add(1, Ordering::Relaxed);
+                        reply.send(ServerFrame::Fault {
+                            session,
+                            seq: 0,
+                            code: FaultCode::UnknownSession,
+                        });
+                    }
+                }
+            }
+            ShardMsg::Detach { conn } => {
+                for entry in sessions.values_mut() {
+                    if entry.conn == conn {
+                        entry.conn = 0;
+                        entry.reply = ReplyTx::sink();
+                    }
+                }
+            }
+            ShardMsg::Restore { snapshot } => {
+                if sessions.contains_key(&snapshot.session)
+                    || sessions.len() >= config.max_sessions_per_shard
+                {
+                    continue;
+                }
+                let entry = SessionEntry {
+                    conn: 0,
+                    restored_watermark: Some(snapshot.last_seq),
+                    pipeline: SessionPipeline::restore(&snapshot),
+                    reply: ReplyTx::sink(),
+                };
+                sessions.insert(snapshot.session, entry);
+                metrics.recovered_sessions.fetch_add(1, Ordering::Relaxed);
+            }
+            ShardMsg::Checkpoint(barrier) => {
+                wal_compact_if_due(&mut wal, shard, &sessions, true);
+                barrier.wait();
+            }
             ShardMsg::Pause(barrier) => {
                 barrier.wait();
             }
             ShardMsg::Shutdown => {
-                // Finalize every open session so clients holding the
-                // reply channel see a terminal Closed marker.
+                // Seal in-flight state first: after a graceful shutdown
+                // the snapshot file holds every live session, so a
+                // restart with `--recover` resumes exactly here.
+                wal_compact_if_due(&mut wal, shard, &sessions, true);
+                // Then finalize every open session so clients holding
+                // the reply channel see a terminal Closed marker. The
+                // closes deliberately do not touch the sealed WAL.
                 for (_, mut entry) in sessions.drain() {
                     scratch.clear();
                     entry.pipeline.close(&recognizer, u32::MAX, &mut scratch);
@@ -602,6 +944,45 @@ fn shard_worker(
                 break;
             }
         }
+    }
+}
+
+/// Appends one already-encoded record to the shard's WAL, folding the
+/// byte/append counters into `metrics`. An append failure permanently
+/// disables the shard's WAL (fail-open: availability over durability,
+/// loudly on stderr) rather than faulting live traffic.
+fn wal_append(wal: &mut Option<WalShard>, shard: usize, metrics: &ServiceMetrics, buf: &[u8]) {
+    let Some(w) = wal.as_mut() else { return };
+    match w.append_frame(buf) {
+        Ok(written) => {
+            metrics.wal_appends.fetch_add(1, Ordering::Relaxed);
+            metrics.wal_bytes.fetch_add(written, Ordering::Relaxed);
+        }
+        Err(e) => {
+            eprintln!("serve: shard {shard}: WAL disabled (append failed: {e})");
+            *wal = None;
+        }
+    }
+}
+
+/// Compacts the shard's WAL — snapshot every live session, truncate the
+/// log — when due (or `force`d). Failure disables the WAL, like
+/// [`wal_append`].
+fn wal_compact_if_due(
+    wal: &mut Option<WalShard>,
+    shard: usize,
+    sessions: &HashMap<u64, SessionEntry>,
+    force: bool,
+) {
+    let Some(w) = wal.as_mut() else { return };
+    if !force && !w.should_compact() {
+        return;
+    }
+    let snapshots: Vec<SessionSnapshot> =
+        sessions.values().map(|e| e.pipeline.snapshot()).collect();
+    if let Err(e) = w.compact(&snapshots) {
+        eprintln!("serve: shard {shard}: WAL disabled (compact failed: {e})");
+        *wal = None;
     }
 }
 

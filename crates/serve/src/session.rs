@@ -28,14 +28,17 @@
 //! ```
 
 use grandma_core::{EagerRecognizer, FeatureExtractor, PointFilter, FEATURE_COUNT};
-use grandma_events::{EventKind, EventSanitizer, InputEvent, SanitizerConfig};
+use grandma_events::{EventKind, EventSanitizer, InputEvent, SanitizerConfig, SanitizerState};
 use grandma_geom::{Gesture, Point};
 
-use crate::wire::{fault_code_of, OutcomeKind, ServerFrame};
+use crate::wire::{
+    fault_code_of, put_f64, put_u16, put_u32, put_u64, Cur, OutcomeKind, ServerFrame, WireError,
+    NO_CLASS,
+};
 
 /// Per-session pipeline tuning. Defaults mirror the toolkit's
 /// `GestureHandlerConfig` so a served session behaves like a local one.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
     /// Whether eager recognition (the mid-gesture phase transition) is
     /// enabled.
@@ -63,6 +66,20 @@ impl Default for PipelineConfig {
             fault_budget: 8,
             sanitizer: SanitizerConfig::default(),
         }
+    }
+}
+
+/// Number of [`OutcomeKind`] variants, for the per-session outcome
+/// counters carried by [`SessionSnapshot`].
+pub const OUTCOME_KIND_COUNT: usize = 5;
+
+fn outcome_index(kind: OutcomeKind) -> usize {
+    match kind {
+        OutcomeKind::Recognized => 0,
+        OutcomeKind::Manipulated => 1,
+        OutcomeKind::Cancelled => 2,
+        OutcomeKind::Rejected => 3,
+        OutcomeKind::Closed => 4,
     }
 }
 
@@ -113,6 +130,13 @@ pub struct SessionPipeline {
     /// Per-class evaluation scratch for the commit-time classification;
     /// sized lazily to the recognizer's class count, then reused.
     evaluations: Vec<f64>,
+    /// Highest event `seq` fed through the pipeline; the authoritative
+    /// resume point a `Resumed` reply carries (0 before any event —
+    /// resuming clients number events from 1).
+    last_seq: u32,
+    /// Interaction outcomes emitted over the session's lifetime, indexed
+    /// like [`crate::metrics::ServiceMetrics::outcomes`].
+    outcome_counts: [u32; OUTCOME_KIND_COUNT],
 }
 
 impl SessionPipeline {
@@ -132,12 +156,25 @@ impl SessionPipeline {
             cleaned: Vec::new(),
             features: [0.0; FEATURE_COUNT],
             evaluations: Vec::new(),
+            last_seq: 0,
+            outcome_counts: [0; OUTCOME_KIND_COUNT],
         }
     }
 
     /// The session id frames are stamped with.
     pub fn session(&self) -> u64 {
         self.session
+    }
+
+    /// Highest event `seq` fed so far (0 before any event).
+    pub fn last_seq(&self) -> u32 {
+        self.last_seq
+    }
+
+    /// Outcomes emitted so far, indexed Recognized, Manipulated,
+    /// Cancelled, Rejected, Closed.
+    pub fn outcome_counts(&self) -> [u32; OUTCOME_KIND_COUNT] {
+        self.outcome_counts
     }
 
     /// Re-arms a finished pipeline for a new session, keeping every
@@ -155,6 +192,8 @@ impl SessionPipeline {
         self.extractor.reset();
         self.filter = PointFilter::new(self.config.min_point_distance);
         self.cleaned.clear();
+        self.last_seq = 0;
+        self.outcome_counts = [0; OUTCOME_KIND_COUNT];
     }
 
     /// `true` while an interaction is in progress (any non-idle phase).
@@ -173,6 +212,7 @@ impl SessionPipeline {
         raw: InputEvent,
         out: &mut Vec<ServerFrame>,
     ) -> u32 {
+        self.last_seq = self.last_seq.max(seq);
         // The scratch buffer is moved out for the duration of the call so
         // dispatch can borrow `self` mutably; moving a Vec never allocates.
         let mut cleaned = std::mem::take(&mut self.cleaned);
@@ -204,6 +244,9 @@ impl SessionPipeline {
         // even if that contract is ever violated.
         if self.interaction_in_progress() {
             self.finish_interaction(seq, OutcomeKind::Cancelled, None, 0, out);
+        }
+        if let Some(counter) = self.outcome_counts.get_mut(outcome_index(OutcomeKind::Closed)) {
+            *counter = counter.saturating_add(1);
         }
         out.push(ServerFrame::Outcome {
             session: self.session,
@@ -277,6 +320,9 @@ impl SessionPipeline {
         total_points: u32,
         out: &mut Vec<ServerFrame>,
     ) {
+        if let Some(counter) = self.outcome_counts.get_mut(outcome_index(outcome)) {
+            *counter = counter.saturating_add(1);
+        }
         out.push(ServerFrame::Outcome {
             session: self.session,
             seq,
@@ -484,6 +530,92 @@ impl SessionPipeline {
     }
     // lint:hot-path end
 
+    /// Captures the pipeline's complete recoverable state. The sanitizer
+    /// fault log is expected to be empty (it is drained into `Fault`
+    /// frames on every `feed`); pending faults are *not* carried by the
+    /// snapshot.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let phase = match self.phase {
+            Phase::Idle => SnapshotPhase::Idle,
+            Phase::Collecting => SnapshotPhase::Collecting,
+            Phase::Manipulating {
+                class,
+                total_points,
+            } => SnapshotPhase::Manipulating {
+                class,
+                total_points,
+            },
+            Phase::Draining {
+                outcome,
+                class,
+                total_points,
+            } => SnapshotPhase::Draining {
+                outcome,
+                class,
+                total_points,
+            },
+        };
+        // The collection buffers only matter mid-interaction: idle
+        // pipelines restore with empty (freshly-cleared) buffers, which
+        // is observationally identical because the next MouseDown clears
+        // them anyway.
+        let points = if matches!(self.phase, Phase::Idle) {
+            Vec::new()
+        } else {
+            self.gesture.points().to_vec()
+        };
+        SessionSnapshot {
+            session: self.session,
+            config: self.config.clone(),
+            sanitizer: self.sanitizer.state(),
+            interaction_faults: self.interaction_faults,
+            last_seq: self.last_seq,
+            outcome_counts: self.outcome_counts,
+            phase,
+            points,
+        }
+    }
+
+    /// Rebuilds a pipeline from a snapshot. The collection state
+    /// (extractor, jitter filter, gesture buffer) is reconstructed by
+    /// replaying the snapshot's points in order — the same deterministic
+    /// float accumulation the live pipeline performed — so a restored
+    /// pipeline's future output is byte-identical to one that never
+    /// stopped.
+    pub fn restore(snapshot: &SessionSnapshot) -> Self {
+        let mut p = Self::new(snapshot.session, snapshot.config.clone());
+        p.sanitizer.restore_state(snapshot.sanitizer);
+        p.interaction_faults = snapshot.interaction_faults;
+        p.last_seq = snapshot.last_seq;
+        p.outcome_counts = snapshot.outcome_counts;
+        p.phase = match snapshot.phase {
+            SnapshotPhase::Idle => Phase::Idle,
+            SnapshotPhase::Collecting => Phase::Collecting,
+            SnapshotPhase::Manipulating {
+                class,
+                total_points,
+            } => Phase::Manipulating {
+                class,
+                total_points,
+            },
+            SnapshotPhase::Draining {
+                outcome,
+                class,
+                total_points,
+            } => Phase::Draining {
+                outcome,
+                class,
+                total_points,
+            },
+        };
+        for point in &snapshot.points {
+            p.filter.accept(point);
+            p.gesture.push(*point);
+            p.extractor.update(*point);
+        }
+        p
+    }
+
     /// Immediate teardown (grab break or corrupted ending event): the
     /// terminal outcome is emitted now and the pipeline returns to idle.
     fn teardown(&mut self, seq: u32, out: &mut Vec<ServerFrame>) {
@@ -512,6 +644,312 @@ impl SessionPipeline {
                 self.finish_interaction(seq, outcome, class, total_points, out);
             }
         }
+    }
+}
+
+/// The interaction phase as carried by a [`SessionSnapshot`] — the
+/// public mirror of the pipeline's private state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotPhase {
+    /// No interaction in progress.
+    Idle,
+    /// Collecting gesture points (the snapshot's points are the
+    /// collection so far).
+    Collecting,
+    /// Mid-manipulation after an eager classification.
+    Manipulating {
+        /// The committed class.
+        class: u16,
+        /// Points seen when the phase was entered, plus manipulation
+        /// moves since.
+        total_points: u32,
+    },
+    /// Terminal outcome decided, waiting for the interaction to end.
+    Draining {
+        /// The held outcome.
+        outcome: OutcomeKind,
+        /// The class it carries, if any.
+        class: Option<u16>,
+        /// Points the outcome reports.
+        total_points: u32,
+    },
+}
+
+/// Why a snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The snapshot was written by an incompatible
+    /// [`SessionSnapshot::VERSION`].
+    UnsupportedVersion {
+        /// The version found in the bytes.
+        found: u16,
+    },
+    /// The snapshot bytes are truncated or malformed.
+    Wire(WireError),
+}
+
+impl From<WireError> for SnapshotError {
+    fn from(e: WireError) -> Self {
+        SnapshotError::Wire(e)
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found}")
+            }
+            SnapshotError::Wire(e) => write!(f, "malformed snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A versioned, byte-stable capture of one [`SessionPipeline`]'s
+/// recoverable state: config, sanitizer state, phase, fault charge,
+/// resume cursor, outcome counters, and the in-flight gesture points.
+///
+/// The binary layout ([`SessionSnapshot::encode`] /
+/// [`SessionSnapshot::decode`]) is the on-disk format the WAL's
+/// compaction snapshots use (DESIGN.md §14); [`SessionSnapshot::VERSION`]
+/// is bumped on any layout change and decoding rejects other versions —
+/// recovery across a layout change goes through the WAL tail instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// The session id.
+    pub session: u64,
+    /// The pipeline config the session was opened with.
+    pub config: PipelineConfig,
+    /// The sanitizer's mid-stream state.
+    pub sanitizer: SanitizerState,
+    /// Faults charged to the interaction in progress.
+    pub interaction_faults: u32,
+    /// Highest event `seq` processed (the resume cursor).
+    pub last_seq: u32,
+    /// Outcomes emitted so far, indexed Recognized, Manipulated,
+    /// Cancelled, Rejected, Closed.
+    pub outcome_counts: [u32; OUTCOME_KIND_COUNT],
+    /// The interaction phase.
+    pub phase: SnapshotPhase,
+    /// The in-flight gesture's collected points (empty when idle).
+    pub points: Vec<Point>,
+}
+
+// Flag bits of the snapshot header byte.
+const SNAP_EAGER: u8 = 1 << 0;
+const SNAP_HAS_MIN_PROB: u8 = 1 << 1;
+const SNAP_HAS_LAST_T: u8 = 1 << 2;
+const SNAP_HAS_LAST_POS: u8 = 1 << 3;
+const SNAP_INTERACTION_OPEN: u8 = 1 << 4;
+
+// Phase tags.
+const SNAP_PHASE_IDLE: u8 = 0;
+const SNAP_PHASE_COLLECTING: u8 = 1;
+const SNAP_PHASE_MANIPULATING: u8 = 2;
+const SNAP_PHASE_DRAINING: u8 = 3;
+
+impl SessionSnapshot {
+    /// Snapshot layout version; encoded first so mismatched readers fail
+    /// fast with [`SnapshotError::UnsupportedVersion`]. Bump on ANY
+    /// layout change, in lockstep with the encode/decode pair below and
+    /// the DESIGN.md §14 format table (grandma-lint's
+    /// `snapshot-version-lockstep` rule holds this together).
+    pub const VERSION: u16 = 1;
+
+    /// Appends the snapshot's byte-stable encoding to `out`: all
+    /// integers little-endian, floats as raw IEEE-754 bits, `Option`s as
+    /// header flag bits. Encoding the same snapshot twice yields
+    /// identical bytes.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_u16(out, Self::VERSION);
+        put_u64(out, self.session);
+        let mut flags = 0u8;
+        if self.config.eager {
+            flags |= SNAP_EAGER;
+        }
+        if self.config.min_probability.is_some() {
+            flags |= SNAP_HAS_MIN_PROB;
+        }
+        if self.sanitizer.last_t.is_some() {
+            flags |= SNAP_HAS_LAST_T;
+        }
+        if self.sanitizer.last_pos.is_some() {
+            flags |= SNAP_HAS_LAST_POS;
+        }
+        if self.sanitizer.interaction_open {
+            flags |= SNAP_INTERACTION_OPEN;
+        }
+        out.push(flags);
+        put_f64(out, self.config.min_point_distance);
+        if let Some(p) = self.config.min_probability {
+            put_f64(out, p);
+        }
+        put_u32(out, self.config.fault_budget);
+        put_f64(out, self.config.sanitizer.reorder_window_ms);
+        put_f64(out, self.config.sanitizer.grab_timeout_ms);
+        if let Some(t) = self.sanitizer.last_t {
+            put_f64(out, t);
+        }
+        if let Some((x, y)) = self.sanitizer.last_pos {
+            put_f64(out, x);
+            put_f64(out, y);
+        }
+        put_u32(out, self.interaction_faults);
+        put_u32(out, self.last_seq);
+        for count in self.outcome_counts {
+            put_u32(out, count);
+        }
+        match self.phase {
+            SnapshotPhase::Idle => out.push(SNAP_PHASE_IDLE),
+            SnapshotPhase::Collecting => out.push(SNAP_PHASE_COLLECTING),
+            SnapshotPhase::Manipulating {
+                class,
+                total_points,
+            } => {
+                out.push(SNAP_PHASE_MANIPULATING);
+                put_u16(out, class);
+                put_u32(out, total_points);
+            }
+            SnapshotPhase::Draining {
+                outcome,
+                class,
+                total_points,
+            } => {
+                out.push(SNAP_PHASE_DRAINING);
+                out.push(outcome_index(outcome) as u8);
+                put_u16(out, class.unwrap_or(NO_CLASS));
+                put_u32(out, total_points);
+            }
+        }
+        put_u32(out, self.points.len() as u32);
+        for p in &self.points {
+            put_f64(out, p.x);
+            put_f64(out, p.y);
+            put_f64(out, p.t);
+        }
+    }
+
+    /// Decodes one snapshot from the front of `buf`, returning it and
+    /// the bytes consumed. Never panics on hostile input.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), SnapshotError> {
+        let mut cur = Cur::new(buf);
+        let version = cur.u16("snapshot version")?;
+        if version != Self::VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        let session = cur.u64("session")?;
+        let flags = cur.u8("snapshot flags")?;
+        let min_point_distance = cur.f64("min point distance")?;
+        let min_probability = if flags & SNAP_HAS_MIN_PROB != 0 {
+            Some(cur.f64("min probability")?)
+        } else {
+            None
+        };
+        let fault_budget = cur.u32("fault budget")?;
+        let reorder_window_ms = cur.f64("reorder window")?;
+        let grab_timeout_ms = cur.f64("grab timeout")?;
+        let last_t = if flags & SNAP_HAS_LAST_T != 0 {
+            Some(cur.f64("sanitizer last t")?)
+        } else {
+            None
+        };
+        let last_pos = if flags & SNAP_HAS_LAST_POS != 0 {
+            Some((cur.f64("sanitizer last x")?, cur.f64("sanitizer last y")?))
+        } else {
+            None
+        };
+        let interaction_faults = cur.u32("interaction faults")?;
+        let last_seq = cur.u32("last seq")?;
+        let mut outcome_counts = [0u32; OUTCOME_KIND_COUNT];
+        for count in outcome_counts.iter_mut() {
+            *count = cur.u32("outcome count")?;
+        }
+        let phase = match cur.u8("phase tag")? {
+            SNAP_PHASE_IDLE => SnapshotPhase::Idle,
+            SNAP_PHASE_COLLECTING => SnapshotPhase::Collecting,
+            SNAP_PHASE_MANIPULATING => SnapshotPhase::Manipulating {
+                class: cur.u16("phase class")?,
+                total_points: cur.u32("phase points")?,
+            },
+            SNAP_PHASE_DRAINING => {
+                let outcome = match cur.u8("phase outcome")? {
+                    0 => OutcomeKind::Recognized,
+                    1 => OutcomeKind::Manipulated,
+                    2 => OutcomeKind::Cancelled,
+                    3 => OutcomeKind::Rejected,
+                    4 => OutcomeKind::Closed,
+                    value => {
+                        return Err(WireError::BadEnum {
+                            what: "phase outcome",
+                            value,
+                        }
+                        .into())
+                    }
+                };
+                let class = match cur.u16("phase class")? {
+                    NO_CLASS => None,
+                    c => Some(c),
+                };
+                SnapshotPhase::Draining {
+                    outcome,
+                    class,
+                    total_points: cur.u32("phase points")?,
+                }
+            }
+            value => {
+                return Err(WireError::BadEnum {
+                    what: "phase tag",
+                    value,
+                }
+                .into())
+            }
+        };
+        let count = usize::try_from(cur.u32("point count")?).map_err(|_| {
+            WireError::IntOutOfRange {
+                what: "point count",
+            }
+        })?;
+        // A point is 24 bytes; refuse counts the remaining bytes cannot
+        // hold before reserving anything.
+        if count.saturating_mul(24) > cur.remaining() {
+            return Err(WireError::Malformed {
+                what: "point count",
+            }
+            .into());
+        }
+        let mut points = Vec::with_capacity(count);
+        for _ in 0..count {
+            let x = cur.f64("point x")?;
+            let y = cur.f64("point y")?;
+            let t = cur.f64("point t")?;
+            points.push(Point::new(x, y, t));
+        }
+        let snapshot = Self {
+            session,
+            config: PipelineConfig {
+                eager: flags & SNAP_EAGER != 0,
+                min_point_distance,
+                min_probability,
+                fault_budget,
+                sanitizer: SanitizerConfig {
+                    reorder_window_ms,
+                    grab_timeout_ms,
+                },
+            },
+            sanitizer: SanitizerState {
+                last_t,
+                last_pos,
+                interaction_open: flags & SNAP_INTERACTION_OPEN != 0,
+            },
+            interaction_faults,
+            last_seq,
+            outcome_counts,
+            phase,
+            points,
+        };
+        Ok((snapshot, cur.consumed()))
     }
 }
 
@@ -644,6 +1082,105 @@ mod tests {
         // interaction cancels, then the session closes.
         assert_eq!(outcomes.last(), Some(&OutcomeKind::Closed));
         assert!(outcomes.contains(&OutcomeKind::Cancelled));
+    }
+
+    #[test]
+    fn snapshot_restore_matches_never_crashed_at_every_cut() {
+        let rec = recognizer();
+        let events = clean_stream(2);
+        let close_seq = events.len() as u32;
+        let reference =
+            run_events_inproc(&rec, 21, &PipelineConfig::default(), &events, close_seq);
+        // Cut the stream at every boundary — idle, mid-collection,
+        // mid-manipulation — snapshot, restore, and finish on the
+        // restored pipeline. The combined output must be byte-identical
+        // to the uninterrupted run.
+        for cut in 0..=events.len() {
+            let mut first = SessionPipeline::new(21, PipelineConfig::default());
+            let mut out = Vec::new();
+            for &(seq, raw) in &events[..cut] {
+                first.feed(&rec, seq, raw, &mut out);
+            }
+            let snap = first.snapshot();
+            // Byte-stable: encode twice, decode, re-encode — all equal.
+            let mut bytes = Vec::new();
+            snap.encode(&mut bytes);
+            let mut again = Vec::new();
+            snap.encode(&mut again);
+            assert_eq!(bytes, again, "cut {cut}: encode is deterministic");
+            let (decoded, consumed) = SessionSnapshot::decode(&bytes).expect("decodes");
+            assert_eq!(consumed, bytes.len(), "cut {cut}: whole buffer consumed");
+            assert_eq!(decoded, snap, "cut {cut}: decode inverts encode");
+            let mut restored = SessionPipeline::restore(&decoded);
+            assert_eq!(restored.last_seq(), first.last_seq());
+            for &(seq, raw) in &events[cut..] {
+                restored.feed(&rec, seq, raw, &mut out);
+            }
+            restored.close(&rec, close_seq, &mut out);
+            let mut encoded = Vec::new();
+            let mut ref_encoded = Vec::new();
+            for f in &out {
+                crate::wire::encode_server(f, &mut encoded);
+            }
+            for f in &reference {
+                crate::wire::encode_server(f, &mut ref_encoded);
+            }
+            assert_eq!(
+                encoded, ref_encoded,
+                "cut {cut}: restored output must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_outcome_counts_and_faulted_state() {
+        let rec = recognizer();
+        let config = PipelineConfig {
+            min_probability: Some(0.25),
+            ..PipelineConfig::default()
+        };
+        let clean: Vec<InputEvent> = clean_stream(3).into_iter().map(|(_, e)| e).collect();
+        let corrupted = seq_events(grandma_synth::FaultInjector::new(0x5EED).corrupt(&clean));
+        let close_seq = corrupted.len() as u32;
+        let reference = run_events_inproc(&rec, 8, &config, &corrupted, close_seq);
+        let cut = corrupted.len() / 2;
+        let mut first = SessionPipeline::new(8, config.clone());
+        let mut out = Vec::new();
+        for &(seq, raw) in &corrupted[..cut] {
+            first.feed(&rec, seq, raw, &mut out);
+        }
+        let snap = first.snapshot();
+        let counts = first.outcome_counts();
+        let mut restored = SessionPipeline::restore(&snap);
+        assert_eq!(restored.outcome_counts(), counts);
+        for &(seq, raw) in &corrupted[cut..] {
+            restored.feed(&rec, seq, raw, &mut out);
+        }
+        restored.close(&rec, close_seq, &mut out);
+        assert_eq!(out, reference, "faulted stream restores identically");
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_bad_bytes_without_panicking() {
+        let pipeline = SessionPipeline::new(5, PipelineConfig::default());
+        let mut bytes = Vec::new();
+        pipeline.snapshot().encode(&mut bytes);
+        // Wrong version.
+        let mut wrong = bytes.clone();
+        wrong[0] = 0xFF;
+        wrong[1] = 0xFF;
+        assert_eq!(
+            SessionSnapshot::decode(&wrong),
+            Err(SnapshotError::UnsupportedVersion { found: 0xFFFF })
+        );
+        // Every truncation is a typed error, not a panic.
+        for cut in 0..bytes.len() {
+            assert!(SessionSnapshot::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // A forged point count must not allocate or loop.
+        let len = bytes.len();
+        bytes[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(SessionSnapshot::decode(&bytes).is_err());
     }
 
     #[test]

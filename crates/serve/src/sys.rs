@@ -91,14 +91,16 @@ impl PollFd {
 }
 
 // Hand-declared libc entry points: the workspace is dependency-free by
-// policy, so these four syscall wrappers are written out instead of
-// linking the `libc` crate. Signatures match the x86-64 Linux ABI.
+// policy, so these syscall wrappers are written out instead of linking
+// the `libc` crate. Signatures match the x86-64 Linux ABI.
 extern "C" {
     fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
     fn pipe2(pipefd: *mut i32, flags: i32) -> i32;
     fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
     fn write(fd: i32, buf: *const u8, count: usize) -> isize;
     fn close(fd: i32) -> i32;
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn raise(signum: i32) -> i32;
 }
 
 /// Blocks until at least one entry is ready or `timeout_ms` elapses.
@@ -212,6 +214,139 @@ impl Drop for Waker {
     }
 }
 
+/// `SIGINT` (ctrl-C).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` (polite kill).
+pub const SIGTERM: i32 = 15;
+
+/// The write end of the process-wide signal self-pipe, or -1 before
+/// [`SignalPipe::install`]. An atomic because the handler reads it from
+/// signal context.
+static SIGNAL_WRITE_FD: std::sync::atomic::AtomicI32 = std::sync::atomic::AtomicI32::new(-1);
+/// The last signal delivered, for polling without the pipe.
+static SIGNAL_SEEN: std::sync::atomic::AtomicI32 = std::sync::atomic::AtomicI32::new(0);
+
+/// The actual handler. Restricted to async-signal-safe work: two atomic
+/// ops and one `write(2)` on a nonblocking pipe.
+extern "C" fn on_signal(signo: i32) {
+    SIGNAL_SEEN.store(signo, Ordering::SeqCst);
+    let fd = SIGNAL_WRITE_FD.load(Ordering::SeqCst);
+    if fd >= 0 {
+        let byte = [signo as u8];
+        // SAFETY: 1-byte live stack buffer; the fd stays open for the
+        // process lifetime once installed (SignalPipe never closes it
+        // while handlers are registered). EAGAIN on a full pipe is fine
+        // — a wake byte is already pending.
+        let _ = unsafe { write(fd, byte.as_ptr(), 1) };
+    }
+}
+
+/// Termination signals (`SIGINT`/`SIGTERM`) turned into a pollable fd —
+/// the classic self-pipe trick, so a poll loop (or a blocking wait) can
+/// treat "please shut down" as just another readable descriptor.
+///
+/// [`SignalPipe::install`] is process-global and idempotent-hostile by
+/// nature (the second install would steal the first one's handlers), so
+/// the serve binary installs exactly one at startup. Dropping the pipe
+/// restores the default dispositions and closes the fds.
+pub struct SignalPipe {
+    read_fd: RawFd,
+}
+
+impl SignalPipe {
+    /// Creates the pipe and registers `SIGINT`/`SIGTERM` handlers that
+    /// write to it.
+    pub fn install() -> io::Result<Self> {
+        let mut fds = [0i32; 2];
+        // SAFETY: `pipe2` writes exactly two fds into the array we own.
+        let rc = unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        SIGNAL_WRITE_FD.store(fds[1], Ordering::SeqCst);
+        const SIG_ERR: usize = usize::MAX;
+        for signo in [SIGINT, SIGTERM] {
+            // SAFETY: `on_signal` is an `extern "C" fn(i32)` doing only
+            // async-signal-safe work; glibc's `signal` gives BSD
+            // semantics (no handler reset, SA_RESTART), which is what
+            // the self-pipe pattern wants.
+            if unsafe { signal(signo, on_signal as *const () as usize) } == SIG_ERR {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        Ok(Self { read_fd: fds[0] })
+    }
+
+    /// The read end, for registering in a poll set with `POLLIN`.
+    pub fn fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// The signal received so far, if any, without blocking.
+    pub fn triggered(&self) -> Option<i32> {
+        match SIGNAL_SEEN.load(Ordering::SeqCst) {
+            0 => None,
+            signo => Some(signo),
+        }
+    }
+
+    /// Blocks up to `timeout_ms` (`<0` = forever) for a signal; returns
+    /// it, or `None` on timeout. Drains the pipe so a later wait blocks
+    /// again.
+    pub fn wait(&self, timeout_ms: i32) -> io::Result<Option<i32>> {
+        if let Some(signo) = self.triggered() {
+            self.drain();
+            return Ok(Some(signo));
+        }
+        let mut fds = [PollFd::new(self.read_fd, POLLIN)];
+        poll_fds(&mut fds, timeout_ms)?;
+        if fds[0].readable() {
+            self.drain();
+        }
+        Ok(self.triggered())
+    }
+
+    fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: live stack buffer of the stated length; the read
+            // end is owned by `self` and open until Drop.
+            let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for SignalPipe {
+    fn drop(&mut self) {
+        const SIG_DFL: usize = 0;
+        // SAFETY: restoring the default disposition detaches the
+        // handler before its pipe goes away.
+        unsafe {
+            let _ = signal(SIGINT, SIG_DFL);
+            let _ = signal(SIGTERM, SIG_DFL);
+        }
+        let write_fd = SIGNAL_WRITE_FD.swap(-1, Ordering::SeqCst);
+        // SAFETY: fds closed exactly once; the handler can no longer
+        // observe `write_fd` (swapped to -1 first, handlers detached).
+        unsafe {
+            let _ = close(self.read_fd);
+            if write_fd >= 0 {
+                let _ = close(write_fd);
+            }
+        }
+    }
+}
+
+/// Sends `signo` to the calling process — test hook for the signal
+/// path.
+pub fn raise_signal(signo: i32) {
+    // SAFETY: `raise` has no memory effects visible to us.
+    let _ = unsafe { raise(signo) };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +386,16 @@ mod tests {
         waker.arm();
         assert!(waker.wake());
         assert!(!waker.wake(), "second wake coalesces");
+    }
+
+    #[test]
+    fn signal_pipe_reports_sigterm_via_fd_and_flag() {
+        let pipe = SignalPipe::install().expect("install");
+        assert_eq!(pipe.triggered(), None, "no signal yet");
+        raise_signal(SIGTERM);
+        let got = pipe.wait(2_000).expect("wait");
+        assert_eq!(got, Some(SIGTERM));
+        assert_eq!(pipe.triggered(), Some(SIGTERM), "flag latches");
     }
 
     #[test]

@@ -70,8 +70,8 @@ use crate::metrics::ServiceMetrics;
 use crate::router::{ReplyBridge, ReplyTx, SessionRouter, ShardMsg, SubmitError};
 use crate::sys::{poll_fds, PollFd, Waker, POLLIN, POLLOUT};
 use crate::wire::{
-    encode_server, ClientFrameView, FaultCode, FrameBuffer, ServerFrame, MIN_WIRE_VERSION,
-    WIRE_VERSION,
+    encode_server, ClientFrameView, FaultCode, FrameBuffer, OutcomeKind, ServerFrame,
+    MIN_WIRE_VERSION, WIRE_VERSION,
 };
 
 /// First retry delay after `accept()` fails; doubles per consecutive
@@ -95,6 +95,11 @@ const MAX_PENDING_WRITE: usize = 16 * 1024 * 1024;
 /// `closes_abandoned`. During normal operation busy `Close`s are
 /// retried without limit — the retry list is bounded by open sessions.
 const CLOSE_RETRY_ROUNDS: usize = 64;
+
+/// How long a half-closed connection (peer sent EOF, e.g. via
+/// `shutdown(Write)`) is kept alive write-only to deliver in-flight
+/// replies before teardown gives up on the drain.
+const DRAIN_WINDOW: Duration = Duration::from_secs(5);
 
 /// Transport tuning for the reactor front-end.
 #[derive(Debug, Clone, Copy)]
@@ -225,6 +230,15 @@ struct Conn {
     dead: bool,
     /// Reap sessions via `Close(seq=u32::MAX)` on teardown.
     last_activity: Instant,
+    /// `Some(when)` after the peer sent EOF (half-close): the connection
+    /// stays alive write-only until its pending replies drain (or
+    /// [`DRAIN_WINDOW`] expires), so `shutdown(Write)` clients receive
+    /// everything they are owed.
+    read_closed: Option<Instant>,
+    /// Sessions owed a terminal reply (`Closed` outcome or a fault):
+    /// populated when a `Close` is dispatched, cleared when the terminal
+    /// frame is queued. The half-close drain waits on this set.
+    draining: HashSet<u64>,
 }
 
 impl Conn {
@@ -551,9 +565,12 @@ fn try_close(router: &SessionRouter, conn: u64, session: u64, seq: u32, reply: &
     !matches!(router.submit(msg), Err(SubmitError::Busy))
 }
 
-/// Tears a connection down: submits `Close` for every session it still
-/// has open (busy shards park the close on the retry list), shuts the
-/// socket, and drops the state.
+/// Tears a connection down. Default: submits `Close` for every session
+/// it still has open (busy shards park the close on the retry list).
+/// With [`crate::ServeConfig::detach_on_disconnect`] the sessions are
+/// instead orphaned via [`SessionRouter::detach_conn`] so a
+/// reconnecting client can `Resume` them. Either way the socket is shut
+/// and the state dropped.
 fn teardown(
     conn_id: u64,
     mut c: Conn,
@@ -561,18 +578,56 @@ fn teardown(
     metrics: &ServiceMetrics,
     pending_closes: &mut Vec<PendingClose>,
 ) {
-    for session in c.open_sessions.drain() {
-        if !try_close(router, conn_id, session, u32::MAX, &c.reply) {
-            pending_closes.push(PendingClose {
-                conn: conn_id,
-                session,
-                seq: u32::MAX,
-                reply: c.reply.clone(),
-            });
+    if router.detach_on_disconnect() {
+        c.open_sessions.clear();
+        router.detach_conn(conn_id);
+    } else {
+        for session in c.open_sessions.drain() {
+            if !try_close(router, conn_id, session, u32::MAX, &c.reply) {
+                pending_closes.push(PendingClose {
+                    conn: conn_id,
+                    session,
+                    seq: u32::MAX,
+                    reply: c.reply.clone(),
+                });
+            }
         }
     }
     let _ = c.stream.shutdown(Shutdown::Both);
     metrics.open_connections.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Handles the peer's EOF (it finished sending — e.g. `shutdown(Write)`
+/// or a dropped socket). Returns `true` when the connection should stay
+/// alive write-only to drain what it is owed; `false` when it can be
+/// torn down right now. In close-on-disconnect mode the still-open
+/// sessions are closed here (the read side can never feed them again)
+/// and their terminal replies joined to the drain set; in detach mode
+/// they are left for teardown to orphan.
+fn half_close(
+    conn_id: u64,
+    c: &mut Conn,
+    router: &SessionRouter,
+    pending_closes: &mut Vec<PendingClose>,
+) -> bool {
+    if c.read_closed.is_some() || c.closing {
+        return false;
+    }
+    c.read_closed = Some(Instant::now());
+    if !router.detach_on_disconnect() {
+        for session in std::mem::take(&mut c.open_sessions) {
+            c.draining.insert(session);
+            if !try_close(router, conn_id, session, u32::MAX, &c.reply) {
+                pending_closes.push(PendingClose {
+                    conn: conn_id,
+                    session,
+                    seq: u32::MAX,
+                    reply: c.reply.clone(),
+                });
+            }
+        }
+    }
+    true
 }
 
 /// Decodes and dispatches every complete frame in the connection's read
@@ -728,6 +783,9 @@ fn dispatch_frames(
             }
             ClientFrameView::Close { session, seq } => {
                 c.open_sessions.remove(&session);
+                // The session is now owed a terminal reply; the
+                // half-close drain waits for it.
+                c.draining.insert(session);
                 // A busy Close is retried transport-side instead of
                 // bounced: losing it would leak the session, and the
                 // client is owed its Closed outcome.
@@ -738,6 +796,35 @@ fn dispatch_frames(
                         seq,
                         reply: c.reply.clone(),
                     });
+                }
+            }
+            ClientFrameView::Resume { session, last_seq: _ } => {
+                // The server is authoritative about what it processed:
+                // the shard replies `Resumed { last_seq }` from its own
+                // pipeline state and the client re-sends everything
+                // newer. The client's claimed last_seq is advisory and
+                // deliberately ignored.
+                match router.submit(ShardMsg::Resume {
+                    conn: conn_id,
+                    session,
+                    reply: c.reply.clone(),
+                }) {
+                    Ok(()) => {
+                        // Optimistic, like Open: a failed resume faults
+                        // and the teardown Close for a session we never
+                        // owned is rejected harmlessly.
+                        c.open_sessions.insert(session);
+                    }
+                    Err(SubmitError::Busy) => queue_frame(
+                        c,
+                        metrics,
+                        &ServerFrame::Fault {
+                            session,
+                            seq: 0,
+                            code: FaultCode::Busy,
+                        },
+                    ),
+                    Err(SubmitError::Closed) => return false,
                 }
             }
         }
@@ -757,7 +844,10 @@ fn service_read(
 ) -> bool {
     loop {
         match c.stream.read(chunk) {
-            Ok(0) => return false,
+            // EOF: the peer finished sending. Enter the write-only
+            // half-close drain instead of dropping whatever replies are
+            // still in flight (a `shutdown(Write)` client is owed them).
+            Ok(0) => return half_close(conn_id, c, router, pending_closes),
             Ok(n) => {
                 c.last_activity = now;
                 c.frames.extend(chunk.get(..n).unwrap_or(&[]));
@@ -824,6 +914,8 @@ fn io_loop(
                     closing: false,
                     dead: false,
                     last_activity: now,
+                    read_closed: None,
+                    draining: HashSet::new(),
                 },
             );
         }
@@ -834,6 +926,18 @@ fn io_loop(
         while let Ok((conn_id, frame)) = replies.try_recv() {
             if let Some(c) = conns.get_mut(&conn_id) {
                 if !c.dead {
+                    // A terminal reply settles the session's drain debt.
+                    match frame {
+                        ServerFrame::Outcome {
+                            session,
+                            outcome: OutcomeKind::Closed,
+                            ..
+                        }
+                        | ServerFrame::Fault { session, .. } => {
+                            c.draining.remove(&session);
+                        }
+                        _ => {}
+                    }
                     queue_frame(c, &metrics, &frame);
                 }
             }
@@ -868,6 +972,16 @@ fn io_loop(
             if c.closing && c.pending_out() == 0 {
                 c.dead = true;
                 dead.push(conn_id);
+                continue;
+            }
+            // Half-close drain complete (nothing owed, nothing queued)
+            // or overdue: finish the teardown the EOF deferred.
+            if let Some(at) = c.read_closed {
+                let drained = c.draining.is_empty() && c.pending_out() == 0;
+                if drained || now.duration_since(at) >= DRAIN_WINDOW {
+                    c.dead = true;
+                    dead.push(conn_id);
+                }
             }
         }
 
@@ -894,20 +1008,29 @@ fn io_loop(
         pollfds.clear();
         poll_keys.clear();
         pollfds.push(PollFd::new(shared.waker.fd(), POLLIN));
+        let mut any_draining = false;
         for (&conn_id, c) in conns.iter() {
             let mut events = 0i16;
-            if !c.closing {
+            // A half-closed connection is write-only: EOF already
+            // arrived, and a level-triggered POLLIN would re-report it
+            // every round.
+            if !c.closing && c.read_closed.is_none() {
                 events |= POLLIN;
             }
             if c.want_write && c.pending_out() > 0 {
                 events |= POLLOUT;
             }
+            any_draining |= c.read_closed.is_some();
             pollfds.push(PollFd::new(c.stream.as_raw_fd(), events));
             poll_keys.push(conn_id);
         }
 
         let timeout_ms = if !pending_closes.is_empty() {
             1
+        } else if any_draining {
+            // Tick so drain completion (shard replies already queued)
+            // and the DRAIN_WINDOW deadline are noticed promptly.
+            50
         } else if idle_timeout.is_some() {
             // Reap ticks: a quarter of the window bounds the overshoot.
             (options.idle_timeout_ms / 4).clamp(5, 500) as i32
@@ -1107,6 +1230,8 @@ mod tests {
             closing: false,
             dead: false,
             last_activity: Instant::now(),
+            read_closed: None,
+            draining: HashSet::new(),
         };
         let (mut produced, mut consumed) = (0usize, 0usize);
         for _ in 0..512 {

@@ -17,8 +17,8 @@
 //! the [`grandma_events::EventSanitizer`].
 //!
 //! Client → server: [`ClientFrame`] (`Hello`, `Open`, `Event`,
-//! `EventBatch`, `Close`). Server → client: [`ServerFrame`]
-//! (`Recognized`, `Manipulate`, `Outcome`, `Fault`).
+//! `EventBatch`, `Close`, `Resume`). Server → client: [`ServerFrame`]
+//! (`Recognized`, `Manipulate`, `Outcome`, `Fault`, `Resumed`).
 //!
 //! # Wire v2: event batching
 //!
@@ -28,10 +28,24 @@
 //! echo (and per-event RTT attribution) is preserved. Batched frames use
 //! a larger length cap ([`MAX_BATCH_FRAME_LEN`]); every other frame is
 //! still held to [`MAX_FRAME_LEN`]. The server speaks every protocol
-//! version in `MIN_WIRE_VERSION..=WIRE_VERSION` (currently 1..=2): a v2
+//! version in `MIN_WIRE_VERSION..=WIRE_VERSION` (currently 1..=3): a v3
 //! server accepts v1 `Hello`s and v1 single-`Event` streams unchanged; a
 //! batch of events is defined to be semantically identical to the same
 //! events sent as consecutive single `Event` frames.
+//!
+//! # Wire v3: session resume
+//!
+//! Version 3 adds the crash/disconnect recovery pair. `Resume` (tag
+//! `0x06`, client → server) re-binds an existing session to the sending
+//! connection after a disconnect, carrying the session id and the
+//! client's last-acked `seq`. The server answers with `Resumed` (tag
+//! `0x85`) carrying *its* last processed `seq` for the session — the
+//! server replays nothing; the client re-sends every event with
+//! `seq > last_seq` from its unacked window. A `Resume` for a session
+//! the server does not hold (or one still owned by a live connection)
+//! is answered with a [`FaultCode::UnknownSession`] fault, exactly like
+//! a misaddressed `Event`, so sessions cannot be probed across
+//! connections.
 //!
 //! The hot decode path is allocation-free: [`decode_client_view`] returns
 //! a [`ClientFrameView`] whose batch variant ([`EventBatchView`]) borrows
@@ -50,11 +64,11 @@ use grandma_events::{Button, EventKind, InputEvent};
 /// the client's version and anything outside
 /// [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`] closes the connection with
 /// [`FaultCode::VersionMismatch`].
-pub const WIRE_VERSION: u16 = 2;
+pub const WIRE_VERSION: u16 = 3;
 
 /// Oldest client version this build still serves. Version 1 clients
-/// (single-`Event` frames only) round-trip against a v2 server
-/// unchanged; they simply never send `EventBatch`.
+/// (single-`Event` frames only) round-trip against a v3 server
+/// unchanged; they simply never send `EventBatch` or `Resume`.
 pub const MIN_WIRE_VERSION: u16 = 1;
 
 /// Upper bound on the length prefix (tag + payload) for every frame
@@ -176,6 +190,18 @@ pub enum ClientFrame {
         session: u64,
         /// Client-assigned sequence number.
         seq: u32,
+    },
+    /// Re-binds an existing (orphaned or same-connection) session to the
+    /// sending connection after a disconnect (wire v3). Answered with
+    /// [`ServerFrame::Resumed`] on success, an
+    /// [`FaultCode::UnknownSession`] fault otherwise.
+    Resume {
+        /// Session id.
+        session: u64,
+        /// Highest `seq` the client has seen acknowledged; advisory (the
+        /// server's own `last_seq` in the `Resumed` reply is
+        /// authoritative).
+        last_seq: u32,
     },
 }
 
@@ -359,6 +385,16 @@ pub enum ServerFrame {
         /// What happened.
         code: FaultCode,
     },
+    /// Acknowledges a [`ClientFrame::Resume`] (wire v3): the session is
+    /// re-bound to this connection and `last_seq` is the highest event
+    /// sequence number the server has processed — the client re-sends
+    /// everything after it.
+    Resumed {
+        /// Session id.
+        session: u64,
+        /// Highest `seq` the server has processed for the session.
+        last_seq: u32,
+    },
 }
 
 const TAG_HELLO: u8 = 0x01;
@@ -366,13 +402,15 @@ const TAG_OPEN: u8 = 0x02;
 const TAG_EVENT: u8 = 0x03;
 const TAG_CLOSE: u8 = 0x04;
 const TAG_EVENT_BATCH: u8 = 0x05;
+const TAG_RESUME: u8 = 0x06;
 const TAG_RECOGNIZED: u8 = 0x81;
 const TAG_MANIPULATE: u8 = 0x82;
 const TAG_OUTCOME: u8 = 0x83;
 const TAG_FAULT: u8 = 0x84;
+const TAG_RESUMED: u8 = 0x85;
 
 /// Sentinel for "no class" in an `Outcome` frame.
-const NO_CLASS: u16 = u16::MAX;
+pub(crate) const NO_CLASS: u16 = u16::MAX;
 
 fn kind_to_bytes(kind: EventKind) -> (u8, u8) {
     match kind {
@@ -430,16 +468,16 @@ fn kind_from_bytes(kind: u8, button: u8) -> Result<EventKind, WireError> {
 // Encoding
 // ---------------------------------------------------------------------------
 
-fn put_u16(out: &mut Vec<u8>, v: u16) {
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
@@ -493,6 +531,11 @@ pub fn encode_client(frame: &ClientFrame, out: &mut Vec<u8>) {
             out.push(TAG_CLOSE);
             put_u64(out, session);
             put_u32(out, seq);
+        }
+        ClientFrame::Resume { session, last_seq } => {
+            out.push(TAG_RESUME);
+            put_u64(out, session);
+            put_u32(out, last_seq);
         }
         // Handled above; unreachable here.
         ClientFrame::EventBatch { .. } => {}
@@ -581,6 +624,11 @@ pub fn encode_server(frame: &ServerFrame, out: &mut Vec<u8>) {
             put_u32(out, seq);
             out.push(code.to_u8());
         }
+        ServerFrame::Resumed { session, last_seq } => {
+            out.push(TAG_RESUMED);
+            put_u64(out, session);
+            put_u32(out, last_seq);
+        }
     }
     finish_frame(out, at);
 }
@@ -590,18 +638,23 @@ pub fn encode_server(frame: &ServerFrame, out: &mut Vec<u8>) {
 // ---------------------------------------------------------------------------
 
 /// Bounds-checked cursor over one frame body.
-struct Cur<'a> {
+pub(crate) struct Cur<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cur<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Bytes consumed so far (the cursor position).
+    pub(crate) fn consumed(&self) -> usize {
+        self.pos
     }
 
     fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
@@ -614,28 +667,28 @@ impl<'a> Cur<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+    pub(crate) fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
         let b = self.take(2, what)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
         let b = self.take(4, what)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
         let b = self.take(8, what)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
-    fn f64(&mut self, what: &'static str) -> Result<f64, WireError> {
+    pub(crate) fn f64(&mut self, what: &'static str) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.u64(what)?))
     }
 }
@@ -803,6 +856,13 @@ pub enum ClientFrameView<'a> {
         /// Client-assigned sequence number.
         seq: u32,
     },
+    /// See [`ClientFrame::Resume`].
+    Resume {
+        /// Session id.
+        session: u64,
+        /// Client's last-acked sequence number (advisory).
+        last_seq: u32,
+    },
 }
 
 impl ClientFrameView<'_> {
@@ -826,6 +886,9 @@ impl ClientFrameView<'_> {
                 events: view.iter().collect(),
             },
             ClientFrameView::Close { session, seq } => ClientFrame::Close { session, seq },
+            ClientFrameView::Resume { session, last_seq } => {
+                ClientFrame::Resume { session, last_seq }
+            }
         }
     }
 }
@@ -880,6 +943,10 @@ pub fn decode_client_view(buf: &[u8]) -> Result<Option<(ClientFrameView<'_>, usi
         TAG_CLOSE => ClientFrameView::Close {
             session: cur.u64("session")?,
             seq: cur.u32("seq")?,
+        },
+        TAG_RESUME => ClientFrameView::Resume {
+            session: cur.u64("session")?,
+            last_seq: cur.u32("last seq")?,
         },
         tag => return Err(WireError::UnknownTag { tag }),
     };
@@ -938,6 +1005,10 @@ pub fn decode_server(buf: &[u8]) -> Result<Option<(ServerFrame, usize)>, WireErr
             session: cur.u64("session")?,
             seq: cur.u32("seq")?,
             code: FaultCode::from_u8(cur.u8("fault code")?)?,
+        },
+        TAG_RESUMED => ServerFrame::Resumed {
+            session: cur.u64("session")?,
+            last_seq: cur.u32("last seq")?,
         },
         tag => return Err(WireError::UnknownTag { tag }),
     };
@@ -1078,6 +1149,36 @@ mod tests {
             ),
         });
         roundtrip_client(ClientFrame::Close { session: 7, seq: 43 });
+        roundtrip_client(ClientFrame::Resume {
+            session: 7,
+            last_seq: 41,
+        });
+    }
+
+    #[test]
+    fn resume_frames_round_trip_and_view_matches() {
+        roundtrip_server(ServerFrame::Resumed {
+            session: u64::MAX,
+            last_seq: u32::MAX,
+        });
+        let frame = ClientFrame::Resume {
+            session: 0xFEED,
+            last_seq: 17,
+        };
+        let mut bytes = Vec::new();
+        encode_client(&frame, &mut bytes);
+        let (view, consumed) = decode_client_view(&bytes)
+            .expect("decodes")
+            .expect("complete frame");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(
+            view,
+            ClientFrameView::Resume {
+                session: 0xFEED,
+                last_seq: 17
+            }
+        );
+        assert_eq!(view.into_frame(), frame);
     }
 
     #[test]

@@ -257,7 +257,8 @@ fn tcp_run_bytes(
                 ServerFrame::Recognized { session, .. }
                 | ServerFrame::Manipulate { session, .. }
                 | ServerFrame::Outcome { session, .. }
-                | ServerFrame::Fault { session, .. } => session,
+                | ServerFrame::Fault { session, .. }
+                | ServerFrame::Resumed { session, .. } => session,
             };
             if matches!(
                 frame,

@@ -139,7 +139,8 @@ fn drive_connection(
                 ServerFrame::Recognized { session, .. }
                 | ServerFrame::Manipulate { session, .. }
                 | ServerFrame::Outcome { session, .. }
-                | ServerFrame::Fault { session, .. } => session,
+                | ServerFrame::Fault { session, .. }
+                | ServerFrame::Resumed { session, .. } => session,
             };
             if matches!(
                 frame,
@@ -245,6 +246,101 @@ fn sixty_four_tcp_sessions_match_the_inproc_pipeline_byte_for_byte() {
             );
         }
     }
+}
+
+#[test]
+fn half_closed_client_still_receives_every_reply() {
+    // Regression: a client that writes its whole session and then
+    // `shutdown(Write)` immediately presents the reactor with EOF while
+    // replies are still queued. The reactor must treat EOF as a
+    // half-close — drain every pending reply to the still-open write
+    // side — rather than tearing the connection down on first EOF.
+    let rec = recognizer();
+    let session = 7u64;
+    let events = session_stream(session);
+    let expected = frames_to_bytes(&run_events_inproc(
+        &rec,
+        session,
+        &PipelineConfig::default(),
+        &events,
+        events.len() as u32,
+    ));
+
+    let config = ServeConfig {
+        shards: 2,
+        queue_capacity: 1 << 15,
+        ..ServeConfig::default()
+    };
+    let mut service =
+        TcpService::start(SessionRouter::new(rec, config), "127.0.0.1:0").expect("bind");
+    let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut bytes = Vec::new();
+    encode_client(
+        &ClientFrame::Hello {
+            version: WIRE_VERSION,
+        },
+        &mut bytes,
+    );
+    encode_client(&ClientFrame::Open { session }, &mut bytes);
+    for &(seq, event) in &events {
+        encode_client(
+            &ClientFrame::Event {
+                session,
+                seq,
+                event,
+            },
+            &mut bytes,
+        );
+    }
+    encode_client(
+        &ClientFrame::Close {
+            session,
+            seq: events.len() as u32,
+        },
+        &mut bytes,
+    );
+    stream.write_all(&bytes).expect("write");
+    stream.flush().expect("flush");
+    // The half-close: our write side is done before a single reply has
+    // been read. The read side stays open for the drain.
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+
+    let mut fb = FrameBuffer::new();
+    let mut frames = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let mut done = false;
+    while !done {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) => panic!("read after half-close failed: {e}"),
+        };
+        fb.extend(&chunk[..n]);
+        while let Some(frame) = fb.next_server().expect("valid server stream") {
+            if matches!(
+                frame,
+                ServerFrame::Outcome {
+                    outcome: OutcomeKind::Closed,
+                    ..
+                }
+            ) {
+                done = true;
+            }
+            frames.push(frame);
+        }
+    }
+    assert!(done, "server EOF before the Closed marker arrived");
+    assert_eq!(
+        frames_to_bytes(&frames),
+        expected,
+        "half-closed connection must still deliver the full reply stream"
+    );
+    service.shutdown();
 }
 
 #[test]

@@ -36,7 +36,7 @@ fn rng_event(rng: &mut SynthRng) -> InputEvent {
 }
 
 fn rng_client(rng: &mut SynthRng) -> ClientFrame {
-    match rng.next_u64() % 5 {
+    match rng.next_u64() % 6 {
         0 => ClientFrame::Hello {
             version: rng.next_u64() as u16,
         },
@@ -59,15 +59,19 @@ fn rng_client(rng: &mut SynthRng) -> ClientFrame {
                     .collect(),
             }
         }
-        _ => ClientFrame::Close {
+        4 => ClientFrame::Close {
             session: rng.next_u64(),
             seq: rng.next_u64() as u32,
+        },
+        _ => ClientFrame::Resume {
+            session: rng.next_u64(),
+            last_seq: rng.next_u64() as u32,
         },
     }
 }
 
 fn rng_server(rng: &mut SynthRng) -> ServerFrame {
-    match rng.next_u64() % 4 {
+    match rng.next_u64() % 5 {
         0 => ServerFrame::Recognized {
             session: rng.next_u64(),
             seq: rng.next_u64() as u32,
@@ -99,7 +103,7 @@ fn rng_server(rng: &mut SynthRng) -> ServerFrame {
             total_points: rng.next_u64() as u32,
             faults: rng.next_u64() as u32,
         },
-        _ => ServerFrame::Fault {
+        3 => ServerFrame::Fault {
             session: rng.next_u64(),
             seq: rng.next_u64() as u32,
             code: match rng.next_u64() % 13 {
@@ -117,6 +121,10 @@ fn rng_server(rng: &mut SynthRng) -> ServerFrame {
                 11 => FaultCode::SessionLimit,
                 _ => FaultCode::VersionMismatch,
             },
+        },
+        _ => ServerFrame::Resumed {
+            session: rng.next_u64(),
+            last_seq: rng.next_u64() as u32,
         },
     }
 }
@@ -372,6 +380,69 @@ fn client_view_stream_survives_adversarial_chunking() {
         assert!(client_bit_eq(g, f), "frame {i} diverged");
     }
     assert_eq!(fb.pending(), 0);
+}
+
+#[test]
+fn resume_frames_survive_one_byte_delivery_and_torn_tails() {
+    // The resume handshake happens on freshly reconnected sockets, where
+    // tiny reads and mid-frame truncation are the norm, not the edge
+    // case. One byte at a time, both directions, then a torn tail.
+    let resume = ClientFrame::Resume {
+        session: 0xDEAD_BEEF,
+        last_seq: 41,
+    };
+    let resumed = ServerFrame::Resumed {
+        session: 0xDEAD_BEEF,
+        last_seq: 37,
+    };
+    let mut client_bytes = Vec::new();
+    encode_client(&resume, &mut client_bytes);
+    encode_client(
+        &ClientFrame::Close {
+            session: 0xDEAD_BEEF,
+            seq: 42,
+        },
+        &mut client_bytes,
+    );
+    let mut fb = FrameBuffer::new();
+    let mut got = Vec::new();
+    for &b in &client_bytes {
+        fb.extend(&[b]);
+        while let Some(view) = fb.next_client_view().expect("valid stream") {
+            got.push(view.into_frame());
+        }
+    }
+    assert_eq!(got.len(), 2);
+    assert_eq!(got[0], resume);
+    assert_eq!(fb.pending(), 0);
+
+    let mut server_bytes = Vec::new();
+    encode_server(&resumed, &mut server_bytes);
+    let mut fb = FrameBuffer::new();
+    let mut got = Vec::new();
+    for &b in &server_bytes {
+        fb.extend(&[b]);
+        while let Some(frame) = fb.next_server().expect("valid stream") {
+            got.push(frame);
+        }
+    }
+    assert_eq!(got, vec![resumed]);
+
+    // A torn tail — the frame cut anywhere mid-body — must park as
+    // incomplete (Ok(None) with bytes pending), never error or yield a
+    // partial frame.
+    for cut in 1..server_bytes.len() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&server_bytes[..cut]);
+        assert!(
+            fb.next_server().expect("torn frame is not an error").is_none(),
+            "cut at {cut} produced a frame from a partial Resumed"
+        );
+        assert_eq!(fb.pending(), cut, "cut at {cut} dropped buffered bytes");
+        // The remainder arriving later completes it.
+        fb.extend(&server_bytes[cut..]);
+        assert_eq!(fb.next_server().expect("completes"), Some(resumed));
+    }
 }
 
 #[test]

@@ -34,6 +34,17 @@ cargo test -p grandma-serve --test batch_equivalence -q
 echo "== serve_load smoke (batched + unbatched + 256-conn sweep) =="
 cargo run -p grandma-bench --bin serve_load --release -- --smoke --connections 256
 
+# Crash-safety drills (DESIGN.md §14). The chaos run forces mid-stream
+# disconnects against an in-process service and holds the resume
+# invariants; the kill drill SIGKILLs a real serve child mid-load,
+# restarts it with --recover, and requires every session to resume and
+# the control group to stay byte-identical.
+echo "== serve_load chaos (reconnecting client, forced disconnects) =="
+cargo run -p grandma-bench --bin serve_load --release -- --chaos
+
+echo "== serve_load kill-recovery drill (SIGKILL + --recover) =="
+cargo run -p grandma-bench --bin serve_load --release -- --kill-after-ms 400 --smoke
+
 # grandma-lint is the always-on static-analysis gate: panic-freedom,
 # wire-protocol lockstep, hot-path alloc/index hygiene, float-comparison
 # and unsafe-code policy. Dependency-free, so it runs on any toolchain.
