@@ -30,6 +30,7 @@
 //! serve_load [--mode both|batched|unbatched] [--batch N] [--window N]
 //!            [--min-duration-s F] [--warmup N] [--smoke]
 //!            [--connections N[,N...]] [--chaos] [--kill-after-ms N]
+//!            [--cluster N] [--kill-node]
 //! ```
 //!
 //! `--chaos` replaces the workload with the reconnect harness: an
@@ -41,6 +42,19 @@
 //! restarts it with `--recover`, and requires every client to finish
 //! through the crash — then measures cold replay of the crash image and
 //! writes a `recovery` section into BENCH_serve.json (unless --smoke).
+//!
+//! `--cluster N` spawns N real `serve` members sharing one discovery
+//! file and drives every session through a `ClusterClient`, which dials
+//! the consistent-hash ring owner. With `--kill-node` the member owning
+//! the most sessions is SIGKILLed mid-load; a recovery agent replays
+//! its WAL and `Handoff`s the recovered snapshots to their ring
+//! successors, the registry drops the dead member, and every client
+//! must re-route, resume, and finish — sessions on surviving members
+//! byte-identical to the single-node baseline, moved ones a subsequence
+//! of it (the gap frames died with the victim's socket), and a
+//! post-recovery control wave byte-identical again. The full run writes
+//! a `cluster` section (recovery time, handoff throughput) into
+//! BENCH_serve.json.
 //!
 //! `--smoke` runs a short fixed workload, asserts zero decode errors and
 //! zero busy rejections, and does NOT write BENCH_serve.json — that is
@@ -65,18 +79,20 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use grandma_cluster::{read_cluster, remove_node};
 use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
 use grandma_events::{Button, EventKind, EventScript, InputEvent};
 use grandma_serve::{
-    encode_client, encode_event_batch, encode_server, run_events_inproc, ClientFrame, FrameBuffer,
-    FsyncPolicy, OutcomeKind, PipelineConfig, ReconnectingClient, RetryPolicy, ServeConfig,
-    ServerFrame, SessionRouter, TcpOptions, TcpService, WalConfig, WIRE_VERSION,
+    encode_client, encode_event_batch, encode_server, run_events_inproc, ClientFrame,
+    ClusterClient, FrameBuffer, FsyncPolicy, OutcomeKind, PipelineConfig, ReconnectingClient,
+    RetryPolicy, ServeConfig, ServerFrame, SessionRouter, SessionSnapshot, TcpOptions, TcpService,
+    WalConfig, WIRE_VERSION,
 };
 use grandma_synth::{datasets, FaultInjector, SynthRng};
 
@@ -222,9 +238,12 @@ fn run_client(
                         | ServerFrame::Manipulate { session, seq, .. }
                         | ServerFrame::Outcome { session, seq, .. }
                         | ServerFrame::Fault { session, seq, .. } => (session, seq),
-                        // Only sent in reply to Resume, which this
-                        // workload never issues.
-                        ServerFrame::Resumed { session, last_seq } => (session, last_seq),
+                        // Only sent in reply to Resume/Handoff, which
+                        // this workload never issues.
+                        ServerFrame::Resumed { session, last_seq }
+                        | ServerFrame::HandoffAck { session, last_seq } => (session, last_seq),
+                        // Cluster routing chatter; carries no seq.
+                        ServerFrame::NotOwner { session, .. } => (session, 0),
                     };
                     if seq.is_multiple_of(RTT_SAMPLE_EVERY) {
                         if let Some(sent) = inflight.lock().expect("lock").remove(&(session, seq))
@@ -831,8 +850,19 @@ fn frame_session(frame: &ServerFrame) -> u64 {
         | ServerFrame::Manipulate { session, .. }
         | ServerFrame::Outcome { session, .. }
         | ServerFrame::Fault { session, .. }
-        | ServerFrame::Resumed { session, .. } => session,
+        | ServerFrame::Resumed { session, .. }
+        | ServerFrame::HandoffAck { session, .. }
+        | ServerFrame::NotOwner { session, .. } => session,
     }
+}
+
+/// Routing and resume chatter the single-node baseline never emits;
+/// stripped before the byte-level comparisons.
+fn is_routing_chatter(frame: &ServerFrame) -> bool {
+    matches!(
+        frame,
+        ServerFrame::Resumed { .. } | ServerFrame::HandoffAck { .. } | ServerFrame::NotOwner { .. }
+    )
 }
 
 /// Per-frame wire encodings — the unit of the byte-identical and
@@ -996,20 +1026,54 @@ fn run_chaos(rec: &Arc<EagerRecognizer>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// RAII handle for a spawned `serve` child: however the harness exits —
+/// including a panic unwinding through a failed assert — the process is
+/// SIGKILLed and reaped when the guard drops, so a broken drill cannot
+/// leak a listening server or a zombie.
+struct ChildGuard {
+    child: Option<std::process::Child>,
+}
+
+impl ChildGuard {
+    fn new(child: std::process::Child) -> Self {
+        Self { child: Some(child) }
+    }
+
+    /// SIGKILL + reap now; idempotent.
+    fn kill_now(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    /// Graceful stop: close the child's stdin (its exit signal) and
+    /// wait for it to finish its shutdown path (WAL seal, cluster
+    /// deregistration, handoff). `None` if the child is already gone.
+    fn stop_gracefully(&mut self) -> Option<std::process::ExitStatus> {
+        let mut child = self.child.take()?;
+        drop(child.stdin.take());
+        child.wait().ok()
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        self.kill_now();
+    }
+}
+
 /// Spawns `serve run` on `addr` with a sync WAL at `wal_dir`
-/// (recovering from it when `recover`), holding its stdin open, and
-/// waits for the `listening on` line.
-// The returned child is always reaped by the caller — the killer thread
-// kill()+wait()s the first server, and the drill wait()s the recovered
-// one after its graceful stop; the lint cannot see across the return.
-#[allow(clippy::zombie_processes)]
+/// (recovering from it when `recover`, joining `cluster` when given),
+/// holding its stdin open, and waits for the `listening on` line.
 fn spawn_serve(
     bin: &std::path::Path,
     model: &std::path::Path,
     addr: &str,
     wal_dir: &std::path::Path,
     recover: bool,
-) -> std::process::Child {
+    cluster: Option<(&std::path::Path, &str)>,
+) -> ChildGuard {
     let mut cmd = std::process::Command::new(bin);
     cmd.arg("run")
         .args(["--model"])
@@ -1019,25 +1083,84 @@ fn spawn_serve(
     if recover {
         cmd.arg("--recover").arg(wal_dir);
     }
+    if let Some((file, node_id)) = cluster {
+        cmd.arg("--cluster-file")
+            .arg(file)
+            .args(["--node-id", node_id]);
+    }
     cmd.stdin(std::process::Stdio::piped())
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::inherit());
-    let mut child = cmd.spawn().expect("spawn serve");
-    let stdout = child.stdout.take().expect("serve stdout");
+    let mut guard = ChildGuard::new(cmd.spawn().expect("spawn serve"));
+    let stdout = guard
+        .child
+        .as_mut()
+        .expect("fresh guard holds its child")
+        .stdout
+        .take()
+        .expect("serve stdout");
     let mut lines = std::io::BufReader::new(stdout);
     let mut line = String::new();
     loop {
         line.clear();
         let n = std::io::BufRead::read_line(&mut lines, &mut line).unwrap_or(0);
         if n > 0 && line.starts_with("listening on ") {
-            return child;
+            return guard;
         }
         if n == 0 {
-            // EOF (or a read error) before the listening line: reap the
-            // child before failing so the panic leaves no zombie behind.
-            let _ = child.kill();
-            let _ = child.wait();
+            // EOF (or a read error) before the listening line; the
+            // guard reaps the child as this panic unwinds.
             panic!("serve exited before listening");
+        }
+    }
+}
+
+/// A loopback port that was free a moment ago: bind-then-drop, so a
+/// child can be handed a concrete address clients can redial after the
+/// process restarts or dies.
+fn probe_port() -> String {
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe port");
+    probe.local_addr().expect("probe addr").to_string()
+}
+
+/// Shared setup for the process-spawning drills: a scratch dir, the
+/// `serve` binary, a model trained by it, and the recognizer parsed
+/// back from that model — so harness-side baselines and WAL recovery
+/// agree with the children byte for byte.
+struct Harness {
+    dir: std::path::PathBuf,
+    serve_bin: std::path::PathBuf,
+    model: std::path::PathBuf,
+    rec: Arc<EagerRecognizer>,
+}
+
+impl Harness {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("grandma-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir harness dir");
+        let serve_bin = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(|d| d.join("serve")))
+            .filter(|p| p.exists())
+            .expect("serve binary next to serve_load (cargo build --workspace)");
+        let model = dir.join("model.txt");
+        let trained = std::process::Command::new(&serve_bin)
+            .args(["train", "--out"])
+            .arg(&model)
+            .stdout(std::process::Stdio::null())
+            .status()
+            .expect("run serve train");
+        assert!(trained.success(), "serve train failed");
+        let rec = Arc::new(
+            EagerRecognizer::from_text(&std::fs::read_to_string(&model).expect("read model"))
+                .expect("parse model"),
+        );
+        Self {
+            dir,
+            serve_bin,
+            model,
+            rec,
         }
     }
 }
@@ -1055,36 +1178,20 @@ fn copy_wal_image(from: &std::path::Path, to: &std::path::Path) {
 /// `--kill-after-ms`: the full crash drill against a real `serve`
 /// process. See the module docs.
 fn run_kill_recovery(kill_after_ms: u64, smoke: bool) -> ExitCode {
-    let dir = std::env::temp_dir().join(format!("grandma-recovery-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).expect("mkdir harness dir");
-    let serve_bin = std::env::current_exe()
-        .ok()
-        .and_then(|p| p.parent().map(|d| d.join("serve")))
-        .filter(|p| p.exists())
-        .expect("serve binary next to serve_load (cargo build --workspace)");
-    let model = dir.join("model.txt");
-    let trained = std::process::Command::new(&serve_bin)
-        .args(["train", "--out"])
-        .arg(&model)
-        .stdout(std::process::Stdio::null())
-        .status()
-        .expect("run serve train");
-    assert!(trained.success(), "serve train failed");
-    let rec = Arc::new(
-        EagerRecognizer::from_text(&std::fs::read_to_string(&model).expect("read model"))
-            .expect("parse model"),
+    let harness = Harness::new("recovery");
+    let (dir, serve_bin, model, rec) = (
+        harness.dir.clone(),
+        harness.serve_bin.clone(),
+        harness.model.clone(),
+        harness.rec.clone(),
     );
 
     // A fixed port so clients can redial the restarted server.
-    let addr_str = {
-        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe port");
-        probe.local_addr().expect("probe addr").to_string()
-    };
+    let addr_str = probe_port();
     let addr: std::net::SocketAddr = addr_str.parse().expect("addr");
     let wal_dir = dir.join("wal");
     let image_dir = dir.join("wal-kill-image");
-    let child = spawn_serve(&serve_bin, &model, &addr_str, &wal_dir, false);
+    let child = spawn_serve(&serve_bin, &model, &addr_str, &wal_dir, false, None);
 
     // Pace sends so every session still has events in flight when the
     // SIGKILL lands and finishes only after recovery.
@@ -1109,12 +1216,11 @@ fn run_kill_recovery(kill_after_ms: u64, smoke: bool) -> ExitCode {
                 suppress_this_thread();
                 std::thread::sleep(Duration::from_millis(kill_after_ms));
                 let mut child = child;
-                child.kill().expect("SIGKILL serve");
-                let _ = child.wait();
+                child.kill_now();
                 // Freeze the crash image before the recovering server
                 // compacts the log.
                 copy_wal_image(wal_dir, image_dir);
-                spawn_serve(serve_bin, model, addr_str, wal_dir, true)
+                spawn_serve(serve_bin, model, addr_str, wal_dir, true, None)
             })
         };
         let mut joins = Vec::new();
@@ -1170,8 +1276,7 @@ fn run_kill_recovery(kill_after_ms: u64, smoke: bool) -> ExitCode {
 
     // Graceful stop (stdin EOF) — also seals the WAL.
     let mut second = second;
-    drop(second.stdin.take());
-    let status = second.wait().expect("wait recovered serve");
+    let status = second.stop_gracefully().expect("wait recovered serve");
     assert!(status.success(), "recovered serve exited {status}");
 
     // Cold-replay measurement from the frozen crash image.
@@ -1207,25 +1312,449 @@ fn run_kill_recovery(kill_after_ms: u64, smoke: bool) -> ExitCode {
              \"replay_frames_per_s\": {frames_per_s:.0},\n    \"torn\": {}\n  }}",
             report.sessions, report.frames, report.bytes, report.replay_ms, report.torn,
         );
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
-        let merged = match std::fs::read_to_string(path) {
-            Ok(existing) => {
-                // The recovery section is always appended last, so an
-                // older one can be dropped by truncating at its key.
-                let base = existing
-                    .find(",\n  \"recovery\":")
-                    .map(|at| existing[..at].to_string())
-                    .unwrap_or_else(|| {
-                        existing.trim_end().trim_end_matches('}').trim_end().to_string()
-                    });
-                format!("{base},\n{section}\n}}\n")
-            }
-            Err(_) => format!("{{\n  \"bench\": \"serve_load\",\n{section}\n}}\n"),
-        };
-        std::fs::write(path, merged).expect("write BENCH_serve.json");
-        eprintln!("serve_load: updated {path} (recovery section)");
+        write_bench_drill_section("recovery", &section);
     }
     let _ = std::fs::remove_dir_all(&dir);
+    ExitCode::SUCCESS
+}
+
+/// Rewrites BENCH_serve.json with `section` (the bare `"key": {...}`
+/// text, two-space indented, no leading comma) appended after the
+/// workload sections, preserving any *other* drill section already
+/// present — the drills can run in either order without eating each
+/// other's numbers.
+fn write_bench_drill_section(key: &str, section: &str) {
+    const DRILL_KEYS: [&str; 2] = ["recovery", "cluster"];
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let (base, kept) = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let mut marks: Vec<(usize, &str)> = DRILL_KEYS
+                .iter()
+                .filter_map(|k| {
+                    existing
+                        .find(&format!(",\n  \"{k}\":"))
+                        .map(|at| (at, *k))
+                })
+                .collect();
+            marks.sort_unstable();
+            let base = match marks.first() {
+                Some(&(at, _)) => existing[..at].to_string(),
+                None => existing
+                    .trim_end()
+                    .trim_end_matches('}')
+                    .trim_end()
+                    .to_string(),
+            };
+            let close_at = existing.trim_end().rfind("\n}").unwrap_or(existing.len());
+            let kept: Vec<String> = marks
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(_, k))| k != key)
+                .map(|(i, &(at, _))| {
+                    let end = marks.get(i + 1).map(|&(a, _)| a).unwrap_or(close_at);
+                    existing[at..end].trim_end().to_string()
+                })
+                .collect();
+            (base, kept)
+        }
+        Err(_) => ("{\n  \"bench\": \"serve_load\"".to_string(), Vec::new()),
+    };
+    let mut out = base;
+    for chunk in &kept {
+        // Each kept chunk begins with its own `,\n` separator.
+        out.push_str(chunk);
+    }
+    out.push_str(",\n");
+    out.push_str(section);
+    out.push_str("\n}\n");
+    std::fs::write(path, out).expect("write BENCH_serve.json");
+    eprintln!("serve_load: updated {path} ({key} section)");
+}
+
+// ---------------------------------------------------------------------
+// Cluster drill: --cluster N [--kill-node] against real serve members
+// sharing one discovery file.
+// ---------------------------------------------------------------------
+
+/// A short-lived wire connection the recovery agent uses to push a dead
+/// member's snapshots to their ring successors.
+struct HandoffConn {
+    stream: TcpStream,
+    fb: FrameBuffer,
+    scratch: Vec<u8>,
+}
+
+impl HandoffConn {
+    fn dial(addr: SocketAddr) -> Option<Self> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).ok()?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        let mut conn = Self {
+            stream,
+            fb: FrameBuffer::new(),
+            scratch: Vec::new(),
+        };
+        conn.write(&ClientFrame::Hello {
+            version: WIRE_VERSION,
+        })
+        .ok()?;
+        Some(conn)
+    }
+
+    fn write(&mut self, frame: &ClientFrame) -> std::io::Result<()> {
+        self.scratch.clear();
+        encode_client(frame, &mut self.scratch);
+        self.stream.write_all(&self.scratch)
+    }
+
+    /// Sends one snapshot and waits for its `HandoffAck`; returns the
+    /// snapshot's encoded size, or `None` if the peer refused it.
+    fn handoff(&mut self, snapshot: &SessionSnapshot) -> Option<usize> {
+        let mut payload = Vec::new();
+        snapshot.encode(&mut payload);
+        let size = payload.len();
+        self.write(&ClientFrame::Handoff { snapshot: payload })
+            .ok()?;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.fb.next_server() {
+                Ok(Some(ServerFrame::HandoffAck { session, .. }))
+                    if session == snapshot.session =>
+                {
+                    return Some(size);
+                }
+                Ok(Some(ServerFrame::Fault { session, .. }))
+                    if session == snapshot.session || session == 0 =>
+                {
+                    return None;
+                }
+                Ok(Some(_)) => {}
+                Ok(None) => match self.stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => return None,
+                    Ok(n) => self.fb.extend(chunk.get(..n).unwrap_or(&[])),
+                },
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+/// Drives one session's events through a [`ClusterClient`], paced so a
+/// concurrent kill lands mid-stream. A failed send leaves the event in
+/// the resume window, so recovery is route repair (pump until a live
+/// owner resumes the session), never a re-send. Returns
+/// `(frames, redirects, reconnects, resent_events)`.
+fn drive_cluster_session(
+    cluster_file: &std::path::Path,
+    session: u64,
+    events: &[InputEvent],
+    pace: Duration,
+) -> (Vec<ServerFrame>, u64, u64, u64) {
+    suppress_this_thread();
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(160),
+        request_timeout: Duration::from_secs(5),
+        jitter_seed: 0xC1_0573 ^ session,
+    };
+    let mut client =
+        ClusterClient::connect(cluster_file, session, policy).expect("cluster connect");
+    for &event in events {
+        if client.send_event(event).is_err() {
+            // The event already sits in the unacked window; repair the
+            // route (the resume re-sends the window) and move on.
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while client.pump(Duration::from_millis(5)).is_err() {
+                assert!(
+                    Instant::now() < deadline,
+                    "session {session}: no route to a live owner"
+                );
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+        if !pace.is_zero() {
+            std::thread::sleep(pace);
+        }
+    }
+    let mut closed = None;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while closed.is_none() {
+        match client.close() {
+            Ok(frames) => closed = Some(frames),
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "session {session}: close never routed: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+    (
+        closed.expect("loop exits with frames"),
+        client.redirects(),
+        client.reconnects(),
+        client.resent_events(),
+    )
+}
+
+/// `--cluster N [--kill-node]`: the multi-node drill. Real `serve`
+/// members share one discovery file; every session is driven through a
+/// [`ClusterClient`] that dials its consistent-hash ring owner. With
+/// `kill_node` the busiest member is SIGKILLed mid-load; its WAL is
+/// replayed by a recovery agent that `Handoff`s the snapshots to their
+/// ring successors, and every client must re-route, resume, and finish.
+fn run_cluster_drill(nodes: usize, kill_node: bool, kill_after_ms: u64, smoke: bool) -> ExitCode {
+    assert!(nodes >= 2, "--cluster wants at least 2 nodes");
+    let harness = Harness::new("cluster");
+    let cluster_file = harness.dir.join("cluster.json");
+
+    // Members register themselves once listening.
+    let mut members: Vec<(String, SocketAddr, std::path::PathBuf, ChildGuard)> = Vec::new();
+    for i in 0..nodes {
+        let addr_str = probe_port();
+        let wal_dir = harness.dir.join(format!("wal-{i}"));
+        let node_id = format!("node-{i}");
+        let guard = spawn_serve(
+            &harness.serve_bin,
+            &harness.model,
+            &addr_str,
+            &wal_dir,
+            false,
+            Some((&cluster_file, &node_id)),
+        );
+        members.push((node_id, addr_str.parse().expect("addr"), wal_dir, guard));
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let view = loop {
+        if let Ok(view) = read_cluster(&cluster_file) {
+            if view.nodes.len() == nodes {
+                break view;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "registry never converged to {nodes} members"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    // The victim: the member owning the most drill sessions (at least
+    // one by pigeonhole, members never outnumbering sessions).
+    let owned_by = |addr: SocketAddr| {
+        (1..=CHAOS_SESSIONS)
+            .filter(|&s| view.owner_addr(s) == Some(addr))
+            .count()
+    };
+    let victim = (0..members.len())
+        .max_by_key(|&i| owned_by(members[i].1))
+        .expect("at least one member");
+    let (victim_id, victim_addr, victim_wal, victim_guard) = members.remove(victim);
+    let victim_sessions = owned_by(victim_addr) as u64;
+    assert!(victim_sessions >= 1, "victim owns no sessions");
+
+    // Pace sends so the kill lands while every session is mid-stream.
+    let max_events = (1..=CHAOS_SESSIONS)
+        .map(|s| slot_stream(s).len())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let pace = if kill_node {
+        Duration::from_micros((kill_after_ms * 2 + 1000) * 1000 / max_events as u64)
+    } else {
+        Duration::ZERO
+    };
+
+    let rec = harness.rec.clone();
+    let mut total_redirects = 0u64;
+    let mut total_reconnects = 0u64;
+    let mut total_resent = 0u64;
+    let mut spared = None;
+    let recovery = std::thread::scope(|scope| {
+        let killer = if kill_node {
+            let cluster_file = &cluster_file;
+            let rec = rec.clone();
+            let agent_id = victim_id.clone();
+            let agent_wal = victim_wal.clone();
+            let mut victim_guard = victim_guard;
+            Some(scope.spawn(move || {
+                suppress_this_thread();
+                std::thread::sleep(Duration::from_millis(kill_after_ms));
+                victim_guard.kill_now();
+                let killed_at = Instant::now();
+                // Recovery agent: replay the victim's WAL into a fresh
+                // router, drain it, and push every recovered session to
+                // its ring successor over the wire.
+                let config = ServeConfig {
+                    shards: SHARDS,
+                    queue_capacity: 1 << 15,
+                    ..ServeConfig::default()
+                };
+                let agent = SessionRouter::new(rec, config);
+                let report = agent
+                    .recover(&WalConfig::new(agent_wal, FsyncPolicy::Async))
+                    .expect("replay victim wal");
+                let snapshots = agent.drain_sessions();
+                agent.shutdown();
+                // Successor view: the registry minus the victim. The
+                // victim is NOT deregistered yet, so clients keep
+                // retrying the dead address and cannot race a Resume
+                // ahead of their session's handoff.
+                let mut successors = read_cluster(cluster_file).expect("read registry");
+                successors.nodes.retain(|n| n.id != agent_id);
+                let handoff_started = Instant::now();
+                let mut peers: Vec<(SocketAddr, HandoffConn)> = Vec::new();
+                let mut handoff_bytes = 0u64;
+                for snapshot in &snapshots {
+                    let owner = successors
+                        .owner_addr(snapshot.session)
+                        .expect("successor owner");
+                    if !peers.iter().any(|(a, _)| *a == owner) {
+                        peers.push((owner, HandoffConn::dial(owner).expect("dial successor")));
+                    }
+                    let conn = peers
+                        .iter_mut()
+                        .find(|(a, _)| *a == owner)
+                        .map(|(_, c)| c)
+                        .expect("peer cached");
+                    let size = conn.handoff(snapshot).expect("successor must ack the handoff");
+                    handoff_bytes += size as u64;
+                }
+                let handoff_s = handoff_started.elapsed().as_secs_f64();
+                // Publishing the membership change releases the waiting
+                // clients onto the successors.
+                remove_node(cluster_file, &agent_id).expect("deregister victim");
+                let recovery_ms = killed_at.elapsed().as_secs_f64() * 1e3;
+                (report, snapshots.len(), handoff_bytes, handoff_s, recovery_ms)
+            }))
+        } else {
+            spared = Some(victim_guard);
+            None
+        };
+        let mut joins = Vec::new();
+        for session in 1..=CHAOS_SESSIONS {
+            let rec = rec.clone();
+            let cluster_file = &cluster_file;
+            let moved = kill_node && view.owner_addr(session) == Some(victim_addr);
+            joins.push(scope.spawn(move || {
+                let events = slot_stream(session);
+                let (frames, redirects, reconnects, resent) =
+                    drive_cluster_session(cluster_file, session, &events, pace);
+                assert_session_invariants(session, &frames);
+                let substantive: Vec<ServerFrame> = frames
+                    .into_iter()
+                    .filter(|f| !is_routing_chatter(f))
+                    .collect();
+                let got = frames_to_wire(&substantive);
+                let want = chaos_baseline(&rec, session, &events);
+                if moved {
+                    assert!(redirects >= 1, "moved session {session} never redirected");
+                    assert!(
+                        is_subsequence(&got, &want),
+                        "moved session {session}: frames are not a subsequence of the baseline"
+                    );
+                } else {
+                    assert_eq!(
+                        got, want,
+                        "unmoved session {session}: frames must be byte-identical"
+                    );
+                }
+                (redirects, reconnects, resent)
+            }));
+        }
+        for join in joins {
+            let (redirects, reconnects, resent) = join.join().expect("cluster client");
+            total_redirects += redirects;
+            total_reconnects += reconnects;
+            total_resent += resent;
+        }
+        killer.map(|k| k.join().expect("killer thread"))
+    });
+    if let Some(guard) = spared {
+        members.push((victim_id.clone(), victim_addr, victim_wal.clone(), guard));
+    }
+
+    // Control wave: fresh sessions against the surviving membership
+    // must be byte-identical to the single-node baseline — the handoffs
+    // contaminated nothing.
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for session in 1001..=(1000 + CHAOS_SESSIONS) {
+            let rec = rec.clone();
+            let cluster_file = &cluster_file;
+            joins.push(scope.spawn(move || {
+                let events = slot_stream(session);
+                let (frames, _, _, _) =
+                    drive_cluster_session(cluster_file, session, &events, Duration::ZERO);
+                assert_session_invariants(session, &frames);
+                let frames: Vec<ServerFrame> = frames
+                    .into_iter()
+                    .filter(|f| !is_routing_chatter(f))
+                    .collect();
+                assert_eq!(
+                    frames_to_wire(&frames),
+                    chaos_baseline(&rec, session, &events),
+                    "control session {session}: frames must be byte-identical"
+                );
+            }));
+        }
+        for join in joins {
+            join.join().expect("control client");
+        }
+    });
+
+    // Survivors stop gracefully: deregister, drain (nothing left — the
+    // clients closed every session), seal their WALs.
+    for (id, _, _, mut guard) in members {
+        let status = guard.stop_gracefully().expect("wait member");
+        assert!(status.success(), "member {id} exited {status}");
+    }
+
+    match &recovery {
+        Some((report, handoffs, handoff_bytes, handoff_s, recovery_ms)) => {
+            let rate = *handoffs as f64 / handoff_s.max(1e-9);
+            eprintln!(
+                "serve_load: cluster ok ({nodes} nodes, {CHAOS_SESSIONS}+{CHAOS_SESSIONS} \
+                 sessions; victim {victim_id} owned {victim_sessions}; {total_redirects} \
+                 redirects, {total_reconnects} reconnects, {total_resent} events re-sent; \
+                 recovery {recovery_ms:.1} ms: replay {} frames in {:.1} ms, {handoffs} \
+                 handoffs ({handoff_bytes} bytes) in {:.1} ms = {rate:.0} snapshots/s)",
+                report.frames,
+                report.replay_ms,
+                handoff_s * 1e3,
+            );
+        }
+        None => eprintln!(
+            "serve_load: cluster ok ({nodes} nodes, {CHAOS_SESSIONS}+{CHAOS_SESSIONS} \
+             sessions, no kill; {total_redirects} redirects)"
+        ),
+    }
+
+    if !smoke {
+        if let Some((report, handoffs, handoff_bytes, handoff_s, recovery_ms)) = recovery {
+            let section = format!(
+                "  \"cluster\": {{\n    \"nodes\": {nodes},\n    \
+                 \"sessions\": {CHAOS_SESSIONS},\n    \
+                 \"victim_sessions\": {victim_sessions},\n    \
+                 \"kill_after_ms\": {kill_after_ms},\n    \
+                 \"client_redirects\": {total_redirects},\n    \
+                 \"client_reconnects\": {total_reconnects},\n    \
+                 \"events_resent\": {total_resent},\n    \
+                 \"recovery_ms\": {recovery_ms:.3},\n    \
+                 \"wal_replay_frames\": {},\n    \"wal_replay_ms\": {:.3},\n    \
+                 \"handoffs\": {handoffs},\n    \"handoff_bytes\": {handoff_bytes},\n    \
+                 \"handoff_ms\": {:.3},\n    \"handoffs_per_s\": {:.0}\n  }}",
+                report.frames,
+                report.replay_ms,
+                handoff_s * 1e3,
+                handoffs as f64 / handoff_s.max(1e-9),
+            );
+            write_bench_drill_section("cluster", &section);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&harness.dir);
     ExitCode::SUCCESS
 }
 
@@ -1243,8 +1772,13 @@ struct Options {
     /// Run the in-process reconnect harness instead of the workload.
     chaos: bool,
     /// Run the SIGKILL-and-recover drill, killing the serve child this
-    /// many ms into the load.
+    /// many ms into the load. Also sets the kill delay for `--cluster
+    /// --kill-node`.
     kill_after_ms: Option<u64>,
+    /// Run the multi-node cluster drill with this many members.
+    cluster: Option<usize>,
+    /// SIGKILL the busiest cluster member mid-load.
+    kill_node: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -1259,6 +1793,8 @@ fn parse_args() -> Result<Options, String> {
         connections: None,
         chaos: false,
         kill_after_ms: None,
+        cluster: None,
+        kill_node: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -1266,6 +1802,11 @@ fn parse_args() -> Result<Options, String> {
         match flag.as_str() {
             "--smoke" => opts.smoke = true,
             "--chaos" => opts.chaos = true,
+            "--kill-node" => opts.kill_node = true,
+            "--cluster" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 2 => opts.cluster = Some(n),
+                _ => return Err("--cluster wants an integer >= 2".into()),
+            },
             "--kill-after-ms" => match it.next().map(|v| v.parse::<u64>()) {
                 Some(Ok(n)) if n > 0 => opts.kill_after_ms = Some(n),
                 _ => return Err("--kill-after-ms wants a positive integer".into()),
@@ -1314,6 +1855,9 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if opts.kill_node && opts.cluster.is_none() {
+        return Err("--kill-node requires --cluster".into());
+    }
     if opts.smoke {
         opts.min_duration_s = 0.0;
         opts.warmup = 0;
@@ -1330,6 +1874,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(nodes) = opts.cluster {
+        return run_cluster_drill(
+            nodes,
+            opts.kill_node,
+            opts.kill_after_ms.unwrap_or(500),
+            opts.smoke,
+        );
+    }
     if let Some(kill_after_ms) = opts.kill_after_ms {
         return run_kill_recovery(kill_after_ms, opts.smoke);
     }

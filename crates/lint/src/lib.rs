@@ -43,7 +43,9 @@ pub struct Config {
 impl Config {
     pub fn repo_default() -> Self {
         Config {
-            panic_free_crates: vec!["core", "linalg", "events", "toolkit", "serve", "lint"],
+            panic_free_crates: vec![
+                "core", "linalg", "events", "toolkit", "serve", "cluster", "lint",
+            ],
             wire_file: "crates/serve/src/wire.rs",
             session_file: "crates/serve/src/session.rs",
             unsafe_files: vec![

@@ -1,0 +1,20 @@
+//! Fixture wire module with a broken cluster handshake: Handoff frames
+//! are encoded but no decoder accepts them, and the HandoffAck /
+//! NotOwner replies clients decode are never emitted by any encoder.
+//! Every gap across the MIN_WIRE_VERSION..=WIRE_VERSION range must
+//! fire.
+
+pub const MIN_WIRE_VERSION: u16 = 1;
+pub const WIRE_VERSION: u16 = 4;
+
+pub const TAG_HANDOFF: u8 = 0x07;
+pub const TAG_HANDOFF_ACK: u8 = 0x86;
+pub const TAG_NOT_OWNER: u8 = 0x87;
+
+pub fn encode_frame(out: &mut Vec<u8>) {
+    out.push(TAG_HANDOFF);
+}
+
+pub fn decode_frame(tag: u8) -> bool {
+    matches!(tag, TAG_HANDOFF_ACK | TAG_NOT_OWNER)
+}

@@ -1,0 +1,23 @@
+//! Fixture wire module proving the cluster handoff tags stay in
+//! lockstep: Handoff, HandoffAck, and NotOwner are each encoded and
+//! decoded, keeping the MIN_WIRE_VERSION..=WIRE_VERSION range honest.
+//! Expected to produce zero findings.
+
+pub const MIN_WIRE_VERSION: u16 = 1;
+pub const WIRE_VERSION: u16 = 4;
+
+pub const TAG_HANDOFF: u8 = 0x07;
+pub const TAG_HANDOFF_ACK: u8 = 0x86;
+pub const TAG_NOT_OWNER: u8 = 0x87;
+
+pub fn encode_frame(out: &mut Vec<u8>, kind: u8) {
+    match kind {
+        0 => out.push(TAG_HANDOFF),
+        1 => out.push(TAG_HANDOFF_ACK),
+        _ => out.push(TAG_NOT_OWNER),
+    }
+}
+
+pub fn decode_frame(tag: u8) -> bool {
+    matches!(tag, TAG_HANDOFF | TAG_HANDOFF_ACK | TAG_NOT_OWNER)
+}

@@ -7,6 +7,7 @@
 //!           [--queue-capacity N] [--flush-bytes N] [--io-threads N]
 //!           [--max-connections N] [--idle-timeout-ms N]
 //!           [--wal off|async|sync] [--wal-dir DIR] [--recover DIR]
+//!           [--cluster-file PATH] [--node-id ID]
 //! ```
 //!
 //! `--queue-capacity` bounds each shard's inbound queue (full queues
@@ -27,6 +28,15 @@
 //! to resume every session that was live, then keep logging to the same
 //! directory.
 //!
+//! `--cluster-file` joins a multi-node cluster (DESIGN.md §15): the
+//! process registers `--node-id` (default `node-<pid>`) and its bound
+//! address in the shared discovery file, installs the ownership fence
+//! (foreign `Open`/`Resume` answered with `NotOwner { owner }`), and on
+//! graceful shutdown deregisters, drains its live sessions, and hands
+//! each one to its ring successor over wire-v4 `Handoff` frames. A WAL
+//! directory is additionally guarded by a pid-stamped `wal.lock`: two
+//! servers appending to the same shard logs would corrupt both.
+//!
 //! `run` loads a *persisted* recognizer (`grandma_core::persist`) rather
 //! than retraining — a server restart serves the exact same classifier,
 //! bit for bit. It prints `listening on <addr>` on stdout, serves until
@@ -35,13 +45,19 @@
 //! shards, seals live sessions into the WAL snapshot when one is
 //! configured — and prints the service metrics snapshot as JSON.
 
-use std::io::Write;
+use std::io::{Read, Write};
+use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
+use grandma_cluster::{read_cluster, register_node, remove_node};
 use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
 use grandma_serve::sys::{poll_fds, PollFd, SignalPipe, POLLIN, SIGINT, SIGTERM};
-use grandma_serve::{FsyncPolicy, ServeConfig, SessionRouter, TcpOptions, TcpService, WalConfig};
+use grandma_serve::{
+    encode_client, ClientFrame, FrameBuffer, FsyncPolicy, ServeConfig, ServerFrame, SessionRouter,
+    TcpOptions, TcpService, WalConfig, WalDirLock, WIRE_VERSION,
+};
 use grandma_synth::datasets;
 
 fn fail(msg: &str) -> ExitCode {
@@ -55,7 +71,8 @@ fn usage() -> ExitCode {
          serve run --model PATH [--addr ADDR] [--shards N] \
          [--queue-capacity N] [--flush-bytes N] [--io-threads N] \
          [--max-connections N] [--idle-timeout-ms N] \
-         [--wal off|async|sync] [--wal-dir DIR] [--recover DIR]",
+         [--wal off|async|sync] [--wal-dir DIR] [--recover DIR] \
+         [--cluster-file PATH] [--node-id ID]",
     )
 }
 
@@ -181,6 +198,16 @@ fn cmd_run(args: &Args) -> ExitCode {
         (f, _) => f,
     };
     let wal = fsync.map(|policy| WalConfig::new(wal_dir.clone(), policy));
+    // Exclusivity first: refuse to touch (let alone clear) a WAL
+    // directory another live server is appending to.
+    let _wal_lock = if wal.is_some() {
+        match WalDirLock::acquire(&wal_dir) {
+            Ok(lock) => Some(lock),
+            Err(e) => return fail(&format!("locking wal dir {}: {e}", wal_dir.display())),
+        }
+    } else {
+        None
+    };
     // A WAL without recovery starts a fresh log: stale shard files from
     // an earlier run must not replay into this one later.
     if wal.is_some() && recover_dir.is_none() {
@@ -208,6 +235,11 @@ fn cmd_run(args: &Args) -> ExitCode {
             None
         }
     };
+    let cluster_file = args.get("cluster-file").map(std::path::PathBuf::from);
+    let node_id = match args.get("node-id") {
+        Some(id) => id.to_string(),
+        None => format!("node-{}", std::process::id()),
+    };
     let router = SessionRouter::new(Arc::new(rec), config);
     if let Some(dir) = recover_dir {
         let source = WalConfig::new(dir, fsync.unwrap_or(FsyncPolicy::Async));
@@ -227,15 +259,52 @@ fn cmd_run(args: &Args) -> ExitCode {
             Err(e) => return fail(&format!("recovering WAL: {e}")),
         }
     }
-    let mut service = match TcpService::start_with(router, addr, options) {
+    let mut service = match TcpService::start_with(router.clone(), addr, options) {
         Ok(service) => service,
         Err(e) => return fail(&format!("binding {addr}: {e}")),
     };
+    let me = service.local_addr();
+    if let Some(path) = &cluster_file {
+        // Register only once the real bound address is known, then
+        // fence: a session the ring maps elsewhere is answered with
+        // NotOwner instead of being opened here. The fence re-reads the
+        // registry per check and fails open — a torn or missing file
+        // must degrade to single-node behavior, not refuse sessions.
+        match register_node(path, &node_id, me) {
+            Ok(view) => eprintln!(
+                "serve: joined cluster as {node_id} at {me} ({} nodes, generation {})",
+                view.nodes.len(),
+                view.generation
+            ),
+            Err(e) => return fail(&format!("registering in {}: {e}", path.display())),
+        }
+        let fence_path = path.clone();
+        router.set_fence(Arc::new(move |session| {
+            let view = read_cluster(&fence_path).ok()?;
+            match view.owner_addr(session) {
+                Some(owner) if owner != me => Some(owner),
+                _ => None,
+            }
+        }));
+    }
     // Ignore stdout write failures throughout: a parent that closed the
     // pipe early must not turn a clean shutdown into a SIGPIPE panic.
     let _ = writeln!(std::io::stdout(), "listening on {}", service.local_addr());
     let _ = std::io::stdout().flush();
     wait_for_exit(signals.as_ref());
+    if let Some(path) = &cluster_file {
+        // Leave the ring first — peers' fences and refreshing clients
+        // start routing to the successors — then move the live sessions
+        // there over wire-v4 Handoff frames.
+        let _ = remove_node(path, &node_id);
+        match drain_and_handoff(&router, path) {
+            Ok((moved, 0)) => eprintln!("serve: handed off {moved} sessions"),
+            Ok((moved, failed)) => eprintln!(
+                "serve: handed off {moved} sessions, {failed} left for WAL recovery"
+            ),
+            Err(e) => eprintln!("serve: handoff skipped: {e}"),
+        }
+    }
     // Graceful: stop accepting, drain the shards; with a WAL this also
     // seals live sessions into the snapshot for a later --recover.
     service.shutdown();
@@ -245,6 +314,118 @@ fn cmd_run(args: &Args) -> ExitCode {
         service.metrics().snapshot().to_json()
     );
     ExitCode::SUCCESS
+}
+
+/// One outbound handoff connection to a peer node: a plain wire-v4
+/// client that only ever sends `Handoff` frames.
+struct HandoffPeer {
+    stream: std::net::TcpStream,
+    frames: FrameBuffer,
+    scratch: Vec<u8>,
+    chunk: Vec<u8>,
+}
+
+impl HandoffPeer {
+    fn dial(addr: SocketAddr) -> Option<Self> {
+        let stream = std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(5)).ok()?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        let mut peer = Self {
+            stream,
+            frames: FrameBuffer::new(),
+            scratch: Vec::new(),
+            chunk: vec![0u8; 16 * 1024],
+        };
+        peer.write(&ClientFrame::Hello {
+            version: WIRE_VERSION,
+        })
+        .ok()?;
+        Some(peer)
+    }
+
+    fn write(&mut self, frame: &ClientFrame) -> std::io::Result<()> {
+        self.scratch.clear();
+        encode_client(frame, &mut self.scratch);
+        self.stream.write_all(&self.scratch)
+    }
+
+    /// Sends one snapshot and waits for its `HandoffAck`; a fault, an
+    /// undecodable reply, or any I/O failure counts as a refusal.
+    fn handoff(&mut self, snapshot: &grandma_serve::SessionSnapshot) -> bool {
+        let mut payload = Vec::new();
+        snapshot.encode(&mut payload);
+        if self
+            .write(&ClientFrame::Handoff { snapshot: payload })
+            .is_err()
+        {
+            return false;
+        }
+        loop {
+            match self.frames.next_server() {
+                Ok(Some(ServerFrame::HandoffAck { session, .. }))
+                    if session == snapshot.session =>
+                {
+                    return true;
+                }
+                Ok(Some(ServerFrame::Fault { session, .. }))
+                    if session == snapshot.session || session == 0 =>
+                {
+                    return false;
+                }
+                Ok(Some(_)) => {}
+                Ok(None) => match self.stream.read(&mut self.chunk) {
+                    Ok(0) | Err(_) => return false,
+                    Ok(n) => self.frames.extend(self.chunk.get(..n).unwrap_or(&[])),
+                },
+                Err(_) => return false,
+            }
+        }
+    }
+}
+
+/// Drains every live session off this node and hands each to the node
+/// the (post-deregistration) ring maps it to, one cached connection per
+/// peer. Returns `(moved, failed)`. A session whose handoff is refused
+/// is restored into the local router so the final shutdown seals it
+/// into the WAL snapshot instead of dropping it.
+fn drain_and_handoff(
+    router: &SessionRouter,
+    cluster_file: &std::path::Path,
+) -> Result<(usize, usize), String> {
+    let snapshots = router.drain_sessions();
+    if snapshots.is_empty() {
+        return Ok((0, 0));
+    }
+    let view = read_cluster(cluster_file).map_err(|e| e.to_string())?;
+    let mut peers: Vec<(SocketAddr, Option<HandoffPeer>)> = Vec::new();
+    let mut moved = 0usize;
+    let mut failed = 0usize;
+    for snapshot in snapshots {
+        let owner = view.owner_addr(snapshot.session);
+        let sent = match owner {
+            Some(addr) => {
+                if !peers.iter().any(|(a, _)| *a == addr) {
+                    peers.push((addr, HandoffPeer::dial(addr)));
+                }
+                peers
+                    .iter_mut()
+                    .find(|(a, _)| *a == addr)
+                    .and_then(|(_, p)| p.as_mut())
+                    .is_some_and(|p| p.handoff(&snapshot))
+            }
+            None => false,
+        };
+        if sent {
+            moved += 1;
+        } else {
+            let _ = router.submit(grandma_serve::ShardMsg::Restore {
+                snapshot: Box::new(snapshot),
+            });
+            failed += 1;
+        }
+    }
+    Ok((moved, failed))
 }
 
 /// Blocks until stdin closes (or delivers a line) or a termination

@@ -83,6 +83,13 @@ pub enum ClientError {
         /// The wire fault code.
         code: FaultCode,
     },
+    /// The server answered `NotOwner`: the cluster ring maps the session
+    /// to another node. The caller should [`ReconnectingClient::redirect`]
+    /// there and retry.
+    Redirected {
+        /// The owning node's address.
+        owner: SocketAddr,
+    },
     /// The server sent bytes that do not decode.
     Protocol(WireError),
     /// The server closed the connection while a reply was outstanding
@@ -100,6 +107,9 @@ impl std::fmt::Display for ClientError {
                 write!(f, "no reply within {waited:?}")
             }
             ClientError::Rejected { code } => write!(f, "server rejected session: {code:?}"),
+            ClientError::Redirected { owner } => {
+                write!(f, "session is owned by another node: {owner}")
+            }
             ClientError::Protocol(e) => write!(f, "undecodable server bytes: {e}"),
             ClientError::ServerClosed => write!(f, "server closed the connection"),
         }
@@ -112,6 +122,17 @@ impl From<WireError> for ClientError {
     fn from(e: WireError) -> Self {
         ClientError::Protocol(e)
     }
+}
+
+/// Attempt `n`'s pre-jitter dial backoff: `base_delay` doubling per
+/// failed attempt, saturating at `max_delay`. Attempt numbering starts
+/// at 1 (attempts 0 and 1 both map to the base delay).
+fn backoff_delay(policy: &RetryPolicy, attempt: u32) -> Duration {
+    let shift = attempt.saturating_sub(1).min(31);
+    policy
+        .base_delay
+        .saturating_mul(1u32 << shift)
+        .min(policy.max_delay)
 }
 
 /// Half-to-full jitter on `delay`, driven by an LCG so chaos runs are
@@ -169,6 +190,10 @@ pub struct ReconnectingClient {
     inbox: Vec<ServerFrame>,
     /// `true` once the session's `Closed` outcome arrived.
     closed_seen: bool,
+    /// Seq assigned to the session's `Close`, once: a retried close
+    /// (e.g. after a cluster re-route) must not renumber it, or the
+    /// terminal outcome's seq would drift from the single-run truth.
+    close_seq: Option<u32>,
     /// Ever sent `Open` (reconnects use `Resume` from then on).
     opened: bool,
     reconnects: u64,
@@ -196,6 +221,7 @@ impl ReconnectingClient {
             window: VecDeque::new(),
             inbox: Vec::new(),
             closed_seen: false,
+            close_seq: None,
             opened: false,
             reconnects: 0,
             resent_events: 0,
@@ -222,6 +248,64 @@ impl ReconnectingClient {
     /// Frames received so far, in order; the internal inbox is drained.
     pub fn take_frames(&mut self) -> Vec<ServerFrame> {
         std::mem::take(&mut self.inbox)
+    }
+
+    /// The address the client currently dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Cluster redirect: point the client at `addr` and drop the live
+    /// connection, so the next operation dials the new node and
+    /// `Resume`s the session there. Used when a server answers
+    /// `NotOwner { owner }` after a ring change.
+    pub fn redirect(&mut self, addr: SocketAddr) {
+        if self.addr != addr {
+            self.addr = addr;
+            self.drop_stream();
+        }
+    }
+
+    /// Sent-but-unproven events still in the resume window. When this
+    /// is 0 every event the client sent has been acked by a reply
+    /// frame, and — replies being FIFO per connection — every frame the
+    /// server generated for those events has been received.
+    pub fn unacked_events(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Reads whatever the server has sent (waiting up to `wait` for
+    /// bytes to arrive) and files it in the inbox without writing
+    /// anything: lets callers collect asynchronous outcome frames
+    /// between events.
+    pub fn pump(&mut self, wait: Duration) -> Result<(), ClientError> {
+        self.ensure_connected()?;
+        if let Some(stream) = self.stream.as_mut() {
+            let _ = stream.set_read_timeout(Some(wait.max(Duration::from_millis(1))));
+        }
+        let read = self.read_once();
+        if let Some(stream) = self.stream.as_mut() {
+            let _ = stream.set_read_timeout(Some(self.policy.request_timeout));
+        }
+        read?;
+        self.pump_frames()
+    }
+
+    /// The seq assigned to the most recent event (0 before any event).
+    /// Lets a routing layer recover the seq of an event whose
+    /// `send_event` failed mid-redirect: the event stays in the window
+    /// and is re-sent by the resume, so the seq is still valid.
+    pub fn last_assigned_seq(&self) -> u32 {
+        self.next_seq.wrapping_sub(1)
+    }
+
+    /// Dials, handshakes, and opens or resumes the session now if the
+    /// connection is down; a no-op while connected. Routing layers call
+    /// this after [`ReconnectingClient::redirect`] so the resume (and
+    /// the window re-send it implies) happens eagerly rather than on
+    /// the next event.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.ensure_connected()
     }
 
     /// Test/chaos hook: kill the connection abruptly. The next
@@ -259,8 +343,15 @@ impl ReconnectingClient {
     /// drained inbox). A session the server no longer knows (it was
     /// closed before the connection died) counts as closed.
     pub fn close(&mut self) -> Result<Vec<ServerFrame>, ClientError> {
-        let seq = self.next_seq;
-        self.next_seq = self.next_seq.wrapping_add(1);
+        let seq = match self.close_seq {
+            Some(seq) => seq,
+            None => {
+                let seq = self.next_seq;
+                self.next_seq = self.next_seq.wrapping_add(1);
+                self.close_seq = Some(seq);
+                seq
+            }
+        };
         let mut attempts = 0u32;
         while !self.closed_seen {
             attempts += 1;
@@ -393,7 +484,6 @@ impl ReconnectingClient {
         if self.stream.is_some() {
             return Ok(());
         }
-        let mut delay = self.policy.base_delay;
         let mut attempts = 0u32;
         loop {
             attempts += 1;
@@ -413,6 +503,13 @@ impl ReconnectingClient {
                 Err(ClientError::Rejected { code }) if attempts >= self.policy.max_attempts => {
                     return Err(ClientError::Rejected { code });
                 }
+                // A redirect is authoritative routing, not a transient
+                // failure: surface it immediately so the caller can
+                // re-dial the owning node.
+                Err(ClientError::Redirected { owner }) => {
+                    self.drop_stream();
+                    return Err(ClientError::Redirected { owner });
+                }
                 Err(e) => {
                     self.drop_stream();
                     if attempts >= self.policy.max_attempts {
@@ -429,8 +526,10 @@ impl ReconnectingClient {
                             },
                         });
                     }
-                    std::thread::sleep(jittered(&mut self.rng, delay));
-                    delay = (delay * 2).min(self.policy.max_delay);
+                    std::thread::sleep(jittered(
+                        &mut self.rng,
+                        backoff_delay(&self.policy, attempts),
+                    ));
                 }
             }
         }
@@ -499,6 +598,9 @@ impl ReconnectingClient {
                     ServerFrame::Fault { session, code, .. } if session == self.session => {
                         return Err(ClientError::Rejected { code });
                     }
+                    ServerFrame::NotOwner { session, owner } if session == self.session => {
+                        return Err(ClientError::Redirected { owner });
+                    }
                     other => {
                         if let Some(acked) = acked_seq(&other, self.session) {
                             prune_window(&mut self.window, acked);
@@ -551,6 +653,43 @@ mod tests {
         let mut c = 43u64;
         let diverged = (0..64).any(|_| jittered(&mut a, delay) != jittered(&mut c, delay));
         assert!(diverged, "different seeds should diverge");
+    }
+
+    #[test]
+    fn backoff_schedule_is_capped_exponential_with_seeded_jitter() {
+        let policy = RetryPolicy::default();
+        // The pre-jitter schedule: 10 ms doubling, pinned to the 1 s cap.
+        let expected_ms = [10u64, 20, 40, 80, 160, 320, 640, 1000, 1000, 1000];
+        for (i, &ms) in expected_ms.iter().enumerate() {
+            assert_eq!(
+                backoff_delay(&policy, i as u32 + 1),
+                Duration::from_millis(ms),
+                "attempt {}",
+                i + 1
+            );
+        }
+        // Attempt numbering starts at 1; the cap holds arbitrarily far out
+        // (the shift saturates rather than overflowing).
+        assert_eq!(backoff_delay(&policy, 0), policy.base_delay);
+        assert_eq!(backoff_delay(&policy, u32::MAX), policy.max_delay);
+        // The jitter stream a client would use (seed xor session id) is
+        // deterministic and confined to half-to-full of each delay.
+        let mut rng = policy.jitter_seed ^ 7;
+        let mut replay = policy.jitter_seed ^ 7;
+        for attempt in 1..=10u32 {
+            let delay = backoff_delay(&policy, attempt);
+            let jittered_delay = jittered(&mut rng, delay);
+            assert_eq!(
+                jittered_delay,
+                jittered(&mut replay, delay),
+                "same seed must replay the same schedule"
+            );
+            assert!(
+                jittered_delay >= delay / 2 && jittered_delay <= delay,
+                "attempt {attempt}: {jittered_delay:?} outside [{:?}, {delay:?}]",
+                delay / 2
+            );
+        }
     }
 
     #[test]

@@ -156,6 +156,33 @@ impl Duplex {
                     reply: self.reply_tx.clone().into(),
                 },
             ),
+            ClientFrame::Handoff { snapshot } => {
+                // Mirror the TCP reader: an undecodable snapshot is a
+                // protocol violation, answered with `BadFrame`; a good
+                // one crosses the shard queue like a peer-driven Restore.
+                match crate::session::SessionSnapshot::decode(&snapshot) {
+                    Ok((snap, _)) => {
+                        let session = snap.session;
+                        self.submit(
+                            session,
+                            0,
+                            ShardMsg::Handoff {
+                                conn: self.conn,
+                                snapshot: Box::new(snap),
+                                reply: self.reply_tx.clone().into(),
+                            },
+                        )
+                    }
+                    Err(_) => {
+                        let _ = self.reply_tx.send(ServerFrame::Fault {
+                            session: 0,
+                            seq: 0,
+                            code: FaultCode::BadFrame,
+                        });
+                        Ok(())
+                    }
+                }
+            }
         }
     }
 

@@ -23,6 +23,14 @@
 //! frame. v1 single-`Event` clients still round-trip unchanged
 //! ([`MIN_WIRE_VERSION`]).
 //!
+//! Wire v4 adds the cluster layer (DESIGN.md §15): an ownership fence
+//! ([`SessionFence`]) answers `Open`/`Resume` for foreign sessions with
+//! `NotOwner { owner }`, `Handoff` frames move serialized
+//! [`SessionSnapshot`]s between nodes (acked with `HandoffAck`), and
+//! [`ClusterClient`] routes a session to its consistent-hash ring owner
+//! via the `grandma-cluster` discovery file, following redirects and
+//! membership changes without losing or duplicating events.
+//!
 //! Determinism contract: a session's server-frame sequence is a pure
 //! function of its event stream and the recognizer, regardless of
 //! transport, shard count, or how other sessions interleave. The
@@ -55,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster_client;
 pub mod duplex;
 pub mod metrics;
 pub mod pool;
@@ -66,21 +75,23 @@ pub mod wal;
 pub mod wire;
 
 pub use client::{ClientError, ReconnectingClient, RetryPolicy};
+pub use cluster_client::{ClusterClient, ClusterError, MAX_ROUTE_HOPS};
 pub use duplex::{Duplex, DuplexError};
 pub use metrics::{MetricsSnapshot, ServiceMetrics, ShardSnapshot};
 pub use pool::BatchPool;
 pub use router::{
-    RecoveryReport, ReplyBridge, ReplyTx, ServeConfig, SessionRouter, ShardMsg, SubmitError,
+    RecoveryReport, ReplyBridge, ReplyTx, ServeConfig, SessionFence, SessionRouter, ShardMsg,
+    SubmitError,
 };
 pub use session::{
     run_events_inproc, PipelineConfig, SessionPipeline, SessionSnapshot, SnapshotError,
     SnapshotPhase, OUTCOME_KIND_COUNT,
 };
 pub use tcp::{TcpOptions, TcpService};
-pub use wal::{FsyncPolicy, WalConfig};
+pub use wal::{FsyncPolicy, WalConfig, WalDirLock, WAL_LOCK_FILE};
 pub use wire::{
     decode_client, decode_client_view, decode_server, encode_client, encode_event_batch,
     encode_server, ClientFrame, ClientFrameView, EventBatchIter, EventBatchView, FaultCode,
     FrameBuffer, OutcomeKind, ServerFrame, WireError, EVENT_RECORD_LEN, MAX_BATCH_EVENTS,
-    MAX_BATCH_FRAME_LEN, MAX_FRAME_LEN, MIN_WIRE_VERSION, WIRE_VERSION,
+    MAX_BATCH_FRAME_LEN, MAX_FRAME_LEN, MAX_HANDOFF_FRAME_LEN, MIN_WIRE_VERSION, WIRE_VERSION,
 };

@@ -106,6 +106,11 @@ pub struct ServiceMetrics {
     /// Successful `Resume`s — orphaned sessions re-bound to a live
     /// connection.
     pub sessions_resumed: AtomicU64,
+    /// Sessions accepted from peer nodes via wire v4 `Handoff`.
+    pub sessions_handed_off: AtomicU64,
+    /// `Open`/`Resume` requests answered with `NotOwner` because the
+    /// cluster ring maps the session to another node.
+    pub not_owner_redirects: AtomicU64,
     /// Records appended to write-ahead logs across all shards.
     pub wal_appends: AtomicU64,
     /// Bytes those appends wrote (headers included).
@@ -143,6 +148,8 @@ impl ServiceMetrics {
             closes_abandoned: AtomicU64::new(0),
             recovered_sessions: AtomicU64::new(0),
             sessions_resumed: AtomicU64::new(0),
+            sessions_handed_off: AtomicU64::new(0),
+            not_owner_redirects: AtomicU64::new(0),
             wal_appends: AtomicU64::new(0),
             wal_bytes: AtomicU64::new(0),
             replay_ms: AtomicU64::new(0),
@@ -210,6 +217,8 @@ impl ServiceMetrics {
             closes_abandoned: load(&self.closes_abandoned),
             recovered_sessions: load(&self.recovered_sessions),
             sessions_resumed: load(&self.sessions_resumed),
+            sessions_handed_off: load(&self.sessions_handed_off),
+            not_owner_redirects: load(&self.not_owner_redirects),
             wal_appends: load(&self.wal_appends),
             wal_bytes: load(&self.wal_bytes),
             replay_ms: load(&self.replay_ms),
@@ -308,6 +317,10 @@ pub struct MetricsSnapshot {
     pub recovered_sessions: u64,
     /// Successful `Resume`s onto live connections.
     pub sessions_resumed: u64,
+    /// Sessions accepted from peer nodes via `Handoff`.
+    pub sessions_handed_off: u64,
+    /// `Open`/`Resume`s answered with `NotOwner` redirects.
+    pub not_owner_redirects: u64,
     /// WAL records appended across all shards.
     pub wal_appends: u64,
     /// Bytes those appends wrote.
@@ -341,6 +354,7 @@ impl MetricsSnapshot {
              \"writes_short\": {},\n  \"connections_shed\": {},\n  \"accept_errors\": {},\n  \"idle_reaped\": {},\n  \
              \"closes_abandoned\": {},\n  \
              \"recovered_sessions\": {},\n  \"sessions_resumed\": {},\n  \
+             \"sessions_handed_off\": {},\n  \"not_owner_redirects\": {},\n  \
              \"wal_appends\": {},\n  \"wal_bytes\": {},\n  \"replay_ms\": {},\n  \
              \"shards\": [{}]\n}}",
             self.sessions_opened,
@@ -370,6 +384,8 @@ impl MetricsSnapshot {
             self.closes_abandoned,
             self.recovered_sessions,
             self.sessions_resumed,
+            self.sessions_handed_off,
+            self.not_owner_redirects,
             self.wal_appends,
             self.wal_bytes,
             self.replay_ms,
@@ -430,6 +446,8 @@ mod tests {
         m.wal_appends.fetch_add(11, Ordering::Relaxed);
         m.wal_bytes.fetch_add(12, Ordering::Relaxed);
         m.replay_ms.store(13, Ordering::Relaxed);
+        m.sessions_handed_off.fetch_add(14, Ordering::Relaxed);
+        m.not_owner_redirects.fetch_add(15, Ordering::Relaxed);
         let snap = m.snapshot();
         assert_eq!(snap.open_connections, 2);
         assert_eq!(snap.reactor_wakeups, 5);
@@ -444,6 +462,8 @@ mod tests {
         assert_eq!(snap.wal_appends, 11);
         assert_eq!(snap.wal_bytes, 12);
         assert_eq!(snap.replay_ms, 13);
+        assert_eq!(snap.sessions_handed_off, 14);
+        assert_eq!(snap.not_owner_redirects, 15);
         let json = snap.to_json();
         for (key, value) in [
             ("open_connections", 2u64),
@@ -459,6 +479,8 @@ mod tests {
             ("wal_appends", 11),
             ("wal_bytes", 12),
             ("replay_ms", 13),
+            ("sessions_handed_off", 14),
+            ("not_owner_redirects", 15),
         ] {
             let needle = format!("\"{key}\": {value}");
             assert_eq!(

@@ -27,9 +27,10 @@
 //! down by replaying `Close` for the contested id.
 
 use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Barrier, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -154,6 +155,14 @@ impl From<Sender<ServerFrame>> for ReplyTx {
     }
 }
 
+/// Cluster ownership fence: given a session id, returns `Some(addr)`
+/// when a *different* node owns the session per the consistent-hash
+/// ring (the transport then answers `NotOwner { owner: addr }` instead
+/// of submitting), or `None` when this node owns it — or when no
+/// cluster is configured, which is why the fence fails open. Installed
+/// by `serve run --cluster-file` via [`SessionRouter::set_fence`].
+pub type SessionFence = Arc<dyn Fn(u64) -> Option<SocketAddr> + Send + Sync>;
+
 /// A message to a shard worker.
 pub enum ShardMsg {
     /// Open a session; `reply` is the connection's outbound frame
@@ -242,6 +251,28 @@ pub enum ShardMsg {
         /// The decoded snapshot (boxed: snapshots carry point buffers).
         snapshot: Box<SessionSnapshot>,
     },
+    /// Install a session transferred from another node (wire v4
+    /// `Handoff`). Like `Restore` the session lands orphaned awaiting
+    /// its client's `Resume`, but the sender is a live peer expecting
+    /// an answer: [`ServerFrame::HandoffAck`] on success, a typed fault
+    /// (`AlreadyOpen`, `SessionLimit`) otherwise. The accepted handoff
+    /// is journaled to the WAL before it is acknowledged.
+    Handoff {
+        /// The submitting connection's id (0 in replay).
+        conn: u64,
+        /// The decoded snapshot.
+        snapshot: Box<SessionSnapshot>,
+        /// Outbound frame path of the submitting connection.
+        reply: ReplyTx,
+    },
+    /// Snapshot **and remove** every session the shard holds, shipping
+    /// the snapshots to `out` — the outbound half of a node drain. The
+    /// emptied shard is sealed into its WAL so a restart cannot
+    /// resurrect sessions that moved to other nodes.
+    Drain {
+        /// Where the drained snapshots go.
+        out: Sender<Vec<SessionSnapshot>>,
+    },
     /// Snapshot every live session into the shard's WAL snapshot file
     /// and truncate its log, then rendezvous on the barrier. Doubles as
     /// a flush fence: by the time the barrier releases, every message
@@ -262,8 +293,11 @@ impl ShardMsg {
             | ShardMsg::EventBatch { session, .. }
             | ShardMsg::Close { session, .. }
             | ShardMsg::Resume { session, .. } => Some(*session),
-            ShardMsg::Restore { snapshot } => Some(snapshot.session),
+            ShardMsg::Restore { snapshot } | ShardMsg::Handoff { snapshot, .. } => {
+                Some(snapshot.session)
+            }
             ShardMsg::Detach { .. }
+            | ShardMsg::Drain { .. }
             | ShardMsg::Checkpoint(_)
             | ShardMsg::Pause(_)
             | ShardMsg::Shutdown => None,
@@ -336,6 +370,10 @@ pub struct SessionRouter {
     conn_ids: AtomicU64,
     down: AtomicBool,
     detach_on_disconnect: bool,
+    /// Cluster ownership fence; `None` (the default) means every session
+    /// is ours. Behind an `RwLock` so `serve run` can install it after
+    /// the listener binds and refresh-driven closures can be swapped.
+    fence: RwLock<Option<SessionFence>>,
 }
 
 impl SessionRouter {
@@ -378,6 +416,7 @@ impl SessionRouter {
             conn_ids: AtomicU64::new(0),
             down: AtomicBool::new(false),
             detach_on_disconnect: config.detach_on_disconnect,
+            fence: RwLock::new(None),
         })
     }
 
@@ -498,6 +537,52 @@ impl SessionRouter {
         }
     }
 
+    /// Installs (or replaces) the cluster ownership fence. Transports
+    /// consult it via [`SessionRouter::owner_redirect`] before admitting
+    /// `Open`/`Resume` traffic.
+    pub fn set_fence(&self, fence: SessionFence) {
+        if let Ok(mut slot) = self.fence.write() {
+            *slot = Some(fence);
+        }
+    }
+
+    /// Where `session` should be redirected, per the installed fence:
+    /// `Some(owner_addr)` when another node owns it, `None` when this
+    /// node does (or no fence is installed — the fence fails open so a
+    /// torn cluster file never blackholes traffic).
+    pub fn owner_redirect(&self, session: u64) -> Option<SocketAddr> {
+        let guard = self.fence.read().ok()?;
+        guard.as_ref().and_then(|f| f(session))
+    }
+
+    /// Snapshots **and removes** every session on every shard, returning
+    /// the snapshots sorted by session id — the outbound half of a node
+    /// drain. Each emptied shard seals its WAL, so a restart of this
+    /// node cannot resurrect sessions that were handed to other nodes.
+    /// Blocks until every shard has drained.
+    pub fn drain_sessions(&self) -> Vec<SessionSnapshot> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut expected = 0usize;
+        for (shard, shard_tx) in self.shards.iter().enumerate() {
+            self.metrics.shard(shard).note_enqueue();
+            if shard_tx.send(ShardMsg::Drain { out: tx.clone() }).is_err() {
+                self.metrics.shard(shard).note_dequeue();
+            } else {
+                expected += 1;
+            }
+        }
+        drop(tx);
+        let mut drained = Vec::new();
+        for _ in 0..expected {
+            match rx.recv() {
+                Ok(batch) => drained.extend(batch),
+                Err(_) => break,
+            }
+        }
+        drained.sort_by_key(|s| s.session);
+        drained
+    }
+
     /// Forces every shard to snapshot its live sessions into the WAL
     /// snapshot file and truncate its log, blocking until all shards
     /// have done so. A no-op fence on shards without a WAL. Used for the
@@ -581,6 +666,23 @@ impl SessionRouter {
                         seq,
                         reply: ReplyTx::sink(),
                     },
+                    // A journaled handoff is a session this node accepted
+                    // from a peer: reinstall it from the embedded
+                    // snapshot, exactly like a compaction snapshot.
+                    ClientFrame::Handoff { snapshot } => {
+                        match SessionSnapshot::decode(&snapshot) {
+                            Ok((snap, _)) => {
+                                report.sessions += 1;
+                                ShardMsg::Restore {
+                                    snapshot: Box::new(snap),
+                                }
+                            }
+                            Err(_) => {
+                                report.torn = true;
+                                continue;
+                            }
+                        }
+                    }
                     // Handshake and resume frames never reach the log;
                     // tolerate them in a hand-edited file by skipping.
                     ClientFrame::Hello { .. } | ClientFrame::Resume { .. } => continue,
@@ -919,6 +1021,58 @@ fn shard_worker(
                 };
                 sessions.insert(snapshot.session, entry);
                 metrics.recovered_sessions.fetch_add(1, Ordering::Relaxed);
+            }
+            ShardMsg::Handoff { conn, snapshot, reply } => {
+                let session = snapshot.session;
+                if sessions.contains_key(&session) {
+                    reply.send(ServerFrame::Fault {
+                        session,
+                        seq: 0,
+                        code: FaultCode::AlreadyOpen,
+                    });
+                    continue;
+                }
+                if sessions.len() >= config.max_sessions_per_shard {
+                    reply.send(ServerFrame::Fault {
+                        session,
+                        seq: 0,
+                        code: FaultCode::SessionLimit,
+                    });
+                    continue;
+                }
+                // Write-ahead: journal the accepted handoff before the
+                // ack, so a crash right after the sender forgets the
+                // session still recovers it here. Replay (conn 0)
+                // never re-appends.
+                if conn != 0 && wal.is_some() {
+                    let mut payload = Vec::new();
+                    snapshot.encode(&mut payload);
+                    wal_buf.clear();
+                    encode_client(&ClientFrame::Handoff { snapshot: payload }, &mut wal_buf);
+                    wal_append(&mut wal, shard, &metrics, &wal_buf);
+                }
+                let last_seq = snapshot.last_seq;
+                let entry = SessionEntry {
+                    conn: 0,
+                    restored_watermark: Some(last_seq),
+                    pipeline: SessionPipeline::restore(&snapshot),
+                    reply: ReplyTx::sink(),
+                };
+                sessions.insert(session, entry);
+                metrics.sessions_handed_off.fetch_add(1, Ordering::Relaxed);
+                reply.send(ServerFrame::HandoffAck { session, last_seq });
+            }
+            ShardMsg::Drain { out } => {
+                let mut drained: Vec<SessionSnapshot> = sessions
+                    .drain()
+                    .map(|(_, entry)| entry.pipeline.snapshot())
+                    .collect();
+                drained.sort_by_key(|s| s.session);
+                // The shard is empty now; the forced compaction writes an
+                // empty snapshot set and truncates the log, sealing the
+                // moved sessions out of this node's recovery path.
+                wal_compact_if_due(&mut wal, shard, &sessions, true);
+                let _ = out.send(drained);
             }
             ShardMsg::Checkpoint(barrier) => {
                 wal_compact_if_due(&mut wal, shard, &sessions, true);
@@ -1521,6 +1675,243 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn handoff_then_resume_matches_an_unmoved_session_byte_for_byte() {
+        let data = datasets::eight_way(0x7e57, 0, 1);
+        let events: Vec<(u32, InputEvent)> = EventScript::new()
+            .then_gesture(&data.testing[0].gesture, Button::Left)
+            .into_events()
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| (i as u32, e))
+            .collect();
+        let close_seq = events.len() as u32;
+        let split = events.len() / 2;
+
+        // Control: the whole session on one router.
+        let control = {
+            let router = SessionRouter::new(recognizer(), ServeConfig::default());
+            let conn = router.new_conn_id();
+            let (tx, rx) = std::sync::mpsc::channel();
+            router
+                .submit(ShardMsg::Open {
+                    conn,
+                    session: 77,
+                    seq: 0,
+                    reply: tx.clone().into(),
+                })
+                .unwrap();
+            for &(seq, event) in &events {
+                router
+                    .submit(ShardMsg::Event {
+                        conn,
+                        session: 77,
+                        seq,
+                        event,
+                        reply: tx.clone().into(),
+                    })
+                    .unwrap();
+            }
+            router
+                .submit(ShardMsg::Close {
+                    conn,
+                    session: 77,
+                    seq: close_seq,
+                    reply: tx.into(),
+                })
+                .unwrap();
+            let frames = recv_until_closed(&rx);
+            router.shutdown();
+            frames
+        };
+
+        // Split run: first half on node A, drain, hand off to node B,
+        // resume there, feed the rest.
+        let node_a = SessionRouter::new(recognizer(), ServeConfig::default());
+        let conn_a = node_a.new_conn_id();
+        let (tx_a, rx_a) = std::sync::mpsc::channel();
+        node_a
+            .submit(ShardMsg::Open {
+                conn: conn_a,
+                session: 77,
+                seq: 0,
+                reply: tx_a.clone().into(),
+            })
+            .unwrap();
+        for &(seq, event) in &events[..split] {
+            node_a
+                .submit(ShardMsg::Event {
+                    conn: conn_a,
+                    session: 77,
+                    seq,
+                    event,
+                    reply: tx_a.clone().into(),
+                })
+                .unwrap();
+        }
+        let snapshots = node_a.drain_sessions();
+        node_a.shutdown();
+        assert_eq!(snapshots.len(), 1);
+        assert_eq!(snapshots[0].session, 77);
+
+        let node_b = SessionRouter::new(recognizer(), ServeConfig::default());
+        let conn_b = node_b.new_conn_id();
+        let (tx_b, rx_b) = std::sync::mpsc::channel();
+        node_b
+            .submit(ShardMsg::Handoff {
+                conn: conn_b,
+                snapshot: Box::new(snapshots[0].clone()),
+                reply: tx_b.clone().into(),
+            })
+            .unwrap();
+        let ack = rx_b.recv_timeout(Duration::from_secs(10)).expect("ack");
+        let handoff_last_seq = snapshots[0].last_seq;
+        assert_eq!(
+            ack,
+            ServerFrame::HandoffAck {
+                session: 77,
+                last_seq: handoff_last_seq,
+            }
+        );
+        node_b
+            .submit(ShardMsg::Resume {
+                conn: conn_b,
+                session: 77,
+                reply: tx_b.clone().into(),
+            })
+            .unwrap();
+        let resumed = rx_b.recv_timeout(Duration::from_secs(10)).expect("resumed");
+        assert_eq!(
+            resumed,
+            ServerFrame::Resumed {
+                session: 77,
+                last_seq: handoff_last_seq,
+            }
+        );
+        for &(seq, event) in &events[split..] {
+            node_b
+                .submit(ShardMsg::Event {
+                    conn: conn_b,
+                    session: 77,
+                    seq,
+                    event,
+                    reply: tx_b.clone().into(),
+                })
+                .unwrap();
+        }
+        node_b
+            .submit(ShardMsg::Close {
+                conn: conn_b,
+                session: 77,
+                seq: close_seq,
+                reply: tx_b.into(),
+            })
+            .unwrap();
+        let tail = recv_until_closed(&rx_b);
+        assert_eq!(node_b.metrics().snapshot().sessions_handed_off, 1);
+        node_b.shutdown();
+
+        let mut moved = drain_frames(&rx_a);
+        moved.extend(tail);
+        assert_eq!(
+            moved, control,
+            "a handed-off session must emit exactly the control run's frames"
+        );
+    }
+
+    #[test]
+    fn drain_empties_every_shard_and_sorts_snapshots() {
+        let router = SessionRouter::new(recognizer(), ServeConfig {
+            shards: 3,
+            ..ServeConfig::default()
+        });
+        let conn = router.new_conn_id();
+        let (tx, _rx) = std::sync::mpsc::channel::<ServerFrame>();
+        for session in [9u64, 2, 31, 14] {
+            router
+                .submit(ShardMsg::Open {
+                    conn,
+                    session,
+                    seq: 0,
+                    reply: tx.clone().into(),
+                })
+                .unwrap();
+        }
+        let snapshots = router.drain_sessions();
+        let ids: Vec<u64> = snapshots.iter().map(|s| s.session).collect();
+        assert_eq!(ids, vec![2, 9, 14, 31], "sorted by session id");
+        // The drained sessions are gone: feeding one faults UnknownSession.
+        let (tx2, rx2) = std::sync::mpsc::channel();
+        router
+            .submit(ShardMsg::Event {
+                conn,
+                session: 9,
+                seq: 1,
+                event: InputEvent::new(EventKind::MouseMove, 0.0, 0.0, 0.0),
+                reply: tx2.into(),
+            })
+            .unwrap();
+        let frame = rx2.recv_timeout(Duration::from_secs(5)).expect("fault");
+        assert!(matches!(
+            frame,
+            ServerFrame::Fault {
+                session: 9,
+                code: FaultCode::UnknownSession,
+                ..
+            }
+        ));
+        router.shutdown();
+    }
+
+    #[test]
+    fn handoff_of_an_existing_session_faults_already_open() {
+        let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        let conn = router.new_conn_id();
+        let (tx, rx) = std::sync::mpsc::channel();
+        router
+            .submit(ShardMsg::Open {
+                conn,
+                session: 5,
+                seq: 0,
+                reply: tx.clone().into(),
+            })
+            .unwrap();
+        // Build a snapshot of some other pipeline with the same id.
+        let pipeline = SessionPipeline::new(5, PipelineConfig::default());
+        router
+            .submit(ShardMsg::Handoff {
+                conn,
+                snapshot: Box::new(pipeline.snapshot()),
+                reply: tx.into(),
+            })
+            .unwrap();
+        let frame = rx.recv_timeout(Duration::from_secs(5)).expect("fault");
+        assert!(matches!(
+            frame,
+            ServerFrame::Fault {
+                session: 5,
+                seq: 0,
+                code: FaultCode::AlreadyOpen,
+            }
+        ));
+        router.shutdown();
+        assert_eq!(router.metrics().snapshot().sessions_handed_off, 0);
+    }
+
+    #[test]
+    fn fence_redirects_foreign_sessions_and_fails_open() {
+        let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        // No fence installed: everything is ours.
+        assert_eq!(router.owner_redirect(1), None);
+        let peer: SocketAddr = "127.0.0.1:9001".parse().unwrap();
+        router.set_fence(Arc::new(move |session| {
+            if session % 2 == 1 { Some(peer) } else { None }
+        }));
+        assert_eq!(router.owner_redirect(1), Some(peer));
+        assert_eq!(router.owner_redirect(2), None);
+        router.shutdown();
     }
 
     #[test]

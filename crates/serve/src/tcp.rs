@@ -21,7 +21,11 @@
 //!    back as `Fault(Busy)`; a busy `Close` is queued transport-side
 //!    and retried each reactor iteration (losing it would leak the
 //!    session until teardown). The bytes are never buffered beyond the
-//!    bounded shard queue.
+//!    bounded shard queue. When a cluster fence is installed
+//!    ([`SessionRouter::set_fence`]), `Open`/`Resume` for sessions the
+//!    ring maps to another node answer `NotOwner { owner }` instead of
+//!    being admitted; v4 `Handoff` frames bypass the fence (the sending
+//!    peer routed them here on purpose).
 //! 3. Undecodable bytes produce `Fault(BadFrame)`; the fault is flushed
 //!    and the connection closed. The decoder returns typed errors and
 //!    never panics, so hostile input costs one connection, not the
@@ -68,6 +72,7 @@ use std::time::{Duration, Instant};
 
 use crate::metrics::ServiceMetrics;
 use crate::router::{ReplyBridge, ReplyTx, SessionRouter, ShardMsg, SubmitError};
+use crate::session::SessionSnapshot;
 use crate::sys::{poll_fds, PollFd, Waker, POLLIN, POLLOUT};
 use crate::wire::{
     encode_server, ClientFrameView, FaultCode, FrameBuffer, OutcomeKind, ServerFrame,
@@ -705,6 +710,13 @@ fn dispatch_frames(
                 // A second Hello is harmless; ignore it.
             }
             ClientFrameView::Open { session } => {
+                // Cluster fence: a session the ring maps elsewhere is
+                // redirected, never admitted here.
+                if let Some(owner) = router.owner_redirect(session) {
+                    metrics.not_owner_redirects.fetch_add(1, Ordering::Relaxed);
+                    queue_frame(c, metrics, &ServerFrame::NotOwner { session, owner });
+                    continue;
+                }
                 let msg = ShardMsg::Open {
                     conn: conn_id,
                     session,
@@ -799,6 +811,13 @@ fn dispatch_frames(
                 }
             }
             ClientFrameView::Resume { session, last_seq: _ } => {
+                // Same fence as Open: after a ring change the session's
+                // new owner — not us — must serve the resume.
+                if let Some(owner) = router.owner_redirect(session) {
+                    metrics.not_owner_redirects.fetch_add(1, Ordering::Relaxed);
+                    queue_frame(c, metrics, &ServerFrame::NotOwner { session, owner });
+                    continue;
+                }
                 // The server is authoritative about what it processed:
                 // the shard replies `Resumed { last_seq }` from its own
                 // pipeline state and the client re-sends everything
@@ -825,6 +844,51 @@ fn dispatch_frames(
                         },
                     ),
                     Err(SubmitError::Closed) => return false,
+                }
+            }
+            ClientFrameView::Handoff { snapshot } => {
+                // Peer-to-peer session transfer. Deliberately not
+                // fenced: the sender routed the session here because
+                // the ring (as it sees it) maps it to this node, and a
+                // transfer must not bounce between nodes holding
+                // different registry generations. An undecodable
+                // snapshot is a protocol fault like any other
+                // undecodable frame: fault, flush, close.
+                match SessionSnapshot::decode(snapshot) {
+                    Ok((snap, _)) => {
+                        let session = snap.session;
+                        match router.submit(ShardMsg::Handoff {
+                            conn: conn_id,
+                            snapshot: Box::new(snap),
+                            reply: c.reply.clone(),
+                        }) {
+                            Ok(()) => {}
+                            Err(SubmitError::Busy) => queue_frame(
+                                c,
+                                metrics,
+                                &ServerFrame::Fault {
+                                    session,
+                                    seq: 0,
+                                    code: FaultCode::Busy,
+                                },
+                            ),
+                            Err(SubmitError::Closed) => return false,
+                        }
+                    }
+                    Err(_) => {
+                        metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        queue_frame(
+                            c,
+                            metrics,
+                            &ServerFrame::Fault {
+                                session: 0,
+                                seq: 0,
+                                code: FaultCode::BadFrame,
+                            },
+                        );
+                        c.closing = true;
+                        return true;
+                    }
                 }
             }
         }
@@ -1735,6 +1799,150 @@ mod tests {
         assert_eq!(snap.idle_reaped, 1, "{snap:?}");
         assert_eq!(snap.sessions_opened, 2);
         assert_eq!(snap.sessions_closed, 2, "{snap:?}");
+    }
+
+    #[test]
+    fn fenced_sessions_are_redirected_with_not_owner() {
+        let router = SessionRouter::new(recognizer(), ServeConfig::default());
+        let peer: SocketAddr = "127.0.0.1:4242".parse().expect("addr");
+        router.set_fence(Arc::new(move |session| (session == 13).then_some(peer)));
+        let mut service = TcpService::start(router, "127.0.0.1:0").expect("bind");
+        let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
+        let mut bytes = Vec::new();
+        encode_client(
+            &ClientFrame::Hello {
+                version: WIRE_VERSION,
+            },
+            &mut bytes,
+        );
+        // Session 13 belongs to the peer; session 14 is ours.
+        encode_client(&ClientFrame::Open { session: 13 }, &mut bytes);
+        encode_client(&ClientFrame::Open { session: 14 }, &mut bytes);
+        encode_client(&ClientFrame::Close { session: 14, seq: 0 }, &mut bytes);
+        stream.write_all(&bytes).expect("write");
+        let frames = read_server_frames(&mut stream, 14);
+        assert!(
+            frames.contains(&ServerFrame::NotOwner {
+                session: 13,
+                owner: peer,
+            }),
+            "{frames:?}"
+        );
+        assert!(matches!(
+            frames.last(),
+            Some(ServerFrame::Outcome {
+                outcome: OutcomeKind::Closed,
+                ..
+            })
+        ));
+        service.shutdown();
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.not_owner_redirects, 1);
+        assert_eq!(snap.sessions_opened, 1, "the fenced open never landed");
+    }
+
+    #[test]
+    fn handoff_over_tcp_is_acked_and_resumable() {
+        use grandma_events::{Button, EventScript};
+        // Build the mid-flight session state on a standalone pipeline.
+        let data = datasets::eight_way(0x7e57, 0, 1);
+        let events = EventScript::new()
+            .then_gesture(&data.testing[0].gesture, Button::Left)
+            .into_events();
+        let rec = recognizer();
+        let mut pipeline =
+            crate::session::SessionPipeline::new(21, crate::session::PipelineConfig::default());
+        let mut scratch = Vec::new();
+        let split = events.len() / 2;
+        for (i, e) in events.iter().take(split).enumerate() {
+            pipeline.feed(&rec, i as u32 + 1, *e, &mut scratch);
+        }
+        let snapshot = pipeline.snapshot();
+        let mut payload = Vec::new();
+        snapshot.encode(&mut payload);
+
+        let mut service = TcpService::start(
+            SessionRouter::new(recognizer(), ServeConfig::default()),
+            "127.0.0.1:0",
+        )
+        .expect("bind");
+        let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
+        let mut bytes = Vec::new();
+        encode_client(
+            &ClientFrame::Hello {
+                version: WIRE_VERSION,
+            },
+            &mut bytes,
+        );
+        encode_client(&ClientFrame::Handoff { snapshot: payload }, &mut bytes);
+        stream.write_all(&bytes).expect("write handoff");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let mut fb = FrameBuffer::new();
+        let mut chunk = [0u8; 4096];
+        let ack = loop {
+            let n = stream.read(&mut chunk).expect("read ack");
+            assert!(n > 0, "eof before ack");
+            fb.extend(&chunk[..n]);
+            if let Some(frame) = fb.next_server().expect("server bytes") {
+                break frame;
+            }
+        };
+        assert_eq!(
+            ack,
+            ServerFrame::HandoffAck {
+                session: 21,
+                last_seq: snapshot.last_seq,
+            }
+        );
+        // The transferred session resumes and plays out normally.
+        let mut bytes = Vec::new();
+        encode_client(
+            &ClientFrame::Resume {
+                session: 21,
+                last_seq: snapshot.last_seq,
+            },
+            &mut bytes,
+        );
+        for (i, e) in events.iter().enumerate().skip(split) {
+            encode_client(
+                &ClientFrame::Event {
+                    session: 21,
+                    seq: i as u32 + 1,
+                    event: *e,
+                },
+                &mut bytes,
+            );
+        }
+        encode_client(
+            &ClientFrame::Close {
+                session: 21,
+                seq: events.len() as u32 + 1,
+            },
+            &mut bytes,
+        );
+        stream.write_all(&bytes).expect("write tail");
+        let frames = read_server_frames(&mut stream, 21);
+        assert!(
+            frames.contains(&ServerFrame::Resumed {
+                session: 21,
+                last_seq: snapshot.last_seq,
+            }),
+            "{frames:?}"
+        );
+        assert!(matches!(
+            frames.last(),
+            Some(ServerFrame::Outcome {
+                outcome: OutcomeKind::Closed,
+                ..
+            })
+        ));
+        service.shutdown();
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.sessions_handed_off, 1);
+        assert_eq!(snap.sessions_resumed, 1);
+        assert_eq!(snap.sessions_closed, 1);
     }
 
     #[test]

@@ -50,6 +50,11 @@ use crate::wire::{decode_client, ClientFrame};
 /// treated as a torn/corrupt tail, never an allocation request.
 pub const MAX_RECORD_LEN: usize = 1 << 20;
 
+// A handed-off session is journaled as one WAL record holding the whole
+// wire frame (4-byte length prefix + tag + snapshot); the wire cap must
+// leave room for the prefix or a legal handoff would be unjournalable.
+const _: () = assert!(crate::wire::MAX_HANDOFF_FRAME_LEN + 4 <= MAX_RECORD_LEN);
+
 /// Bytes of a record header (`len` + `crc`).
 const RECORD_HEADER_LEN: usize = 8;
 
@@ -227,6 +232,94 @@ impl WalShard {
         }
         self.bytes_since_snapshot = 0;
         Ok(())
+    }
+}
+
+/// Pid-stamped exclusivity lock on a WAL directory.
+///
+/// Two serve processes appending to the same shard logs would interleave
+/// records and corrupt both histories, so `serve run --wal` takes this
+/// lock before touching the directory. The lock is a `wal.lock` file
+/// created with `O_EXCL` holding the owner's pid: a second process finds
+/// it, checks whether that pid is still alive (via `/proc`, this being a
+/// dependency-free Linux-first build), and either refuses
+/// ([`std::io::ErrorKind::WouldBlock`]) or reclaims the stale file a
+/// dead owner left behind. Dropping the guard removes the file. Where
+/// liveness cannot be probed (`/proc` absent) the holder is presumed
+/// alive — never reclaim on doubt.
+#[derive(Debug)]
+pub struct WalDirLock {
+    path: PathBuf,
+}
+
+/// Lock-file name inside the WAL directory.
+pub const WAL_LOCK_FILE: &str = "wal.lock";
+
+fn pid_alive(pid: u32) -> bool {
+    let proc_root = Path::new("/proc");
+    if !proc_root.is_dir() {
+        return true;
+    }
+    proc_root.join(pid.to_string()).exists()
+}
+
+impl WalDirLock {
+    /// Takes the exclusive lock on `dir` (creating the directory if
+    /// needed). Fails with [`std::io::ErrorKind::WouldBlock`] when a
+    /// live process holds it; a stale lock from a dead pid (or with
+    /// unreadable contents) is reclaimed.
+    pub fn acquire(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(WAL_LOCK_FILE);
+        let mut reclaimed = false;
+        loop {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    write!(file, "{}", std::process::id())?;
+                    file.sync_data()?;
+                    return Ok(Self { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid_alive(pid) => {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::WouldBlock,
+                                format!(
+                                    "wal dir {} is locked by live pid {pid}",
+                                    dir.display()
+                                ),
+                            ));
+                        }
+                        _ => {
+                            // Dead owner or garbage: reclaim once, then
+                            // retry the exclusive create. A second
+                            // AlreadyExists means we lost a race to
+                            // another reclaimer — give up to it.
+                            if reclaimed {
+                                return Err(e);
+                            }
+                            let _ = std::fs::remove_file(&path);
+                            reclaimed = true;
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The lock file's path (for diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for WalDirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
     }
 }
 
@@ -438,6 +531,41 @@ mod tests {
         )
         .expect("training succeeds");
         rec
+    }
+
+    #[test]
+    fn wal_dir_lock_is_exclusive_while_held() {
+        let dir = tmp_dir("lock-exclusive");
+        let lock = WalDirLock::acquire(&dir).expect("first acquire");
+        let again = WalDirLock::acquire(&dir);
+        let err = again.expect_err("second acquire must fail while held");
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        drop(lock);
+        // Released on drop: a fresh acquire succeeds and the file is
+        // re-stamped with our pid.
+        let relock = WalDirLock::acquire(&dir).expect("acquire after drop");
+        let stamped = std::fs::read_to_string(relock.path()).expect("read lock");
+        assert_eq!(stamped.trim(), std::process::id().to_string());
+        drop(relock);
+        assert!(!dir.join(WAL_LOCK_FILE).exists(), "drop removes the file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_wal_dir_lock_from_dead_pid_is_reclaimed() {
+        let dir = tmp_dir("lock-stale");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // No live process has pid u32::MAX (kernel pid_max is far
+        // lower), so this lock is stale by construction; garbage
+        // contents must be treated the same way.
+        for stale in ["4294967295", "not-a-pid"] {
+            std::fs::write(dir.join(WAL_LOCK_FILE), stale).expect("plant stale lock");
+            let lock = WalDirLock::acquire(&dir).expect("reclaims stale lock");
+            let stamped = std::fs::read_to_string(lock.path()).expect("read lock");
+            assert_eq!(stamped.trim(), std::process::id().to_string());
+            drop(lock);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

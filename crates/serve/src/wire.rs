@@ -17,8 +17,9 @@
 //! the [`grandma_events::EventSanitizer`].
 //!
 //! Client → server: [`ClientFrame`] (`Hello`, `Open`, `Event`,
-//! `EventBatch`, `Close`, `Resume`). Server → client: [`ServerFrame`]
-//! (`Recognized`, `Manipulate`, `Outcome`, `Fault`, `Resumed`).
+//! `EventBatch`, `Close`, `Resume`, `Handoff`). Server → client:
+//! [`ServerFrame`] (`Recognized`, `Manipulate`, `Outcome`, `Fault`,
+//! `Resumed`, `HandoffAck`, `NotOwner`).
 //!
 //! # Wire v2: event batching
 //!
@@ -28,7 +29,7 @@
 //! echo (and per-event RTT attribution) is preserved. Batched frames use
 //! a larger length cap ([`MAX_BATCH_FRAME_LEN`]); every other frame is
 //! still held to [`MAX_FRAME_LEN`]. The server speaks every protocol
-//! version in `MIN_WIRE_VERSION..=WIRE_VERSION` (currently 1..=3): a v3
+//! version in `MIN_WIRE_VERSION..=WIRE_VERSION` (currently 1..=4): a v4
 //! server accepts v1 `Hello`s and v1 single-`Event` streams unchanged; a
 //! batch of events is defined to be semantically identical to the same
 //! events sent as consecutive single `Event` frames.
@@ -47,6 +48,22 @@
 //! a misaddressed `Event`, so sessions cannot be probed across
 //! connections.
 //!
+//! # Wire v4: cluster routing and session handoff
+//!
+//! Version 4 adds the multi-node triplet. `Handoff` (tag `0x07`,
+//! client → server) installs an encoded
+//! [`crate::session::SessionSnapshot`] on the receiving node — the
+//! payload is the same versioned snapshot format the WAL persists, so
+//! the snapshot-version lockstep lint covers handoff bytes for free.
+//! The receiver answers with `HandoffAck` (tag `0x86`) carrying the
+//! installed session's `last_seq`; the session sits orphaned until its
+//! client `Resume`s it. `NotOwner` (tag `0x87`, server → client) is the
+//! typed redirect a cluster node sends when the consistent-hash ring
+//! says another node owns the session: it names the owner's socket
+//! address and the client re-routes there. `Handoff` frames use their
+//! own length cap ([`MAX_HANDOFF_FRAME_LEN`]), sized so a handoff
+//! record always fits a WAL record.
+//!
 //! The hot decode path is allocation-free: [`decode_client_view`] returns
 //! a [`ClientFrameView`] whose batch variant ([`EventBatchView`]) borrows
 //! the packed records straight out of the receive buffer — records are
@@ -59,16 +76,18 @@
 //! against seeded byte soup.
 
 use grandma_events::{Button, EventKind, InputEvent};
+use std::net::{Ipv4Addr, Ipv6Addr, SocketAddr, SocketAddrV4, SocketAddrV6};
 
 /// Protocol version spoken by this build; [`ClientFrame::Hello`] carries
 /// the client's version and anything outside
 /// [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`] closes the connection with
 /// [`FaultCode::VersionMismatch`].
-pub const WIRE_VERSION: u16 = 3;
+pub const WIRE_VERSION: u16 = 4;
 
 /// Oldest client version this build still serves. Version 1 clients
-/// (single-`Event` frames only) round-trip against a v3 server
-/// unchanged; they simply never send `EventBatch` or `Resume`.
+/// (single-`Event` frames only) round-trip against a v4 server
+/// unchanged; they simply never send `EventBatch`, `Resume`, or
+/// `Handoff`.
 pub const MIN_WIRE_VERSION: u16 = 1;
 
 /// Upper bound on the length prefix (tag + payload) for every frame
@@ -87,6 +106,14 @@ pub const MAX_BATCH_EVENTS: usize = 256;
 /// Length-prefix cap for `EventBatch` frames: tag + session + count +
 /// a full complement of records.
 pub const MAX_BATCH_FRAME_LEN: usize = 1 + 8 + 2 + MAX_BATCH_EVENTS * EVENT_RECORD_LEN;
+
+/// Length-prefix cap for `Handoff` frames (wire v4). A handoff carries a
+/// whole encoded session snapshot, so its cap is far above every other
+/// frame's — but it is sized so the full wire frame (4-byte prefix +
+/// tag + snapshot) still fits a single WAL record
+/// (`wal::MAX_RECORD_LEN`), because handed-off sessions are journaled
+/// as-received.
+pub const MAX_HANDOFF_FRAME_LEN: usize = (1 << 20) - 8;
 
 /// Typed decoding failure. Every variant is a protocol violation that is
 /// fatal for the connection; an incomplete frame is *not* an error (the
@@ -202,6 +229,15 @@ pub enum ClientFrame {
         /// server's own `last_seq` in the `Resumed` reply is
         /// authoritative).
         last_seq: u32,
+    },
+    /// Transfers one session to the receiving node (wire v4). The
+    /// payload is an encoded [`crate::session::SessionSnapshot`] —
+    /// opaque at the wire layer; the versioned snapshot codec validates
+    /// it. Answered with [`ServerFrame::HandoffAck`] on success, a
+    /// typed fault otherwise.
+    Handoff {
+        /// The encoded snapshot bytes.
+        snapshot: Vec<u8>,
     },
 }
 
@@ -395,6 +431,25 @@ pub enum ServerFrame {
         /// Highest `seq` the server has processed for the session.
         last_seq: u32,
     },
+    /// Acknowledges a [`ClientFrame::Handoff`] (wire v4): the snapshot
+    /// decoded and the session is installed (orphaned, awaiting its
+    /// client's `Resume`).
+    HandoffAck {
+        /// Session id recovered from the snapshot.
+        session: u64,
+        /// Highest `seq` baked into the snapshot.
+        last_seq: u32,
+    },
+    /// Cluster redirect (wire v4): the consistent-hash ring maps the
+    /// session to a different node. The client should reconnect to
+    /// `owner` and retry there; nothing was done with the frame that
+    /// provoked this.
+    NotOwner {
+        /// Session id the redirect is about.
+        session: u64,
+        /// Socket address of the owning node.
+        owner: SocketAddr,
+    },
 }
 
 const TAG_HELLO: u8 = 0x01;
@@ -403,11 +458,14 @@ const TAG_EVENT: u8 = 0x03;
 const TAG_CLOSE: u8 = 0x04;
 const TAG_EVENT_BATCH: u8 = 0x05;
 const TAG_RESUME: u8 = 0x06;
+const TAG_HANDOFF: u8 = 0x07;
 const TAG_RECOGNIZED: u8 = 0x81;
 const TAG_MANIPULATE: u8 = 0x82;
 const TAG_OUTCOME: u8 = 0x83;
 const TAG_FAULT: u8 = 0x84;
 const TAG_RESUMED: u8 = 0x85;
+const TAG_HANDOFF_ACK: u8 = 0x86;
+const TAG_NOT_OWNER: u8 = 0x87;
 
 /// Sentinel for "no class" in an `Outcome` frame.
 pub(crate) const NO_CLASS: u16 = u16::MAX;
@@ -537,6 +595,10 @@ pub fn encode_client(frame: &ClientFrame, out: &mut Vec<u8>) {
             put_u64(out, session);
             put_u32(out, last_seq);
         }
+        ClientFrame::Handoff { ref snapshot } => {
+            out.push(TAG_HANDOFF);
+            out.extend_from_slice(snapshot);
+        }
         // Handled above; unreachable here.
         ClientFrame::EventBatch { .. } => {}
     }
@@ -629,6 +691,27 @@ pub fn encode_server(frame: &ServerFrame, out: &mut Vec<u8>) {
             put_u64(out, session);
             put_u32(out, last_seq);
         }
+        ServerFrame::HandoffAck { session, last_seq } => {
+            out.push(TAG_HANDOFF_ACK);
+            put_u64(out, session);
+            put_u32(out, last_seq);
+        }
+        ServerFrame::NotOwner { session, owner } => {
+            out.push(TAG_NOT_OWNER);
+            put_u64(out, session);
+            match owner {
+                SocketAddr::V4(a) => {
+                    out.push(4);
+                    out.extend_from_slice(&a.ip().octets());
+                    put_u16(out, a.port());
+                }
+                SocketAddr::V6(a) => {
+                    out.push(6);
+                    out.extend_from_slice(&a.ip().octets());
+                    put_u16(out, a.port());
+                }
+            }
+        }
     }
     finish_frame(out, at);
 }
@@ -705,19 +788,20 @@ fn next_body(buf: &[u8]) -> Result<Option<(&[u8], usize)>, WireError> {
     if len == 0 {
         return Err(WireError::EmptyFrame);
     }
-    // The cap depends on the tag: only EventBatch may exceed the single-
-    // frame limit. Until the tag byte arrives only the absolute bound can
-    // be enforced; one more byte settles it.
-    if len > MAX_BATCH_FRAME_LEN {
+    // The cap depends on the tag: only EventBatch and Handoff may exceed
+    // the single-frame limit. Until the tag byte arrives only the
+    // absolute bound (the largest per-tag cap) can be enforced; one more
+    // byte settles it.
+    if len > MAX_HANDOFF_FRAME_LEN {
         return Err(WireError::Oversized { len });
     }
     let Some(&tag) = buf.get(4) else {
         return Ok(None);
     };
-    let cap = if tag == TAG_EVENT_BATCH {
-        MAX_BATCH_FRAME_LEN
-    } else {
-        MAX_FRAME_LEN
+    let cap = match tag {
+        TAG_EVENT_BATCH => MAX_BATCH_FRAME_LEN,
+        TAG_HANDOFF => MAX_HANDOFF_FRAME_LEN,
+        _ => MAX_FRAME_LEN,
     };
     if len > cap {
         return Err(WireError::Oversized { len });
@@ -863,6 +947,12 @@ pub enum ClientFrameView<'a> {
         /// Client's last-acked sequence number (advisory).
         last_seq: u32,
     },
+    /// See [`ClientFrame::Handoff`]; the snapshot bytes stay in the
+    /// receive buffer.
+    Handoff {
+        /// The encoded snapshot bytes, borrowed from the input buffer.
+        snapshot: &'a [u8],
+    },
 }
 
 impl ClientFrameView<'_> {
@@ -889,6 +979,9 @@ impl ClientFrameView<'_> {
             ClientFrameView::Resume { session, last_seq } => {
                 ClientFrame::Resume { session, last_seq }
             }
+            ClientFrameView::Handoff { snapshot } => ClientFrame::Handoff {
+                snapshot: snapshot.to_vec(),
+            },
         }
     }
 }
@@ -947,6 +1040,9 @@ pub fn decode_client_view(buf: &[u8]) -> Result<Option<(ClientFrameView<'_>, usi
         TAG_RESUME => ClientFrameView::Resume {
             session: cur.u64("session")?,
             last_seq: cur.u32("last seq")?,
+        },
+        TAG_HANDOFF => ClientFrameView::Handoff {
+            snapshot: cur.take(cur.remaining(), "snapshot")?,
         },
         tag => return Err(WireError::UnknownTag { tag }),
     };
@@ -1010,6 +1106,34 @@ pub fn decode_server(buf: &[u8]) -> Result<Option<(ServerFrame, usize)>, WireErr
             session: cur.u64("session")?,
             last_seq: cur.u32("last seq")?,
         },
+        TAG_HANDOFF_ACK => ServerFrame::HandoffAck {
+            session: cur.u64("session")?,
+            last_seq: cur.u32("last seq")?,
+        },
+        TAG_NOT_OWNER => {
+            let session = cur.u64("session")?;
+            let owner = match cur.u8("address family")? {
+                4 => {
+                    let b = cur.take(4, "ipv4 octets")?;
+                    let ip = Ipv4Addr::new(b[0], b[1], b[2], b[3]);
+                    SocketAddr::V4(SocketAddrV4::new(ip, cur.u16("port")?))
+                }
+                6 => {
+                    let b = cur.take(16, "ipv6 octets")?;
+                    let mut octets = [0u8; 16];
+                    octets.copy_from_slice(b);
+                    let ip = Ipv6Addr::from(octets);
+                    SocketAddr::V6(SocketAddrV6::new(ip, cur.u16("port")?, 0, 0))
+                }
+                value => {
+                    return Err(WireError::BadEnum {
+                        what: "address family",
+                        value,
+                    })
+                }
+            };
+            ServerFrame::NotOwner { session, owner }
+        }
         tag => return Err(WireError::UnknownTag { tag }),
     };
     finish_body(&cur)?;
@@ -1216,6 +1340,99 @@ mod tests {
             seq: 5,
             code: FaultCode::Busy,
         });
+    }
+
+    #[test]
+    fn handoff_frames_round_trip_owned_and_viewed() {
+        for len in [0usize, 1, 57, 4096] {
+            let snapshot: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let frame = ClientFrame::Handoff {
+                snapshot: snapshot.clone(),
+            };
+            let mut bytes = Vec::new();
+            encode_client(&frame, &mut bytes);
+            let (decoded, consumed) = decode_client(&bytes)
+                .expect("decodes")
+                .expect("complete frame");
+            assert_eq!(consumed, bytes.len(), "len = {len}");
+            assert_eq!(decoded, frame, "len = {len}");
+            let (view, _) = decode_client_view(&bytes)
+                .expect("view decodes")
+                .expect("complete");
+            let ClientFrameView::Handoff { snapshot: borrowed } = view else {
+                panic!("expected a handoff view");
+            };
+            assert_eq!(borrowed, snapshot.as_slice());
+        }
+    }
+
+    #[test]
+    fn handoff_ack_and_not_owner_round_trip() {
+        roundtrip_server(ServerFrame::HandoffAck {
+            session: u64::MAX,
+            last_seq: 91,
+        });
+        roundtrip_server(ServerFrame::NotOwner {
+            session: 0xFACE,
+            owner: "127.0.0.1:9901".parse().expect("v4 addr"),
+        });
+        roundtrip_server(ServerFrame::NotOwner {
+            session: 3,
+            owner: "[2001:db8::17]:443".parse().expect("v6 addr"),
+        });
+    }
+
+    #[test]
+    fn not_owner_bad_address_family_is_typed() {
+        let mut bytes = Vec::new();
+        encode_server(
+            &ServerFrame::NotOwner {
+                session: 1,
+                owner: "10.0.0.1:80".parse().expect("v4 addr"),
+            },
+            &mut bytes,
+        );
+        // Family byte sits after prefix(4) + tag(1) + session(8).
+        bytes[13] = 9;
+        assert_eq!(
+            decode_server(&bytes),
+            Err(WireError::BadEnum {
+                what: "address family",
+                value: 9
+            })
+        );
+    }
+
+    #[test]
+    fn handoff_cap_is_enforced_per_tag() {
+        // A Handoff may exceed the batch cap…
+        let frame = ClientFrame::Handoff {
+            snapshot: vec![0xAB; MAX_BATCH_FRAME_LEN + 100],
+        };
+        let mut bytes = Vec::new();
+        encode_client(&frame, &mut bytes);
+        let (decoded, _) = decode_client(&bytes).expect("decodes").expect("complete");
+        assert_eq!(decoded, frame);
+        // …but not the handoff cap itself.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&((MAX_HANDOFF_FRAME_LEN as u32) + 1).to_le_bytes());
+        bytes.push(TAG_HANDOFF);
+        assert_eq!(
+            decode_client(&bytes),
+            Err(WireError::Oversized {
+                len: MAX_HANDOFF_FRAME_LEN + 1
+            })
+        );
+        // A non-handoff tag claiming a huge length dies at the small cap.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+        bytes.push(TAG_OPEN);
+        assert_eq!(
+            decode_client(&bytes),
+            Err(WireError::Oversized {
+                len: MAX_FRAME_LEN + 1
+            })
+        );
     }
 
     #[test]

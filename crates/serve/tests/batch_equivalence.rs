@@ -258,7 +258,9 @@ fn tcp_run_bytes(
                 | ServerFrame::Manipulate { session, .. }
                 | ServerFrame::Outcome { session, .. }
                 | ServerFrame::Fault { session, .. }
-                | ServerFrame::Resumed { session, .. } => session,
+                | ServerFrame::Resumed { session, .. }
+                | ServerFrame::HandoffAck { session, .. }
+                | ServerFrame::NotOwner { session, .. } => session,
             };
             if matches!(
                 frame,

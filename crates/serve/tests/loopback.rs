@@ -140,7 +140,9 @@ fn drive_connection(
                 | ServerFrame::Manipulate { session, .. }
                 | ServerFrame::Outcome { session, .. }
                 | ServerFrame::Fault { session, .. }
-                | ServerFrame::Resumed { session, .. } => session,
+                | ServerFrame::Resumed { session, .. }
+                | ServerFrame::HandoffAck { session, .. }
+                | ServerFrame::NotOwner { session, .. } => session,
             };
             if matches!(
                 frame,

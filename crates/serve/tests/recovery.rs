@@ -55,7 +55,9 @@ fn frame_session(frame: &ServerFrame) -> u64 {
         | ServerFrame::Manipulate { session, .. }
         | ServerFrame::Outcome { session, .. }
         | ServerFrame::Fault { session, .. }
-        | ServerFrame::Resumed { session, .. } => session,
+        | ServerFrame::Resumed { session, .. }
+        | ServerFrame::HandoffAck { session, .. }
+        | ServerFrame::NotOwner { session, .. } => session,
     }
 }
 
@@ -65,7 +67,10 @@ fn frame_seq(frame: &ServerFrame) -> u32 {
         | ServerFrame::Manipulate { seq, .. }
         | ServerFrame::Outcome { seq, .. }
         | ServerFrame::Fault { seq, .. } => seq,
-        ServerFrame::Resumed { last_seq, .. } => last_seq,
+        ServerFrame::Resumed { last_seq, .. } | ServerFrame::HandoffAck { last_seq, .. } => {
+            last_seq
+        }
+        ServerFrame::NotOwner { .. } => 0,
     }
 }
 

@@ -45,6 +45,14 @@ cargo run -p grandma-bench --bin serve_load --release -- --chaos
 echo "== serve_load kill-recovery drill (SIGKILL + --recover) =="
 cargo run -p grandma-bench --bin serve_load --release -- --kill-after-ms 400 --smoke
 
+# Cluster drill (DESIGN.md §15): two registered nodes, consistent-hash
+# routing, SIGKILL of the node owning the majority of sessions, WAL
+# replay + live snapshot handoff to the ring successor, and every moved
+# session must resume on the successor with zero cross-session
+# contamination.
+echo "== serve_load cluster drill (2 nodes, kill + handoff) =="
+cargo run -p grandma-bench --bin serve_load --release -- --cluster 2 --kill-node --smoke
+
 # grandma-lint is the always-on static-analysis gate: panic-freedom,
 # wire-protocol lockstep, hot-path alloc/index hygiene, float-comparison
 # and unsafe-code policy. Dependency-free, so it runs on any toolchain.
@@ -60,9 +68,10 @@ if cargo clippy --version >/dev/null 2>&1; then
     # input: library code (not tests) in the recognition core, the linear
     # algebra kernel, the event substrate, the toolkit, and the serving
     # layer is held to a no-unwrap/no-expect/no-panic standard.
-    echo "== clippy panic gate (core, linalg, events, toolkit, serve lib code) =="
+    echo "== clippy panic gate (core, linalg, events, toolkit, serve, cluster lib code) =="
     cargo clippy -p grandma-core -p grandma-linalg \
-        -p grandma-events -p grandma-toolkit -p grandma-serve --lib --no-deps -- \
+        -p grandma-events -p grandma-toolkit -p grandma-serve \
+        -p grandma-cluster --lib --no-deps -- \
         -D warnings \
         -D clippy::unwrap_used \
         -D clippy::expect_used \

@@ -16,6 +16,8 @@
 //! - [`multipath`] — the §6 multi-finger extension.
 //! - [`serve`] — the sharded multi-session recognition service: binary
 //!   wire protocol, session router, Duplex/TCP transports, metrics.
+//! - [`cluster`] — multi-node routing: the deterministic consistent-hash
+//!   ring and the `cluster.json` discovery registry.
 //!
 //! # Examples
 //!
@@ -30,6 +32,7 @@
 //! assert_eq!(result.class, data.testing[0].class);
 //! ```
 
+pub use grandma_cluster as cluster;
 pub use grandma_core as core;
 pub use grandma_events as events;
 pub use grandma_gdp as gdp;
