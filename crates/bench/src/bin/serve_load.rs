@@ -29,7 +29,8 @@
 //! ```text
 //! serve_load [--mode both|batched|unbatched] [--batch N] [--window N]
 //!            [--min-duration-s F] [--warmup N] [--smoke]
-//!            [--connections N[,N...]] [--chaos] [--kill-after-ms N]
+//!            [--connections N[,N...]] [--connections-tiers N[,N...]]
+//!            [--chaos] [--kill-after-ms N]
 //!            [--cluster N] [--kill-node]
 //! ```
 //!
@@ -63,17 +64,28 @@
 //! ratios between them.
 //!
 //! The connection sweep exercises the reactor transport's fan-in: for
-//! each tier it starts a fresh service with 4 I/O threads, establishes
-//! that many concurrent TCP connections from a small pool of worker
-//! threads, then drives closed-loop open→batch→close round trips over
-//! every connection, reporting accepted connections, connect failures,
-//! RTT percentiles (batch write → `Closed` outcome), and the process
-//! RSS delta per established connection (client + server share this
-//! process, so it is an upper bound on the server's share). The full
-//! run sweeps 64/256/1024/2048/4096 and adds a `connection_sweep`
-//! section to BENCH_serve.json; `--connections` overrides the tier
-//! list, and with `--smoke` it runs a single quick tier as a CI guard
-//! without writing the file.
+//! each tier it spawns a fresh `serve` child (4 I/O threads, the
+//! chosen `--poll-backend`), establishes that many concurrent TCP
+//! connections from a small pool of worker threads, then drives
+//! closed-loop open→batch→close round trips over every connection,
+//! reporting accepted connections, connect failures, RTT percentiles
+//! (batch write → `Closed` outcome), the reactor's `epoll_ctl` call
+//! count and resolved backend (parsed from the metrics JSON the child
+//! prints at graceful shutdown), and the *server process's* RSS growth
+//! per established connection, sampled from the child's
+//! `/proc/<pid>/statm` resident pages — page-granular, so small tiers
+//! report allocator noise rather than per-connection cost. The server
+//! lives in its own process so each side stays within `RLIMIT_NOFILE`
+//! at the 16384-connection tier (~16.4k fds apiece; one process
+//! holding both ends would need ~33k). The full run sweeps
+//! 64/256/1024/2048/4096/8192/16384 **once per poll backend** (epoll
+//! and poll(2) on Linux; poll only elsewhere) and writes them under
+//! `connection_sweep.backends` in BENCH_serve.json; `--connections`
+//! (alias `--connections-tiers`) overrides the tier list, and with
+//! `--smoke` it runs a single quick tier on the default backend as a
+//! CI guard without writing the file. Tiers past 4096 run one measured
+//! round instead of three — at that scale the round itself is tens of
+//! thousands of round trips.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -88,11 +100,12 @@ use std::time::{Duration, Instant};
 use grandma_cluster::{read_cluster, remove_node};
 use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
 use grandma_events::{Button, EventKind, EventScript, InputEvent};
+use grandma_serve::sys::ensure_nofile_limit;
 use grandma_serve::{
     encode_client, encode_event_batch, encode_server, run_events_inproc, ClientFrame,
-    ClusterClient, FrameBuffer, FsyncPolicy, OutcomeKind, PipelineConfig, ReconnectingClient,
-    RetryPolicy, ServeConfig, ServerFrame, SessionRouter, SessionSnapshot, TcpOptions, TcpService,
-    WalConfig, WIRE_VERSION,
+    ClusterClient, FrameBuffer, FsyncPolicy, OutcomeKind, PipelineConfig, PollBackend,
+    ReconnectingClient, RetryPolicy, ServeConfig, ServerFrame, SessionRouter, SessionSnapshot,
+    TcpService, WalConfig, WIRE_VERSION,
 };
 use grandma_synth::{datasets, FaultInjector, SynthRng};
 
@@ -563,7 +576,15 @@ fn run_mode(
 }
 
 /// Default connection-sweep tiers for the full bench run.
-const SWEEP_TIERS: &[usize] = &[64, 256, 1024, 2048, 4096];
+const SWEEP_TIERS: &[usize] = &[64, 256, 1024, 2048, 4096, 8192, 16384];
+/// Tiers above this run one measured round instead of three: a single
+/// round at 16384 connections is already 16k closed-loop round trips
+/// per worker set.
+const SWEEP_DEEP_TIER: usize = 4096;
+/// `RLIMIT_NOFILE` the harness asks for at startup: the client end of
+/// the largest tier plus harness overhead (the server end lives in a
+/// spawned `serve` child, which raises its own limit).
+const SWEEP_NOFILE_WANT: u64 = 17_000;
 /// Client worker threads driving a sweep tier; each owns an equal share
 /// of the connections and runs them closed-loop (one round trip in
 /// flight per worker), so the server-side concurrency under test is the
@@ -575,19 +596,32 @@ const SWEEP_BATCH: usize = 24;
 /// thousands of connections on at most this many poll loops).
 const SWEEP_IO_THREADS: usize = 4;
 
-/// Resident set size of this process in kilobytes, from
-/// `/proc/self/status`; 0 when unavailable (non-Linux).
-fn rss_kb() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+/// Page size assumed for `/proc/<pid>/statm` accounting (x86-64 and
+/// every other mainstream Linux default).
+const PAGE_BYTES: u64 = 4096;
+
+/// Resident set size of process `pid` in bytes, from the second field
+/// of `/proc/<pid>/statm` (resident pages); 0 when unavailable
+/// (non-Linux).
+///
+/// statm is preferred over `/proc/<pid>/status`'s `VmRSS:` line because
+/// it is the raw page counter the kernel maintains — but either way the
+/// measurement is page-granular: a delta smaller than one page per
+/// connection is dominated by sampling noise (allocator churn, lazily
+/// faulted stacks), not per-connection state. Small tiers therefore
+/// report noise; the per-connection figure only means something once
+/// `connections × true-cost` is many pages. DESIGN.md §13's bench notes
+/// carry the caveat.
+fn proc_rss_bytes(pid: u32) -> u64 {
+    let Ok(statm) = std::fs::read_to_string(format!("/proc/{pid}/statm")) else {
         return 0;
     };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmRSS:") {
-            let digits: String = rest.chars().filter(|c| c.is_ascii_digit()).collect();
-            return digits.parse().unwrap_or(0);
-        }
-    }
-    0
+    statm
+        .split_whitespace()
+        .nth(1)
+        .and_then(|pages| pages.parse::<u64>().ok())
+        .unwrap_or(0)
+        * PAGE_BYTES
 }
 
 /// One established sweep connection: its socket plus the decode buffer
@@ -598,7 +632,7 @@ struct SweepConn {
     idx: usize,
 }
 
-/// Results for one sweep tier.
+/// Results for one sweep tier on one backend.
 struct TierResult {
     connections: usize,
     accepted: usize,
@@ -609,7 +643,15 @@ struct TierResult {
     p50: u64,
     p95: u64,
     p99: u64,
+    /// Page-granular resident-set growth across the tier (see
+    /// [`rss_bytes`] for why small tiers report noise here).
+    rss_delta_bytes: u64,
     rss_bytes_per_conn: u64,
+    /// `epoll_ctl(2)` calls the service's reactors made over the tier's
+    /// lifetime (0 on the poll backend).
+    epoll_ctl_calls: u64,
+    /// Backend the service actually ran (`"poll"`/`"epoll"`).
+    reactor_backend: &'static str,
     wall_s: f64,
 }
 
@@ -619,7 +661,8 @@ impl TierResult {
             "{{ \"connections\": {}, \"accepted\": {}, \"connect_failures\": {}, \
              \"round_trip_failures\": {}, \"rounds\": {}, \"rtt_samples\": {}, \
              \"rtt_ns_p50\": {}, \"rtt_ns_p95\": {}, \"rtt_ns_p99\": {}, \
-             \"rss_bytes_per_conn\": {}, \"wall_s\": {:.4} }}",
+             \"rss_delta_bytes\": {}, \"rss_bytes_per_conn\": {}, \
+             \"epoll_ctl_calls\": {}, \"wall_s\": {:.4} }}",
             self.connections,
             self.accepted,
             self.connect_failures,
@@ -629,7 +672,9 @@ impl TierResult {
             self.p50,
             self.p95,
             self.p99,
+            self.rss_delta_bytes,
             self.rss_bytes_per_conn,
+            self.epoll_ctl_calls,
             self.wall_s,
         )
     }
@@ -732,31 +777,97 @@ fn sweep_phase(
     (all_rtts, failures)
 }
 
-/// One sweep tier: fresh service, `n` concurrent connections, one
-/// warm-up round, then `rounds` measured rounds.
+/// Spawns the sweep's `serve` child on `addr` with the tier's backend,
+/// returning the guard plus the kept-open stdout reader — the metrics
+/// JSON the child prints at graceful shutdown is the tier's
+/// server-side truth (resolved backend, `epoll_ctl` count).
+fn spawn_sweep_serve(
+    harness: &Harness,
+    addr: &str,
+    backend: PollBackend,
+) -> (ChildGuard, std::io::BufReader<std::process::ChildStdout>) {
+    let mut cmd = std::process::Command::new(&harness.serve_bin);
+    cmd.arg("run")
+        .arg("--model")
+        .arg(&harness.model)
+        .args(["--addr", addr])
+        .args(["--shards", &SHARDS.to_string()])
+        .args(["--queue-capacity", "32768"])
+        .args(["--io-threads", &SWEEP_IO_THREADS.to_string()])
+        .args(["--poll-backend", backend.name()]);
+    cmd.stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit());
+    let mut guard = ChildGuard::new(cmd.spawn().expect("spawn sweep serve"));
+    let stdout = guard
+        .child
+        .as_mut()
+        .expect("fresh guard holds its child")
+        .stdout
+        .take()
+        .expect("sweep serve stdout");
+    let mut lines = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let count = std::io::BufRead::read_line(&mut lines, &mut line).unwrap_or(0);
+        if count > 0 && line.starts_with("listening on ") {
+            return (guard, lines);
+        }
+        if count == 0 {
+            panic!("sweep serve exited before listening");
+        }
+    }
+}
+
+/// Pulls a `"key": <integer>` field out of the child's metrics JSON;
+/// 0 when absent or malformed.
+fn metrics_u64(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    json.find(&needle)
+        .map(|at| {
+            json[at + needle.len()..]
+                .trim_start()
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        })
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Pulls the resolved reactor backend out of the child's metrics JSON.
+fn metrics_backend(json: &str) -> &'static str {
+    const NEEDLE: &str = "\"reactor_backend\": \"";
+    match json.find(NEEDLE) {
+        Some(at) => {
+            let rest = &json[at + NEEDLE.len()..];
+            if rest.starts_with("epoll") {
+                "epoll"
+            } else if rest.starts_with("poll") {
+                "poll"
+            } else {
+                "none"
+            }
+        }
+        None => "none",
+    }
+}
+
+/// One sweep tier: fresh `serve` child on `backend`, `n` concurrent
+/// connections, one warm-up round, then `rounds` measured rounds.
 fn sweep_tier(
-    rec: &Arc<EagerRecognizer>,
+    harness: &Harness,
+    backend: PollBackend,
     n: usize,
     rounds: u64,
     events: &[(u32, InputEvent)],
 ) -> TierResult {
-    let config = ServeConfig {
-        shards: SHARDS,
-        queue_capacity: 1 << 15,
-        ..ServeConfig::default()
-    };
-    let options = TcpOptions {
-        io_threads: SWEEP_IO_THREADS,
-        ..TcpOptions::default()
-    };
-    let mut service = TcpService::start_with(
-        SessionRouter::new(rec.clone(), config),
-        "127.0.0.1:0",
-        options,
-    )
-    .expect("bind sweep service");
-    let addr = service.local_addr();
-    let rss_before = rss_kb();
+    let addr_str = probe_port();
+    let addr: SocketAddr = addr_str.parse().expect("sweep addr");
+    let (mut guard, mut child_out) = spawn_sweep_serve(harness, &addr_str, backend);
+    let pid = guard.child.as_ref().expect("live child").id();
+    let rss_before = proc_rss_bytes(pid);
 
     // Establish the tier's connections in parallel, striped over the
     // workers so every group ends up with an equal share.
@@ -807,18 +918,27 @@ fn sweep_tier(
     });
     let accepted: usize = groups.iter().map(Vec::len).sum();
 
-    // Warm-up round: materializes per-connection buffers on both sides,
+    // Warm-up round: materializes per-connection buffers server-side,
     // so the RSS delta reflects steady-state per-connection cost.
     let (_, warmup_failures) = sweep_phase(&mut groups, n, 1, 1, events);
-    let rss_after = rss_kb();
+    let rss_after = proc_rss_bytes(pid);
     let started = Instant::now();
     let session_base = 1 + n as u64;
     let (mut rtts, mut failures) = sweep_phase(&mut groups, n, session_base, rounds, events);
     let wall_s = started.elapsed().as_secs_f64();
     failures += warmup_failures;
-    service.shutdown();
+
+    // Client sockets close first so the child's graceful shutdown isn't
+    // also a teardown storm; then its final stdout — the metrics JSON —
+    // carries the server-side counters out.
+    drop(groups);
+    let status = guard.stop_gracefully().expect("wait sweep serve");
+    assert!(status.success(), "sweep serve exited {status}");
+    let mut metrics_json = String::new();
+    let _ = std::io::Read::read_to_string(&mut child_out, &mut metrics_json);
 
     rtts.sort_unstable();
+    let rss_delta_bytes = rss_after.saturating_sub(rss_before);
     TierResult {
         connections: n,
         accepted,
@@ -829,7 +949,10 @@ fn sweep_tier(
         p50: percentile(&rtts, 0.50),
         p95: percentile(&rtts, 0.95),
         p99: percentile(&rtts, 0.99),
-        rss_bytes_per_conn: rss_after.saturating_sub(rss_before) * 1024 / accepted.max(1) as u64,
+        rss_delta_bytes,
+        rss_bytes_per_conn: rss_delta_bytes / accepted.max(1) as u64,
+        epoll_ctl_calls: metrics_u64(&metrics_json, "epoll_ctl_calls"),
+        reactor_backend: metrics_backend(&metrics_json),
         wall_s,
     }
 }
@@ -1833,7 +1956,7 @@ fn parse_args() -> Result<Options, String> {
                 Some(Ok(n)) => opts.warmup = n,
                 _ => return Err("--warmup wants an integer".into()),
             },
-            "--connections" => {
+            "--connections" | "--connections-tiers" => {
                 let tiers: Option<Vec<usize>> = it
                     .next()
                     .map(|v| {
@@ -1846,9 +1969,9 @@ fn parse_args() -> Result<Options, String> {
                 match tiers {
                     Some(tiers) => opts.connections = Some(tiers),
                     None => {
-                        return Err("--connections wants a comma-separated list of \
-                                    positive integers"
-                            .into())
+                        return Err(format!(
+                            "{flag} wants a comma-separated list of positive integers"
+                        ))
                     }
                 }
             }
@@ -1867,6 +1990,19 @@ fn parse_args() -> Result<Options, String> {
 
 fn main() -> ExitCode {
     suppress_this_thread();
+    // The 16384-connection tier holds both ends of every connection in
+    // this one process; lift the fd limit before anything opens sockets.
+    match ensure_nofile_limit(SWEEP_NOFILE_WANT) {
+        Ok((before, after)) if before != after => {
+            eprintln!("serve_load: raised RLIMIT_NOFILE {before} -> {after}")
+        }
+        Ok((_, after)) if after < SWEEP_NOFILE_WANT => eprintln!(
+            "serve_load: RLIMIT_NOFILE stuck at {after} (< {SWEEP_NOFILE_WANT}); \
+             deep sweep tiers may shed connections"
+        ),
+        Ok(_) => {}
+        Err(e) => eprintln!("serve_load: could not read RLIMIT_NOFILE ({e})"),
+    }
     let opts = match parse_args() {
         Ok(opts) => opts,
         Err(e) => {
@@ -1960,12 +2096,20 @@ fn main() -> ExitCode {
 
     // Connection sweep: fresh services, so it runs after the main
     // workload's service is down. `--smoke` only sweeps when a tier
-    // list was given explicitly (the CI guard passes `--connections`).
-    let sweep_rounds: u64 = if opts.smoke { 1 } else { 3 };
+    // list was given explicitly (the CI guard passes `--connections`)
+    // and sticks to the default backend; the full run walks the whole
+    // ladder once per available backend.
     let tiers: Vec<usize> = match (&opts.connections, opts.smoke) {
         (Some(tiers), _) => tiers.clone(),
         (None, false) => SWEEP_TIERS.to_vec(),
         (None, true) => Vec::new(),
+    };
+    let sweep_backends: Vec<PollBackend> = if opts.smoke {
+        vec![PollBackend::Auto]
+    } else if cfg!(target_os = "linux") {
+        vec![PollBackend::Poll, PollBackend::Epoll]
+    } else {
+        vec![PollBackend::Poll]
     };
     let sweep_events: Vec<(u32, InputEvent)> = slot_stream(1)
         .into_iter()
@@ -1973,24 +2117,38 @@ fn main() -> ExitCode {
         .enumerate()
         .map(|(i, e)| (i as u32, e))
         .collect();
-    let mut sweep: Vec<TierResult> = Vec::new();
-    for &n in &tiers {
-        let tier = sweep_tier(&rec, n, sweep_rounds, &sweep_events);
-        eprintln!(
-            "serve_load[sweep {n}]: {}/{} accepted ({} connect failures), \
-             {} round trips in {:.3}s, RTT p50 {}ns p95 {}ns p99 {}ns, \
-             {} RSS bytes/conn",
-            tier.accepted,
-            tier.connections,
-            tier.connect_failures,
-            tier.rtt_samples,
-            tier.wall_s,
-            tier.p50,
-            tier.p95,
-            tier.p99,
-            tier.rss_bytes_per_conn,
-        );
-        sweep.push(tier);
+    // The sweep's servers are spawned `serve` children (fd headroom and
+    // server-only RSS accounting); the harness trains their model once.
+    let sweep_harness = (!tiers.is_empty()).then(|| Harness::new("sweep"));
+    let mut sweep: Vec<(PollBackend, Vec<TierResult>)> = Vec::new();
+    for &backend in &sweep_backends {
+        let mut ladder: Vec<TierResult> = Vec::new();
+        for &n in &tiers {
+            let rounds: u64 = if opts.smoke || n > SWEEP_DEEP_TIER { 1 } else { 3 };
+            let harness = sweep_harness.as_ref().expect("tiers imply a harness");
+            let tier = sweep_tier(harness, backend, n, rounds, &sweep_events);
+            eprintln!(
+                "serve_load[sweep {n} {}]: {}/{} accepted ({} connect failures), \
+                 {} round trips in {:.3}s, RTT p50 {}ns p95 {}ns p99 {}ns, \
+                 {} RSS bytes/conn, {} epoll_ctl calls",
+                tier.reactor_backend,
+                tier.accepted,
+                tier.connections,
+                tier.connect_failures,
+                tier.rtt_samples,
+                tier.wall_s,
+                tier.p50,
+                tier.p95,
+                tier.p99,
+                tier.rss_bytes_per_conn,
+                tier.epoll_ctl_calls,
+            );
+            ladder.push(tier);
+        }
+        sweep.push((backend, ladder));
+    }
+    if let Some(harness) = &sweep_harness {
+        let _ = std::fs::remove_dir_all(&harness.dir);
     }
 
     if opts.smoke {
@@ -2001,24 +2159,27 @@ fn main() -> ExitCode {
             results.iter().all(|r| r.rtt_samples > 0),
             "smoke: no RTT samples collected"
         );
-        for tier in &sweep {
-            assert_eq!(
-                tier.accepted, tier.connections,
-                "smoke: sweep tier {} dropped connections",
-                tier.connections
-            );
-            assert_eq!(
-                tier.round_trip_failures, 0,
-                "smoke: sweep tier {} had failed round trips",
-                tier.connections
-            );
+        for (_, ladder) in &sweep {
+            for tier in ladder {
+                assert_eq!(
+                    tier.accepted, tier.connections,
+                    "smoke: sweep tier {} ({}) dropped connections",
+                    tier.connections, tier.reactor_backend
+                );
+                assert_eq!(
+                    tier.round_trip_failures, 0,
+                    "smoke: sweep tier {} ({}) had failed round trips",
+                    tier.connections, tier.reactor_backend
+                );
+            }
         }
+        let swept: usize = sweep.iter().map(|(_, ladder)| ladder.len()).sum();
         eprintln!(
             "serve_load: smoke ok (0 decode errors, 0 busy rejections{})",
-            if sweep.is_empty() {
+            if swept == 0 {
                 String::new()
             } else {
-                format!(", {} sweep tiers clean", sweep.len())
+                format!(", {swept} sweep tiers clean")
             }
         );
         return ExitCode::SUCCESS;
@@ -2039,16 +2200,29 @@ fn main() -> ExitCode {
         ),
         _ => String::new(),
     };
-    if !sweep.is_empty() {
-        let tier_rows = sweep
+    if sweep.iter().any(|(_, ladder)| !ladder.is_empty()) {
+        let backend_blocks = sweep
             .iter()
-            .map(|t| format!("      {}", t.to_json()))
+            .filter(|(_, ladder)| !ladder.is_empty())
+            .map(|(_, ladder)| {
+                let tier_rows = ladder
+                    .iter()
+                    .map(|t| format!("        {}", t.to_json()))
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                // Key by what the service reported, not what was asked
+                // for: Auto resolves server-side.
+                format!(
+                    "      \"{}\": {{\n        \"tiers\": [\n{tier_rows}\n        ]\n      }}",
+                    ladder[0].reactor_backend
+                )
+            })
             .collect::<Vec<_>>()
             .join(",\n");
         sections.push_str(&format!(
             ",\n  \"connection_sweep\": {{\n    \"io_threads\": {SWEEP_IO_THREADS},\n    \
              \"workers\": {SWEEP_WORKERS},\n    \"batch_events\": {SWEEP_BATCH},\n    \
-             \"measured_rounds\": {sweep_rounds},\n    \"tiers\": [\n{tier_rows}\n    ]\n  }}"
+             \"backends\": {{\n{backend_blocks}\n    }}\n  }}"
         ));
     }
     let json = format!(

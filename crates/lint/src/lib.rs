@@ -52,11 +52,17 @@ impl Config {
                 "crates/bench/src/bin/serve_load.rs",
                 "crates/bench/src/bin/throughput.rs",
                 // The reactor's audited syscall boundary: hand-declared
-                // poll(2)/self-pipe bindings behind a safe API, with
-                // per-block SAFETY notes (DESIGN.md §13). The serve
-                // crate root downgrades forbid→deny so exactly this
-                // module can opt back in.
-                "crates/serve/src/sys.rs",
+                // poll(2)/self-pipe (`sys/mod.rs`), epoll(7)
+                // (`sys/epoll.rs`), and setrlimit(2) (`sys/rlimit.rs`)
+                // bindings behind safe APIs, with per-block SAFETY
+                // notes (DESIGN.md §13). The serve crate root
+                // downgrades forbid→deny so exactly this module tree
+                // can opt back in. `sys/poller.rs` — the safe backend
+                // abstraction — is deliberately absent: it must stay
+                // free of `unsafe`.
+                "crates/serve/src/sys/mod.rs",
+                "crates/serve/src/sys/epoll.rs",
+                "crates/serve/src/sys/rlimit.rs",
             ],
             partial_cmp_files: vec![
                 "crates/events/src/sanitize.rs",

@@ -1,6 +1,6 @@
 //! Fixture: the serve crate root downgrades forbid→deny because it owns
-//! an audited unsafe-inventory module (`sys.rs`); clean under the
-//! forbid-unsafe rule.
+//! an audited unsafe-inventory module tree (`sys/mod.rs` and friends);
+//! clean under the forbid-unsafe rule.
 #![deny(unsafe_code)]
 
 pub fn safe_everywhere(x: u8) -> u8 {

@@ -1,5 +1,5 @@
-//! Fixture: `unsafe` in a serve-crate file other than the inventoried
-//! `sys.rs` is flagged — the inventory is per-file, not per-crate.
+//! Fixture: `unsafe` in a serve-crate file outside the inventoried
+//! `sys/` tree is flagged — the inventory is per-file, not per-crate.
 
 pub fn sneak(xs: &[u8]) -> u8 {
     unsafe { *xs.as_ptr() }

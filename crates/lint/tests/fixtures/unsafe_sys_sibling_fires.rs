@@ -1,0 +1,7 @@
+//! Fixture: `unsafe` in a `sys/` sibling that is *not* in the inventory
+//! (the safe poller abstraction) is flagged — living next to the
+//! bindings grants nothing.
+
+pub fn peek(xs: &[u8; 4]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,8 @@
+//! Fixture: an inventoried `sys/` submodule (the epoll bindings) may
+//! contain `unsafe` — the inventory names each file of the module tree
+//! explicitly.
+
+pub fn first(xs: &[u8; 4]) -> u8 {
+    // lint fixture stand-in for a hand-declared syscall binding
+    unsafe { *xs.as_ptr() }
+}

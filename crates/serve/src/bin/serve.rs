@@ -6,6 +6,7 @@
 //! serve run --model model.txt [--addr 127.0.0.1:0] [--shards N]
 //!           [--queue-capacity N] [--flush-bytes N] [--io-threads N]
 //!           [--max-connections N] [--idle-timeout-ms N]
+//!           [--poll-backend auto|poll|epoll]
 //!           [--wal off|async|sync] [--wal-dir DIR] [--recover DIR]
 //!           [--cluster-file PATH] [--node-id ID]
 //! ```
@@ -16,7 +17,13 @@
 //! `--io-threads` sizes the reactor's poll-loop pool (0 = `min(4,
 //! cores)`); `--max-connections` sheds connections beyond the cap at
 //! accept time; `--idle-timeout-ms` reaps connections that send nothing
-//! for the window (0 = never).
+//! for the window (0 = never). `--poll-backend` picks the reactor's
+//! readiness backend: `epoll` is O(ready) per wakeup, `poll` rebuilds
+//! and scans the whole descriptor set (O(open)); `auto` (the default)
+//! uses epoll on Linux and poll elsewhere. At startup the process
+//! raises its soft `RLIMIT_NOFILE` to the hard limit (logged on
+//! stderr) so high `--max-connections` settings don't hit EMFILE at
+//! the distro-default 1024.
 //!
 //! `--wal` enables the per-shard write-ahead log (DESIGN.md §14):
 //! `async` appends without fsync (survives process crashes), `sync`
@@ -53,10 +60,10 @@ use std::time::Duration;
 
 use grandma_cluster::{read_cluster, register_node, remove_node};
 use grandma_core::{EagerConfig, EagerRecognizer, FeatureMask};
-use grandma_serve::sys::{poll_fds, PollFd, SignalPipe, POLLIN, SIGINT, SIGTERM};
+use grandma_serve::sys::{poll_fds, raise_nofile_limit, PollFd, SignalPipe, POLLIN, SIGINT, SIGTERM};
 use grandma_serve::{
-    encode_client, ClientFrame, FrameBuffer, FsyncPolicy, ServeConfig, ServerFrame, SessionRouter,
-    TcpOptions, TcpService, WalConfig, WalDirLock, WIRE_VERSION,
+    encode_client, ClientFrame, FrameBuffer, FsyncPolicy, PollBackend, ServeConfig, ServerFrame,
+    SessionRouter, TcpOptions, TcpService, WalConfig, WalDirLock, WIRE_VERSION,
 };
 use grandma_synth::datasets;
 
@@ -71,6 +78,7 @@ fn usage() -> ExitCode {
          serve run --model PATH [--addr ADDR] [--shards N] \
          [--queue-capacity N] [--flush-bytes N] [--io-threads N] \
          [--max-connections N] [--idle-timeout-ms N] \
+         [--poll-backend auto|poll|epoll] \
          [--wal off|async|sync] [--wal-dir DIR] [--recover DIR] \
          [--cluster-file PATH] [--node-id ID]",
     )
@@ -170,6 +178,22 @@ fn cmd_run(args: &Args) -> ExitCode {
         None => {}
         Some(Ok(n)) => options.idle_timeout_ms = n,
         Some(Err(_)) => return fail("--idle-timeout-ms must be an integer (0 = off)"),
+    }
+    match args.get("poll-backend").map(PollBackend::parse) {
+        None => {}
+        Some(Some(backend)) => options.poll_backend = backend,
+        Some(None) => return fail("--poll-backend must be auto|poll|epoll"),
+    }
+    // Raise the open-file limit before binding: the reactor is sized
+    // for tens of thousands of connections, far past the distro-default
+    // soft limit of 1024. Soft→hard needs no privilege; a refusal
+    // degrades to accept-time shedding.
+    match raise_nofile_limit() {
+        Ok((before, after)) if before != after => {
+            eprintln!("serve: raised RLIMIT_NOFILE {before} -> {after}")
+        }
+        Ok((_, after)) => eprintln!("serve: RLIMIT_NOFILE already at {after}"),
+        Err(e) => eprintln!("serve: could not read RLIMIT_NOFILE ({e}); keeping default"),
     }
     let text = match std::fs::read_to_string(model_path) {
         Ok(text) => text,

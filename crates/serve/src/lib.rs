@@ -1,7 +1,9 @@
-// `deny`, not `forbid`: the reactor's audited syscall boundary
-// (`sys`) opts back in with a module-level allow; everywhere else in
-// the crate `unsafe` stays a hard error, and grandma-lint's
-// `unsafe-code` rule holds the inventory to exactly that one file.
+// `deny`, not `forbid`: the reactor's audited syscall boundary — the
+// `sys` module tree (`sys/mod.rs`, `sys/epoll.rs`, `sys/rlimit.rs`) —
+// opts back in with a module-level allow; everywhere else in the crate
+// `unsafe` stays a hard error, and grandma-lint's `unsafe-code` rule
+// holds the inventory to exactly those files (the safe `sys/poller.rs`
+// abstraction is deliberately outside it).
 #![deny(unsafe_code)]
 //! Sharded multi-session gesture recognition service.
 //!
@@ -87,7 +89,7 @@ pub use session::{
     run_events_inproc, PipelineConfig, SessionPipeline, SessionSnapshot, SnapshotError,
     SnapshotPhase, OUTCOME_KIND_COUNT,
 };
-pub use tcp::{TcpOptions, TcpService};
+pub use tcp::{PollBackend, TcpOptions, TcpService};
 pub use wal::{FsyncPolicy, WalConfig, WalDirLock, WAL_LOCK_FILE};
 pub use wire::{
     decode_client, decode_client_view, decode_server, encode_client, encode_event_batch,

@@ -86,6 +86,15 @@ pub struct ServiceMetrics {
     /// File-descriptor readiness notifications processed by reactor
     /// poll loops (sum of ready entries over all `poll` returns).
     pub readiness_events: AtomicU64,
+    /// Which readiness backend the reactor resolved to: 0 = no reactor
+    /// started yet, 1 = poll(2), 2 = epoll(7).
+    pub reactor_backend: AtomicU64,
+    /// `epoll_ctl` syscalls issued by reactor threads (adds, interest
+    /// modifies, deletes). Stays 0 on the poll(2) backend, whose
+    /// interest set is a userspace map. The ratio of this to
+    /// `readiness_events` shows how rare interest transitions are
+    /// relative to wakeups.
+    pub epoll_ctl_calls: AtomicU64,
     /// Socket writes that accepted fewer bytes than requested; the
     /// remainder stayed queued until the next writable notification.
     pub writes_short: AtomicU64,
@@ -141,6 +150,8 @@ impl ServiceMetrics {
             open_connections: AtomicU64::new(0),
             reactor_wakeups: AtomicU64::new(0),
             readiness_events: AtomicU64::new(0),
+            reactor_backend: AtomicU64::new(0),
+            epoll_ctl_calls: AtomicU64::new(0),
             writes_short: AtomicU64::new(0),
             connections_shed: AtomicU64::new(0),
             accept_errors: AtomicU64::new(0),
@@ -167,6 +178,15 @@ impl ServiceMetrics {
     /// Number of shards the metrics were sized for.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Records which readiness backend the reactor settled on.
+    pub fn set_reactor_backend(&self, backend: crate::sys::Backend) {
+        let code = match backend {
+            crate::sys::Backend::Poll => 1,
+            crate::sys::Backend::Epoll => 2,
+        };
+        self.reactor_backend.store(code, Ordering::Relaxed);
     }
 
     /// Records one interaction outcome by wire kind.
@@ -210,6 +230,12 @@ impl ServiceMetrics {
             open_connections: load(&self.open_connections),
             reactor_wakeups: load(&self.reactor_wakeups),
             readiness_events: load(&self.readiness_events),
+            reactor_backend: match load(&self.reactor_backend) {
+                1 => "poll",
+                2 => "epoll",
+                _ => "none",
+            },
+            epoll_ctl_calls: load(&self.epoll_ctl_calls),
             writes_short: load(&self.writes_short),
             connections_shed: load(&self.connections_shed),
             accept_errors: load(&self.accept_errors),
@@ -303,6 +329,11 @@ pub struct MetricsSnapshot {
     pub reactor_wakeups: u64,
     /// Readiness notifications processed by reactor poll loops.
     pub readiness_events: u64,
+    /// Readiness backend the reactor resolved to: `"poll"`, `"epoll"`,
+    /// or `"none"` before any reactor started.
+    pub reactor_backend: &'static str,
+    /// `epoll_ctl` syscalls issued (0 on the poll backend).
+    pub epoll_ctl_calls: u64,
     /// Partial socket writes (kernel accepted fewer bytes than asked).
     pub writes_short: u64,
     /// Connections shed at accept (limit, fd exhaustion, slow consumer).
@@ -351,6 +382,7 @@ impl MetricsSnapshot {
              \"outcomes\": {{\"recognized\": {}, \"manipulated\": {}, \"cancelled\": {}, \"rejected\": {}, \"closed\": {}}},\n  \
              \"faults_repaired\": {},\n  \"busy_rejections\": {},\n  \"unknown_sessions\": {},\n  \"decode_errors\": {},\n  \
              \"open_connections\": {},\n  \"reactor_wakeups\": {},\n  \"readiness_events\": {},\n  \
+             \"reactor_backend\": \"{}\",\n  \"epoll_ctl_calls\": {},\n  \
              \"writes_short\": {},\n  \"connections_shed\": {},\n  \"accept_errors\": {},\n  \"idle_reaped\": {},\n  \
              \"closes_abandoned\": {},\n  \
              \"recovered_sessions\": {},\n  \"sessions_resumed\": {},\n  \
@@ -377,6 +409,8 @@ impl MetricsSnapshot {
             self.open_connections,
             self.reactor_wakeups,
             self.readiness_events,
+            self.reactor_backend,
+            self.epoll_ctl_calls,
             self.writes_short,
             self.connections_shed,
             self.accept_errors,
@@ -448,6 +482,8 @@ mod tests {
         m.replay_ms.store(13, Ordering::Relaxed);
         m.sessions_handed_off.fetch_add(14, Ordering::Relaxed);
         m.not_owner_redirects.fetch_add(15, Ordering::Relaxed);
+        m.set_reactor_backend(crate::sys::Backend::Epoll);
+        m.epoll_ctl_calls.fetch_add(16, Ordering::Relaxed);
         let snap = m.snapshot();
         assert_eq!(snap.open_connections, 2);
         assert_eq!(snap.reactor_wakeups, 5);
@@ -464,7 +500,14 @@ mod tests {
         assert_eq!(snap.replay_ms, 13);
         assert_eq!(snap.sessions_handed_off, 14);
         assert_eq!(snap.not_owner_redirects, 15);
+        assert_eq!(snap.reactor_backend, "epoll");
+        assert_eq!(snap.epoll_ctl_calls, 16);
         let json = snap.to_json();
+        assert_eq!(
+            json.matches("\"reactor_backend\": \"epoll\"").count(),
+            1,
+            "snapshot JSON must carry reactor_backend exactly once:\n{json}"
+        );
         for (key, value) in [
             ("open_connections", 2u64),
             ("reactor_wakeups", 5),
@@ -481,6 +524,7 @@ mod tests {
             ("replay_ms", 13),
             ("sessions_handed_off", 14),
             ("not_owner_redirects", 15),
+            ("epoll_ctl_calls", 16),
         ] {
             let needle = format!("\"{key}\": {value}");
             assert_eq!(

@@ -1,0 +1,253 @@
+//! Hand-declared `epoll(7)` bindings: the kernel-maintained interest
+//! set behind the reactor's [`super::Poller`] epoll backend.
+//!
+//! Level-triggered on purpose — the reactor's connection state machine
+//! was written against `poll(2)` semantics (a readable fd re-reports
+//! until drained), and the epoll backend must preserve them exactly so
+//! the two backends stay behaviorally interchangeable. The win over
+//! `poll(2)` is not edge triggering; it is that the interest set lives
+//! in the kernel, so each wakeup costs O(ready) instead of O(open)
+//! (DESIGN.md §13).
+//!
+//! Everything exported is safe; each unsafe block carries its own
+//! SAFETY note and grandma-lint inventories this file under the
+//! `unsafe-code` rule.
+
+use std::io;
+
+use super::{RawFd, Ready, POLLERR, POLLHUP, POLLIN, POLLOUT};
+
+/// Readiness bits in the kernel's epoll encoding. The low bits happen
+/// to coincide with the `poll(2)` constants, but the translation below
+/// is written out so neither side silently depends on that.
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+
+/// `epoll_create1` flag: close-on-exec, same value as `O_CLOEXEC`.
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+/// Mirrors the kernel's `struct epoll_event`. On x86-64 the ABI
+/// declares it packed (12 bytes: `u32` events + `u64` data with no
+/// padding), so `#[repr(C, packed)]` is required for `epoll_wait` to
+/// write entries at the offsets we read them from. Fields are only ever
+/// copied out by value — taking a reference into a packed struct is UB
+/// and never happens here.
+#[repr(C, packed)]
+#[derive(Debug, Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+// Hand-declared libc entry points (the workspace is dependency-free by
+// policy). Signatures match the x86-64 Linux ABI.
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// How many ready entries one `epoll_wait` call can return. Level
+/// triggering makes the cap harmless: anything still ready beyond it is
+/// re-reported by the next call.
+const WAIT_CAP: usize = 1024;
+
+/// Translates a `poll(2)` interest mask (`POLLIN`/`POLLOUT`) into epoll
+/// event bits.
+fn interest_to_epoll(interest: i16) -> u32 {
+    let mut ev = 0u32;
+    if interest & POLLIN != 0 {
+        ev |= EPOLLIN;
+    }
+    if interest & POLLOUT != 0 {
+        ev |= EPOLLOUT;
+    }
+    ev
+}
+
+/// Translates reported epoll bits back into `poll(2)` result flags, the
+/// reactor's lingua franca.
+fn epoll_to_flags(events: u32) -> i16 {
+    let mut flags = 0i16;
+    if events & EPOLLIN != 0 {
+        flags |= POLLIN;
+    }
+    if events & EPOLLOUT != 0 {
+        flags |= POLLOUT;
+    }
+    if events & EPOLLERR != 0 {
+        flags |= POLLERR;
+    }
+    if events & EPOLLHUP != 0 {
+        flags |= POLLHUP;
+    }
+    flags
+}
+
+/// An owned epoll instance: registered fds carry a caller token in
+/// `epoll_event.data`, and [`EpollSet::wait`] reports readiness as
+/// [`Ready`] entries keyed by that token. Counts every `epoll_ctl`
+/// issued so the reactor can surface interest-set churn as a metric.
+pub struct EpollSet {
+    epfd: RawFd,
+    buf: Vec<EpollEvent>,
+    ctl_calls: u64,
+}
+
+impl EpollSet {
+    /// Creates the epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: `epoll_create1` takes a flags word and returns a new
+        // fd or -1; no memory is exchanged.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self {
+            epfd,
+            buf: vec![EpollEvent { events: 0, data: 0 }; WAIT_CAP],
+            ctl_calls: 0,
+        })
+    }
+
+    fn ctl(&mut self, op: i32, fd: RawFd, interest: i16, token: u64) -> io::Result<()> {
+        self.ctl_calls += 1;
+        let mut ev = EpollEvent {
+            events: interest_to_epoll(interest),
+            data: token,
+        };
+        // SAFETY: `ev` is a live, exclusively owned stack value with
+        // the kernel's expected (packed) layout; the kernel only reads
+        // it (and ignores the pointer entirely for EPOLL_CTL_DEL).
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Adds `fd` to the interest set, watching `interest`
+    /// (`POLLIN`/`POLLOUT`) and tagging events with `token`.
+    pub fn add(&mut self, fd: RawFd, interest: i16, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Rewrites `fd`'s interest mask in place.
+    pub fn modify(&mut self, fd: RawFd, interest: i16, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Removes `fd` from the interest set.
+    pub fn del(&mut self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks until something is ready or `timeout_ms` elapses (`<0` =
+    /// forever, `0` = poll), appending [`Ready`] entries to `out` and
+    /// returning how many. `EINTR` is retried with the full timeout,
+    /// matching [`super::poll_fds`].
+    pub fn wait(&mut self, timeout_ms: i32, out: &mut Vec<Ready>) -> io::Result<usize> {
+        let n = loop {
+            // SAFETY: `buf` is a live Vec of `WAIT_CAP` kernel-layout
+            // entries; `maxevents` is its exact length, so the kernel
+            // never writes past it.
+            let rc = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if rc >= 0 {
+                break rc as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return Err(err);
+        };
+        for ev in self.buf.iter().take(n) {
+            // Copy packed fields out by value; never by reference.
+            let (events, data) = (ev.events, ev.data);
+            out.push(Ready {
+                token: data,
+                flags: epoll_to_flags(events),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Total `epoll_ctl` syscalls issued since creation (add + modify +
+    /// del). The reactor diffs this into its `epoll_ctl_calls` counter.
+    pub fn ctl_calls(&self) -> u64 {
+        self.ctl_calls
+    }
+}
+
+impl Drop for EpollSet {
+    fn drop(&mut self) {
+        // SAFETY: the epoll fd is closed exactly once; it is private to
+        // this struct so nothing can use it afterwards.
+        unsafe {
+            let _ = close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Waker;
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn wait_times_out_on_a_quiet_fd() {
+        let waker = Waker::new().expect("pipe");
+        let mut set = EpollSet::new().expect("epoll");
+        set.add(waker.fd(), POLLIN, 7).expect("add");
+        let mut out = Vec::new();
+        let start = Instant::now();
+        let n = set.wait(50, &mut out).expect("wait");
+        assert_eq!(n, 0);
+        assert!(out.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn readiness_carries_the_registered_token() {
+        let waker = Waker::new().expect("pipe");
+        let mut set = EpollSet::new().expect("epoll");
+        set.add(waker.fd(), POLLIN, 42).expect("add");
+        waker.arm();
+        assert!(waker.wake());
+        let mut out = Vec::new();
+        let n = set.wait(1_000, &mut out).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(out[0].token, 42);
+        assert!(out[0].readable());
+        assert_eq!(set.ctl_calls(), 1);
+    }
+
+    #[test]
+    fn del_removes_the_fd_from_the_interest_set() {
+        let waker = Waker::new().expect("pipe");
+        let mut set = EpollSet::new().expect("epoll");
+        set.add(waker.fd(), POLLIN, 1).expect("add");
+        waker.arm();
+        waker.wake();
+        set.del(waker.fd()).expect("del");
+        let mut out = Vec::new();
+        let n = set.wait(0, &mut out).expect("wait");
+        assert_eq!(n, 0, "deleted fd must not report");
+        assert_eq!(set.ctl_calls(), 2);
+    }
+}

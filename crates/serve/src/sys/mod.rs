@@ -1,14 +1,19 @@
 //! The audited syscall boundary for the reactor transport.
 //!
-//! This module is the **only** place in the workspace (outside the two
-//! bench counting allocators) that contains `unsafe`: hand-declared
-//! bindings for `poll(2)` and a self-pipe waker, kept dependency-free
-//! because the workspace links no external crates. Everything exported
-//! is a safe API; grandma-lint inventories this file under the
-//! `unsafe-code` rule and the crate root holds `#![deny(unsafe_code)]`
-//! so any `unsafe` that leaks outside this module is a build error.
+//! This module tree is the **only** place in the workspace (outside the
+//! two bench counting allocators) that contains `unsafe`: hand-declared
+//! bindings for `poll(2)` (here), `epoll(7)` ([`epoll`]),
+//! `setrlimit(2)` ([`rlimit`]), and a self-pipe waker, kept
+//! dependency-free because the workspace links no external crates.
+//! Everything exported is a safe API; grandma-lint inventories exactly
+//! these files under the `unsafe-code` rule and the crate root holds
+//! `#![deny(unsafe_code)]` so any `unsafe` that leaks outside this
+//! module tree is a build error. [`poller`] holds the safe [`Poller`]
+//! abstraction over both readiness backends and is deliberately *not*
+//! in the inventory — it contains no `unsafe`.
 //!
-//! Audit notes, one per unsafe block:
+//! Audit notes, one per unsafe block in this file (submodules carry
+//! their own):
 //!
 //! * `poll` — passes a pointer/length pair derived from a live
 //!   `&mut [PollFd]`; `PollFd` is `#[repr(C)]` and layout-identical to
@@ -26,6 +31,14 @@
 //! pipe write: [`Waker::wake`] only writes when the poll thread has
 //! declared (via [`Waker::arm`]) that it may be about to block.
 #![allow(unsafe_code)]
+
+#[cfg(target_os = "linux")]
+pub mod epoll;
+pub mod poller;
+pub mod rlimit;
+
+pub use poller::{Backend, Poller, Ready};
+pub use rlimit::{ensure_nofile_limit, raise_nofile_limit};
 
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -1,12 +1,26 @@
 //! The TCP front-end: a readiness-driven reactor. One blocking accept
 //! thread hands nonblocking sockets to a small pool of I/O threads
-//! (default `min(4, cores)`), each running a `poll(2)` loop that
-//! multiplexes hundreds–thousands of connections through a
-//! per-connection frame state machine: read buffer → [`FrameBuffer`]
-//! decode → dispatch to the [`SessionRouter`]; reply frames are encoded
-//! into a per-connection pending-write buffer drained when the socket
-//! is writable. The I/O layer only decodes, encodes, and forwards — all
-//! session state stays on shard threads (DESIGN.md §13).
+//! (default `min(4, cores)`), each running a [`crate::sys::Poller`]
+//! loop — epoll(7) on Linux by default, poll(2) elsewhere or on request
+//! ([`PollBackend`]) — that multiplexes hundreds of thousands of
+//! connections through a per-connection frame state machine: read
+//! buffer → [`FrameBuffer`] decode → dispatch to the [`SessionRouter`];
+//! reply frames are encoded into a per-connection pending-write buffer
+//! drained when the socket is writable. The I/O layer only decodes,
+//! encodes, and forwards — all session state stays on shard threads
+//! (DESIGN.md §13).
+//!
+//! Readiness dispatch is O(ready), not O(open): each connection
+//! registers with the poller once at accept (token = conn id, waker
+//! pipe = token 0), the reactor tracks the interest mask it last
+//! installed ([`Conn::interest`]) and issues a modify only on actual
+//! transitions (pending output appears/drains, half-close flips the
+//! connection write-only), and each wakeup walks only the returned
+//! ready set instead of rebuilding and re-scanning a `pollfd` array.
+//! Maintenance work is driven by the same principle — only connections
+//! touched by shard replies or readiness get flushed/checked; the sole
+//! remaining O(open) scan is idle reaping, gated to at most one sweep
+//! per reap tick.
 //!
 //! Connection protocol (unchanged from the thread-per-connection
 //! transport it replaces — the loopback and batch-equivalence suites
@@ -73,7 +87,7 @@ use std::time::{Duration, Instant};
 use crate::metrics::ServiceMetrics;
 use crate::router::{ReplyBridge, ReplyTx, SessionRouter, ShardMsg, SubmitError};
 use crate::session::SessionSnapshot;
-use crate::sys::{poll_fds, PollFd, Waker, POLLIN, POLLOUT};
+use crate::sys::{Backend, Poller, Ready, Waker, POLLIN, POLLOUT};
 use crate::wire::{
     encode_server, ClientFrameView, FaultCode, FrameBuffer, OutcomeKind, ServerFrame,
     MIN_WIRE_VERSION, WIRE_VERSION,
@@ -106,6 +120,74 @@ const CLOSE_RETRY_ROUNDS: usize = 64;
 /// replies before teardown gives up on the drain.
 const DRAIN_WINDOW: Duration = Duration::from_secs(5);
 
+/// Poller token for the self-pipe waker. Connection ids start at 1
+/// ([`SessionRouter::new_conn_id`]), so 0 is free.
+const WAKER_TOKEN: u64 = 0;
+
+/// Which readiness backend the reactor's I/O threads run on.
+///
+/// `Auto` resolves to epoll(7) on Linux and poll(2) elsewhere; if the
+/// auto-selected backend cannot be constructed the service falls back
+/// to poll(2), while an explicit `Epoll` that cannot be constructed
+/// fails startup loudly. The `GRANDMA_POLL_BACKEND` environment
+/// variable (values `auto`/`poll`/`epoll`) overrides the default so
+/// test suites can be re-run against the portable backend without
+/// code changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollBackend {
+    /// epoll(7) where available (Linux), poll(2) elsewhere.
+    #[default]
+    Auto,
+    /// Force the portable poll(2) rebuild-and-scan backend.
+    Poll,
+    /// Require epoll(7); startup fails where it is unsupported.
+    Epoll,
+}
+
+impl PollBackend {
+    /// Parses a CLI/env value (`auto` | `poll` | `epoll`).
+    pub fn parse(value: &str) -> Option<Self> {
+        match value {
+            "auto" => Some(Self::Auto),
+            "poll" => Some(Self::Poll),
+            "epoll" => Some(Self::Epoll),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name, for logs and usage text.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::Poll => "poll",
+            Self::Epoll => "epoll",
+        }
+    }
+
+    /// The `GRANDMA_POLL_BACKEND` override, or `Auto`.
+    fn from_env() -> Self {
+        std::env::var("GRANDMA_POLL_BACKEND")
+            .ok()
+            .and_then(|v| Self::parse(v.trim()))
+            .unwrap_or(Self::Auto)
+    }
+
+    /// The concrete backend this selection asks for on this platform.
+    fn resolve(self) -> Backend {
+        match self {
+            Self::Poll => Backend::Poll,
+            Self::Epoll => Backend::Epoll,
+            Self::Auto => {
+                if cfg!(target_os = "linux") {
+                    Backend::Epoll
+                } else {
+                    Backend::Poll
+                }
+            }
+        }
+    }
+}
+
 /// Transport tuning for the reactor front-end.
 #[derive(Debug, Clone, Copy)]
 pub struct TcpOptions {
@@ -124,6 +206,8 @@ pub struct TcpOptions {
     /// Close connections that send no frames for this many
     /// milliseconds; `0` disables idle reaping.
     pub idle_timeout_ms: u64,
+    /// Readiness backend for the I/O threads.
+    pub poll_backend: PollBackend,
 }
 
 impl Default for TcpOptions {
@@ -134,6 +218,7 @@ impl Default for TcpOptions {
             io_threads: 0,
             max_connections: 65_536,
             idle_timeout_ms: 0,
+            poll_backend: PollBackend::from_env(),
         }
     }
 }
@@ -244,6 +329,11 @@ struct Conn {
     /// populated when a `Close` is dispatched, cleared when the terminal
     /// frame is queued. The half-close drain waits on this set.
     draining: HashSet<u64>,
+    /// The interest mask currently installed in the poller for this
+    /// connection. [`sync_interest`] issues a modify only when the
+    /// desired mask differs, so on epoll the `epoll_ctl` count tracks
+    /// actual transitions, not reactor iterations.
+    interest: i16,
 }
 
 impl Conn {
@@ -303,6 +393,21 @@ impl TcpService {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        // Resolve and probe the readiness backend once, up front: an
+        // explicit `--poll-backend epoll` that cannot be constructed
+        // fails startup loudly, while Auto degrades to poll(2). The I/O
+        // threads then build their own pollers on the settled backend.
+        let requested = options.poll_backend.resolve();
+        let backend = match Poller::new(requested) {
+            Ok(_) => requested,
+            Err(err) => {
+                if options.poll_backend == PollBackend::Epoll {
+                    return Err(err);
+                }
+                Backend::Poll
+            }
+        };
+        router.metrics().set_reactor_backend(backend);
         let io_count = options.resolved_io_threads();
         let mut io = Vec::with_capacity(io_count);
         let mut receivers = Vec::with_capacity(io_count);
@@ -327,7 +432,9 @@ impl TcpService {
             let thread_bridge = bridge.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("grandma-io-{index}"))
-                .spawn(move || io_loop(shared, replies, thread_router, thread_bridge, options))?;
+                .spawn(move || {
+                    io_loop(shared, replies, thread_router, thread_bridge, options, backend)
+                })?;
             io_threads.push(handle);
         }
         let accept_thread = {
@@ -579,10 +686,16 @@ fn try_close(router: &SessionRouter, conn: u64, session: u64, seq: u32, reply: &
 fn teardown(
     conn_id: u64,
     mut c: Conn,
+    poller: &mut Poller,
     router: &SessionRouter,
     metrics: &ServiceMetrics,
     pending_closes: &mut Vec<PendingClose>,
 ) {
+    // Deregister before the fd closes: a closed fd is auto-removed from
+    // an epoll set, but doing it explicitly keeps both backends on one
+    // discipline and cannot leave a stale entry if the fd number is
+    // recycled by a racing accept.
+    let _ = poller.deregister(conn_id, c.stream.as_raw_fd());
     if router.detach_on_disconnect() {
         c.open_sessions.clear();
         router.detach_conn(conn_id);
@@ -932,26 +1045,101 @@ fn service_read(
     }
 }
 
-/// One reactor I/O thread: a `poll(2)` loop multiplexing every
+/// The interest mask a connection should be watched with right now.
+///
+/// Transition table (DESIGN.md §13): a fresh connection reads
+/// (`POLLIN`); queued output that hit a full socket buffer adds
+/// `POLLOUT` until it drains; a protocol fault (`closing`) or peer EOF
+/// (`read_closed`) drops `POLLIN` — a level-triggered EOF/fault would
+/// otherwise re-report every wakeup; error conditions need no bits,
+/// both backends always report them.
+fn desired_interest(c: &Conn) -> i16 {
+    let mut interest = 0i16;
+    if !c.closing && c.read_closed.is_none() {
+        interest |= POLLIN;
+    }
+    if c.want_write && c.pending_out() > 0 {
+        interest |= POLLOUT;
+    }
+    interest
+}
+
+/// Installs the connection's desired interest mask if it changed. The
+/// no-transition fast path is what keeps `epoll_ctl` traffic O(actual
+/// state changes) instead of O(iterations × connections).
+fn sync_interest(poller: &mut Poller, conn_id: u64, c: &mut Conn) {
+    let want = desired_interest(c);
+    if want != c.interest && poller.modify(conn_id, c.stream.as_raw_fd(), want).is_ok() {
+        c.interest = want;
+    }
+}
+
+/// Post-activity bookkeeping for one connection: opportunistic flush,
+/// slow-consumer shed, and fault-flush completion. Runs only for
+/// connections actually touched this round (shard replies or readiness)
+/// — never as a full sweep. Returns `false` when the connection must be
+/// torn down.
+fn maintain_conn(c: &mut Conn, metrics: &ServiceMetrics, retain_cap: usize) -> bool {
+    if c.pending_out() > 0 && !c.want_write && !flush_conn(c, metrics, retain_cap) {
+        return false;
+    }
+    if c.pending_out() > MAX_PENDING_WRITE {
+        metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    if c.closing && c.pending_out() == 0 {
+        return false;
+    }
+    true
+}
+
+/// One reactor I/O thread: a [`Poller`] loop multiplexing every
 /// connection assigned to it. The loop is wake-accurate without being
 /// wake-hungry — the waker is armed before the work queues are drained,
 /// so a producer either lands its item before the drain or its wake
-/// byte lands in the poll set.
+/// byte lands in the ready set.
+///
+/// Per-wakeup cost is O(touched + ready): shard replies name the
+/// connections they touch, readiness names the connections with I/O,
+/// and nothing else is visited. The idle reaper is the one remaining
+/// O(open) scan, and it runs at most once per reap tick rather than
+/// every iteration.
 fn io_loop(
     shared: Arc<IoShared>,
     replies: Receiver<(u64, ServerFrame)>,
     router: Arc<SessionRouter>,
     bridge: Arc<ReactorBridge>,
     options: TcpOptions,
+    backend: Backend,
 ) {
     let metrics = router.metrics().clone();
     let retain_cap = options.max_bytes();
     let idle_timeout = options.idle_timeout();
+    // Reap ticks: a quarter of the window bounds the overshoot.
+    let idle_tick_ms = (options.idle_timeout_ms / 4).clamp(5, 500);
+    // The backend was probed at startup; a failure here is a racing
+    // resource exhaustion, so degrade to poll(2) (which allocates
+    // nothing) rather than dropping the thread.
+    let mut poller = match Poller::new(backend).or_else(|_| Poller::new(Backend::Poll)) {
+        Ok(poller) => poller,
+        Err(_) => return,
+    };
+    // The waker is registered exactly once; its interest never changes.
+    if poller.register(WAKER_TOKEN, shared.waker.fd(), POLLIN).is_err() {
+        return;
+    }
     let mut conns: HashMap<u64, Conn> = HashMap::new();
-    let mut pollfds: Vec<PollFd> = Vec::new();
-    let mut poll_keys: Vec<u64> = Vec::new();
     let mut pending_closes: Vec<PendingClose> = Vec::new();
     let mut dead: Vec<u64> = Vec::new();
+    let mut ready: Vec<Ready> = Vec::new();
+    // Connections touched by shard replies this round, pending a
+    // flush/interest resync.
+    let mut touched: Vec<u64> = Vec::new();
+    // Connections in the write-only half-close drain: checked every
+    // round for completion/expiry. Bounded by draining conns, not open
+    // conns.
+    let mut half_closed: Vec<u64> = Vec::new();
+    let mut next_idle_scan = Instant::now();
     let mut chunk = vec![0u8; READ_CHUNK];
     loop {
         // Arm first: any wake() from here on writes a pipe byte, so the
@@ -959,10 +1147,19 @@ fn io_loop(
         // wakeup.
         shared.waker.arm();
 
-        // Intake newly accepted connections.
+        // Intake newly accepted connections: register with the poller
+        // once, read-interest, token = conn id.
         let fresh = std::mem::take(&mut *lock_or_recover(&shared.registrations));
         let now = Instant::now();
         for (conn_id, stream) in fresh {
+            if poller.register(conn_id, stream.as_raw_fd(), POLLIN).is_err() {
+                // Unwatchable (epoll interest-set exhaustion): shed it
+                // — an unregistered connection would hang silently.
+                metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
+                metrics.open_connections.fetch_sub(1, Ordering::Relaxed);
+                let _ = stream.shutdown(Shutdown::Both);
+                continue;
+            }
             let reply = ReplyTx::bridged(conn_id, bridge.clone() as Arc<dyn ReplyBridge>);
             conns.insert(
                 conn_id,
@@ -980,13 +1177,15 @@ fn io_loop(
                     last_activity: now,
                     read_closed: None,
                     draining: HashSet::new(),
+                    interest: POLLIN,
                 },
             );
         }
 
-        // Drain shard replies into per-connection encode buffers.
-        // Frames for connections that died race-free-but-late are
-        // dropped, same as the old writer thread losing its socket.
+        // Drain shard replies into per-connection encode buffers,
+        // remembering which connections now need a flush. Frames for
+        // connections that died race-free-but-late are dropped, same as
+        // the old writer thread losing its socket.
         while let Ok((conn_id, frame)) = replies.try_recv() {
             if let Some(c) = conns.get_mut(&conn_id) {
                 if !c.dead {
@@ -1003,6 +1202,7 @@ fn io_loop(
                         _ => {}
                     }
                     queue_frame(c, &metrics, &frame);
+                    touched.push(conn_id);
                 }
             }
         }
@@ -1017,158 +1217,170 @@ fn io_loop(
             break;
         }
 
-        // Flush pending output; mark writer-dead and slow consumers.
-        for (&conn_id, c) in conns.iter_mut() {
+        // Flush/maintain only the connections shard replies touched.
+        touched.sort_unstable();
+        touched.dedup();
+        for conn_id in touched.drain(..) {
+            let Some(c) = conns.get_mut(&conn_id) else {
+                continue;
+            };
             if c.dead {
                 continue;
             }
-            if c.pending_out() > 0 && !c.want_write && !flush_conn(c, &metrics, retain_cap) {
+            if !maintain_conn(c, &metrics, retain_cap) {
                 c.dead = true;
                 dead.push(conn_id);
                 continue;
             }
-            if c.pending_out() > MAX_PENDING_WRITE {
-                metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
-                c.dead = true;
-                dead.push(conn_id);
-                continue;
-            }
-            if c.closing && c.pending_out() == 0 {
-                c.dead = true;
-                dead.push(conn_id);
-                continue;
-            }
-            // Half-close drain complete (nothing owed, nothing queued)
-            // or overdue: finish the teardown the EOF deferred.
-            if let Some(at) = c.read_closed {
+            sync_interest(&mut poller, conn_id, c);
+        }
+
+        // Half-close drains: complete (nothing owed, nothing queued) or
+        // overdue connections finish the teardown their EOF deferred.
+        if !half_closed.is_empty() {
+            let now = Instant::now();
+            half_closed.retain(|&conn_id| {
+                let Some(c) = conns.get_mut(&conn_id) else {
+                    return false;
+                };
+                if c.dead || c.read_closed.is_none() {
+                    return false;
+                }
+                let at = match c.read_closed {
+                    Some(at) => at,
+                    None => return false,
+                };
                 let drained = c.draining.is_empty() && c.pending_out() == 0;
                 if drained || now.duration_since(at) >= DRAIN_WINDOW {
                     c.dead = true;
                     dead.push(conn_id);
+                    return false;
                 }
-            }
+                true
+            });
         }
 
         // Idle reaping: no client frames for the window means the
-        // connection (and its sessions) are abandoned.
+        // connection (and its sessions) are abandoned. This is the one
+        // deliberate O(open) scan left, gated to once per reap tick so
+        // a busy reactor is not paying it every wakeup.
         if let Some(window) = idle_timeout {
             let now = Instant::now();
-            for (&conn_id, c) in conns.iter_mut() {
-                if !c.dead && now.duration_since(c.last_activity) >= window {
-                    metrics.idle_reaped.fetch_add(1, Ordering::Relaxed);
-                    c.dead = true;
-                    dead.push(conn_id);
+            if now >= next_idle_scan {
+                next_idle_scan = now + Duration::from_millis(idle_tick_ms);
+                for (&conn_id, c) in conns.iter_mut() {
+                    if !c.dead && now.duration_since(c.last_activity) >= window {
+                        metrics.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                        c.dead = true;
+                        dead.push(conn_id);
+                    }
                 }
             }
         }
 
         for conn_id in dead.drain(..) {
             if let Some(c) = conns.remove(&conn_id) {
-                teardown(conn_id, c, &router, &metrics, &mut pending_closes);
+                teardown(conn_id, c, &mut poller, &router, &metrics, &mut pending_closes);
             }
-        }
-
-        // Build the poll set: the waker plus every live connection.
-        pollfds.clear();
-        poll_keys.clear();
-        pollfds.push(PollFd::new(shared.waker.fd(), POLLIN));
-        let mut any_draining = false;
-        for (&conn_id, c) in conns.iter() {
-            let mut events = 0i16;
-            // A half-closed connection is write-only: EOF already
-            // arrived, and a level-triggered POLLIN would re-report it
-            // every round.
-            if !c.closing && c.read_closed.is_none() {
-                events |= POLLIN;
-            }
-            if c.want_write && c.pending_out() > 0 {
-                events |= POLLOUT;
-            }
-            any_draining |= c.read_closed.is_some();
-            pollfds.push(PollFd::new(c.stream.as_raw_fd(), events));
-            poll_keys.push(conn_id);
         }
 
         let timeout_ms = if !pending_closes.is_empty() {
             1
-        } else if any_draining {
+        } else if !half_closed.is_empty() {
             // Tick so drain completion (shard replies already queued)
             // and the DRAIN_WINDOW deadline are noticed promptly.
             50
         } else if idle_timeout.is_some() {
-            // Reap ticks: a quarter of the window bounds the overshoot.
-            (options.idle_timeout_ms / 4).clamp(5, 500) as i32
+            idle_tick_ms as i32
         } else {
             -1
         };
-        let ready = match poll_fds(&mut pollfds, timeout_ms) {
+        // Surface interest-set churn before blocking: ctl syscalls for
+        // registers/modifies/deregisters since the last iteration.
+        let ctl = poller.take_ctl_calls();
+        if ctl > 0 {
+            metrics.epoll_ctl_calls.fetch_add(ctl, Ordering::Relaxed);
+        }
+        let n = match poller.wait(timeout_ms, &mut ready) {
             Ok(n) => n,
             Err(_) => continue,
         };
-        if ready > 0 {
+        if n > 0 {
             metrics
                 .readiness_events
-                .fetch_add(ready as u64, Ordering::Relaxed);
-        }
-        if pollfds.first().is_some_and(|w| w.readable()) {
-            shared.waker.drain();
-            metrics.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+                .fetch_add(n as u64, Ordering::Relaxed);
         }
 
-        if ready > 0 {
-            let now = Instant::now();
-            for (i, &conn_id) in poll_keys.iter().enumerate() {
-                let Some(pfd) = pollfds.get(i + 1) else {
-                    break;
-                };
-                if !pfd.ready() {
-                    continue;
+        // Dispatch walks only the ready set: O(ready), regardless of
+        // how many connections are open.
+        let now = Instant::now();
+        for ev in &ready {
+            if ev.token == WAKER_TOKEN {
+                if ev.readable() {
+                    shared.waker.drain();
+                    metrics.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
                 }
-                let Some(c) = conns.get_mut(&conn_id) else {
-                    continue;
-                };
-                if c.dead {
-                    continue;
-                }
-                if pfd.writable() {
-                    c.want_write = false;
-                    if !flush_conn(c, &metrics, retain_cap) {
-                        c.dead = true;
-                        dead.push(conn_id);
-                        continue;
-                    }
-                } else if !pfd.readable() || c.closing {
-                    // Ready, but neither branch can make progress: the
-                    // kernel reported only error bits (POLLERR/POLLHUP/
-                    // POLLNVAL — set regardless of requested events),
-                    // typically on a closing connection whose peer
-                    // reset. Left alone, level-triggered poll would
-                    // re-report it every iteration, spinning this
-                    // thread and leaking the connection forever.
+                continue;
+            }
+            let conn_id = ev.token;
+            let Some(c) = conns.get_mut(&conn_id) else {
+                continue;
+            };
+            if c.dead {
+                continue;
+            }
+            if ev.writable() {
+                c.want_write = false;
+                if !flush_conn(c, &metrics, retain_cap) {
                     c.dead = true;
                     dead.push(conn_id);
                     continue;
                 }
-                if pfd.readable()
-                    && !c.closing
-                    && !service_read(
-                        conn_id,
-                        c,
-                        &router,
-                        &metrics,
-                        &mut chunk,
-                        now,
-                        &mut pending_closes,
-                    )
-                {
+            } else if !ev.readable() || c.closing {
+                // Ready, but neither branch can make progress: the
+                // kernel reported only error bits (POLLERR/POLLHUP/
+                // POLLNVAL — set regardless of requested events),
+                // typically on a closing connection whose peer
+                // reset. Left alone, level-triggered readiness would
+                // re-report it every iteration, spinning this
+                // thread and leaking the connection forever.
+                c.dead = true;
+                dead.push(conn_id);
+                continue;
+            }
+            if ev.readable() && !c.closing {
+                let was_half_closed = c.read_closed.is_some();
+                if !service_read(
+                    conn_id,
+                    c,
+                    &router,
+                    &metrics,
+                    &mut chunk,
+                    now,
+                    &mut pending_closes,
+                ) {
                     c.dead = true;
                     dead.push(conn_id);
+                    continue;
+                }
+                if !was_half_closed && c.read_closed.is_some() {
+                    // EOF just arrived: enter the write-only drain.
+                    half_closed.push(conn_id);
                 }
             }
+            // Flush what dispatch queued and install any interest
+            // transition (pending-out appeared/drained, half-close
+            // flipped write-only).
+            if !maintain_conn(c, &metrics, retain_cap) {
+                c.dead = true;
+                dead.push(conn_id);
+                continue;
+            }
+            sync_interest(&mut poller, conn_id, c);
         }
         for conn_id in dead.drain(..) {
             if let Some(c) = conns.remove(&conn_id) {
-                teardown(conn_id, c, &router, &metrics, &mut pending_closes);
+                teardown(conn_id, c, &mut poller, &router, &metrics, &mut pending_closes);
             }
         }
     }
@@ -1184,7 +1396,7 @@ fn io_loop(
     let ids: Vec<u64> = conns.keys().copied().collect();
     for conn_id in ids {
         if let Some(c) = conns.remove(&conn_id) {
-            teardown(conn_id, c, &router, &metrics, &mut pending_closes);
+            teardown(conn_id, c, &mut poller, &router, &metrics, &mut pending_closes);
         }
     }
     for _ in 0..CLOSE_RETRY_ROUNDS {
@@ -1221,6 +1433,25 @@ mod tests {
             EagerRecognizer::train(&data.training, &FeatureMask::all(), &EagerConfig::default())
                 .expect("training succeeds");
         Arc::new(rec)
+    }
+
+    /// Every backend the host supports: the full TCP suite runs once
+    /// per entry so poll(2) and epoll(7) are held to identical
+    /// observable behavior.
+    fn test_backends() -> Vec<PollBackend> {
+        let mut backends = vec![PollBackend::Poll];
+        if cfg!(target_os = "linux") {
+            backends.push(PollBackend::Epoll);
+        }
+        backends
+    }
+
+    /// Default options pinned to one readiness backend.
+    fn options_with(backend: PollBackend) -> TcpOptions {
+        TcpOptions {
+            poll_backend: backend,
+            ..TcpOptions::default()
+        }
     }
 
     fn read_server_frames(stream: &mut TcpStream, until_closed_for: u64) -> Vec<ServerFrame> {
@@ -1296,6 +1527,7 @@ mod tests {
             last_activity: Instant::now(),
             read_closed: None,
             draining: HashSet::new(),
+            interest: POLLIN,
         };
         let (mut produced, mut consumed) = (0usize, 0usize);
         for _ in 0..512 {
@@ -1326,13 +1558,24 @@ mod tests {
 
     #[test]
     fn tcp_session_round_trips_and_shuts_down() {
+        for backend in test_backends() {
+            tcp_session_round_trips_and_shuts_down_on(backend);
+        }
+    }
+
+    fn tcp_session_round_trips_and_shuts_down_on(backend: PollBackend) {
         use grandma_events::{Button, EventScript};
-        let service = TcpService::start(
+        let mut service = TcpService::start_with(
             SessionRouter::new(recognizer(), ServeConfig::default()),
             "127.0.0.1:0",
+            options_with(backend),
         )
         .expect("bind");
-        let mut service = service;
+        assert_eq!(
+            service.metrics().snapshot().reactor_backend,
+            backend.resolve().name(),
+            "resolved backend must be visible in the snapshot"
+        );
         let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
         let mut bytes = Vec::new();
         encode_client(
@@ -1378,10 +1621,17 @@ mod tests {
 
     #[test]
     fn batched_tcp_session_round_trips() {
+        for backend in test_backends() {
+            batched_tcp_session_round_trips_on(backend);
+        }
+    }
+
+    fn batched_tcp_session_round_trips_on(backend: PollBackend) {
         use grandma_events::{Button, EventScript};
-        let mut service = TcpService::start(
+        let mut service = TcpService::start_with(
             SessionRouter::new(recognizer(), ServeConfig::default()),
             "127.0.0.1:0",
+            options_with(backend),
         )
         .expect("bind");
         let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
@@ -1428,10 +1678,17 @@ mod tests {
 
     #[test]
     fn v1_client_round_trips_against_v2_server() {
+        for backend in test_backends() {
+            v1_client_round_trips_against_v2_server_on(backend);
+        }
+    }
+
+    fn v1_client_round_trips_against_v2_server_on(backend: PollBackend) {
         use grandma_events::{Button, EventScript};
-        let mut service = TcpService::start(
+        let mut service = TcpService::start_with(
             SessionRouter::new(recognizer(), ServeConfig::default()),
             "127.0.0.1:0",
+            options_with(backend),
         )
         .expect("bind");
         let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
@@ -1480,9 +1737,16 @@ mod tests {
 
     #[test]
     fn garbage_bytes_fault_and_close_the_connection() {
-        let mut service = TcpService::start(
+        for backend in test_backends() {
+            garbage_bytes_fault_and_close_the_connection_on(backend);
+        }
+    }
+
+    fn garbage_bytes_fault_and_close_the_connection_on(backend: PollBackend) {
+        let mut service = TcpService::start_with(
             SessionRouter::new(recognizer(), ServeConfig::default()),
             "127.0.0.1:0",
+            options_with(backend),
         )
         .expect("bind");
         let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
@@ -1520,9 +1784,16 @@ mod tests {
 
     #[test]
     fn sessions_are_bound_to_their_connection() {
-        let mut service = TcpService::start(
+        for backend in test_backends() {
+            sessions_are_bound_to_their_connection_on(backend);
+        }
+    }
+
+    fn sessions_are_bound_to_their_connection_on(backend: PollBackend) {
+        let mut service = TcpService::start_with(
             SessionRouter::new(recognizer(), ServeConfig::default()),
             "127.0.0.1:0",
+            options_with(backend),
         )
         .expect("bind");
         let addr = service.local_addr();
@@ -1609,9 +1880,16 @@ mod tests {
 
     #[test]
     fn finished_connections_are_pruned_from_the_registry() {
-        let mut service = TcpService::start(
+        for backend in test_backends() {
+            finished_connections_are_pruned_from_the_registry_on(backend);
+        }
+    }
+
+    fn finished_connections_are_pruned_from_the_registry_on(backend: PollBackend) {
+        let mut service = TcpService::start_with(
             SessionRouter::new(recognizer(), ServeConfig::default()),
             "127.0.0.1:0",
+            options_with(backend),
         )
         .expect("bind");
         let addr = service.local_addr();
@@ -1659,9 +1937,16 @@ mod tests {
 
     #[test]
     fn dropped_connection_reaps_its_sessions() {
-        let mut service = TcpService::start(
+        for backend in test_backends() {
+            dropped_connection_reaps_its_sessions_on(backend);
+        }
+    }
+
+    fn dropped_connection_reaps_its_sessions_on(backend: PollBackend) {
+        let mut service = TcpService::start_with(
             SessionRouter::new(recognizer(), ServeConfig::default()),
             "127.0.0.1:0",
+            options_with(backend),
         )
         .expect("bind");
         {
@@ -1690,13 +1975,19 @@ mod tests {
 
     #[test]
     fn idle_connection_is_reaped_while_active_one_survives() {
+        for backend in test_backends() {
+            idle_connection_is_reaped_while_active_one_survives_on(backend);
+        }
+    }
+
+    fn idle_connection_is_reaped_while_active_one_survives_on(backend: PollBackend) {
         let mut service = TcpService::start_with(
             SessionRouter::new(recognizer(), ServeConfig::default()),
             "127.0.0.1:0",
             TcpOptions {
                 io_threads: 1, // both connections on the same poll thread
                 idle_timeout_ms: 200,
-                ..TcpOptions::default()
+                ..options_with(backend)
             },
         )
         .expect("bind");
@@ -1803,10 +2094,17 @@ mod tests {
 
     #[test]
     fn fenced_sessions_are_redirected_with_not_owner() {
+        for backend in test_backends() {
+            fenced_sessions_are_redirected_with_not_owner_on(backend);
+        }
+    }
+
+    fn fenced_sessions_are_redirected_with_not_owner_on(backend: PollBackend) {
         let router = SessionRouter::new(recognizer(), ServeConfig::default());
         let peer: SocketAddr = "127.0.0.1:4242".parse().expect("addr");
         router.set_fence(Arc::new(move |session| (session == 13).then_some(peer)));
-        let mut service = TcpService::start(router, "127.0.0.1:0").expect("bind");
+        let mut service =
+            TcpService::start_with(router, "127.0.0.1:0", options_with(backend)).expect("bind");
         let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
         let mut bytes = Vec::new();
         encode_client(
@@ -1843,6 +2141,12 @@ mod tests {
 
     #[test]
     fn handoff_over_tcp_is_acked_and_resumable() {
+        for backend in test_backends() {
+            handoff_over_tcp_is_acked_and_resumable_on(backend);
+        }
+    }
+
+    fn handoff_over_tcp_is_acked_and_resumable_on(backend: PollBackend) {
         use grandma_events::{Button, EventScript};
         // Build the mid-flight session state on a standalone pipeline.
         let data = datasets::eight_way(0x7e57, 0, 1);
@@ -1861,9 +2165,10 @@ mod tests {
         let mut payload = Vec::new();
         snapshot.encode(&mut payload);
 
-        let mut service = TcpService::start(
+        let mut service = TcpService::start_with(
             SessionRouter::new(recognizer(), ServeConfig::default()),
             "127.0.0.1:0",
+            options_with(backend),
         )
         .expect("bind");
         let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
@@ -1947,13 +2252,19 @@ mod tests {
 
     #[test]
     fn connections_beyond_the_cap_are_shed() {
+        for backend in test_backends() {
+            connections_beyond_the_cap_are_shed_on(backend);
+        }
+    }
+
+    fn connections_beyond_the_cap_are_shed_on(backend: PollBackend) {
         let mut service = TcpService::start_with(
             SessionRouter::new(recognizer(), ServeConfig::default()),
             "127.0.0.1:0",
             TcpOptions {
                 io_threads: 1,
                 max_connections: 2,
-                ..TcpOptions::default()
+                ..options_with(backend)
             },
         )
         .expect("bind");
@@ -1981,5 +2292,60 @@ mod tests {
         service.shutdown();
         let snap = service.metrics().snapshot();
         assert!(snap.connections_shed >= 1, "{snap:?}");
+    }
+
+    /// Reactor-level port of the PR 6 error-bits regression, held on
+    /// both backends: a peer that resets a faulted (closing) connection
+    /// leaves the fd reporting only error bits — no POLLIN interest
+    /// remains, no write can progress — and the reactor must tear it
+    /// down rather than spin on (or leak) it.
+    #[test]
+    fn reset_closing_connection_is_torn_down_on_both_backends() {
+        for backend in test_backends() {
+            reset_closing_connection_is_torn_down_on(backend);
+        }
+    }
+
+    fn reset_closing_connection_is_torn_down_on(backend: PollBackend) {
+        let mut service = TcpService::start_with(
+            SessionRouter::new(recognizer(), ServeConfig::default()),
+            "127.0.0.1:0",
+            TcpOptions {
+                io_threads: 1,
+                ..options_with(backend)
+            },
+        )
+        .expect("bind");
+        let stream = TcpStream::connect(service.local_addr()).expect("connect");
+        // Garbage flips the connection into closing: the server queues a
+        // BadFrame fault and drops read interest.
+        (&stream).write_all(&[0xFF; 64]).expect("write garbage");
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while service.metrics().snapshot().decode_errors < 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{}: garbage never faulted",
+                backend.name()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Drop without reading the fault: unread data in our receive
+        // buffer makes the kernel answer with RST, so the server side
+        // flips straight to an error state instead of a clean EOF.
+        drop(stream);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let open = service.metrics().snapshot().open_connections;
+            if open == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{}: reset connection leaked ({open} still open)",
+                backend.name()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        service.shutdown();
     }
 }

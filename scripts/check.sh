@@ -17,20 +17,27 @@ cargo test --workspace -q
 # The chaos suite already runs as part of the workspace tests above; the
 # serve loopback suite is the one end-to-end check worth calling out by
 # name — 64 concurrent TCP sessions held byte-identical to the in-process
-# pipeline.
+# pipeline. It runs twice: once on the default reactor backend (epoll on
+# Linux) and once with GRANDMA_POLL_BACKEND=poll forcing the poll(2)
+# backend, so both sides of the sys::Poller abstraction stay green.
 echo "== serve loopback suite (64 TCP sessions vs in-process pipeline) =="
 cargo test -p grandma-serve --test loopback -q
+echo "== serve loopback suite (forced poll backend) =="
+GRANDMA_POLL_BACKEND=poll cargo test -p grandma-serve --test loopback -q
 
 # Wire v2 equivalence: batched EventBatch delivery must stay
 # byte-identical to single-Event delivery, over both the in-process
-# duplex transport and real TCP.
+# duplex transport and real TCP — again on both reactor backends.
 echo "== serve batched-vs-single equivalence suite =="
 cargo test -p grandma-serve --test batch_equivalence -q
+echo "== serve batched-vs-single equivalence suite (forced poll backend) =="
+GRANDMA_POLL_BACKEND=poll cargo test -p grandma-serve --test batch_equivalence -q
 
 # Fast-path smoke: a short serve_load run must finish with zero decode
 # errors and zero busy rejections on both the batched and unbatched
-# client disciplines, and the reactor must hold a 256-connection sweep
-# tier with zero connect failures and zero failed round trips.
+# client disciplines, and the reactor (default backend: epoll on Linux)
+# must hold a 256-connection sweep tier with zero connect failures and
+# zero failed round trips.
 echo "== serve_load smoke (batched + unbatched + 256-conn sweep) =="
 cargo run -p grandma-bench --bin serve_load --release -- --smoke --connections 256
 
