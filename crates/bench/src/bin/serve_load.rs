@@ -596,9 +596,39 @@ const SWEEP_BATCH: usize = 24;
 /// thousands of connections on at most this many poll loops).
 const SWEEP_IO_THREADS: usize = 4;
 
-/// Page size assumed for `/proc/<pid>/statm` accounting (x86-64 and
-/// every other mainstream Linux default).
-const PAGE_BYTES: u64 = 4096;
+/// Page size for `/proc/<pid>/statm` accounting, read once from the
+/// ELF auxiliary vector (`AT_PAGESZ` in `/proc/self/auxv` — no libc
+/// dependency). statm counts *pages*, so assuming 4096 would skew
+/// `rss_bytes` by 4–16x on the 16K/64K-page kernels common on aarch64.
+/// Falls back to 4096 when auxv is unreadable; the recorded
+/// `page_bytes` field in the sweep JSON says which value was used.
+fn page_bytes() -> u64 {
+    static PAGE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *PAGE.get_or_init(|| {
+        // auxv is an array of (key, value) machine words; the bench
+        // only targets 64-bit, where that is two u64s per entry.
+        const AT_PAGESZ: u64 = 6;
+        if cfg!(target_pointer_width = "64") {
+            if let Ok(auxv) = std::fs::read("/proc/self/auxv") {
+                for pair in auxv.chunks_exact(16) {
+                    let (Ok(key), Ok(val)) = (
+                        <[u8; 8]>::try_from(&pair[..8]),
+                        <[u8; 8]>::try_from(&pair[8..]),
+                    ) else {
+                        break;
+                    };
+                    if u64::from_ne_bytes(key) == AT_PAGESZ {
+                        let page = u64::from_ne_bytes(val);
+                        if page.is_power_of_two() && (512..=1 << 20).contains(&page) {
+                            return page;
+                        }
+                    }
+                }
+            }
+        }
+        4096
+    })
+}
 
 /// Resident set size of process `pid` in bytes, from the second field
 /// of `/proc/<pid>/statm` (resident pages); 0 when unavailable
@@ -621,7 +651,7 @@ fn proc_rss_bytes(pid: u32) -> u64 {
         .nth(1)
         .and_then(|pages| pages.parse::<u64>().ok())
         .unwrap_or(0)
-        * PAGE_BYTES
+        * page_bytes()
 }
 
 /// One established sweep connection: its socket plus the decode buffer
@@ -2222,7 +2252,9 @@ fn main() -> ExitCode {
         sections.push_str(&format!(
             ",\n  \"connection_sweep\": {{\n    \"io_threads\": {SWEEP_IO_THREADS},\n    \
              \"workers\": {SWEEP_WORKERS},\n    \"batch_events\": {SWEEP_BATCH},\n    \
-             \"backends\": {{\n{backend_blocks}\n    }}\n  }}"
+             \"page_bytes\": {},\n    \
+             \"backends\": {{\n{backend_blocks}\n    }}\n  }}",
+            page_bytes()
         ));
     }
     let json = format!(

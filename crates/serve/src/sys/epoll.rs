@@ -32,21 +32,32 @@ const EPOLL_CTL_ADD: i32 = 1;
 const EPOLL_CTL_DEL: i32 = 2;
 const EPOLL_CTL_MOD: i32 = 3;
 
-/// Mirrors the kernel's `struct epoll_event`. On x86-64 the ABI
-/// declares it packed (12 bytes: `u32` events + `u64` data with no
-/// padding), so `#[repr(C, packed)]` is required for `epoll_wait` to
-/// write entries at the offsets we read them from. Fields are only ever
-/// copied out by value — taking a reference into a packed struct is UB
-/// and never happens here.
-#[repr(C, packed)]
+/// Mirrors the kernel's `struct epoll_event`, whose layout is
+/// arch-dependent: x86-64 alone declares it packed (12 bytes: `u32`
+/// events + `u64` data with no padding), while every other Linux arch
+/// (aarch64, riscv64, ...) uses natural alignment (16 bytes, `data` at
+/// offset 8). Getting this wrong is a heap buffer overflow — the kernel
+/// writes `maxevents` entries at *its* stride into a buffer we
+/// allocated at ours — so the repr is selected per-arch. Fields are
+/// only ever copied out by value — taking a reference into a packed
+/// struct is UB and never happens here.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
 #[derive(Debug, Clone, Copy)]
 struct EpollEvent {
     events: u32,
     data: u64,
 }
 
+// Pin the stride to the kernel's at compile time: 12 bytes packed on
+// x86-64, 16 bytes naturally aligned everywhere else.
+const _: () = assert!(
+    std::mem::size_of::<EpollEvent>() == if cfg!(target_arch = "x86_64") { 12 } else { 16 }
+);
+
 // Hand-declared libc entry points (the workspace is dependency-free by
-// policy). Signatures match the x86-64 Linux ABI.
+// policy). Signatures match the Linux ABI; the event-struct layout they
+// depend on is selected per-arch above.
 extern "C" {
     fn epoll_create1(flags: i32) -> i32;
     fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;

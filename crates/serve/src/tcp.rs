@@ -129,7 +129,11 @@ const WAKER_TOKEN: u64 = 0;
 /// `Auto` resolves to epoll(7) on Linux and poll(2) elsewhere; if the
 /// auto-selected backend cannot be constructed the service falls back
 /// to poll(2), while an explicit `Epoll` that cannot be constructed
-/// fails startup loudly. The `GRANDMA_POLL_BACKEND` environment
+/// fails startup loudly. (A per-thread construction failure *after* a
+/// successful startup probe — racing fd exhaustion — degrades that
+/// thread to poll(2), logging the fallback and downgrading the
+/// `reactor_backend` metric rather than dropping the thread's
+/// connections.) The `GRANDMA_POLL_BACKEND` environment
 /// variable (values `auto`/`poll`/`epoll`) overrides the default so
 /// test suites can be re-run against the portable backend without
 /// code changes.
@@ -1067,11 +1071,22 @@ fn desired_interest(c: &Conn) -> i16 {
 /// Installs the connection's desired interest mask if it changed. The
 /// no-transition fast path is what keeps `epoll_ctl` traffic O(actual
 /// state changes) instead of O(iterations × connections).
-fn sync_interest(poller: &mut Poller, conn_id: u64, c: &mut Conn) {
+///
+/// Returns `false` when a needed transition could not be installed:
+/// interest is only resynced when a connection is touched, so a
+/// connection left with a stale kernel mask (e.g. `POLLOUT` never
+/// armed) would get no further readiness and hang until idle reap — or
+/// forever with reaping disabled. The caller must tear it down.
+fn sync_interest(poller: &mut Poller, conn_id: u64, c: &mut Conn) -> bool {
     let want = desired_interest(c);
-    if want != c.interest && poller.modify(conn_id, c.stream.as_raw_fd(), want).is_ok() {
-        c.interest = want;
+    if want == c.interest {
+        return true;
     }
+    if poller.modify(conn_id, c.stream.as_raw_fd(), want).is_err() {
+        return false;
+    }
+    c.interest = want;
+    true
 }
 
 /// Post-activity bookkeeping for one connection: opportunistic flush,
@@ -1119,10 +1134,25 @@ fn io_loop(
     let idle_tick_ms = (options.idle_timeout_ms / 4).clamp(5, 500);
     // The backend was probed at startup; a failure here is a racing
     // resource exhaustion, so degrade to poll(2) (which allocates
-    // nothing) rather than dropping the thread.
-    let mut poller = match Poller::new(backend).or_else(|_| Poller::new(Backend::Poll)) {
+    // nothing) rather than dropping the thread — but never silently:
+    // the fallback is logged and the `reactor_backend` metric is
+    // downgraded so operators (and the bench's per-backend records)
+    // see what this thread actually runs, even under an explicit
+    // `--poll-backend epoll` whose startup-probe fail-loudly window
+    // has already passed.
+    let mut poller = match Poller::new(backend) {
         Ok(poller) => poller,
-        Err(_) => return,
+        Err(err) => {
+            eprintln!(
+                "serve: io thread: {} backend unavailable ({err}); falling back to poll(2)",
+                backend.name()
+            );
+            metrics.set_reactor_backend(Backend::Poll);
+            match Poller::new(Backend::Poll) {
+                Ok(poller) => poller,
+                Err(_) => return,
+            }
+        }
     };
     // The waker is registered exactly once; its interest never changes.
     if poller.register(WAKER_TOKEN, shared.waker.fd(), POLLIN).is_err() {
@@ -1232,7 +1262,10 @@ fn io_loop(
                 dead.push(conn_id);
                 continue;
             }
-            sync_interest(&mut poller, conn_id, c);
+            if !sync_interest(&mut poller, conn_id, c) {
+                c.dead = true;
+                dead.push(conn_id);
+            }
         }
 
         // Half-close drains: complete (nothing owed, nothing queued) or
@@ -1376,7 +1409,10 @@ fn io_loop(
                 dead.push(conn_id);
                 continue;
             }
-            sync_interest(&mut poller, conn_id, c);
+            if !sync_interest(&mut poller, conn_id, c) {
+                c.dead = true;
+                dead.push(conn_id);
+            }
         }
         for conn_id in dead.drain(..) {
             if let Some(c) = conns.remove(&conn_id) {
