@@ -16,6 +16,17 @@ pub struct Allow {
     pub last_line: u32,
 }
 
+/// A named `lint:reactor-loop` region: code that runs on a latency-critical
+/// loop (the reactor, a shard worker's processing body, the WAL append
+/// path) and therefore must never reach a blocking call.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Label from `lint:reactor-loop start(<label>)`, or `"reactor"`.
+    pub label: String,
+    pub first_line: u32,
+    pub last_line: u32,
+}
+
 /// An `fn` item: name plus the half-open token range of its body.
 #[derive(Debug, Clone)]
 pub struct FnScope {
@@ -34,6 +45,13 @@ pub struct Analysis {
     hot_ranges: Vec<(u32, u32)>,
     /// Inclusive line ranges of `#[cfg(test)] mod` bodies.
     test_ranges: Vec<(u32, u32)>,
+    /// Named `lint:reactor-loop start(<label>)` / `end` regions.
+    reactor_regions: Vec<Region>,
+    /// Inclusive line ranges between `lint:try-bounded start` / `end`
+    /// markers: lock acquisitions inside are attested bounded (try-lock
+    /// or a critical section provably O(1)) and exempt from the
+    /// blocking-leaf deny list.
+    try_bounded: Vec<(u32, u32)>,
     pub fns: Vec<FnScope>,
     /// Brace depth *before* each token.
     pub brace_depth: Vec<u32>,
@@ -58,6 +76,22 @@ impl Analysis {
         self.test_ranges
             .iter()
             .any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+
+    pub fn reactor_regions(&self) -> &[Region] {
+        &self.reactor_regions
+    }
+
+    pub fn in_try_bounded(&self, line: u32) -> bool {
+        self.try_bounded
+            .iter()
+            .any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+
+    /// The raw inline suppressions, for export into whole-workspace
+    /// summaries (interprocedural findings re-check them at emit time).
+    pub fn allow_entries(&self) -> &[Allow] {
+        &self.allows
     }
 }
 
@@ -110,6 +144,11 @@ fn matching_brace(lexed: &Lexed<'_>, open: usize) -> usize {
         }
     }
     lexed.tokens.len()
+}
+
+/// Public brace matcher for whole-workspace passes (callgraph regions).
+pub fn matching_brace_at(lexed: &Lexed<'_>, open: usize) -> usize {
+    matching_brace(lexed, open)
 }
 
 /// Token-level predicate helpers shared by rules.
@@ -232,14 +271,50 @@ fn find_fns(lexed: &Lexed<'_>, out: &mut Vec<FnScope>) {
     }
 }
 
+/// Label from `lint:reactor-loop start(<label>)`, or `"reactor"` when the
+/// parens are absent.
+fn region_label(after_start: &str) -> String {
+    let rest = after_start.trim_start();
+    if let Some(inner) = rest.strip_prefix('(') {
+        if let Some(close) = inner.find(')') {
+            let label = inner[..close].trim();
+            if !label.is_empty() {
+                return label.to_string();
+            }
+        }
+    }
+    "reactor".to_string()
+}
+
 /// Run the full structural analysis for one file.
 pub fn analyze(lexed: &Lexed<'_>) -> Analysis {
     let mut allows = Vec::new();
     let mut hot_ranges = Vec::new();
     let mut hot_open: Option<u32> = None;
-    for comment in &lexed.comments {
+    let mut reactor_regions = Vec::new();
+    let mut reactor_open: Option<(String, u32)> = None;
+    let mut try_bounded = Vec::new();
+    let mut try_open: Option<u32> = None;
+    // A multi-line `//` explanation lexes as one comment per line; an
+    // allow must cover the whole run (plus the line after it), so extend
+    // each comment's reach through directly-following full-line comments.
+    let mut code_lines = std::collections::HashSet::new();
+    for t in &lexed.tokens {
+        code_lines.insert(t.line);
+    }
+    let extended_end = |ci: usize| -> u32 {
+        let mut end = lexed.comments[ci].end_line;
+        for next in &lexed.comments[ci + 1..] {
+            if next.line > end + 1 || code_lines.contains(&next.line) {
+                break;
+            }
+            end = end.max(next.end_line);
+        }
+        end
+    };
+    for (ci, comment) in lexed.comments.iter().enumerate() {
         let text = lexed.comment_text(comment);
-        parse_allows(text, comment.line, comment.end_line, &mut allows);
+        parse_allows(text, comment.line, extended_end(ci), &mut allows);
         let body = directive_body(text);
         if body.starts_with("lint:hot-path start") {
             hot_open = Some(comment.line);
@@ -247,12 +322,37 @@ pub fn analyze(lexed: &Lexed<'_>) -> Analysis {
             if let Some(lo) = hot_open.take() {
                 hot_ranges.push((lo, comment.end_line));
             }
+        } else if let Some(rest) = body.strip_prefix("lint:reactor-loop start") {
+            reactor_open = Some((region_label(rest), comment.line));
+        } else if body.starts_with("lint:reactor-loop end") {
+            if let Some((label, lo)) = reactor_open.take() {
+                reactor_regions.push(Region {
+                    label,
+                    first_line: lo,
+                    last_line: comment.end_line,
+                });
+            }
+        } else if body.starts_with("lint:try-bounded start") {
+            try_open = Some(comment.line);
+        } else if body.starts_with("lint:try-bounded end") {
+            if let Some(lo) = try_open.take() {
+                try_bounded.push((lo, comment.end_line));
+            }
         }
     }
     if let Some(lo) = hot_open {
         // Unterminated region runs to end of file: over-report, never under.
         hot_ranges.push((lo, u32::MAX));
     }
+    if let Some((label, lo)) = reactor_open {
+        reactor_regions.push(Region {
+            label,
+            first_line: lo,
+            last_line: u32::MAX,
+        });
+    }
+    // An unterminated try-bounded region is dropped, NOT extended: the
+    // marker weakens the gate, so it only applies where explicitly closed.
 
     let mut test_ranges = Vec::new();
     find_test_ranges(lexed, &mut test_ranges);
@@ -282,6 +382,8 @@ pub fn analyze(lexed: &Lexed<'_>) -> Analysis {
         allows,
         hot_ranges,
         test_ranges,
+        reactor_regions,
+        try_bounded,
         fns,
         brace_depth,
         group_depth,
@@ -331,6 +433,35 @@ mod tests {
         let analysis = analyze(&lexed);
         assert_eq!(analysis.fns.len(), 1);
         assert_eq!(analysis.fns[0].name, "decode_thing");
+    }
+
+    #[test]
+    fn reactor_and_try_bounded_regions() {
+        let src = "\
+// lint:reactor-loop start(io-loop) — fixture
+fn a() {}
+// lint:try-bounded start — attested
+fn b() {}
+// lint:try-bounded end
+fn c() {}
+// lint:reactor-loop end
+fn d() {}
+";
+        let lexed = lex(src);
+        let analysis = analyze(&lexed);
+        let regions = analysis.reactor_regions();
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].label, "io-loop");
+        assert!(regions[0].first_line <= 2 && regions[0].last_line >= 7);
+        assert!(analysis.in_try_bounded(4));
+        assert!(!analysis.in_try_bounded(6));
+        // Unlabelled start falls back to "reactor"; unterminated
+        // try-bounded is dropped (it weakens the gate).
+        let src2 = "// lint:reactor-loop start\nfn a() {}\n// lint:try-bounded start\nfn b() {}\n";
+        let analysis2 = analyze(&lex(src2));
+        assert_eq!(analysis2.reactor_regions()[0].label, "reactor");
+        assert_eq!(analysis2.reactor_regions()[0].last_line, u32::MAX);
+        assert!(!analysis2.in_try_bounded(4));
     }
 
     #[test]

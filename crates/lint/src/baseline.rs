@@ -189,6 +189,7 @@ mod tests {
             line,
             message: "m".to_string(),
             snippet: snippet.to_string(),
+            call_chain: Vec::new(),
         }
     }
 

@@ -29,12 +29,18 @@ pub struct Finding {
     pub message: String,
     /// Trimmed source line, used for display and baseline fingerprinting.
     pub snippet: String,
+    /// For interprocedural rules: the call chain from the entry point to
+    /// the offending leaf, one `name (file:line)` entry per hop. Empty
+    /// for per-file rules. Deliberately NOT part of the baseline
+    /// fingerprint: refactoring an intermediate frame must not churn the
+    /// baseline.
+    pub call_chain: Vec<String>,
 }
 
 impl Finding {
-    /// Stable sort key: path, then line, then rule, then snippet.
-    pub fn sort_key(&self) -> (&str, u32, &str, &str) {
-        (&self.path, self.line, self.rule, &self.snippet)
+    /// Stable sort key: path, then line, then rule, then snippet, then chain.
+    pub fn sort_key(&self) -> (&str, u32, &str, &str, &[String]) {
+        (&self.path, self.line, self.rule, &self.snippet, &self.call_chain)
     }
 }
 
@@ -114,6 +120,21 @@ pub const RULES: &[RuleInfo] = &[
         summary: "SessionSnapshot VERSION missing, not stamped by encode, or not checked (typed) by decode in session.rs",
     },
     RuleInfo {
+        id: "reactor-blocking-call",
+        severity: Severity::Error,
+        summary: "code reachable from a lint:reactor-loop region hits a blocking leaf (lock/recv/wait/sleep/blocking I/O/fsync)",
+    },
+    RuleInfo {
+        id: "lock-order-cycle",
+        severity: Severity::Error,
+        summary: "static-keyed Mutex/RwLock guards acquired in a cyclic order across functions (deadlock shape)",
+    },
+    RuleInfo {
+        id: "guard-across-call",
+        severity: Severity::Error,
+        summary: "lock guard held across a call into a function that itself blocks or sends on a channel",
+    },
+    RuleInfo {
         id: "unsafe-code",
         severity: Severity::Error,
         summary: "`unsafe` outside the audited inventory (the two bench counting allocators)",
@@ -157,22 +178,32 @@ fn json_escape(s: &str) -> String {
 
 /// Render findings as JSON. `status` pairs each finding with `"new"` or
 /// `"baselined"`. The schema string is versioned; bump it on any shape change.
+/// Schema `grandma-lint/2` added the `call_chain` array (empty for
+/// per-file rules).
 pub fn render_json(findings: &[(Finding, &str)]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"grandma-lint/1\",\n  \"findings\": [");
+    out.push_str("{\n  \"schema\": \"grandma-lint/2\",\n  \"findings\": [");
     for (i, (f, status)) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
+        let mut chain = String::new();
+        for (j, hop) in f.call_chain.iter().enumerate() {
+            if j > 0 {
+                chain.push_str(", ");
+            }
+            let _ = write!(chain, "\"{}\"", json_escape(hop));
+        }
         let _ = write!(
             out,
-            "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \"snippet\": \"{}\", \"status\": \"{}\"}}",
+            "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \"snippet\": \"{}\", \"call_chain\": [{}], \"status\": \"{}\"}}",
             json_escape(f.rule),
             f.severity.as_str(),
             json_escape(&f.path),
             f.line,
             json_escape(&f.message),
             json_escape(&f.snippet),
+            chain,
             json_escape(status),
         );
     }
@@ -215,6 +246,9 @@ pub fn render_human(findings: &[(Finding, &str)]) -> String {
         if !f.snippet.is_empty() {
             let _ = writeln!(out, "    | {}", f.snippet);
         }
+        if !f.call_chain.is_empty() {
+            let _ = writeln!(out, "    | chain: {}", f.call_chain.join(" -> "));
+        }
     }
     out
 }
@@ -231,7 +265,24 @@ mod tests {
             line: 7,
             message: "`.unwrap()` in panic-free library code".to_string(),
             snippet: "let v = x.unwrap();".to_string(),
+            call_chain: Vec::new(),
         }
+    }
+
+    #[test]
+    fn json_carries_call_chain() {
+        let mut f = sample();
+        f.call_chain = vec![
+            "io_loop (crates/x/src/lib.rs:3)".to_string(),
+            "helper (crates/x/src/lib.rs:9)".to_string(),
+        ];
+        let json = render_json(&[(f.clone(), "new")]);
+        assert!(json.contains("\"schema\": \"grandma-lint/2\""));
+        assert!(json.contains(
+            "\"call_chain\": [\"io_loop (crates/x/src/lib.rs:3)\", \"helper (crates/x/src/lib.rs:9)\"]"
+        ));
+        let human = render_human(&[(f, "new")]);
+        assert!(human.contains("chain: io_loop (crates/x/src/lib.rs:3) -> helper"));
     }
 
     #[test]

@@ -15,6 +15,8 @@
 
 pub mod analysis;
 pub mod baseline;
+pub mod callgraph;
+pub mod concurrency;
 pub mod findings;
 pub mod lexer;
 pub mod rules;
@@ -110,16 +112,54 @@ pub fn file_meta(rel_path: &str) -> FileMeta {
     }
 }
 
-/// Lint one source file. `rel_path` must be workspace-relative with `/`
-/// separators; it selects which rules apply. Findings are sorted.
-pub fn lint_source(rel_path: &str, src: &str, config: &Config) -> Vec<Finding> {
-    let meta = file_meta(rel_path);
-    let lexed = lexer::lex(src);
-    let analysis = analysis::analyze(&lexed);
+/// Summarize every non-test file for the interprocedural pass.
+fn summarize_all(files: &[(String, String)]) -> Vec<callgraph::FileSummary> {
+    let mut summaries = Vec::new();
+    for (rel, src) in files {
+        let meta = file_meta(rel);
+        if meta.is_test_file {
+            continue;
+        }
+        let lexed = lexer::lex(src);
+        let analysis = analysis::analyze(&lexed);
+        summaries.push(callgraph::summarize(&meta, &lexed, &analysis, src));
+    }
+    summaries
+}
+
+/// Lint a set of files as one workspace: pass 1 runs the per-file rules,
+/// pass 2 builds the call graph over every non-test file and runs the
+/// interprocedural concurrency rules. `rel_path`s must be
+/// workspace-relative with `/` separators. Findings are sorted.
+pub fn lint_files(files: &[(String, String)], config: &Config) -> Vec<Finding> {
     let mut out = Vec::new();
-    rules::check_file(&meta, &lexed, &analysis, config, &mut out);
+    for (rel, src) in files {
+        let meta = file_meta(rel);
+        let lexed = lexer::lex(src);
+        let analysis = analysis::analyze(&lexed);
+        rules::check_file(&meta, &lexed, &analysis, config, &mut out);
+    }
+    let summaries = summarize_all(files);
+    concurrency::check_workspace(&summaries, &mut out);
     out.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
     out
+}
+
+/// Lint one source file (both passes, over a one-file workspace).
+/// Fixtures and unit tests use this; interprocedural rules then see only
+/// same-file calls, which is exactly what self-contained fixtures want.
+pub fn lint_source(rel_path: &str, src: &str, config: &Config) -> Vec<Finding> {
+    lint_files(
+        &[(rel_path.to_string(), src.to_string())],
+        config,
+    )
+}
+
+/// Render the whole-workspace call graph as deterministic DOT
+/// (`--graph-dump dot`). Byte-stable across runs over the same tree.
+pub fn graph_dot(files: &[(String, String)]) -> String {
+    let summaries = summarize_all(files);
+    callgraph::CallGraph::build(&summaries).to_dot()
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
@@ -145,16 +185,16 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// Scan the whole workspace under `root`. File order (and therefore finding
-/// order) is fully deterministic. Lint-test fixtures are excluded: they
-/// contain violations on purpose.
-pub fn scan_workspace(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
+/// Read every workspace source file under `root` as `(rel_path, source)`
+/// pairs, in fully deterministic order. Lint-test fixtures are excluded:
+/// they contain violations on purpose.
+pub fn workspace_files(root: &Path) -> Result<Vec<(String, String)>, String> {
     let mut files = Vec::new();
     for top in ["src", "crates", "tests", "examples"] {
         collect_rs(&root.join(top), &mut files)?;
     }
     files.sort();
-    let mut findings = Vec::new();
+    let mut out = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -168,10 +208,15 @@ pub fn scan_workspace(root: &Path, config: &Config) -> Result<Vec<Finding>, Stri
         }
         let src =
             fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-        findings.extend(lint_source(&rel, &src, config));
+        out.push((rel, src));
     }
-    findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
-    Ok(findings)
+    Ok(out)
+}
+
+/// Scan the whole workspace under `root`, both passes. File order (and
+/// therefore finding order) is fully deterministic.
+pub fn scan_workspace(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
+    Ok(lint_files(&workspace_files(root)?, config))
 }
 
 #[cfg(test)]

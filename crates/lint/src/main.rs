@@ -7,7 +7,7 @@ use std::process::ExitCode;
 
 use grandma_lint::baseline;
 use grandma_lint::findings::{render_human, render_json, Finding, Severity, RULES};
-use grandma_lint::{scan_workspace, Config};
+use grandma_lint::{graph_dot, scan_workspace, workspace_files, Config};
 
 const USAGE: &str = "\
 grandma-lint: dependency-free static-analysis gate for the grandma workspace
@@ -22,6 +22,7 @@ OPTIONS:
                             deterministic; justifications are preserved)
     --deny-warnings         Exit non-zero on warning-severity findings too
     --root <path>           Workspace root (default: discovered from cwd)
+    --graph-dump <dot>      Print the workspace call graph (DOT) and exit
     --list-rules            Print the rule catalogue and exit
     --help                  Show this help
 ";
@@ -32,6 +33,7 @@ struct Options {
     fix_baseline: bool,
     deny_warnings: bool,
     root: Option<PathBuf>,
+    graph_dump: Option<String>,
     list_rules: bool,
 }
 
@@ -42,6 +44,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         fix_baseline: false,
         deny_warnings: false,
         root: None,
+        graph_dump: None,
         list_rules: false,
     };
     let mut i = 0;
@@ -64,6 +67,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--fix-baseline" => opts.fix_baseline = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--root" => opts.root = Some(PathBuf::from(take_value(&mut i)?)),
+            "--graph-dump" => {
+                let v = take_value(&mut i)?;
+                if v != "dot" {
+                    return Err(format!("--graph-dump supports only `dot`, got `{v}`"));
+                }
+                opts.graph_dump = Some(v);
+            }
             "--list-rules" => opts.list_rules = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -107,6 +117,12 @@ fn run() -> Result<ExitCode, String> {
         Some(root) => root,
         None => discover_root()?,
     };
+
+    if opts.graph_dump.is_some() {
+        print!("{}", graph_dot(&workspace_files(&root)?));
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let config = Config::repo_default();
     let findings = scan_workspace(&root, &config)?;
 

@@ -52,6 +52,7 @@ impl Ctx<'_> {
             line,
             message,
             snippet: self.lexed.line_text(line).trim().replace('\t', " "),
+            call_chain: Vec::new(),
         });
     }
 
@@ -231,81 +232,188 @@ fn rule_channel_unwrap(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
-/// R3b: channel ops while a `lock()` guard binding is still live.
+/// A token range in which a named lock guard may be live (R3b).
+struct GuardSpan {
+    name: String,
+    start: usize,
+    end: usize,
+}
+
+/// True when `lo..hi` contains a guard-producing lock call at brace depth
+/// `depth` (`.lock()` or `lock_or_recover(..)`). A lock inside a nested
+/// block or closure (deeper braces) stays local and does not count.
+fn lock_call_between(ctx: &Ctx<'_>, lo: usize, hi: usize, depth: u32) -> bool {
+    let lexed = ctx.lexed;
+    for k in lo..hi.min(lexed.tokens.len()) {
+        if ctx.analysis.brace_depth.get(k).copied().unwrap_or(0) != depth {
+            continue;
+        }
+        match ident_text(lexed, k) {
+            Some("lock_or_recover") if is_punct(lexed, k + 1, "(") => return true,
+            Some("lock")
+                if is_punct(lexed, k.wrapping_sub(1), ".") && is_punct(lexed, k + 1, "(") =>
+            {
+                return true
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// First plausible binding ident in an `if let` pattern (`Ok(g)` → `g`).
+fn first_pattern_binding(ctx: &Ctx<'_>, lo: usize, hi: usize) -> String {
+    for k in lo..hi.min(ctx.lexed.tokens.len()) {
+        if is_punct(ctx.lexed, k, "=") {
+            break;
+        }
+        if let Some(text) = ident_text(ctx.lexed, k) {
+            if !matches!(text, "Some" | "Ok" | "Err" | "None" | "mut" | "ref" | "_") {
+                return text.to_string();
+            }
+        }
+    }
+    "guard".to_string()
+}
+
+/// R3b: channel ops while a `lock()` guard may still be live. Three
+/// binding shapes produce a guard span:
+///
+/// - `let [mut] g = <init with .lock()>;` — live to the end of the
+///   enclosing block, or to an explicit `drop(g)`.
+/// - `if let Ok(g) = m.lock() { .. }` / `while let` — live for the whole
+///   consequent block (the scrutinee temporary outlives it).
+/// - `match m.lock() { .. }` — live for the whole match body, arms
+///   included. This also covers `let x = match m.lock() { .. };`
+///   initializers; a match arm that re-exports the guard out of the
+///   match is a known under-approximation (DESIGN.md §12).
 fn rule_guard_held_channel(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
     if ctx.meta.is_test_file {
         return;
     }
     let lexed = ctx.lexed;
     let tokens = &lexed.tokens;
-    for i in 0..tokens.len() {
-        if !is_ident(lexed, i, "let") {
-            continue;
-        }
-        // Match only plain `let [mut] name = init;` bindings. Destructuring
-        // patterns (`if let Ok(g) = ...`) are skipped: the guard's extent is
-        // then bounded by the match arm, which reviewers can see locally.
-        let mut j = i + 1;
-        if is_ident(lexed, j, "mut") {
-            j += 1;
-        }
-        let Some(name) = ident_text(lexed, j) else {
-            continue;
-        };
-        if name == "_" || !is_punct(lexed, j + 1, "=") {
-            continue;
-        }
-        let let_brace = ctx.analysis.brace_depth.get(i).copied().unwrap_or(0);
-        let let_group = ctx.analysis.group_depth.get(i).copied().unwrap_or(0);
-        // Scan the initializer up to its terminating `;`.
-        let mut k = j + 2;
-        let mut has_lock = false;
-        let mut moves_out = false;
-        while k < tokens.len() {
-            if is_punct(lexed, k, ";")
-                && ctx.analysis.group_depth.get(k).copied().unwrap_or(0) == let_group
-                && ctx.analysis.brace_depth.get(k).copied().unwrap_or(0) == let_brace
+    let mut spans: Vec<GuardSpan> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let depth = ctx.analysis.brace_depth.get(i).copied().unwrap_or(0);
+        // `if let` / `while let` with a lock in the scrutinee.
+        if (is_ident(lexed, i, "if") || is_ident(lexed, i, "while"))
+            && is_ident(lexed, i + 1, "let")
+        {
+            let mut k = i + 2;
+            while k < tokens.len()
+                && !(is_punct(lexed, k, "{")
+                    && ctx.analysis.brace_depth.get(k).copied().unwrap_or(0) == depth)
             {
-                break;
+                k += 1;
             }
-            // Only lock calls at the binding's own brace depth make the
-            // binding a guard; a lock inside a nested block or closure in
-            // the initializer (e.g. a spawned thread body) stays local.
-            let at_let_depth =
-                ctx.analysis.brace_depth.get(k).copied().unwrap_or(0) == let_brace;
-            if let Some(text) = ident_text(lexed, k) {
-                if !at_let_depth {
-                    // skip nested scopes
-                } else if text == "lock_or_recover"
-                    || (text == "lock"
-                        && is_punct(lexed, k - 1, ".")
-                        && is_punct(lexed, k + 1, "("))
+            if k < tokens.len() {
+                if lock_call_between(ctx, i + 2, k, depth) {
+                    spans.push(GuardSpan {
+                        name: first_pattern_binding(ctx, i + 2, k),
+                        start: k + 1,
+                        end: crate::analysis::matching_brace_at(lexed, k),
+                    });
+                }
+                i = k + 1;
+                continue;
+            }
+        }
+        // `match <scrutinee with lock> { .. }` (statement or initializer).
+        if is_ident(lexed, i, "match") {
+            let mut k = i + 1;
+            while k < tokens.len()
+                && !is_punct(lexed, k, ";")
+                && !(is_punct(lexed, k, "{")
+                    && ctx.analysis.brace_depth.get(k).copied().unwrap_or(0) == depth)
+            {
+                k += 1;
+            }
+            if k < tokens.len() && is_punct(lexed, k, "{") {
+                if lock_call_between(ctx, i + 1, k, depth) {
+                    spans.push(GuardSpan {
+                        name: "guard".to_string(),
+                        start: k + 1,
+                        end: crate::analysis::matching_brace_at(lexed, k),
+                    });
+                }
+                i = k + 1;
+                continue;
+            }
+        }
+        // Plain `let [mut] name = init;`. `match`/`if` initializers are
+        // covered by the shapes above (the binding then usually holds data
+        // moved out of the guard, not the guard itself).
+        if is_ident(lexed, i, "let") && !is_ident(lexed, i.wrapping_sub(1), "while") {
+            let mut j = i + 1;
+            if is_ident(lexed, j, "mut") {
+                j += 1;
+            }
+            if let Some(name) = ident_text(lexed, j) {
+                if name != "_"
+                    && is_punct(lexed, j + 1, "=")
+                    && !is_ident(lexed, j + 2, "match")
+                    && !is_ident(lexed, j + 2, "if")
                 {
-                    has_lock = true;
-                } else if text == "take" {
-                    // `std::mem::take(&mut *guard)` moves the data out and
-                    // drops the guard before the binding is even made.
-                    moves_out = true;
+                    let let_group = ctx.analysis.group_depth.get(i).copied().unwrap_or(0);
+                    // Scan the initializer up to its terminating `;`.
+                    let mut k = j + 2;
+                    let mut moves_out = false;
+                    while k < tokens.len() {
+                        if is_punct(lexed, k, ";")
+                            && ctx.analysis.group_depth.get(k).copied().unwrap_or(0) == let_group
+                            && ctx.analysis.brace_depth.get(k).copied().unwrap_or(0) == depth
+                        {
+                            break;
+                        }
+                        // `std::mem::take(&mut *guard)` moves the data out
+                        // and drops the guard before the binding is made.
+                        if is_ident(lexed, k, "take")
+                            && ctx.analysis.brace_depth.get(k).copied().unwrap_or(0) == depth
+                        {
+                            moves_out = true;
+                        }
+                        k += 1;
+                    }
+                    if !moves_out && lock_call_between(ctx, j + 2, k, depth) {
+                        // Live from the `;` to the enclosing `}` or drop.
+                        let name = name.to_string();
+                        let mut end = k + 1;
+                        while end < tokens.len() {
+                            if is_punct(lexed, end, "}")
+                                && ctx.analysis.brace_depth.get(end).copied().unwrap_or(0)
+                                    == depth
+                            {
+                                break;
+                            }
+                            if is_ident(lexed, end, "drop")
+                                && is_punct(lexed, end + 1, "(")
+                                && ident_text(lexed, end + 2) == Some(name.as_str())
+                                && is_punct(lexed, end + 3, ")")
+                            {
+                                break;
+                            }
+                            end += 1;
+                        }
+                        spans.push(GuardSpan {
+                            name,
+                            start: k + 1,
+                            end,
+                        });
+                    }
                 }
             }
-            k += 1;
         }
-        if !has_lock || moves_out {
-            continue;
-        }
-        // The guard is live from here to the end of the enclosing block,
-        // unless explicitly dropped.
-        let name = name.to_string();
-        let mut m = k + 1;
-        while m < tokens.len() {
-            if is_punct(lexed, m, "}")
-                && ctx.analysis.brace_depth.get(m).copied().unwrap_or(0) == let_brace
-            {
-                break;
-            }
+        i += 1;
+    }
+    // Emit: one finding per channel op token, first (outermost) span wins.
+    let mut reported: Vec<usize> = Vec::new();
+    for span in &spans {
+        for m in span.start..span.end.min(tokens.len()) {
             if is_ident(lexed, m, "drop")
                 && is_punct(lexed, m + 1, "(")
-                && ident_text(lexed, m + 2) == Some(name.as_str())
+                && ident_text(lexed, m + 2) == Some(span.name.as_str())
                 && is_punct(lexed, m + 3, ")")
             {
                 break;
@@ -314,22 +422,24 @@ fn rule_guard_held_channel(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
                 if GUARDED_OPS.contains(&op)
                     && is_punct(lexed, m.wrapping_sub(1), ".")
                     && is_punct(lexed, m + 1, "(")
+                    && !reported.contains(&m)
                 {
                     let line = ctx.line(m);
                     if !ctx.analysis.in_test_code(line) {
+                        reported.push(m);
                         ctx.emit(
                             out,
                             "guard-held-channel",
                             line,
                             format!(
-                                "`.{op}()` while lock guard `{name}` may still be held; \
-                                 drop the guard first"
+                                "`.{op}()` while lock guard `{}` may still be held; \
+                                 drop the guard first",
+                                span.name
                             ),
                         );
                     }
                 }
             }
-            m += 1;
         }
     }
 }

@@ -1,0 +1,16 @@
+//! Fixture: a lock guard held across a call into a function that itself
+//! blocks on another lock.
+
+use std::sync::Mutex;
+
+pub fn holder(m: &Mutex<u32>, n: &Mutex<u32>) {
+    if let Ok(g) = m.lock() {
+        refill(n);
+        let _ = g;
+    }
+}
+
+fn refill(n: &Mutex<u32>) {
+    let h = n.lock();
+    drop(h);
+}

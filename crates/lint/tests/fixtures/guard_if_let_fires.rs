@@ -1,0 +1,20 @@
+//! Fixture: guards bound through `if let` / `match` patterns must still
+//! gate channel ops (the plain-let tracker used to miss these shapes).
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn notify(m: &Mutex<u32>, tx: &Sender<u32>) {
+    if let Ok(g) = m.lock() {
+        let _ = tx.send(*g);
+    }
+}
+
+pub fn drain(m: &Mutex<u32>, tx: &Sender<u32>) {
+    match m.lock() {
+        Ok(g) => {
+            let _ = tx.send(*g);
+        }
+        Err(_) => {}
+    }
+}

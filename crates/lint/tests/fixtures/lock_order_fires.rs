@@ -1,0 +1,23 @@
+//! Fixture: two functions acquire the same pair of locks in opposite
+//! order — the classic AB/BA deadlock shape.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn forward(p: &Pair) {
+    let g = p.a.lock();
+    let h = p.b.lock();
+    drop(h);
+    drop(g);
+}
+
+pub fn backward(p: &Pair) {
+    let h = p.b.lock();
+    let g = p.a.lock();
+    drop(g);
+    drop(h);
+}

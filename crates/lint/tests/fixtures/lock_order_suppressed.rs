@@ -1,0 +1,24 @@
+//! Fixture: both edges of the AB/BA cycle suppressed with justifications.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn forward(p: &Pair) {
+    let g = p.a.lock();
+    // lint:allow(lock-order-cycle): fixture attests `a` is always the outer lock
+    let h = p.b.lock();
+    drop(h);
+    drop(g);
+}
+
+pub fn backward(p: &Pair) {
+    let h = p.b.lock();
+    // lint:allow(lock-order-cycle): fixture attests this inversion is never concurrent with forward
+    let g = p.a.lock();
+    drop(g);
+    drop(h);
+}

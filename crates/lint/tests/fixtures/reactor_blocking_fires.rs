@@ -1,0 +1,16 @@
+//! Fixture: a marked reactor loop reaching a blocking leaf through a call.
+
+use std::sync::Mutex;
+
+pub fn io_loop(m: &Mutex<u32>) {
+    // lint:reactor-loop start(io-loop) — the fixture's latency-critical loop
+    loop {
+        step(m);
+    }
+    // lint:reactor-loop end
+}
+
+fn step(m: &Mutex<u32>) {
+    let g = m.lock();
+    drop(g);
+}

@@ -1,0 +1,17 @@
+//! Fixture: the reactor-blocking finding suppressed with a justification.
+
+use std::sync::Mutex;
+
+pub fn io_loop(m: &Mutex<u32>) {
+    // lint:reactor-loop start(io-loop) — the fixture's latency-critical loop
+    loop {
+        // lint:allow(reactor-blocking-call): the lock is uncontended and O(1) in this fixture
+        step(m);
+    }
+    // lint:reactor-loop end
+}
+
+fn step(m: &Mutex<u32>) {
+    let g = m.lock();
+    drop(g);
+}

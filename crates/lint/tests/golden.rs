@@ -74,7 +74,7 @@ fn findings_for(rel: &str, src: &str) -> Vec<Finding> {
 #[test]
 fn golden_fixtures_match() {
     let fixtures = load_fixtures();
-    assert!(fixtures.len() >= 14, "expected >= 14 fixtures, got {}", fixtures.len());
+    assert!(fixtures.len() >= 20, "expected >= 20 fixtures, got {}", fixtures.len());
     for fx in &fixtures {
         let got: Vec<(String, u32)> = findings_for(&fx.rel, &fx.src)
             .iter()
@@ -126,7 +126,7 @@ fn json_output_is_schema_stable_across_runs() {
     let first = rows(&fixtures);
     let second = rows(&fixtures);
     assert_eq!(first, second, "two consecutive runs must be byte-identical");
-    assert!(first.contains("\"schema\": \"grandma-lint/1\""));
+    assert!(first.contains("\"schema\": \"grandma-lint/2\""));
     assert!(first.contains("\"summary\""));
 }
 

@@ -7,7 +7,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use grandma_lint::baseline;
-use grandma_lint::{scan_workspace, Config};
+use grandma_lint::{graph_dot, scan_workspace, workspace_files, Config};
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -55,6 +55,21 @@ fn baseline_render_is_idempotent_against_workspace() {
     // Re-rendering the shipped baseline from the live scan must reproduce it
     // byte for byte — i.e. `--fix-baseline` is a no-op on a clean tree.
     assert_eq!(baseline::render(&findings, &shipped), text);
+}
+
+#[test]
+fn graph_dump_is_byte_stable_across_runs() {
+    let root = repo_root();
+    let files = workspace_files(&root).expect("workspace files");
+    let first = graph_dot(&files);
+    // Second run re-reads the tree from scratch, like a second CLI call.
+    let second = graph_dot(&workspace_files(&root).expect("workspace files"));
+    assert_eq!(first, second, "--graph-dump dot must be deterministic");
+    assert!(first.starts_with("digraph grandma_calls {"));
+    // The graph must actually see the workspace: the reactor loop and the
+    // shard worker are both defined in the serve crate.
+    assert!(first.contains("crates/serve/src/tcp.rs::io_loop"));
+    assert!(first.contains("crates/serve/src/router.rs::shard_worker"));
 }
 
 #[test]

@@ -541,9 +541,12 @@ impl SessionRouter {
     /// consult it via [`SessionRouter::owner_redirect`] before admitting
     /// `Open`/`Resume` traffic.
     pub fn set_fence(&self, fence: SessionFence) {
+        // lint:try-bounded start — the write guard lives for one pointer
+        // store; this is what keeps the hot-path `fence.read()` bounded.
         if let Ok(mut slot) = self.fence.write() {
             *slot = Some(fence);
         }
+        // lint:try-bounded end
     }
 
     /// Where `session` should be redirected, per the installed fence:
@@ -551,8 +554,12 @@ impl SessionRouter {
     /// node does (or no fence is installed — the fence fails open so a
     /// torn cluster file never blackholes traffic).
     pub fn owner_redirect(&self, session: u64) -> Option<SocketAddr> {
+        // lint:try-bounded start — readers only contend with `set_fence`'s
+        // single pointer store, and the fence closure is a pure routing
+        // lookup; the guard never outlives this expression.
         let guard = self.fence.read().ok()?;
         guard.as_ref().and_then(|f| f(session))
+        // lint:try-bounded end
     }
 
     /// Snapshots **and removes** every session on every shard, returning
@@ -713,10 +720,13 @@ impl SessionRouter {
                 self.metrics.shard(shard).note_dequeue();
             }
         }
+        // lint:try-bounded start — the guard lives for one mem::take; the
+        // joins below happen after it is dropped.
         let handles = match self.handles.lock() {
             Ok(mut guard) => std::mem::take(&mut *guard),
             Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
         };
+        // lint:try-bounded end
         for handle in handles {
             let _ = handle.join();
         }
@@ -762,6 +772,9 @@ fn shard_worker(
     let mut wal_buf: Vec<u8> = Vec::new();
     let shard_metrics = metrics.shard(shard);
     while let Ok(msg) = rx.recv() {
+        // lint:reactor-loop start(shard-worker) — the per-shard processing
+        // body: a blocking call here stalls every session on this shard.
+        // The idle `rx.recv()` above is the scheduler, not a stall.
         shard_metrics.note_dequeue();
         // Amortized compaction between messages, where the log and the
         // pipelines are exactly consistent.
@@ -966,6 +979,11 @@ fn shard_worker(
                     wal_append(&mut wal, shard, &metrics, &wal_buf);
                 }
                 scratch.clear();
+                // lint:allow(reactor-blocking-call): resolution artifact —
+                // `.close()` here is `SessionPipeline::close`; the
+                // receiver-agnostic method match (DESIGN.md §12) also hits
+                // `Client::close`, whose reconnect backoff sleeps. The
+                // pipeline close only runs the recognizer teardown.
                 entry.pipeline.close(&recognizer, seq, &mut scratch);
                 metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
                 flush_frames(&metrics, &entry.reply, &mut scratch);
@@ -1076,9 +1094,17 @@ fn shard_worker(
             }
             ShardMsg::Checkpoint(barrier) => {
                 wal_compact_if_due(&mut wal, shard, &sessions, true);
+                // lint:allow(reactor-blocking-call): the checkpoint
+                // rendezvous — the shard must hold still while the
+                // coordinator captures a consistent cut; blocking here IS
+                // the contract, and every shard arrives promptly because
+                // none does unbounded work between messages.
                 barrier.wait();
             }
             ShardMsg::Pause(barrier) => {
+                // lint:allow(reactor-blocking-call): session-handoff
+                // freeze point — the shard parks until `ShardPause::
+                // release`, bounded by the handoff deadline in cluster.
                 barrier.wait();
             }
             ShardMsg::Shutdown => {
@@ -1091,6 +1117,9 @@ fn shard_worker(
                 // closes deliberately do not touch the sealed WAL.
                 for (_, mut entry) in sessions.drain() {
                     scratch.clear();
+                    // lint:allow(reactor-blocking-call): resolution
+                    // artifact — `SessionPipeline::close`, not
+                    // `Client::close`; see the close above.
                     entry.pipeline.close(&recognizer, u32::MAX, &mut scratch);
                     metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
                     flush_frames(&metrics, &entry.reply, &mut scratch);
@@ -1098,6 +1127,7 @@ fn shard_worker(
                 break;
             }
         }
+        // lint:reactor-loop end
     }
 }
 

@@ -1171,6 +1171,9 @@ fn io_loop(
     let mut half_closed: Vec<u64> = Vec::new();
     let mut next_idle_scan = Instant::now();
     let mut chunk = vec![0u8; READ_CHUNK];
+    // lint:reactor-loop start(io-loop) — the reactor's steady-state round:
+    // a blocking call anywhere in here stalls every connection on this
+    // poller thread (DESIGN.md §12).
     loop {
         // Arm first: any wake() from here on writes a pipe byte, so the
         // final queue drains below cannot race a producer into a lost
@@ -1179,6 +1182,9 @@ fn io_loop(
 
         // Intake newly accepted connections: register with the poller
         // once, read-interest, token = conn id.
+        // lint:allow(reactor-blocking-call): the registration mutex is
+        // held for one mem::take here and one Vec::push on the accept
+        // side — an O(1) swap, never a stall.
         let fresh = std::mem::take(&mut *lock_or_recover(&shared.registrations));
         let now = Instant::now();
         for (conn_id, stream) in fresh {
@@ -1334,6 +1340,9 @@ fn io_loop(
         if ctl > 0 {
             metrics.epoll_ctl_calls.fetch_add(ctl, Ordering::Relaxed);
         }
+        // lint:allow(reactor-blocking-call): this wait IS the reactor's
+        // scheduler — the one intentional block per round, bounded by
+        // `timeout_ms` so maintenance still runs on idle connections.
         let n = match poller.wait(timeout_ms, &mut ready) {
             Ok(n) => n,
             Err(_) => continue,
@@ -1420,6 +1429,7 @@ fn io_loop(
             }
         }
     }
+    // lint:reactor-loop end
 
     // Stop: tear down every connection (their session Closes land ahead
     // of the router's Shutdown message) and drain the retry list with a

@@ -187,15 +187,25 @@ impl WalShard {
     /// feeding the frame to the pipeline). Returns the record bytes
     /// written.
     pub fn append_frame(&mut self, frame_bytes: &[u8]) -> std::io::Result<u64> {
+        // lint:reactor-loop start(wal-append) — runs inline on the shard
+        // worker for every frame; the two I/O calls below are the write-ahead
+        // contract itself and are individually attested.
         self.scratch.clear();
         append_record(&mut self.scratch, frame_bytes);
+        // lint:allow(reactor-blocking-call): the write-ahead durability
+        // contract — one buffered O_APPEND write per frame, bounded by the
+        // record size; `--wal` is an explicit durability opt-in.
         self.file.write_all(&self.scratch)?;
         if self.config.fsync == FsyncPolicy::Sync {
+            // lint:allow(reactor-blocking-call): fsync happens only under
+            // `--wal sync`, the caller's explicit durability-over-latency
+            // choice (DESIGN.md §10).
             self.file.sync_data()?;
         }
         let written = self.scratch.len() as u64;
         self.bytes_since_snapshot = self.bytes_since_snapshot.saturating_add(written);
         Ok(written)
+        // lint:reactor-loop end
     }
 
     /// `true` once enough log has accumulated that the owner should
@@ -220,7 +230,14 @@ impl WalShard {
         }
         {
             let mut tmp = File::create(&tmp_path)?;
+            // lint:allow(reactor-blocking-call): compaction runs inline on
+            // the shard worker by design (DESIGN.md §10) — one snapshot
+            // write per compact interval, amortized across thousands of
+            // appends; moving it off-thread would race the O_APPEND tail.
             tmp.write_all(&bytes)?;
+            // lint:allow(reactor-blocking-call): the snapshot must be
+            // durable before the rename publishes it; same amortization
+            // argument as the write above.
             tmp.sync_data()?;
         }
         std::fs::rename(&tmp_path, &snap_path)?;
@@ -228,6 +245,8 @@ impl WalShard {
         // at the (new) end regardless of the handle's cursor.
         self.file.set_len(0)?;
         if self.config.fsync == FsyncPolicy::Sync {
+            // lint:allow(reactor-blocking-call): only under `--wal sync`,
+            // the caller's explicit durability-over-latency choice.
             self.file.sync_data()?;
         }
         self.bytes_since_snapshot = 0;

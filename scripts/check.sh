@@ -14,24 +14,22 @@ cargo build --workspace --release
 echo "== cargo test --workspace (quiet) =="
 cargo test --workspace -q
 
-# The chaos suite already runs as part of the workspace tests above; the
-# serve loopback suite is the one end-to-end check worth calling out by
-# name — 64 concurrent TCP sessions held byte-identical to the in-process
-# pipeline. It runs twice: once on the default reactor backend (epoll on
-# Linux) and once with GRANDMA_POLL_BACKEND=poll forcing the poll(2)
-# backend, so both sides of the sys::Poller abstraction stay green.
-echo "== serve loopback suite (64 TCP sessions vs in-process pipeline) =="
-cargo test -p grandma-serve --test loopback -q
-echo "== serve loopback suite (forced poll backend) =="
-GRANDMA_POLL_BACKEND=poll cargo test -p grandma-serve --test loopback -q
-
-# Wire v2 equivalence: batched EventBatch delivery must stay
-# byte-identical to single-Event delivery, over both the in-process
-# duplex transport and real TCP — again on both reactor backends.
-echo "== serve batched-vs-single equivalence suite =="
-cargo test -p grandma-serve --test batch_equivalence -q
-echo "== serve batched-vs-single equivalence suite (forced poll backend) =="
-GRANDMA_POLL_BACKEND=poll cargo test -p grandma-serve --test batch_equivalence -q
+# The chaos suite already runs as part of the workspace tests above; two
+# serve suites are worth calling out by name, and each runs once per
+# reactor backend so both sides of the sys::Poller abstraction stay
+# green: the loopback suite (64 concurrent TCP sessions held
+# byte-identical to the in-process pipeline) and the wire v2 equivalence
+# suite (batched EventBatch delivery byte-identical to single-Event
+# delivery, over the in-process duplex transport and real TCP).
+# An empty backend means the platform default (epoll on Linux).
+for backend in "" poll; do
+    label="${backend:-default}"
+    for suite in loopback batch_equivalence; do
+        echo "== serve $suite suite ($label backend) =="
+        GRANDMA_POLL_BACKEND="$backend" \
+            cargo test -p grandma-serve --test "$suite" -q
+    done
+done
 
 # Fast-path smoke: a short serve_load run must finish with zero decode
 # errors and zero busy rejections on both the batched and unbatched
@@ -62,9 +60,17 @@ cargo run -p grandma-bench --bin serve_load --release -- --cluster 2 --kill-node
 
 # grandma-lint is the always-on static-analysis gate: panic-freedom,
 # wire-protocol lockstep, hot-path alloc/index hygiene, float-comparison
-# and unsafe-code policy. Dependency-free, so it runs on any toolchain.
-# Any finding not covered by lint-baseline.txt (and any stale baseline
-# entry) fails the gate; see DESIGN.md §12.
+# and unsafe-code policy, plus the interprocedural concurrency rules
+# (reactor-blocking-call, lock-order-cycle, guard-across-call) over the
+# workspace call graph. Dependency-free, so it runs on any toolchain.
+# The machine-readable report lands in target/lint-report.json (schema
+# grandma-lint/2, including each finding's call chain) *before* the
+# deny-warnings gate, so a red gate still leaves the full report behind
+# for tooling. Any finding not covered by lint-baseline.txt (and any
+# stale baseline entry) fails the gate; see DESIGN.md §12.
+echo "== grandma-lint (json report -> target/lint-report.json) =="
+mkdir -p target
+cargo run -p grandma-lint --release -- --format json > target/lint-report.json || true
 echo "== grandma-lint (static-analysis gate, deny warnings) =="
 cargo run -p grandma-lint --release -- --deny-warnings
 
